@@ -1,0 +1,28 @@
+//! # ees-baselines
+//!
+//! The two storage power-saving comparators the paper evaluates against
+//! (§VII.A.1):
+//!
+//! * [`Pdc`] — **Popular Data Concentration** [11]: logical-level file
+//!   popularity ranking concentrated front-to-back across the array every
+//!   30 minutes;
+//! * [`Ddr`] — **Dynamic Data Reorganization** [15]: physical-block-level
+//!   reorganization driven by per-enclosure IOPS thresholds
+//!   (TargetTH = 450, LowTH = 225) on a sub-second evaluation interval;
+//! * [`TimeoutSpinDown`] — plain idle-timeout spin-down (no movement, no
+//!   cache), the device-level floor the paper's §VIII positions itself
+//!   against.
+//!
+//! Both implement the same [`ees_policy::PowerPolicy`] interface as the
+//! proposed method, so every experiment runs all methods through one
+//! engine.
+
+#![warn(missing_docs)]
+
+pub mod ddr;
+pub mod pdc;
+pub mod timeout;
+
+pub use ddr::{Ddr, DdrConfig};
+pub use pdc::{Pdc, PdcConfig};
+pub use timeout::TimeoutSpinDown;

@@ -1,0 +1,85 @@
+//! The simplest comparator: **timeout spin-down** with no data movement
+//! and no cache cooperation — what `hd-idle`-style device management does,
+//! and the implicit floor under every method in the paper's Fig. 8/11/14.
+//!
+//! Every enclosure is always eligible to power off after the spin-down
+//! timeout; nothing else ever happens. The gap between this policy and
+//! the proposed method isolates exactly what the paper's
+//! application-collaborative machinery adds over device-level idleness
+//! detection (§VIII.A–B).
+
+use ees_iotrace::Micros;
+use ees_policy::{ManagementPlan, MonitorSnapshot, PowerPolicy};
+
+/// Plain timeout-based spin-down.
+#[derive(Debug, Clone, Default)]
+pub struct TimeoutSpinDown;
+
+impl TimeoutSpinDown {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        TimeoutSpinDown
+    }
+}
+
+impl PowerPolicy for TimeoutSpinDown {
+    fn name(&self) -> &'static str {
+        "Timeout Spin-Down"
+    }
+
+    fn initial_period(&self) -> Micros {
+        Micros::from_secs(3600)
+    }
+
+    fn on_period_end(&mut self, snapshot: &MonitorSnapshot<'_>) -> ManagementPlan {
+        ManagementPlan {
+            power_off_eligible: snapshot.enclosures.iter().map(|e| (e.id, true)).collect(),
+            determinations: 0,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ees_iotrace::{EnclosureId, Span};
+    use ees_policy::EnclosureView;
+    use ees_simstorage::PlacementMap;
+
+    #[test]
+    fn marks_everything_eligible_and_nothing_else() {
+        let mut p = TimeoutSpinDown::new();
+        assert_eq!(p.name(), "Timeout Spin-Down");
+        let placement = PlacementMap::new();
+        let snap = MonitorSnapshot {
+            period: Span {
+                start: Micros::ZERO,
+                end: Micros::from_secs(10),
+            },
+            break_even: Micros::from_secs(52),
+            logical: &[],
+            physical: &[],
+            placement: &placement,
+            enclosures: (0..3)
+                .map(|i| EnclosureView {
+                    id: EnclosureId(i),
+                    capacity: 1,
+                    used: 0,
+                    max_iops: 900.0,
+                    max_seq_iops: 2800.0,
+                    served_ios: 0,
+                    spin_ups: 0,
+                })
+                .collect(),
+            sequential: Default::default(),
+        };
+        let plan = p.on_period_end(&snap);
+        assert_eq!(plan.power_off_eligible.len(), 3);
+        assert!(plan.power_off_eligible.iter().all(|&(_, e)| e));
+        assert!(plan.migrations.is_empty());
+        assert!(plan.preload.is_empty());
+        assert!(plan.write_delay.is_empty());
+        assert_eq!(plan.determinations, 0);
+    }
+}

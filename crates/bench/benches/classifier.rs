@@ -1,0 +1,52 @@
+//! Microbenchmark: P0–P3 classification throughput over synthetic item
+//! timelines (the per-period cost of §IV.B).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ees_core::classify;
+use ees_iotrace::{analyze_item_period, DataItemId, IoKind, LogicalIoRecord, Micros, Span};
+
+fn make_ios(n: usize, gap_us: u64) -> Vec<LogicalIoRecord> {
+    (0..n)
+        .map(|i| LogicalIoRecord {
+            ts: Micros(i as u64 * gap_us),
+            item: DataItemId(0),
+            offset: (i as u64 * 4096) % (1 << 30),
+            len: 4096,
+            kind: if i % 3 == 0 { IoKind::Write } else { IoKind::Read },
+        })
+        .collect()
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let period = Span {
+        start: Micros::ZERO,
+        end: Micros::from_secs(520),
+    };
+    let be = Micros::from_secs(52);
+
+    let dense = make_ios(10_000, 50_000); // P3-shaped
+    c.bench_function("classify_dense_10k_ios", |b| {
+        b.iter(|| {
+            let stats = analyze_item_period(DataItemId(0), black_box(&dense), period, be);
+            black_box(classify(&stats))
+        })
+    });
+
+    let sparse = make_ios(100, 4_000_000); // bursts with long gaps
+    c.bench_function("classify_sparse_100_ios", |b| {
+        b.iter(|| {
+            let stats = analyze_item_period(DataItemId(0), black_box(&sparse), period, be);
+            black_box(classify(&stats))
+        })
+    });
+
+    c.bench_function("classify_idle_item", |b| {
+        b.iter(|| {
+            let stats = analyze_item_period(DataItemId(0), black_box(&[]), period, be);
+            black_box(classify(&stats))
+        })
+    });
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

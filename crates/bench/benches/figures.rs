@@ -1,0 +1,30 @@
+//! One Criterion bench per figure family: runs the four methods over a
+//! scaled-down trace of the figure's workload and measures the wall time
+//! of regenerating the comparison. The harness binary
+//! (`cargo run -p ees-bench --bin experiments`) produces the actual
+//! paper-vs-measured numbers; these benches track the cost of doing so.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ees_bench::{run_methods, ExperimentSetup, WorkloadKind};
+
+fn bench_figures(c: &mut Criterion) {
+    let setup = ExperimentSetup {
+        seed: 42,
+        scale: 0.005,
+    };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (kind, label) in [
+        (WorkloadKind::FileServer, "fig8-10_17_fileserver"),
+        (WorkloadKind::Tpcc, "fig11-13_18_tpcc"),
+        (WorkloadKind::Tpch, "fig14-16_19_tpch"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &k| {
+            b.iter(|| black_box(run_methods(k, setup)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Microbenchmark: workload-generation throughput (records/second out of
+//! each generator) — the cost of building the statistical twins.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ees_workloads::{dss, fileserver, oltp, DssParams, FileServerParams, OltpParams};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+
+    let fs_params = FileServerParams::scaled(0.02);
+    let fs_len = fileserver::generate(1, &fs_params).trace.len() as u64;
+    group.throughput(criterion::Throughput::Elements(fs_len));
+    group.bench_with_input(BenchmarkId::new("fileserver", "2pct"), &fs_params, |b, p| {
+        b.iter(|| black_box(fileserver::generate(1, p)))
+    });
+
+    let mut oltp_params = OltpParams::scaled(0.02);
+    oltp_params.mean_iops = 1000.0;
+    let oltp_len = oltp::generate(1, &oltp_params).trace.len() as u64;
+    group.throughput(criterion::Throughput::Elements(oltp_len));
+    group.bench_with_input(BenchmarkId::new("oltp", "2pct"), &oltp_params, |b, p| {
+        b.iter(|| black_box(oltp::generate(1, p)))
+    });
+
+    let dss_params = DssParams::scaled(0.05);
+    let dss_len = dss::generate(1, &dss_params).trace.len() as u64;
+    group.throughput(criterion::Throughput::Elements(dss_len));
+    group.bench_with_input(BenchmarkId::new("dss", "5pct"), &dss_params, |b, p| {
+        b.iter(|| black_box(dss::generate(1, p)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

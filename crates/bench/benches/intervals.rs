@@ -1,0 +1,36 @@
+//! Microbenchmark: interval statistics — Long-Interval extraction and the
+//! Fig. 17–19 CDF construction over large gap populations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ees_iotrace::{gaps_with_bounds, IntervalCdf, Micros, Span};
+
+fn bench_intervals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_stats");
+
+    for n in [1_000usize, 100_000] {
+        // A synthetic physical-I/O timestamp stream with mixed gaps.
+        let timestamps: Vec<Micros> = (0..n as u64)
+            .map(|i| Micros(i * 777_777 + (i % 7) * 13_000_000))
+            .collect();
+        let run = Span {
+            start: Micros::ZERO,
+            end: timestamps.last().copied().unwrap_or(Micros(1)) + Micros::SECOND,
+        };
+        group.bench_with_input(BenchmarkId::new("gaps_with_bounds", n), &n, |b, _| {
+            b.iter(|| black_box(gaps_with_bounds(black_box(&timestamps), run)))
+        });
+        let gaps = gaps_with_bounds(&timestamps, run);
+        group.bench_with_input(BenchmarkId::new("interval_cdf", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(IntervalCdf::from_intervals(
+                    gaps.iter().copied(),
+                    Micros::from_secs(52),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intervals);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmark: hot/cold determination + Algorithms 2–3 planning cost
+//! as the item population grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ees_core::{plan_placement, ItemReport, LogicalIoPattern};
+use ees_iotrace::{DataItemId, EnclosureId, IopsSeries, ItemIntervalStats, Micros, Span};
+use ees_policy::EnclosureView;
+
+fn make_reports(items: usize, enclosures: u16) -> (Vec<ItemReport>, Vec<EnclosureView>) {
+    let period = Span {
+        start: Micros::ZERO,
+        end: Micros::from_secs(520),
+    };
+    let reports = (0..items)
+        .map(|i| {
+            let pattern = match i % 10 {
+                0..=6 => LogicalIoPattern::P3,
+                7..=8 => LogicalIoPattern::P1,
+                _ => LogicalIoPattern::P2,
+            };
+            let ios = if pattern == LogicalIoPattern::P3 { 5200 } else { 40 };
+            ItemReport {
+                id: DataItemId(i as u32),
+                enclosure: EnclosureId((i % enclosures as usize) as u16),
+                size: 4 << 30,
+                pattern,
+                stats: ItemIntervalStats {
+                    item: DataItemId(i as u32),
+                    period,
+                    long_intervals: Vec::new(),
+                    sequences: Vec::new(),
+                    reads: ios,
+                    writes: ios / 10,
+                    bytes_read: ios * 8192,
+                    bytes_written: ios * 819,
+                },
+                iops: IopsSeries::from_timestamps(
+                    (0..(ios / 10).min(520)).map(|s| Micros::from_secs(s)),
+                    period,
+                ),
+                sequential: false,
+                seq_factor: 900.0 / 2800.0,
+            }
+        })
+        .collect();
+    let views = (0..enclosures)
+        .map(|e| EnclosureView {
+            id: EnclosureId(e),
+            capacity: 1_700_000_000_000,
+            used: 0,
+            max_iops: 900.0,
+            max_seq_iops: 2800.0,
+            served_ios: 0,
+            spin_ups: 0,
+        })
+        .collect();
+    (reports, views)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_placement");
+    for items in [100usize, 400, 1600] {
+        let (reports, views) = make_reports(items, 12);
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, _| {
+            b.iter(|| black_box(plan_placement(black_box(&reports), black_box(&views), Micros::ZERO)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

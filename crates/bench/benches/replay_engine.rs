@@ -1,0 +1,41 @@
+//! Macrobenchmark: end-to-end replay throughput (records/second through
+//! the engine) for each policy on a scaled-down File Server trace.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ees_bench::{ExperimentSetup, Method, WorkloadKind};
+use ees_replay::{run, ReplayOptions};
+use ees_simstorage::StorageConfig;
+
+fn bench_replay(c: &mut Criterion) {
+    let setup = ExperimentSetup {
+        seed: 42,
+        scale: 0.01, // ~3.6 simulated minutes of File Server
+    };
+    let (workload, _) = ees_bench::make_workload(WorkloadKind::FileServer, setup);
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+
+    let mut group = c.benchmark_group("replay_fileserver_1pct");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(workload.trace.len() as u64));
+    for method in Method::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &m| {
+                b.iter(|| {
+                    let mut policy = m.policy();
+                    black_box(run(
+                        black_box(&workload),
+                        policy.as_mut(),
+                        &cfg,
+                        &ReplayOptions::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Diagnostic probe: replays one workload under one policy and prints
+//! per-enclosure power-mode breakdowns plus summary counters. Usage:
+//!
+//! ```text
+//! probe <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [scale]
+//! ```
+
+use ees_bench::{make_workload, ExperimentSetup, Method, WorkloadKind};
+use ees_replay::{run, ReplayOptions};
+use ees_simstorage::StorageConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = match args.first().map(|s| s.as_str()) {
+        Some("tpcc") => WorkloadKind::Tpcc,
+        Some("tpch") => WorkloadKind::Tpch,
+        _ => WorkloadKind::FileServer,
+    };
+    let method = match args.get(1).map(|s| s.as_str()) {
+        Some("proposed") => Method::Proposed,
+        Some("pdc") => Method::Pdc,
+        Some("ddr") => Method::Ddr,
+        _ => Method::None,
+    };
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let setup = ExperimentSetup { seed: 42, scale };
+
+    let (workload, schedule) = make_workload(kind, setup);
+    let options = ReplayOptions {
+        response_windows: schedule.iter().map(|q| q.window).collect(),
+    };
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    let mut policy = method.policy();
+    let report = run(&workload, policy.as_mut(), &cfg, &options);
+
+    println!(
+        "{} under {}: encl {:.1} W, unit {:.1} W, resp {:.2} ms, read resp {:.2} ms",
+        workload.name,
+        report.policy,
+        report.enclosure_avg_watts,
+        report.avg_power_watts,
+        report.avg_response.as_millis_f64(),
+        report.avg_read_response.as_millis_f64()
+    );
+    println!(
+        "ios {} (reads {}), physical {}, migrated {}, spin-ups {}, periods {}, determinations {}",
+        report.total_ios,
+        report.reads,
+        report.physical_ios,
+        ees_iotrace::fmt_bytes(report.migrated_bytes),
+        report.spin_ups,
+        report.periods,
+        report.determinations
+    );
+    let (p50, p95, p99, pmax) = report.read_percentiles;
+    println!(
+        "read resp percentiles: p50 {p50}  p95 {p95}  p99 {p99}  max {pmax}"
+    );
+    let (pre, gen, miss, buf, flush) = report.cache_counters;
+    println!("cache: preload {pre}, general {gen}, miss {miss}, buffered {buf}, flushes {flush}");
+    println!(
+        "long intervals: {} totalling {:.0} s (max {:.0} s)",
+        report.interval_cdf.count(),
+        report.interval_cdf.total_length().as_secs_f64(),
+        report.interval_cdf.max_interval().as_secs_f64()
+    );
+    for e in &report.enclosures {
+        println!(
+            "  {:>6}: {:6.1} W  active {:7.0}s idle {:7.0}s spinup {:5.0}s off {:7.0}s  ios {:8} spin-ups {:3} bulk {}",
+            e.id.to_string(),
+            e.avg_watts,
+            e.active.as_secs_f64(),
+            e.idle.as_secs_f64(),
+            e.spin_up.as_secs_f64(),
+            e.off.as_secs_f64(),
+            e.ios,
+            e.spin_ups,
+            ees_iotrace::fmt_bytes(e.bulk_bytes)
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Workload construction and method execution shared by the
+//! `experiments` binary and the Criterion benches.
+
+use ees_baselines::{Ddr, Pdc};
+use ees_core::{classify, EnergyEfficientPolicy, PatternMix};
+use ees_iotrace::{analyze_item_period, split_by_item, Micros, Span};
+use ees_policy::{NoPowerSaving, PowerPolicy};
+use ees_replay::{run, ReplayOptions, RunReport};
+use ees_simstorage::StorageConfig;
+use ees_workloads::{dss, fileserver, oltp, DssParams, FileServerParams, OltpParams, Workload};
+
+/// Which of the paper's three applications to run (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// The MSR-like File Server (Fig. 8–10, 17).
+    FileServer,
+    /// TPC-C (Fig. 11–13, 18).
+    Tpcc,
+    /// TPC-H (Fig. 14–16, 19).
+    Tpch,
+}
+
+impl WorkloadKind {
+    /// All three applications.
+    pub const ALL: [WorkloadKind; 3] =
+        [WorkloadKind::FileServer, WorkloadKind::Tpcc, WorkloadKind::Tpch];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::FileServer => "File Server",
+            WorkloadKind::Tpcc => "TPC-C",
+            WorkloadKind::Tpch => "TPC-H",
+        }
+    }
+}
+
+/// Which power-management method to run (§VII.A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Without power saving.
+    None,
+    /// The paper's proposed method.
+    Proposed,
+    /// Popular Data Concentration.
+    Pdc,
+    /// Dynamic Data Reorganization.
+    Ddr,
+}
+
+impl Method {
+    /// All four methods, baseline first.
+    pub const ALL: [Method; 4] = [Method::None, Method::Proposed, Method::Pdc, Method::Ddr];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::None => "No Power Saving",
+            Method::Proposed => "Proposed Method",
+            Method::Pdc => "PDC",
+            Method::Ddr => "DDR",
+        }
+    }
+
+    /// Builds a fresh policy instance.
+    pub fn policy(self) -> Box<dyn PowerPolicy> {
+        match self {
+            Method::None => Box::new(NoPowerSaving::new()),
+            Method::Proposed => Box::new(EnergyEfficientPolicy::with_defaults()),
+            Method::Pdc => Box::new(Pdc::new()),
+            Method::Ddr => Box::new(Ddr::new()),
+        }
+    }
+}
+
+/// Seed and duration scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentSetup {
+    /// Generator seed.
+    pub seed: u64,
+    /// Duration scale (1.0 = the paper's full durations).
+    pub scale: f64,
+}
+
+impl Default for ExperimentSetup {
+    fn default() -> Self {
+        ExperimentSetup {
+            seed: 42,
+            scale: 1.0,
+        }
+    }
+}
+
+/// Builds a workload (plus TPC-H query windows, empty otherwise).
+pub fn make_workload(
+    kind: WorkloadKind,
+    setup: ExperimentSetup,
+) -> (Workload, Vec<ees_workloads::QueryWindow>) {
+    match kind {
+        WorkloadKind::FileServer => (
+            fileserver::generate(setup.seed, &FileServerParams::scaled(setup.scale)),
+            Vec::new(),
+        ),
+        WorkloadKind::Tpcc => (
+            oltp::generate(setup.seed, &OltpParams::scaled(setup.scale)),
+            Vec::new(),
+        ),
+        WorkloadKind::Tpch => {
+            let (w, schedule) =
+                dss::generate_with_schedule(setup.seed, &DssParams::scaled(setup.scale));
+            (w, schedule)
+        }
+    }
+}
+
+/// Runs one method over one workload.
+pub fn run_one(kind: WorkloadKind, method: Method, setup: ExperimentSetup) -> RunReport {
+    let (workload, schedule) = make_workload(kind, setup);
+    let options = ReplayOptions {
+        response_windows: schedule.iter().map(|q| q.window).collect(),
+    };
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    let mut policy = method.policy();
+    run(&workload, policy.as_mut(), &cfg, &options)
+}
+
+/// The four method reports over one workload (trace generated once).
+pub struct MethodReports {
+    /// The workload the methods ran on.
+    pub workload_name: &'static str,
+    /// TPC-H query windows (empty otherwise).
+    pub schedule: Vec<ees_workloads::QueryWindow>,
+    /// Reports in [`Method::ALL`] order: None, Proposed, PDC, DDR.
+    pub reports: Vec<RunReport>,
+}
+
+impl MethodReports {
+    /// The no-power-saving baseline report.
+    pub fn baseline(&self) -> &RunReport {
+        &self.reports[0]
+    }
+
+    /// Report of a method.
+    pub fn of(&self, method: Method) -> &RunReport {
+        let idx = Method::ALL.iter().position(|&m| m == method).unwrap();
+        &self.reports[idx]
+    }
+}
+
+/// Runs all four methods over one workload.
+pub fn run_methods(kind: WorkloadKind, setup: ExperimentSetup) -> MethodReports {
+    let (workload, schedule) = make_workload(kind, setup);
+    let options = ReplayOptions {
+        response_windows: schedule.iter().map(|q| q.window).collect(),
+    };
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    let reports = Method::ALL
+        .iter()
+        .map(|m| {
+            let mut policy = m.policy();
+            run(&workload, policy.as_mut(), &cfg, &options)
+        })
+        .collect();
+    MethodReports {
+        workload_name: workload.name,
+        schedule,
+        reports,
+    }
+}
+
+/// Whole-run P0–P3 classification of a workload's items — Fig. 6.
+pub fn classify_whole_run(workload: &Workload, break_even: Micros) -> PatternMix {
+    let by_item = split_by_item(workload.trace.records());
+    let period = Span {
+        start: Micros::ZERO,
+        end: workload.duration,
+    };
+    let empty = Vec::new();
+    let mut mix = PatternMix::default();
+    for item in &workload.items {
+        let ios = by_item.get(&item.id).unwrap_or(&empty);
+        let stats = analyze_item_period(item.id, ios, period, break_even);
+        mix.bump(classify(&stats));
+    }
+    mix
+}

@@ -1,0 +1,83 @@
+//! Plain-text table formatting for the experiment harness.
+
+use ees_iotrace::{fmt_bytes, Micros};
+
+/// Formats a watts value.
+pub fn watts(w: f64) -> String {
+    format!("{w:7.1} W")
+}
+
+/// Formats a saving percentage against a baseline.
+pub fn saving(pct: f64) -> String {
+    format!("{pct:+5.1} %")
+}
+
+/// Formats a response time.
+pub fn response(r: Micros) -> String {
+    format!("{:7.2} ms", r.as_millis_f64())
+}
+
+/// Formats a byte count.
+pub fn bytes(b: u64) -> String {
+    fmt_bytes(b)
+}
+
+/// Renders a simple aligned table: a header row plus data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    render(&header_cells, &widths, &mut out);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        render(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["method", "watts"],
+            &[
+                vec!["Proposed".into(), "2209.2".into()],
+                vec!["PDC".into(), "2873.9".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("Proposed"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(watts(2209.15), " 2209.2 W");
+        assert_eq!(saving(-25.8), "-25.8 %");
+        assert_eq!(response(Micros::from_millis(17)), "  17.00 ms");
+        assert_eq!(bytes(23 * 1024 * 1024 * 1024), "23.00 GiB");
+    }
+}

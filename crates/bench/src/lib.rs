@@ -1,0 +1,17 @@
+//! # ees-bench
+//!
+//! The experiment harness behind `cargo run -p ees-bench --bin
+//! experiments`: regenerates every table and figure of the paper's
+//! evaluation (Table I–II, Fig. 6, Fig. 8–19) on the simulated test bed,
+//! and hosts the Criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod format;
+pub mod reference;
+
+pub use experiments::{
+    classify_whole_run, make_workload, run_methods, run_one, ExperimentSetup, Method,
+    MethodReports, WorkloadKind,
+};

@@ -1,0 +1,96 @@
+//! The paper's published numbers, embedded so every regenerated figure
+//! prints "paper vs. measured" side by side.
+
+/// One method's published result for one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperPower {
+    /// Disk-enclosure power without saving, watts.
+    pub baseline_watts: f64,
+    /// Proposed method's enclosure watts and saving %.
+    pub proposed: (f64, f64),
+    /// PDC's enclosure watts and saving %.
+    pub pdc: (f64, f64),
+    /// DDR's enclosure watts and saving %.
+    pub ddr: (f64, f64),
+}
+
+/// Fig. 8 — File Server power.
+pub const FIG8_FILESERVER: PaperPower = PaperPower {
+    baseline_watts: 2977.9,
+    proposed: (2209.2, 25.8),
+    pdc: (2873.9, 3.5),
+    ddr: (2869.7, 3.6),
+};
+
+/// Fig. 11 — TPC-C power. (The paper's prose quotes PDC at 2873.9 W /
+/// −10.7 %; the wattage appears to be a copy of the Fig. 8 value, so only
+/// the percentage is used for comparison.)
+pub const FIG11_TPCC: PaperPower = PaperPower {
+    baseline_watts: 2656.4,
+    proposed: (2238.1, 15.7),
+    pdc: (2372.2, 10.7),
+    ddr: (2656.4, 0.0),
+};
+
+/// Fig. 14 — TPC-H power.
+pub const FIG14_TPCH: PaperPower = PaperPower {
+    baseline_watts: 2191.2,
+    proposed: (638.8, 70.8),
+    pdc: (965.2, 55.9),
+    ddr: (657.9, 69.9),
+};
+
+/// Fig. 6 — logical I/O pattern shares in percent `(p0, p1, p2, p3)`.
+pub const FIG6_SHARES: [(&str, [f64; 4]); 3] = [
+    ("File Server", [0.0, 89.6, 0.5, 9.9]),
+    ("TPC-C", [0.0, 23.3, 0.5, 76.2]),
+    ("TPC-H", [0.0, 61.5, 38.5, 0.0]),
+];
+
+/// Fig. 9 — File Server average I/O response, ms:
+/// (no saving approx., proposed, PDC, DDR). The paper states the proposed
+/// method beat "without power saving"; only the three method values are
+/// printed numerically.
+pub const FIG9_RESPONSE_MS: (f64, f64, f64) = (17.1, 22.6, 27.0);
+
+/// Fig. 12 — TPC-C transaction throughput: measured no-saving tpmC and
+/// the proposed method's result (−8.5 %).
+pub const FIG12_TPMC: (f64, f64) = (1859.5, 1701.4);
+
+/// Fig. 10 / 13 / 16 — migrated data sizes (bytes), `(proposed, pdc, ddr)`.
+pub const FIG10_MIGRATED_FS: (u64, u64, u64) =
+    (23_100_000_000, 3_000_000_000_000, 1_300_000_000);
+/// TPC-C migrated data (PDC "exceeds 1 TB", DDR "minimum").
+pub const FIG13_MIGRATED_TPCC: (u64, u64, u64) = (60_000_000_000, 1_000_000_000_000, 100_000_000);
+/// TPC-H migrated data (proposed and PDC large, DDR small).
+pub const FIG16_MIGRATED_TPCH: (u64, u64, u64) =
+    (400_000_000_000, 500_000_000_000, 10_000_000_000);
+
+/// §VII.D — data-placement determination counts `(proposed, pdc, ddr)`.
+pub const DETERMINATIONS: [(&str, (u64, u64, u64)); 3] = [
+    ("File Server", (5, 11, 91_000)),
+    ("TPC-C", (7, 3, 90_000)),
+    ("TPC-H", (10, 8, 205_000)),
+];
+
+/// Fig. 15 — representative TPC-H query baselines (seconds, SF 100
+/// ballpark) for Q2, Q7, Q21; the paper reports DDR ≈ 3× the proposed
+/// method's response.
+pub const FIG15_QUERY_BASELINES: [(&str, f64); 3] = [("Q2", 60.0), ("Q7", 420.0), ("Q21", 900.0)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_percentages_are_consistent_with_watts() {
+        for p in [FIG8_FILESERVER, FIG14_TPCH] {
+            let derived = (1.0 - p.proposed.0 / p.baseline_watts) * 100.0;
+            assert!(
+                (derived - p.proposed.1).abs() < 0.5,
+                "derived {derived} vs published {}",
+                p.proposed.1
+            );
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Subcommand implementations for the `ees` tool.
+//!
+//! ```text
+//! ees gen <fileserver|tpcc|tpch> [--scale X] [--seed N] [--out DIR]
+//! ees stats <trace.jsonl>
+//! ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS]
+//! ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]
+//! ```
+
+use ees_baselines::{Ddr, Pdc};
+use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix};
+use ees_iotrace::{
+    analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span,
+};
+use ees_policy::{NoPowerSaving, PowerPolicy};
+use ees_replay::{run, ReplayOptions};
+use ees_simstorage::StorageConfig;
+use ees_workloads::{dss, fileserver, oltp, DataItemSpec, Workload};
+use ees_workloads::{DssParams, FileServerParams, OltpParams};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments / usage.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Malformed input file.
+    Parse(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Common flags shared by the generating subcommands.
+struct Flags {
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+    break_even: Micros,
+    period: Option<Micros>,
+    json: bool,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<(Vec<String>, Flags), CliError> {
+        let mut flags = Flags {
+            scale: 0.1,
+            seed: 42,
+            out: PathBuf::from("."),
+            break_even: Micros::from_secs(52),
+            period: None,
+            json: false,
+        };
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = |name: &str| -> Result<String, CliError> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            match a.as_str() {
+                "--scale" => {
+                    flags.scale = take("--scale")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--scale expects a number".into()))?
+                }
+                "--seed" => {
+                    flags.seed = take("--seed")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--seed expects an integer".into()))?
+                }
+                "--out" => flags.out = PathBuf::from(take("--out")?),
+                "--break-even" => {
+                    let secs: f64 = take("--break-even")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--break-even expects seconds".into()))?;
+                    flags.break_even = Micros::from_secs_f64(secs);
+                }
+                "--period" => {
+                    let secs: f64 = take("--period")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--period expects seconds".into()))?;
+                    flags.period = Some(Micros::from_secs_f64(secs));
+                }
+                "--json" => flags.json = true,
+                other => positional.push(other.to_string()),
+            }
+        }
+        Ok((positional, flags))
+    }
+}
+
+fn make_workload(name: &str, flags: &Flags) -> Result<Workload, CliError> {
+    Ok(match name {
+        "fileserver" => fileserver::generate(flags.seed, &FileServerParams::scaled(flags.scale)),
+        "tpcc" => oltp::generate(flags.seed, &OltpParams::scaled(flags.scale)),
+        "tpch" => dss::generate(flags.seed, &DssParams::scaled(flags.scale)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown workload '{other}' (expected fileserver|tpcc|tpch)"
+            )))
+        }
+    })
+}
+
+/// Entry point; returns the process exit code.
+pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage(
+            "expected a subcommand: gen | stats | classify | replay".into(),
+        ));
+    };
+    let (positional, flags) = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "gen" => gen(&positional, &flags, out),
+        "stats" => stats(&positional, out),
+        "classify" => classify_cmd(&positional, &flags, out),
+        "replay" => replay(&positional, &flags, out),
+        "mix" => mix(&positional, &flags, out),
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+/// `ees gen`: writes `<workload>.trace.jsonl` and `<workload>.items.json`.
+fn gen(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let name = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("gen needs a workload name".into()))?;
+    let workload = make_workload(name, flags)?;
+    std::fs::create_dir_all(&flags.out)?;
+    let trace_path = flags.out.join(format!("{name}.trace.jsonl"));
+    let items_path = flags.out.join(format!("{name}.items.json"));
+    let mut w = BufWriter::new(File::create(&trace_path)?);
+    ees_iotrace::io::write_jsonl(&workload.trace, &mut w)?;
+    w.flush()?;
+    let items = serde_json::to_string_pretty(&workload.items)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
+    std::fs::write(&items_path, items)?;
+    writeln!(
+        out,
+        "wrote {} records to {} and {} items to {}",
+        workload.trace.len(),
+        trace_path.display(),
+        workload.items.len(),
+        items_path.display()
+    )?;
+    Ok(())
+}
+
+fn read_trace(path: &Path) -> Result<ees_iotrace::LogicalTrace, CliError> {
+    let f = File::open(path)?;
+    Ok(ees_iotrace::io::read_jsonl(BufReader::new(f))?)
+}
+
+/// `ees stats`: summarizes a JSONL trace.
+fn stats(pos: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("stats needs a trace file".into()))?;
+    let trace = read_trace(Path::new(path))?;
+    let s = summarize(trace.records());
+    writeln!(out, "records:        {}", s.records)?;
+    writeln!(out, "reads:          {} ({:.1} %)", s.reads, s.read_ratio() * 100.0)?;
+    writeln!(out, "bytes read:     {}", fmt_bytes(s.bytes_read))?;
+    writeln!(out, "bytes written:  {}", fmt_bytes(s.bytes_written))?;
+    writeln!(out, "span:           {} .. {}", s.first_ts, s.last_ts)?;
+    writeln!(out, "distinct items: {}", s.distinct_items)?;
+    writeln!(out, "avg IOPS:       {:.1}", s.avg_iops())?;
+    Ok(())
+}
+
+/// `ees classify`: P0–P3 classification of a trace against an item list.
+fn classify_cmd(
+    pos: &[String],
+    flags: &Flags,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let trace_path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("classify needs a trace file".into()))?;
+    let items_path = pos
+        .get(1)
+        .ok_or_else(|| CliError::Usage("classify needs an items file".into()))?;
+    let trace = read_trace(Path::new(trace_path))?;
+    let items: Vec<DataItemSpec> = serde_json::from_str(&std::fs::read_to_string(items_path)?)
+        .map_err(|e| CliError::Parse(format!("{items_path}: {e}")))?;
+
+    let end = flags
+        .period
+        .unwrap_or_else(|| trace.last_ts().unwrap_or(Micros::ZERO) + Micros(1));
+    let period = Span {
+        start: Micros::ZERO,
+        end,
+    };
+    let by_item = split_by_item(trace.records());
+    let empty = Vec::new();
+    let mut mix = PatternMix::default();
+    writeln!(out, "{:<24} {:>8} {:>6} {:>6} {:>5}", "item", "ios", "reads%", "longs", "class")?;
+    for item in &items {
+        let ios = by_item.get(&item.id).unwrap_or(&empty);
+        let st = analyze_item_period(item.id, ios, period, flags.break_even);
+        let p = classify(&st);
+        mix.bump(p);
+        writeln!(
+            out,
+            "{:<24} {:>8} {:>5.1}% {:>6} {:>5}",
+            item.name,
+            st.total_ios(),
+            st.read_ratio() * 100.0,
+            st.long_intervals.len(),
+            p
+        )?;
+    }
+    writeln!(
+        out,
+        "mix: P0 {:.1} % / P1 {:.1} % / P2 {:.1} % / P3 {:.1} %",
+        mix.percent(LogicalIoPattern::P0),
+        mix.percent(LogicalIoPattern::P1),
+        mix.percent(LogicalIoPattern::P2),
+        mix.percent(LogicalIoPattern::P3)
+    )?;
+    Ok(())
+}
+
+/// `ees mix`: colocates several generated workloads on one array and
+/// writes the combined trace + items like `gen` does.
+fn mix(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    if pos.len() < 2 {
+        return Err(CliError::Usage(
+            "mix needs at least two workload names".into(),
+        ));
+    }
+    let mut parts = Vec::new();
+    for (i, name) in pos.iter().enumerate() {
+        let mut f = Flags {
+            scale: flags.scale,
+            seed: flags.seed + i as u64,
+            out: flags.out.clone(),
+            break_even: flags.break_even,
+            period: flags.period,
+            json: flags.json,
+        };
+        f.seed = flags.seed + i as u64;
+        parts.push(make_workload(name, &f)?);
+    }
+    let combined = ees_workloads::colocate(parts, "mix");
+    std::fs::create_dir_all(&flags.out)?;
+    let trace_path = flags.out.join("mix.trace.jsonl");
+    let items_path = flags.out.join("mix.items.json");
+    let mut w = BufWriter::new(File::create(&trace_path)?);
+    ees_iotrace::io::write_jsonl(&combined.trace, &mut w)?;
+    w.flush()?;
+    let items = serde_json::to_string_pretty(&combined.items)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
+    std::fs::write(&items_path, items)?;
+    writeln!(
+        out,
+        "colocated {} workloads: {} records, {} items, {} enclosures → {}",
+        pos.len(),
+        combined.trace.len(),
+        combined.items.len(),
+        combined.num_enclosures,
+        trace_path.display()
+    )?;
+    Ok(())
+}
+
+/// `ees replay`: replays a generated workload under a policy.
+fn replay(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let name = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("replay needs a workload name".into()))?;
+    let method = pos
+        .get(1)
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::Usage("replay needs a method (none|proposed|pdc|ddr)".into()))?;
+    let workload = make_workload(name, flags)?;
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    let mut policy: Box<dyn PowerPolicy> = match method {
+        "none" => Box::new(NoPowerSaving::new()),
+        "proposed" => Box::new(EnergyEfficientPolicy::with_defaults()),
+        "pdc" => Box::new(Pdc::new()),
+        "ddr" => Box::new(Ddr::new()),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown method '{other}' (expected none|proposed|pdc|ddr)"
+            )))
+        }
+    };
+    let report = run(&workload, policy.as_mut(), &cfg, &ReplayOptions::default());
+    if flags.json {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| CliError::Parse(e.to_string()))?;
+        writeln!(out, "{json}")?;
+    } else {
+        writeln!(out, "workload:         {}", report.workload)?;
+        writeln!(out, "policy:           {}", report.policy)?;
+        writeln!(out, "enclosure power:  {:.1} W", report.enclosure_avg_watts)?;
+        writeln!(out, "unit power:       {:.1} W", report.avg_power_watts)?;
+        writeln!(out, "avg response:     {:.2} ms", report.avg_response.as_millis_f64())?;
+        writeln!(out, "migrated:         {}", fmt_bytes(report.migrated_bytes))?;
+        writeln!(out, "spin-ups:         {}", report.spin_ups)?;
+        writeln!(out, "determinations:   {}", report.determinations)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let mut buf = Vec::new();
+        run_cli(args.iter().map(|s| s.to_string()).collect(), &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run_to_string(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run_to_string(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_to_string(&["gen"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_to_string(&["gen", "nosuch"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(&["replay", "tpcc", "nosuch"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(&["gen", "tpcc", "--scale"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn gen_stats_classify_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ees-cli-test-{}", std::process::id()));
+        let out = dir.to_str().unwrap();
+        let msg = run_to_string(&[
+            "gen", "tpch", "--scale", "0.01", "--seed", "7", "--out", out,
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"));
+
+        let trace = dir.join("tpch.trace.jsonl");
+        let items = dir.join("tpch.items.json");
+        let s = run_to_string(&["stats", trace.to_str().unwrap()]).unwrap();
+        assert!(s.contains("records:"), "{s}");
+        assert!(s.contains("distinct items:"));
+
+        let c = run_to_string(&[
+            "classify",
+            trace.to_str().unwrap(),
+            items.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(c.contains("mix:"), "{c}");
+        assert!(c.contains("lineitem.0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mix_colocates() {
+        let dir = std::env::temp_dir().join(format!("ees-mix-test-{}", std::process::id()));
+        let out = dir.to_str().unwrap();
+        let msg = run_to_string(&[
+            "mix", "tpcc", "tpch", "--scale", "0.01", "--out", out,
+        ])
+        .unwrap();
+        assert!(msg.contains("colocated 2 workloads"), "{msg}");
+        assert!(dir.join("mix.trace.jsonl").exists());
+        assert!(matches!(
+            run_to_string(&["mix", "tpcc"]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_text_and_json() {
+        let text = run_to_string(&["replay", "tpch", "proposed", "--scale", "0.01"]).unwrap();
+        assert!(text.contains("enclosure power:"), "{text}");
+        let json = run_to_string(&["replay", "tpch", "none", "--scale", "0.01", "--json"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["policy"], "No Power Saving");
+    }
+}

@@ -1,0 +1,12 @@
+//! # ees-cli
+//!
+//! The `ees` command-line tool: generate the paper's workload traces to
+//! JSON Lines, inspect and classify them, and replay them under any of
+//! the four power-management methods. The library half hosts the
+//! subcommand implementations so they are unit-testable.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+
+pub use commands::{run_cli, CliError};

@@ -1,0 +1,16 @@
+//! The `ees` binary: thin wrapper around [`ees_cli::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = ees_cli::run_cli(args, &mut stdout) {
+        eprintln!("ees: {e}");
+        eprintln!(
+            "usage:\n  ees gen <fileserver|tpcc|tpch> [--scale X] [--seed N] [--out DIR]\n  \
+             ees stats <trace.jsonl>\n  \
+             ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS]\n  \
+             ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]"
+        );
+        std::process::exit(2);
+    }
+}

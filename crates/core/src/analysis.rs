@@ -1,0 +1,242 @@
+//! Turning a monitor snapshot into per-item reports: the "Determine
+//! Logical I/O pattern of data items" step of Algorithm 1.
+//!
+//! Every item registered in the placement map gets a report — items with
+//! no I/O in the period are the P0 population, so they must not silently
+//! drop out of the analysis.
+
+use crate::pattern::{classify, LogicalIoPattern};
+use ees_iotrace::{
+    analyze_item_period, split_by_item, DataItemId, EnclosureId, IopsSeries, ItemIntervalStats,
+    Micros,
+};
+use ees_policy::MonitorSnapshot;
+
+/// Everything the management function knows about one data item after a
+/// monitoring period.
+#[derive(Debug, Clone)]
+pub struct ItemReport {
+    /// The item.
+    pub id: DataItemId,
+    /// Where the item currently lives.
+    pub enclosure: EnclosureId,
+    /// Item size in bytes.
+    pub size: u64,
+    /// The classified logical I/O pattern.
+    pub pattern: LogicalIoPattern,
+    /// Interval structure of the period.
+    pub stats: ItemIntervalStats,
+    /// Per-second IOPS series (for `I_max`, §IV.C step 1).
+    pub iops: IopsSeries,
+    /// Whether the Storage Monitor observed this item streaming
+    /// sequentially. A sequential request occupies the enclosure for a
+    /// fraction `O_random / O_sequential` of a random one, so placement
+    /// weighs it accordingly.
+    pub sequential: bool,
+    /// `O_random / O_sequential` of the array (≈ 900/2800 on the test
+    /// bed): the random-equivalence factor for sequential IOPS.
+    pub seq_factor: f64,
+}
+
+/// Load floor below which a P3 classification is ignored for *placement*
+/// purposes (hot-set sizing, Algorithm 2's migration list): an item whose
+/// "continuous" access is a trickle of a few I/Os per minute only looks
+/// P3 because the monitoring window happened to contain no long gap, and
+/// dedicating (or keeping awake) a hot enclosure for it costs far more
+/// than it serves. Classification itself (Fig. 6) is unaffected.
+pub const PLACEMENT_P3_MIN_IOPS: f64 = 5.0;
+
+impl ItemReport {
+    /// Average IOPS over the period.
+    pub fn avg_iops(&self) -> f64 {
+        self.stats.avg_iops()
+    }
+
+    /// Whether this item is P3 *for placement*: continuously accessed and
+    /// carrying real load (see [`PLACEMENT_P3_MIN_IOPS`]).
+    pub fn is_placement_p3(&self) -> bool {
+        self.pattern == LogicalIoPattern::P3
+            && self.rand_equiv_iops() >= PLACEMENT_P3_MIN_IOPS
+    }
+
+    /// Average IOPS expressed in random-I/O equivalents: what the item
+    /// costs an enclosure against the `O` (random) budget of §IV.C–D.
+    pub fn rand_equiv_iops(&self) -> f64 {
+        if self.sequential {
+            self.stats.avg_iops() * self.seq_factor
+        } else {
+            self.stats.avg_iops()
+        }
+    }
+
+    /// Peak one-second IOPS over the period.
+    pub fn max_iops(&self) -> u32 {
+        self.iops.max()
+    }
+
+    /// Read I/Os per byte of item size — the preload ranking key (§IV.F).
+    pub fn reads_per_byte(&self) -> f64 {
+        if self.size == 0 {
+            0.0
+        } else {
+            self.stats.reads as f64 / self.size as f64
+        }
+    }
+}
+
+/// Builds a report for every registered item from the period's logical
+/// trace.
+pub fn analyze_snapshot(snapshot: &MonitorSnapshot<'_>) -> Vec<ItemReport> {
+    let by_item = split_by_item(snapshot.logical);
+    let empty: Vec<ees_iotrace::LogicalIoRecord> = Vec::new();
+    let seq_factor = snapshot
+        .enclosures
+        .first()
+        .map(|e| {
+            if e.max_seq_iops > 0.0 {
+                e.max_iops / e.max_seq_iops
+            } else {
+                1.0
+            }
+        })
+        .unwrap_or(1.0);
+    snapshot
+        .placement
+        .iter()
+        .map(|(id, placement)| {
+            let ios = by_item.get(&id).unwrap_or(&empty);
+            let stats = analyze_item_period(id, ios, snapshot.period, snapshot.break_even);
+            let iops = IopsSeries::from_timestamps(ios.iter().map(|r| r.ts), snapshot.period);
+            ItemReport {
+                id,
+                enclosure: placement.enclosure,
+                size: placement.size,
+                pattern: classify(&stats),
+                stats,
+                iops,
+                sequential: snapshot.sequential.contains(&id),
+                seq_factor,
+            }
+        })
+        .collect()
+}
+
+/// `I_max` of §IV.C step 1: the peak one-second total IOPS of all P3
+/// items, in random-I/O equivalents — the load the hot enclosures must
+/// absorb against their random cap `O`.
+pub fn p3_peak_iops(reports: &[ItemReport], _period_start: Micros) -> f64 {
+    let mut buckets: Vec<f64> = Vec::new();
+    for r in reports {
+        if !r.is_placement_p3() {
+            continue;
+        }
+        let factor = if r.sequential { r.seq_factor } else { 1.0 };
+        if r.iops.buckets.len() > buckets.len() {
+            buckets.resize(r.iops.buckets.len(), 0.0);
+        }
+        for (acc, &b) in buckets.iter_mut().zip(r.iops.buckets.iter()) {
+            *acc += b as f64 * factor;
+        }
+    }
+    buckets.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ees_iotrace::{IoKind, LogicalIoRecord, Span};
+    use ees_policy::MonitorSnapshot;
+    use ees_simstorage::PlacementMap;
+
+    fn snapshot_fixture(
+        placement: &PlacementMap,
+        logical: &[LogicalIoRecord],
+        period_s: u64,
+    ) -> Vec<ItemReport> {
+        let snap = MonitorSnapshot {
+            period: Span {
+                start: Micros::ZERO,
+                end: Micros::from_secs(period_s),
+            },
+            break_even: Micros::from_secs(52),
+            logical,
+            physical: &[],
+            placement,
+            enclosures: Vec::new(),
+            sequential: Default::default(),
+        };
+        analyze_snapshot(&snap)
+    }
+
+    fn io(ts_s: f64, item: u32, kind: IoKind) -> LogicalIoRecord {
+        LogicalIoRecord {
+            ts: Micros::from_secs_f64(ts_s),
+            item: DataItemId(item),
+            offset: 0,
+            len: 4096,
+            kind,
+        }
+    }
+
+    #[test]
+    fn silent_items_are_reported_as_p0() {
+        let mut placement = PlacementMap::new();
+        placement.insert(DataItemId(1), EnclosureId(0), 100);
+        placement.insert(DataItemId(2), EnclosureId(1), 200);
+        let logical = vec![io(1.0, 1, IoKind::Read)];
+        let reports = snapshot_fixture(&placement, &logical, 520);
+        assert_eq!(reports.len(), 2, "every registered item gets a report");
+        let r2 = reports.iter().find(|r| r.id == DataItemId(2)).unwrap();
+        assert_eq!(r2.pattern, LogicalIoPattern::P0);
+        assert_eq!(r2.enclosure, EnclosureId(1));
+        assert_eq!(r2.size, 200);
+    }
+
+    #[test]
+    fn patterns_and_derived_metrics() {
+        let mut placement = PlacementMap::new();
+        placement.insert(DataItemId(1), EnclosureId(0), 1000);
+        // Two read bursts with a long gap: P1.
+        let logical = vec![
+            io(0.0, 1, IoKind::Read),
+            io(0.5, 1, IoKind::Read),
+            io(300.0, 1, IoKind::Read),
+        ];
+        let reports = snapshot_fixture(&placement, &logical, 520);
+        let r = &reports[0];
+        assert_eq!(r.pattern, LogicalIoPattern::P1);
+        assert!((r.reads_per_byte() - 3.0 / 1000.0).abs() < 1e-12);
+        assert_eq!(r.max_iops(), 2);
+        assert!((r.avg_iops() - 3.0 / 520.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p3_peak_sums_concurrent_items() {
+        let mut placement = PlacementMap::new();
+        placement.insert(DataItemId(1), EnclosureId(0), 10);
+        placement.insert(DataItemId(2), EnclosureId(0), 10);
+        // Both items are accessed continuously (ten I/Os per second for a
+        // 10 s period): P3 each — and above the de-minimis placement
+        // floor — with peaks overlapping at t = 0..10.
+        let mut logical = Vec::new();
+        for s in 0..10 {
+            for k in 0..10 {
+                logical.push(io(s as f64 + 0.01 * k as f64 + 0.001, 1, IoKind::Read));
+                logical.push(io(s as f64 + 0.01 * k as f64 + 0.002, 2, IoKind::Write));
+            }
+        }
+        logical.sort_by_key(|r| r.ts);
+        let reports = snapshot_fixture(&placement, &logical, 10);
+        assert!(reports.iter().all(|r| r.pattern == LogicalIoPattern::P3));
+        let peak = p3_peak_iops(&reports, Micros::ZERO);
+        assert_eq!(peak, 20.0, "ten I/Os per item per second → 20 IOPS peak");
+    }
+
+    #[test]
+    fn p3_peak_is_zero_without_p3_items() {
+        let mut placement = PlacementMap::new();
+        placement.insert(DataItemId(1), EnclosureId(0), 10);
+        let reports = snapshot_fixture(&placement, &[], 520);
+        assert_eq!(p3_peak_iops(&reports, Micros::ZERO), 0.0);
+    }
+}

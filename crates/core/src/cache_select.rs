@@ -1,0 +1,205 @@
+//! Selecting which data items the storage cache should **write-delay**
+//! (§IV.E) and **preload** (§IV.F).
+//!
+//! Both functions operate on *cold* enclosures only — stretching the I/O
+//! intervals of an enclosure that stays powered anyway buys nothing
+//! (§IV.A), so the cache budget is spent where it can create power-off
+//! opportunities.
+
+use crate::analysis::ItemReport;
+use crate::pattern::LogicalIoPattern;
+use ees_iotrace::{DataItemId, EnclosureId};
+
+/// Selects the write-delay set (§IV.E): **all** P2 items on cold
+/// enclosures (more than half their I/Os are writes, so delaying them
+/// directly stretches write intervals), then — if write-delay cache budget
+/// remains — the most write-heavy P1 items on cold enclosures.
+///
+/// The budget is consumed by each item's *bytes written during the
+/// period*, our estimate of the dirty footprint the item will put on the
+/// write-delay partition.
+pub fn select_write_delay(
+    reports: &[ItemReport],
+    is_cold: impl Fn(EnclosureId) -> bool,
+    budget: u64,
+) -> Vec<DataItemId> {
+    let mut selected = Vec::new();
+    let mut spent: u64 = 0;
+
+    // All cold P2 items, most write bytes first (deterministic ties by id).
+    let mut p2: Vec<&ItemReport> = reports
+        .iter()
+        .filter(|r| r.pattern == LogicalIoPattern::P2 && is_cold(r.enclosure))
+        .collect();
+    p2.sort_by_key(|r| (std::cmp::Reverse(r.stats.bytes_written), r.id));
+    for r in p2 {
+        // P2 items are selected unconditionally (§IV.E: "selects all P2
+        // data items in the cold disk enclosures"); the budget only gates
+        // the optional P1 extension below.
+        spent = spent.saturating_add(r.stats.bytes_written);
+        selected.push(r.id);
+    }
+
+    // Optional P1 extension while budget remains: write-heavy P1 first.
+    let mut p1: Vec<&ItemReport> = reports
+        .iter()
+        .filter(|r| {
+            r.pattern == LogicalIoPattern::P1 && is_cold(r.enclosure) && r.stats.writes > 0
+        })
+        .collect();
+    p1.sort_by_key(|r| (std::cmp::Reverse(r.stats.bytes_written), r.id));
+    for r in p1 {
+        if spent + r.stats.bytes_written > budget {
+            continue;
+        }
+        spent += r.stats.bytes_written;
+        selected.push(r.id);
+    }
+
+    selected
+}
+
+/// Selects the preload set (§IV.F): P1 items on cold enclosures, ranked
+/// by read I/Os per byte descending, greedily packed until the preload
+/// cache partition is full. Returns `(item, size)` pairs as the cache
+/// expects.
+pub fn select_preload(
+    reports: &[ItemReport],
+    is_cold: impl Fn(EnclosureId) -> bool,
+    budget: u64,
+) -> Vec<(DataItemId, u64)> {
+    let mut p1: Vec<&ItemReport> = reports
+        .iter()
+        .filter(|r| r.pattern == LogicalIoPattern::P1 && is_cold(r.enclosure) && r.size > 0)
+        .collect();
+    p1.sort_by(|a, b| {
+        b.reads_per_byte()
+            .partial_cmp(&a.reads_per_byte())
+            .unwrap()
+            .then(a.id.cmp(&b.id))
+    });
+    let mut out = Vec::new();
+    let mut spent: u64 = 0;
+    for r in p1 {
+        if spent + r.size > budget {
+            continue;
+        }
+        spent += r.size;
+        out.push((r.id, r.size));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ees_iotrace::{IopsSeries, ItemIntervalStats, Micros, Span};
+
+    fn report(
+        item: u32,
+        enc: u16,
+        size: u64,
+        pattern: LogicalIoPattern,
+        reads: u64,
+        writes: u64,
+        bytes_written: u64,
+    ) -> ItemReport {
+        let period = Span {
+            start: Micros::ZERO,
+            end: Micros::from_secs(100),
+        };
+        ItemReport {
+            id: DataItemId(item),
+            enclosure: EnclosureId(enc),
+            size,
+            pattern,
+            stats: ItemIntervalStats {
+                item: DataItemId(item),
+                period,
+                long_intervals: Vec::new(),
+                sequences: Vec::new(),
+                reads,
+                writes,
+                bytes_read: reads * 4096,
+                bytes_written,
+            },
+            iops: IopsSeries::from_timestamps(Vec::new(), period),
+            sequential: false,
+            seq_factor: 900.0 / 2800.0,
+        }
+    }
+
+    const COLD: fn(EnclosureId) -> bool = |e| e.0 >= 5;
+
+    #[test]
+    fn write_delay_takes_all_cold_p2() {
+        let reports = vec![
+            report(1, 5, 100, LogicalIoPattern::P2, 1, 10, 40_960),
+            report(2, 5, 100, LogicalIoPattern::P2, 0, 99, 999_999_999),
+            report(3, 0, 100, LogicalIoPattern::P2, 0, 10, 4_096), // hot → excluded
+            report(4, 5, 100, LogicalIoPattern::P3, 0, 10, 4_096), // P3 → excluded
+        ];
+        let sel = select_write_delay(&reports, COLD, 100_000);
+        // All cold P2 items regardless of budget, most write bytes first.
+        assert_eq!(sel, vec![DataItemId(2), DataItemId(1)]);
+    }
+
+    #[test]
+    fn write_delay_extends_to_p1_within_budget() {
+        let reports = vec![
+            report(1, 5, 100, LogicalIoPattern::P2, 0, 10, 50),
+            report(2, 5, 100, LogicalIoPattern::P1, 9, 3, 30),
+            report(3, 5, 100, LogicalIoPattern::P1, 9, 4, 100), // too big for budget
+            report(4, 5, 100, LogicalIoPattern::P1, 9, 0, 0),   // no writes → skip
+        ];
+        let sel = select_write_delay(&reports, COLD, 90);
+        assert_eq!(sel, vec![DataItemId(1), DataItemId(2)]);
+    }
+
+    #[test]
+    fn write_delay_empty_without_candidates() {
+        let reports = vec![report(1, 0, 100, LogicalIoPattern::P2, 0, 10, 50)];
+        assert!(select_write_delay(&reports, COLD, 1000).is_empty());
+    }
+
+    #[test]
+    fn preload_ranks_by_reads_per_byte() {
+        let reports = vec![
+            report(1, 5, 1000, LogicalIoPattern::P1, 100, 0, 0), // 0.1 r/B
+            report(2, 5, 100, LogicalIoPattern::P1, 100, 0, 0),  // 1.0 r/B
+            report(3, 5, 500, LogicalIoPattern::P1, 400, 0, 0),  // 0.8 r/B
+        ];
+        let sel = select_preload(&reports, COLD, 10_000);
+        assert_eq!(
+            sel,
+            vec![
+                (DataItemId(2), 100),
+                (DataItemId(3), 500),
+                (DataItemId(1), 1000)
+            ]
+        );
+    }
+
+    #[test]
+    fn preload_respects_budget_and_skips_oversized() {
+        let reports = vec![
+            report(1, 5, 600, LogicalIoPattern::P1, 600, 0, 0), // 1.0 r/B
+            report(2, 5, 500, LogicalIoPattern::P1, 250, 0, 0), // 0.5 r/B
+            report(3, 5, 100, LogicalIoPattern::P1, 10, 0, 0),  // 0.1 r/B
+        ];
+        // Budget 700: item 1 (600) fits; item 2 (500) would overflow and
+        // is skipped; item 3 (100) still fits.
+        let sel = select_preload(&reports, COLD, 700);
+        assert_eq!(sel, vec![(DataItemId(1), 600), (DataItemId(3), 100)]);
+    }
+
+    #[test]
+    fn preload_excludes_hot_p2_p3() {
+        let reports = vec![
+            report(1, 0, 100, LogicalIoPattern::P1, 50, 0, 0), // hot
+            report(2, 5, 100, LogicalIoPattern::P2, 50, 60, 0),
+            report(3, 5, 100, LogicalIoPattern::P3, 50, 0, 0),
+        ];
+        assert!(select_preload(&reports, COLD, 10_000).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Monitoring repositories (paper §III).
+//!
+//! In the paper the Application Monitor and Storage Monitor capture traces
+//! at run time; in this reproduction the replay engine plays that capture
+//! role and hands each period's data over as a `MonitorSnapshot`. What
+//! remains of the monitors in the management layer is the **repository**:
+//! the per-period classification history that the analysis of §VI.C
+//! ("the I/O patterns of all applications are stable during the running
+//! of the application") and the experiment harness read back.
+
+use crate::analysis::ItemReport;
+use crate::pattern::{LogicalIoPattern, PatternMix};
+use ees_iotrace::{DataItemId, Span};
+use std::collections::BTreeMap;
+
+/// One monitoring period's classification summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodRecord {
+    /// The period covered.
+    pub period: Span,
+    /// Pattern counts over all items.
+    pub mix: PatternMix,
+    /// Number of items that changed pattern relative to the previous
+    /// period (0 for the first period).
+    pub changed: usize,
+}
+
+/// The management function's view of monitoring history across periods.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorHistory {
+    periods: Vec<PeriodRecord>,
+    last_pattern: BTreeMap<DataItemId, LogicalIoPattern>,
+}
+
+impl MonitorHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one period's item reports.
+    pub fn record(&mut self, period: Span, reports: &[ItemReport]) {
+        let mut mix = PatternMix::default();
+        let mut changed = 0;
+        let first = self.periods.is_empty();
+        for r in reports {
+            mix.bump(r.pattern);
+            let prev = self.last_pattern.insert(r.id, r.pattern);
+            if !first && prev != Some(r.pattern) {
+                changed += 1;
+            }
+        }
+        self.periods.push(PeriodRecord {
+            period,
+            mix,
+            changed,
+        });
+    }
+
+    /// All period records, oldest first.
+    pub fn periods(&self) -> &[PeriodRecord] {
+        &self.periods
+    }
+
+    /// The most recent classification of each item.
+    pub fn last_pattern(&self, item: DataItemId) -> Option<LogicalIoPattern> {
+        self.last_pattern.get(&item).copied()
+    }
+
+    /// The latest period's pattern mix.
+    pub fn latest_mix(&self) -> Option<PatternMix> {
+        self.periods.last().map(|p| p.mix)
+    }
+
+    /// Fraction of item-period classifications that repeated the previous
+    /// period's pattern — the §VI.C stability measure. 1.0 when patterns
+    /// never changed; `None` before the second period.
+    pub fn stability(&self) -> Option<f64> {
+        if self.periods.len() < 2 {
+            return None;
+        }
+        let mut total = 0usize;
+        let mut changed = 0usize;
+        for p in &self.periods[1..] {
+            total += p.mix.total();
+            changed += p.changed;
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(1.0 - changed as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ees_iotrace::{EnclosureId, IopsSeries, ItemIntervalStats, Micros};
+
+    fn report(item: u32, pattern: LogicalIoPattern) -> ItemReport {
+        let period = Span {
+            start: Micros::ZERO,
+            end: Micros::from_secs(10),
+        };
+        ItemReport {
+            id: DataItemId(item),
+            enclosure: EnclosureId(0),
+            size: 1,
+            pattern,
+            stats: ItemIntervalStats {
+                item: DataItemId(item),
+                period,
+                long_intervals: Vec::new(),
+                sequences: Vec::new(),
+                reads: 0,
+                writes: 0,
+                bytes_read: 0,
+                bytes_written: 0,
+            },
+            iops: IopsSeries::from_timestamps(Vec::new(), period),
+            sequential: false,
+            seq_factor: 900.0 / 2800.0,
+        }
+    }
+
+    fn span(a: u64, b: u64) -> Span {
+        Span {
+            start: Micros::from_secs(a),
+            end: Micros::from_secs(b),
+        }
+    }
+
+    #[test]
+    fn records_mix_and_changes() {
+        let mut h = MonitorHistory::new();
+        h.record(
+            span(0, 10),
+            &[report(1, LogicalIoPattern::P1), report(2, LogicalIoPattern::P3)],
+        );
+        h.record(
+            span(10, 20),
+            &[report(1, LogicalIoPattern::P1), report(2, LogicalIoPattern::P2)],
+        );
+        assert_eq!(h.periods().len(), 2);
+        assert_eq!(h.periods()[0].changed, 0, "first period has no baseline");
+        assert_eq!(h.periods()[1].changed, 1);
+        assert_eq!(h.last_pattern(DataItemId(2)), Some(LogicalIoPattern::P2));
+        assert_eq!(h.latest_mix().unwrap().p1, 1);
+    }
+
+    #[test]
+    fn stability_measures_repeat_rate() {
+        let mut h = MonitorHistory::new();
+        for _ in 0..3 {
+            h.record(
+                span(0, 10),
+                &[report(1, LogicalIoPattern::P1), report(2, LogicalIoPattern::P3)],
+            );
+        }
+        assert_eq!(h.stability(), Some(1.0));
+        h.record(span(30, 40), &[report(1, LogicalIoPattern::P0), report(2, LogicalIoPattern::P3)]);
+        let s = h.stability().unwrap();
+        assert!(s < 1.0 && s > 0.8);
+    }
+
+    #[test]
+    fn stability_needs_two_periods() {
+        let mut h = MonitorHistory::new();
+        assert_eq!(h.stability(), None);
+        h.record(span(0, 10), &[report(1, LogicalIoPattern::P1)]);
+        assert_eq!(h.stability(), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! Adapting the monitoring-period length (§IV.H):
+//! `I_new = average(I_cur) × α`, where `I_cur` are all Long Intervals
+//! measured during the period just ended and α > 1 (Table II: 1.2).
+//!
+//! The α factor deliberately overshoots so that, when intervals are longer
+//! than the monitoring period itself, the management function stops waking
+//! up pointlessly — the paper credits this with the proposed method's tiny
+//! placement-determination counts (5–10 versus DDR's ~10⁵).
+
+use crate::analysis::ItemReport;
+use ees_iotrace::Micros;
+
+/// Computes the next monitoring period from the period's item reports.
+///
+/// Returns `None` (keep the current period) when no Long Interval was
+/// observed — there is nothing to average, and a workload with no long
+/// intervals gives no reason to slow monitoring down.
+pub fn next_period(
+    reports: &[ItemReport],
+    alpha: f64,
+    min_period: Micros,
+    max_period: Micros,
+) -> Option<Micros> {
+    let mut total = Micros::ZERO;
+    let mut count: u64 = 0;
+    for r in reports {
+        for li in &r.stats.long_intervals {
+            total += li.len();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let avg = total / count;
+    Some(avg.mul_f64(alpha).max(min_period).min(max_period))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::LogicalIoPattern;
+    use ees_iotrace::{DataItemId, EnclosureId, IopsSeries, ItemIntervalStats, Span};
+
+    fn report_with_intervals(item: u32, intervals_s: &[u64]) -> ItemReport {
+        let period = Span {
+            start: Micros::ZERO,
+            end: Micros::from_secs(520),
+        };
+        let long_intervals = intervals_s
+            .iter()
+            .map(|&s| Span {
+                start: Micros::ZERO,
+                end: Micros::from_secs(s),
+            })
+            .collect();
+        ItemReport {
+            id: DataItemId(item),
+            enclosure: EnclosureId(0),
+            size: 1,
+            pattern: LogicalIoPattern::P1,
+            stats: ItemIntervalStats {
+                item: DataItemId(item),
+                period,
+                long_intervals,
+                sequences: Vec::new(),
+                reads: 1,
+                writes: 0,
+                bytes_read: 4096,
+                bytes_written: 0,
+            },
+            iops: IopsSeries::from_timestamps(Vec::new(), period),
+            sequential: false,
+            seq_factor: 900.0 / 2800.0,
+        }
+    }
+
+    const MIN: Micros = Micros::from_secs(52);
+    const MAX: Micros = Micros::from_secs(3600);
+
+    #[test]
+    fn averages_across_items_and_applies_alpha() {
+        let reports = vec![
+            report_with_intervals(1, &[100, 200]),
+            report_with_intervals(2, &[300]),
+        ];
+        // avg = 200 s, × 1.2 = 240 s.
+        assert_eq!(
+            next_period(&reports, 1.2, MIN, MAX),
+            Some(Micros::from_secs(240))
+        );
+    }
+
+    #[test]
+    fn no_long_intervals_keeps_current_period() {
+        let reports = vec![report_with_intervals(1, &[])];
+        assert_eq!(next_period(&reports, 1.2, MIN, MAX), None);
+        assert_eq!(next_period(&[], 1.2, MIN, MAX), None);
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        // Tiny intervals clamp up to the minimum…
+        let small = vec![report_with_intervals(1, &[1])];
+        assert_eq!(next_period(&small, 1.2, MIN, MAX), Some(MIN));
+        // …and huge ones clamp down to the maximum.
+        let big = vec![report_with_intervals(1, &[100_000])];
+        assert_eq!(next_period(&big, 1.2, MIN, MAX), Some(MAX));
+    }
+
+    #[test]
+    fn grows_monotonically_with_alpha() {
+        let reports = vec![report_with_intervals(1, &[500])];
+        let a = next_period(&reports, 1.2, MIN, MAX).unwrap();
+        let b = next_period(&reports, 1.5, MIN, MAX).unwrap();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,467 @@
+//! The proposed method assembled: **Algorithm 1** (§IV.A) as a
+//! [`PowerPolicy`].
+//!
+//! At every monitoring-period boundary the policy
+//!
+//! 1. determines the logical I/O pattern of every data item,
+//! 2. determines hot and cold disk enclosures,
+//! 3. determines data placement (Algorithms 2 and 3),
+//! 4. determines the write-delay set, then the preload set
+//!    (write delay first — §IV.A argues its efficiency is higher because
+//!    the non-volatile cache controls write timing, while read timing
+//!    must be predicted),
+//! 5. restricts the power-off function to the cold enclosures,
+//! 6. computes the length of the next monitoring period,
+//!
+//! and between boundaries the §V.D pattern-change triggers can cut the
+//! period short.
+
+use crate::analysis::analyze_snapshot;
+use crate::cache_select::{select_preload, select_write_delay};
+use crate::config::ProposedConfig;
+use crate::monitor::MonitorHistory;
+use crate::period::next_period;
+use crate::hotcold::determine_hot_cold;
+use crate::placement::plan_placement_with_floor;
+use crate::runtime::PatternChangeTriggers;
+use ees_iotrace::{EnclosureId, Micros};
+use ees_policy::{
+    ManagementPlan, MonitorSnapshot, PolicyReaction, PowerPolicy, RuntimeEvent,
+};
+use std::collections::BTreeSet;
+
+/// The paper's energy-efficient storage management method.
+#[derive(Debug, Clone)]
+pub struct EnergyEfficientPolicy {
+    cfg: ProposedConfig,
+    triggers: PatternChangeTriggers,
+    history: MonitorHistory,
+    armed: bool,
+    /// Previous preload set, for the §V.C retention rule ("keeps data
+    /// items that are already preloaded into the cache"): an item that
+    /// went quiet (P0) keeps its cache residency while budget remains,
+    /// so its next burst still hits.
+    last_preload: Vec<(ees_iotrace::DataItemId, u64)>,
+    /// Previous write-delay set, retained for P0 items for the same
+    /// reason: dropping an idle item would only force a flush and make
+    /// its next trickle write wake a powered-off enclosure.
+    last_write_delay: Vec<ees_iotrace::DataItemId>,
+    /// When the management function last ran; §V.D re-invocations are
+    /// suppressed until a full initial monitoring period has elapsed, so
+    /// trigger storms cannot shred monitoring into windows too short to
+    /// classify (a bulk item with two I/Os five seconds apart in a tiny
+    /// window looks P3 and would be pointlessly migrated).
+    last_plan_at: Micros,
+    /// Decayed running maximum of the measured `I_max`: a single
+    /// monitoring period under-samples the one-second peak (short periods
+    /// may not contain a load spike at all), and sizing the hot set from
+    /// the raw value drains and re-promotes enclosures on pure noise.
+    /// The smoothed peak decays 10 % per period, so a genuine load drop
+    /// still shrinks the hot set within a few periods.
+    imax_smooth: f64,
+}
+
+impl EnergyEfficientPolicy {
+    /// Creates the policy with the given configuration.
+    pub fn new(cfg: ProposedConfig) -> Self {
+        EnergyEfficientPolicy {
+            cfg,
+            triggers: PatternChangeTriggers::new(Micros::ZERO),
+            history: MonitorHistory::new(),
+            armed: false,
+            last_preload: Vec::new(),
+            last_write_delay: Vec::new(),
+            last_plan_at: Micros::ZERO,
+            imax_smooth: 0.0,
+        }
+    }
+
+    /// Creates the policy with the Table II defaults.
+    pub fn with_defaults() -> Self {
+        Self::new(ProposedConfig::default())
+    }
+
+    /// The monitoring history accumulated so far (for the §VI.C stability
+    /// analysis and the experiment harness).
+    pub fn history(&self) -> &MonitorHistory {
+        &self.history
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProposedConfig {
+        &self.cfg
+    }
+}
+
+/// Minimum gap between management invocations: a tenth of the initial
+/// monitoring period (52 s with Table II defaults) — enough to stop a
+/// trigger from re-firing into a degenerate window, short enough that a
+/// storm-aligned period still starts at the storm.
+fn snapshot_guard(initial: Micros) -> Micros {
+    initial / 10
+}
+
+impl PowerPolicy for EnergyEfficientPolicy {
+    fn name(&self) -> &'static str {
+        "Proposed"
+    }
+
+    fn initial_period(&self) -> Micros {
+        self.cfg.initial_period
+    }
+
+    fn on_period_end(&mut self, snapshot: &MonitorSnapshot<'_>) -> ManagementPlan {
+        // Step 1: logical I/O patterns.
+        let mut reports = analyze_snapshot(snapshot);
+        self.history.record(snapshot.period, &reports);
+
+        // Steps 2–3: hot/cold and placement. The hot-set size is floored
+        // by the decayed running maximum of I_max (see `imax_smooth`).
+        let (_, computed) = determine_hot_cold(&reports, &snapshot.enclosures, snapshot.period.start);
+        let imax = crate::analysis::p3_peak_iops(&reports, snapshot.period.start);
+        // Wall-time decay (half-life ≈ 20 min): short, trigger-cut periods
+        // must not bleed the running peak away faster than long ones.
+        let dt = snapshot.period.len().as_secs_f64();
+        let decay = (-dt / 1800.0).exp();
+        self.imax_smooth = imax.max(self.imax_smooth * decay);
+        if computed == 0 {
+            // No P3 items at all: the load that justified the hot set is
+            // gone outright (a finished scan, not peak wobble). Release
+            // the smoothed floor so every enclosure can power off.
+            self.imax_smooth = 0.0;
+        }
+        let o = snapshot
+            .enclosures
+            .first()
+            .map(|e| e.max_iops)
+            .unwrap_or(1.0)
+            .max(1.0);
+        let floor = ((self.imax_smooth / o).ceil() as usize).max(computed);
+        let mut placement = plan_placement_with_floor(
+            &reports,
+            &snapshot.enclosures,
+            snapshot.period.start,
+            floor,
+        );
+        if !self.cfg.enable_placement {
+            // Ablation: keep the hot/cold split but move nothing.
+            placement.migrations.clear();
+        }
+        let split = placement.split;
+        if std::env::var_os("EES_DEBUG_PLAN").is_some() {
+            eprintln!(
+                "PLAN period=[{}..{}] imax={:.0} smooth={:.0} computed={} floor={} hot={:?} migrations={}",
+                snapshot.period.start,
+                snapshot.period.end,
+                imax,
+                self.imax_smooth,
+                computed,
+                floor,
+                split.hot,
+                placement.migrations.len()
+            );
+        }
+
+        // Cache selection must see the *post-migration* placement: an item
+        // evicted from a hot enclosure becomes a cold-enclosure resident
+        // and is then a legitimate preload / write-delay candidate.
+        for m in &placement.migrations {
+            if let Some(r) = reports.iter_mut().find(|r| r.id == m.item) {
+                r.enclosure = m.to;
+            }
+        }
+
+        // Steps 4–5: write delay first, then preload (§IV.A ordering).
+        let cold: BTreeSet<EnclosureId> = split.cold.iter().copied().collect();
+        let is_cold = |e: EnclosureId| cold.contains(&e);
+        let mut write_delay = if self.cfg.enable_write_delay {
+            select_write_delay(&reports, is_cold, self.cfg.write_delay_budget)
+        } else {
+            Vec::new()
+        };
+        let preload = if self.cfg.enable_preload {
+            select_preload(&reports, is_cold, self.cfg.preload_budget)
+        } else {
+            Vec::new()
+        };
+
+        // §V.C retention ("keeps data items that are already preloaded
+        // into the cache"): items from the previous sets that still live
+        // on cold enclosures keep their slots *first*; fresh selections
+        // fill whatever budget remains. Without this, per-period
+        // classification flapping (P1 ↔ P0 ↔ P3) reshuffles the sets, and
+        // every reshuffle is a bulk cache load that wakes a sleeping
+        // enclosure — costing more than the preload ever saves.
+        let is_cold_resident = |id: ees_iotrace::DataItemId| {
+            reports
+                .iter()
+                .any(|r| r.id == id && cold.contains(&r.enclosure))
+        };
+        let mut merged: Vec<(ees_iotrace::DataItemId, u64)> = Vec::new();
+        let mut spent: u64 = 0;
+        for &(id, size) in &self.last_preload {
+            if is_cold_resident(id) && spent + size <= self.cfg.preload_budget {
+                spent += size;
+                merged.push((id, size));
+            }
+        }
+        for &(id, size) in &preload {
+            if merged.iter().any(|(m, _)| *m == id) {
+                continue;
+            }
+            if spent + size <= self.cfg.preload_budget {
+                spent += size;
+                merged.push((id, size));
+            }
+        }
+        let preload = merged;
+        for &id in &self.last_write_delay {
+            if !write_delay.contains(&id) && is_cold_resident(id) {
+                write_delay.push(id);
+            }
+        }
+        self.last_preload = preload.clone();
+        self.last_write_delay = write_delay.clone();
+
+        // Step 6: power control — only cold enclosures may power off.
+        let power_off_eligible = snapshot
+            .enclosures
+            .iter()
+            .map(|e| (e.id, cold.contains(&e.id)))
+            .collect();
+
+        // Step 7: next monitoring period. Floored at the configured
+        // initial period: observed Long Intervals are bounded above by the
+        // period that contains them, so an unfloored `avg(LI) × α` ratchets
+        // down to the break-even time and sticks there (no interval longer
+        // than a 52 s window fits inside one).
+        let next = next_period(
+            &reports,
+            self.cfg.alpha,
+            self.cfg.initial_period.max(snapshot.break_even),
+            self.cfg.max_period,
+        );
+
+        // Re-arm the §V.D triggers. Trigger (i) watches hot enclosures
+        // that actually hold P3 data after the planned migrations — a
+        // freshly promoted (still empty) hot enclosure receives no I/O at
+        // all, and treating its silence as a pattern change would cut
+        // every period short.
+        let hot_with_p3: Vec<EnclosureId> = split
+            .hot
+            .iter()
+            .copied()
+            .filter(|&h| reports.iter().any(|r| r.is_placement_p3() && r.enclosure == h))
+            .collect();
+        self.triggers = PatternChangeTriggers::new(snapshot.break_even);
+        self.triggers
+            .rearm_with_cold(snapshot.period.end, hot_with_p3, split.cold.len());
+        self.last_plan_at = snapshot.period.end;
+        self.armed = true;
+
+        ManagementPlan {
+            migrations: placement.migrations,
+            extent_redirects: Vec::new(),
+            preload,
+            write_delay,
+            power_off_eligible,
+            next_period: next,
+            determinations: 1,
+        }
+    }
+
+    fn on_event(&mut self, event: &RuntimeEvent) -> PolicyReaction {
+        if !self.armed {
+            return PolicyReaction::Continue;
+        }
+        let fire = match *event {
+            RuntimeEvent::LogicalIo { t, enclosure, .. } => {
+                // Condition (i) of §V.D watches *all* hot enclosures: a hot
+                // enclosure that simply stops receiving I/O must still be
+                // noticed, so every event also sweeps the idle clocks.
+                let own = self.triggers.on_io(t, enclosure);
+                own || self.triggers.check_idle_hot(t)
+            }
+            RuntimeEvent::SpinUp { t, enclosure } => self.triggers.on_spin_up(t, enclosure),
+        };
+        let t = match *event {
+            RuntimeEvent::LogicalIo { t, .. } | RuntimeEvent::SpinUp { t, .. } => t,
+        };
+        if fire && t >= self.last_plan_at + snapshot_guard(self.cfg.initial_period) {
+            // Disarm until the next period boundary re-arms, so one
+            // anomaly requests exactly one early invocation.
+            self.armed = false;
+            PolicyReaction::InvokeNow
+        } else {
+            PolicyReaction::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ees_iotrace::{DataItemId, IoKind, LogicalIoRecord, Span, GIB, MIB};
+    use ees_policy::EnclosureView;
+    use ees_simstorage::PlacementMap;
+
+    fn view(id: u16) -> EnclosureView {
+        EnclosureView {
+            id: EnclosureId(id),
+            capacity: 1700 * 1000 * MIB,
+            used: 0,
+            max_iops: 900.0,
+            max_seq_iops: 2800.0,
+            served_ios: 0,
+            spin_ups: 0,
+        }
+    }
+
+    fn io(ts_s: f64, item: u32, kind: IoKind) -> LogicalIoRecord {
+        LogicalIoRecord {
+            ts: Micros::from_secs_f64(ts_s),
+            item: DataItemId(item),
+            offset: 0,
+            len: 4096,
+            kind,
+        }
+    }
+
+    /// A small scenario: item 1 is continuously hammered (P3) on
+    /// enclosure 0; item 2 is read in bursts (P1) on enclosure 1; item 3
+    /// is write-bursty (P2) on enclosure 1; item 4 is idle (P0) on
+    /// enclosure 2.
+    fn scenario() -> (PlacementMap, Vec<LogicalIoRecord>, Vec<EnclosureView>) {
+        let mut placement = PlacementMap::new();
+        placement.insert(DataItemId(1), EnclosureId(0), GIB);
+        placement.insert(DataItemId(2), EnclosureId(1), 100 * MIB);
+        placement.insert(DataItemId(3), EnclosureId(1), 100 * MIB);
+        placement.insert(DataItemId(4), EnclosureId(2), GIB);
+        let mut logical = Vec::new();
+        for s in 0..520 {
+            // Ten reads a second: comfortably past the de-minimis
+            // placement floor.
+            for k in 0..10 {
+                logical.push(io(s as f64 + 0.05 * k as f64, 1, IoKind::Read));
+            }
+        }
+        logical.push(io(5.0, 2, IoKind::Read));
+        logical.push(io(6.0, 2, IoKind::Read));
+        logical.push(io(400.0, 2, IoKind::Read));
+        logical.push(io(10.0, 3, IoKind::Write));
+        logical.push(io(450.0, 3, IoKind::Write));
+        logical.sort_by_key(|r| r.ts);
+        (placement, logical, vec![view(0), view(1), view(2)])
+    }
+
+    fn snapshot<'a>(
+        placement: &'a PlacementMap,
+        logical: &'a [LogicalIoRecord],
+        enclosures: Vec<EnclosureView>,
+    ) -> MonitorSnapshot<'a> {
+        MonitorSnapshot {
+            period: Span {
+                start: Micros::ZERO,
+                end: Micros::from_secs(520),
+            },
+            break_even: Micros::from_secs(52),
+            logical,
+            physical: &[],
+            placement,
+            enclosures,
+            sequential: Default::default(),
+        }
+    }
+
+    #[test]
+    fn full_plan_shape() {
+        let (placement, logical, views) = scenario();
+        let mut p = EnergyEfficientPolicy::with_defaults();
+        assert_eq!(p.name(), "Proposed");
+        assert_eq!(p.initial_period(), Micros::from_secs(520));
+        let plan = p.on_period_end(&snapshot(&placement, &logical, views));
+
+        // Enclosure 0 (P3) is hot and not power-off eligible; 1 and 2 are
+        // cold and eligible.
+        let elig: std::collections::BTreeMap<_, _> =
+            plan.power_off_eligible.iter().copied().collect();
+        assert_eq!(elig[&EnclosureId(0)], false);
+        assert_eq!(elig[&EnclosureId(1)], true);
+        assert_eq!(elig[&EnclosureId(2)], true);
+
+        // P1 item 2 preloads; P2 item 3 write-delays; nothing migrates
+        // (the single P3 item already sits on the hot enclosure).
+        assert_eq!(plan.preload, vec![(DataItemId(2), 100 * MIB)]);
+        assert_eq!(plan.write_delay, vec![DataItemId(3)]);
+        assert!(plan.migrations.is_empty());
+        assert_eq!(plan.determinations, 1);
+        assert!(plan.next_period.is_some());
+
+        // History recorded the mix: P0, P1, P2, P3 one each.
+        let mix = p.history().latest_mix().unwrap();
+        assert_eq!((mix.p0, mix.p1, mix.p2, mix.p3), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn triggers_request_early_invocation_once() {
+        let (placement, logical, views) = scenario();
+        let mut p = EnergyEfficientPolicy::with_defaults();
+        let _ = p.on_period_end(&snapshot(&placement, &logical, views));
+        // Cold enclosure 2 spins up repeatedly. m clamps to 3, so the
+        // fourth spin-up exceeds it; the invocation guard (52 s past the
+        // last plan at t = 520) is already clear.
+        let ev = RuntimeEvent::SpinUp {
+            t: Micros::from_secs(580),
+            enclosure: EnclosureId(2),
+        };
+        for _ in 0..3 {
+            assert_eq!(p.on_event(&ev), PolicyReaction::Continue);
+        }
+        assert_eq!(p.on_event(&ev), PolicyReaction::InvokeNow);
+        // Disarmed until the next period boundary re-arms.
+        assert_eq!(p.on_event(&ev), PolicyReaction::Continue);
+    }
+
+    #[test]
+    fn unarmed_policy_never_fires() {
+        let mut p = EnergyEfficientPolicy::with_defaults();
+        let ev = RuntimeEvent::SpinUp {
+            t: Micros::from_secs(1),
+            enclosure: EnclosureId(0),
+        };
+        assert_eq!(p.on_event(&ev), PolicyReaction::Continue);
+    }
+
+    #[test]
+    fn evicted_items_become_cache_candidates() {
+        // Hot enclosure 0 packed so tight that placing the stray P3 item
+        // evicts the resident P1 item to a cold enclosure — which must
+        // then appear in the preload set.
+        let mut placement = PlacementMap::new();
+        let cap = 1700 * 1000 * MIB;
+        placement.insert(DataItemId(1), EnclosureId(0), cap - 60 * MIB); // P3 mass
+        placement.insert(DataItemId(2), EnclosureId(0), 50 * MIB); // P1 resident
+        placement.insert(DataItemId(3), EnclosureId(1), 20 * MIB); // P3 stray
+        let mut logical = Vec::new();
+        for s in 0..520 {
+            for k in 0..10 {
+                logical.push(io(s as f64 + 0.05 * k as f64, 1, IoKind::Read));
+                logical.push(io(s as f64 + 0.5 + 0.05 * k as f64, 3, IoKind::Write));
+            }
+        }
+        logical.push(io(5.0, 2, IoKind::Read));
+        logical.push(io(400.0, 2, IoKind::Read));
+        logical.sort_by_key(|r| r.ts);
+        let views = vec![view(0), view(1)];
+        let mut p = EnergyEfficientPolicy::with_defaults();
+        let plan = p.on_period_end(&snapshot(&placement, &logical, views));
+
+        assert_eq!(plan.migrations.len(), 2, "eviction + P3 move");
+        assert_eq!(plan.migrations[0].item, DataItemId(2));
+        assert_eq!(plan.migrations[0].to, EnclosureId(1));
+        assert_eq!(plan.migrations[1].item, DataItemId(3));
+        assert_eq!(plan.migrations[1].to, EnclosureId(0));
+        // The evicted P1 item is preloaded from its *new* cold home.
+        assert_eq!(plan.preload, vec![(DataItemId(2), 50 * MIB)]);
+    }
+}

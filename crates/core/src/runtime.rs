@@ -1,0 +1,250 @@
+//! The run-time pattern-change triggers of §V.D.
+//!
+//! Between monitoring-period boundaries the run-time method watches two
+//! symptoms that the current plan no longer fits the workload and, on
+//! either, asks the engine to invoke the management function immediately:
+//!
+//! 1. a **hot** enclosure's I/O interval exceeds the break-even time —
+//!    data the plan assumed busy has gone quiet, so power-off potential is
+//!    being wasted;
+//! 2. a **cold** enclosure spins up more than `m = 2 (t_c − t_e) / l_b`
+//!    times since the period started — data the plan assumed quiet is
+//!    being hammered, so spin-up energy is being wasted.
+
+use ees_iotrace::{EnclosureId, Micros};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Watches runtime events against the current plan's hot/cold split.
+#[derive(Debug, Clone, Default)]
+pub struct PatternChangeTriggers {
+    break_even: Micros,
+    /// When the current monitoring period started (`t_e`).
+    period_start: Micros,
+    /// Last observed I/O per hot enclosure.
+    hot_last_io: BTreeMap<EnclosureId, Micros>,
+    /// Spin-ups per cold enclosure since the period started (the paper's
+    /// per-enclosure reading of trigger (ii)).
+    cold_spin_ups: BTreeMap<EnclosureId, u64>,
+    /// Recent cold spin-ups for the storm detector: a striped scan waking
+    /// most of the cold set within seconds is a pattern change even
+    /// though each enclosure only woke once.
+    recent_wakes: VecDeque<(Micros, EnclosureId)>,
+    /// Size of the cold set at the last re-arm.
+    cold_count: usize,
+}
+
+impl PatternChangeTriggers {
+    /// Creates the trigger state for a given break-even time.
+    pub fn new(break_even: Micros) -> Self {
+        PatternChangeTriggers {
+            break_even,
+            ..Default::default()
+        }
+    }
+
+    /// Re-arms the triggers after a management invocation at `t` with the
+    /// new hot set and the cold-set size. Hot enclosures' idle clocks
+    /// start at `t`.
+    pub fn rearm_with_cold(
+        &mut self,
+        t: Micros,
+        hot: impl IntoIterator<Item = EnclosureId>,
+        cold_count: usize,
+    ) {
+        self.period_start = t;
+        self.hot_last_io = hot.into_iter().map(|id| (id, t)).collect();
+        self.cold_spin_ups.clear();
+        self.recent_wakes.clear();
+        self.cold_count = cold_count;
+    }
+
+    /// [`rearm_with_cold`](Self::rearm_with_cold) with an unknown cold-set
+    /// size (storm detection disabled).
+    pub fn rearm(&mut self, t: Micros, hot: impl IntoIterator<Item = EnclosureId>) {
+        self.rearm_with_cold(t, hot, 0);
+    }
+
+    /// Records a logical I/O resolved to `enclosure` and checks trigger
+    /// (i). Returns `true` when the management function should run now.
+    pub fn on_io(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        if let Some(last) = self.hot_last_io.get_mut(&enclosure) {
+            let gap = t.saturating_sub(*last);
+            *last = t;
+            if gap > self.break_even {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records a spin-up of `enclosure` and checks trigger (ii) in both
+    /// readings:
+    ///
+    /// * **per-enclosure** (the paper's formula): one cold enclosure's
+    ///   power-on count exceeding `m = 2 (t_c − t_e)/l_b`;
+    /// * **storm**: at least three quarters of a (≥ 4-enclosure) cold set
+    ///   waking within 15 s — the signature of a striped scan hitting
+    ///   sleeping data, where every enclosure wakes exactly once.
+    pub fn on_spin_up(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        if self.hot_last_io.contains_key(&enclosure) {
+            // Hot enclosures never power off; a spin-up here can only be
+            // the proactive one when eligibility was revoked. Not a trigger.
+            return false;
+        }
+        if self.break_even == Micros::ZERO {
+            return false;
+        }
+        // Per-enclosure rule. The paper's m starts at zero right after a
+        // period boundary, where a couple of (expected) spin-ups would
+        // fire the trigger; a storm needs several.
+        let count = self.cold_spin_ups.entry(enclosure).or_insert(0);
+        *count += 1;
+        let m = (2 * (t.saturating_sub(self.period_start)).0 / self.break_even.0).max(3);
+        if *count > m {
+            return true;
+        }
+        // Storm rule.
+        self.recent_wakes.push_back((t, enclosure));
+        let horizon = t.saturating_sub(Micros::from_secs(15));
+        while self
+            .recent_wakes
+            .front()
+            .map_or(false, |&(w, _)| w < horizon)
+        {
+            self.recent_wakes.pop_front();
+        }
+        if self.cold_count >= 4 {
+            let distinct: BTreeSet<EnclosureId> =
+                self.recent_wakes.iter().map(|&(_, e)| e).collect();
+            if distinct.len() * 4 >= self.cold_count * 3 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Idle-gap check for hot enclosures against the *current* time — the
+    /// engine calls this periodically so a hot enclosure that simply stops
+    /// receiving I/O still fires trigger (i).
+    pub fn check_idle_hot(&self, t: Micros) -> bool {
+        self.hot_last_io
+            .values()
+            .any(|&last| t.saturating_sub(last) > self.break_even)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BE: Micros = Micros::from_secs(52);
+
+    #[test]
+    fn hot_gap_over_break_even_triggers() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm(Micros::ZERO, vec![EnclosureId(0)]);
+        assert!(!tr.on_io(Micros::from_secs(10), EnclosureId(0)));
+        assert!(!tr.on_io(Micros::from_secs(60), EnclosureId(0)), "50 s gap ≤ 52 s");
+        assert!(tr.on_io(Micros::from_secs(113), EnclosureId(0)), "53 s gap > 52 s");
+    }
+
+    #[test]
+    fn cold_enclosure_io_never_fires_trigger_one() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm(Micros::ZERO, vec![EnclosureId(0)]);
+        // Enclosure 1 is cold — arbitrary gaps there don't fire (i).
+        assert!(!tr.on_io(Micros::from_secs(500), EnclosureId(1)));
+    }
+
+    #[test]
+    fn cold_spin_up_repeat_triggers() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm(Micros::ZERO, vec![EnclosureId(0)]);
+        // At t = 104 s, m = 2·104/52 = 4: the 5th spin-up of ONE cold
+        // enclosure fires the per-enclosure rule.
+        let t = Micros::from_secs(104);
+        for _ in 0..4 {
+            assert!(!tr.on_spin_up(t, EnclosureId(1)));
+        }
+        assert!(tr.on_spin_up(t, EnclosureId(1)));
+    }
+
+    #[test]
+    fn striped_scan_storm_triggers() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        // 8 cold enclosures; 6 of them (75 %) waking within 15 s fires.
+        tr.rearm_with_cold(Micros::ZERO, vec![EnclosureId(0)], 8);
+        let t = Micros::from_secs(300);
+        for e in 1..=5 {
+            assert!(!tr.on_spin_up(t + Micros::from_secs(e as u64), EnclosureId(e)));
+        }
+        assert!(tr.on_spin_up(t + Micros::from_secs(6), EnclosureId(6)));
+    }
+
+    #[test]
+    fn slow_scattered_wakes_do_not_storm() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm_with_cold(Micros::ZERO, vec![], 10);
+        // One wake every 20 s across ten enclosures: never ≥ 75 % of the
+        // cold set within 15 s, and no single enclosure exceeds m.
+        for round in 0..5u64 {
+            for e in 0..10u16 {
+                let t = Micros::from_secs(round * 200 + e as u64 * 20);
+                assert!(!tr.on_spin_up(t, EnclosureId(e)), "round {round} enc {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_cold_sets_never_storm() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm_with_cold(Micros::ZERO, vec![], 3);
+        let t = Micros::from_secs(300);
+        // All three wake at once: storm rule is disabled below 4.
+        assert!(!tr.on_spin_up(t, EnclosureId(0)));
+        assert!(!tr.on_spin_up(t, EnclosureId(1)));
+        assert!(!tr.on_spin_up(t, EnclosureId(2)));
+    }
+
+    #[test]
+    fn early_spin_ups_trigger_sooner() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm(Micros::ZERO, vec![]);
+        // Right after the period starts m clamps to 3: the first three
+        // spin-ups are tolerated, the fourth fires.
+        for _ in 0..3 {
+            assert!(!tr.on_spin_up(Micros::from_secs(1), EnclosureId(2)));
+        }
+        assert!(tr.on_spin_up(Micros::from_secs(2), EnclosureId(2)));
+    }
+
+    #[test]
+    fn hot_spin_up_is_not_a_trigger() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm(Micros::ZERO, vec![EnclosureId(0)]);
+        for _ in 0..100 {
+            assert!(!tr.on_spin_up(Micros::from_secs(1), EnclosureId(0)));
+        }
+    }
+
+    #[test]
+    fn rearm_resets_counters() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm(Micros::ZERO, vec![]);
+        for _ in 0..3 {
+            let _ = tr.on_spin_up(Micros::from_secs(1), EnclosureId(1));
+        }
+        assert!(tr.on_spin_up(Micros::from_secs(2), EnclosureId(1)));
+        tr.rearm(Micros::from_secs(200), vec![EnclosureId(1)]);
+        // Enclosure 1 is now hot; its spin-ups no longer count.
+        assert!(!tr.on_spin_up(Micros::from_secs(201), EnclosureId(1)));
+    }
+
+    #[test]
+    fn check_idle_hot_fires_without_io() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm(Micros::ZERO, vec![EnclosureId(0)]);
+        assert!(!tr.check_idle_hot(Micros::from_secs(52)));
+        assert!(tr.check_idle_hot(Micros::from_secs(53)));
+    }
+}

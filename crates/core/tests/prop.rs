@@ -1,0 +1,208 @@
+//! Property-based tests of the management algorithms: classification
+//! totality, placement feasibility, and cache-selection budgets.
+
+use ees_core::{
+    classify, n_hot, plan_placement, select_preload, select_write_delay, ItemReport,
+    LogicalIoPattern,
+};
+use ees_iotrace::{
+    analyze_item_period, DataItemId, EnclosureId, IoKind, IopsSeries, LogicalIoRecord, Micros,
+    Span,
+};
+use ees_policy::EnclosureView;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const BE: Micros = Micros(52_000_000);
+
+fn arb_reports() -> impl Strategy<Value = (Vec<ItemReport>, Vec<EnclosureView>)> {
+    let item = (
+        0u16..6u16,              // enclosure
+        1u64..2_000u64,          // size
+        0u64..40_000u64,         // reads over the period (up to 400 IOPS)
+        0u64..40_000u64,         // writes
+        prop::bool::ANY,         // has a long interval?
+    );
+    prop::collection::vec(item, 1..40).prop_map(|raw| {
+        let period = Span {
+            start: Micros::ZERO,
+            end: Micros::from_secs(100),
+        };
+        let reports: Vec<ItemReport> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (enc, size, reads, writes, gappy))| {
+                let pattern = if reads + writes == 0 {
+                    LogicalIoPattern::P0
+                } else if !gappy {
+                    LogicalIoPattern::P3
+                } else if reads * 2 > reads + writes {
+                    LogicalIoPattern::P1
+                } else {
+                    LogicalIoPattern::P2
+                };
+                ItemReport {
+                    id: DataItemId(i as u32),
+                    enclosure: EnclosureId(enc),
+                    size,
+                    pattern,
+                    stats: ees_iotrace::ItemIntervalStats {
+                        item: DataItemId(i as u32),
+                        period,
+                        long_intervals: Vec::new(),
+                        sequences: Vec::new(),
+                        reads,
+                        writes,
+                        bytes_read: reads * 4096,
+                        bytes_written: writes * 4096,
+                    },
+                    iops: IopsSeries::from_timestamps(
+                        (0..(reads + writes).min(100)).map(Micros::from_secs),
+                        period,
+                    ),
+                    sequential: false,
+                    seq_factor: 900.0 / 2800.0,
+                }
+            })
+            .collect();
+        // Capacity must accommodate the generated initial placement —
+        // a real array cannot hold more than its capacity either, so an
+        // initially-infeasible state is outside the planner's contract.
+        let mut per_enclosure = [0u64; 6];
+        for r in &reports {
+            per_enclosure[r.enclosure.0 as usize] += r.size;
+        }
+        let capacity = per_enclosure.iter().copied().max().unwrap_or(0).max(5_000) * 2;
+        let views: Vec<EnclosureView> = (0..6)
+            .map(|e| EnclosureView {
+                id: EnclosureId(e),
+                capacity,
+                used: 0,
+                max_iops: 900.0,
+                max_seq_iops: 2800.0,
+                served_ios: 0,
+                spin_ups: 0,
+            })
+            .collect();
+        (reports, views)
+    })
+}
+
+proptest! {
+    /// Classification is total and consistent with its inputs: P0 iff no
+    /// I/O; P3 iff I/O but no long interval; P1/P2 split by read share.
+    #[test]
+    fn classification_is_total_and_consistent(
+        raw in prop::collection::vec((0u64..100_000_000u64, prop::bool::ANY), 0..100)
+    ) {
+        let mut ios: Vec<LogicalIoRecord> = raw
+            .into_iter()
+            .map(|(ts, is_read)| LogicalIoRecord {
+                ts: Micros(ts),
+                item: DataItemId(0),
+                offset: 0,
+                len: 512,
+                kind: if is_read { IoKind::Read } else { IoKind::Write },
+            })
+            .collect();
+        ios.sort_by_key(|r| r.ts);
+        let period = Span { start: Micros::ZERO, end: Micros(100_000_000) };
+        let stats = analyze_item_period(DataItemId(0), &ios, period, BE);
+        let p = classify(&stats);
+        if ios.is_empty() {
+            prop_assert_eq!(p, LogicalIoPattern::P0);
+        } else if stats.long_intervals.is_empty() {
+            prop_assert_eq!(p, LogicalIoPattern::P3);
+        } else if stats.reads * 2 > stats.total_ios() {
+            prop_assert_eq!(p, LogicalIoPattern::P1);
+        } else {
+            prop_assert_eq!(p, LogicalIoPattern::P2);
+        }
+    }
+
+    /// The placement plan never moves a P3 item to a cold enclosure,
+    /// never moves items that are not P3-on-cold or evictees, and keeps
+    /// projected capacity non-negative when executed in order.
+    #[test]
+    fn placement_plan_is_feasible((reports, views) in arb_reports()) {
+        let plan = plan_placement(&reports, &views, Micros::ZERO);
+        let by_id: BTreeMap<DataItemId, &ItemReport> =
+            reports.iter().map(|r| (r.id, r)).collect();
+
+        // Execute the plan in order against a capacity model.
+        let mut used: BTreeMap<EnclosureId, u64> = views.iter().map(|v| (v.id, 0)).collect();
+        for r in &reports {
+            *used.get_mut(&r.enclosure).unwrap() += r.size;
+        }
+        let mut home: BTreeMap<DataItemId, EnclosureId> =
+            reports.iter().map(|r| (r.id, r.enclosure)).collect();
+        for m in &plan.migrations {
+            let r = by_id[&m.item];
+            if r.is_placement_p3() {
+                prop_assert!(plan.split.is_hot(m.to), "P3 must land hot");
+            } else {
+                prop_assert!(!plan.split.is_hot(m.to), "evictees must land cold");
+            }
+            let from = home[&m.item];
+            prop_assert_ne!(from, m.to, "no self-moves");
+            *used.get_mut(&from).unwrap() -= r.size;
+            *used.get_mut(&m.to).unwrap() += r.size;
+            home.insert(m.item, m.to);
+            for v in &views {
+                prop_assert!(used[&v.id] <= v.capacity, "capacity respected in order");
+            }
+        }
+        // After the plan, no placement-relevant P3 item lives on a cold
+        // enclosure unless the whole array is hot. (Items below the
+        // de-minimis IOPS floor may legitimately stay cold.)
+        if !plan.split.cold.is_empty() {
+            for r in &reports {
+                if r.is_placement_p3() {
+                    prop_assert!(
+                        plan.split.is_hot(home[&r.id]),
+                        "P3 item {} left on cold enclosure", r.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Preload selection never exceeds its budget and only ever picks
+    /// cold P1 items.
+    #[test]
+    fn preload_respects_budget((reports, _views) in arb_reports(), budget in 0u64..5000u64) {
+        let cold = |e: EnclosureId| e.0 >= 3;
+        let picked = select_preload(&reports, cold, budget);
+        let total: u64 = picked.iter().map(|(_, s)| *s).sum();
+        prop_assert!(total <= budget);
+        for (id, _) in &picked {
+            let r = reports.iter().find(|r| r.id == *id).unwrap();
+            prop_assert_eq!(r.pattern, LogicalIoPattern::P1);
+            prop_assert!(cold(r.enclosure));
+        }
+    }
+
+    /// Write-delay always includes every cold P2 item, exactly once.
+    #[test]
+    fn write_delay_includes_all_cold_p2((reports, _views) in arb_reports(), budget in 0u64..5000u64) {
+        let cold = |e: EnclosureId| e.0 >= 3;
+        let picked = select_write_delay(&reports, cold, budget);
+        let mut seen = std::collections::BTreeSet::new();
+        for id in &picked {
+            prop_assert!(seen.insert(*id), "duplicate selection");
+        }
+        for r in &reports {
+            if r.pattern == LogicalIoPattern::P2 && cold(r.enclosure) {
+                prop_assert!(picked.contains(&r.id), "cold P2 {} missing", r.id);
+            }
+        }
+    }
+
+    /// `N_hot` is monotone in its demands.
+    #[test]
+    fn n_hot_is_monotone(imax in 0.0f64..10_000.0, bytes in 0u64..100_000u64) {
+        let base = n_hot(imax, bytes, 900.0, 1_000);
+        prop_assert!(n_hot(imax + 900.0, bytes, 900.0, 1_000) >= base);
+        prop_assert!(n_hot(imax, bytes + 1_000, 900.0, 1_000) >= base);
+    }
+}

@@ -1,0 +1,150 @@
+//! Trace (de)serialization as JSON Lines — one record per line.
+//!
+//! The replay harness and test fixtures use this format because it is
+//! diff-able, append-friendly, and streams without loading a whole trace
+//! into memory.
+
+use crate::record::{LogicalIoRecord, LogicalTrace, PhysicalIoRecord, PhysicalTrace};
+use std::io::{self, BufRead, Write};
+
+/// Writes a logical trace as JSON Lines.
+pub fn write_jsonl<W: Write>(trace: &LogicalTrace, mut w: W) -> io::Result<()> {
+    for rec in trace.iter() {
+        serde_json::to_writer(&mut w, rec)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a logical trace from JSON Lines produced by [`write_jsonl`].
+///
+/// Blank lines are skipped; records are re-sorted by timestamp so that
+/// concatenated per-stream files parse into a valid trace.
+pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<LogicalTrace> {
+    let mut records: Vec<LogicalIoRecord> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rec: LogicalIoRecord = serde_json::from_str(line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        records.push(rec);
+    }
+    Ok(LogicalTrace::from_unsorted(records))
+}
+
+/// Writes a physical trace as JSON Lines.
+pub fn write_jsonl_physical<W: Write>(trace: &PhysicalTrace, mut w: W) -> io::Result<()> {
+    for rec in trace.iter() {
+        serde_json::to_writer(&mut w, rec)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a physical trace from JSON Lines produced by
+/// [`write_jsonl_physical`].
+pub fn read_jsonl_physical<R: BufRead>(r: R) -> io::Result<PhysicalTrace> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rec: PhysicalIoRecord = serde_json::from_str(line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        out.push(rec);
+    }
+    out.sort_by_key(|r| r.ts);
+    let mut trace = PhysicalTrace::new();
+    for rec in out {
+        trace.push(rec);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DataItemId, IoKind, Micros};
+
+    fn sample() -> LogicalTrace {
+        LogicalTrace::from_unsorted(vec![
+            LogicalIoRecord {
+                ts: Micros::from_secs(1),
+                item: DataItemId(1),
+                offset: 0,
+                len: 4096,
+                kind: IoKind::Read,
+            },
+            LogicalIoRecord {
+                ts: Micros::from_secs(2),
+                item: DataItemId(2),
+                offset: 8192,
+                len: 512,
+                kind: IoKind::Write,
+            },
+        ])
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&trace, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_and_resorts() {
+        let text = concat!(
+            r#"{"ts":2000000,"item":2,"offset":0,"len":512,"kind":"Write"}"#,
+            "\n\n",
+            r#"{"ts":1000000,"item":1,"offset":0,"len":4096,"kind":"Read"}"#,
+            "\n"
+        );
+        let trace = read_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.records()[0].item, DataItemId(1));
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let err = read_jsonl("not json\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn jsonl_empty_input_is_empty_trace() {
+        let trace = read_jsonl("".as_bytes()).unwrap();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn physical_jsonl_roundtrip() {
+        use crate::types::EnclosureId;
+        let mut t = PhysicalTrace::new();
+        t.push(PhysicalIoRecord {
+            ts: Micros::from_secs(3),
+            enclosure: EnclosureId(2),
+            block: 12345,
+            len: 8192,
+            kind: IoKind::Write,
+        });
+        t.push(PhysicalIoRecord {
+            ts: Micros::from_secs(5),
+            enclosure: EnclosureId(0),
+            block: 0,
+            len: 4096,
+            kind: IoKind::Read,
+        });
+        let mut buf = Vec::new();
+        write_jsonl_physical(&t, &mut buf).unwrap();
+        let back = read_jsonl_physical(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+}

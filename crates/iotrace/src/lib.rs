@@ -1,0 +1,34 @@
+//! # ees-iotrace
+//!
+//! I/O trace foundations for the *Energy Efficient Storage Management
+//! Cooperated with Large Data Intensive Applications* (ICDE 2012)
+//! reproduction:
+//!
+//! * shared identifiers and units ([`types`]),
+//! * logical (application-level) and physical (enclosure-level) trace
+//!   records and containers ([`record`]),
+//! * the paper's interval vocabulary — **Long Intervals** and **I/O
+//!   Sequences** — plus IOPS series and the Fig. 17–19 cumulative
+//!   interval-length curve ([`stats`]),
+//! * JSON-Lines trace serialization ([`io`]).
+//!
+//! Everything downstream (the simulator, the workload generators, the
+//! proposed policy, and the baselines) builds on these types.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod io;
+pub mod record;
+pub mod slice;
+pub mod stats;
+pub mod types;
+
+pub use histogram::LatencyHistogram;
+pub use record::{LogicalIoRecord, LogicalTrace, PhysicalIoRecord, PhysicalTrace};
+pub use slice::{summarize, TraceSummary};
+pub use stats::{
+    analyze_item_period, gaps_with_bounds, split_by_item, IntervalCdf, IoSequence, IopsSeries,
+    ItemIntervalStats, Span,
+};
+pub use types::{fmt_bytes, DataItemId, EnclosureId, IoKind, Micros, VolumeId, GIB, KIB, MIB, TIB};

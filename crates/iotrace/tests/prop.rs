@@ -1,0 +1,121 @@
+//! Property-based tests of the interval statistics — the foundation the
+//! whole classifier rests on.
+
+use ees_iotrace::{
+    analyze_item_period, gaps_with_bounds, DataItemId, IntervalCdf, IoKind, LogicalIoRecord,
+    Micros, Span,
+};
+use proptest::prelude::*;
+
+const PERIOD_S: u64 = 520;
+const BE: Micros = Micros(52_000_000);
+
+fn arb_ios() -> impl Strategy<Value = Vec<LogicalIoRecord>> {
+    prop::collection::vec(
+        (0u64..PERIOD_S * 1_000_000, prop::bool::ANY),
+        0..200,
+    )
+    .prop_map(|raw| {
+        let mut ios: Vec<LogicalIoRecord> = raw
+            .into_iter()
+            .map(|(ts, is_read)| LogicalIoRecord {
+                ts: Micros(ts),
+                item: DataItemId(0),
+                offset: 0,
+                len: 4096,
+                kind: if is_read { IoKind::Read } else { IoKind::Write },
+            })
+            .collect();
+        ios.sort_by_key(|r| r.ts);
+        ios
+    })
+}
+
+proptest! {
+    /// Long Intervals and I/O Sequences together tile the whole
+    /// monitoring period: their spans are disjoint, ordered, and their
+    /// union covers [start, end].
+    #[test]
+    fn intervals_and_sequences_tile_the_period(ios in arb_ios()) {
+        let period = Span { start: Micros::ZERO, end: Micros::from_secs(PERIOD_S) };
+        let stats = analyze_item_period(DataItemId(0), &ios, period, BE);
+
+        // Collect all spans in time order.
+        let mut spans: Vec<(Micros, Micros, bool)> = Vec::new();
+        for li in &stats.long_intervals {
+            spans.push((li.start, li.end, true));
+        }
+        for seq in &stats.sequences {
+            spans.push((seq.start, seq.end, false));
+        }
+        // Zero-length sequences share their start with the following
+        // Long Interval; tie-break on the end so the chain check holds.
+        spans.sort_by_key(|s| (s.0, s.1));
+
+        // They must start at period start, chain without overlap beyond
+        // shared endpoints, and end at period end.
+        prop_assert!(!spans.is_empty());
+        prop_assert_eq!(spans[0].0, period.start);
+        for w in spans.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "spans must chain");
+        }
+        prop_assert_eq!(spans[spans.len() - 1].1, period.end);
+    }
+
+    /// Every Long Interval is strictly longer than the break-even time
+    /// (except the degenerate single interval of an idle item, which may
+    /// be any length), and every sequence-internal gap is at most it.
+    #[test]
+    fn long_intervals_exceed_break_even(ios in arb_ios()) {
+        let period = Span { start: Micros::ZERO, end: Micros::from_secs(PERIOD_S) };
+        let stats = analyze_item_period(DataItemId(0), &ios, period, BE);
+        if !ios.is_empty() {
+            for li in &stats.long_intervals {
+                prop_assert!(li.len() > BE, "long interval {} <= break-even", li.len());
+            }
+        }
+    }
+
+    /// I/O conservation: reads + writes across sequences equal the input.
+    #[test]
+    fn io_counts_are_conserved(ios in arb_ios()) {
+        let period = Span { start: Micros::ZERO, end: Micros::from_secs(PERIOD_S) };
+        let stats = analyze_item_period(DataItemId(0), &ios, period, BE);
+        let reads = ios.iter().filter(|r| r.kind.is_read()).count() as u64;
+        let writes = ios.len() as u64 - reads;
+        prop_assert_eq!(stats.reads, reads);
+        prop_assert_eq!(stats.writes, writes);
+        let seq_total: u64 = stats.sequences.iter().map(|s| s.total()).sum();
+        prop_assert_eq!(seq_total, ios.len() as u64);
+    }
+
+    /// `gaps_with_bounds` conserves total time: the gaps sum to the run
+    /// length (I/Os are instants, so gaps partition the span).
+    #[test]
+    fn gaps_sum_to_run_length(
+        ts in prop::collection::vec(0u64..1_000_000_000u64, 0..100)
+    ) {
+        let mut ts: Vec<Micros> = ts.into_iter().map(Micros).collect();
+        ts.sort();
+        let run = Span { start: Micros::ZERO, end: Micros(1_000_000_000) };
+        let gaps = gaps_with_bounds(&ts, run);
+        let total: u64 = gaps.iter().map(|g| g.0).sum();
+        prop_assert_eq!(total, run.len().0);
+    }
+
+    /// The interval CDF is monotone and its last point equals the total.
+    #[test]
+    fn cdf_is_monotone(
+        lens in prop::collection::vec(1u64..10_000_000_000u64, 0..100)
+    ) {
+        let cdf = IntervalCdf::from_intervals(lens.into_iter().map(Micros), BE);
+        let pts = cdf.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "x must be sorted");
+            prop_assert!(w[0].1 <= w[1].1, "y must be cumulative");
+        }
+        if let Some(last) = pts.last() {
+            prop_assert_eq!(last.1, cdf.total_length());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! # ees-policy
+//!
+//! The policy interface between the trace-replay engine and the power-
+//! management methods: the proposed application-collaborative method
+//! (`ees-core`), the PDC and DDR baselines (`ees-baselines`), and the
+//! *no power saving* null policy defined here.
+//!
+//! A [`PowerPolicy`] is invoked by the engine at every monitoring-period
+//! boundary with a [`MonitorSnapshot`] — the data the paper's Application
+//! Monitor and Storage Monitor collected during the period (§III) — and
+//! answers with a [`ManagementPlan`]: item migrations, the preload and
+//! write-delay sets, per-enclosure power-off eligibility, and the length
+//! of the next monitoring period. Between periods the engine streams
+//! [`RuntimeEvent`]s to the policy so it can request an immediate
+//! management invocation (the paper's §V.D pattern-change triggers).
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod snapshot;
+
+pub use plan::{ExtentRedirect, ManagementPlan, Migration, PlanDefect, REDIRECT_EXTENT_BYTES};
+pub use snapshot::{EnclosureView, MonitorSnapshot};
+
+use ees_iotrace::{DataItemId, EnclosureId, Micros};
+
+/// An event streamed to the policy between monitoring periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeEvent {
+    /// A logical I/O was issued and resolved to `enclosure`.
+    LogicalIo {
+        /// Issue time.
+        t: Micros,
+        /// Targeted data item.
+        item: DataItemId,
+        /// Enclosure the item currently lives on.
+        enclosure: EnclosureId,
+    },
+    /// An enclosure had to spin up to serve an I/O.
+    SpinUp {
+        /// Time the spin-up began.
+        t: Micros,
+        /// The enclosure that spun up.
+        enclosure: EnclosureId,
+    },
+}
+
+/// The policy's reaction to a runtime event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyReaction {
+    /// Keep going.
+    Continue,
+    /// Cut the current monitoring period short and invoke the management
+    /// function now (paper §V.D).
+    InvokeNow,
+}
+
+/// A storage power-management method, as seen by the replay engine.
+pub trait PowerPolicy {
+    /// Human-readable method name for reports ("Proposed", "PDC", "DDR",
+    /// "No Power Saving").
+    fn name(&self) -> &'static str;
+
+    /// Length of the first monitoring period. The engine uses this until
+    /// a plan overrides it via [`ManagementPlan::next_period`].
+    fn initial_period(&self) -> Micros;
+
+    /// Invoked at the end of each monitoring period with everything the
+    /// monitors collected. Returns the plan the run-time power-saving
+    /// method will execute.
+    fn on_period_end(&mut self, snapshot: &MonitorSnapshot<'_>) -> ManagementPlan;
+
+    /// Streamed between period boundaries. Default: no reaction.
+    fn on_event(&mut self, _event: &RuntimeEvent) -> PolicyReaction {
+        PolicyReaction::Continue
+    }
+}
+
+/// The paper's *without power saving* configuration: enclosures stay
+/// powered, nothing migrates, the cache runs its default behaviour only.
+#[derive(Debug, Clone, Default)]
+pub struct NoPowerSaving;
+
+impl NoPowerSaving {
+    /// Creates the null policy.
+    pub fn new() -> Self {
+        NoPowerSaving
+    }
+}
+
+impl PowerPolicy for NoPowerSaving {
+    fn name(&self) -> &'static str {
+        "No Power Saving"
+    }
+
+    fn initial_period(&self) -> Micros {
+        // One invocation per hour of simulated time; the plan is empty so
+        // the cadence only bounds snapshot buffer sizes.
+        Micros::from_secs(3600)
+    }
+
+    fn on_period_end(&mut self, _snapshot: &MonitorSnapshot<'_>) -> ManagementPlan {
+        ManagementPlan {
+            determinations: 0,
+            ..ManagementPlan::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ees_iotrace::Span;
+    use ees_simstorage::PlacementMap;
+
+    #[test]
+    fn no_power_saving_plan_is_inert() {
+        let mut p = NoPowerSaving::new();
+        assert_eq!(p.name(), "No Power Saving");
+        let placement = PlacementMap::new();
+        let snap = MonitorSnapshot {
+            period: Span {
+                start: Micros::ZERO,
+                end: Micros::from_secs(10),
+            },
+            break_even: Micros::from_secs(52),
+            logical: &[],
+            physical: &[],
+            placement: &placement,
+            enclosures: Vec::new(),
+            sequential: Default::default(),
+        };
+        let plan = p.on_period_end(&snap);
+        assert!(plan.migrations.is_empty());
+        assert!(plan.preload.is_empty());
+        assert!(plan.write_delay.is_empty());
+        assert!(plan.power_off_eligible.is_empty());
+        assert_eq!(plan.next_period, None);
+        assert_eq!(plan.determinations, 0);
+        // Default event reaction is Continue.
+        let ev = RuntimeEvent::SpinUp {
+            t: Micros::ZERO,
+            enclosure: EnclosureId(0),
+        };
+        assert_eq!(p.on_event(&ev), PolicyReaction::Continue);
+    }
+}

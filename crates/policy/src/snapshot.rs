@@ -1,0 +1,123 @@
+//! What the monitors hand to the management function at the end of a
+//! monitoring period (paper §III–§IV.A).
+
+use ees_iotrace::Micros;
+use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, PhysicalIoRecord, Span};
+use ees_simstorage::PlacementMap;
+use std::collections::BTreeSet;
+
+/// Per-enclosure state visible to a policy at a period boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnclosureView {
+    /// The enclosure.
+    pub id: EnclosureId,
+    /// Total volume capacity, bytes (parameter `S` of §IV.C).
+    pub capacity: u64,
+    /// Bytes of data items currently placed here.
+    pub used: u64,
+    /// Maximum random IOPS the enclosure can serve (parameter `O`).
+    pub max_iops: f64,
+    /// Maximum sequential IOPS the enclosure can serve. Used to express a
+    /// streaming item's load in random-IOPS equivalents when sizing the
+    /// hot set.
+    pub max_seq_iops: f64,
+    /// Physical I/Os served during the period just ended.
+    pub served_ios: u64,
+    /// Spin-ups performed during the period just ended.
+    pub spin_ups: u64,
+}
+
+impl EnclosureView {
+    /// Free capacity in bytes.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Average IOPS served over a period of the given length.
+    pub fn avg_iops(&self, period: Micros) -> f64 {
+        let secs = period.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.served_ios as f64 / secs
+        }
+    }
+}
+
+/// The monitoring data of one period: logical and physical traces, the
+/// current placement, and per-enclosure state.
+#[derive(Debug)]
+pub struct MonitorSnapshot<'a> {
+    /// The monitoring period that just ended.
+    pub period: Span,
+    /// The break-even time of the storage's power model (§II.B.2).
+    pub break_even: Micros,
+    /// Application-level I/O of the period, timestamp-ordered
+    /// (Application Monitor repository, §III.A).
+    pub logical: &'a [LogicalIoRecord],
+    /// Enclosure-level I/O of the period, timestamp-ordered
+    /// (Storage Monitor repository, §III.B).
+    pub physical: &'a [PhysicalIoRecord],
+    /// Current item → enclosure placement (logical ⋈ physical mapping).
+    pub placement: &'a PlacementMap,
+    /// Per-enclosure capacity/IOPS/spin-up state.
+    pub enclosures: Vec<EnclosureView>,
+    /// Items whose physical access pattern the Storage Monitor observed
+    /// to be sequential (streaming scans, logs). Empty when unknown.
+    pub sequential: BTreeSet<DataItemId>,
+}
+
+impl MonitorSnapshot<'_> {
+    /// View of a specific enclosure.
+    pub fn enclosure(&self, id: EnclosureId) -> Option<&EnclosureView> {
+        self.enclosures.iter().find(|e| e.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclosure_view_derived_quantities() {
+        let v = EnclosureView {
+            id: EnclosureId(0),
+            capacity: 1000,
+            used: 400,
+            max_iops: 900.0,
+            max_seq_iops: 2800.0,
+            served_ios: 500,
+            spin_ups: 2,
+        };
+        assert_eq!(v.free(), 600);
+        assert!((v.avg_iops(Micros::from_secs(10)) - 50.0).abs() < 1e-9);
+        assert_eq!(v.avg_iops(Micros::ZERO), 0.0);
+    }
+
+    #[test]
+    fn snapshot_enclosure_lookup() {
+        let placement = PlacementMap::new();
+        let snap = MonitorSnapshot {
+            period: Span {
+                start: Micros::ZERO,
+                end: Micros::from_secs(1),
+            },
+            break_even: Micros::from_secs(52),
+            logical: &[],
+            physical: &[],
+            placement: &placement,
+            enclosures: vec![EnclosureView {
+                id: EnclosureId(3),
+                capacity: 10,
+                used: 0,
+                max_iops: 900.0,
+                max_seq_iops: 2800.0,
+                served_ios: 0,
+                spin_ups: 0,
+            }],
+            sequential: BTreeSet::new(),
+        };
+        assert!(snap.enclosure(EnclosureId(3)).is_some());
+        assert!(snap.enclosure(EnclosureId(1)).is_none());
+    }
+}

@@ -1,0 +1,495 @@
+//! The trace-replay engine: the reproduction's version of the paper's
+//! `btreplay`-based tool (§VII.A.2, Fig. 7).
+//!
+//! The engine plays a workload's logical trace against the simulated
+//! storage unit under a pluggable [`PowerPolicy`]:
+//!
+//! * it is the **Application Monitor** (buffers the period's logical
+//!   records) and the **Storage Monitor** (buffers the period's physical
+//!   records, per-enclosure I/O counts, spin-up counts) of §III;
+//! * at every monitoring-period boundary it hands the buffered data to
+//!   the policy and then acts as the **run-time power-saving method**
+//!   (§V): it executes the plan's migrations and extent redirects, swaps
+//!   the preload and write-delay sets (issuing the implied bulk I/O), and
+//!   re-arms per-enclosure power-off eligibility;
+//! * between boundaries it routes each logical I/O through the cache and
+//!   placement map to an enclosure, accounts the response, and streams
+//!   events to the policy so the §V.D triggers can cut a period short.
+//!
+//! Simplifications versus real hardware, shared by every policy: the
+//! placement map is updated at migration *submission* (the bulk transfer
+//! still occupies both enclosures for its duration), and bulk cache loads
+//! do not emit policy events.
+
+use crate::metrics::RunReport;
+use ees_iotrace::{
+    gaps_with_bounds, DataItemId, EnclosureId, IntervalCdf, IoKind, LogicalIoRecord, Micros,
+    PhysicalIoRecord, Span,
+};
+use ees_policy::{
+    EnclosureView, MonitorSnapshot, PolicyReaction, PowerPolicy, RuntimeEvent,
+    REDIRECT_EXTENT_BYTES,
+};
+use ees_simstorage::{Access, PlacementMap, StorageConfig, StorageController};
+use ees_workloads::Workload;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Engine options beyond the storage configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOptions {
+    /// Response windows (e.g. TPC-H query windows): the report will carry
+    /// `(Σ read response secs, read count)` per window.
+    pub response_windows: Vec<Span>,
+}
+
+/// Replays `workload` under `policy` on a storage unit built from `cfg`
+/// (the enclosure count is taken from the workload, not from `cfg`).
+pub fn run(
+    workload: &Workload,
+    policy: &mut dyn PowerPolicy,
+    cfg: &StorageConfig,
+    options: &ReplayOptions,
+) -> RunReport {
+    let mut engine = Engine::new(workload, cfg, options, policy);
+    for rec in workload.trace.records() {
+        engine.process(*rec, policy);
+    }
+    engine.finish(policy)
+}
+
+/// All mutable replay state.
+struct Engine<'w> {
+    workload: &'w Workload,
+    controller: StorageController,
+    placement: PlacementMap,
+    access: BTreeMap<DataItemId, Access>,
+    /// Items the Storage Monitor reports as sequential streams.
+    sequential: BTreeSet<DataItemId>,
+    break_even: Micros,
+
+    // §III monitoring buffers, one period at a time.
+    logical_buf: Vec<LogicalIoRecord>,
+    physical_buf: Vec<PhysicalIoRecord>,
+    served_in_period: BTreeMap<EnclosureId, u64>,
+    spin_up_baseline: Vec<u64>,
+
+    // Whole-run per-enclosure physical I/O timestamps (Fig. 17–19).
+    enc_timestamps: Vec<Vec<Micros>>,
+
+    // Extent redirects installed by block-granular policies:
+    // (item, extent) → (current enclosure, bytes moved there).
+    redirects: HashMap<(DataItemId, u64), (EnclosureId, u64)>,
+
+    // Response accounting.
+    response_windows: Vec<Span>,
+    window_sums: Vec<(f64, u64)>,
+    response_sum: f64,
+    read_response_sum: f64,
+    read_samples: Vec<f32>,
+    reads: u64,
+
+    determinations: u64,
+    periods: u64,
+    period_start: Micros,
+    period_len: Micros,
+}
+
+impl<'w> Engine<'w> {
+    fn new(
+        workload: &'w Workload,
+        cfg: &StorageConfig,
+        options: &ReplayOptions,
+        policy: &mut dyn PowerPolicy,
+    ) -> Self {
+        let mut cfg = *cfg;
+        cfg.num_enclosures = workload.num_enclosures;
+        let mut controller = StorageController::new(&cfg);
+        for item in &workload.items {
+            controller
+                .enclosure_mut(item.enclosure)
+                .place_bytes(item.size);
+        }
+        let access = workload.access_hints();
+        let sequential: BTreeSet<DataItemId> = access
+            .iter()
+            .filter(|(_, a)| **a == Access::Sequential)
+            .map(|(id, _)| *id)
+            .collect();
+        Engine {
+            controller,
+            placement: workload.initial_placement(),
+            access,
+            sequential,
+            break_even: cfg.enclosure.power.break_even_time(),
+            logical_buf: Vec::new(),
+            physical_buf: Vec::new(),
+            served_in_period: BTreeMap::new(),
+            spin_up_baseline: vec![0; workload.num_enclosures as usize],
+            enc_timestamps: vec![Vec::new(); workload.num_enclosures as usize],
+            redirects: HashMap::new(),
+            response_windows: options.response_windows.clone(),
+            window_sums: vec![(0.0, 0); options.response_windows.len()],
+            response_sum: 0.0,
+            read_response_sum: 0.0,
+            read_samples: Vec::new(),
+            reads: 0,
+            determinations: 0,
+            periods: 0,
+            period_start: Micros::ZERO,
+            period_len: policy.initial_period().max(Micros(1)),
+            workload,
+        }
+    }
+
+    /// Per-enclosure views for the current period.
+    fn enclosure_views(&self) -> Vec<EnclosureView> {
+        self.controller
+            .enclosure_ids()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| {
+                let e = self.controller.enclosure(id);
+                EnclosureView {
+                    id,
+                    capacity: e.config().capacity_bytes,
+                    used: e.used_bytes(),
+                    max_iops: e.config().service.max_random_iops,
+                    max_seq_iops: e.config().service.max_seq_iops,
+                    served_ios: self.served_in_period.get(&id).copied().unwrap_or(0),
+                    spin_ups: e
+                        .stats()
+                        .spin_ups
+                        .saturating_sub(self.spin_up_baseline[id.0 as usize]),
+                }
+            })
+            .collect()
+    }
+
+    /// Ends the monitoring period at `t_end`: snapshot → policy → execute
+    /// the plan (the run-time power-saving method of §V).
+    fn invoke_management(&mut self, t_end: Micros, policy: &mut dyn PowerPolicy) {
+        let views: Vec<EnclosureView> = self.enclosure_views();
+
+        let plan = policy.on_period_end(&MonitorSnapshot {
+            period: Span {
+                start: self.period_start,
+                end: t_end,
+            },
+            break_even: self.break_even,
+            logical: &self.logical_buf,
+            physical: &self.physical_buf,
+            placement: &self.placement,
+            enclosures: views,
+            sequential: self.sequential.clone(),
+        });
+
+        #[cfg(debug_assertions)]
+        {
+            // Budget here is the cache partition: the engine's own
+            // contract with set_preload.
+            let budget = self.controller.cache().config().preload_bytes;
+            let defects = plan.validate(
+                &MonitorSnapshot {
+                    period: Span {
+                        start: self.period_start,
+                        end: t_end,
+                    },
+                    break_even: self.break_even,
+                    logical: &self.logical_buf,
+                    physical: &self.physical_buf,
+                    placement: &self.placement,
+                    enclosures: self.enclosure_views(),
+                    sequential: self.sequential.clone(),
+                },
+                budget,
+            );
+            debug_assert!(defects.is_empty(), "invalid plan: {defects:?}");
+        }
+
+        self.determinations += plan.determinations;
+        self.periods += 1;
+
+        // 1. Power-off eligibility.
+        for (id, eligible) in &plan.power_off_eligible {
+            self.controller
+                .enclosure_mut(*id)
+                .set_eligible_off(t_end, *eligible);
+        }
+        // 2. Item migrations, in plan order (§V.A). A migration whose
+        // target lacks free capacity *right now* is dropped — a policy
+        // whose plan ordering is infeasible (PDC recomputes a global
+        // layout without sequencing the moves) simply converges over more
+        // periods, as a real array would defer the transfer.
+        for m in &plan.migrations {
+            let Some(from) = self.placement.enclosure_of(m.item) else {
+                continue;
+            };
+            if from == m.to {
+                continue;
+            }
+            let size = self.placement.size_of(m.item).unwrap_or(0);
+            if size > self.controller.enclosure(m.to).free_bytes() {
+                continue;
+            }
+            // Extents previously redirected elsewhere travel from their
+            // actual homes; the remainder comes from the item's home
+            // enclosure. A whole-item move supersedes the redirects.
+            let mut redirected_total: u64 = 0;
+            let mut extent_moves: Vec<(EnclosureId, u64)> = Vec::new();
+            self.redirects.retain(|&(item, _), &mut (loc, bytes)| {
+                if item == m.item {
+                    redirected_total += bytes;
+                    extent_moves.push((loc, bytes));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (loc, bytes) in extent_moves {
+                if loc != m.to && bytes > 0 {
+                    self.controller.migrate(t_end, loc, m.to, bytes);
+                }
+            }
+            let remainder = size.saturating_sub(redirected_total);
+            if remainder > 0 {
+                self.controller.migrate(t_end, from, m.to, remainder);
+            }
+            self.placement.move_item(m.item, m.to);
+        }
+        // 3. Extent redirects (block-granular policies).
+        for r in &plan.extent_redirects {
+            let current = self
+                .redirects
+                .get(&(r.item, r.extent))
+                .map(|&(loc, _)| loc)
+                .or_else(|| self.placement.enclosure_of(r.item));
+            let Some(from) = current else { continue };
+            if from == r.to || r.bytes == 0 {
+                continue;
+            }
+            if r.bytes > self.controller.enclosure(r.to).free_bytes() {
+                continue;
+            }
+            self.controller.migrate(t_end, from, r.to, r.bytes);
+            self.redirects.insert((r.item, r.extent), (r.to, r.bytes));
+        }
+        // 4. Write-delay set; departing items' dirty bytes flush now.
+        let flush = self
+            .controller
+            .cache_mut()
+            .set_write_delay(plan.write_delay.clone());
+        self.run_flush(t_end, flush);
+        // 5. Preload set; newly selected items load from their enclosures.
+        let to_load = self.controller.cache_mut().set_preload(plan.preload.clone());
+        for (item, size) in to_load {
+            if let Some(enc) = self.placement.enclosure_of(item) {
+                self.controller
+                    .enclosure_mut(enc)
+                    .bulk_transfer(t_end, size, IoKind::Read);
+            }
+        }
+        // 6. Next period.
+        if let Some(next) = plan.next_period {
+            self.period_len = next.max(Micros(1));
+        }
+        self.period_start = t_end;
+        self.logical_buf.clear();
+        self.physical_buf.clear();
+        self.served_in_period.clear();
+        for i in 0..self.spin_up_baseline.len() {
+            self.spin_up_baseline[i] =
+                self.controller.enclosure(EnclosureId(i as u16)).stats().spin_ups;
+        }
+    }
+
+    fn run_flush(&mut self, t: Micros, flush: Vec<(DataItemId, u64)>) {
+        for (item, bytes) in flush {
+            if let Some(enc) = self.placement.enclosure_of(item) {
+                self.controller
+                    .enclosure_mut(enc)
+                    .bulk_transfer(t, bytes, IoKind::Write);
+            }
+        }
+    }
+
+    /// Replays one logical record.
+    fn process(&mut self, rec: LogicalIoRecord, policy: &mut dyn PowerPolicy) {
+        // Period boundaries at or before this record.
+        while rec.ts >= self.period_start + self.period_len {
+            let t_end = self.period_start + self.period_len;
+            self.invoke_management(t_end, policy);
+        }
+
+        let t = rec.ts;
+        self.logical_buf.push(rec);
+        let extent = rec.offset / REDIRECT_EXTENT_BYTES;
+        let enclosure = self
+            .redirects
+            .get(&(rec.item, extent))
+            .map(|&(loc, _)| loc)
+            .or_else(|| self.placement.enclosure_of(rec.item))
+            .expect("trace references an unplaced item");
+
+        // Route through the cache; fall through to a physical I/O.
+        let mut response: Option<Micros> = None;
+        let mut spun_up = false;
+        match rec.kind {
+            IoKind::Read => {
+                if self.controller.cache_mut().read_lookup(rec.item, rec.offset) {
+                    response = Some(self.controller.cache().hit_latency());
+                }
+            }
+            IoKind::Write => {
+                if self.controller.cache().is_write_delayed(rec.item) {
+                    let flush = self.controller.cache_mut().buffer_write(rec.item, rec.len);
+                    response = Some(self.controller.cache().hit_latency());
+                    if let Some(set) = flush {
+                        self.run_flush(t, set);
+                    }
+                }
+            }
+        }
+        let response = response.unwrap_or_else(|| {
+            let acc = self.access.get(&rec.item).copied().unwrap_or(Access::Random);
+            let out = self.controller.submit(t, enclosure, rec.len, rec.kind, acc);
+            self.physical_buf.push(PhysicalIoRecord {
+                ts: t,
+                enclosure,
+                block: PlacementMap::physical_block(rec.item, rec.offset),
+                len: rec.len,
+                kind: rec.kind,
+            });
+            *self.served_in_period.entry(enclosure).or_insert(0) += 1;
+            self.enc_timestamps[enclosure.0 as usize].push(t);
+            spun_up = out.triggered_spin_up;
+            if out.triggered_spin_up {
+                out.response
+            } else {
+                // Stall coalescing: open-loop replay stacks every I/O that
+                // arrives during a spin-up behind the same 15 s stall. A
+                // real (closed-loop) application would simply issue them
+                // later, so only the I/O that *triggered* the spin-up is
+                // charged the power wait.
+                out.response.saturating_sub(out.power_wait)
+            }
+        });
+
+        // Response accounting.
+        let rsecs = response.as_secs_f64();
+        if rsecs > 100.0 && std::env::var_os("EES_DEBUG_TAIL").is_some() {
+            eprintln!(
+                "TAIL t={} item={} enclosure={} kind={:?} resp={}",
+                t, rec.item, enclosure, rec.kind, response
+            );
+        }
+        self.response_sum += rsecs;
+        if rec.kind.is_read() {
+            self.reads += 1;
+            self.read_response_sum += rsecs;
+            self.read_samples.push(rsecs as f32);
+            for (wi, w) in self.response_windows.iter().enumerate() {
+                if t >= w.start && t < w.end {
+                    self.window_sums[wi].0 += rsecs;
+                    self.window_sums[wi].1 += 1;
+                    break;
+                }
+            }
+        }
+
+        // Stream events; either may cut the period short (§V.D).
+        let mut invoke_now = false;
+        if spun_up {
+            invoke_now |= policy.on_event(&RuntimeEvent::SpinUp { t, enclosure })
+                == PolicyReaction::InvokeNow;
+        }
+        invoke_now |= policy.on_event(&RuntimeEvent::LogicalIo {
+            t,
+            item: rec.item,
+            enclosure,
+        }) == PolicyReaction::InvokeNow;
+        if invoke_now && t > self.period_start {
+            self.invoke_management(t, policy);
+        }
+    }
+
+    /// Closes the run and builds the report.
+    fn finish(mut self, policy: &mut dyn PowerPolicy) -> RunReport {
+        let end = self.workload.duration;
+        let final_flush = self.controller.cache_mut().flush_all();
+        self.run_flush(end, final_flush);
+        self.controller.finish(end);
+
+        // Fig. 17–19: enclosure-level gaps above the break-even time.
+        let run_span = Span {
+            start: Micros::ZERO,
+            end,
+        };
+        let all_gaps = self
+            .enc_timestamps
+            .iter()
+            .flat_map(|ts| gaps_with_bounds(ts, run_span));
+        let interval_cdf = IntervalCdf::from_intervals(all_gaps, self.break_even);
+
+        let total_ios = self.workload.trace.len() as u64;
+        let physical_ios: u64 = self.enc_timestamps.iter().map(|v| v.len() as u64).sum();
+        let dur_secs = end.as_secs_f64().max(1e-9);
+        self.read_samples
+            .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |q: f64| -> Micros {
+            if self.read_samples.is_empty() {
+                Micros::ZERO
+            } else {
+                let idx = ((self.read_samples.len() - 1) as f64 * q) as usize;
+                Micros::from_secs_f64(self.read_samples[idx] as f64)
+            }
+        };
+        let read_percentiles = (pct(0.5), pct(0.95), pct(0.99), pct(1.0));
+        let enclosures = self
+            .controller
+            .enclosure_ids()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| {
+                let e = self.controller.enclosure(id);
+                let m = e.meter();
+                crate::metrics::EnclosureSummary {
+                    id,
+                    avg_watts: m.average_watts(),
+                    active: m.time_in(ees_simstorage::PowerMode::Active),
+                    idle: m.time_in(ees_simstorage::PowerMode::Idle),
+                    spin_up: m.time_in(ees_simstorage::PowerMode::SpinUp),
+                    off: m.time_in(ees_simstorage::PowerMode::Off),
+                    ios: e.stats().ios,
+                    spin_ups: e.stats().spin_ups,
+                    bulk_bytes: e.stats().bulk_bytes,
+                    status_log: e.status_log().to_vec(),
+                }
+            })
+            .collect();
+        RunReport {
+            policy: policy.name().to_string(),
+            workload: self.workload.name.to_string(),
+            duration: end,
+            total_ios,
+            reads: self.reads,
+            avg_power_watts: self.controller.average_watts(end),
+            enclosure_avg_watts: self.controller.enclosure_average_watts(end),
+            avg_response: Micros::from_secs_f64(self.response_sum / total_ios.max(1) as f64),
+            avg_read_response: Micros::from_secs_f64(
+                self.read_response_sum / self.reads.max(1) as f64,
+            ),
+            read_response_sum_secs: self.read_response_sum,
+            migrated_bytes: self.controller.migrated_bytes(),
+            determinations: self.determinations,
+            periods: self.periods,
+            spin_ups: self.controller.total_spin_ups(),
+            throughput_iops: total_ios as f64 / dur_secs,
+            interval_cdf,
+            window_read_sums: self.window_sums,
+            cache_counters: self.controller.cache().counters(),
+            physical_ios,
+            enclosures,
+            read_percentiles,
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Integration tests of the replay engine against hand-built miniature
+//! workloads and every policy.
+
+use ees_baselines::{Ddr, Pdc};
+use ees_core::EnergyEfficientPolicy;
+use ees_iotrace::{
+    DataItemId, EnclosureId, IoKind, LogicalIoRecord, LogicalTrace, Micros, VolumeId, GIB, MIB,
+};
+use ees_policy::NoPowerSaving;
+use ees_replay::{run, ReplayOptions};
+use ees_simstorage::{Access, StorageConfig};
+use ees_workloads::{DataItemSpec, ItemKind, Workload};
+
+fn item(id: u32, enc: u16, size: u64) -> DataItemSpec {
+    DataItemSpec {
+        id: DataItemId(id),
+        name: format!("item{id}"),
+        size,
+        volume: VolumeId(enc),
+        enclosure: EnclosureId(enc),
+        kind: ItemKind::File,
+        access: Access::Random,
+    }
+}
+
+fn io(ts_s: f64, id: u32, kind: IoKind) -> LogicalIoRecord {
+    LogicalIoRecord {
+        ts: Micros::from_secs_f64(ts_s),
+        item: DataItemId(id),
+        offset: 0,
+        len: 4096,
+        kind,
+    }
+}
+
+/// Two enclosures: item 1 on enclosure 0 is hammered continuously; item 2
+/// on enclosure 1 sees one early read burst and then nothing for an hour.
+fn split_workload() -> Workload {
+    let mut records = Vec::new();
+    for s in 0..3600 {
+        if s % 5 == 0 {
+            records.push(io(s as f64, 1, IoKind::Read));
+        }
+    }
+    for k in 0..20 {
+        records.push(io(1.0 + k as f64 * 0.1, 2, IoKind::Read));
+    }
+    records.sort_by_key(|r| r.ts);
+    Workload {
+        name: "split",
+        duration: Micros::from_secs(3600),
+        num_enclosures: 2,
+        items: vec![item(1, 0, GIB), item(2, 1, 10 * MIB)],
+        trace: LogicalTrace::from_unsorted(records),
+    }
+}
+
+fn cfg() -> StorageConfig {
+    StorageConfig::ams2500(2)
+}
+
+#[test]
+fn no_power_saving_keeps_everything_on() {
+    let w = split_workload();
+    let mut p = NoPowerSaving::new();
+    let report = run(&w, &mut p, &cfg(), &ReplayOptions::default());
+    assert_eq!(report.policy, "No Power Saving");
+    assert_eq!(report.total_ios, w.trace.len() as u64);
+    assert_eq!(report.spin_ups, 0);
+    assert_eq!(report.migrated_bytes, 0);
+    // Both enclosures powered the whole hour: ≥ 2 × idle watts.
+    assert!(
+        report.enclosure_avg_watts >= 2.0 * 205.0,
+        "enclosure watts {}",
+        report.enclosure_avg_watts
+    );
+    // Unit power adds the controller's constant draw.
+    assert!(report.avg_power_watts > report.enclosure_avg_watts + 399.0);
+}
+
+#[test]
+fn proposed_powers_off_the_quiet_enclosure() {
+    let w = split_workload();
+    let mut base = NoPowerSaving::new();
+    let baseline = run(&w, &mut base, &cfg(), &ReplayOptions::default());
+    let mut prop = EnergyEfficientPolicy::with_defaults();
+    let report = run(&w, &mut prop, &cfg(), &ReplayOptions::default());
+    let saving = report.enclosure_saving_vs(&baseline);
+    assert!(
+        saving > 30.0,
+        "one of two enclosures idle for ~1 h should save > 30 %, got {saving:.1}%"
+    );
+    // The paper's ordering: savings must not be negative for the others
+    // either, and the proposed policy invoked its management function a
+    // plausible number of times.
+    assert!(report.periods >= 1);
+    assert!(report.determinations >= 1);
+}
+
+#[test]
+fn preload_absorbs_reads_of_selected_items() {
+    // Item 2 (small, read-bursty with long gaps) should be preloaded by
+    // the proposed policy after the first monitoring period; later reads
+    // then hit the cache instead of the enclosure.
+    let mut records = Vec::new();
+    for s in 0..3600 {
+        if s % 5 == 0 {
+            records.push(io(s as f64, 1, IoKind::Read));
+        }
+        // Bursty but recurring reads of item 2 with > 52 s gaps.
+        if s % 300 == 0 {
+            for k in 0..10 {
+                records.push(io(s as f64 + 0.01 * k as f64, 2, IoKind::Read));
+            }
+        }
+    }
+    records.sort_by_key(|r| r.ts);
+    let w = Workload {
+        name: "preload",
+        duration: Micros::from_secs(3600),
+        num_enclosures: 2,
+        items: vec![item(1, 0, GIB), item(2, 1, 10 * MIB)],
+        trace: LogicalTrace::from_unsorted(records),
+    };
+    let mut prop = EnergyEfficientPolicy::with_defaults();
+    let report = run(&w, &mut prop, &cfg(), &ReplayOptions::default());
+    let (preload_hits, _, _, _, _) = report.cache_counters;
+    assert!(
+        preload_hits > 50,
+        "later bursts of item 2 should be cache hits, got {preload_hits}"
+    );
+}
+
+#[test]
+fn write_delay_buffers_writes_of_p2_items() {
+    // Item 2 takes write bursts with long gaps → P2 → write-delayed.
+    let mut records = Vec::new();
+    for s in 0..3600 {
+        if s % 5 == 0 {
+            records.push(io(s as f64, 1, IoKind::Read));
+        }
+        if s % 300 == 0 {
+            for k in 0..10 {
+                records.push(io(s as f64 + 0.01 * k as f64, 2, IoKind::Write));
+            }
+        }
+    }
+    records.sort_by_key(|r| r.ts);
+    let w = Workload {
+        name: "wd",
+        duration: Micros::from_secs(3600),
+        num_enclosures: 2,
+        items: vec![item(1, 0, GIB), item(2, 1, 10 * MIB)],
+        trace: LogicalTrace::from_unsorted(records),
+    };
+    let mut prop = EnergyEfficientPolicy::with_defaults();
+    let report = run(&w, &mut prop, &cfg(), &ReplayOptions::default());
+    let (_, _, _, buffered, _) = report.cache_counters;
+    assert!(
+        buffered > 50,
+        "item 2's writes should be buffered after the first period, got {buffered}"
+    );
+}
+
+#[test]
+fn proposed_migrates_stray_p3_items() {
+    // Two continuously hammered items on different enclosures but with a
+    // combined load one enclosure can serve: the proposed policy should
+    // consolidate them and power off the freed enclosure. Ten I/Os per
+    // second each keeps both above the de-minimis placement floor.
+    let mut records = Vec::new();
+    for s in 0..7200 {
+        for k in 0..10 {
+            records.push(io(s as f64 + 0.09 * k as f64, 1, IoKind::Read));
+            records.push(io(s as f64 + 0.05 + 0.09 * k as f64, 2, IoKind::Read));
+        }
+    }
+    records.sort_by_key(|r| r.ts);
+    let w = Workload {
+        name: "consolidate",
+        duration: Micros::from_secs(7200),
+        num_enclosures: 2,
+        items: vec![item(1, 0, GIB), item(2, 1, GIB)],
+        trace: LogicalTrace::from_unsorted(records),
+    };
+    let mut prop = EnergyEfficientPolicy::with_defaults();
+    let report = run(&w, &mut prop, &cfg(), &ReplayOptions::default());
+    assert!(
+        report.migrated_bytes >= GIB,
+        "the stray P3 item should migrate, moved {}",
+        report.migrated_bytes
+    );
+    let mut base = NoPowerSaving::new();
+    let baseline = run(&w, &mut base, &cfg(), &ReplayOptions::default());
+    assert!(report.enclosure_saving_vs(&baseline) > 20.0);
+}
+
+#[test]
+fn pdc_and_ddr_run_and_report() {
+    let w = split_workload();
+    let mut pdc = Pdc::new();
+    let r1 = run(&w, &mut pdc, &cfg(), &ReplayOptions::default());
+    assert_eq!(r1.policy, "PDC");
+    let mut ddr = Ddr::new();
+    let r2 = run(&w, &mut ddr, &cfg(), &ReplayOptions::default());
+    assert_eq!(r2.policy, "DDR");
+    // DDR evaluates every 250 ms → determinations dwarf PDC's.
+    assert!(
+        r2.determinations > r1.determinations * 100,
+        "DDR {} vs PDC {}",
+        r2.determinations,
+        r1.determinations
+    );
+}
+
+#[test]
+fn response_windows_accumulate_read_sums() {
+    let w = split_workload();
+    let mut p = NoPowerSaving::new();
+    let options = ReplayOptions {
+        response_windows: vec![
+            ees_iotrace::Span {
+                start: Micros::ZERO,
+                end: Micros::from_secs(1800),
+            },
+            ees_iotrace::Span {
+                start: Micros::from_secs(1800),
+                end: Micros::from_secs(3600),
+            },
+        ],
+    };
+    let report = run(&w, &mut p, &cfg(), &options);
+    assert_eq!(report.window_read_sums.len(), 2);
+    let (s1, n1) = report.window_read_sums[0];
+    let (s2, n2) = report.window_read_sums[1];
+    assert!(n1 > 0 && n2 > 0);
+    assert!(s1 > 0.0 && s2 > 0.0);
+    assert_eq!(n1 + n2, report.reads);
+}
+
+#[test]
+fn interval_cdf_reflects_policy_differences() {
+    let w = split_workload();
+    let mut base = NoPowerSaving::new();
+    let baseline = run(&w, &mut base, &cfg(), &ReplayOptions::default());
+    // Enclosure 1 is idle after the first seconds in every policy, so even
+    // the baseline has one giant physical interval there.
+    assert!(baseline.interval_cdf.count() >= 1);
+    assert!(baseline.interval_cdf.max_interval() > Micros::from_secs(3000));
+}
+
+#[test]
+fn energy_conservation_sanity() {
+    // Average power must lie between "everything off" and "everything
+    // active + spin-up" bounds for any policy.
+    let w = split_workload();
+    for policy in [0, 1, 2, 3] {
+        let report = match policy {
+            0 => run(&w, &mut NoPowerSaving::new(), &cfg(), &ReplayOptions::default()),
+            1 => run(
+                &w,
+                &mut EnergyEfficientPolicy::with_defaults(),
+                &cfg(),
+                &ReplayOptions::default(),
+            ),
+            2 => run(&w, &mut Pdc::new(), &cfg(), &ReplayOptions::default()),
+            _ => run(&w, &mut Ddr::new(), &cfg(), &ReplayOptions::default()),
+        };
+        assert!(report.enclosure_avg_watts >= 2.0 * 12.0 - 1e-6);
+        assert!(report.enclosure_avg_watts <= 2.0 * 700.0);
+        assert!(report.avg_response >= Micros(200), "cache latency floor");
+    }
+}

@@ -1,0 +1,228 @@
+//! Tests of how the engine executes management plans: migration →
+//! placement coherence, preload following migrated items, extent
+//! redirects superseded by whole-item moves, and capacity guarding.
+
+use ees_iotrace::{
+    DataItemId, EnclosureId, IoKind, LogicalIoRecord, LogicalTrace, Micros, VolumeId, GIB,
+    MIB,
+};
+use ees_policy::{
+    ExtentRedirect, ManagementPlan, Migration, MonitorSnapshot, PowerPolicy,
+    REDIRECT_EXTENT_BYTES,
+};
+use ees_replay::{run, ReplayOptions};
+use ees_simstorage::{Access, StorageConfig};
+
+/// A config whose general read cache is empty, so physical I/O counts in
+/// these tests are exact (the 1 GiB extent LRU would otherwise absorb the
+/// repeated-offset reads).
+fn cfg(n: u16) -> StorageConfig {
+    let mut c = StorageConfig::ams2500(n);
+    c.cache.total_bytes = c.cache.preload_bytes + c.cache.write_delay_bytes;
+    c
+}
+use ees_workloads::{DataItemSpec, ItemKind, Workload};
+
+/// A policy that emits one fixed plan at its first period end; later
+/// periods re-assert the cache sets (plans *replace* the preload and
+/// write-delay sets, so an empty follow-up plan would drop them) but
+/// never repeat the migrations.
+struct OneShot {
+    plan: Option<ManagementPlan>,
+    steady: ManagementPlan,
+}
+
+impl OneShot {
+    fn new(plan: ManagementPlan) -> Self {
+        let steady = ManagementPlan {
+            preload: plan.preload.clone(),
+            write_delay: plan.write_delay.clone(),
+            power_off_eligible: plan.power_off_eligible.clone(),
+            determinations: 0,
+            ..Default::default()
+        };
+        OneShot {
+            plan: Some(plan),
+            steady,
+        }
+    }
+}
+
+impl PowerPolicy for OneShot {
+    fn name(&self) -> &'static str {
+        "OneShot"
+    }
+    fn initial_period(&self) -> Micros {
+        Micros::from_secs(100)
+    }
+    fn on_period_end(&mut self, _s: &MonitorSnapshot<'_>) -> ManagementPlan {
+        self.plan.take().unwrap_or_else(|| self.steady.clone())
+    }
+}
+
+fn item(id: u32, enc: u16, size: u64) -> DataItemSpec {
+    DataItemSpec {
+        id: DataItemId(id),
+        name: format!("item{id}"),
+        size,
+        volume: VolumeId(enc),
+        enclosure: EnclosureId(enc),
+        kind: ItemKind::File,
+        access: Access::Random,
+    }
+}
+
+fn io(ts_s: f64, id: u32, kind: IoKind) -> LogicalIoRecord {
+    LogicalIoRecord {
+        ts: Micros::from_secs_f64(ts_s),
+        item: DataItemId(id),
+        offset: 0,
+        len: 4096,
+        kind,
+    }
+}
+
+/// Item 1 receives I/O before and after a plan that migrates it from
+/// enclosure 0 to 1: the later I/O must land on enclosure 1.
+#[test]
+fn migration_moves_subsequent_io() {
+    let records: Vec<_> = (0..600).map(|s| io(s as f64, 1, IoKind::Read)).collect();
+    let w = Workload {
+        name: "mig",
+        duration: Micros::from_secs(600),
+        num_enclosures: 2,
+        items: vec![item(1, 0, GIB)],
+        trace: LogicalTrace::from_unsorted(records),
+    };
+    let mut p = OneShot::new(ManagementPlan {
+        migrations: vec![Migration {
+            item: DataItemId(1),
+            to: EnclosureId(1),
+        }],
+        determinations: 1,
+        ..Default::default()
+    });
+    let r = run(&w, &mut p, &cfg(2), &ReplayOptions::default());
+    assert_eq!(r.migrated_bytes, GIB);
+    // Enclosure 0 served the first 100 s, enclosure 1 the remaining 500 s.
+    assert_eq!(r.enclosures[0].ios, 100);
+    assert_eq!(r.enclosures[1].ios, 500);
+}
+
+/// An extent redirect moves one extent's I/O; a later whole-item
+/// migration supersedes it.
+#[test]
+fn extent_redirect_applies_until_item_moves() {
+    let mut records = Vec::new();
+    // All I/O hits extent 2 of item 1.
+    for s in 0..600 {
+        records.push(LogicalIoRecord {
+            ts: Micros::from_secs(s),
+            item: DataItemId(1),
+            offset: 2 * REDIRECT_EXTENT_BYTES + 4096,
+            len: 4096,
+            kind: IoKind::Read,
+        });
+    }
+    let w = Workload {
+        name: "redir",
+        duration: Micros::from_secs(600),
+        num_enclosures: 3,
+        items: vec![item(1, 0, GIB)],
+        trace: LogicalTrace::from_unsorted(records),
+    };
+    struct TwoPlans {
+        step: u32,
+    }
+    impl PowerPolicy for TwoPlans {
+        fn name(&self) -> &'static str {
+            "TwoPlans"
+        }
+        fn initial_period(&self) -> Micros {
+            Micros::from_secs(100)
+        }
+        fn on_period_end(&mut self, _s: &MonitorSnapshot<'_>) -> ManagementPlan {
+            self.step += 1;
+            match self.step {
+                // t = 100 s: redirect extent 2 onto enclosure 1.
+                1 => ManagementPlan {
+                    extent_redirects: vec![ExtentRedirect {
+                        item: DataItemId(1),
+                        extent: 2,
+                        to: EnclosureId(1),
+                        bytes: REDIRECT_EXTENT_BYTES,
+                    }],
+                    determinations: 1,
+                    ..Default::default()
+                },
+                // t = 200 s: move the whole item to enclosure 2 — the
+                // redirect must be superseded.
+                2 => ManagementPlan {
+                    migrations: vec![Migration {
+                        item: DataItemId(1),
+                        to: EnclosureId(2),
+                    }],
+                    determinations: 1,
+                    ..Default::default()
+                },
+                _ => ManagementPlan::default(),
+            }
+        }
+    }
+    let mut p = TwoPlans { step: 0 };
+    let r = run(&w, &mut p, &cfg(3), &ReplayOptions::default());
+    assert_eq!(r.enclosures[0].ios, 100, "before any plan");
+    assert_eq!(r.enclosures[1].ios, 100, "redirected window");
+    assert_eq!(r.enclosures[2].ios, 400, "after the whole-item move");
+}
+
+/// A migration into a full enclosure is dropped, not executed.
+#[test]
+fn infeasible_migration_is_skipped() {
+    let records: Vec<_> = (0..300).map(|s| io(s as f64, 1, IoKind::Read)).collect();
+    let big = 1_600_000_000_000; // nearly fills a 1.7 TB enclosure
+    let w = Workload {
+        name: "full",
+        duration: Micros::from_secs(300),
+        num_enclosures: 2,
+        items: vec![item(1, 0, 200 * GIB), item(2, 1, big)],
+        trace: LogicalTrace::from_unsorted(records),
+    };
+    let mut p = OneShot::new(ManagementPlan {
+        migrations: vec![Migration {
+            item: DataItemId(1),
+            to: EnclosureId(1), // item 1 (200 GiB) cannot fit
+        }],
+        determinations: 1,
+        ..Default::default()
+    });
+    let r = run(&w, &mut p, &cfg(2), &ReplayOptions::default());
+    assert_eq!(r.migrated_bytes, 0, "the infeasible move must be dropped");
+    assert_eq!(r.enclosures[0].ios, 300, "item 1 stays put");
+}
+
+/// Preload set changes load only the newly selected items, and a
+/// preloaded item's reads stop reaching its enclosure.
+#[test]
+fn preload_absorbs_after_plan() {
+    let mut records = Vec::new();
+    for s in 0..600 {
+        records.push(io(s as f64, 1, IoKind::Read));
+    }
+    let w = Workload {
+        name: "preload",
+        duration: Micros::from_secs(600),
+        num_enclosures: 1,
+        items: vec![item(1, 0, 50 * MIB)],
+        trace: LogicalTrace::from_unsorted(records),
+    };
+    let mut p = OneShot::new(ManagementPlan {
+        preload: vec![(DataItemId(1), 50 * MIB)],
+        determinations: 1,
+        ..Default::default()
+    });
+    let r = run(&w, &mut p, &cfg(1), &ReplayOptions::default());
+    let (preload_hits, _, _, _, _) = r.cache_counters;
+    assert_eq!(preload_hits, 500, "all reads after t = 100 s hit the cache");
+    assert_eq!(r.enclosures[0].ios, 100);
+}

@@ -1,0 +1,244 @@
+//! The storage controller: the RAID head that owns the enclosures and the
+//! battery-backed cache, executes migrations, and draws its own constant
+//! power (the paper's Fig. 8/11/14 report "storage controller and disk
+//! enclosures" together).
+
+use crate::cache::{CacheConfig, StorageCache};
+use crate::config::StorageConfig;
+use crate::enclosure::{DiskEnclosure, EnclosureConfig, IoOutcome};
+use crate::hdd::Access;
+use ees_iotrace::{EnclosureId, IoKind, Micros};
+
+/// The simulated storage unit: controller + cache + enclosures.
+#[derive(Debug, Clone)]
+pub struct StorageController {
+    enclosures: Vec<DiskEnclosure>,
+    cache: StorageCache,
+    controller_watts: f64,
+    migrated_bytes: u64,
+    migration_count: u64,
+}
+
+impl StorageController {
+    /// Builds a storage unit from a configuration.
+    pub fn new(cfg: &StorageConfig) -> Self {
+        Self::with_parts(cfg.num_enclosures, cfg.enclosure, cfg.cache, cfg.controller_watts)
+    }
+
+    /// Builds a storage unit from explicit parts.
+    pub fn with_parts(
+        num_enclosures: u16,
+        enclosure: EnclosureConfig,
+        cache: CacheConfig,
+        controller_watts: f64,
+    ) -> Self {
+        StorageController {
+            enclosures: (0..num_enclosures)
+                .map(|i| DiskEnclosure::new(EnclosureId(i), enclosure))
+                .collect(),
+            cache: StorageCache::new(cache),
+            controller_watts,
+            migrated_bytes: 0,
+            migration_count: 0,
+        }
+    }
+
+    /// Number of enclosures.
+    pub fn num_enclosures(&self) -> u16 {
+        self.enclosures.len() as u16
+    }
+
+    /// All enclosure ids.
+    pub fn enclosure_ids(&self) -> impl Iterator<Item = EnclosureId> + '_ {
+        self.enclosures.iter().map(|e| e.id())
+    }
+
+    /// Immutable view of one enclosure.
+    pub fn enclosure(&self, id: EnclosureId) -> &DiskEnclosure {
+        &self.enclosures[id.0 as usize]
+    }
+
+    /// Mutable view of one enclosure.
+    pub fn enclosure_mut(&mut self, id: EnclosureId) -> &mut DiskEnclosure {
+        &mut self.enclosures[id.0 as usize]
+    }
+
+    /// Immutable view of the cache.
+    pub fn cache(&self) -> &StorageCache {
+        &self.cache
+    }
+
+    /// Mutable view of the cache.
+    pub fn cache_mut(&mut self) -> &mut StorageCache {
+        &mut self.cache
+    }
+
+    /// Submits one physical I/O to an enclosure.
+    pub fn submit(
+        &mut self,
+        t: Micros,
+        enclosure: EnclosureId,
+        len: u32,
+        kind: IoKind,
+        access: Access,
+    ) -> IoOutcome {
+        self.enclosure_mut(enclosure).submit(t, len, kind, access)
+    }
+
+    /// Migrates `bytes` of one data item from `from` to `to`, submitted at
+    /// time `t`. Returns the completion time.
+    ///
+    /// The copy occupies both enclosures' throttled *background* channels
+    /// (each serializes its own bulk work), so migrations on disjoint
+    /// enclosure pairs overlap while chains through one enclosure queue up
+    /// — and, critically, enclosure clocks never advance past `t`, so
+    /// foreground I/O keeps interleaving with in-flight migrations.
+    /// Capacity bookkeeping moves with the data at submission.
+    pub fn migrate(
+        &mut self,
+        t: Micros,
+        from: EnclosureId,
+        to: EnclosureId,
+        bytes: u64,
+    ) -> Micros {
+        debug_assert_ne!(from, to, "migration source and target must differ");
+        let read_done = self.enclosure_mut(from).bulk_transfer(t, bytes, IoKind::Read);
+        let write_done = self.enclosure_mut(to).bulk_transfer(t, bytes, IoKind::Write);
+        let done = read_done.max(write_done);
+        self.migrated_bytes += bytes;
+        self.migration_count += 1;
+        self.enclosure_mut(from).remove_bytes(bytes);
+        self.enclosure_mut(to).place_bytes(bytes);
+        done
+    }
+
+    /// Total bytes moved by migrations so far (Fig. 10/13/16).
+    pub fn migrated_bytes(&self) -> u64 {
+        self.migrated_bytes
+    }
+
+    /// Number of item migrations executed.
+    pub fn migration_count(&self) -> u64 {
+        self.migration_count
+    }
+
+    /// Closes accounting on every enclosure at the end of a run.
+    pub fn finish(&mut self, t: Micros) {
+        for e in &mut self.enclosures {
+            e.finish(t);
+        }
+    }
+
+    /// Total energy of the storage unit over a run of length `duration`:
+    /// all enclosure meters plus the controller's constant draw. Call
+    /// [`finish`](Self::finish) first.
+    pub fn total_energy_joules(&self, duration: Micros) -> f64 {
+        let enclosures: f64 = self.enclosures.iter().map(|e| e.meter().joules()).sum();
+        enclosures + self.controller_watts * duration.as_secs_f64()
+    }
+
+    /// Average power over a run of length `duration`, watts.
+    pub fn average_watts(&self, duration: Micros) -> f64 {
+        if duration == Micros::ZERO {
+            0.0
+        } else {
+            self.total_energy_joules(duration) / duration.as_secs_f64()
+        }
+    }
+
+    /// Average power of the enclosures only, watts.
+    pub fn enclosure_average_watts(&self, duration: Micros) -> f64 {
+        if duration == Micros::ZERO {
+            return 0.0;
+        }
+        let enclosures: f64 = self.enclosures.iter().map(|e| e.meter().joules()).sum();
+        enclosures / duration.as_secs_f64()
+    }
+
+    /// Sum of spin-ups across enclosures.
+    pub fn total_spin_ups(&self) -> u64 {
+        self.enclosures.iter().map(|e| e.stats().spin_ups).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerMode;
+
+    fn controller(n: u16) -> StorageController {
+        StorageController::with_parts(
+            n,
+            EnclosureConfig::ams2500(),
+            CacheConfig::ams2500(),
+            400.0,
+        )
+    }
+
+    #[test]
+    fn construction_and_ids() {
+        let c = controller(4);
+        assert_eq!(c.num_enclosures(), 4);
+        let ids: Vec<_> = c.enclosure_ids().collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[3], EnclosureId(3));
+    }
+
+    #[test]
+    fn submit_routes_to_enclosure() {
+        let mut c = controller(2);
+        let out = c.submit(Micros::SECOND, EnclosureId(1), 4096, IoKind::Read, Access::Random);
+        assert!(!out.triggered_spin_up);
+        assert_eq!(c.enclosure(EnclosureId(1)).stats().ios, 1);
+        assert_eq!(c.enclosure(EnclosureId(0)).stats().ios, 0);
+    }
+
+    #[test]
+    fn idle_unit_power_is_controller_plus_idle_enclosures() {
+        let mut c = controller(10);
+        let dur = Micros::from_secs(1000);
+        c.finish(dur);
+        let avg = c.average_watts(dur);
+        // 400 W controller + 10 × 210 W idle enclosures.
+        assert!((avg - 2500.0).abs() < 1e-6, "got {avg}");
+        assert!((c.enclosure_average_watts(dur) - 2100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn migration_moves_capacity_and_counts_bytes() {
+        let mut c = controller(2);
+        c.enclosure_mut(EnclosureId(0)).place_bytes(1_000_000);
+        let done = c.migrate(Micros::SECOND, EnclosureId(0), EnclosureId(1), 1_000_000);
+        assert!(done > Micros::SECOND);
+        assert_eq!(c.migrated_bytes(), 1_000_000);
+        assert_eq!(c.migration_count(), 1);
+        assert_eq!(c.enclosure(EnclosureId(0)).used_bytes(), 0);
+        assert_eq!(c.enclosure(EnclosureId(1)).used_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn migrations_sharing_an_enclosure_serialize() {
+        let mut c = controller(3);
+        c.enclosure_mut(EnclosureId(0)).place_bytes(2_000_000_000);
+        let first = c.migrate(Micros::ZERO, EnclosureId(0), EnclosureId(1), 1_000_000_000);
+        let second = c.migrate(Micros::ZERO, EnclosureId(0), EnclosureId(2), 1_000_000_000);
+        assert!(second > first, "both read from enclosure 0 → serialized there");
+        // Migrations on disjoint pairs overlap.
+        let mut c2 = controller(4);
+        c2.enclosure_mut(EnclosureId(0)).place_bytes(1_000_000_000);
+        c2.enclosure_mut(EnclosureId(2)).place_bytes(1_000_000_000);
+        let a = c2.migrate(Micros::ZERO, EnclosureId(0), EnclosureId(1), 1_000_000_000);
+        let b = c2.migrate(Micros::ZERO, EnclosureId(2), EnclosureId(3), 1_000_000_000);
+        assert_eq!(a, b, "disjoint pairs run concurrently");
+    }
+
+    #[test]
+    fn migration_keeps_enclosures_active() {
+        let mut c = controller(2);
+        c.enclosure_mut(EnclosureId(0)).place_bytes(1 << 30);
+        let done = c.migrate(Micros::ZERO, EnclosureId(0), EnclosureId(1), 1 << 30);
+        c.finish(done);
+        let active = c.enclosure(EnclosureId(0)).meter().time_in(PowerMode::Active);
+        assert!(active > Micros::ZERO);
+    }
+}

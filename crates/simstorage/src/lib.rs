@@ -1,0 +1,34 @@
+//! # ees-simstorage
+//!
+//! Discrete-event simulator of the enterprise storage unit used by the
+//! ICDE 2012 paper's test bed (a Hitachi AMS 2500-like array): disk
+//! enclosures with a calibrated three-state power model and timeout
+//! spin-down, an FCFS service model with the paper's IOPS caps, a
+//! battery-backed RAID-controller cache with preload and write-delay
+//! partitions, a block-virtualization placement map, and a controller that
+//! executes throttled data-item migrations.
+//!
+//! This crate substitutes for the hardware the paper measured: energy is
+//! integrated exactly per power mode instead of read off a physical power
+//! meter, and response times come from the service model instead of
+//! `blktrace`. See DESIGN.md §2 for the substitution argument.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod controller;
+pub mod enclosure;
+pub mod hdd;
+pub mod power;
+pub mod raid;
+pub mod vmap;
+
+pub use cache::{CacheConfig, FlushSet, LruSet, StorageCache};
+pub use config::StorageConfig;
+pub use controller::StorageController;
+pub use enclosure::{DiskEnclosure, EnclosureConfig, EnclosureStats, IoOutcome};
+pub use hdd::{Access, HddModel, ServiceModel};
+pub use power::{EnclosurePowerModel, EnergyMeter, PowerMode};
+pub use raid::{Raid6Geometry, StripeAddress};
+pub use vmap::{ItemPlacement, PlacementMap};

@@ -1,0 +1,54 @@
+//! Property-based tests of the workload generators: structural validity
+//! and determinism under arbitrary seeds and (small) scales.
+
+use ees_workloads::{dss, fileserver, oltp, DssParams, FileServerParams, OltpParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every generator produces a structurally valid workload for any
+    /// seed and small scale: unique item ids, in-range enclosures,
+    /// sorted in-range timestamps.
+    #[test]
+    fn fileserver_is_always_valid(seed in 0u64..1_000_000, pct in 2u32..6u32) {
+        let p = FileServerParams::scaled(pct as f64 / 100.0);
+        let w = fileserver::generate(seed, &p);
+        w.validate();
+        prop_assert_eq!(w.num_enclosures, 12);
+        prop_assert!(w.trace.len() > 0);
+    }
+
+    #[test]
+    fn oltp_is_always_valid(seed in 0u64..1_000_000) {
+        let mut p = OltpParams::scaled(0.02);
+        p.mean_iops = 300.0; // keep the test trace small
+        let w = oltp::generate(seed, &p);
+        w.validate();
+        prop_assert_eq!(w.num_enclosures, 10);
+        // The log stream always exists.
+        prop_assert!(w.items.iter().any(|i| i.name == "wal"));
+    }
+
+    #[test]
+    fn dss_is_always_valid(seed in 0u64..1_000_000) {
+        let (w, schedule) = dss::generate_with_schedule(seed, &DssParams::scaled(0.02));
+        w.validate();
+        prop_assert_eq!(schedule.len(), 22);
+        // Windows are ordered and within the run.
+        for pair in schedule.windows(2) {
+            prop_assert!(pair[0].window.end <= pair[1].window.start);
+        }
+        prop_assert!(schedule.last().unwrap().window.end <= w.duration);
+    }
+
+    /// Generation is a pure function of (seed, params).
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1_000_000) {
+        let p = DssParams::scaled(0.01);
+        let a = dss::generate(seed, &p);
+        let b = dss::generate(seed, &p);
+        prop_assert_eq!(a.trace.records(), b.trace.records());
+        prop_assert_eq!(a.items.len(), b.items.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! DSS scans: TPC-H under all four methods, with per-query response
+//! scaling for Q2/Q7/Q21 (the Fig. 14/15/16 story).
+//!
+//! ```text
+//! cargo run --release --example dss_scan -- [scale]
+//! ```
+
+use ees::prelude::*;
+use ees::replay::tpch_query_response_from_reports;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let (workload, schedule) =
+        ees::workloads::dss::generate_with_schedule(42, &DssParams::scaled(scale));
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    let options = ReplayOptions {
+        response_windows: schedule.iter().map(|q| q.window).collect(),
+    };
+    println!(
+        "TPC-H, scale {scale}: {} records, 22 queries over {:.0} s\n",
+        workload.trace.len(),
+        workload.duration.as_secs_f64()
+    );
+
+    let mut reports = Vec::new();
+    let policies: Vec<(&str, Box<dyn PowerPolicy>)> = vec![
+        ("No Power Saving", Box::new(NoPowerSaving::new())),
+        ("Proposed Method", Box::new(EnergyEfficientPolicy::with_defaults())),
+        ("PDC", Box::new(Pdc::new())),
+        ("DDR", Box::new(Ddr::new())),
+    ];
+    for (name, mut policy) in policies {
+        let report = ees::replay::run(&workload, policy.as_mut(), &cfg, &options);
+        reports.push((name, report));
+    }
+
+    let base = reports[0].1.clone();
+    println!("{:<18} {:>12} {:>9} {:>12}", "method", "encl. power", "Δ", "migrated");
+    for (name, r) in &reports {
+        println!(
+            "{:<18} {:>10.1} W {:>+7.1} % {:>12}",
+            name,
+            r.enclosure_avg_watts,
+            -(r.enclosure_saving_vs(&base)),
+            ees::iotrace::fmt_bytes(r.migrated_bytes)
+        );
+    }
+    println!("\npaper: proposed −70.8 %, PDC −55.9 %, DDR −69.9 %\n");
+
+    // Per-query responses, scaled per §VII.A.5 from SF-100-like baselines.
+    for (qname, q_orig) in [("Q2", 60.0), ("Q7", 420.0), ("Q21", 900.0)] {
+        let wi = schedule.iter().position(|q| q.name == qname).unwrap();
+        print!("{qname:4}");
+        for (name, r) in &reports {
+            let q = tpch_query_response_from_reports(q_orig, &base, r, wi);
+            print!("  {name}: {q:7.1} s");
+        }
+        println!();
+    }
+    println!("\npaper Fig. 15: proposed fastest among saving methods; DDR ≈ 3× proposed");
+}

@@ -1,0 +1,89 @@
+//! Replaying a real MSR Cambridge trace file (SNIA IOTTA CSV format).
+//!
+//! ```text
+//! cargo run --release --example msr_import -- /path/to/msr.csv
+//! ```
+//!
+//! Without an argument, a small synthetic CSV in the MSR format is
+//! generated in memory so the example runs out of the box — swap in an
+//! actual `*.csv` from the MSR Cambridge release to replay production
+//! I/O through the paper's power management.
+
+use ees::prelude::*;
+use ees::workloads::{import_msr, MsrImportOptions};
+use std::io::BufReader;
+
+fn synthetic_csv() -> String {
+    // A miniature trace in MSR format: two volumes, one hot and one
+    // bursty, over ten simulated minutes. FILETIME ticks are 100 ns.
+    let base: u64 = 128_166_372_000_000_000;
+    let mut out = String::from("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n");
+    for s in 0..600u64 {
+        // usr.0: steady reads every second.
+        out.push_str(&format!(
+            "{},usr,0,Read,{},8192,500\n",
+            base + s * 10_000_000,
+            (s * 65536) % (4 << 30)
+        ));
+        // proj.0: a burst every two minutes.
+        if s % 120 < 3 {
+            out.push_str(&format!(
+                "{},proj,0,Read,{},65536,900\n",
+                base + s * 10_000_000 + 1000,
+                (s * 1_048_576) % (16 << 30)
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let options = MsrImportOptions {
+        num_enclosures: 4,
+        ..Default::default()
+    };
+    let workload = match std::env::args().nth(1) {
+        Some(path) => {
+            let file = std::fs::File::open(&path).expect("cannot open trace file");
+            import_msr(BufReader::new(file), &options).expect("malformed MSR trace")
+        }
+        None => {
+            println!("(no trace file given — using a synthetic MSR-format sample)\n");
+            import_msr(synthetic_csv().as_bytes(), &options).expect("synthetic trace parses")
+        }
+    };
+    println!(
+        "imported: {} records, {} items, {:.0} s over {} enclosures",
+        workload.trace.len(),
+        workload.items.len(),
+        workload.duration.as_secs_f64(),
+        workload.num_enclosures
+    );
+
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    let baseline = ees::replay::run(
+        &workload,
+        &mut NoPowerSaving::new(),
+        &cfg,
+        &ReplayOptions::default(),
+    );
+    let mut policy = EnergyEfficientPolicy::with_defaults();
+    let proposed = ees::replay::run(&workload, &mut policy, &cfg, &ReplayOptions::default());
+    println!(
+        "enclosure power: {:.1} W → {:.1} W ({:+.1} %)",
+        baseline.enclosure_avg_watts,
+        proposed.enclosure_avg_watts,
+        -(proposed.enclosure_saving_vs(&baseline))
+    );
+    println!(
+        "avg response:    {:.2} ms → {:.2} ms",
+        baseline.avg_response.as_millis_f64(),
+        proposed.avg_response.as_millis_f64()
+    );
+    if let Some(mix) = policy.history().latest_mix() {
+        println!(
+            "last-period mix: P0 {} / P1 {} / P2 {} / P3 {}",
+            mix.p0, mix.p1, mix.p2, mix.p3
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! OLTP cooperation: how the proposed method carves a busy TPC-C array
+//! into hot and cold enclosures, and what it costs in throughput
+//! (the Fig. 11/12/13 story).
+//!
+//! ```text
+//! cargo run --release --example oltp_cooperative -- [scale]
+//! ```
+
+use ees::prelude::*;
+use ees::replay::tpcc_throughput_from_reports;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let workload = ees::workloads::oltp::generate(42, &OltpParams::scaled(scale));
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    println!(
+        "TPC-C, scale {scale}: {} records, {:.0} avg IOPS, {} items on {} enclosures\n",
+        workload.trace.len(),
+        workload.trace.len() as f64 / workload.duration.as_secs_f64(),
+        workload.items.len(),
+        workload.num_enclosures
+    );
+
+    let baseline = ees::replay::run(
+        &workload,
+        &mut NoPowerSaving::new(),
+        &cfg,
+        &ReplayOptions::default(),
+    );
+    let mut policy = EnergyEfficientPolicy::with_defaults();
+    let proposed = ees::replay::run(&workload, &mut policy, &cfg, &ReplayOptions::default());
+
+    // The paper's measured no-power-saving throughput (Table/§VII.D.2).
+    let t_orig = 1859.5;
+    let tpmc = tpcc_throughput_from_reports(t_orig, &baseline, &proposed);
+
+    println!("power:      {:.1} W → {:.1} W ({:+.1} %)",
+        baseline.enclosure_avg_watts,
+        proposed.enclosure_avg_watts,
+        -proposed.enclosure_saving_vs(&baseline));
+    println!("throughput: {:.1} tpmC → {:.1} tpmC ({:+.1} %)   [paper: 1701.4, −8.5 %]",
+        t_orig, tpmc, (tpmc / t_orig - 1.0) * 100.0);
+    println!("reads:      {:.2} ms → {:.2} ms average response",
+        baseline.avg_read_response.as_millis_f64(),
+        proposed.avg_read_response.as_millis_f64());
+    println!("migrated:   {}", ees::iotrace::fmt_bytes(proposed.migrated_bytes));
+    println!("spin-ups:   {}", proposed.spin_ups);
+    if let Some(mix) = policy.history().latest_mix() {
+        let total = mix.total() as f64;
+        println!(
+            "pattern mix: {:.1} % P3, {:.1} % P1  [paper Fig. 6: 76.2 % P3, 23.3 % P1]",
+            mix.p3 as f64 * 100.0 / total,
+            mix.p1 as f64 * 100.0 / total
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Pattern explorer: hand-build item timelines and watch the paper's
+//! P0–P3 classifier and management function at work.
+//!
+//! ```text
+//! cargo run --example pattern_explorer
+//! ```
+
+use ees::core::{analyze_snapshot, classify, plan_placement};
+use ees::iotrace::{analyze_item_period, LogicalIoRecord, MIB};
+use ees::prelude::*;
+use ees::policy::{EnclosureView, MonitorSnapshot};
+use ees::simstorage::PlacementMap;
+
+fn io(ts_s: f64, item: u32, kind: IoKind) -> LogicalIoRecord {
+    LogicalIoRecord {
+        ts: Micros::from_secs_f64(ts_s),
+        item: DataItemId(item),
+        offset: 0,
+        len: 8192,
+        kind,
+    }
+}
+
+fn main() {
+    let period = Span {
+        start: Micros::ZERO,
+        end: Micros::from_secs(520),
+    };
+    let break_even = Micros::from_secs(52);
+
+    // Four archetypal timelines over one 520 s monitoring period.
+    let scenarios: Vec<(&str, Vec<LogicalIoRecord>)> = vec![
+        ("silent archive", vec![]),
+        ("read bursts with long gaps", {
+            let mut v = vec![];
+            for burst in [10.0, 200.0, 470.0] {
+                for k in 0..20 {
+                    v.push(io(burst + k as f64 * 0.05, 1, IoKind::Read));
+                }
+            }
+            v
+        }),
+        ("write batches with long gaps", {
+            let mut v = vec![];
+            for burst in [30.0, 300.0] {
+                for k in 0..30 {
+                    v.push(io(burst + k as f64 * 0.05, 2, IoKind::Write));
+                }
+            }
+            v
+        }),
+        ("relentless OLTP traffic", {
+            // Ten reads a second, continuously: unambiguously hot.
+            (0..5200)
+                .map(|i| io(i as f64 / 10.0, 3, IoKind::Read))
+                .collect()
+        }),
+    ];
+
+    println!("item classification over one {:.0} s period (break-even {:.0} s):\n",
+        period.len().as_secs_f64(), break_even.as_secs_f64());
+    for (name, ios) in &scenarios {
+        let stats = analyze_item_period(DataItemId(0), ios, period, break_even);
+        let pattern = classify(&stats);
+        println!(
+            "  {name:30} → {pattern}  ({} long intervals, {} sequences, {:.0} % reads)",
+            stats.long_intervals.len(),
+            stats.sequences.len(),
+            stats.read_ratio() * 100.0
+        );
+    }
+
+    // Now put the four items on two enclosures and let the management
+    // function plan: the P3 item pins one hot enclosure, everything else
+    // concentrates power-off opportunity on the other.
+    let mut placement = PlacementMap::new();
+    placement.insert(DataItemId(0), EnclosureId(0), 100 * MIB);
+    placement.insert(DataItemId(1), EnclosureId(0), 200 * MIB);
+    placement.insert(DataItemId(2), EnclosureId(1), 150 * MIB);
+    placement.insert(DataItemId(3), EnclosureId(1), 300 * MIB);
+    let mut logical: Vec<LogicalIoRecord> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, (_, ios))| {
+            ios.iter().map(move |r| LogicalIoRecord {
+                item: DataItemId(i as u32),
+                ..*r
+            })
+        })
+        .collect();
+    logical.sort_by_key(|r| r.ts);
+    let views: Vec<EnclosureView> = (0..2)
+        .map(|e| EnclosureView {
+            id: EnclosureId(e),
+            capacity: 1_700_000 * MIB,
+            used: 0,
+            max_iops: 900.0,
+            max_seq_iops: 2800.0,
+            served_ios: 0,
+            spin_ups: 0,
+        })
+        .collect();
+    let snapshot = MonitorSnapshot {
+        period,
+        break_even,
+        logical: &logical,
+        physical: &[],
+        placement: &placement,
+        enclosures: views.clone(),
+        sequential: Default::default(),
+    };
+    let reports = analyze_snapshot(&snapshot);
+    let plan = plan_placement(&reports, &views, period.start);
+    println!("\nmanagement decision:");
+    println!("  hot enclosures:  {:?}", plan.split.hot);
+    println!("  cold enclosures: {:?}", plan.split.cold);
+    for m in &plan.migrations {
+        println!("  migrate {} → {}", m.item, m.to);
+    }
+    if plan.migrations.is_empty() {
+        println!("  (no migrations needed)");
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: generate a small File Server trace, replay it with and
+//! without the paper's power management, and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ees::prelude::*;
+
+fn main() {
+    // 10 % of the paper's 6 h File Server run: long enough for several
+    // monitoring periods while staying snappy.
+    let workload = ees::workloads::fileserver::generate(42, &FileServerParams::scaled(0.1));
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    println!(
+        "workload: {} — {} items, {} records over {:.0} s on {} enclosures",
+        workload.name,
+        workload.items.len(),
+        workload.trace.len(),
+        workload.duration.as_secs_f64(),
+        workload.num_enclosures
+    );
+
+    let baseline = ees::replay::run(
+        &workload,
+        &mut NoPowerSaving::new(),
+        &cfg,
+        &ReplayOptions::default(),
+    );
+    let mut policy = EnergyEfficientPolicy::with_defaults();
+    let proposed = ees::replay::run(&workload, &mut policy, &cfg, &ReplayOptions::default());
+
+    println!();
+    println!("                         no saving    proposed");
+    println!(
+        "enclosure power      {:10.1} W {:10.1} W  ({:+.1} %)",
+        baseline.enclosure_avg_watts,
+        proposed.enclosure_avg_watts,
+        -proposed.enclosure_saving_vs(&baseline)
+    );
+    println!(
+        "avg I/O response     {:10.2} ms {:9.2} ms",
+        baseline.avg_response.as_millis_f64(),
+        proposed.avg_response.as_millis_f64()
+    );
+    println!(
+        "migrated data        {:>12} {:>12}",
+        "0 B",
+        ees::iotrace::fmt_bytes(proposed.migrated_bytes)
+    );
+    println!(
+        "management runs      {:12} {:12}",
+        baseline.periods, proposed.periods
+    );
+    if let Some(mix) = policy.history().latest_mix() {
+        println!(
+            "latest pattern mix   P0 {} / P1 {} / P2 {} / P3 {}",
+            mix.p0, mix.p1, mix.p2, mix.p3
+        );
+    }
+}

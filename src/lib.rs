@@ -1,0 +1,63 @@
+//! # ees — Energy Efficient Storage Management
+//!
+//! A from-scratch Rust reproduction of *Energy Efficient Storage
+//! Management Cooperated with Large Data Intensive Applications*
+//! (Nishikawa, Nakano, Kitsuregawa — ICDE 2012).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the paper's contribution: logical I/O patterns P0–P3,
+//!   hot/cold enclosure placement, preload and write-delay selection, the
+//!   adaptive monitoring period, and the assembled
+//!   [`core::EnergyEfficientPolicy`];
+//! * [`simstorage`] — the simulated enterprise storage unit (disk
+//!   enclosures with a calibrated power model, RAID-controller cache,
+//!   placement map);
+//! * [`iotrace`] — trace records and Long-Interval / I/O-Sequence
+//!   statistics;
+//! * [`workloads`] — the File Server / TPC-C / TPC-H generators of the
+//!   paper's Table I;
+//! * [`policy`] — the policy interface and the no-power-saving baseline;
+//! * [`baselines`] — the PDC and DDR comparators;
+//! * [`replay`] — the trace-replay engine and run reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ees::prelude::*;
+//!
+//! // A small File Server trace (0.5 % of the paper's 6 h run).
+//! let workload = ees::workloads::fileserver::generate(
+//!     42,
+//!     &FileServerParams::scaled(0.005),
+//! );
+//! let cfg = StorageConfig::ams2500(workload.num_enclosures);
+//!
+//! // Replay it without power saving, then under the paper's method.
+//! let baseline = ees::replay::run(
+//!     &workload, &mut NoPowerSaving::new(), &cfg, &ReplayOptions::default());
+//! let proposed = ees::replay::run(
+//!     &workload, &mut EnergyEfficientPolicy::with_defaults(), &cfg,
+//!     &ReplayOptions::default());
+//!
+//! assert!(proposed.enclosure_avg_watts <= baseline.enclosure_avg_watts * 1.05);
+//! ```
+
+pub use ees_baselines as baselines;
+pub use ees_core as core;
+pub use ees_iotrace as iotrace;
+pub use ees_policy as policy;
+pub use ees_replay as replay;
+pub use ees_simstorage as simstorage;
+pub use ees_workloads as workloads;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use ees_baselines::{Ddr, Pdc};
+    pub use ees_core::{EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
+    pub use ees_iotrace::{DataItemId, EnclosureId, IoKind, Micros, Span};
+    pub use ees_policy::{ManagementPlan, NoPowerSaving, PowerPolicy};
+    pub use ees_replay::{ReplayOptions, RunReport};
+    pub use ees_simstorage::{StorageConfig, StorageController};
+    pub use ees_workloads::{DssParams, FileServerParams, OltpParams, Workload};
+}

@@ -1,0 +1,156 @@
+//! The headline reproduction tests: the *shape* of every paper result
+//! must hold — who wins, by roughly what factor, where crossovers fall.
+//! Absolute watts are a simulator calibration, not an assertion target.
+//!
+//! Scales: File Server and TPC-C keep their shapes at 25 % of the paper's
+//! durations; TPC-H's inter-scan gaps scale with the run and need ≥ 50 %
+//! for the power-off opportunities the paper's Fig. 14 relies on.
+
+use ees_bench::{classify_whole_run, make_workload, run_methods, ExperimentSetup, WorkloadKind};
+use ees::prelude::*;
+use ees::iotrace::GIB;
+use ees::replay::RunReport;
+
+/// Runs all four methods over one workload, memoized per test.
+fn methods(kind: WorkloadKind, scale: f64) -> Vec<RunReport> {
+    let setup = ExperimentSetup { seed: 42, scale };
+    run_methods(kind, setup).reports
+}
+
+#[test]
+fn fig6_pattern_mix_shapes() {
+    let be = Micros::from_secs(52);
+    let setup = ExperimentSetup {
+        seed: 42,
+        scale: 0.25,
+    };
+    // File Server: P1 dominates, P3 ≈ 10 %, P2 sliver (paper: 89.6/9.9/0.5).
+    let (fs, _) = make_workload(WorkloadKind::FileServer, setup);
+    let mix = classify_whole_run(&fs, be);
+    assert!(mix.percent(LogicalIoPattern::P1) > 75.0, "FS P1 {mix:?}");
+    let p3 = mix.percent(LogicalIoPattern::P3);
+    assert!((5.0..15.0).contains(&p3), "FS P3 {p3}%");
+
+    // TPC-C: P3 dominates, P1 a quarter (paper: 76.2/23.3).
+    let (oltp, _) = make_workload(WorkloadKind::Tpcc, setup);
+    let mix = classify_whole_run(&oltp, be);
+    assert!(mix.percent(LogicalIoPattern::P3) > 60.0, "TPC-C P3 {mix:?}");
+    assert!(mix.percent(LogicalIoPattern::P1) > 10.0, "TPC-C P1 {mix:?}");
+
+    // TPC-H: no P3, P1 majority, P2 the rest (paper: 61.5/38.5).
+    let (dss, _) = make_workload(WorkloadKind::Tpch, setup);
+    let mix = classify_whole_run(&dss, be);
+    assert_eq!(mix.p3, 0, "TPC-H must have no P3 items");
+    assert!(mix.percent(LogicalIoPattern::P1) > 50.0, "TPC-H P1 {mix:?}");
+    assert!(mix.percent(LogicalIoPattern::P2) > 25.0, "TPC-H P2 {mix:?}");
+}
+
+#[test]
+fn fileserver_shapes_fig8_9_10() {
+    let r = methods(WorkloadKind::FileServer, 0.25);
+    let (base, prop, pdc, ddr) = (&r[0], &r[1], &r[2], &r[3]);
+
+    // Fig. 8: proposed saves big (paper −25.8 %); PDC and DDR save little
+    // (−3.5 % / −3.6 %).
+    let s_prop = prop.enclosure_saving_vs(base);
+    let s_pdc = pdc.enclosure_saving_vs(base);
+    let s_ddr = ddr.enclosure_saving_vs(base);
+    assert!((15.0..45.0).contains(&s_prop), "proposed saving {s_prop:.1}%");
+    assert!(s_pdc < 10.0 && s_pdc > -3.0, "PDC saving {s_pdc:.1}%");
+    assert!(s_ddr < 10.0 && s_ddr > -3.0, "DDR saving {s_ddr:.1}%");
+    assert!(s_prop > s_pdc + 10.0 && s_prop > s_ddr + 10.0);
+
+    // Fig. 9: no pathological responses; proposed close to baseline
+    // (paper: 17.1 ms, better than PDC/DDR).
+    assert!(prop.avg_response < Micros::from_millis(40), "{}", prop.avg_response);
+    assert!(pdc.avg_response < Micros::from_millis(60));
+    assert!(ddr.avg_response < Micros::from_millis(60));
+
+    // Fig. 10: proposed moves only the stray P3 items (paper 23.1 GB at
+    // full scale); PDC moves orders of magnitude more (paper > 3 TB);
+    // DDR barely anything (paper 1.3 GB).
+    assert!(
+        prop.migrated_bytes < 60 * GIB && prop.migrated_bytes > GIB,
+        "proposed migrated {}",
+        prop.migrated_bytes
+    );
+    assert!(
+        pdc.migrated_bytes > prop.migrated_bytes * 10,
+        "PDC {} vs proposed {}",
+        pdc.migrated_bytes,
+        prop.migrated_bytes
+    );
+    assert!(ddr.migrated_bytes < 5 * GIB);
+
+    // §VII.D: DDR's determination count dwarfs the others'.
+    assert!(ddr.determinations > 1000 * prop.determinations.max(1));
+    assert!(prop.determinations < 200);
+}
+
+#[test]
+fn tpcc_shapes_fig11_12_13() {
+    let r = methods(WorkloadKind::Tpcc, 0.25);
+    let (base, prop, pdc, ddr) = (&r[0], &r[1], &r[2], &r[3]);
+
+    // Fig. 11: proposed saves (paper −15.7 %); DDR ≈ nothing (paper 0 %).
+    let s_prop = prop.enclosure_saving_vs(base);
+    let s_ddr = ddr.enclosure_saving_vs(base);
+    assert!((3.0..30.0).contains(&s_prop), "proposed saving {s_prop:.1}%");
+    assert!(s_ddr < 10.0, "DDR saving {s_ddr:.1}%");
+    assert!(s_prop > s_ddr, "proposed must beat DDR");
+
+    // Fig. 12: the proposed method's throughput cost stays moderate
+    // (paper −8.5 %).
+    let tpmc = ees::replay::tpcc_throughput_from_reports(1859.5, base, prop);
+    let drop = (1.0 - tpmc / 1859.5) * 100.0;
+    assert!(drop < 30.0, "throughput drop {drop:.1}%");
+    // And DDR must not degrade throughput materially (paper: it simply
+    // does nothing on TPC-C).
+    let tpmc_ddr = ees::replay::tpcc_throughput_from_reports(1859.5, base, ddr);
+    assert!(tpmc_ddr > 1859.5 * 0.9);
+
+    // Fig. 13: DDR's migration is minimal (paper ~0.1 GB);
+    // the proposed method moves the stray P3 fragments once.
+    assert!(prop.migrated_bytes > 10 * GIB, "{}", prop.migrated_bytes);
+    assert!(prop.migrated_bytes < 200 * GIB, "{}", prop.migrated_bytes);
+    assert!(ddr.migrated_bytes < prop.migrated_bytes, "DDR moves less than proposed");
+    let _ = pdc; // PDC's 30-min period fires ~0 times at this scale.
+}
+
+#[test]
+#[ignore = "long: runs four full-duration TPC-H replays (~2 min); cargo test -- --ignored"]
+fn tpch_shapes_fig14_15_16_full_scale() {
+    let r = methods(WorkloadKind::Tpch, 1.0);
+    let (base, prop, pdc, ddr) = (&r[0], &r[1], &r[2], &r[3]);
+
+    // Fig. 14: every method saves substantially (paper: all > 50 %), and
+    // the proposed method is not beaten by more than a few points.
+    let s_prop = prop.enclosure_saving_vs(base);
+    let s_pdc = pdc.enclosure_saving_vs(base);
+    let s_ddr = ddr.enclosure_saving_vs(base);
+    assert!(s_prop > 30.0, "proposed saving {s_prop:.1}%");
+    assert!(s_pdc > 15.0, "PDC saving {s_pdc:.1}%");
+    assert!(s_ddr > 15.0, "DDR saving {s_ddr:.1}%");
+    assert!(s_prop + 5.0 > s_ddr, "proposed ≈ best (prop {s_prop:.1} vs ddr {s_ddr:.1})");
+
+    // Fig. 16: DDR moves far less than the item-granular methods.
+    assert!(prop.migrated_bytes > 10 * GIB);
+    assert!(ddr.migrated_bytes < prop.migrated_bytes / 2);
+}
+
+#[test]
+fn fig17_interval_totals_order() {
+    // Fig. 17: the proposed method's total long-interval length beats the
+    // baselines' ("approximately twice as long" in the paper).
+    let r = methods(WorkloadKind::FileServer, 0.25);
+    let (base, prop, pdc, ddr) = (&r[0], &r[1], &r[2], &r[3]);
+    let t_prop = prop.interval_cdf.total_length();
+    let t_pdc = pdc.interval_cdf.total_length();
+    let t_ddr = ddr.interval_cdf.total_length();
+    assert!(
+        t_prop > t_pdc && t_prop > t_ddr,
+        "proposed {t_prop} vs PDC {t_pdc} / DDR {t_ddr}"
+    );
+    // And the baseline (no saving) is not magically better than proposed.
+    assert!(t_prop >= base.interval_cdf.total_length());
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: every workload × every policy at small
+//! scale, exercised through the facade crate exactly as a downstream user
+//! would.
+
+use ees::prelude::*;
+
+fn workloads(scale: f64) -> Vec<(Workload, Vec<ees::workloads::QueryWindow>)> {
+    vec![
+        (
+            ees::workloads::fileserver::generate(7, &FileServerParams::scaled(scale)),
+            Vec::new(),
+        ),
+        (
+            ees::workloads::oltp::generate(7, &OltpParams::scaled(scale)),
+            Vec::new(),
+        ),
+        {
+            let (w, s) = ees::workloads::dss::generate_with_schedule(7, &DssParams::scaled(scale));
+            (w, s)
+        },
+    ]
+}
+
+fn policies() -> Vec<Box<dyn PowerPolicy>> {
+    vec![
+        Box::new(NoPowerSaving::new()),
+        Box::new(EnergyEfficientPolicy::with_defaults()),
+        Box::new(Pdc::new()),
+        Box::new(Ddr::new()),
+    ]
+}
+
+#[test]
+fn every_policy_runs_every_workload() {
+    for (workload, schedule) in workloads(0.02) {
+        let cfg = StorageConfig::ams2500(workload.num_enclosures);
+        let options = ReplayOptions {
+            response_windows: schedule.iter().map(|q| q.window).collect(),
+        };
+        for mut policy in policies() {
+            let report = ees::replay::run(&workload, policy.as_mut(), &cfg, &options);
+            assert_eq!(report.workload, workload.name);
+            assert_eq!(report.total_ios, workload.trace.len() as u64);
+            // Energy sanity: bounded by all-off and all-spin-up.
+            let n = workload.num_enclosures as f64;
+            assert!(
+                report.enclosure_avg_watts >= n * 12.0 - 1e-6,
+                "{} under {}: {} W below the all-off floor",
+                workload.name,
+                report.policy,
+                report.enclosure_avg_watts
+            );
+            assert!(
+                report.enclosure_avg_watts <= n * 700.0,
+                "{} under {}: {} W above the physical ceiling",
+                workload.name,
+                report.policy,
+                report.enclosure_avg_watts
+            );
+            // Response sanity.
+            assert!(report.avg_response >= Micros(100));
+            assert!(
+                report.avg_response < Micros::from_secs(30),
+                "{} under {}: avg response {} looks pathological",
+                workload.name,
+                report.policy,
+                report.avg_response
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let (w1, _) = ees::workloads::dss::generate_with_schedule(11, &DssParams::scaled(0.02));
+    let (w2, _) = ees::workloads::dss::generate_with_schedule(11, &DssParams::scaled(0.02));
+    let cfg = StorageConfig::ams2500(w1.num_enclosures);
+    let r1 = ees::replay::run(
+        &w1,
+        &mut EnergyEfficientPolicy::with_defaults(),
+        &cfg,
+        &ReplayOptions::default(),
+    );
+    let r2 = ees::replay::run(
+        &w2,
+        &mut EnergyEfficientPolicy::with_defaults(),
+        &cfg,
+        &ReplayOptions::default(),
+    );
+    assert_eq!(r1.enclosure_avg_watts, r2.enclosure_avg_watts);
+    assert_eq!(r1.avg_response, r2.avg_response);
+    assert_eq!(r1.migrated_bytes, r2.migrated_bytes);
+    assert_eq!(r1.determinations, r2.determinations);
+    assert_eq!(r1.interval_cdf, r2.interval_cdf);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let w1 = ees::workloads::fileserver::generate(1, &FileServerParams::scaled(0.02));
+    let w2 = ees::workloads::fileserver::generate(2, &FileServerParams::scaled(0.02));
+    assert_ne!(w1.trace.len(), w2.trace.len());
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The quickstart path from the README, small (long enough for at
+    // least one full 520 s monitoring period).
+    let workload = ees::workloads::fileserver::generate(42, &FileServerParams::scaled(0.05));
+    let cfg = StorageConfig::ams2500(workload.num_enclosures);
+    let baseline = ees::replay::run(
+        &workload,
+        &mut NoPowerSaving::new(),
+        &cfg,
+        &ReplayOptions::default(),
+    );
+    let mut policy = EnergyEfficientPolicy::with_defaults();
+    let proposed = ees::replay::run(&workload, &mut policy, &cfg, &ReplayOptions::default());
+    // At 1 % scale there may be little to save, but the proposed method
+    // must never be substantially worse than doing nothing.
+    assert!(proposed.enclosure_avg_watts <= baseline.enclosure_avg_watts * 1.10);
+    assert!(policy.history().periods().len() >= 1);
+}
