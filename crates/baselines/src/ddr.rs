@@ -97,7 +97,7 @@ impl PowerPolicy for Ddr {
             *served.entry(rec.enclosure).or_insert(0) += 1;
         }
         let alpha = self.cfg.ema_alpha.clamp(0.0, 1.0);
-        for e in &snapshot.enclosures {
+        for e in snapshot.enclosures {
             let raw = served.get(&e.id).copied().unwrap_or(0) as f64 / period_secs;
             let ema = self.ema.entry(e.id).or_insert(raw);
             *ema = alpha * raw + (1.0 - alpha) * *ema;
@@ -149,7 +149,8 @@ impl PowerPolicy for Ddr {
                     continue;
                 };
                 let size = snapshot.placement.size_of(rec.item).unwrap_or(0);
-                let bytes = REDIRECT_EXTENT_BYTES.min(size.saturating_sub(extent * REDIRECT_EXTENT_BYTES));
+                let bytes =
+                    REDIRECT_EXTENT_BYTES.min(size.saturating_sub(extent * REDIRECT_EXTENT_BYTES));
                 if bytes == 0 {
                     continue;
                 }
@@ -184,18 +185,6 @@ mod tests {
     use ees_iotrace::{IoKind, LogicalIoRecord, PhysicalIoRecord, Span};
     use ees_policy::EnclosureView;
     use ees_simstorage::PlacementMap;
-
-    fn view(id: u16) -> EnclosureView {
-        EnclosureView {
-            id: EnclosureId(id),
-            capacity: 1 << 40,
-            used: 0,
-            max_iops: 900.0,
-            max_seq_iops: 2800.0,
-            served_ios: 0,
-            spin_ups: 0,
-        }
-    }
 
     fn phys(ts_s: f64, enc: u16) -> PhysicalIoRecord {
         PhysicalIoRecord {
@@ -237,6 +226,27 @@ mod tests {
         (placement, logical, physical)
     }
 
+    static SNAP_VIEWS: [EnclosureView; 2] = [
+        EnclosureView {
+            id: EnclosureId(0),
+            capacity: 1 << 40,
+            used: 0,
+            max_iops: 900.0,
+            max_seq_iops: 2800.0,
+            served_ios: 0,
+            spin_ups: 0,
+        },
+        EnclosureView {
+            id: EnclosureId(1),
+            capacity: 1 << 40,
+            used: 0,
+            max_iops: 900.0,
+            max_seq_iops: 2800.0,
+            served_ios: 0,
+            spin_ups: 0,
+        },
+    ];
+
     fn snap<'a>(
         placement: &'a PlacementMap,
         logical: &'a [LogicalIoRecord],
@@ -251,8 +261,8 @@ mod tests {
             logical,
             physical,
             placement,
-            enclosures: vec![view(0), view(1)],
-            sequential: Default::default(),
+            enclosures: &SNAP_VIEWS,
+            sequential: &ees_policy::NO_SEQUENTIAL,
         }
     }
 
@@ -304,11 +314,7 @@ mod tests {
         // extent-moves fit under TargetTH = 450.
         let mut placement = PlacementMap::new();
         placement.insert(DataItemId(1), EnclosureId(0), 1 << 30);
-        placement.insert(
-            DataItemId(2),
-            EnclosureId(1),
-            100 * REDIRECT_EXTENT_BYTES,
-        );
+        placement.insert(DataItemId(2), EnclosureId(1), 100 * REDIRECT_EXTENT_BYTES);
         let mut physical = Vec::new();
         for i in 0..440 {
             physical.push(phys(i as f64 / 440.0, 0));

@@ -108,7 +108,7 @@ impl PowerPolicy for Pdc {
         // Lay the ranking out front-to-back across the enclosures,
         // respecting both capacity and the per-enclosure IOPS budget.
         let mut migrations = Vec::new();
-        let mut enclosures = snapshot.enclosures.clone();
+        let mut enclosures = snapshot.enclosures.to_vec();
         enclosures.sort_by_key(|e| e.id);
         let mut cursor = 0usize;
         let mut filled: u64 = 0;
@@ -194,7 +194,7 @@ mod tests {
     fn snapshot<'a>(
         placement: &'a PlacementMap,
         logical: &'a [LogicalIoRecord],
-        enclosures: Vec<EnclosureView>,
+        enclosures: &'a [EnclosureView],
     ) -> MonitorSnapshot<'a> {
         MonitorSnapshot {
             period: Span {
@@ -206,7 +206,7 @@ mod tests {
             physical: &[],
             placement,
             enclosures,
-            sequential: Default::default(),
+            sequential: &ees_policy::NO_SEQUENTIAL,
         }
     }
 
@@ -219,7 +219,7 @@ mod tests {
         let logical = vec![io(1, 1), io(2, 1), io(3, 1), io(4, 2)];
         let views = vec![view(0, 1000), view(1, 1000)];
         let mut pdc = Pdc::new();
-        let plan = pdc.on_period_end(&snapshot(&placement, &logical, views));
+        let plan = pdc.on_period_end(&snapshot(&placement, &logical, &views));
         // Both fit on enclosure 0 (800 ≤ 950): popular item 1 moves there,
         // item 2 is already there.
         assert_eq!(
@@ -242,7 +242,7 @@ mod tests {
         let logical = vec![io(1, 1), io(2, 2), io(3, 2)];
         let views = vec![view(0, 1000), view(1, 1000)];
         let mut pdc = Pdc::new();
-        let plan = pdc.on_period_end(&snapshot(&placement, &logical, views));
+        let plan = pdc.on_period_end(&snapshot(&placement, &logical, &views));
         // Item 2 (most popular) stays on 0; item 1 no longer fits (600+600
         // > 950) and spills to enclosure 1.
         assert_eq!(
@@ -262,7 +262,7 @@ mod tests {
         let logical = vec![io(1, 1), io(2, 1), io(3, 2)];
         let views = vec![view(0, 1000), view(1, 1000)];
         let mut pdc = Pdc::new();
-        let plan = pdc.on_period_end(&snapshot(&placement, &logical, views));
+        let plan = pdc.on_period_end(&snapshot(&placement, &logical, &views));
         assert!(plan.migrations.is_empty(), "layout already matches ranking");
     }
 
@@ -274,7 +274,7 @@ mod tests {
         let logical = vec![io(1, 1), io(2, 2)];
         let views = vec![view(0, 1000)];
         let mut pdc = Pdc::new();
-        let plan = pdc.on_period_end(&snapshot(&placement, &logical, views));
+        let plan = pdc.on_period_end(&snapshot(&placement, &logical, &views));
         assert!(plan.migrations.is_empty());
     }
 

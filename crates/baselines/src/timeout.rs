@@ -52,6 +52,17 @@ mod tests {
         let mut p = TimeoutSpinDown::new();
         assert_eq!(p.name(), "Timeout Spin-Down");
         let placement = PlacementMap::new();
+        let views: Vec<EnclosureView> = (0..3)
+            .map(|i| EnclosureView {
+                id: EnclosureId(i),
+                capacity: 1,
+                used: 0,
+                max_iops: 900.0,
+                max_seq_iops: 2800.0,
+                served_ios: 0,
+                spin_ups: 0,
+            })
+            .collect();
         let snap = MonitorSnapshot {
             period: Span {
                 start: Micros::ZERO,
@@ -61,18 +72,8 @@ mod tests {
             logical: &[],
             physical: &[],
             placement: &placement,
-            enclosures: (0..3)
-                .map(|i| EnclosureView {
-                    id: EnclosureId(i),
-                    capacity: 1,
-                    used: 0,
-                    max_iops: 900.0,
-                    max_seq_iops: 2800.0,
-                    served_ios: 0,
-                    spin_ups: 0,
-                })
-                .collect(),
-            sequential: Default::default(),
+            enclosures: &views,
+            sequential: &ees_policy::NO_SEQUENTIAL,
         };
         let plan = p.on_period_end(&snap);
         assert_eq!(plan.power_off_eligible.len(), 3);

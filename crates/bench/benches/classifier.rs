@@ -12,7 +12,11 @@ fn make_ios(n: usize, gap_us: u64) -> Vec<LogicalIoRecord> {
             item: DataItemId(0),
             offset: (i as u64 * 4096) % (1 << 30),
             len: 4096,
-            kind: if i % 3 == 0 { IoKind::Write } else { IoKind::Read },
+            kind: if i % 3 == 0 {
+                IoKind::Write
+            } else {
+                IoKind::Read
+            },
         })
         .collect()
 }

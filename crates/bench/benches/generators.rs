@@ -11,9 +11,11 @@ fn bench_generators(c: &mut Criterion) {
     let fs_params = FileServerParams::scaled(0.02);
     let fs_len = fileserver::generate(1, &fs_params).trace.len() as u64;
     group.throughput(criterion::Throughput::Elements(fs_len));
-    group.bench_with_input(BenchmarkId::new("fileserver", "2pct"), &fs_params, |b, p| {
-        b.iter(|| black_box(fileserver::generate(1, p)))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("fileserver", "2pct"),
+        &fs_params,
+        |b, p| b.iter(|| black_box(fileserver::generate(1, p))),
+    );
 
     let mut oltp_params = OltpParams::scaled(0.02);
     oltp_params.mean_iops = 1000.0;

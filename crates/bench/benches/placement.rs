@@ -18,7 +18,11 @@ fn make_reports(items: usize, enclosures: u16) -> (Vec<ItemReport>, Vec<Enclosur
                 7..=8 => LogicalIoPattern::P1,
                 _ => LogicalIoPattern::P2,
             };
-            let ios = if pattern == LogicalIoPattern::P3 { 5200 } else { 40 };
+            let ios = if pattern == LogicalIoPattern::P3 {
+                5200
+            } else {
+                40
+            };
             ItemReport {
                 id: DataItemId(i as u32),
                 enclosure: EnclosureId((i % enclosures as usize) as u16),
@@ -35,7 +39,7 @@ fn make_reports(items: usize, enclosures: u16) -> (Vec<ItemReport>, Vec<Enclosur
                     bytes_written: ios * 819,
                 },
                 iops: IopsSeries::from_timestamps(
-                    (0..(ios / 10).min(520)).map(|s| Micros::from_secs(s)),
+                    (0..(ios / 10).min(520)).map(Micros::from_secs),
                     period,
                 ),
                 sequential: false,
@@ -62,7 +66,13 @@ fn bench_placement(c: &mut Criterion) {
     for items in [100usize, 400, 1600] {
         let (reports, views) = make_reports(items, 12);
         group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, _| {
-            b.iter(|| black_box(plan_placement(black_box(&reports), black_box(&views), Micros::ZERO)))
+            b.iter(|| {
+                black_box(plan_placement(
+                    black_box(&reports),
+                    black_box(&views),
+                    Micros::ZERO,
+                ))
+            })
         });
     }
     group.finish();

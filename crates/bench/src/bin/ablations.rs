@@ -15,7 +15,7 @@
 //! ```
 
 use ees_bench::format::table;
-use ees_bench::{make_workload, ExperimentSetup, WorkloadKind};
+use ees_bench::{make_workload, parallel_map, ExperimentSetup, WorkloadKind};
 use ees_core::{EnergyEfficientPolicy, ProposedConfig};
 use ees_iotrace::Micros;
 use ees_policy::{NoPowerSaving, PowerPolicy};
@@ -43,6 +43,7 @@ fn main() {
             .collect();
     }
     for t in &targets {
+        let started = std::time::Instant::now();
         match t.as_str() {
             "levers" => levers(setup),
             "breakeven" => breakeven(setup),
@@ -50,7 +51,26 @@ fn main() {
             "ssd" => ssd(setup),
             other => eprintln!("unknown target: {other}"),
         }
+        eprintln!(
+            "[ablations] {t} done in {:.2} s",
+            started.elapsed().as_secs_f64()
+        );
     }
+}
+
+/// Runs one replay per job over the pool, results in job order. A job is
+/// (workload, storage config, policy): `None` is the no-power-saving
+/// baseline, `Some(pcfg)` the proposed method under that config. Jobs
+/// regenerate their workload from the deterministic generator and share
+/// nothing, so stdout stays identical to a serial sweep.
+fn replay_cells(
+    setup: ExperimentSetup,
+    jobs: Vec<(WorkloadKind, StorageConfig, Option<ProposedConfig>)>,
+) -> Vec<RunReport> {
+    parallel_map(jobs, |(kind, cfg, pcfg)| match pcfg {
+        Some(p) => replay(kind, setup, &cfg, &mut EnergyEfficientPolicy::new(p)),
+        None => replay(kind, setup, &cfg, &mut NoPowerSaving::new()),
+    })
 }
 
 fn replay(
@@ -72,19 +92,32 @@ fn storage_for(kind: WorkloadKind, setup: ExperimentSetup) -> StorageConfig {
 }
 
 fn levers(setup: ExperimentSetup) {
-    println!("== Ablation: which lever buys what (scale {}) ==", setup.scale);
+    println!(
+        "== Ablation: which lever buys what (scale {}) ==",
+        setup.scale
+    );
     let variants: Vec<(&str, ProposedConfig)> = vec![
         ("full method", ProposedConfig::full()),
         ("placement only", ProposedConfig::placement_only()),
         ("cache only", ProposedConfig::cache_only()),
     ];
+    let jobs: Vec<_> = WorkloadKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            let cfg = storage_for(kind, setup);
+            std::iter::once((kind, cfg, None)).chain(
+                variants
+                    .iter()
+                    .map(move |&(_, pcfg)| (kind, cfg, Some(pcfg))),
+            )
+        })
+        .collect();
+    let mut reports = replay_cells(setup, jobs).into_iter();
     let mut rows = Vec::new();
     for kind in WorkloadKind::ALL {
-        let cfg = storage_for(kind, setup);
-        let base = replay(kind, setup, &cfg, &mut NoPowerSaving::new());
-        for (name, pcfg) in &variants {
-            let mut policy = EnergyEfficientPolicy::new(*pcfg);
-            let r = replay(kind, setup, &cfg, &mut policy);
+        let base = reports.next().expect("baseline cell");
+        for (name, _) in &variants {
+            let r = reports.next().expect("variant cell");
             rows.push(vec![
                 kind.name().to_string(),
                 name.to_string(),
@@ -96,7 +129,10 @@ fn levers(setup: ExperimentSetup) {
     }
     println!(
         "{}",
-        table(&["workload", "variant", "Δ power", "avg resp", "migrated"], &rows)
+        table(
+            &["workload", "variant", "Δ power", "avg resp", "migrated"],
+            &rows
+        )
     );
 }
 
@@ -105,24 +141,50 @@ fn breakeven(setup: ExperimentSetup) {
         "== Sensitivity: spin-up cost → break-even time → savings (File Server, scale {}) ==",
         setup.scale
     );
+    const FACTORS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+    let configs: Vec<StorageConfig> = FACTORS
+        .iter()
+        .map(|factor| {
+            let mut cfg = storage_for(WorkloadKind::FileServer, setup);
+            cfg.enclosure.power.spin_up_watts = EnclosurePowerModel::AMS2500.spin_up_watts * factor;
+            cfg.enclosure.spin_down_timeout = cfg.enclosure.power.break_even_time();
+            cfg
+        })
+        .collect();
+    let jobs: Vec<_> = configs
+        .iter()
+        .flat_map(|&cfg| {
+            [
+                (WorkloadKind::FileServer, cfg, None),
+                (
+                    WorkloadKind::FileServer,
+                    cfg,
+                    Some(ProposedConfig::default()),
+                ),
+            ]
+        })
+        .collect();
+    let mut reports = replay_cells(setup, jobs).into_iter();
     let mut rows = Vec::new();
-    for factor in [0.5, 1.0, 2.0, 4.0] {
-        let mut cfg = storage_for(WorkloadKind::FileServer, setup);
-        cfg.enclosure.power.spin_up_watts = EnclosurePowerModel::AMS2500.spin_up_watts * factor;
-        cfg.enclosure.spin_down_timeout = cfg.enclosure.power.break_even_time();
-        let base = replay(WorkloadKind::FileServer, setup, &cfg, &mut NoPowerSaving::new());
-        let mut policy = EnergyEfficientPolicy::with_defaults();
-        let r = replay(WorkloadKind::FileServer, setup, &cfg, &mut policy);
+    for (factor, cfg) in FACTORS.iter().zip(&configs) {
+        let base = reports.next().expect("baseline cell");
+        let r = reports.next().expect("proposed cell");
         rows.push(vec![
             format!("{factor:.1}x"),
-            format!("{:5.0} s", cfg.enclosure.power.break_even_time().as_secs_f64()),
+            format!(
+                "{:5.0} s",
+                cfg.enclosure.power.break_even_time().as_secs_f64()
+            ),
             format!("{:+6.1} %", -r.enclosure_saving_vs(&base)),
             format!("{}", r.spin_ups),
         ]);
     }
     println!(
         "{}",
-        table(&["spin-up cost", "break-even", "Δ power", "spin-ups"], &rows)
+        table(
+            &["spin-up cost", "break-even", "Δ power", "spin-ups"],
+            &rows
+        )
     );
 }
 
@@ -131,21 +193,36 @@ fn cache_sweep(setup: ExperimentSetup) {
         "== Sensitivity: cache partition size → savings (File Server, scale {}) ==",
         setup.scale
     );
+    const SIZES_MB: [u64; 5] = [0, 125, 250, 500, 1000];
+    let jobs: Vec<_> = SIZES_MB
+        .iter()
+        .flat_map(|&mb| {
+            let mut cfg = storage_for(WorkloadKind::FileServer, setup);
+            // Resize the physical cache partitions along with the policy's
+            // budgets (the policy may not select more than the partition
+            // holds).
+            cfg.cache.preload_bytes = mb * 1024 * 1024;
+            cfg.cache.write_delay_bytes = mb * 1024 * 1024;
+            cfg.cache.total_bytes = cfg
+                .cache
+                .total_bytes
+                .max(2 * mb * 1024 * 1024 + 256 * 1024 * 1024);
+            let pcfg = ProposedConfig {
+                preload_budget: mb * 1024 * 1024,
+                write_delay_budget: mb * 1024 * 1024,
+                ..Default::default()
+            };
+            [
+                (WorkloadKind::FileServer, cfg, None),
+                (WorkloadKind::FileServer, cfg, Some(pcfg)),
+            ]
+        })
+        .collect();
+    let mut reports = replay_cells(setup, jobs).into_iter();
     let mut rows = Vec::new();
-    for mb in [0u64, 125, 250, 500, 1000] {
-        let mut cfg = storage_for(WorkloadKind::FileServer, setup);
-        // Resize the physical cache partitions along with the policy's
-        // budgets (the policy may not select more than the partition
-        // holds).
-        cfg.cache.preload_bytes = mb * 1024 * 1024;
-        cfg.cache.write_delay_bytes = mb * 1024 * 1024;
-        cfg.cache.total_bytes = cfg.cache.total_bytes.max(2 * mb * 1024 * 1024 + 256 * 1024 * 1024);
-        let base = replay(WorkloadKind::FileServer, setup, &cfg, &mut NoPowerSaving::new());
-        let mut pcfg = ProposedConfig::default();
-        pcfg.preload_budget = mb * 1024 * 1024;
-        pcfg.write_delay_budget = mb * 1024 * 1024;
-        let mut policy = EnergyEfficientPolicy::new(pcfg);
-        let r = replay(WorkloadKind::FileServer, setup, &cfg, &mut policy);
+    for mb in SIZES_MB {
+        let base = reports.next().expect("baseline cell");
+        let r = reports.next().expect("proposed cell");
         let (pre, _, _, buf, _) = r.cache_counters;
         rows.push(vec![
             format!("{mb} MB + {mb} MB"),
@@ -158,7 +235,13 @@ fn cache_sweep(setup: ExperimentSetup) {
     println!(
         "{}",
         table(
-            &["preload+wd cache", "Δ power", "avg resp", "preload hits", "buffered writes"],
+            &[
+                "preload+wd cache",
+                "Δ power",
+                "avg resp",
+                "preload hits",
+                "buffered writes"
+            ],
             &rows
         )
     );
@@ -177,14 +260,31 @@ fn ssd(setup: ExperimentSetup) {
         spin_up_watts: 30.0,
         spin_up_time: Micros::from_millis(500),
     };
+    let substrates = [
+        ("HDD shelf", EnclosurePowerModel::AMS2500),
+        ("SSD shelf", ssd_power),
+    ];
+    let jobs: Vec<_> = substrates
+        .iter()
+        .flat_map(|&(_, power)| {
+            let mut cfg = storage_for(WorkloadKind::FileServer, setup);
+            cfg.enclosure.power = power;
+            cfg.enclosure.spin_down_timeout = power.break_even_time();
+            [
+                (WorkloadKind::FileServer, cfg, None),
+                (
+                    WorkloadKind::FileServer,
+                    cfg,
+                    Some(ProposedConfig::default()),
+                ),
+            ]
+        })
+        .collect();
+    let mut reports = replay_cells(setup, jobs).into_iter();
     let mut rows = Vec::new();
-    for (name, power) in [("HDD shelf", EnclosurePowerModel::AMS2500), ("SSD shelf", ssd_power)] {
-        let mut cfg = storage_for(WorkloadKind::FileServer, setup);
-        cfg.enclosure.power = power;
-        cfg.enclosure.spin_down_timeout = power.break_even_time();
-        let base = replay(WorkloadKind::FileServer, setup, &cfg, &mut NoPowerSaving::new());
-        let mut policy = EnergyEfficientPolicy::with_defaults();
-        let r = replay(WorkloadKind::FileServer, setup, &cfg, &mut policy);
+    for (name, power) in substrates {
+        let base = reports.next().expect("baseline cell");
+        let r = reports.next().expect("proposed cell");
         rows.push(vec![
             name.to_string(),
             format!("{:5.1} s", power.break_even_time().as_secs_f64()),
@@ -197,7 +297,14 @@ fn ssd(setup: ExperimentSetup) {
     println!(
         "{}",
         table(
-            &["substrate", "break-even", "baseline", "proposed", "Δ power", "absolute saving"],
+            &[
+                "substrate",
+                "break-even",
+                "baseline",
+                "proposed",
+                "Δ power",
+                "absolute saving"
+            ],
             &rows
         )
     );

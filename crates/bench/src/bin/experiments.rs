@@ -16,7 +16,7 @@
 
 use ees_bench::format::{bytes, response, saving, table, watts};
 use ees_bench::reference;
-use ees_bench::{classify_whole_run, make_workload, run_methods};
+use ees_bench::{classify_whole_run, make_workload, run_methods_matrix};
 use ees_bench::{ExperimentSetup, Method, MethodReports, WorkloadKind};
 use ees_core::{EnergyEfficientPolicy, LogicalIoPattern};
 use ees_iotrace::fmt_bytes;
@@ -40,23 +40,62 @@ impl Harness {
         }
     }
 
-    fn reports(&mut self, kind: WorkloadKind) -> &MethodReports {
-        let setup = self.setup;
-        let slot = match kind {
+    fn slot(&mut self, kind: WorkloadKind) -> &mut Option<MethodReports> {
+        match kind {
             WorkloadKind::FileServer => &mut self.fs,
             WorkloadKind::Tpcc => &mut self.tpcc,
             WorkloadKind::Tpch => &mut self.tpch,
-        };
-        if slot.is_none() {
-            eprintln!(
-                "[experiments] running 4 methods over {} (scale {}, seed {})...",
-                kind.name(),
-                setup.scale,
-                setup.seed
-            );
-            *slot = Some(run_methods(kind, setup));
         }
-        slot.as_ref().unwrap()
+    }
+
+    /// Runs the full method matrix for every listed workload that is not
+    /// memoized yet, in one cell-level parallel fan-out.
+    fn prefetch(&mut self, kinds: &[WorkloadKind]) {
+        let setup = self.setup;
+        let missing: Vec<WorkloadKind> = kinds
+            .iter()
+            .copied()
+            .filter(|&k| self.slot(k).is_none())
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        eprintln!(
+            "[experiments] running {} workload x method cells on {} threads (scale {}, seed {})...",
+            missing.len() * Method::ALL.len(),
+            ees_bench::threads(),
+            setup.scale,
+            setup.seed
+        );
+        let started = std::time::Instant::now();
+        let pairs: Vec<(WorkloadKind, ExperimentSetup)> =
+            missing.iter().map(|&k| (k, setup)).collect();
+        for (kind, reports) in missing.iter().zip(run_methods_matrix(&pairs)) {
+            *self.slot(*kind) = Some(reports);
+        }
+        eprintln!(
+            "[experiments] method matrix done in {:.2} s",
+            started.elapsed().as_secs_f64()
+        );
+    }
+
+    fn reports(&mut self, kind: WorkloadKind) -> &MethodReports {
+        if self.slot(kind).is_none() {
+            self.prefetch(&[kind]);
+        }
+        self.slot(kind).as_ref().unwrap()
+    }
+}
+
+/// Workloads whose four-method reports a target will ask the harness
+/// for; empty for targets that run their own replays.
+fn target_workloads(target: &str) -> &'static [WorkloadKind] {
+    match target {
+        "fig8" | "fig9" | "fig10" | "fig17" => &[WorkloadKind::FileServer],
+        "fig11" | "fig12" | "fig13" | "fig18" => &[WorkloadKind::Tpcc],
+        "fig14" | "fig15" | "fig16" | "fig19" => &[WorkloadKind::Tpch],
+        "determinations" | "export" => &WorkloadKind::ALL,
+        _ => &[],
     }
 }
 
@@ -83,8 +122,23 @@ fn main() {
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = [
-            "table1", "table2", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "determinations", "stability",
+            "table1",
+            "table2",
+            "fig6",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "determinations",
+            "stability",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -92,7 +146,16 @@ fn main() {
     }
 
     let mut h = Harness::new(setup);
+    // One upfront fan-out over every (workload, method) cell any target
+    // will need; the per-target code below then only reads memoized
+    // reports and prints, keeping stdout identical to a serial run.
+    let needed: Vec<WorkloadKind> = WorkloadKind::ALL
+        .into_iter()
+        .filter(|&k| targets.iter().any(|t| target_workloads(t).contains(&k)))
+        .collect();
+    h.prefetch(&needed);
     for t in &targets {
+        let phase_started = std::time::Instant::now();
         match t.as_str() {
             "table1" => table1(setup),
             "table2" => table2(),
@@ -135,6 +198,10 @@ fn main() {
             "seeds" => seeds(setup),
             other => eprintln!("unknown target: {other}"),
         }
+        eprintln!(
+            "[experiments] {t} done in {:.2} s",
+            phase_started.elapsed().as_secs_f64()
+        );
     }
 }
 
@@ -154,19 +221,27 @@ fn export(h: &mut Harness) {
             let r = reports.of(m);
             let mslug = m.name().to_lowercase().replace([' ', '-'], "_");
             // Interval curve.
-            let mut csv = String::from("interval_s,cumulative_s
-");
+            let mut csv = String::from(
+                "interval_s,cumulative_s
+",
+            );
             for (len, cum) in r.interval_cdf.points() {
-                csv.push_str(&format!("{},{}
-", len.as_secs_f64(), cum.as_secs_f64()));
+                csv.push_str(&format!(
+                    "{},{}
+",
+                    len.as_secs_f64(),
+                    cum.as_secs_f64()
+                ));
             }
             let path = dir.join(format!("{slug}_{mslug}_intervals.csv"));
             if let Err(e) = std::fs::write(&path, csv) {
                 eprintln!("cannot write {}: {e}", path.display());
             }
             // Power-state timeline.
-            let mut csv = String::from("enclosure,time_s,mode
-");
+            let mut csv = String::from(
+                "enclosure,time_s,mode
+",
+            );
             for e in &r.enclosures {
                 for (t, mode) in &e.status_log {
                     csv.push_str(&format!(
@@ -207,20 +282,33 @@ fn export(h: &mut Harness) {
 /// mean ± population standard deviation. Simulation conclusions that
 /// survive seed changes are conclusions about the *mechanism*, not the
 /// particular trace.
-fn seeds(mut setup: ExperimentSetup) {
+fn seeds(setup: ExperimentSetup) {
     println!(
         "== Seed robustness: proposed-method saving, 5 seeds (scale {}) ==",
         setup.scale
     );
+    const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+    // All workload x seed pairs in one fan-out: 60 method cells.
+    let pairs: Vec<(WorkloadKind, ExperimentSetup)> = WorkloadKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            SEEDS
+                .iter()
+                .map(move |&seed| (kind, ExperimentSetup { seed, ..setup }))
+        })
+        .collect();
+    let mut per_pair = run_methods_matrix(&pairs).into_iter();
     let mut rows = Vec::new();
     for kind in WorkloadKind::ALL {
-        let mut savings = Vec::new();
-        for seed in [11u64, 22, 33, 44, 55] {
-            setup.seed = seed;
-            let reports = run_methods(kind, setup);
-            let s = reports.of(Method::Proposed).enclosure_saving_vs(reports.baseline());
-            savings.push(s);
-        }
+        let savings: Vec<f64> = per_pair
+            .by_ref()
+            .take(SEEDS.len())
+            .map(|reports| {
+                reports
+                    .of(Method::Proposed)
+                    .enclosure_saving_vs(reports.baseline())
+            })
+            .collect();
         let mean = savings.iter().sum::<f64>() / savings.len() as f64;
         let var = savings.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / savings.len() as f64;
         rows.push(vec![
@@ -242,22 +330,28 @@ fn seeds(mut setup: ExperimentSetup) {
 
 fn table1(setup: ExperimentSetup) {
     println!("== Table I: configuration of the data intensive applications ==");
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::ALL {
+    let rows = ees_bench::parallel_map(WorkloadKind::ALL.to_vec(), |kind| {
         let (w, _) = make_workload(kind, setup);
-        rows.push(vec![
+        vec![
             w.name.to_string(),
             fmt_bytes(w.total_data_bytes()),
             format!("{}", w.items.len()),
             format!("{}", w.num_enclosures),
             format!("{:.2} h", w.duration.as_secs_f64() / 3600.0),
             format!("{}", w.trace.len()),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         table(
-            &["application", "data size", "items", "enclosures", "duration", "records"],
+            &[
+                "application",
+                "data size",
+                "items",
+                "enclosures",
+                "duration",
+                "records"
+            ],
             &rows
         )
     );
@@ -269,7 +363,11 @@ fn table2() {
     let policy = EnergyEfficientPolicy::with_defaults();
     let be = EnclosurePowerModel::AMS2500.break_even_time();
     let rows = vec![
-        vec!["Break-even time".into(), format!("{:.0} s", be.as_secs_f64()), "52 s".into()],
+        vec![
+            "Break-even time".into(),
+            format!("{:.0} s", be.as_secs_f64()),
+            "52 s".into(),
+        ],
         vec![
             "Spin-down time-out".into(),
             format!("{:.0} s", cfg.enclosure.spin_down_timeout.as_secs_f64()),
@@ -290,13 +388,21 @@ fn table2() {
             fmt_bytes(cfg.enclosure.capacity_bytes),
             "1.7 TB".into(),
         ],
-        vec!["Storage cache size".into(), fmt_bytes(cfg.cache.total_bytes), "2 GB".into()],
+        vec![
+            "Storage cache size".into(),
+            fmt_bytes(cfg.cache.total_bytes),
+            "2 GB".into(),
+        ],
         vec![
             "Cache for write delay".into(),
             fmt_bytes(cfg.cache.write_delay_bytes),
             "500 MB".into(),
         ],
-        vec!["Cache for preload".into(), fmt_bytes(cfg.cache.preload_bytes), "500 MB".into()],
+        vec![
+            "Cache for preload".into(),
+            fmt_bytes(cfg.cache.preload_bytes),
+            "500 MB".into(),
+        ],
         vec![
             "Dirty block rate".into(),
             format!("{:.0} %", cfg.cache.dirty_block_rate * 100.0),
@@ -312,7 +418,11 @@ fn table2() {
             format!("{:.0} s", policy.config().initial_period.as_secs_f64()),
             "520 s".into(),
         ],
-        vec!["PDC monitoring period".into(), "1800 s".into(), "30 min".into()],
+        vec![
+            "PDC monitoring period".into(),
+            "1800 s".into(),
+            "30 min".into(),
+        ],
         vec!["DDR TargetTH".into(), "450 IOPS".into(), "450 IOPS".into()],
     ];
     println!("{}", table(&["parameter", "implemented", "paper"], &rows));
@@ -321,12 +431,12 @@ fn table2() {
 fn fig6(setup: ExperimentSetup) {
     println!("== Fig. 6: logical I/O patterns of the applications ==");
     let be = EnclosurePowerModel::AMS2500.break_even_time();
-    let mut rows = Vec::new();
-    for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
-        let (w, _) = make_workload(*kind, setup);
+    let indexed: Vec<(usize, WorkloadKind)> = WorkloadKind::ALL.into_iter().enumerate().collect();
+    let rows = ees_bench::parallel_map(indexed, |(i, kind)| {
+        let (w, _) = make_workload(kind, setup);
         let mix = classify_whole_run(&w, be);
         let paper = reference::FIG6_SHARES[i].1;
-        rows.push(vec![
+        vec![
             w.name.to_string(),
             format!(
                 "{:.1}/{:.1}/{:.1}/{:.1} %",
@@ -335,12 +445,18 @@ fn fig6(setup: ExperimentSetup) {
                 mix.percent(LogicalIoPattern::P2),
                 mix.percent(LogicalIoPattern::P3)
             ),
-            format!("{:.1}/{:.1}/{:.1}/{:.1} %", paper[0], paper[1], paper[2], paper[3]),
-        ]);
-    }
+            format!(
+                "{:.1}/{:.1}/{:.1}/{:.1} %",
+                paper[0], paper[1], paper[2], paper[3]
+            ),
+        ]
+    });
     println!(
         "{}",
-        table(&["application", "measured P0/P1/P2/P3", "paper P0/P1/P2/P3"], &rows)
+        table(
+            &["application", "measured P0/P1/P2/P3", "paper P0/P1/P2/P3"],
+            &rows
+        )
     );
 }
 
@@ -367,7 +483,10 @@ fn power_figure(h: &mut Harness, kind: WorkloadKind, fig: &str, paper: reference
     }
     println!(
         "{}",
-        table(&["method", "measured", "Δ vs none", "paper", "paper Δ"], &rows)
+        table(
+            &["method", "measured", "Δ vs none", "paper", "paper Δ"],
+            &rows
+        )
     );
 }
 
@@ -466,7 +585,10 @@ fn migrated_figure(h: &mut Harness, kind: WorkloadKind, fig: &str, paper: (u64, 
             bytes(paper.2),
         ],
     ];
-    println!("{}", table(&["method", "measured", "paper (approx.)"], &rows));
+    println!(
+        "{}",
+        table(&["method", "measured", "paper (approx.)"], &rows)
+    );
 }
 
 fn interval_figure(h: &mut Harness, kind: WorkloadKind, fig: &str) {
@@ -526,7 +648,11 @@ fn determinations(h: &mut Harness) {
     println!(
         "{}",
         table(
-            &["workload", "measured (prop/PDC/DDR)", "paper (prop/PDC/DDR)"],
+            &[
+                "workload",
+                "measured (prop/PDC/DDR)",
+                "paper (prop/PDC/DDR)"
+            ],
             &rows
         )
     );
@@ -534,8 +660,7 @@ fn determinations(h: &mut Harness) {
 
 fn stability(setup: ExperimentSetup) {
     println!("== §VI.C: I/O pattern stability under the proposed method ==");
-    let mut rows = Vec::new();
-    for kind in WorkloadKind::ALL {
+    let rows = ees_bench::parallel_map(WorkloadKind::ALL.to_vec(), |kind| {
         let (workload, schedule) = make_workload(kind, setup);
         let options = ees_replay::ReplayOptions {
             response_windows: schedule.iter().map(|q| q.window).collect(),
@@ -548,12 +673,12 @@ fn stability(setup: ExperimentSetup) {
             .stability()
             .map(|s| format!("{:.1} %", s * 100.0))
             .unwrap_or_else(|| "n/a".into());
-        rows.push(vec![
+        vec![
             kind.name().to_string(),
             stability,
             format!("{}", policy.history().periods().len()),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         table(&["workload", "pattern stability", "periods"], &rows)

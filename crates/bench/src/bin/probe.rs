@@ -53,9 +53,7 @@ fn main() {
         report.determinations
     );
     let (p50, p95, p99, pmax) = report.read_percentiles;
-    println!(
-        "read resp percentiles: p50 {p50}  p95 {p95}  p99 {p99}  max {pmax}"
-    );
+    println!("read resp percentiles: p50 {p50}  p95 {p95}  p99 {p99}  max {pmax}");
     let (pre, gen, miss, buf, flush) = report.cache_counters;
     println!("cache: preload {pre}, general {gen}, miss {miss}, buffered {buf}, flushes {flush}");
     println!(

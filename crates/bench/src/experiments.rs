@@ -1,6 +1,13 @@
 //! Workload construction and method execution shared by the
 //! `experiments` binary and the Criterion benches.
+//!
+//! Method execution is organized around independent *cells*: one
+//! (workload, method, seed) replay with its own policy and storage
+//! state. [`run_methods`] and [`run_methods_matrix`] fan cells over the
+//! [`crate::parallel`] pool and reassemble results in declaration order,
+//! so their output is identical to a serial run.
 
+use crate::parallel::parallel_map;
 use ees_baselines::{Ddr, Pdc};
 use ees_core::{classify, EnergyEfficientPolicy, PatternMix};
 use ees_iotrace::{analyze_item_period, split_by_item, Micros, Span};
@@ -22,8 +29,11 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// All three applications.
-    pub const ALL: [WorkloadKind; 3] =
-        [WorkloadKind::FileServer, WorkloadKind::Tpcc, WorkloadKind::Tpch];
+    pub const ALL: [WorkloadKind; 3] = [
+        WorkloadKind::FileServer,
+        WorkloadKind::Tpcc,
+        WorkloadKind::Tpch,
+    ];
 
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
@@ -147,25 +157,54 @@ impl MethodReports {
     }
 }
 
-/// Runs all four methods over one workload.
+/// Runs all four methods over one workload, fanning the method cells
+/// over the worker pool (trace generated once, shared read-only).
 pub fn run_methods(kind: WorkloadKind, setup: ExperimentSetup) -> MethodReports {
-    let (workload, schedule) = make_workload(kind, setup);
-    let options = ReplayOptions {
-        response_windows: schedule.iter().map(|q| q.window).collect(),
-    };
-    let cfg = StorageConfig::ams2500(workload.num_enclosures);
-    let reports = Method::ALL
+    run_methods_matrix(&[(kind, setup)])
+        .pop()
+        .expect("one cell in, one report set out")
+}
+
+/// Runs all four methods over every listed (workload, setup) pair.
+///
+/// Work is fanned out at cell granularity — every (workload, method,
+/// seed) replay is one independent job — in two stages: first the traces
+/// are generated in parallel (one job per pair), then the full
+/// `pairs × methods` cell matrix is mapped over the pool, each cell
+/// borrowing its pair's trace read-only and building a fresh policy and
+/// storage state. Results are reassembled in input × [`Method::ALL`]
+/// order, so tables and artifacts derived from them are byte-identical
+/// to a serial run.
+pub fn run_methods_matrix(pairs: &[(WorkloadKind, ExperimentSetup)]) -> Vec<MethodReports> {
+    let generated: Vec<(Workload, Vec<ees_workloads::QueryWindow>)> =
+        parallel_map(pairs.to_vec(), |(kind, setup)| make_workload(kind, setup));
+    let prepared: Vec<(ReplayOptions, StorageConfig)> = generated
         .iter()
-        .map(|m| {
-            let mut policy = m.policy();
-            run(&workload, policy.as_mut(), &cfg, &options)
+        .map(|(w, schedule)| {
+            let options = ReplayOptions {
+                response_windows: schedule.iter().map(|q| q.window).collect(),
+            };
+            (options, StorageConfig::ams2500(w.num_enclosures))
         })
         .collect();
-    MethodReports {
-        workload_name: workload.name,
-        schedule,
-        reports,
-    }
+    let cells: Vec<(usize, Method)> = (0..pairs.len())
+        .flat_map(|i| Method::ALL.iter().map(move |&m| (i, m)))
+        .collect();
+    let mut reports = parallel_map(cells, |(i, m)| {
+        let (workload, _) = &generated[i];
+        let (options, cfg) = &prepared[i];
+        let mut policy = m.policy();
+        run(workload, policy.as_mut(), cfg, options)
+    })
+    .into_iter();
+    generated
+        .into_iter()
+        .map(|(workload, schedule)| MethodReports {
+            workload_name: workload.name,
+            schedule,
+            reports: reports.by_ref().take(Method::ALL.len()).collect(),
+        })
+        .collect()
 }
 
 /// Whole-run P0–P3 classification of a workload's items — Fig. 6.

@@ -9,9 +9,11 @@
 
 pub mod experiments;
 pub mod format;
+pub mod parallel;
 pub mod reference;
 
 pub use experiments::{
-    classify_whole_run, make_workload, run_methods, run_one, ExperimentSetup, Method,
-    MethodReports, WorkloadKind,
+    classify_whole_run, make_workload, run_methods, run_methods_matrix, run_one, ExperimentSetup,
+    Method, MethodReports, WorkloadKind,
 };
+pub use parallel::{parallel_map, parallel_map_with, threads};

@@ -1,0 +1,121 @@
+//! A tiny deterministic fork–join pool for the experiment harness.
+//!
+//! The harness's unit of work is one *cell* — replaying one workload
+//! under one method for one seed — and cells are completely independent:
+//! each builds its own policy and storage state and only reads the shared
+//! trace. [`parallel_map`] fans a batch of such cells over scoped worker
+//! threads and returns the results **in input order**, so callers that
+//! print tables or write artifacts produce byte-identical output
+//! regardless of the worker count or completion order.
+//!
+//! The pool size defaults to the machine's available parallelism and can
+//! be pinned with the `EES_THREADS` environment variable (`EES_THREADS=1`
+//! degenerates to a plain serial map on the calling thread).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `EES_THREADS` when set to a positive integer, otherwise
+/// the machine's available parallelism (1 if unknown).
+pub fn threads() -> usize {
+    std::env::var("EES_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on [`threads`] scoped workers, preserving input
+/// order in the result.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(items, f, threads())
+}
+
+/// [`parallel_map`] with an explicit worker count (used by tests to
+/// compare pool sizes without touching the environment).
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, f: F, workers: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Jobs are claimed by atomically bumping a shared index; each result
+    // lands in the slot of its job's index, so collection order is the
+    // declaration order no matter which worker finishes when.
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("job claimed once");
+                let out = f(job);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = parallel_map_with(items.clone(), |x| x * x, workers);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_batches() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_with(empty, |x| x, 8).is_empty());
+        assert_eq!(parallel_map_with(vec![5u32], |x| x + 1, 8), vec![6]);
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let got = parallel_map_with(
+            (0..100usize).collect(),
+            |i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+            4,
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(threads() >= 1);
+    }
+}

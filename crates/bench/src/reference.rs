@@ -58,13 +58,11 @@ pub const FIG9_RESPONSE_MS: (f64, f64, f64) = (17.1, 22.6, 27.0);
 pub const FIG12_TPMC: (f64, f64) = (1859.5, 1701.4);
 
 /// Fig. 10 / 13 / 16 — migrated data sizes (bytes), `(proposed, pdc, ddr)`.
-pub const FIG10_MIGRATED_FS: (u64, u64, u64) =
-    (23_100_000_000, 3_000_000_000_000, 1_300_000_000);
+pub const FIG10_MIGRATED_FS: (u64, u64, u64) = (23_100_000_000, 3_000_000_000_000, 1_300_000_000);
 /// TPC-C migrated data (PDC "exceeds 1 TB", DDR "minimum").
 pub const FIG13_MIGRATED_TPCC: (u64, u64, u64) = (60_000_000_000, 1_000_000_000_000, 100_000_000);
 /// TPC-H migrated data (proposed and PDC large, DDR small).
-pub const FIG16_MIGRATED_TPCH: (u64, u64, u64) =
-    (400_000_000_000, 500_000_000_000, 10_000_000_000);
+pub const FIG16_MIGRATED_TPCH: (u64, u64, u64) = (400_000_000_000, 500_000_000_000, 10_000_000_000);
 
 /// §VII.D — data-placement determination counts `(proposed, pdc, ddr)`.
 pub const DETERMINATIONS: [(&str, (u64, u64, u64)); 3] = [

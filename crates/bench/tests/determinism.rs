@@ -1,0 +1,35 @@
+//! The parallel harness must be a pure re-scheduling of work: the
+//! reports it produces are identical — every field, including histograms
+//! and power-state timelines — to running each (workload, method, seed)
+//! cell alone on the calling thread.
+
+use ees_bench::{run_methods_matrix, run_one, ExperimentSetup, Method, WorkloadKind};
+
+#[test]
+fn parallel_matrix_matches_serial_cell_runs() {
+    let setup = ExperimentSetup {
+        seed: 9,
+        scale: 0.02,
+    };
+    // File Server plus TPC-H so the response-window path is covered too.
+    let pairs = [
+        (WorkloadKind::FileServer, setup),
+        (WorkloadKind::Tpch, setup),
+    ];
+    let matrix = run_methods_matrix(&pairs);
+    assert_eq!(matrix.len(), pairs.len());
+    for ((kind, setup), reports) in pairs.into_iter().zip(matrix) {
+        for (m, parallel) in Method::ALL.into_iter().zip(&reports.reports) {
+            let serial = run_one(kind, m, setup);
+            // Debug formatting covers every report field; identical
+            // strings mean byte-identical tables and artifacts.
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "{} under {} diverged between serial and parallel runs",
+                kind.name(),
+                m.name()
+            );
+        }
+    }
+}

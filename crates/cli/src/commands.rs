@@ -9,9 +9,7 @@
 
 use ees_baselines::{Ddr, Pdc};
 use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix};
-use ees_iotrace::{
-    analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span,
-};
+use ees_iotrace::{analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span};
 use ees_policy::{NoPowerSaving, PowerPolicy};
 use ees_replay::{run, ReplayOptions};
 use ees_simstorage::StorageConfig;
@@ -181,7 +179,12 @@ fn stats(pos: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let trace = read_trace(Path::new(path))?;
     let s = summarize(trace.records());
     writeln!(out, "records:        {}", s.records)?;
-    writeln!(out, "reads:          {} ({:.1} %)", s.reads, s.read_ratio() * 100.0)?;
+    writeln!(
+        out,
+        "reads:          {} ({:.1} %)",
+        s.reads,
+        s.read_ratio() * 100.0
+    )?;
     writeln!(out, "bytes read:     {}", fmt_bytes(s.bytes_read))?;
     writeln!(out, "bytes written:  {}", fmt_bytes(s.bytes_written))?;
     writeln!(out, "span:           {} .. {}", s.first_ts, s.last_ts)?;
@@ -216,7 +219,11 @@ fn classify_cmd(
     let by_item = split_by_item(trace.records());
     let empty = Vec::new();
     let mut mix = PatternMix::default();
-    writeln!(out, "{:<24} {:>8} {:>6} {:>6} {:>5}", "item", "ios", "reads%", "longs", "class")?;
+    writeln!(
+        out,
+        "{:<24} {:>8} {:>6} {:>6} {:>5}",
+        "item", "ios", "reads%", "longs", "class"
+    )?;
     for item in &items {
         let ios = by_item.get(&item.id).unwrap_or(&empty);
         let st = analyze_item_period(item.id, ios, period, flags.break_even);
@@ -318,8 +325,25 @@ fn replay(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
         writeln!(out, "policy:           {}", report.policy)?;
         writeln!(out, "enclosure power:  {:.1} W", report.enclosure_avg_watts)?;
         writeln!(out, "unit power:       {:.1} W", report.avg_power_watts)?;
-        writeln!(out, "avg response:     {:.2} ms", report.avg_response.as_millis_f64())?;
-        writeln!(out, "migrated:         {}", fmt_bytes(report.migrated_bytes))?;
+        writeln!(
+            out,
+            "avg response:     {:.2} ms",
+            report.avg_response.as_millis_f64()
+        )?;
+        let (p50, p95, p99, pmax) = report.read_percentiles;
+        writeln!(
+            out,
+            "read p50/95/99:   {:.2} / {:.2} / {:.2} ms (max {:.2} ms)",
+            p50.as_millis_f64(),
+            p95.as_millis_f64(),
+            p99.as_millis_f64(),
+            pmax.as_millis_f64()
+        )?;
+        writeln!(
+            out,
+            "migrated:         {}",
+            fmt_bytes(report.migrated_bytes)
+        )?;
         writeln!(out, "spin-ups:         {}", report.spin_ups)?;
         writeln!(out, "determinations:   {}", report.determinations)?;
     }
@@ -339,7 +363,10 @@ mod tests {
     #[test]
     fn usage_errors() {
         assert!(matches!(run_to_string(&[]), Err(CliError::Usage(_))));
-        assert!(matches!(run_to_string(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_to_string(&["frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(run_to_string(&["gen"]), Err(CliError::Usage(_))));
         assert!(matches!(
             run_to_string(&["gen", "nosuch"]),
@@ -371,12 +398,8 @@ mod tests {
         assert!(s.contains("records:"), "{s}");
         assert!(s.contains("distinct items:"));
 
-        let c = run_to_string(&[
-            "classify",
-            trace.to_str().unwrap(),
-            items.to_str().unwrap(),
-        ])
-        .unwrap();
+        let c =
+            run_to_string(&["classify", trace.to_str().unwrap(), items.to_str().unwrap()]).unwrap();
         assert!(c.contains("mix:"), "{c}");
         assert!(c.contains("lineitem.0"));
         std::fs::remove_dir_all(&dir).ok();
@@ -386,10 +409,7 @@ mod tests {
     fn mix_colocates() {
         let dir = std::env::temp_dir().join(format!("ees-mix-test-{}", std::process::id()));
         let out = dir.to_str().unwrap();
-        let msg = run_to_string(&[
-            "mix", "tpcc", "tpch", "--scale", "0.01", "--out", out,
-        ])
-        .unwrap();
+        let msg = run_to_string(&["mix", "tpcc", "tpch", "--scale", "0.01", "--out", out]).unwrap();
         assert!(msg.contains("colocated 2 workloads"), "{msg}");
         assert!(dir.join("mix.trace.jsonl").exists());
         assert!(matches!(

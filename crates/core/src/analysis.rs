@@ -55,8 +55,7 @@ impl ItemReport {
     /// Whether this item is P3 *for placement*: continuously accessed and
     /// carrying real load (see [`PLACEMENT_P3_MIN_IOPS`]).
     pub fn is_placement_p3(&self) -> bool {
-        self.pattern == LogicalIoPattern::P3
-            && self.rand_equiv_iops() >= PLACEMENT_P3_MIN_IOPS
+        self.pattern == LogicalIoPattern::P3 && self.rand_equiv_iops() >= PLACEMENT_P3_MIN_IOPS
     }
 
     /// Average IOPS expressed in random-I/O equivalents: what the item
@@ -162,8 +161,8 @@ mod tests {
             logical,
             physical: &[],
             placement,
-            enclosures: Vec::new(),
-            sequential: Default::default(),
+            enclosures: &[],
+            sequential: &ees_policy::NO_SEQUENTIAL,
         };
         analyze_snapshot(&snap)
     }

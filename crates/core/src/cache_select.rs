@@ -43,9 +43,7 @@ pub fn select_write_delay(
     // Optional P1 extension while budget remains: write-heavy P1 first.
     let mut p1: Vec<&ItemReport> = reports
         .iter()
-        .filter(|r| {
-            r.pattern == LogicalIoPattern::P1 && is_cold(r.enclosure) && r.stats.writes > 0
-        })
+        .filter(|r| r.pattern == LogicalIoPattern::P1 && is_cold(r.enclosure) && r.stats.writes > 0)
         .collect();
     p1.sort_by_key(|r| (std::cmp::Reverse(r.stats.bytes_written), r.id));
     for r in p1 {

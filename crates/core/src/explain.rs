@@ -13,11 +13,7 @@ use std::fmt::Write as _;
 
 /// Renders a management plan against the item reports it was derived
 /// from. `split` is the hot/cold decision of the same period.
-pub fn explain_plan(
-    plan: &ManagementPlan,
-    reports: &[ItemReport],
-    split: &HotColdSplit,
-) -> String {
+pub fn explain_plan(plan: &ManagementPlan, reports: &[ItemReport], split: &HotColdSplit) -> String {
     let mut out = String::new();
     let report_of = |id| reports.iter().find(|r| r.id == id);
 

@@ -43,9 +43,27 @@ impl HotColdSplit {
 /// * `p3_bytes` — total size of the P3 items;
 /// * `o` — max IOPS one enclosure serves;
 /// * `s` — capacity of one enclosure.
+///
+/// Degenerate `o` (≤ 0, from a mis-calibrated service model) or `s`
+/// (0-capacity enclosures) cannot silently produce an empty hot set:
+/// with P3 demand present the corresponding constraint demands at least
+/// one hot enclosure instead of the `inf`/`NaN → as usize → 0` the
+/// naive float division yields.
 pub fn n_hot(i_max: f64, p3_bytes: u64, o: f64, s: u64) -> usize {
-    let by_iops = (i_max / o).ceil() as usize;
-    let by_size = (p3_bytes as f64 / s as f64).ceil() as usize;
+    let by_iops = if i_max <= 0.0 {
+        0
+    } else if o > 0.0 {
+        (i_max / o).ceil() as usize
+    } else {
+        1
+    };
+    let by_size = if p3_bytes == 0 {
+        0
+    } else if s > 0 {
+        p3_bytes.div_ceil(s) as usize
+    } else {
+        1
+    };
     by_iops.max(by_size)
 }
 
@@ -158,6 +176,30 @@ mod tests {
     }
 
     #[test]
+    fn n_hot_guards_degenerate_service_rate_and_capacity() {
+        // o = 0 would be inf/900-NaN territory; with live P3 IOPS the
+        // IOPS constraint must still demand a hot enclosure.
+        assert_eq!(n_hot(500.0, 0, 0.0, 1000), 1);
+        assert_eq!(n_hot(500.0, 0, -1.0, 1000), 1);
+        // s = 0 likewise for the size constraint.
+        assert_eq!(n_hot(0.0, 4096, 900.0, 0), 1);
+        // Both degenerate at once still yields a non-empty hot set.
+        assert_eq!(n_hot(500.0, 4096, 0.0, 0), 1);
+        // Degenerate divisors with no P3 demand at all stay at zero.
+        assert_eq!(n_hot(0.0, 0, 0.0, 0), 0);
+    }
+
+    #[test]
+    fn n_hot_size_bound_is_exact_for_large_byte_counts() {
+        // div_ceil instead of float division: no precision loss near
+        // multiples of the capacity.
+        let s = 1_700_000_000_000u64;
+        assert_eq!(n_hot(0.0, s, 900.0, s), 1);
+        assert_eq!(n_hot(0.0, s + 1, 900.0, s), 2);
+        assert_eq!(n_hot(0.0, 5 * s, 900.0, s), 5);
+    }
+
+    #[test]
     fn split_prefers_enclosures_rich_in_p3() {
         let reports = vec![
             report(1, 0, 100, LogicalIoPattern::P3),
@@ -197,12 +239,7 @@ mod tests {
             report(2, 1, 800, LogicalIoPattern::P3),
             report(3, 2, 800, LogicalIoPattern::P3),
         ];
-        let views = vec![
-            view(0, 1000),
-            view(1, 1000),
-            view(2, 1000),
-            view(3, 1000),
-        ];
+        let views = vec![view(0, 1000), view(1, 1000), view(2, 1000), view(3, 1000)];
         let (split, n) = determine_hot_cold(&reports, &views, Micros::ZERO);
         assert_eq!(n, 3);
         assert_eq!(split.hot.len(), 3);

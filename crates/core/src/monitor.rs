@@ -136,11 +136,17 @@ mod tests {
         let mut h = MonitorHistory::new();
         h.record(
             span(0, 10),
-            &[report(1, LogicalIoPattern::P1), report(2, LogicalIoPattern::P3)],
+            &[
+                report(1, LogicalIoPattern::P1),
+                report(2, LogicalIoPattern::P3),
+            ],
         );
         h.record(
             span(10, 20),
-            &[report(1, LogicalIoPattern::P1), report(2, LogicalIoPattern::P2)],
+            &[
+                report(1, LogicalIoPattern::P1),
+                report(2, LogicalIoPattern::P2),
+            ],
         );
         assert_eq!(h.periods().len(), 2);
         assert_eq!(h.periods()[0].changed, 0, "first period has no baseline");
@@ -155,11 +161,20 @@ mod tests {
         for _ in 0..3 {
             h.record(
                 span(0, 10),
-                &[report(1, LogicalIoPattern::P1), report(2, LogicalIoPattern::P3)],
+                &[
+                    report(1, LogicalIoPattern::P1),
+                    report(2, LogicalIoPattern::P3),
+                ],
             );
         }
         assert_eq!(h.stability(), Some(1.0));
-        h.record(span(30, 40), &[report(1, LogicalIoPattern::P0), report(2, LogicalIoPattern::P3)]);
+        h.record(
+            span(30, 40),
+            &[
+                report(1, LogicalIoPattern::P0),
+                report(2, LogicalIoPattern::P3),
+            ],
+        );
         let s = h.stability().unwrap();
         assert!(s < 1.0 && s > 0.8);
     }

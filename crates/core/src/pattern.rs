@@ -4,8 +4,8 @@
 //! | Pattern | Shape | Power-saving method |
 //! |---------|-------|---------------------|
 //! | **P0** | no I/O in the period | enclosure can simply power off |
-//! | **P1** | Long Interval(s) + Sequence(s), > 50 % reads | preload into the cache |
-//! | **P2** | Long Interval(s) + Sequence(s), ≤ 50 % reads | delay writes in the cache |
+//! | **P1** | Long Interval(s) + Sequence(s), ≥ 50 % reads | preload into the cache |
+//! | **P2** | Long Interval(s) + Sequence(s), < 50 % reads | delay writes in the cache |
 //! | **P3** | one Sequence spanning the period (no Long Interval) | none — keep its enclosure hot |
 
 use ees_iotrace::ItemIntervalStats;
@@ -56,9 +56,9 @@ impl fmt::Display for LogicalIoPattern {
 ///
 /// 1. no I/Os → **P0**;
 /// 2. no Long Interval → **P3**;
-/// 3. otherwise count reads: strictly more than half the I/Os → **P1**,
-///    else **P2** (the paper assigns "more than half" to P1, so an exact
-///    tie is write-dominant).
+/// 3. otherwise count reads: at least half the I/Os → **P1**, else
+///    **P2** (the paper assigns "≥ 50 % reads" to P1, so an exact tie
+///    is read-dominant and becomes a preload candidate).
 ///
 /// ```
 /// use ees_core::{classify, LogicalIoPattern};
@@ -86,7 +86,7 @@ pub fn classify(stats: &ItemIntervalStats) -> LogicalIoPattern {
     if stats.long_intervals.is_empty() {
         return LogicalIoPattern::P3;
     }
-    if stats.reads * 2 > stats.total_ios() {
+    if stats.reads * 2 >= stats.total_ios() {
         LogicalIoPattern::P1
     } else {
         LogicalIoPattern::P2
@@ -172,7 +172,12 @@ mod tests {
     }
 
     fn classify_ios(ios: &[LogicalIoRecord], period_s: u64) -> LogicalIoPattern {
-        classify(&analyze_item_period(DataItemId(0), ios, period(period_s), BE))
+        classify(&analyze_item_period(
+            DataItemId(0),
+            ios,
+            period(period_s),
+            BE,
+        ))
     }
 
     #[test]
@@ -210,10 +215,11 @@ mod tests {
     }
 
     #[test]
-    fn exact_read_tie_is_p2() {
-        // 50 % reads is NOT "larger than 50 %" (§II.C.2), so P2.
+    fn exact_read_tie_is_p1() {
+        // Exactly 50 % reads meets the paper's "≥ 50 % reads" bar for
+        // P1 (§II.C.2), so the tie goes to the preload candidate.
         let ios = vec![io(0.0, IoKind::Read), io(200.0, IoKind::Write)];
-        assert_eq!(classify_ios(&ios, 520), LogicalIoPattern::P2);
+        assert_eq!(classify_ios(&ios, 520), LogicalIoPattern::P1);
     }
 
     #[test]

@@ -96,11 +96,7 @@ pub fn plan_placement_with_floor(
     }
 }
 
-fn attempt(
-    reports: &[ItemReport],
-    enclosures: &[EnclosureView],
-    split: &HotColdSplit,
-) -> Attempt {
+fn attempt(reports: &[ItemReport], enclosures: &[EnclosureView], split: &HotColdSplit) -> Attempt {
     let mut state: BTreeMap<EnclosureId, Projected> = enclosures
         .iter()
         .map(|e| {
@@ -130,7 +126,8 @@ fn attempt(
     }
     // Largest evictables first: fewer moves to free the needed space.
     for s in state.values_mut() {
-        s.evictable.sort_by_key(|&(id, size, _)| (std::cmp::Reverse(size), id));
+        s.evictable
+            .sort_by_key(|&(id, size, _)| (std::cmp::Reverse(size), id));
     }
 
     // Algorithm 2's M: P3 items on cold enclosures, by IOPS density desc.
@@ -326,7 +323,7 @@ mod tests {
                 bytes_written: 0,
             },
             iops: IopsSeries::from_timestamps(
-                (0..ios_total.min(100)).map(|s| Micros::from_secs(s)),
+                (0..ios_total.min(100)).map(Micros::from_secs),
                 period,
             ),
             sequential: false,

@@ -19,15 +19,13 @@
 use crate::analysis::analyze_snapshot;
 use crate::cache_select::{select_preload, select_write_delay};
 use crate::config::ProposedConfig;
+use crate::hotcold::determine_hot_cold;
 use crate::monitor::MonitorHistory;
 use crate::period::next_period;
-use crate::hotcold::determine_hot_cold;
 use crate::placement::plan_placement_with_floor;
 use crate::runtime::PatternChangeTriggers;
 use ees_iotrace::{EnclosureId, Micros};
-use ees_policy::{
-    ManagementPlan, MonitorSnapshot, PolicyReaction, PowerPolicy, RuntimeEvent,
-};
+use ees_policy::{ManagementPlan, MonitorSnapshot, PolicyReaction, PowerPolicy, RuntimeEvent};
 use std::collections::BTreeSet;
 
 /// The paper's energy-efficient storage management method.
@@ -117,7 +115,8 @@ impl PowerPolicy for EnergyEfficientPolicy {
 
         // Steps 2–3: hot/cold and placement. The hot-set size is floored
         // by the decayed running maximum of I_max (see `imax_smooth`).
-        let (_, computed) = determine_hot_cold(&reports, &snapshot.enclosures, snapshot.period.start);
+        let (_, computed) =
+            determine_hot_cold(&reports, snapshot.enclosures, snapshot.period.start);
         let imax = crate::analysis::p3_peak_iops(&reports, snapshot.period.start);
         // Wall-time decay (half-life ≈ 20 min): short, trigger-cut periods
         // must not bleed the running peak away faster than long ones.
@@ -137,12 +136,8 @@ impl PowerPolicy for EnergyEfficientPolicy {
             .unwrap_or(1.0)
             .max(1.0);
         let floor = ((self.imax_smooth / o).ceil() as usize).max(computed);
-        let mut placement = plan_placement_with_floor(
-            &reports,
-            &snapshot.enclosures,
-            snapshot.period.start,
-            floor,
-        );
+        let mut placement =
+            plan_placement_with_floor(&reports, snapshot.enclosures, snapshot.period.start, floor);
         if !self.cfg.enable_placement {
             // Ablation: keep the hot/cold split but move nothing.
             placement.migrations.clear();
@@ -251,7 +246,11 @@ impl PowerPolicy for EnergyEfficientPolicy {
             .hot
             .iter()
             .copied()
-            .filter(|&h| reports.iter().any(|r| r.is_placement_p3() && r.enclosure == h))
+            .filter(|&h| {
+                reports
+                    .iter()
+                    .any(|r| r.is_placement_p3() && r.enclosure == h)
+            })
             .collect();
         self.triggers = PatternChangeTriggers::new(snapshot.break_even);
         self.triggers
@@ -357,7 +356,7 @@ mod tests {
     fn snapshot<'a>(
         placement: &'a PlacementMap,
         logical: &'a [LogicalIoRecord],
-        enclosures: Vec<EnclosureView>,
+        enclosures: &'a [EnclosureView],
     ) -> MonitorSnapshot<'a> {
         MonitorSnapshot {
             period: Span {
@@ -369,7 +368,7 @@ mod tests {
             physical: &[],
             placement,
             enclosures,
-            sequential: Default::default(),
+            sequential: &ees_policy::NO_SEQUENTIAL,
         }
     }
 
@@ -379,15 +378,15 @@ mod tests {
         let mut p = EnergyEfficientPolicy::with_defaults();
         assert_eq!(p.name(), "Proposed");
         assert_eq!(p.initial_period(), Micros::from_secs(520));
-        let plan = p.on_period_end(&snapshot(&placement, &logical, views));
+        let plan = p.on_period_end(&snapshot(&placement, &logical, &views));
 
         // Enclosure 0 (P3) is hot and not power-off eligible; 1 and 2 are
         // cold and eligible.
         let elig: std::collections::BTreeMap<_, _> =
             plan.power_off_eligible.iter().copied().collect();
-        assert_eq!(elig[&EnclosureId(0)], false);
-        assert_eq!(elig[&EnclosureId(1)], true);
-        assert_eq!(elig[&EnclosureId(2)], true);
+        assert!(!elig[&EnclosureId(0)]);
+        assert!(elig[&EnclosureId(1)]);
+        assert!(elig[&EnclosureId(2)]);
 
         // P1 item 2 preloads; P2 item 3 write-delays; nothing migrates
         // (the single P3 item already sits on the hot enclosure).
@@ -406,7 +405,7 @@ mod tests {
     fn triggers_request_early_invocation_once() {
         let (placement, logical, views) = scenario();
         let mut p = EnergyEfficientPolicy::with_defaults();
-        let _ = p.on_period_end(&snapshot(&placement, &logical, views));
+        let _ = p.on_period_end(&snapshot(&placement, &logical, &views));
         // Cold enclosure 2 spins up repeatedly. m clamps to 3, so the
         // fourth spin-up exceeds it; the invocation guard (52 s past the
         // last plan at t = 520) is already clear.
@@ -454,7 +453,7 @@ mod tests {
         logical.sort_by_key(|r| r.ts);
         let views = vec![view(0), view(1)];
         let mut p = EnergyEfficientPolicy::with_defaults();
-        let plan = p.on_period_end(&snapshot(&placement, &logical, views));
+        let plan = p.on_period_end(&snapshot(&placement, &logical, &views));
 
         assert_eq!(plan.migrations.len(), 2, "eviction + P3 move");
         assert_eq!(plan.migrations[0].item, DataItemId(2));

@@ -106,11 +106,7 @@ impl PatternChangeTriggers {
         // Storm rule.
         self.recent_wakes.push_back((t, enclosure));
         let horizon = t.saturating_sub(Micros::from_secs(15));
-        while self
-            .recent_wakes
-            .front()
-            .map_or(false, |&(w, _)| w < horizon)
-        {
+        while self.recent_wakes.front().is_some_and(|&(w, _)| w < horizon) {
             self.recent_wakes.pop_front();
         }
         if self.cold_count >= 4 {
@@ -144,8 +140,14 @@ mod tests {
         let mut tr = PatternChangeTriggers::new(BE);
         tr.rearm(Micros::ZERO, vec![EnclosureId(0)]);
         assert!(!tr.on_io(Micros::from_secs(10), EnclosureId(0)));
-        assert!(!tr.on_io(Micros::from_secs(60), EnclosureId(0)), "50 s gap ≤ 52 s");
-        assert!(tr.on_io(Micros::from_secs(113), EnclosureId(0)), "53 s gap > 52 s");
+        assert!(
+            !tr.on_io(Micros::from_secs(60), EnclosureId(0)),
+            "50 s gap ≤ 52 s"
+        );
+        assert!(
+            tr.on_io(Micros::from_secs(113), EnclosureId(0)),
+            "53 s gap > 52 s"
+        );
     }
 
     #[test]

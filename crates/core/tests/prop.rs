@@ -6,8 +6,7 @@ use ees_core::{
     LogicalIoPattern,
 };
 use ees_iotrace::{
-    analyze_item_period, DataItemId, EnclosureId, IoKind, IopsSeries, LogicalIoRecord, Micros,
-    Span,
+    analyze_item_period, DataItemId, EnclosureId, IoKind, IopsSeries, LogicalIoRecord, Micros, Span,
 };
 use ees_policy::EnclosureView;
 use proptest::prelude::*;
@@ -17,11 +16,11 @@ const BE: Micros = Micros(52_000_000);
 
 fn arb_reports() -> impl Strategy<Value = (Vec<ItemReport>, Vec<EnclosureView>)> {
     let item = (
-        0u16..6u16,              // enclosure
-        1u64..2_000u64,          // size
-        0u64..40_000u64,         // reads over the period (up to 400 IOPS)
-        0u64..40_000u64,         // writes
-        prop::bool::ANY,         // has a long interval?
+        0u16..6u16,      // enclosure
+        1u64..2_000u64,  // size
+        0u64..40_000u64, // reads over the period (up to 400 IOPS)
+        0u64..40_000u64, // writes
+        prop::bool::ANY, // has a long interval?
     );
     prop::collection::vec(item, 1..40).prop_map(|raw| {
         let period = Span {

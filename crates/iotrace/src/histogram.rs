@@ -168,7 +168,10 @@ mod tests {
             "p50 {p50} should sit near 10 ms"
         );
         let p999 = h.quantile(0.999).unwrap();
-        assert!(p999 >= Micros(10_000_000), "p99.9 {p999} should catch the tail");
+        assert!(
+            p999 >= Micros(10_000_000),
+            "p99.9 {p999} should catch the tail"
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl LogicalTrace {
     /// Appends a record. Timestamps must be non-decreasing.
     pub fn push(&mut self, rec: LogicalIoRecord) {
         debug_assert!(
-            self.records.last().map_or(true, |last| last.ts <= rec.ts),
+            self.records.last().is_none_or(|last| last.ts <= rec.ts),
             "logical trace must be pushed in timestamp order"
         );
         self.records.push(rec);
@@ -164,7 +164,7 @@ impl PhysicalTrace {
     /// Appends a record. Timestamps must be non-decreasing.
     pub fn push(&mut self, rec: PhysicalIoRecord) {
         debug_assert!(
-            self.records.last().map_or(true, |last| last.ts <= rec.ts),
+            self.records.last().is_none_or(|last| last.ts <= rec.ts),
             "physical trace must be pushed in timestamp order"
         );
         self.records.push(rec);

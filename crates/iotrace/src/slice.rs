@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 /// Returns the records of `trace` whose timestamps fall in `window`
 /// (binary-searched; O(log n + m)).
-pub fn window<'a>(records: &'a [LogicalIoRecord], window: Span) -> &'a [LogicalIoRecord] {
+pub fn window(records: &[LogicalIoRecord], window: Span) -> &[LogicalIoRecord] {
     let lo = records.partition_point(|r| r.ts < window.start);
     let hi = records.partition_point(|r| r.ts < window.end);
     &records[lo..hi]
@@ -19,11 +19,7 @@ pub fn window<'a>(records: &'a [LogicalIoRecord], window: Span) -> &'a [LogicalI
 
 /// Builds a new trace containing only records for `item`.
 pub fn for_item(trace: &LogicalTrace, item: DataItemId) -> LogicalTrace {
-    trace
-        .iter()
-        .filter(|r| r.item == item)
-        .copied()
-        .collect()
+    trace.iter().filter(|r| r.item == item).copied().collect()
 }
 
 /// Builds a new trace containing only records of `kind`.

@@ -424,7 +424,9 @@ mod tests {
 
     #[test]
     fn short_gaps_coalesce_into_one_sequence() {
-        let ios: Vec<_> = (0..10).map(|i| rec(i as f64 * 10.0, IoKind::Read)).collect();
+        let ios: Vec<_> = (0..10)
+            .map(|i| rec(i as f64 * 10.0, IoKind::Read))
+            .collect();
         let s = analyze_item_period(DataItemId(0), &ios, period(100), BE);
         assert_eq!(s.sequences.len(), 1);
         assert!(s.long_intervals.is_empty());
@@ -535,10 +537,10 @@ mod tests {
     fn interval_cdf_filters_and_accumulates() {
         let cdf = IntervalCdf::from_intervals(
             vec![
-                Micros::from_secs(10),  // below break-even, dropped
+                Micros::from_secs(10), // below break-even, dropped
                 Micros::from_secs(60),
                 Micros::from_secs(100),
-                Micros::from_secs(52),  // exactly break-even, dropped
+                Micros::from_secs(52), // exactly break-even, dropped
             ],
             BE,
         );

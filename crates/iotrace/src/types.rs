@@ -151,9 +151,7 @@ impl fmt::Display for Micros {
 /// lives wholly on one disk enclosure (paper §II.C.1). A table, index, or
 /// file that spans enclosures is split into one data item per enclosure by
 /// the workload generator.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct DataItemId(pub u32);
 
@@ -165,9 +163,7 @@ impl fmt::Display for DataItemId {
 
 /// Identifier of a disk enclosure — the power-saving unit of the paper
 /// (§II.A): a shelf of 15 RAID-6 HDDs that is powered on and off as a whole.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct EnclosureId(pub u16);
 
@@ -179,9 +175,7 @@ impl fmt::Display for EnclosureId {
 
 /// Identifier of a logical volume exposed by the block-virtualization layer
 /// to the file/record layer (paper §III, Fig. 2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct VolumeId(pub u16);
 

@@ -11,11 +11,7 @@ const PERIOD_S: u64 = 520;
 const BE: Micros = Micros(52_000_000);
 
 fn arb_ios() -> impl Strategy<Value = Vec<LogicalIoRecord>> {
-    prop::collection::vec(
-        (0u64..PERIOD_S * 1_000_000, prop::bool::ANY),
-        0..200,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((0u64..PERIOD_S * 1_000_000, prop::bool::ANY), 0..200).prop_map(|raw| {
         let mut ios: Vec<LogicalIoRecord> = raw
             .into_iter()
             .map(|(ts, is_read)| LogicalIoRecord {

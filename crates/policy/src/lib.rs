@@ -20,7 +20,7 @@ pub mod plan;
 pub mod snapshot;
 
 pub use plan::{ExtentRedirect, ManagementPlan, Migration, PlanDefect, REDIRECT_EXTENT_BYTES};
-pub use snapshot::{EnclosureView, MonitorSnapshot};
+pub use snapshot::{EnclosureView, MonitorSnapshot, NO_SEQUENTIAL};
 
 use ees_iotrace::{DataItemId, EnclosureId, Micros};
 
@@ -127,8 +127,8 @@ mod tests {
             logical: &[],
             physical: &[],
             placement: &placement,
-            enclosures: Vec::new(),
-            sequential: Default::default(),
+            enclosures: &[],
+            sequential: &snapshot::NO_SEQUENTIAL,
         };
         let plan = p.on_period_end(&snap);
         assert!(plan.migrations.is_empty());

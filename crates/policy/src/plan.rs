@@ -104,8 +104,7 @@ impl ManagementPlan {
         preload_budget: u64,
     ) -> Vec<PlanDefect> {
         let mut defects = Vec::new();
-        let known_enclosure =
-            |id: EnclosureId| snapshot.enclosures.iter().any(|e| e.id == id);
+        let known_enclosure = |id: EnclosureId| snapshot.enclosures.iter().any(|e| e.id == id);
 
         let mut seen = std::collections::BTreeSet::new();
         for m in &self.migrations {
@@ -161,6 +160,16 @@ mod tests {
     use ees_iotrace::Span;
     use ees_simstorage::PlacementMap;
 
+    static FIXTURE_VIEWS: [EnclosureView; 1] = [EnclosureView {
+        id: EnclosureId(0),
+        capacity: 1 << 40,
+        used: 0,
+        max_iops: 900.0,
+        max_seq_iops: 2800.0,
+        served_ios: 0,
+        spin_ups: 0,
+    }];
+
     fn snapshot_fixture(placement: &PlacementMap) -> MonitorSnapshot<'_> {
         MonitorSnapshot {
             period: Span {
@@ -171,16 +180,8 @@ mod tests {
             logical: &[],
             physical: &[],
             placement,
-            enclosures: vec![EnclosureView {
-                id: EnclosureId(0),
-                capacity: 1 << 40,
-                used: 0,
-                max_iops: 900.0,
-                max_seq_iops: 2800.0,
-                served_ios: 0,
-                spin_ups: 0,
-            }],
-            sequential: Default::default(),
+            enclosures: &FIXTURE_VIEWS,
+            sequential: &crate::NO_SEQUENTIAL,
         }
     }
 
@@ -206,8 +207,14 @@ mod tests {
         let snap = snapshot_fixture(&placement);
         let plan = ManagementPlan {
             migrations: vec![
-                Migration { item: DataItemId(9), to: EnclosureId(7) },
-                Migration { item: DataItemId(9), to: EnclosureId(0) },
+                Migration {
+                    item: DataItemId(9),
+                    to: EnclosureId(7),
+                },
+                Migration {
+                    item: DataItemId(9),
+                    to: EnclosureId(0),
+                },
             ],
             preload: vec![(DataItemId(1), 800), (DataItemId(1), 800)],
             write_delay: vec![DataItemId(1), DataItemId(1)],

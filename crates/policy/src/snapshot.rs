@@ -61,11 +61,15 @@ pub struct MonitorSnapshot<'a> {
     /// Current item → enclosure placement (logical ⋈ physical mapping).
     pub placement: &'a PlacementMap,
     /// Per-enclosure capacity/IOPS/spin-up state.
-    pub enclosures: Vec<EnclosureView>,
+    pub enclosures: &'a [EnclosureView],
     /// Items whose physical access pattern the Storage Monitor observed
     /// to be sequential (streaming scans, logs). Empty when unknown.
-    pub sequential: BTreeSet<DataItemId>,
+    pub sequential: &'a BTreeSet<DataItemId>,
 }
+
+/// An empty sequential set for snapshots built without Storage Monitor
+/// stream detection (baselines, tests, fixtures).
+pub static NO_SEQUENTIAL: BTreeSet<DataItemId> = BTreeSet::new();
 
 impl MonitorSnapshot<'_> {
     /// View of a specific enclosure.
@@ -97,6 +101,15 @@ mod tests {
     #[test]
     fn snapshot_enclosure_lookup() {
         let placement = PlacementMap::new();
+        let views = [EnclosureView {
+            id: EnclosureId(3),
+            capacity: 10,
+            used: 0,
+            max_iops: 900.0,
+            max_seq_iops: 2800.0,
+            served_ios: 0,
+            spin_ups: 0,
+        }];
         let snap = MonitorSnapshot {
             period: Span {
                 start: Micros::ZERO,
@@ -106,16 +119,8 @@ mod tests {
             logical: &[],
             physical: &[],
             placement: &placement,
-            enclosures: vec![EnclosureView {
-                id: EnclosureId(3),
-                capacity: 10,
-                used: 0,
-                max_iops: 900.0,
-                max_seq_iops: 2800.0,
-                served_ios: 0,
-                spin_ups: 0,
-            }],
-            sequential: BTreeSet::new(),
+            enclosures: &views,
+            sequential: &NO_SEQUENTIAL,
         };
         assert!(snap.enclosure(EnclosureId(3)).is_some());
         assert!(snap.enclosure(EnclosureId(1)).is_none());

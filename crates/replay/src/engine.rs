@@ -23,8 +23,8 @@
 
 use crate::metrics::RunReport;
 use ees_iotrace::{
-    gaps_with_bounds, DataItemId, EnclosureId, IntervalCdf, IoKind, LogicalIoRecord, Micros,
-    PhysicalIoRecord, Span,
+    gaps_with_bounds, DataItemId, EnclosureId, IntervalCdf, IoKind, LatencyHistogram,
+    LogicalIoRecord, Micros, PhysicalIoRecord, Span,
 };
 use ees_policy::{
     EnclosureView, MonitorSnapshot, PolicyReaction, PowerPolicy, RuntimeEvent,
@@ -32,13 +32,18 @@ use ees_policy::{
 };
 use ees_simstorage::{Access, PlacementMap, StorageConfig, StorageController};
 use ees_workloads::Workload;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 
 /// Engine options beyond the storage configuration.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayOptions {
     /// Response windows (e.g. TPC-H query windows): the report will carry
-    /// `(Σ read response secs, read count)` per window.
+    /// `(Σ read response secs, read count)` per window. Windows may
+    /// overlap; a read whose timestamp falls inside several windows is
+    /// credited to **every** containing window, so per-window sums are
+    /// each complete on their own (overlapping windows therefore do not
+    /// partition the reads and their counts can add up to more than the
+    /// run's read total).
     pub response_windows: Vec<Span>,
 }
 
@@ -57,12 +62,20 @@ pub fn run(
     engine.finish(policy)
 }
 
+/// Sentinel in the dense item → enclosure mirror for unplaced items.
+const NO_HOME: u16 = u16::MAX;
+
 /// All mutable replay state.
 struct Engine<'w> {
     workload: &'w Workload,
     controller: StorageController,
     placement: PlacementMap,
-    access: BTreeMap<DataItemId, Access>,
+    /// Dense item-id → access pattern (item ids are dense `u32`s within
+    /// a workload), replacing a per-record `BTreeMap` lookup.
+    item_access: Vec<Access>,
+    /// Dense item-id → home enclosure mirror of `placement`, kept in
+    /// sync at migration time; `NO_HOME` marks unplaced ids.
+    item_home: Vec<u16>,
     /// Items the Storage Monitor reports as sequential streams.
     sequential: BTreeSet<DataItemId>,
     break_even: Micros,
@@ -70,8 +83,11 @@ struct Engine<'w> {
     // §III monitoring buffers, one period at a time.
     logical_buf: Vec<LogicalIoRecord>,
     physical_buf: Vec<PhysicalIoRecord>,
-    served_in_period: BTreeMap<EnclosureId, u64>,
+    /// Dense enclosure-id → I/Os served this period.
+    served_in_period: Vec<u64>,
     spin_up_baseline: Vec<u64>,
+    /// Snapshot views, reused across period boundaries.
+    views_buf: Vec<EnclosureView>,
 
     // Whole-run per-enclosure physical I/O timestamps (Fig. 17–19).
     enc_timestamps: Vec<Vec<Micros>>,
@@ -85,8 +101,11 @@ struct Engine<'w> {
     window_sums: Vec<(f64, u64)>,
     response_sum: f64,
     read_response_sum: f64,
-    read_samples: Vec<f32>,
+    read_latency: LatencyHistogram,
     reads: u64,
+
+    /// `EES_DEBUG_TAIL` probed once at construction, not per record.
+    debug_tail: bool,
 
     determinations: u64,
     periods: u64,
@@ -109,30 +128,41 @@ impl<'w> Engine<'w> {
                 .enclosure_mut(item.enclosure)
                 .place_bytes(item.size);
         }
-        let access = workload.access_hints();
-        let sequential: BTreeSet<DataItemId> = access
+        let sequential: BTreeSet<DataItemId> = workload
+            .items
             .iter()
-            .filter(|(_, a)| **a == Access::Sequential)
-            .map(|(id, _)| *id)
+            .filter(|i| i.access == Access::Sequential)
+            .map(|i| i.id)
             .collect();
+        let max_item = workload.items.iter().map(|i| i.id.0 as usize).max();
+        let dense_len = max_item.map_or(0, |m| m + 1);
+        let mut item_access = vec![Access::Random; dense_len];
+        let mut item_home = vec![NO_HOME; dense_len];
+        for item in &workload.items {
+            item_access[item.id.0 as usize] = item.access;
+            item_home[item.id.0 as usize] = item.enclosure.0;
+        }
         Engine {
             controller,
             placement: workload.initial_placement(),
-            access,
+            item_access,
+            item_home,
             sequential,
             break_even: cfg.enclosure.power.break_even_time(),
             logical_buf: Vec::new(),
             physical_buf: Vec::new(),
-            served_in_period: BTreeMap::new(),
+            served_in_period: vec![0; workload.num_enclosures as usize],
             spin_up_baseline: vec![0; workload.num_enclosures as usize],
+            views_buf: Vec::with_capacity(workload.num_enclosures as usize),
             enc_timestamps: vec![Vec::new(); workload.num_enclosures as usize],
             redirects: HashMap::new(),
             response_windows: options.response_windows.clone(),
             window_sums: vec![(0.0, 0); options.response_windows.len()],
             response_sum: 0.0,
             read_response_sum: 0.0,
-            read_samples: Vec::new(),
+            read_latency: LatencyHistogram::new(),
             reads: 0,
+            debug_tail: std::env::var_os("EES_DEBUG_TAIL").is_some(),
             determinations: 0,
             periods: 0,
             period_start: Micros::ZERO,
@@ -141,36 +171,37 @@ impl<'w> Engine<'w> {
         }
     }
 
-    /// Per-enclosure views for the current period.
-    fn enclosure_views(&self) -> Vec<EnclosureView> {
-        self.controller
-            .enclosure_ids()
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|id| {
-                let e = self.controller.enclosure(id);
-                EnclosureView {
-                    id,
-                    capacity: e.config().capacity_bytes,
-                    used: e.used_bytes(),
-                    max_iops: e.config().service.max_random_iops,
-                    max_seq_iops: e.config().service.max_seq_iops,
-                    served_ios: self.served_in_period.get(&id).copied().unwrap_or(0),
-                    spin_ups: e
-                        .stats()
-                        .spin_ups
-                        .saturating_sub(self.spin_up_baseline[id.0 as usize]),
-                }
-            })
-            .collect()
+    /// Refills the reusable per-enclosure view buffer for the current
+    /// period.
+    fn refresh_enclosure_views(&mut self) {
+        self.views_buf.clear();
+        for id in self.controller.enclosure_ids() {
+            let e = self.controller.enclosure(id);
+            self.views_buf.push(EnclosureView {
+                id,
+                capacity: e.config().capacity_bytes,
+                used: e.used_bytes(),
+                max_iops: e.config().service.max_random_iops,
+                max_seq_iops: e.config().service.max_seq_iops,
+                served_ios: self.served_in_period[id.0 as usize],
+                spin_ups: e
+                    .stats()
+                    .spin_ups
+                    .saturating_sub(self.spin_up_baseline[id.0 as usize]),
+            });
+        }
     }
 
     /// Ends the monitoring period at `t_end`: snapshot → policy → execute
     /// the plan (the run-time power-saving method of §V).
     fn invoke_management(&mut self, t_end: Micros, policy: &mut dyn PowerPolicy) {
-        let views: Vec<EnclosureView> = self.enclosure_views();
+        self.refresh_enclosure_views();
+        // Budget for plan validation is the cache partition: the
+        // engine's own contract with set_preload.
+        #[cfg(debug_assertions)]
+        let budget = self.controller.cache().config().preload_bytes;
 
-        let plan = policy.on_period_end(&MonitorSnapshot {
+        let snapshot = MonitorSnapshot {
             period: Span {
                 start: self.period_start,
                 end: t_end,
@@ -179,30 +210,14 @@ impl<'w> Engine<'w> {
             logical: &self.logical_buf,
             physical: &self.physical_buf,
             placement: &self.placement,
-            enclosures: views,
-            sequential: self.sequential.clone(),
-        });
+            enclosures: &self.views_buf,
+            sequential: &self.sequential,
+        };
+        let plan = policy.on_period_end(&snapshot);
 
         #[cfg(debug_assertions)]
         {
-            // Budget here is the cache partition: the engine's own
-            // contract with set_preload.
-            let budget = self.controller.cache().config().preload_bytes;
-            let defects = plan.validate(
-                &MonitorSnapshot {
-                    period: Span {
-                        start: self.period_start,
-                        end: t_end,
-                    },
-                    break_even: self.break_even,
-                    logical: &self.logical_buf,
-                    physical: &self.physical_buf,
-                    placement: &self.placement,
-                    enclosures: self.enclosure_views(),
-                    sequential: self.sequential.clone(),
-                },
-                budget,
-            );
+            let defects = plan.validate(&snapshot, budget);
             debug_assert!(defects.is_empty(), "invalid plan: {defects:?}");
         }
 
@@ -228,7 +243,18 @@ impl<'w> Engine<'w> {
                 continue;
             }
             let size = self.placement.size_of(m.item).unwrap_or(0);
-            if size > self.controller.enclosure(m.to).free_bytes() {
+            // Extent bytes already redirected onto the target are
+            // resident there and need no new free space; counting them
+            // against the target would wrongly drop a move that merely
+            // consolidates the item's own redirected extents.
+            let already_on_target: u64 = self
+                .redirects
+                .iter()
+                .filter(|(&(item, _), &(loc, _))| item == m.item && loc == m.to)
+                .map(|(_, &(_, bytes))| bytes)
+                .sum();
+            if size.saturating_sub(already_on_target) > self.controller.enclosure(m.to).free_bytes()
+            {
                 continue;
             }
             // Extents previously redirected elsewhere travel from their
@@ -255,6 +281,7 @@ impl<'w> Engine<'w> {
                 self.controller.migrate(t_end, from, m.to, remainder);
             }
             self.placement.move_item(m.item, m.to);
+            self.item_home[m.item.0 as usize] = m.to.0;
         }
         // 3. Extent redirects (block-granular policies).
         for r in &plan.extent_redirects {
@@ -280,7 +307,10 @@ impl<'w> Engine<'w> {
             .set_write_delay(plan.write_delay.clone());
         self.run_flush(t_end, flush);
         // 5. Preload set; newly selected items load from their enclosures.
-        let to_load = self.controller.cache_mut().set_preload(plan.preload.clone());
+        let to_load = self
+            .controller
+            .cache_mut()
+            .set_preload(plan.preload.clone());
         for (item, size) in to_load {
             if let Some(enc) = self.placement.enclosure_of(item) {
                 self.controller
@@ -295,10 +325,13 @@ impl<'w> Engine<'w> {
         self.period_start = t_end;
         self.logical_buf.clear();
         self.physical_buf.clear();
-        self.served_in_period.clear();
+        self.served_in_period.fill(0);
         for i in 0..self.spin_up_baseline.len() {
-            self.spin_up_baseline[i] =
-                self.controller.enclosure(EnclosureId(i as u16)).stats().spin_ups;
+            self.spin_up_baseline[i] = self
+                .controller
+                .enclosure(EnclosureId(i as u16))
+                .stats()
+                .spin_ups;
         }
     }
 
@@ -322,20 +355,34 @@ impl<'w> Engine<'w> {
 
         let t = rec.ts;
         self.logical_buf.push(rec);
-        let extent = rec.offset / REDIRECT_EXTENT_BYTES;
-        let enclosure = self
-            .redirects
-            .get(&(rec.item, extent))
-            .map(|&(loc, _)| loc)
-            .or_else(|| self.placement.enclosure_of(rec.item))
+        // Dense home lookup; the redirect map is only consulted while a
+        // block-granular policy actually has redirects installed.
+        let home = self
+            .item_home
+            .get(rec.item.0 as usize)
+            .copied()
+            .filter(|&h| h != NO_HOME)
             .expect("trace references an unplaced item");
+        let enclosure = if self.redirects.is_empty() {
+            EnclosureId(home)
+        } else {
+            let extent = rec.offset / REDIRECT_EXTENT_BYTES;
+            self.redirects
+                .get(&(rec.item, extent))
+                .map(|&(loc, _)| loc)
+                .unwrap_or(EnclosureId(home))
+        };
 
         // Route through the cache; fall through to a physical I/O.
         let mut response: Option<Micros> = None;
         let mut spun_up = false;
         match rec.kind {
             IoKind::Read => {
-                if self.controller.cache_mut().read_lookup(rec.item, rec.offset) {
+                if self
+                    .controller
+                    .cache_mut()
+                    .read_lookup(rec.item, rec.offset)
+                {
                     response = Some(self.controller.cache().hit_latency());
                 }
             }
@@ -350,7 +397,7 @@ impl<'w> Engine<'w> {
             }
         }
         let response = response.unwrap_or_else(|| {
-            let acc = self.access.get(&rec.item).copied().unwrap_or(Access::Random);
+            let acc = self.item_access[rec.item.0 as usize];
             let out = self.controller.submit(t, enclosure, rec.len, rec.kind, acc);
             self.physical_buf.push(PhysicalIoRecord {
                 ts: t,
@@ -359,7 +406,7 @@ impl<'w> Engine<'w> {
                 len: rec.len,
                 kind: rec.kind,
             });
-            *self.served_in_period.entry(enclosure).or_insert(0) += 1;
+            self.served_in_period[enclosure.0 as usize] += 1;
             self.enc_timestamps[enclosure.0 as usize].push(t);
             spun_up = out.triggered_spin_up;
             if out.triggered_spin_up {
@@ -376,7 +423,7 @@ impl<'w> Engine<'w> {
 
         // Response accounting.
         let rsecs = response.as_secs_f64();
-        if rsecs > 100.0 && std::env::var_os("EES_DEBUG_TAIL").is_some() {
+        if self.debug_tail && rsecs > 100.0 {
             eprintln!(
                 "TAIL t={} item={} enclosure={} kind={:?} resp={}",
                 t, rec.item, enclosure, rec.kind, response
@@ -386,12 +433,13 @@ impl<'w> Engine<'w> {
         if rec.kind.is_read() {
             self.reads += 1;
             self.read_response_sum += rsecs;
-            self.read_samples.push(rsecs as f32);
+            self.read_latency.record(response);
+            // Credit every containing window: windows may overlap, and
+            // each window's sum must be complete on its own.
             for (wi, w) in self.response_windows.iter().enumerate() {
                 if t >= w.start && t < w.end {
                     self.window_sums[wi].0 += rsecs;
                     self.window_sums[wi].1 += 1;
-                    break;
                 }
             }
         }
@@ -433,16 +481,11 @@ impl<'w> Engine<'w> {
         let total_ios = self.workload.trace.len() as u64;
         let physical_ios: u64 = self.enc_timestamps.iter().map(|v| v.len() as u64).sum();
         let dur_secs = end.as_secs_f64().max(1e-9);
-        self.read_samples
-            .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-        let pct = |q: f64| -> Micros {
-            if self.read_samples.is_empty() {
-                Micros::ZERO
-            } else {
-                let idx = ((self.read_samples.len() - 1) as f64 * q) as usize;
-                Micros::from_secs_f64(self.read_samples[idx] as f64)
-            }
-        };
+        // Nearest-rank percentiles served by the fixed-size histogram
+        // (its `quantile` uses the same ceil-target rank rule as
+        // [`crate::metrics::nearest_rank`], at ~7 % bucket resolution;
+        // min and max are exact).
+        let pct = |q: f64| self.read_latency.quantile(q).unwrap_or(Micros::ZERO);
         let read_percentiles = (pct(0.5), pct(0.95), pct(0.99), pct(1.0));
         let enclosures = self
             .controller
@@ -490,6 +533,7 @@ impl<'w> Engine<'w> {
             physical_ios,
             enclosures,
             read_percentiles,
+            read_latency: self.read_latency,
         }
     }
 }

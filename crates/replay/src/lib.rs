@@ -17,4 +17,4 @@ pub use appmetrics::{
     tpch_query_response_from_reports,
 };
 pub use engine::{run, ReplayOptions};
-pub use metrics::{EnclosureSummary, RunReport};
+pub use metrics::{nearest_rank, EnclosureSummary, RunReport};

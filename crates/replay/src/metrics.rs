@@ -3,9 +3,26 @@
 //! migrated data size, placement-determination counts, plus the interval
 //! curves of Fig. 17–19).
 
-use ees_iotrace::{EnclosureId, IntervalCdf, Micros};
+use ees_iotrace::{EnclosureId, IntervalCdf, LatencyHistogram, Micros};
 use ees_simstorage::PowerMode;
 use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentile over an ascending-sorted sample slice: the
+/// smallest sample whose rank is at least `⌈q·N⌉` (`q ∈ (0, 1]`; `q = 0`
+/// returns the minimum). Unlike floor indexing, this never under-reports
+/// tail percentiles on small sample counts — with N = 10, p99 is the
+/// maximum, not the 9th sample. [`LatencyHistogram::quantile`] applies
+/// the same rank rule at bucket resolution, so the report's histogram
+/// percentiles match this contract up to bucket width (exactly at the
+/// extremes).
+pub fn nearest_rank(sorted: &[Micros], q: f64) -> Option<Micros> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.max(1) - 1])
+}
 
 /// Per-enclosure outcome of a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -79,8 +96,12 @@ pub struct RunReport {
     pub physical_ios: u64,
     /// Per-enclosure breakdown.
     pub enclosures: Vec<EnclosureSummary>,
-    /// Read-response percentiles (p50, p95, p99, max).
+    /// Read-response percentiles (p50, p95, p99, max), nearest-rank,
+    /// served from [`RunReport::read_latency`].
     pub read_percentiles: (Micros, Micros, Micros, Micros),
+    /// Full read-response distribution: a fixed-size log-bucketed
+    /// histogram (the engine keeps no per-record samples).
+    pub read_latency: LatencyHistogram,
 }
 
 impl RunReport {
@@ -167,7 +188,45 @@ mod tests {
             physical_ios: 70,
             enclosures: Vec::new(),
             read_percentiles: (Micros(0), Micros(0), Micros(0), Micros(0)),
+            read_latency: LatencyHistogram::new(),
         }
+    }
+
+    #[test]
+    fn nearest_rank_small_n_does_not_bias_the_tail_low() {
+        // Ten samples 1..=10 ms. Floor indexing gave p95 → idx 8 (9 ms)
+        // and p99 → idx 8 (9 ms); nearest-rank gives the maximum for
+        // both, matching the percentile definition ⌈q·N⌉.
+        let samples: Vec<Micros> = (1..=10).map(Micros::from_millis).collect();
+        assert_eq!(nearest_rank(&samples, 0.5), Some(Micros::from_millis(5)));
+        assert_eq!(nearest_rank(&samples, 0.95), Some(Micros::from_millis(10)));
+        assert_eq!(nearest_rank(&samples, 0.99), Some(Micros::from_millis(10)));
+        assert_eq!(nearest_rank(&samples, 1.0), Some(Micros::from_millis(10)));
+        // Degenerate counts.
+        assert_eq!(nearest_rank(&[], 0.5), None);
+        assert_eq!(nearest_rank(&[Micros(7)], 0.99), Some(Micros(7)));
+        assert_eq!(nearest_rank(&[Micros(7)], 0.0), Some(Micros(7)));
+    }
+
+    #[test]
+    fn histogram_quantile_matches_nearest_rank_within_bucket_resolution() {
+        // The histogram must obey the same ceil-rank contract: with
+        // 99 samples at 1 ms and one at 1 s, p99 already selects the
+        // 1 ms mass while p100 reports the exact outlier.
+        let mut h = LatencyHistogram::new();
+        let mut samples = Vec::new();
+        for _ in 0..99 {
+            h.record(Micros::from_millis(1));
+            samples.push(Micros::from_millis(1));
+        }
+        h.record(Micros::from_secs(1));
+        samples.push(Micros::from_secs(1));
+        let exact = nearest_rank(&samples, 0.99).unwrap();
+        let approx = h.quantile(0.99).unwrap();
+        assert_eq!(exact, Micros::from_millis(1));
+        // Same bucket: within the histogram's ~7 % relative resolution.
+        assert!(approx <= exact && exact.0 as f64 <= approx.0 as f64 * 1.08);
+        assert_eq!(h.quantile(1.0), Some(Micros::from_secs(1)));
     }
 
     #[test]

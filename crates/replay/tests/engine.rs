@@ -256,7 +256,12 @@ fn energy_conservation_sanity() {
     let w = split_workload();
     for policy in [0, 1, 2, 3] {
         let report = match policy {
-            0 => run(&w, &mut NoPowerSaving::new(), &cfg(), &ReplayOptions::default()),
+            0 => run(
+                &w,
+                &mut NoPowerSaving::new(),
+                &cfg(),
+                &ReplayOptions::default(),
+            ),
             1 => run(
                 &w,
                 &mut EnergyEfficientPolicy::with_defaults(),

@@ -3,12 +3,10 @@
 //! redirects superseded by whole-item moves, and capacity guarding.
 
 use ees_iotrace::{
-    DataItemId, EnclosureId, IoKind, LogicalIoRecord, LogicalTrace, Micros, VolumeId, GIB,
-    MIB,
+    DataItemId, EnclosureId, IoKind, LogicalIoRecord, LogicalTrace, Micros, VolumeId, GIB, MIB,
 };
 use ees_policy::{
-    ExtentRedirect, ManagementPlan, Migration, MonitorSnapshot, PowerPolicy,
-    REDIRECT_EXTENT_BYTES,
+    ExtentRedirect, ManagementPlan, Migration, MonitorSnapshot, PowerPolicy, REDIRECT_EXTENT_BYTES,
 };
 use ees_replay::{run, ReplayOptions};
 use ees_simstorage::{Access, StorageConfig};
@@ -199,6 +197,77 @@ fn infeasible_migration_is_skipped() {
     let r = run(&w, &mut p, &cfg(2), &ReplayOptions::default());
     assert_eq!(r.migrated_bytes, 0, "the infeasible move must be dropped");
     assert_eq!(r.enclosures[0].ios, 300, "item 1 stays put");
+}
+
+/// A whole-item move that consolidates the item's *own* redirected
+/// extents onto their current enclosure must only demand free space for
+/// the bytes that actually travel. Here 1 GiB of a 2 GiB item is already
+/// redirected onto the target, which has 1.5 GiB free: the move needs
+/// just the 1 GiB remainder and must execute (the old accounting charged
+/// the full 2 GiB against the target and dropped it).
+#[test]
+fn consolidating_migration_discounts_bytes_already_on_target() {
+    const CAP: u64 = 1_700 * 1_000 * 1_000 * 1_000; // AMS2500 enclosure
+    let records: Vec<_> = (0..600).map(|s| io(s as f64, 1, IoKind::Read)).collect();
+    let w = Workload {
+        name: "consolidate",
+        duration: Micros::from_secs(600),
+        num_enclosures: 2,
+        // Filler leaves enclosure 1 with 2.5 GiB free; the redirects
+        // below consume 1 GiB of that, leaving 1.5 GiB.
+        items: vec![item(1, 0, 2 * GIB), item(2, 1, CAP - 5 * GIB / 2)],
+        trace: LogicalTrace::from_unsorted(records),
+    };
+    struct TwoPlans {
+        step: u32,
+    }
+    impl PowerPolicy for TwoPlans {
+        fn name(&self) -> &'static str {
+            "TwoPlans"
+        }
+        fn initial_period(&self) -> Micros {
+            Micros::from_secs(100)
+        }
+        fn on_period_end(&mut self, _s: &MonitorSnapshot<'_>) -> ManagementPlan {
+            self.step += 1;
+            match self.step {
+                // t = 100 s: redirect the item's first 16 extents
+                // (16 × 64 MiB = 1 GiB) onto enclosure 1.
+                1 => ManagementPlan {
+                    extent_redirects: (0..16)
+                        .map(|i| ExtentRedirect {
+                            item: DataItemId(1),
+                            extent: i,
+                            to: EnclosureId(1),
+                            bytes: REDIRECT_EXTENT_BYTES,
+                        })
+                        .collect(),
+                    determinations: 1,
+                    ..Default::default()
+                },
+                // t = 200 s: consolidate the whole item onto enclosure 1.
+                2 => ManagementPlan {
+                    migrations: vec![Migration {
+                        item: DataItemId(1),
+                        to: EnclosureId(1),
+                    }],
+                    determinations: 1,
+                    ..Default::default()
+                },
+                _ => ManagementPlan::default(),
+            }
+        }
+    }
+    let mut p = TwoPlans { step: 0 };
+    let r = run(&w, &mut p, &cfg(2), &ReplayOptions::default());
+    // 1 GiB travelled for the redirects, then only the non-redirected
+    // 1 GiB remainder for the consolidation (extents already on the
+    // target do not move again).
+    assert_eq!(r.migrated_bytes, 2 * GIB, "redirects + remainder only");
+    // All I/O hits extent 0: enclosure 0 serves the first 100 s, the
+    // redirect then the completed move keep the rest on enclosure 1.
+    assert_eq!(r.enclosures[0].ios, 100);
+    assert_eq!(r.enclosures[1].ios, 500, "the consolidation must execute");
 }
 
 /// Preload set changes load only the newly selected items, and a

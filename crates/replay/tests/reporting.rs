@@ -55,7 +55,12 @@ fn steady_workload() -> Workload {
 #[test]
 fn percentiles_are_ordered_and_in_range() {
     let w = steady_workload();
-    let r = run(&w, &mut NoPowerSaving::new(), &cfg(2), &ReplayOptions::default());
+    let r = run(
+        &w,
+        &mut NoPowerSaving::new(),
+        &cfg(2),
+        &ReplayOptions::default(),
+    );
     let (p50, p95, p99, max) = r.read_percentiles;
     assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
     // Uncontended random reads: occupancy + latency ≈ 14.4 ms everywhere.
@@ -67,7 +72,12 @@ fn percentiles_are_ordered_and_in_range() {
 #[test]
 fn enclosure_summaries_account_the_whole_run() {
     let w = steady_workload();
-    let r = run(&w, &mut NoPowerSaving::new(), &cfg(2), &ReplayOptions::default());
+    let r = run(
+        &w,
+        &mut NoPowerSaving::new(),
+        &cfg(2),
+        &ReplayOptions::default(),
+    );
     assert_eq!(r.enclosures.len(), 2);
     for e in &r.enclosures {
         let total = e.active + e.idle + e.spin_up + e.off;

@@ -66,7 +66,12 @@ fn write_delay_flush_storm() {
         items: vec![item(1, 0, 10 * GIB)],
         trace: LogicalTrace::from_unsorted(records),
     };
-    let r = run(&w, &mut WdAll, &StorageConfig::ams2500(2), &ReplayOptions::default());
+    let r = run(
+        &w,
+        &mut WdAll,
+        &StorageConfig::ams2500(2),
+        &ReplayOptions::default(),
+    );
     let (_, _, _, buffered, flushes) = r.cache_counters;
     assert_eq!(buffered + r.physical_ios, r.total_ios);
     assert!(
@@ -75,7 +80,11 @@ fn write_delay_flush_storm() {
     );
     // Flush traffic keeps the enclosure active in the background without
     // queueing the foreground into oblivion.
-    assert!(r.avg_response < Micros::from_millis(5), "{}", r.avg_response);
+    assert!(
+        r.avg_response < Micros::from_millis(5),
+        "{}",
+        r.avg_response
+    );
 }
 
 /// Migrating out of (and into) a powered-off enclosure wakes it and
@@ -129,7 +138,12 @@ fn migration_touches_sleeping_enclosures() {
         trace: LogicalTrace::from_unsorted(records),
     };
     let mut p = MoveLater { fired: false };
-    let r = run(&w, &mut p, &StorageConfig::ams2500(3), &ReplayOptions::default());
+    let r = run(
+        &w,
+        &mut p,
+        &StorageConfig::ams2500(3),
+        &ReplayOptions::default(),
+    );
     assert_eq!(r.migrated_bytes, 4 * GIB);
     // Both sleeping enclosures spun up for the copy.
     assert!(r.enclosures[1].spin_ups >= 1, "source woke");
@@ -176,7 +190,12 @@ fn spin_up_storm_does_not_shred_monitoring() {
         trace: LogicalTrace::from_unsorted(records),
     };
     let mut policy = EnergyEfficientPolicy::with_defaults();
-    let r = run(&w, &mut policy, &StorageConfig::ams2500(2), &ReplayOptions::default());
+    let r = run(
+        &w,
+        &mut policy,
+        &StorageConfig::ams2500(2),
+        &ReplayOptions::default(),
+    );
     // 2000 s / (52 s guard) bounds invocations at ~38; without the guard
     // the wake storm would produce hundreds.
     assert!(

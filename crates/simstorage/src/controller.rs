@@ -22,7 +22,12 @@ pub struct StorageController {
 impl StorageController {
     /// Builds a storage unit from a configuration.
     pub fn new(cfg: &StorageConfig) -> Self {
-        Self::with_parts(cfg.num_enclosures, cfg.enclosure, cfg.cache, cfg.controller_watts)
+        Self::with_parts(
+            cfg.num_enclosures,
+            cfg.enclosure,
+            cfg.cache,
+            cfg.controller_watts,
+        )
     }
 
     /// Builds a storage unit from explicit parts.
@@ -94,16 +99,14 @@ impl StorageController {
     /// — and, critically, enclosure clocks never advance past `t`, so
     /// foreground I/O keeps interleaving with in-flight migrations.
     /// Capacity bookkeeping moves with the data at submission.
-    pub fn migrate(
-        &mut self,
-        t: Micros,
-        from: EnclosureId,
-        to: EnclosureId,
-        bytes: u64,
-    ) -> Micros {
+    pub fn migrate(&mut self, t: Micros, from: EnclosureId, to: EnclosureId, bytes: u64) -> Micros {
         debug_assert_ne!(from, to, "migration source and target must differ");
-        let read_done = self.enclosure_mut(from).bulk_transfer(t, bytes, IoKind::Read);
-        let write_done = self.enclosure_mut(to).bulk_transfer(t, bytes, IoKind::Write);
+        let read_done = self
+            .enclosure_mut(from)
+            .bulk_transfer(t, bytes, IoKind::Read);
+        let write_done = self
+            .enclosure_mut(to)
+            .bulk_transfer(t, bytes, IoKind::Write);
         let done = read_done.max(write_done);
         self.migrated_bytes += bytes;
         self.migration_count += 1;
@@ -167,12 +170,7 @@ mod tests {
     use crate::power::PowerMode;
 
     fn controller(n: u16) -> StorageController {
-        StorageController::with_parts(
-            n,
-            EnclosureConfig::ams2500(),
-            CacheConfig::ams2500(),
-            400.0,
-        )
+        StorageController::with_parts(n, EnclosureConfig::ams2500(), CacheConfig::ams2500(), 400.0)
     }
 
     #[test]
@@ -187,7 +185,13 @@ mod tests {
     #[test]
     fn submit_routes_to_enclosure() {
         let mut c = controller(2);
-        let out = c.submit(Micros::SECOND, EnclosureId(1), 4096, IoKind::Read, Access::Random);
+        let out = c.submit(
+            Micros::SECOND,
+            EnclosureId(1),
+            4096,
+            IoKind::Read,
+            Access::Random,
+        );
         assert!(!out.triggered_spin_up);
         assert_eq!(c.enclosure(EnclosureId(1)).stats().ios, 1);
         assert_eq!(c.enclosure(EnclosureId(0)).stats().ios, 0);
@@ -222,7 +226,10 @@ mod tests {
         c.enclosure_mut(EnclosureId(0)).place_bytes(2_000_000_000);
         let first = c.migrate(Micros::ZERO, EnclosureId(0), EnclosureId(1), 1_000_000_000);
         let second = c.migrate(Micros::ZERO, EnclosureId(0), EnclosureId(2), 1_000_000_000);
-        assert!(second > first, "both read from enclosure 0 → serialized there");
+        assert!(
+            second > first,
+            "both read from enclosure 0 → serialized there"
+        );
         // Migrations on disjoint pairs overlap.
         let mut c2 = controller(4);
         c2.enclosure_mut(EnclosureId(0)).place_bytes(1_000_000_000);
@@ -238,7 +245,10 @@ mod tests {
         c.enclosure_mut(EnclosureId(0)).place_bytes(1 << 30);
         let done = c.migrate(Micros::ZERO, EnclosureId(0), EnclosureId(1), 1 << 30);
         c.finish(done);
-        let active = c.enclosure(EnclosureId(0)).meter().time_in(PowerMode::Active);
+        let active = c
+            .enclosure(EnclosureId(0))
+            .meter()
+            .time_in(PowerMode::Active);
         assert!(active > Micros::ZERO);
     }
 }

@@ -394,7 +394,11 @@ mod tests {
         assert!(out.triggered_spin_up);
         assert_eq!(e.stats().spin_ups, 1);
         // Response ≥ 15 s spin-up wait.
-        assert!(out.response >= Micros::from_secs(15), "got {}", out.response);
+        assert!(
+            out.response >= Micros::from_secs(15),
+            "got {}",
+            out.response
+        );
         e.finish(Micros::from_secs(600));
         assert_eq!(e.meter().time_in(PowerMode::SpinUp), Micros::from_secs(15));
     }
@@ -432,7 +436,10 @@ mod tests {
             (active.as_secs_f64() - 1.0).abs() < 0.01,
             "expected ~1 s active, got {active}"
         );
-        assert_eq!(e.meter().time_in(PowerMode::Idle), Micros::from_secs(10) - active);
+        assert_eq!(
+            e.meter().time_in(PowerMode::Idle),
+            Micros::from_secs(10) - active
+        );
     }
 
     #[test]
@@ -484,12 +491,14 @@ mod tests {
         let be = m.break_even_time();
         e.finish(gap + m.spin_up_time);
         // idle till timeout (= break-even), off till the I/O, spin-up.
-        let expect = m.energy_idle(be)
-            + (gap - be).as_secs_f64() * m.off_watts
-            + m.spin_up_energy();
+        let expect =
+            m.energy_idle(be) + (gap - be).as_secs_f64() * m.off_watts + m.spin_up_energy();
         let got = e.meter().joules();
         // The 4 KiB I/O adds a sliver of active energy beyond the window.
-        assert!((got - expect).abs() / expect < 0.01, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]
@@ -558,7 +567,10 @@ mod tests {
         let a = e.submit(t, 4096, IoKind::Read, Access::Random);
         let b = e.submit(t + SEC, 4096, IoKind::Read, Access::Random);
         assert!(a.triggered_spin_up);
-        assert!(!b.triggered_spin_up, "second I/O hits the in-progress spin-up");
+        assert!(
+            !b.triggered_spin_up,
+            "second I/O hits the in-progress spin-up"
+        );
         assert_eq!(e.stats().spin_ups, 1);
         // b waits the remaining 14 s of spin-up plus queueing.
         assert!(b.response >= Micros::from_secs(14));

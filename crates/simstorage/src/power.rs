@@ -249,7 +249,10 @@ mod tests {
         let mut m = EnclosurePowerModel::default();
         let base = m.break_even_time();
         m.spin_up_watts *= 2.0;
-        assert!(m.break_even_time() > base, "costlier spin-up → longer break-even");
+        assert!(
+            m.break_even_time() > base,
+            "costlier spin-up → longer break-even"
+        );
         m.spin_up_watts = EnclosurePowerModel::default().spin_up_watts;
         m.idle_watts += 50.0;
         assert!(

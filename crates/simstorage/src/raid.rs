@@ -91,7 +91,7 @@ impl Raid6Geometry {
     /// (full-stripe writes compute parity without read-modify-write).
     pub fn is_full_stripe_write(&self, offset: u64, len: u64) -> bool {
         let s = self.stripe_data_bytes();
-        len >= s && offset % s == 0 && len % s == 0
+        len >= s && offset.is_multiple_of(s) && len.is_multiple_of(s)
     }
 
     /// Aggregate random-read IOPS of the array at the given request size:

@@ -145,7 +145,10 @@ mod tests {
         m.insert(DataItemId(1), EnclosureId(0), 100);
         m.insert(DataItemId(2), EnclosureId(0), 50);
         m.insert(DataItemId(3), EnclosureId(1), 70);
-        assert_eq!(m.items_on(EnclosureId(0)), vec![DataItemId(1), DataItemId(2)]);
+        assert_eq!(
+            m.items_on(EnclosureId(0)),
+            vec![DataItemId(1), DataItemId(2)]
+        );
         assert_eq!(m.used_on(EnclosureId(0)), 150);
         assert_eq!(m.used_on(EnclosureId(1)), 70);
         assert_eq!(m.used_on(EnclosureId(2)), 0);

@@ -23,12 +23,7 @@ fn measured_wait(rho: f64, seed: u64) -> f64 {
     for _ in 0..n {
         let u: f64 = rng.gen_range(1e-12..1.0);
         t += -u.ln() / lambda;
-        let out = e.submit(
-            Micros::from_secs_f64(t),
-            4096,
-            IoKind::Read,
-            Access::Random,
-        );
+        let out = e.submit(Micros::from_secs_f64(t), 4096, IoKind::Read, Access::Random);
         total_wait += out.response.as_secs_f64() - service - latency;
     }
     total_wait / n as f64

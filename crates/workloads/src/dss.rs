@@ -102,7 +102,8 @@ const S: usize = 5;
 /// every spin-down method saves > 50 % in Fig. 14) while the scan-bound
 /// queries still produce the multi-minute busy phases that classify P3
 /// and drive the §VII.D.3 migrations.
-const QUERIES: &[(&str, f64, &[(usize, u32)], u64)] = &[
+type QuerySpec = (&'static str, f64, &'static [(usize, u32)], u64);
+const QUERIES: &[QuerySpec] = &[
     ("Q1", 0.060, &[(L, 1)], 166),
     ("Q2", 0.020, &[(P, 1), (PS, 1), (S, 1)], 66),
     ("Q3", 0.050, &[(C, 1), (O, 1)], 266),

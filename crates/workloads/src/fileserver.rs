@@ -132,22 +132,16 @@ pub fn generate(seed: u64, params: &FileServerParams) -> Workload {
                     // ranking of §IV.F puts them at the top, which is what
                     // makes the 500 MB preload partition effective.
                     let heat = (log_uniform_size(&mut rng, 15_000, 80_000) as f64) / 10_000.0;
-                    let gap = Micros::from_secs_f64(
-                        params.burst_mean_gap.as_secs_f64() / heat,
-                    );
+                    let gap = Micros::from_secs_f64(params.burst_mean_gap.as_secs_f64() / heat);
                     gen_read_bursty(&mut rng, id, size, &schedule, gap, params, &mut records)
                 }
                 Role::ReadBursty => {
                     // Bulk file groups burst rarely.
                     let heat = (log_uniform_size(&mut rng, 2_000, 15_000) as f64) / 10_000.0;
-                    let gap = Micros::from_secs_f64(
-                        params.burst_mean_gap.as_secs_f64() / heat,
-                    );
+                    let gap = Micros::from_secs_f64(params.burst_mean_gap.as_secs_f64() / heat);
                     gen_read_bursty(&mut rng, id, size, &schedule, gap, params, &mut records)
                 }
-                Role::WriteBursty => {
-                    gen_write_bursty(&mut rng, id, size, duration, &mut records)
-                }
+                Role::WriteBursty => gen_write_bursty(&mut rng, id, size, duration, &mut records),
             }
         }
     }
@@ -222,7 +216,7 @@ fn gen_hot(
             IoKind::Write
         };
         let len = *[4096u32, 8192, 16384, 65536]
-            .get(rng.gen_range(0..4))
+            .get(rng.gen_range(0..4usize))
             .unwrap();
         out.push(LogicalIoRecord {
             ts: t,
@@ -261,7 +255,9 @@ fn gen_read_bursty(
                 } else {
                     IoKind::Write
                 };
-                let len = *[4096u32, 16384, 65536].get(rng.gen_range(0..3)).unwrap();
+                let len = *[4096u32, 16384, 65536]
+                    .get(rng.gen_range(0..3usize))
+                    .unwrap();
                 out.push(LogicalIoRecord {
                     ts: bt,
                     item: id,
@@ -340,8 +336,10 @@ mod tests {
     fn small() -> Workload {
         // ~5 simulated minutes keeps the test fast while exercising
         // several activity windows.
-        let mut p = FileServerParams::default();
-        p.duration = Micros::from_secs(2400);
+        let p = FileServerParams {
+            duration: Micros::from_secs(2400),
+            ..Default::default()
+        };
         generate(7, &p)
     }
 
@@ -367,11 +365,13 @@ mod tests {
         let b = small();
         assert_eq!(a.trace.len(), b.trace.len());
         assert_eq!(a.trace.records()[..50], b.trace.records()[..50]);
-        let c = generate(8, &{
-            let mut p = FileServerParams::default();
-            p.duration = Micros::from_secs(2400);
-            p
-        });
+        let c = generate(
+            8,
+            &FileServerParams {
+                duration: Micros::from_secs(2400),
+                ..Default::default()
+            },
+        );
         assert_ne!(a.trace.len(), c.trace.len());
     }
 
@@ -395,8 +395,10 @@ mod tests {
     #[test]
     fn whole_run_classification_approximates_fig6() {
         // Use a longer window so quiet phases show up.
-        let mut p = FileServerParams::default();
-        p.duration = Micros::from_secs(7200);
+        let p = FileServerParams {
+            duration: Micros::from_secs(7200),
+            ..Default::default()
+        };
         let w = generate(11, &p);
         let by_item = split_by_item(w.trace.records());
         let period = Span {

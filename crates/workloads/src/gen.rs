@@ -105,11 +105,15 @@ mod tests {
     fn determinism_under_fixed_seed() {
         let a: Vec<u64> = {
             let mut rng = SmallRng::seed_from_u64(42);
-            (0..10).map(|_| exp_duration(&mut rng, Micros(1000)).0).collect()
+            (0..10)
+                .map(|_| exp_duration(&mut rng, Micros(1000)).0)
+                .collect()
         };
         let b: Vec<u64> = {
             let mut rng = SmallRng::seed_from_u64(42);
-            (0..10).map(|_| exp_duration(&mut rng, Micros(1000)).0).collect()
+            (0..10)
+                .map(|_| exp_duration(&mut rng, Micros(1000)).0)
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -27,9 +27,9 @@ pub mod oltp;
 pub mod spec;
 
 pub use dss::{DssParams, QueryWindow};
+pub use fileserver::FileServerParams;
 pub use mix::colocate;
 pub use msr::{import as import_msr, MsrImportError, MsrImportOptions};
 pub use nurand::{NuRand, WeightedPick};
-pub use fileserver::FileServerParams;
 pub use oltp::OltpParams;
 pub use spec::{DataItemSpec, ItemKind, Workload};

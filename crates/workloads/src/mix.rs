@@ -20,7 +20,10 @@ use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, LogicalTrace, Micros
 /// Panics when the combined enclosure count exceeds `u16::MAX` or any
 /// input has no enclosures.
 pub fn colocate(workloads: Vec<Workload>, name: &'static str) -> Workload {
-    assert!(!workloads.is_empty(), "colocate needs at least one workload");
+    assert!(
+        !workloads.is_empty(),
+        "colocate needs at least one workload"
+    );
     let mut items = Vec::new();
     let mut records: Vec<LogicalIoRecord> = Vec::new();
     let mut enclosure_base: u16 = 0;

@@ -278,8 +278,11 @@ Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
         let err = import("".as_bytes(), &MsrImportOptions::default()).unwrap_err();
         assert!(matches!(err, MsrImportError::Empty));
         // A header alone is still empty.
-        let err = import("Timestamp,Hostname\n".as_bytes(), &MsrImportOptions::default())
-            .unwrap_err();
+        let err = import(
+            "Timestamp,Hostname\n".as_bytes(),
+            &MsrImportOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, MsrImportError::Empty));
     }
 

@@ -168,7 +168,7 @@ pub fn generate(seed: u64, params: &OltpParams) -> Workload {
         };
         let n = (params.mean_iops * eff).round() as usize;
         for _ in 0..n {
-            let ts = Micros(s * 1_000_000 + rng.gen_range(0..1_000_000));
+            let ts = Micros(s * 1_000_000 + rng.gen_range(0..1_000_000u64));
             if ts >= duration {
                 continue;
             }
@@ -205,8 +205,7 @@ pub fn generate(seed: u64, params: &OltpParams) -> Workload {
     // --- The buffer-pool trio: read bursts + rare checkpoint writes. ---
     for fam in 0..3 {
         let (_, size, _, _, _) = FAMILIES[fam];
-        for frag in 0..params.db_enclosures as usize {
-            let id = fragment_ids[fam][frag];
+        for &id in fragment_ids[fam].iter().take(params.db_enclosures as usize) {
             // Read bursts roughly every 4 minutes.
             let mut t = exp_duration(&mut rng, Micros::from_secs(240));
             while t < duration {
@@ -281,9 +280,11 @@ mod tests {
     use ees_iotrace::{analyze_item_period, split_by_item, Span};
 
     fn small() -> Workload {
-        let mut p = OltpParams::default();
-        p.duration = Micros::from_secs(600);
-        p.mean_iops = 400.0; // keep the test trace small
+        let p = OltpParams {
+            duration: Micros::from_secs(600),
+            mean_iops: 400.0, // keep the test trace small
+            ..Default::default()
+        };
         generate(3, &p)
     }
 
@@ -351,7 +352,10 @@ mod tests {
             (60.0..90.0).contains(&p3_pct),
             "P3 share {p3_pct}% should dominate"
         );
-        assert!(p1_pct > 10.0, "P1 share {p1_pct}% should be a real minority");
+        assert!(
+            p1_pct > 10.0,
+            "P1 share {p1_pct}% should be a real minority"
+        );
     }
 
     #[test]
@@ -375,11 +379,7 @@ mod tests {
     #[test]
     fn log_is_sequential_writes() {
         let w = small();
-        let log = w
-            .items
-            .iter()
-            .find(|i| i.kind == ItemKind::Log)
-            .unwrap();
+        let log = w.items.iter().find(|i| i.kind == ItemKind::Log).unwrap();
         assert_eq!(log.access, Access::Sequential);
         let by_item = split_by_item(w.trace.records());
         let log_ios = &by_item[&log.id];

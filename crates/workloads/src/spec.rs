@@ -102,7 +102,10 @@ impl Workload {
                 "trace references unknown {}",
                 rec.item
             );
-            assert!(rec.ts < self.duration + self.duration, "timestamp past duration");
+            assert!(
+                rec.ts < self.duration + self.duration,
+                "timestamp past duration"
+            );
         }
     }
 }

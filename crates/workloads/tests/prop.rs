@@ -16,7 +16,7 @@ proptest! {
         let w = fileserver::generate(seed, &p);
         w.validate();
         prop_assert_eq!(w.num_enclosures, 12);
-        prop_assert!(w.trace.len() > 0);
+        prop_assert!(!w.trace.is_empty());
     }
 
     #[test]

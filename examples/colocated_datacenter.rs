@@ -35,7 +35,10 @@ fn main() {
     let policies: Vec<(&str, Box<dyn PowerPolicy>)> = vec![
         ("No Power Saving", Box::new(NoPowerSaving::new())),
         ("Timeout Spin-Down", Box::new(TimeoutSpinDown::new())),
-        ("Proposed Method", Box::new(EnergyEfficientPolicy::with_defaults())),
+        (
+            "Proposed Method",
+            Box::new(EnergyEfficientPolicy::with_defaults()),
+        ),
     ];
     for (name, mut policy) in policies {
         let report = ees::replay::run(&combined, policy.as_mut(), &cfg, &ReplayOptions::default());

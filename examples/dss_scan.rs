@@ -28,7 +28,10 @@ fn main() {
     let mut reports = Vec::new();
     let policies: Vec<(&str, Box<dyn PowerPolicy>)> = vec![
         ("No Power Saving", Box::new(NoPowerSaving::new())),
-        ("Proposed Method", Box::new(EnergyEfficientPolicy::with_defaults())),
+        (
+            "Proposed Method",
+            Box::new(EnergyEfficientPolicy::with_defaults()),
+        ),
         ("PDC", Box::new(Pdc::new())),
         ("DDR", Box::new(Ddr::new())),
     ];
@@ -38,7 +41,10 @@ fn main() {
     }
 
     let base = reports[0].1.clone();
-    println!("{:<18} {:>12} {:>9} {:>12}", "method", "encl. power", "Δ", "migrated");
+    println!(
+        "{:<18} {:>12} {:>9} {:>12}",
+        "method", "encl. power", "Δ", "migrated"
+    );
     for (name, r) in &reports {
         println!(
             "{:<18} {:>10.1} W {:>+7.1} % {:>12}",

@@ -26,7 +26,10 @@ fn main() {
     let mut results = Vec::new();
     let policies: Vec<(&str, Box<dyn PowerPolicy>)> = vec![
         ("No Power Saving", Box::new(NoPowerSaving::new())),
-        ("Proposed Method", Box::new(EnergyEfficientPolicy::with_defaults())),
+        (
+            "Proposed Method",
+            Box::new(EnergyEfficientPolicy::with_defaults()),
+        ),
         ("PDC", Box::new(Pdc::new())),
         ("DDR", Box::new(Ddr::new())),
     ];

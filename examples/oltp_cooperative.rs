@@ -37,16 +37,27 @@ fn main() {
     let t_orig = 1859.5;
     let tpmc = tpcc_throughput_from_reports(t_orig, &baseline, &proposed);
 
-    println!("power:      {:.1} W → {:.1} W ({:+.1} %)",
+    println!(
+        "power:      {:.1} W → {:.1} W ({:+.1} %)",
         baseline.enclosure_avg_watts,
         proposed.enclosure_avg_watts,
-        -proposed.enclosure_saving_vs(&baseline));
-    println!("throughput: {:.1} tpmC → {:.1} tpmC ({:+.1} %)   [paper: 1701.4, −8.5 %]",
-        t_orig, tpmc, (tpmc / t_orig - 1.0) * 100.0);
-    println!("reads:      {:.2} ms → {:.2} ms average response",
+        -proposed.enclosure_saving_vs(&baseline)
+    );
+    println!(
+        "throughput: {:.1} tpmC → {:.1} tpmC ({:+.1} %)   [paper: 1701.4, −8.5 %]",
+        t_orig,
+        tpmc,
+        (tpmc / t_orig - 1.0) * 100.0
+    );
+    println!(
+        "reads:      {:.2} ms → {:.2} ms average response",
         baseline.avg_read_response.as_millis_f64(),
-        proposed.avg_read_response.as_millis_f64());
-    println!("migrated:   {}", ees::iotrace::fmt_bytes(proposed.migrated_bytes));
+        proposed.avg_read_response.as_millis_f64()
+    );
+    println!(
+        "migrated:   {}",
+        ees::iotrace::fmt_bytes(proposed.migrated_bytes)
+    );
     println!("spin-ups:   {}", proposed.spin_ups);
     if let Some(mix) = policy.history().latest_mix() {
         let total = mix.total() as f64;

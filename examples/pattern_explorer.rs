@@ -7,8 +7,8 @@
 
 use ees::core::{analyze_snapshot, classify, plan_placement};
 use ees::iotrace::{analyze_item_period, LogicalIoRecord, MIB};
-use ees::prelude::*;
 use ees::policy::{EnclosureView, MonitorSnapshot};
+use ees::prelude::*;
 use ees::simstorage::PlacementMap;
 
 fn io(ts_s: f64, item: u32, kind: IoKind) -> LogicalIoRecord {
@@ -57,8 +57,11 @@ fn main() {
         }),
     ];
 
-    println!("item classification over one {:.0} s period (break-even {:.0} s):\n",
-        period.len().as_secs_f64(), break_even.as_secs_f64());
+    println!(
+        "item classification over one {:.0} s period (break-even {:.0} s):\n",
+        period.len().as_secs_f64(),
+        break_even.as_secs_f64()
+    );
     for (name, ios) in &scenarios {
         let stats = analyze_item_period(DataItemId(0), ios, period, break_even);
         let pattern = classify(&stats);
@@ -106,8 +109,8 @@ fn main() {
         logical: &logical,
         physical: &[],
         placement: &placement,
-        enclosures: views.clone(),
-        sequential: Default::default(),
+        enclosures: &views,
+        sequential: &ees::policy::NO_SEQUENTIAL,
     };
     let reports = analyze_snapshot(&snapshot);
     let plan = plan_placement(&reports, &views, period.start);

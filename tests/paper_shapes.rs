@@ -6,10 +6,10 @@
 //! durations; TPC-H's inter-scan gaps scale with the run and need ≥ 50 %
 //! for the power-off opportunities the paper's Fig. 14 relies on.
 
-use ees_bench::{classify_whole_run, make_workload, run_methods, ExperimentSetup, WorkloadKind};
-use ees::prelude::*;
 use ees::iotrace::GIB;
+use ees::prelude::*;
 use ees::replay::RunReport;
+use ees_bench::{classify_whole_run, make_workload, run_methods, ExperimentSetup, WorkloadKind};
 
 /// Runs all four methods over one workload, memoized per test.
 fn methods(kind: WorkloadKind, scale: f64) -> Vec<RunReport> {
@@ -55,14 +55,21 @@ fn fileserver_shapes_fig8_9_10() {
     let s_prop = prop.enclosure_saving_vs(base);
     let s_pdc = pdc.enclosure_saving_vs(base);
     let s_ddr = ddr.enclosure_saving_vs(base);
-    assert!((15.0..45.0).contains(&s_prop), "proposed saving {s_prop:.1}%");
+    assert!(
+        (15.0..45.0).contains(&s_prop),
+        "proposed saving {s_prop:.1}%"
+    );
     assert!(s_pdc < 10.0 && s_pdc > -3.0, "PDC saving {s_pdc:.1}%");
     assert!(s_ddr < 10.0 && s_ddr > -3.0, "DDR saving {s_ddr:.1}%");
     assert!(s_prop > s_pdc + 10.0 && s_prop > s_ddr + 10.0);
 
     // Fig. 9: no pathological responses; proposed close to baseline
     // (paper: 17.1 ms, better than PDC/DDR).
-    assert!(prop.avg_response < Micros::from_millis(40), "{}", prop.avg_response);
+    assert!(
+        prop.avg_response < Micros::from_millis(40),
+        "{}",
+        prop.avg_response
+    );
     assert!(pdc.avg_response < Micros::from_millis(60));
     assert!(ddr.avg_response < Micros::from_millis(60));
 
@@ -95,7 +102,10 @@ fn tpcc_shapes_fig11_12_13() {
     // Fig. 11: proposed saves (paper −15.7 %); DDR ≈ nothing (paper 0 %).
     let s_prop = prop.enclosure_saving_vs(base);
     let s_ddr = ddr.enclosure_saving_vs(base);
-    assert!((3.0..30.0).contains(&s_prop), "proposed saving {s_prop:.1}%");
+    assert!(
+        (3.0..30.0).contains(&s_prop),
+        "proposed saving {s_prop:.1}%"
+    );
     assert!(s_ddr < 10.0, "DDR saving {s_ddr:.1}%");
     assert!(s_prop > s_ddr, "proposed must beat DDR");
 
@@ -113,7 +123,10 @@ fn tpcc_shapes_fig11_12_13() {
     // the proposed method moves the stray P3 fragments once.
     assert!(prop.migrated_bytes > 10 * GIB, "{}", prop.migrated_bytes);
     assert!(prop.migrated_bytes < 200 * GIB, "{}", prop.migrated_bytes);
-    assert!(ddr.migrated_bytes < prop.migrated_bytes, "DDR moves less than proposed");
+    assert!(
+        ddr.migrated_bytes < prop.migrated_bytes,
+        "DDR moves less than proposed"
+    );
     let _ = pdc; // PDC's 30-min period fires ~0 times at this scale.
 }
 
@@ -131,7 +144,10 @@ fn tpch_shapes_fig14_15_16_full_scale() {
     assert!(s_prop > 30.0, "proposed saving {s_prop:.1}%");
     assert!(s_pdc > 15.0, "PDC saving {s_pdc:.1}%");
     assert!(s_ddr > 15.0, "DDR saving {s_ddr:.1}%");
-    assert!(s_prop + 5.0 > s_ddr, "proposed ≈ best (prop {s_prop:.1} vs ddr {s_ddr:.1})");
+    assert!(
+        s_prop + 5.0 > s_ddr,
+        "proposed ≈ best (prop {s_prop:.1} vs ddr {s_ddr:.1})"
+    );
 
     // Fig. 16: DDR moves far less than the item-granular methods.
     assert!(prop.migrated_bytes > 10 * GIB);

@@ -118,5 +118,5 @@ fn facade_reexports_compose() {
     // At 1 % scale there may be little to save, but the proposed method
     // must never be substantially worse than doing nothing.
     assert!(proposed.enclosure_avg_watts <= baseline.enclosure_avg_watts * 1.10);
-    assert!(policy.history().periods().len() >= 1);
+    assert!(!policy.history().periods().is_empty());
 }
