@@ -13,4 +13,24 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== online subsystem tests =="
+cargo test -q -p ees-online
+
+echo "== ees online smoke (1k-event NDJSON stream) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run --release -q -p ees-cli --bin ees -- \
+    gen fileserver --scale 0.002 --seed 7 --out "$SMOKE_DIR" >/dev/null
+head -n 1000 "$SMOKE_DIR/fileserver.trace.jsonl" > "$SMOKE_DIR/events.ndjsonl"
+cargo run --release -q -p ees-cli --bin ees -- \
+    online "$SMOKE_DIR/events.ndjsonl" "$SMOKE_DIR/fileserver.items.json" \
+    --period 1 --json > "$SMOKE_DIR/online.json"
+grep -q '"mode": "online"' "$SMOKE_DIR/online.json"
+grep -q '"reason":"boundary"' "$SMOKE_DIR/online.json" \
+    || { echo "online smoke: no plan emitted"; exit 1; }
+echo "online smoke OK"
+
 echo "CI gate passed."

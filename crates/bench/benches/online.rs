@@ -1,0 +1,71 @@
+//! Microbenchmarks for the online controller subsystem: the per-event
+//! cost of incremental classification (`ees-online`'s hot path) against
+//! the batch analysis it replaces, and NDJSON event codec throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ees_iotrace::ndjson::{format_event, parse_event};
+use ees_iotrace::{DataItemId, IoKind, LogicalIoRecord, Micros};
+use ees_online::IncrementalClassifier;
+use ees_simstorage::PlacementMap;
+use std::collections::BTreeSet;
+
+fn make_stream(n: usize, items: u32) -> Vec<LogicalIoRecord> {
+    (0..n)
+        .map(|i| LogicalIoRecord {
+            ts: Micros(i as u64 * 20_000),
+            item: DataItemId(i as u32 % items),
+            offset: (i as u64 * 8192) % (1 << 30),
+            len: 8192,
+            kind: if i % 4 == 0 {
+                IoKind::Write
+            } else {
+                IoKind::Read
+            },
+        })
+        .collect()
+}
+
+fn bench_online(c: &mut Criterion) {
+    let be = Micros::from_secs(52);
+    let stream = make_stream(10_000, 16);
+    let end = Micros(10_000 * 20_000);
+    let mut placement = PlacementMap::new();
+    for item in 0..16 {
+        placement.insert(DataItemId(item), ees_iotrace::EnclosureId(0), 1 << 20);
+    }
+    let sequential = BTreeSet::new();
+
+    c.bench_function("online_fold_10k_events_16_items", |b| {
+        b.iter(|| {
+            let mut cl = IncrementalClassifier::new(Micros::ZERO, be);
+            for rec in &stream {
+                cl.observe(black_box(rec));
+            }
+            black_box(cl.rollover(end, &placement, &sequential, 1.0))
+        })
+    });
+
+    let lines: Vec<String> = stream.iter().map(format_event).collect();
+    c.bench_function("ndjson_parse_10k_events", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for line in &lines {
+                n += parse_event(black_box(line)).unwrap().len as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    c.bench_function("ndjson_format_10k_events", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for rec in &stream {
+                n += format_event(black_box(rec)).len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

@@ -2,22 +2,27 @@
 //!
 //! ```text
 //! ees gen <fileserver|tpcc|tpch> [--scale X] [--seed N] [--out DIR]
-//! ees stats <trace.jsonl>
-//! ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS]
+//! ees stats <trace.jsonl> [--json]
+//! ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS] [--json]
 //! ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]
+//! ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS]
+//!            [--queue N] [--drop-newest] [--json]
 //! ```
 
+use crate::jsonout;
 use ees_baselines::{Ddr, Pdc};
-use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix};
+use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
 use ees_iotrace::{analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span};
+use ees_online::{spawn_reader, ColocatedDaemon, OverflowPolicy, RolloverReason};
 use ees_policy::{NoPowerSaving, PowerPolicy};
-use ees_replay::{run, ReplayOptions};
+use ees_replay::{run, CatalogItem, ReplayOptions};
 use ees_simstorage::StorageConfig;
 use ees_workloads::{dss, fileserver, oltp, DataItemSpec, Workload};
+use ees_workloads::{items_from_json, items_to_json};
 use ees_workloads::{DssParams, FileServerParams, OltpParams};
 use std::fmt;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Errors surfaced to the CLI user.
@@ -54,9 +59,11 @@ struct Flags {
     scale: f64,
     seed: u64,
     out: PathBuf,
-    break_even: Micros,
+    break_even: Option<Micros>,
     period: Option<Micros>,
     json: bool,
+    queue: usize,
+    drop_newest: bool,
 }
 
 impl Flags {
@@ -65,9 +72,11 @@ impl Flags {
             scale: 0.1,
             seed: 42,
             out: PathBuf::from("."),
-            break_even: Micros::from_secs(52),
+            break_even: None,
             period: None,
             json: false,
+            queue: 1024,
+            drop_newest: false,
         };
         let mut positional = Vec::new();
         let mut it = args.iter();
@@ -93,7 +102,7 @@ impl Flags {
                     let secs: f64 = take("--break-even")?
                         .parse()
                         .map_err(|_| CliError::Usage("--break-even expects seconds".into()))?;
-                    flags.break_even = Micros::from_secs_f64(secs);
+                    flags.break_even = Some(Micros::from_secs_f64(secs));
                 }
                 "--period" => {
                     let secs: f64 = take("--period")?
@@ -102,6 +111,12 @@ impl Flags {
                     flags.period = Some(Micros::from_secs_f64(secs));
                 }
                 "--json" => flags.json = true,
+                "--queue" => {
+                    flags.queue = take("--queue")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--queue expects an integer".into()))?
+                }
+                "--drop-newest" => flags.drop_newest = true,
                 other => positional.push(other.to_string()),
             }
         }
@@ -126,16 +141,17 @@ fn make_workload(name: &str, flags: &Flags) -> Result<Workload, CliError> {
 pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::Usage(
-            "expected a subcommand: gen | stats | classify | replay".into(),
+            "expected a subcommand: gen | stats | classify | replay | mix | online".into(),
         ));
     };
     let (positional, flags) = Flags::parse(rest)?;
     match cmd.as_str() {
         "gen" => gen(&positional, &flags, out),
-        "stats" => stats(&positional, out),
+        "stats" => stats(&positional, &flags, out),
         "classify" => classify_cmd(&positional, &flags, out),
         "replay" => replay(&positional, &flags, out),
         "mix" => mix(&positional, &flags, out),
+        "online" => online(&positional, &flags, out),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -152,9 +168,7 @@ fn gen(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<()
     let mut w = BufWriter::new(File::create(&trace_path)?);
     ees_iotrace::io::write_jsonl(&workload.trace, &mut w)?;
     w.flush()?;
-    let items = serde_json::to_string_pretty(&workload.items)
-        .map_err(|e| CliError::Parse(e.to_string()))?;
-    std::fs::write(&items_path, items)?;
+    std::fs::write(&items_path, items_to_json(&workload.items))?;
     writeln!(
         out,
         "wrote {} records to {} and {} items to {}",
@@ -172,12 +186,16 @@ fn read_trace(path: &Path) -> Result<ees_iotrace::LogicalTrace, CliError> {
 }
 
 /// `ees stats`: summarizes a JSONL trace.
-fn stats(pos: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+fn stats(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let path = pos
         .first()
         .ok_or_else(|| CliError::Usage("stats needs a trace file".into()))?;
     let trace = read_trace(Path::new(path))?;
     let s = summarize(trace.records());
+    if flags.json {
+        writeln!(out, "{}", jsonout::stats_json(&s))?;
+        return Ok(());
+    }
     writeln!(out, "records:        {}", s.records)?;
     writeln!(
         out,
@@ -206,7 +224,7 @@ fn classify_cmd(
         .get(1)
         .ok_or_else(|| CliError::Usage("classify needs an items file".into()))?;
     let trace = read_trace(Path::new(trace_path))?;
-    let items: Vec<DataItemSpec> = serde_json::from_str(&std::fs::read_to_string(items_path)?)
+    let items: Vec<DataItemSpec> = items_from_json(&std::fs::read_to_string(items_path)?)
         .map_err(|e| CliError::Parse(format!("{items_path}: {e}")))?;
 
     let end = flags
@@ -216,27 +234,42 @@ fn classify_cmd(
         start: Micros::ZERO,
         end,
     };
+    let break_even = flags.break_even.unwrap_or_else(|| Micros::from_secs(52));
     let by_item = split_by_item(trace.records());
     let empty = Vec::new();
     let mut mix = PatternMix::default();
+    let mut rows = Vec::new();
+    for item in &items {
+        let ios = by_item.get(&item.id).unwrap_or(&empty);
+        let st = analyze_item_period(item.id, ios, period, break_even);
+        let p = classify(&st);
+        mix.bump(p);
+        rows.push(jsonout::ClassifyRow {
+            name: item.name.clone(),
+            ios: st.total_ios(),
+            read_ratio: st.read_ratio(),
+            long_intervals: st.long_intervals.len(),
+            pattern: p,
+        });
+    }
+    if flags.json {
+        writeln!(out, "{}", jsonout::classify_json(&rows, &mix))?;
+        return Ok(());
+    }
     writeln!(
         out,
         "{:<24} {:>8} {:>6} {:>6} {:>5}",
         "item", "ios", "reads%", "longs", "class"
     )?;
-    for item in &items {
-        let ios = by_item.get(&item.id).unwrap_or(&empty);
-        let st = analyze_item_period(item.id, ios, period, flags.break_even);
-        let p = classify(&st);
-        mix.bump(p);
+    for row in &rows {
         writeln!(
             out,
             "{:<24} {:>8} {:>5.1}% {:>6} {:>5}",
-            item.name,
-            st.total_ios(),
-            st.read_ratio() * 100.0,
-            st.long_intervals.len(),
-            p
+            row.name,
+            row.ios,
+            row.read_ratio * 100.0,
+            row.long_intervals,
+            row.pattern
         )?;
     }
     writeln!(
@@ -260,15 +293,11 @@ fn mix(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<()
     }
     let mut parts = Vec::new();
     for (i, name) in pos.iter().enumerate() {
-        let mut f = Flags {
-            scale: flags.scale,
+        let f = Flags {
             seed: flags.seed + i as u64,
             out: flags.out.clone(),
-            break_even: flags.break_even,
-            period: flags.period,
-            json: flags.json,
+            ..*flags
         };
-        f.seed = flags.seed + i as u64;
         parts.push(make_workload(name, &f)?);
     }
     let combined = ees_workloads::colocate(parts, "mix");
@@ -278,9 +307,7 @@ fn mix(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<()
     let mut w = BufWriter::new(File::create(&trace_path)?);
     ees_iotrace::io::write_jsonl(&combined.trace, &mut w)?;
     w.flush()?;
-    let items = serde_json::to_string_pretty(&combined.items)
-        .map_err(|e| CliError::Parse(e.to_string()))?;
-    std::fs::write(&items_path, items)?;
+    std::fs::write(&items_path, items_to_json(&combined.items))?;
     writeln!(
         out,
         "colocated {} workloads: {} records, {} items, {} enclosures → {}",
@@ -317,9 +344,7 @@ fn replay(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     };
     let report = run(&workload, policy.as_mut(), &cfg, &ReplayOptions::default());
     if flags.json {
-        let json =
-            serde_json::to_string_pretty(&report).map_err(|e| CliError::Parse(e.to_string()))?;
-        writeln!(out, "{json}")?;
+        writeln!(out, "{}", jsonout::report_json(&report))?;
     } else {
         writeln!(out, "workload:         {}", report.workload)?;
         writeln!(out, "policy:           {}", report.policy)?;
@@ -347,6 +372,114 @@ fn replay(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
         writeln!(out, "spin-ups:         {}", report.spin_ups)?;
         writeln!(out, "determinations:   {}", report.determinations)?;
     }
+    Ok(())
+}
+
+/// `ees online`: feeds an NDJSON event stream (file or `-` for stdin)
+/// through the bounded-channel ingest into the colocated online daemon,
+/// printing the plan sequence and the run summary.
+fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let trace_arg = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("online needs an event stream (file or '-')".into()))?;
+    let items_path = pos
+        .get(1)
+        .ok_or_else(|| CliError::Usage("online needs an items file".into()))?;
+    let items: Vec<DataItemSpec> = items_from_json(&std::fs::read_to_string(items_path)?)
+        .map_err(|e| CliError::Parse(format!("{items_path}: {e}")))?;
+    if items.is_empty() {
+        return Err(CliError::Parse(format!("{items_path}: no items")));
+    }
+    let num_enclosures = items.iter().map(|i| i.enclosure.0 + 1).max().unwrap_or(1);
+    let catalog: Vec<CatalogItem> = items
+        .iter()
+        .map(|i| CatalogItem {
+            id: i.id,
+            size: i.size,
+            enclosure: i.enclosure,
+            access: i.access,
+        })
+        .collect();
+    let storage = StorageConfig::ams2500(num_enclosures);
+    let mut policy = ProposedConfig::default();
+    if let Some(p) = flags.period {
+        policy.initial_period = p;
+    }
+    let mut daemon = match flags.break_even {
+        Some(be) => {
+            ColocatedDaemon::with_break_even(&catalog, num_enclosures, &storage, policy, be)
+        }
+        None => ColocatedDaemon::new(&catalog, num_enclosures, &storage, policy),
+    };
+
+    let input: Box<dyn BufRead + Send> = if trace_arg == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        Box::new(BufReader::new(File::open(trace_arg)?))
+    };
+    let overflow = if flags.drop_newest {
+        OverflowPolicy::DropNewest
+    } else {
+        OverflowPolicy::Block
+    };
+    let (rx, reader) = spawn_reader(input, flags.queue, overflow);
+
+    let mut plans = Vec::new();
+    for rec in rx {
+        plans.extend(daemon.step(rec));
+    }
+    let ingest = reader
+        .join()
+        .map_err(|_| CliError::Parse("ingest thread panicked".into()))?
+        .map_err(|e| CliError::Parse(e.to_string()))?;
+    let summary = daemon.finish(None);
+
+    if flags.json {
+        writeln!(
+            out,
+            "{}",
+            jsonout::online_json(trace_arg, &summary, &ingest, &plans)
+        )?;
+        return Ok(());
+    }
+    for (i, env) in plans.iter().enumerate() {
+        writeln!(
+            out,
+            "plan {:>4}  [{:>9.1} s .. {:>9.1} s]  {:<8}  migrations {:<3} preload {:<3} \
+             write-delay {:<3} next {}",
+            i + 1,
+            env.period.start.as_secs_f64(),
+            env.period.end.as_secs_f64(),
+            match env.reason {
+                RolloverReason::Boundary => "boundary",
+                RolloverReason::Trigger => "trigger",
+            },
+            env.plan.migrations.len(),
+            env.plan.preload.len(),
+            env.plan.write_delay.len(),
+            match env.plan.next_period {
+                Some(p) => format!("{:.1} s", p.as_secs_f64()),
+                None => "unchanged".into(),
+            },
+        )?;
+    }
+    writeln!(
+        out,
+        "events:        {} accepted, {} dropped",
+        ingest.accepted, ingest.dropped
+    )?;
+    writeln!(
+        out,
+        "periods:       {} ({} trigger cuts)",
+        summary.periods, summary.trigger_cuts
+    )?;
+    writeln!(out, "unit power:    {:.1} W", summary.avg_power_watts)?;
+    writeln!(out, "spin-ups:      {}", summary.spin_ups)?;
+    writeln!(
+        out,
+        "avg response:  {:.2} ms",
+        summary.avg_response.as_millis_f64()
+    )?;
     Ok(())
 }
 
@@ -402,6 +535,18 @@ mod tests {
             run_to_string(&["classify", trace.to_str().unwrap(), items.to_str().unwrap()]).unwrap();
         assert!(c.contains("mix:"), "{c}");
         assert!(c.contains("lineitem.0"));
+
+        let sj = run_to_string(&["stats", trace.to_str().unwrap(), "--json"]).unwrap();
+        assert!(sj.contains("\"schema\": \"ees.stats.v1\""), "{sj}");
+        let cj = run_to_string(&[
+            "classify",
+            trace.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--json",
+        ])
+        .unwrap();
+        assert!(cj.contains("\"schema\": \"ees.classify.v1\""), "{cj}");
+        assert!(cj.contains("\"pattern\":"), "{cj}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -424,7 +569,53 @@ mod tests {
         let text = run_to_string(&["replay", "tpch", "proposed", "--scale", "0.01"]).unwrap();
         assert!(text.contains("enclosure power:"), "{text}");
         let json = run_to_string(&["replay", "tpch", "none", "--scale", "0.01", "--json"]).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["policy"], "No Power Saving");
+        assert!(json.contains("\"schema\": \"ees.report.v1\""), "{json}");
+        assert!(json.contains("\"mode\": \"replay\""), "{json}");
+        assert!(json.contains("\"policy\": \"No Power Saving\""), "{json}");
+    }
+
+    #[test]
+    fn online_consumes_generated_stream() {
+        let dir = std::env::temp_dir().join(format!("ees-online-test-{}", std::process::id()));
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "gen",
+            "fileserver",
+            "--scale",
+            "0.02",
+            "--seed",
+            "7",
+            "--out",
+            out,
+        ])
+        .unwrap();
+        let trace = dir.join("fileserver.trace.jsonl");
+        let items = dir.join("fileserver.items.json");
+
+        let text = run_to_string(&[
+            "online",
+            trace.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--period",
+            "120",
+        ])
+        .unwrap();
+        assert!(text.contains("plan    1"), "{text}");
+        assert!(text.contains("periods:"), "{text}");
+
+        let json = run_to_string(&[
+            "online",
+            trace.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--period",
+            "120",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"schema\": \"ees.report.v1\""), "{json}");
+        assert!(json.contains("\"mode\": \"online\""), "{json}");
+        assert!(json.contains("\"reason\":\"boundary\""), "{json}");
+        assert!(json.contains("\"dropped\": 0"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

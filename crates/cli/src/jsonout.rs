@@ -1,0 +1,170 @@
+//! Hand-rolled JSON output for the `--json` report modes.
+//!
+//! `ees replay --json` and `ees online --json` share the
+//! **`ees.report.v1`** envelope: metric keys common to both modes carry
+//! the same names and units (`duration_secs`, `events`,
+//! `avg_power_watts`, `avg_response_ms`, `periods`, `spin_ups`, …), so
+//! downstream tooling parses a batch replay and a live daemon run with
+//! the same code; mode-specific keys ride alongside. `stats` and
+//! `classify` get their own small schemas. Everything is emitted by
+//! hand — the machine-readable surface of the binary must not depend on
+//! a JSON library being available.
+
+use ees_core::{LogicalIoPattern, PatternMix};
+use ees_iotrace::ndjson::json_escape;
+use ees_iotrace::TraceSummary;
+use ees_online::{IngestStats, OnlineSummary, PlanEnvelope, RolloverReason};
+use ees_replay::RunReport;
+
+/// Formats a float as a JSON number; non-finite values become `null`.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// `ees replay --json`: the run report in the shared envelope.
+pub fn report_json(report: &RunReport) -> String {
+    let (p50, p95, p99, pmax) = report.read_percentiles;
+    format!(
+        "{{\n  \"schema\": \"ees.report.v1\",\n  \"mode\": \"replay\",\n  \
+         \"workload\": \"{}\",\n  \"policy\": \"{}\",\n  \"duration_secs\": {},\n  \
+         \"events\": {},\n  \"reads\": {},\n  \"avg_power_watts\": {},\n  \
+         \"enclosure_avg_watts\": {},\n  \"avg_response_ms\": {},\n  \
+         \"avg_read_response_ms\": {},\n  \"read_percentiles_ms\": [{}, {}, {}, {}],\n  \
+         \"throughput_iops\": {},\n  \"migrated_bytes\": {},\n  \"periods\": {},\n  \
+         \"trigger_cuts\": null,\n  \"determinations\": {},\n  \"spin_ups\": {}\n}}",
+        json_escape(&report.workload),
+        json_escape(&report.policy),
+        num(report.duration.as_secs_f64()),
+        report.total_ios,
+        report.reads,
+        num(report.avg_power_watts),
+        num(report.enclosure_avg_watts),
+        num(report.avg_response.as_millis_f64()),
+        num(report.avg_read_response.as_millis_f64()),
+        num(p50.as_millis_f64()),
+        num(p95.as_millis_f64()),
+        num(p99.as_millis_f64()),
+        num(pmax.as_millis_f64()),
+        num(report.throughput_iops),
+        report.migrated_bytes,
+        report.periods,
+        report.determinations,
+        report.spin_ups,
+    )
+}
+
+/// `ees online --json`: the daemon summary in the shared envelope, plus
+/// the ingest counters and the emitted plan sequence.
+pub fn online_json(
+    source: &str,
+    summary: &OnlineSummary,
+    ingest: &IngestStats,
+    plans: &[PlanEnvelope],
+) -> String {
+    let mut plan_lines = String::new();
+    for (i, env) in plans.iter().enumerate() {
+        plan_lines.push_str(&format!(
+            "    {{\"start_secs\":{},\"end_secs\":{},\"reason\":\"{}\",\"migrations\":{},\
+             \"preload\":{},\"write_delay\":{},\"power_off_changes\":{},\
+             \"determinations\":{},\"next_period_secs\":{}}}{}\n",
+            num(env.period.start.as_secs_f64()),
+            num(env.period.end.as_secs_f64()),
+            match env.reason {
+                RolloverReason::Boundary => "boundary",
+                RolloverReason::Trigger => "trigger",
+            },
+            env.plan.migrations.len(),
+            env.plan.preload.len(),
+            env.plan.write_delay.len(),
+            env.plan.power_off_eligible.len(),
+            env.plan.determinations,
+            env.plan
+                .next_period
+                .map(|p| num(p.as_secs_f64()))
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 < plans.len() { "," } else { "" }
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"ees.report.v1\",\n  \"mode\": \"online\",\n  \
+         \"workload\": \"{}\",\n  \"policy\": \"Proposed (online)\",\n  \
+         \"duration_secs\": {},\n  \"events\": {},\n  \"avg_power_watts\": {},\n  \
+         \"avg_response_ms\": {},\n  \"periods\": {},\n  \"trigger_cuts\": {},\n  \
+         \"spin_ups\": {},\n  \"ingest\": {{\"accepted\": {}, \"dropped\": {}}},\n  \
+         \"plans\": [\n{}  ]\n}}",
+        json_escape(source),
+        num(summary.duration.as_secs_f64()),
+        summary.events,
+        num(summary.avg_power_watts),
+        num(summary.avg_response.as_millis_f64()),
+        summary.periods,
+        summary.trigger_cuts,
+        summary.spin_ups,
+        ingest.accepted,
+        ingest.dropped,
+        plan_lines,
+    )
+}
+
+/// `ees stats --json`: the trace summary.
+pub fn stats_json(s: &TraceSummary) -> String {
+    format!(
+        "{{\n  \"schema\": \"ees.stats.v1\",\n  \"records\": {},\n  \"reads\": {},\n  \
+         \"read_ratio\": {},\n  \"bytes_read\": {},\n  \"bytes_written\": {},\n  \
+         \"first_ts_secs\": {},\n  \"last_ts_secs\": {},\n  \"distinct_items\": {},\n  \
+         \"avg_iops\": {}\n}}",
+        s.records,
+        s.reads,
+        num(s.read_ratio()),
+        s.bytes_read,
+        s.bytes_written,
+        num(s.first_ts.as_secs_f64()),
+        num(s.last_ts.as_secs_f64()),
+        s.distinct_items,
+        num(s.avg_iops()),
+    )
+}
+
+/// One classified item for [`classify_json`].
+pub struct ClassifyRow {
+    /// Item name.
+    pub name: String,
+    /// Logical I/Os in the period.
+    pub ios: u64,
+    /// Fraction of those that are reads.
+    pub read_ratio: f64,
+    /// Long Intervals counted.
+    pub long_intervals: usize,
+    /// The P0–P3 verdict.
+    pub pattern: LogicalIoPattern,
+}
+
+/// `ees classify --json`: per-item verdicts plus the pattern mix.
+pub fn classify_json(rows: &[ClassifyRow], mix: &PatternMix) -> String {
+    let mut item_lines = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        item_lines.push_str(&format!(
+            "    {{\"item\":\"{}\",\"ios\":{},\"read_ratio\":{},\"long_intervals\":{},\
+             \"pattern\":\"{}\"}}{}\n",
+            json_escape(&row.name),
+            row.ios,
+            num(row.read_ratio),
+            row.long_intervals,
+            row.pattern,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"ees.classify.v1\",\n  \"items\": [\n{}  ],\n  \
+         \"mix_percent\": {{\"P0\": {}, \"P1\": {}, \"P2\": {}, \"P3\": {}}}\n}}",
+        item_lines,
+        num(mix.percent(LogicalIoPattern::P0)),
+        num(mix.percent(LogicalIoPattern::P1)),
+        num(mix.percent(LogicalIoPattern::P2)),
+        num(mix.percent(LogicalIoPattern::P3)),
+    )
+}

@@ -1,12 +1,14 @@
 //! # ees-cli
 //!
 //! The `ees` command-line tool: generate the paper's workload traces to
-//! JSON Lines, inspect and classify them, and replay them under any of
-//! the four power-management methods. The library half hosts the
+//! JSON Lines, inspect and classify them, replay them under any of the
+//! four power-management methods, or feed them as a live NDJSON stream
+//! to the online controller (`ees online`). The library half hosts the
 //! subcommand implementations so they are unit-testable.
 
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod jsonout;
 
 pub use commands::{run_cli, CliError};

@@ -7,9 +7,12 @@ fn main() {
         eprintln!("ees: {e}");
         eprintln!(
             "usage:\n  ees gen <fileserver|tpcc|tpch> [--scale X] [--seed N] [--out DIR]\n  \
-             ees stats <trace.jsonl>\n  \
-             ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS]\n  \
-             ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]"
+             ees mix <workload> <workload> [...] [--scale X] [--seed N] [--out DIR]\n  \
+             ees stats <trace.jsonl> [--json]\n  \
+             ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS] [--json]\n  \
+             ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]\n  \
+             ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS] \
+             [--queue N] [--drop-newest] [--json]"
         );
         std::process::exit(2);
     }

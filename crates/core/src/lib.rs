@@ -39,6 +39,7 @@ pub mod monitor;
 pub mod pattern;
 pub mod period;
 pub mod placement;
+pub mod planner;
 pub mod policy;
 pub mod runtime;
 
@@ -51,5 +52,6 @@ pub use monitor::{MonitorHistory, PeriodRecord};
 pub use pattern::{classify, LogicalIoPattern, PatternMix};
 pub use period::next_period;
 pub use placement::{plan_placement, plan_placement_with_floor, PlacementPlan};
-pub use policy::EnergyEfficientPolicy;
-pub use runtime::PatternChangeTriggers;
+pub use planner::{PlanOutcome, Planner};
+pub use policy::{snapshot_guard, EnergyEfficientPolicy};
+pub use runtime::{ArmedTriggers, PatternChangeTriggers};

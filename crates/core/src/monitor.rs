@@ -25,17 +25,47 @@ pub struct PeriodRecord {
     pub changed: usize,
 }
 
+/// How many periods an item may be absent from the reports before its
+/// remembered pattern is dropped. Reports normally cover every placed
+/// item, so absence means the item left the placement map (dropped table,
+/// deleted file); the grace window only exists so a transient gap — an
+/// item momentarily out of placement mid-migration — does not register as
+/// a spurious pattern change when it returns.
+const DEFAULT_RETENTION_PERIODS: usize = 8;
+
 /// The management function's view of monitoring history across periods.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MonitorHistory {
     periods: Vec<PeriodRecord>,
-    last_pattern: BTreeMap<DataItemId, LogicalIoPattern>,
+    /// Latest classification per item, tagged with the index of the
+    /// period that last reported it (for retention pruning).
+    last_pattern: BTreeMap<DataItemId, (LogicalIoPattern, usize)>,
+    retention: usize,
+}
+
+impl Default for MonitorHistory {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MonitorHistory {
-    /// Creates an empty history.
+    /// Creates an empty history with the default retention window.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_retention(DEFAULT_RETENTION_PERIODS)
+    }
+
+    /// Creates an empty history that forgets items absent from the
+    /// reports for more than `retention` consecutive periods. A long-run
+    /// deployment churns through data items (tables dropped, work files
+    /// deleted), and without pruning `last_pattern` grows with every item
+    /// ever seen.
+    pub fn with_retention(retention: usize) -> Self {
+        MonitorHistory {
+            periods: Vec::new(),
+            last_pattern: BTreeMap::new(),
+            retention: retention.max(1),
+        }
     }
 
     /// Records one period's item reports.
@@ -43,13 +73,19 @@ impl MonitorHistory {
         let mut mix = PatternMix::default();
         let mut changed = 0;
         let first = self.periods.is_empty();
+        let idx = self.periods.len();
         for r in reports {
             mix.bump(r.pattern);
-            let prev = self.last_pattern.insert(r.id, r.pattern);
-            if !first && prev != Some(r.pattern) {
+            let prev = self.last_pattern.insert(r.id, (r.pattern, idx));
+            if !first && prev.map(|(p, _)| p) != Some(r.pattern) {
                 changed += 1;
             }
         }
+        // Prune items that have not appeared for `retention` periods so
+        // the map tracks the live item population, not every item ever
+        // classified.
+        let cutoff = idx.saturating_sub(self.retention);
+        self.last_pattern.retain(|_, &mut (_, seen)| seen >= cutoff);
         self.periods.push(PeriodRecord {
             period,
             mix,
@@ -62,9 +98,16 @@ impl MonitorHistory {
         &self.periods
     }
 
-    /// The most recent classification of each item.
+    /// The most recent classification of each item still within the
+    /// retention window.
     pub fn last_pattern(&self, item: DataItemId) -> Option<LogicalIoPattern> {
-        self.last_pattern.get(&item).copied()
+        self.last_pattern.get(&item).map(|&(p, _)| p)
+    }
+
+    /// Number of items currently remembered (bounded by the live item
+    /// population times the retention window).
+    pub fn tracked_items(&self) -> usize {
+        self.last_pattern.len()
     }
 
     /// The latest period's pattern mix.
@@ -177,6 +220,28 @@ mod tests {
         );
         let s = h.stability().unwrap();
         assert!(s < 1.0 && s > 0.8);
+    }
+
+    #[test]
+    fn stale_items_are_pruned_after_retention() {
+        let mut h = MonitorHistory::with_retention(2);
+        h.record(
+            span(0, 10),
+            &[
+                report(1, LogicalIoPattern::P1),
+                report(2, LogicalIoPattern::P3),
+            ],
+        );
+        // Item 2 disappears (dropped from placement). Within the
+        // retention window its pattern is still remembered...
+        h.record(span(10, 20), &[report(1, LogicalIoPattern::P1)]);
+        h.record(span(20, 30), &[report(1, LogicalIoPattern::P1)]);
+        assert_eq!(h.last_pattern(DataItemId(2)), Some(LogicalIoPattern::P3));
+        assert_eq!(h.tracked_items(), 2);
+        // ...and once the window passes, the entry is gone.
+        h.record(span(30, 40), &[report(1, LogicalIoPattern::P1)]);
+        assert_eq!(h.last_pattern(DataItemId(2)), None);
+        assert_eq!(h.tracked_items(), 1);
     }
 
     #[test]

@@ -15,62 +15,36 @@
 //!
 //! and between boundaries the §V.D pattern-change triggers can cut the
 //! period short.
+//!
+//! The planning steps (2–6) live in [`Planner`](crate::Planner) and the
+//! trigger arming in [`ArmedTriggers`](crate::ArmedTriggers); this type
+//! only adds the batch front-end — classifying a full-period
+//! [`MonitorSnapshot`] in one pass. The streaming controller in
+//! `ees-online` shares both pieces, which is what makes an online run
+//! plan-for-plan identical to a batch replay of the same trace.
 
 use crate::analysis::analyze_snapshot;
-use crate::cache_select::{select_preload, select_write_delay};
 use crate::config::ProposedConfig;
-use crate::hotcold::determine_hot_cold;
 use crate::monitor::MonitorHistory;
-use crate::period::next_period;
-use crate::placement::plan_placement_with_floor;
-use crate::runtime::PatternChangeTriggers;
-use ees_iotrace::{EnclosureId, Micros};
+use crate::planner::Planner;
+use crate::runtime::ArmedTriggers;
+use ees_iotrace::Micros;
 use ees_policy::{ManagementPlan, MonitorSnapshot, PolicyReaction, PowerPolicy, RuntimeEvent};
-use std::collections::BTreeSet;
 
 /// The paper's energy-efficient storage management method.
 #[derive(Debug, Clone)]
 pub struct EnergyEfficientPolicy {
-    cfg: ProposedConfig,
-    triggers: PatternChangeTriggers,
-    history: MonitorHistory,
-    armed: bool,
-    /// Previous preload set, for the §V.C retention rule ("keeps data
-    /// items that are already preloaded into the cache"): an item that
-    /// went quiet (P0) keeps its cache residency while budget remains,
-    /// so its next burst still hits.
-    last_preload: Vec<(ees_iotrace::DataItemId, u64)>,
-    /// Previous write-delay set, retained for P0 items for the same
-    /// reason: dropping an idle item would only force a flush and make
-    /// its next trickle write wake a powered-off enclosure.
-    last_write_delay: Vec<ees_iotrace::DataItemId>,
-    /// When the management function last ran; §V.D re-invocations are
-    /// suppressed until a full initial monitoring period has elapsed, so
-    /// trigger storms cannot shred monitoring into windows too short to
-    /// classify (a bulk item with two I/Os five seconds apart in a tiny
-    /// window looks P3 and would be pointlessly migrated).
-    last_plan_at: Micros,
-    /// Decayed running maximum of the measured `I_max`: a single
-    /// monitoring period under-samples the one-second peak (short periods
-    /// may not contain a load spike at all), and sizing the hot set from
-    /// the raw value drains and re-promotes enclosures on pure noise.
-    /// The smoothed peak decays 10 % per period, so a genuine load drop
-    /// still shrinks the hot set within a few periods.
-    imax_smooth: f64,
+    planner: Planner,
+    triggers: ArmedTriggers,
 }
 
 impl EnergyEfficientPolicy {
     /// Creates the policy with the given configuration.
     pub fn new(cfg: ProposedConfig) -> Self {
+        let guard = snapshot_guard(cfg.initial_period);
         EnergyEfficientPolicy {
-            cfg,
-            triggers: PatternChangeTriggers::new(Micros::ZERO),
-            history: MonitorHistory::new(),
-            armed: false,
-            last_preload: Vec::new(),
-            last_write_delay: Vec::new(),
-            last_plan_at: Micros::ZERO,
-            imax_smooth: 0.0,
+            planner: Planner::new(cfg),
+            triggers: ArmedTriggers::new(guard),
         }
     }
 
@@ -82,12 +56,12 @@ impl EnergyEfficientPolicy {
     /// The monitoring history accumulated so far (for the §VI.C stability
     /// analysis and the experiment harness).
     pub fn history(&self) -> &MonitorHistory {
-        &self.history
+        self.planner.history()
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ProposedConfig {
-        &self.cfg
+        self.planner.config()
     }
 }
 
@@ -95,7 +69,7 @@ impl EnergyEfficientPolicy {
 /// monitoring period (52 s with Table II defaults) — enough to stop a
 /// trigger from re-firing into a degenerate window, short enough that a
 /// storm-aligned period still starts at the storm.
-fn snapshot_guard(initial: Micros) -> Micros {
+pub fn snapshot_guard(initial: Micros) -> Micros {
     initial / 10
 }
 
@@ -105,191 +79,33 @@ impl PowerPolicy for EnergyEfficientPolicy {
     }
 
     fn initial_period(&self) -> Micros {
-        self.cfg.initial_period
+        self.planner.config().initial_period
     }
 
     fn on_period_end(&mut self, snapshot: &MonitorSnapshot<'_>) -> ManagementPlan {
-        // Step 1: logical I/O patterns.
+        // Step 1: logical I/O patterns; steps 2–7 in the shared planner.
         let mut reports = analyze_snapshot(snapshot);
-        self.history.record(snapshot.period, &reports);
-
-        // Steps 2–3: hot/cold and placement. The hot-set size is floored
-        // by the decayed running maximum of I_max (see `imax_smooth`).
-        let (_, computed) =
-            determine_hot_cold(&reports, snapshot.enclosures, snapshot.period.start);
-        let imax = crate::analysis::p3_peak_iops(&reports, snapshot.period.start);
-        // Wall-time decay (half-life ≈ 20 min): short, trigger-cut periods
-        // must not bleed the running peak away faster than long ones.
-        let dt = snapshot.period.len().as_secs_f64();
-        let decay = (-dt / 1800.0).exp();
-        self.imax_smooth = imax.max(self.imax_smooth * decay);
-        if computed == 0 {
-            // No P3 items at all: the load that justified the hot set is
-            // gone outright (a finished scan, not peak wobble). Release
-            // the smoothed floor so every enclosure can power off.
-            self.imax_smooth = 0.0;
-        }
-        let o = snapshot
-            .enclosures
-            .first()
-            .map(|e| e.max_iops)
-            .unwrap_or(1.0)
-            .max(1.0);
-        let floor = ((self.imax_smooth / o).ceil() as usize).max(computed);
-        let mut placement =
-            plan_placement_with_floor(&reports, snapshot.enclosures, snapshot.period.start, floor);
-        if !self.cfg.enable_placement {
-            // Ablation: keep the hot/cold split but move nothing.
-            placement.migrations.clear();
-        }
-        let split = placement.split;
-        if std::env::var_os("EES_DEBUG_PLAN").is_some() {
-            eprintln!(
-                "PLAN period=[{}..{}] imax={:.0} smooth={:.0} computed={} floor={} hot={:?} migrations={}",
-                snapshot.period.start,
-                snapshot.period.end,
-                imax,
-                self.imax_smooth,
-                computed,
-                floor,
-                split.hot,
-                placement.migrations.len()
-            );
-        }
-
-        // Cache selection must see the *post-migration* placement: an item
-        // evicted from a hot enclosure becomes a cold-enclosure resident
-        // and is then a legitimate preload / write-delay candidate.
-        for m in &placement.migrations {
-            if let Some(r) = reports.iter_mut().find(|r| r.id == m.item) {
-                r.enclosure = m.to;
-            }
-        }
-
-        // Steps 4–5: write delay first, then preload (§IV.A ordering).
-        let cold: BTreeSet<EnclosureId> = split.cold.iter().copied().collect();
-        let is_cold = |e: EnclosureId| cold.contains(&e);
-        let mut write_delay = if self.cfg.enable_write_delay {
-            select_write_delay(&reports, is_cold, self.cfg.write_delay_budget)
-        } else {
-            Vec::new()
-        };
-        let preload = if self.cfg.enable_preload {
-            select_preload(&reports, is_cold, self.cfg.preload_budget)
-        } else {
-            Vec::new()
-        };
-
-        // §V.C retention ("keeps data items that are already preloaded
-        // into the cache"): items from the previous sets that still live
-        // on cold enclosures keep their slots *first*; fresh selections
-        // fill whatever budget remains. Without this, per-period
-        // classification flapping (P1 ↔ P0 ↔ P3) reshuffles the sets, and
-        // every reshuffle is a bulk cache load that wakes a sleeping
-        // enclosure — costing more than the preload ever saves.
-        let is_cold_resident = |id: ees_iotrace::DataItemId| {
-            reports
-                .iter()
-                .any(|r| r.id == id && cold.contains(&r.enclosure))
-        };
-        let mut merged: Vec<(ees_iotrace::DataItemId, u64)> = Vec::new();
-        let mut spent: u64 = 0;
-        for &(id, size) in &self.last_preload {
-            if is_cold_resident(id) && spent + size <= self.cfg.preload_budget {
-                spent += size;
-                merged.push((id, size));
-            }
-        }
-        for &(id, size) in &preload {
-            if merged.iter().any(|(m, _)| *m == id) {
-                continue;
-            }
-            if spent + size <= self.cfg.preload_budget {
-                spent += size;
-                merged.push((id, size));
-            }
-        }
-        let preload = merged;
-        for &id in &self.last_write_delay {
-            if !write_delay.contains(&id) && is_cold_resident(id) {
-                write_delay.push(id);
-            }
-        }
-        self.last_preload = preload.clone();
-        self.last_write_delay = write_delay.clone();
-
-        // Step 6: power control — only cold enclosures may power off.
-        let power_off_eligible = snapshot
-            .enclosures
-            .iter()
-            .map(|e| (e.id, cold.contains(&e.id)))
-            .collect();
-
-        // Step 7: next monitoring period. Floored at the configured
-        // initial period: observed Long Intervals are bounded above by the
-        // period that contains them, so an unfloored `avg(LI) × α` ratchets
-        // down to the break-even time and sticks there (no interval longer
-        // than a 52 s window fits inside one).
-        let next = next_period(
-            &reports,
-            self.cfg.alpha,
-            self.cfg.initial_period.max(snapshot.break_even),
-            self.cfg.max_period,
+        let outcome = self.planner.plan(
+            snapshot.period,
+            snapshot.break_even,
+            &mut reports,
+            snapshot.enclosures,
         );
-
-        // Re-arm the §V.D triggers. Trigger (i) watches hot enclosures
-        // that actually hold P3 data after the planned migrations — a
-        // freshly promoted (still empty) hot enclosure receives no I/O at
-        // all, and treating its silence as a pattern change would cut
-        // every period short.
-        let hot_with_p3: Vec<EnclosureId> = split
-            .hot
-            .iter()
-            .copied()
-            .filter(|&h| {
-                reports
-                    .iter()
-                    .any(|r| r.is_placement_p3() && r.enclosure == h)
-            })
-            .collect();
-        self.triggers = PatternChangeTriggers::new(snapshot.break_even);
-        self.triggers
-            .rearm_with_cold(snapshot.period.end, hot_with_p3, split.cold.len());
-        self.last_plan_at = snapshot.period.end;
-        self.armed = true;
-
-        ManagementPlan {
-            migrations: placement.migrations,
-            extent_redirects: Vec::new(),
-            preload,
-            write_delay,
-            power_off_eligible,
-            next_period: next,
-            determinations: 1,
-        }
+        self.triggers.rearm(
+            snapshot.break_even,
+            snapshot.period.end,
+            outcome.hot_with_p3,
+            outcome.cold_count,
+        );
+        outcome.plan
     }
 
     fn on_event(&mut self, event: &RuntimeEvent) -> PolicyReaction {
-        if !self.armed {
-            return PolicyReaction::Continue;
-        }
         let fire = match *event {
-            RuntimeEvent::LogicalIo { t, enclosure, .. } => {
-                // Condition (i) of §V.D watches *all* hot enclosures: a hot
-                // enclosure that simply stops receiving I/O must still be
-                // noticed, so every event also sweeps the idle clocks.
-                let own = self.triggers.on_io(t, enclosure);
-                own || self.triggers.check_idle_hot(t)
-            }
-            RuntimeEvent::SpinUp { t, enclosure } => self.triggers.on_spin_up(t, enclosure),
+            RuntimeEvent::LogicalIo { t, enclosure, .. } => self.triggers.observe_io(t, enclosure),
+            RuntimeEvent::SpinUp { t, enclosure } => self.triggers.observe_spin_up(t, enclosure),
         };
-        let t = match *event {
-            RuntimeEvent::LogicalIo { t, .. } | RuntimeEvent::SpinUp { t, .. } => t,
-        };
-        if fire && t >= self.last_plan_at + snapshot_guard(self.cfg.initial_period) {
-            // Disarm until the next period boundary re-arms, so one
-            // anomaly requests exactly one early invocation.
-            self.armed = false;
+        if fire {
             PolicyReaction::InvokeNow
         } else {
             PolicyReaction::Continue
@@ -300,7 +116,7 @@ impl PowerPolicy for EnergyEfficientPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ees_iotrace::{DataItemId, IoKind, LogicalIoRecord, Span, GIB, MIB};
+    use ees_iotrace::{DataItemId, EnclosureId, IoKind, LogicalIoRecord, Span, GIB, MIB};
     use ees_policy::EnclosureView;
     use ees_simstorage::PlacementMap;
 

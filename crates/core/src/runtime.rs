@@ -12,7 +12,19 @@
 //!    being hammered, so spin-up energy is being wasted.
 
 use ees_iotrace::{EnclosureId, Micros};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Window of the storm detector: ¾ of a (≥ 4-enclosure) cold set waking
+/// within this span is a pattern change.
+const STORM_WINDOW: Micros = Micros::from_secs(15);
+
+/// Hard cap on the storm detector's wake log. The detector only counts
+/// *distinct* enclosures inside [`STORM_WINDOW`], and `EnclosureId` is a
+/// `u16`, so entries beyond this bound can never change a verdict — but
+/// without a cap a spin-up flood inside one window (or a long stretch
+/// between management invocations on a quiet controller) would grow the
+/// deque without bound.
+const MAX_RECENT_WAKES: usize = u16::MAX as usize + 1;
 
 /// Watches runtime events against the current plan's hot/cold split.
 #[derive(Debug, Clone, Default)]
@@ -64,9 +76,27 @@ impl PatternChangeTriggers {
         self.rearm_with_cold(t, hot, 0);
     }
 
+    /// Drops storm-detector entries older than the 15 s window before `t`.
+    /// Called from **every** observation (`on_io` and `on_spin_up`), not
+    /// only on re-arm, so the wake log cannot accumulate between
+    /// management invocations.
+    fn prune_recent_wakes(&mut self, t: Micros) {
+        let horizon = t.saturating_sub(STORM_WINDOW);
+        while self.recent_wakes.front().is_some_and(|&(w, _)| w < horizon) {
+            self.recent_wakes.pop_front();
+        }
+    }
+
+    /// Entries currently held by the storm detector (bounded by
+    /// [`MAX_RECENT_WAKES`]; pruned on every observation).
+    pub fn recent_wake_count(&self) -> usize {
+        self.recent_wakes.len()
+    }
+
     /// Records a logical I/O resolved to `enclosure` and checks trigger
     /// (i). Returns `true` when the management function should run now.
     pub fn on_io(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        self.prune_recent_wakes(t);
         if let Some(last) = self.hot_last_io.get_mut(&enclosure) {
             let gap = t.saturating_sub(*last);
             *last = t;
@@ -103,16 +133,21 @@ impl PatternChangeTriggers {
         if *count > m {
             return true;
         }
-        // Storm rule.
-        self.recent_wakes.push_back((t, enclosure));
-        let horizon = t.saturating_sub(Micros::from_secs(15));
-        while self.recent_wakes.front().is_some_and(|&(w, _)| w < horizon) {
-            self.recent_wakes.pop_front();
+        // Storm rule. The detector only needs the *distinct* enclosures
+        // inside the window, so a repeat wake replaces the enclosure's
+        // earlier entry instead of growing the log: the deque holds at
+        // most one entry per enclosure, which bounds it by the enclosure
+        // id space regardless of spin-up rate.
+        if let Some(pos) = self.recent_wakes.iter().position(|&(_, e)| e == enclosure) {
+            self.recent_wakes.remove(pos);
         }
+        self.recent_wakes.push_back((t, enclosure));
+        debug_assert!(self.recent_wakes.len() <= MAX_RECENT_WAKES);
+        self.prune_recent_wakes(t);
         if self.cold_count >= 4 {
-            let distinct: BTreeSet<EnclosureId> =
-                self.recent_wakes.iter().map(|&(_, e)| e).collect();
-            if distinct.len() * 4 >= self.cold_count * 3 {
+            // One entry per enclosure (see above), so the deque length IS
+            // the distinct-wake count within the window.
+            if self.recent_wakes.len() * 4 >= self.cold_count * 3 {
                 return true;
             }
         }
@@ -126,6 +161,98 @@ impl PatternChangeTriggers {
         self.hot_last_io
             .values()
             .any(|&last| t.saturating_sub(last) > self.break_even)
+    }
+}
+
+/// [`PatternChangeTriggers`] plus the arming discipline every §V.D
+/// consumer needs: disarmed until the first plan, one firing per arming
+/// (an anomaly requests exactly one early invocation), and a minimum-gap
+/// guard so trigger storms cannot shred monitoring into windows too short
+/// to classify.
+///
+/// Extracted from [`EnergyEfficientPolicy`](crate::EnergyEfficientPolicy)
+/// so the streaming controller (`ees-online`) owns the *same* trigger
+/// logic the batch policy runs — trigger-for-trigger equivalence between
+/// the two paths is structural, not re-implemented.
+#[derive(Debug, Clone)]
+pub struct ArmedTriggers {
+    triggers: PatternChangeTriggers,
+    armed: bool,
+    last_plan_at: Micros,
+    /// Minimum gap between management invocations.
+    guard: Micros,
+}
+
+impl ArmedTriggers {
+    /// Creates a disarmed trigger set with the given invocation guard
+    /// (the proposed method uses a tenth of the initial monitoring
+    /// period).
+    pub fn new(guard: Micros) -> Self {
+        ArmedTriggers {
+            triggers: PatternChangeTriggers::new(Micros::ZERO),
+            armed: false,
+            last_plan_at: Micros::ZERO,
+            guard,
+        }
+    }
+
+    /// Re-arms after a management invocation at `t`: trigger (i) watches
+    /// `hot` (the hot enclosures that actually hold P3 data), trigger (ii)
+    /// the `cold_count`-sized cold set.
+    pub fn rearm(
+        &mut self,
+        break_even: Micros,
+        t: Micros,
+        hot: impl IntoIterator<Item = EnclosureId>,
+        cold_count: usize,
+    ) {
+        self.triggers = PatternChangeTriggers::new(break_even);
+        self.triggers.rearm_with_cold(t, hot, cold_count);
+        self.last_plan_at = t;
+        self.armed = true;
+    }
+
+    /// Whether a firing at `t` may actually invoke management.
+    fn clears_guard(&self, t: Micros) -> bool {
+        t >= self.last_plan_at + self.guard
+    }
+
+    /// Observes a logical I/O resolved to `enclosure`; returns `true`
+    /// when the management function should run now (and disarms).
+    /// Every event also sweeps the hot idle clocks: condition (i) watches
+    /// *all* hot enclosures, so one that simply stops receiving I/O must
+    /// still be noticed.
+    pub fn observe_io(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        if !self.armed {
+            return false;
+        }
+        let fire = self.triggers.on_io(t, enclosure) || self.triggers.check_idle_hot(t);
+        if fire && self.clears_guard(t) {
+            self.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Observes a spin-up of `enclosure`; returns `true` when the
+    /// management function should run now (and disarms).
+    pub fn observe_spin_up(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        if !self.armed {
+            return false;
+        }
+        let fire = self.triggers.on_spin_up(t, enclosure);
+        if fire && self.clears_guard(t) {
+            self.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Read access to the underlying trigger state.
+    pub fn triggers(&self) -> &PatternChangeTriggers {
+        &self.triggers
     }
 }
 
@@ -248,5 +375,64 @@ mod tests {
         tr.rearm(Micros::ZERO, vec![EnclosureId(0)]);
         assert!(!tr.check_idle_hot(Micros::from_secs(52)));
         assert!(tr.check_idle_hot(Micros::from_secs(53)));
+    }
+
+    #[test]
+    fn recent_wakes_stay_bounded_under_flood() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm_with_cold(Micros::ZERO, vec![], 1_000_000);
+        // One enclosure hammered inside the storm window: the wake log
+        // keeps a single entry, not one per spin-up.
+        for i in 0..10_000u64 {
+            let _ = tr.on_spin_up(Micros(i), EnclosureId(7));
+        }
+        assert_eq!(tr.recent_wake_count(), 1);
+        // Two enclosures: two entries, regardless of rate.
+        for i in 0..10_000u64 {
+            let _ = tr.on_spin_up(Micros(i), EnclosureId(8));
+        }
+        assert_eq!(tr.recent_wake_count(), 2);
+    }
+
+    #[test]
+    fn recent_wakes_pruned_on_io_observation() {
+        let mut tr = PatternChangeTriggers::new(BE);
+        tr.rearm_with_cold(Micros::ZERO, vec![EnclosureId(0)], 100);
+        for e in 1..=5u16 {
+            let _ = tr.on_spin_up(Micros::from_secs(1), EnclosureId(e));
+        }
+        assert_eq!(tr.recent_wake_count(), 5);
+        // A plain I/O observation 20 s later prunes the stale wakes —
+        // no spin-up or re-arm needed.
+        let _ = tr.on_io(Micros::from_secs(21), EnclosureId(0));
+        assert_eq!(tr.recent_wake_count(), 0);
+    }
+
+    #[test]
+    fn armed_triggers_fire_once_per_arming() {
+        let mut at = ArmedTriggers::new(Micros::from_secs(52));
+        let ev_t = Micros::from_secs(580);
+        // Disarmed: nothing fires, state untouched.
+        assert!(!at.observe_spin_up(ev_t, EnclosureId(2)));
+        at.rearm(BE, Micros::from_secs(520), vec![EnclosureId(0)], 2);
+        // m clamps to 3: the fourth spin-up past the guard fires once.
+        for _ in 0..3 {
+            assert!(!at.observe_spin_up(ev_t, EnclosureId(2)));
+        }
+        assert!(at.observe_spin_up(ev_t, EnclosureId(2)));
+        assert!(!at.observe_spin_up(ev_t, EnclosureId(2)), "disarmed");
+    }
+
+    #[test]
+    fn armed_triggers_respect_guard() {
+        let mut at = ArmedTriggers::new(Micros::from_secs(52));
+        at.rearm(BE, Micros::from_secs(520), vec![EnclosureId(0)], 0);
+        // Ten cold spin-ups at t = 530 exceed m, but 530 < 520 + 52 is
+        // inside the guard: no invocation, and the triggers stay armed.
+        for _ in 0..10 {
+            assert!(!at.observe_spin_up(Micros::from_secs(530), EnclosureId(1)));
+        }
+        // Past the guard the still-armed anomaly fires.
+        assert!(at.observe_spin_up(Micros::from_secs(573), EnclosureId(1)));
     }
 }

@@ -4,14 +4,16 @@
 //! diff-able, append-friendly, and streams without loading a whole trace
 //! into memory.
 
+use crate::ndjson::{format_event, EventReader};
 use crate::record::{LogicalIoRecord, LogicalTrace, PhysicalIoRecord, PhysicalTrace};
 use std::io::{self, BufRead, Write};
 
-/// Writes a logical trace as JSON Lines.
+/// Writes a logical trace as JSON Lines (the [`crate::ndjson`] event
+/// format — one flat object per record, byte-compatible with what
+/// `serde_json` produces).
 pub fn write_jsonl<W: Write>(trace: &LogicalTrace, mut w: W) -> io::Result<()> {
     for rec in trace.iter() {
-        serde_json::to_writer(&mut w, rec)?;
-        w.write_all(b"\n")?;
+        writeln!(w, "{}", format_event(rec))?;
     }
     Ok(())
 }
@@ -21,17 +23,7 @@ pub fn write_jsonl<W: Write>(trace: &LogicalTrace, mut w: W) -> io::Result<()> {
 /// Blank lines are skipped; records are re-sorted by timestamp so that
 /// concatenated per-stream files parse into a valid trace.
 pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<LogicalTrace> {
-    let mut records: Vec<LogicalIoRecord> = Vec::new();
-    for line in r.lines() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let rec: LogicalIoRecord = serde_json::from_str(line)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        records.push(rec);
-    }
+    let records: Vec<LogicalIoRecord> = EventReader::new(r).collect::<io::Result<_>>()?;
     Ok(LogicalTrace::from_unsorted(records))
 }
 

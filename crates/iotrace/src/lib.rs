@@ -9,8 +9,10 @@
 //!   records and containers ([`record`]),
 //! * the paper's interval vocabulary — **Long Intervals** and **I/O
 //!   Sequences** — plus IOPS series and the Fig. 17–19 cumulative
-//!   interval-length curve ([`stats`]),
-//! * JSON-Lines trace serialization ([`io`]).
+//!   interval-length curve ([`stats`]), both batch
+//!   ([`analyze_item_period`]) and streaming ([`IntervalBuilder`]),
+//! * JSON-Lines trace serialization ([`io`]) and the dependency-free
+//!   NDJSON event codec of the online controller ([`ndjson`]).
 //!
 //! Everything downstream (the simulator, the workload generators, the
 //! proposed policy, and the baselines) builds on these types.
@@ -19,16 +21,18 @@
 
 pub mod histogram;
 pub mod io;
+pub mod ndjson;
 pub mod record;
 pub mod slice;
 pub mod stats;
 pub mod types;
 
 pub use histogram::LatencyHistogram;
+pub use ndjson::EventReader;
 pub use record::{LogicalIoRecord, LogicalTrace, PhysicalIoRecord, PhysicalTrace};
 pub use slice::{summarize, TraceSummary};
 pub use stats::{
-    analyze_item_period, gaps_with_bounds, split_by_item, IntervalCdf, IoSequence, IopsSeries,
-    ItemIntervalStats, Span,
+    analyze_item_period, gaps_with_bounds, split_by_item, IntervalBuilder, IntervalCdf, IoSequence,
+    IopsSeries, ItemIntervalStats, Span,
 };
 pub use types::{fmt_bytes, DataItemId, EnclosureId, IoKind, Micros, VolumeId, GIB, KIB, MIB, TIB};

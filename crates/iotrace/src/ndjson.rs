@@ -1,0 +1,428 @@
+//! Dependency-free NDJSON event codec for logical I/O records — the wire
+//! format of the online controller (`ees-online`).
+//!
+//! Each line is one flat JSON object, byte-compatible with what
+//! `serde_json` produces for a [`LogicalIoRecord`]:
+//!
+//! ```text
+//! {"ts":1000000,"item":1,"offset":0,"len":4096,"kind":"Read"}
+//! ```
+//!
+//! The codec is hand-rolled rather than routed through `serde_json` for
+//! two reasons: the daemon parses events on its ingest hot path and a flat
+//! five-field object does not need a generic JSON tree, and the writer
+//! side must stream records one line at a time without buffering a trace.
+//! The parser is tolerant: fields may appear in any order, whitespace is
+//! skipped, blank lines and `#` comment lines are ignored by the reader.
+
+use crate::record::LogicalIoRecord;
+use crate::types::{DataItemId, IoKind, Micros};
+use std::io::BufRead;
+
+/// Formats one record as a single NDJSON line (no trailing newline),
+/// matching `serde_json`'s field order and spacing.
+pub fn format_event(rec: &LogicalIoRecord) -> String {
+    format!(
+        "{{\"ts\":{},\"item\":{},\"offset\":{},\"len\":{},\"kind\":\"{}\"}}",
+        rec.ts.0,
+        rec.item.0,
+        rec.offset,
+        rec.len,
+        match rec.kind {
+            IoKind::Read => "Read",
+            IoKind::Write => "Write",
+        }
+    )
+}
+
+/// Writes every record of `records` as NDJSON lines.
+pub fn write_events<'a, W: std::io::Write>(
+    records: impl IntoIterator<Item = &'a LogicalIoRecord>,
+    w: &mut W,
+) -> std::io::Result<()> {
+    for rec in records {
+        writeln!(w, "{}", format_event(rec))?;
+    }
+    Ok(())
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One scalar value inside a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// An unsigned integer.
+    Num(u64),
+    /// A (unescaped) string.
+    Str(String),
+}
+
+impl JsonScalar {
+    /// The value as a `u64`, if it is numeric.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::Num(n) => Some(*n),
+            JsonScalar::Str(_) => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Num(_) => None,
+            JsonScalar::Str(s) => Some(s),
+        }
+    }
+}
+
+/// Parses a flat JSON object — string keys, unsigned-integer or string
+/// values, no nesting — into `(key, value)` pairs in source order.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>| {
+        while chars.next_if(|&(_, c)| c.is_ascii_whitespace()).is_some() {}
+    };
+    let parse_string =
+        |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>| -> Result<String, String> {
+            match chars.next() {
+                Some((_, '"')) => {}
+                other => return Err(format!("expected '\"', found {other:?}")),
+            }
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some((_, '"')) => return Ok(s),
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, '"')) => s.push('"'),
+                        Some((_, '\\')) => s.push('\\'),
+                        Some((_, '/')) => s.push('/'),
+                        Some((_, 'n')) => s.push('\n'),
+                        Some((_, 'r')) => s.push('\r'),
+                        Some((_, 't')) => s.push('\t'),
+                        Some((_, 'u')) => {
+                            let mut v: u32 = 0;
+                            for _ in 0..4 {
+                                let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                                v = v * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                            }
+                            s.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    },
+                    Some((_, c)) => s.push(c),
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        };
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        other => return Err(format!("expected '{{', found {other:?}")),
+    }
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    if chars.next_if(|&(_, c)| c == '}').is_some() {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            other => return Err(format!("expected ':' after key {key:?}, found {other:?}")),
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some(&(_, '"')) => JsonScalar::Str(parse_string(&mut chars)?),
+            Some(&(_, c)) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some((_, d)) = chars.next_if(|&(_, c)| c.is_ascii_digit()) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as u64 - '0' as u64))
+                        .ok_or_else(|| format!("number overflow in field {key:?}"))?;
+                }
+                JsonScalar::Num(n)
+            }
+            other => return Err(format!("unsupported value for key {key:?}: {other:?}")),
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing input after object: {c:?}"));
+    }
+    Ok(fields)
+}
+
+/// Parses one NDJSON event line into a [`LogicalIoRecord`].
+pub fn parse_event(line: &str) -> Result<LogicalIoRecord, String> {
+    let fields = parse_flat_object(line)?;
+    let mut ts = None;
+    let mut item = None;
+    let mut offset = None;
+    let mut len = None;
+    let mut kind = None;
+    for (key, value) in &fields {
+        match key.as_str() {
+            "ts" => ts = value.as_u64(),
+            "item" => item = value.as_u64(),
+            "offset" => offset = value.as_u64(),
+            "len" => len = value.as_u64(),
+            "kind" => {
+                kind = match value.as_str() {
+                    Some("Read") => Some(IoKind::Read),
+                    Some("Write") => Some(IoKind::Write),
+                    _ => return Err(format!("bad kind {value:?}")),
+                }
+            }
+            _ => {} // Unknown fields are ignored for forward compatibility.
+        }
+    }
+    Ok(LogicalIoRecord {
+        ts: Micros(ts.ok_or("missing field \"ts\"")?),
+        item: DataItemId(
+            u32::try_from(item.ok_or("missing field \"item\"")?)
+                .map_err(|_| "item out of range")?,
+        ),
+        offset: offset.ok_or("missing field \"offset\"")?,
+        len: u32::try_from(len.ok_or("missing field \"len\"")?).map_err(|_| "len out of range")?,
+        kind: kind.ok_or("missing field \"kind\"")?,
+    })
+}
+
+/// Splits the elements of a flat JSON array of objects (no nested arrays),
+/// returning each element's source text. Strings with escapes are handled.
+pub fn split_array_of_objects(s: &str) -> Result<Vec<&str>, String> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("expected a JSON array")?;
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1).ok_or("unbalanced '}'")?;
+                if depth == 0 {
+                    let st = start.take().ok_or("unbalanced '}'")?;
+                    parts.push(&inner[st..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return Err("truncated JSON array".into());
+    }
+    Ok(parts)
+}
+
+/// A streaming reader over NDJSON event lines: yields one record per
+/// non-blank, non-comment (`#`) line, without loading the input into
+/// memory.
+pub struct EventReader<R: BufRead> {
+    inner: R,
+    line: String,
+    lineno: u64,
+}
+
+impl<R: BufRead> EventReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(inner: R) -> Self {
+        EventReader {
+            inner,
+            line: String::new(),
+            lineno: 0,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for EventReader<R> {
+    type Item = std::io::Result<LogicalIoRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.inner.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(e)),
+            }
+            self.lineno += 1;
+            let line = self.line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Some(parse_event(line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", self.lineno),
+                )
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, item: u32, kind: IoKind) -> LogicalIoRecord {
+        LogicalIoRecord {
+            ts: Micros(ts),
+            item: DataItemId(item),
+            offset: 8192,
+            len: 4096,
+            kind,
+        }
+    }
+
+    #[test]
+    fn format_matches_serde_json_layout() {
+        // The literal layout `serde_json` produces for this record; the
+        // hand-rolled writer must stay byte-compatible so traces written
+        // online and offline interoperate.
+        assert_eq!(
+            format_event(&rec(1_000_000, 1, IoKind::Read)),
+            r#"{"ts":1000000,"item":1,"offset":8192,"len":4096,"kind":"Read"}"#
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        for kind in [IoKind::Read, IoKind::Write] {
+            let r = rec(123_456_789, 42, kind);
+            assert_eq!(parse_event(&format_event(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_field_order_and_whitespace() {
+        let r = parse_event(r#" { "kind" : "Write", "len":512, "offset": 0, "item":7, "ts":99 } "#)
+            .unwrap();
+        assert_eq!(r, rec2(99, 7, 0, 512, IoKind::Write));
+    }
+
+    fn rec2(ts: u64, item: u32, offset: u64, len: u32, kind: IoKind) -> LogicalIoRecord {
+        LogicalIoRecord {
+            ts: Micros(ts),
+            item: DataItemId(item),
+            offset,
+            len,
+            kind,
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_event("").is_err());
+        assert!(parse_event("{").is_err());
+        assert!(parse_event(r#"{"ts":1}"#).is_err(), "missing fields");
+        assert!(parse_event(r#"{"ts":1,"item":1,"offset":0,"len":4096,"kind":"Scan"}"#).is_err());
+        assert!(parse_event(r#"{"ts":-5,"item":1,"offset":0,"len":1,"kind":"Read"}"#).is_err());
+        assert!(
+            parse_event(r#"{"ts":1,"item":1,"offset":0,"len":4096,"kind":"Read"}x"#).is_err(),
+            "trailing garbage"
+        );
+    }
+
+    #[test]
+    fn reader_skips_blanks_and_comments() {
+        let input = "# header\n\n{\"ts\":1,\"item\":0,\"offset\":0,\"len\":1,\"kind\":\"Read\"}\n\
+                     {\"ts\":2,\"item\":0,\"offset\":0,\"len\":1,\"kind\":\"Write\"}\n";
+        let recs: Vec<_> = EventReader::new(input.as_bytes())
+            .collect::<std::io::Result<_>>()
+            .unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ts, Micros(1));
+        assert_eq!(recs[1].kind, IoKind::Write);
+    }
+
+    #[test]
+    fn reader_reports_line_numbers() {
+        let input = "{\"ts\":1,\"item\":0,\"offset\":0,\"len\":1,\"kind\":\"Read\"}\nnot json\n";
+        let err = EventReader::new(input.as_bytes())
+            .collect::<std::io::Result<Vec<_>>>()
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn write_events_roundtrip() {
+        let recs = vec![rec(1, 0, IoKind::Read), rec(2, 1, IoKind::Write)];
+        let mut buf = Vec::new();
+        write_events(&recs, &mut buf).unwrap();
+        let back: Vec<_> = EventReader::new(&buf[..])
+            .collect::<std::io::Result<_>>()
+            .unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn split_array_handles_strings_and_whitespace() {
+        let parts =
+            split_array_of_objects("[\n  {\"name\":\"a{b,c}\"},\n  {\"name\":\"d\\\"e\"}\n]")
+                .unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(
+            parse_flat_object(parts[0]).unwrap(),
+            vec![("name".to_string(), JsonScalar::Str("a{b,c}".into()))]
+        );
+        assert_eq!(
+            parse_flat_object(parts[1]).unwrap()[0].1,
+            JsonScalar::Str("d\"e".into())
+        );
+        assert!(split_array_of_objects("{}").is_err());
+        assert_eq!(split_array_of_objects("[]").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

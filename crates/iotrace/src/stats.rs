@@ -117,6 +117,168 @@ impl ItemIntervalStats {
     }
 }
 
+/// Streaming version of [`analyze_item_period`]: folds one I/O at a time
+/// into running Long-Interval / I/O-Sequence / read-ratio state, so an
+/// online controller can classify an item at period rollover without ever
+/// materializing the period's trace.
+///
+/// `analyze_item_period` is defined *in terms of* this builder, so the
+/// batch and incremental paths cannot drift apart: feeding the same I/Os
+/// in timestamp order and closing at the same period end yields the same
+/// [`ItemIntervalStats`] bit for bit.
+///
+/// The period end is only supplied at [`finish`](Self::finish) — an online
+/// period cut short by a §V.D trigger does not know its end in advance.
+#[derive(Debug, Clone)]
+pub struct IntervalBuilder {
+    item: DataItemId,
+    start: Micros,
+    break_even: Micros,
+    long_intervals: Vec<Span>,
+    sequences: Vec<IoSequence>,
+    /// The open sequence, absent until the first I/O.
+    cur: Option<IoSequence>,
+    last_ts: Micros,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl IntervalBuilder {
+    /// Starts a builder for `item` over a period beginning at
+    /// `period_start`.
+    pub fn new(item: DataItemId, period_start: Micros, break_even: Micros) -> Self {
+        IntervalBuilder {
+            item,
+            start: period_start,
+            break_even,
+            long_intervals: Vec::new(),
+            sequences: Vec::new(),
+            cur: None,
+            last_ts: period_start,
+            reads: 0,
+            writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Folds one I/O into the running state. Timestamps must be
+    /// non-decreasing and at or after the period start.
+    pub fn observe(&mut self, ts: Micros, kind: IoKind, len: u32) {
+        debug_assert!(ts >= self.last_ts, "I/Os must arrive in timestamp order");
+        match kind {
+            IoKind::Read => {
+                self.reads += 1;
+                self.bytes_read += len as u64;
+            }
+            IoKind::Write => {
+                self.writes += 1;
+                self.bytes_written += len as u64;
+            }
+        }
+        match self.cur.as_mut() {
+            None => {
+                // Leading gap: if long it is a Long Interval and the first
+                // sequence starts at the first I/O; otherwise the sequence
+                // starts at the period start (Fig. 1, Sequence #1).
+                let leading = ts.saturating_sub(self.start);
+                let mut seq_start = self.start;
+                if leading > self.break_even {
+                    self.long_intervals.push(Span {
+                        start: self.start,
+                        end: ts,
+                    });
+                    seq_start = ts;
+                }
+                let mut seq = IoSequence {
+                    start: seq_start,
+                    end: ts,
+                    reads: 0,
+                    writes: 0,
+                };
+                bump(&mut seq, kind);
+                self.cur = Some(seq);
+            }
+            Some(cur) => {
+                let gap = ts.saturating_sub(self.last_ts);
+                if gap > self.break_even {
+                    self.long_intervals.push(Span {
+                        start: self.last_ts,
+                        end: ts,
+                    });
+                    self.sequences.push(*cur);
+                    let mut seq = IoSequence {
+                        start: ts,
+                        end: ts,
+                        reads: 0,
+                        writes: 0,
+                    };
+                    bump(&mut seq, kind);
+                    *cur = seq;
+                } else {
+                    cur.end = ts;
+                    bump(cur, kind);
+                }
+            }
+        }
+        self.last_ts = ts;
+    }
+
+    /// Total I/Os folded in so far.
+    pub fn observed(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Long Intervals completed so far (the trailing gap, if long, is only
+    /// known at [`finish`](Self::finish)).
+    pub fn long_intervals_so_far(&self) -> usize {
+        self.long_intervals.len()
+    }
+
+    /// Closes the period at `period_end` and returns the item's interval
+    /// statistics — identical to running [`analyze_item_period`] over the
+    /// same I/Os.
+    pub fn finish(mut self, period_end: Micros) -> ItemIntervalStats {
+        let period = Span {
+            start: self.start,
+            end: period_end,
+        };
+        match self.cur {
+            None => {
+                // P0 shape: the whole period is a single Long Interval,
+                // regardless of whether the period itself exceeds the
+                // break-even time — an idle item is always a power-off
+                // candidate.
+                self.long_intervals.push(period);
+            }
+            Some(mut cur) => {
+                let trailing = period.end.saturating_sub(self.last_ts);
+                if trailing > self.break_even {
+                    self.long_intervals.push(Span {
+                        start: self.last_ts,
+                        end: period.end,
+                    });
+                } else {
+                    cur.end = period.end;
+                }
+                self.sequences.push(cur);
+            }
+        }
+        ItemIntervalStats {
+            item: self.item,
+            period,
+            long_intervals: self.long_intervals,
+            sequences: self.sequences,
+            reads: self.reads,
+            writes: self.writes,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+        }
+    }
+}
+
 /// Computes the interval structure of one item's I/Os over a monitoring
 /// period (paper §IV.B steps 1–2).
 ///
@@ -127,6 +289,9 @@ impl ItemIntervalStats {
 /// participate: if long they are Long Intervals, otherwise they extend the
 /// first/last sequence, matching Fig. 1 where Sequence #1 starts at the
 /// beginning of the monitoring period.
+///
+/// This is a fold over [`IntervalBuilder`], the shared sequence-splitting
+/// kernel of the batch and online classifiers.
 pub fn analyze_item_period(
     item: DataItemId,
     ios: &[LogicalIoRecord],
@@ -137,94 +302,11 @@ pub fn analyze_item_period(
         ios.windows(2).all(|w| w[0].ts <= w[1].ts),
         "item I/Os must be in timestamp order"
     );
-
-    let mut stats = ItemIntervalStats {
-        item,
-        period,
-        long_intervals: Vec::new(),
-        sequences: Vec::new(),
-        reads: 0,
-        writes: 0,
-        bytes_read: 0,
-        bytes_written: 0,
-    };
-
-    if ios.is_empty() {
-        // P0 shape: the whole period is a single Long Interval, regardless
-        // of whether the period itself exceeds the break-even time — an
-        // idle item is always a power-off candidate.
-        stats.long_intervals.push(period);
-        return stats;
-    }
-
+    let mut b = IntervalBuilder::new(item, period.start, break_even);
     for io in ios {
-        match io.kind {
-            IoKind::Read => {
-                stats.reads += 1;
-                stats.bytes_read += io.len as u64;
-            }
-            IoKind::Write => {
-                stats.writes += 1;
-                stats.bytes_written += io.len as u64;
-            }
-        }
+        b.observe(io.ts, io.kind, io.len);
     }
-
-    // Leading gap.
-    let first_ts = ios[0].ts;
-    let leading = first_ts.saturating_sub(period.start);
-    let mut seq_start = period.start;
-    if leading > break_even {
-        stats.long_intervals.push(Span {
-            start: period.start,
-            end: first_ts,
-        });
-        seq_start = first_ts;
-    }
-
-    let mut cur = IoSequence {
-        start: seq_start,
-        end: first_ts,
-        reads: 0,
-        writes: 0,
-    };
-    bump(&mut cur, ios[0].kind);
-
-    for w in ios.windows(2) {
-        let (prev, next) = (w[0], w[1]);
-        let gap = next.ts.saturating_sub(prev.ts);
-        if gap > break_even {
-            stats.long_intervals.push(Span {
-                start: prev.ts,
-                end: next.ts,
-            });
-            stats.sequences.push(cur);
-            cur = IoSequence {
-                start: next.ts,
-                end: next.ts,
-                reads: 0,
-                writes: 0,
-            };
-        } else {
-            cur.end = next.ts;
-        }
-        bump(&mut cur, next.kind);
-    }
-
-    // Trailing gap.
-    let last_ts = ios[ios.len() - 1].ts;
-    let trailing = period.end.saturating_sub(last_ts);
-    if trailing > break_even {
-        stats.long_intervals.push(Span {
-            start: last_ts,
-            end: period.end,
-        });
-    } else {
-        cur.end = period.end;
-    }
-    stats.sequences.push(cur);
-
-    stats
+    b.finish(period.end)
 }
 
 fn bump(seq: &mut IoSequence, kind: IoKind) {

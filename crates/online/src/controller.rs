@@ -1,0 +1,176 @@
+//! The streaming management controller: period rollover and §V.D
+//! mid-period re-planning without a full-period trace buffer.
+//!
+//! Wraps the shared planning core ([`ees_core::Planner`]) and trigger
+//! arming ([`ees_core::ArmedTriggers`]) around the
+//! [`IncrementalClassifier`], mirroring the decision flow of the batch
+//! [`EnergyEfficientPolicy`](ees_core::EnergyEfficientPolicy) inside the
+//! replay engine — same classification, same plans, same re-arm points.
+
+use crate::classify::IncrementalClassifier;
+use ees_core::{snapshot_guard, ArmedTriggers, Planner, ProposedConfig};
+use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, Micros, Span};
+use ees_policy::{EnclosureView, ManagementPlan};
+use ees_simstorage::PlacementMap;
+use std::collections::BTreeSet;
+
+/// Why a monitoring period ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloverReason {
+    /// The monitoring period ran to its scheduled end.
+    Boundary,
+    /// A §V.D pattern-change trigger cut it short.
+    Trigger,
+}
+
+/// One management invocation's output, stamped with its period.
+#[derive(Debug, Clone)]
+pub struct PlanEnvelope {
+    /// The monitoring period the plan was derived from.
+    pub period: Span,
+    /// Scheduled boundary or trigger cut.
+    pub reason: RolloverReason,
+    /// The plan to execute.
+    pub plan: ManagementPlan,
+}
+
+/// The online controller: classifies incrementally, plans at rollover,
+/// and watches the §V.D triggers in between.
+pub struct OnlineController {
+    planner: Planner,
+    triggers: ArmedTriggers,
+    classifier: IncrementalClassifier,
+    break_even: Micros,
+    period_start: Micros,
+    period_len: Micros,
+    periods: u64,
+    trigger_cuts: u64,
+}
+
+impl OnlineController {
+    /// Creates a controller with the given policy configuration on a
+    /// storage unit with the given break-even time. The first period
+    /// starts at `t = 0`.
+    pub fn new(cfg: ProposedConfig, break_even: Micros) -> Self {
+        let guard = snapshot_guard(cfg.initial_period);
+        let period_len = cfg.initial_period.max(Micros(1));
+        OnlineController {
+            classifier: IncrementalClassifier::new(Micros::ZERO, break_even),
+            planner: Planner::new(cfg),
+            triggers: ArmedTriggers::new(guard),
+            break_even,
+            period_start: Micros::ZERO,
+            period_len,
+            periods: 0,
+            trigger_cuts: 0,
+        }
+    }
+
+    /// Start of the running period.
+    pub fn period_start(&self) -> Micros {
+        self.period_start
+    }
+
+    /// Scheduled end of the running period.
+    pub fn boundary(&self) -> Micros {
+        self.period_start + self.period_len
+    }
+
+    /// Whether a record at `ts` lies at or past the scheduled boundary —
+    /// call [`rollover`](Self::rollover) (possibly repeatedly) until this
+    /// is false before observing the record.
+    pub fn needs_rollover(&self, ts: Micros) -> bool {
+        ts >= self.boundary()
+    }
+
+    /// Periods closed so far.
+    pub fn periods(&self) -> u64 {
+        self.periods
+    }
+
+    /// How many of those were cut short by a trigger.
+    pub fn trigger_cuts(&self) -> u64 {
+        self.trigger_cuts
+    }
+
+    /// The accumulated monitoring history (pattern mixes, §VI.C
+    /// stability).
+    pub fn history(&self) -> &ees_core::MonitorHistory {
+        self.planner.history()
+    }
+
+    /// Folds one logical record into the running classification. Call
+    /// before serving the record, exactly as the batch engine buffers a
+    /// record before routing it.
+    pub fn observe(&mut self, rec: &LogicalIoRecord) {
+        self.classifier.observe(rec);
+    }
+
+    /// Feeds the served record's enclosure to the §V.D triggers; `true`
+    /// means a trigger fired and the caller should invoke
+    /// [`rollover`](Self::rollover) at `t` (if `t` is past the period
+    /// start).
+    pub fn observe_io_event(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        self.triggers.observe_io(t, enclosure)
+    }
+
+    /// Feeds a spin-up to the §V.D triggers; `true` as above.
+    pub fn observe_spin_up(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        self.triggers.observe_spin_up(t, enclosure)
+    }
+
+    /// Closes the period at `t_end`: emits reports from the running
+    /// classification, plans, re-arms the triggers, and starts the next
+    /// period. `placement`, `sequential`, and `views` describe the storage
+    /// side at the cut (the views must cover the closing period).
+    pub fn rollover(
+        &mut self,
+        t_end: Micros,
+        reason: RolloverReason,
+        placement: &PlacementMap,
+        sequential: &BTreeSet<DataItemId>,
+        views: &[EnclosureView],
+    ) -> PlanEnvelope {
+        let period = Span {
+            start: self.period_start,
+            end: t_end,
+        };
+        // Same random-equivalence factor the batch analysis derives from
+        // the first enclosure view.
+        let seq_factor = views
+            .first()
+            .map(|e| {
+                if e.max_seq_iops > 0.0 {
+                    e.max_iops / e.max_seq_iops
+                } else {
+                    1.0
+                }
+            })
+            .unwrap_or(1.0);
+        let mut reports = self
+            .classifier
+            .rollover(t_end, placement, sequential, seq_factor);
+        let outcome = self
+            .planner
+            .plan(period, self.break_even, &mut reports, views);
+        self.triggers.rearm(
+            self.break_even,
+            t_end,
+            outcome.hot_with_p3,
+            outcome.cold_count,
+        );
+        if let Some(next) = outcome.plan.next_period {
+            self.period_len = next.max(Micros(1));
+        }
+        self.period_start = t_end;
+        self.periods += 1;
+        if reason == RolloverReason::Trigger {
+            self.trigger_cuts += 1;
+        }
+        PlanEnvelope {
+            period,
+            reason,
+            plan: outcome.plan,
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The colocated daemon: the online controller driving the same
+//! storage-side harness the batch replay engine uses.
+//!
+//! [`ColocatedDaemon::step`] mirrors the replay engine's per-record flow
+//! exactly — boundary rollovers *before* the record, classification
+//! *before* serving, trigger events *after* serving (spin-up first), a
+//! trigger cut only when `t` is strictly past the period start — so a
+//! daemon fed a workload's NDJSON stream produces the same plan sequence,
+//! period for period, as `ees_replay::run` over the same workload. The
+//! `equivalence` test suite asserts this plan-for-plan.
+
+use crate::controller::{OnlineController, PlanEnvelope, RolloverReason};
+use ees_core::ProposedConfig;
+use ees_iotrace::{LogicalIoRecord, Micros};
+use ees_replay::{CatalogItem, StreamHarness};
+use ees_simstorage::StorageConfig;
+
+/// Run-level counters reported when the stream ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineSummary {
+    /// Stream end (time the meters were settled at).
+    pub duration: Micros,
+    /// Logical records processed.
+    pub events: u64,
+    /// Management invocations (scheduled + trigger cuts).
+    pub periods: u64,
+    /// How many invocations were §V.D trigger cuts.
+    pub trigger_cuts: u64,
+    /// Mean storage-unit power over the run, in watts.
+    pub avg_power_watts: f64,
+    /// Enclosure spin-ups over the run.
+    pub spin_ups: u64,
+    /// Mean response time across all served records.
+    pub avg_response: Micros,
+}
+
+/// The online controller colocated with (a simulation of) the storage
+/// unit it manages: events in, plans out, applied in place.
+pub struct ColocatedDaemon {
+    harness: StreamHarness,
+    controller: OnlineController,
+    events: u64,
+    response_sum: f64,
+    last_ts: Micros,
+}
+
+impl ColocatedDaemon {
+    /// Builds the daemon over `items` on a storage unit from `cfg` with
+    /// `num_enclosures` enclosures.
+    pub fn new(
+        items: &[CatalogItem],
+        num_enclosures: u16,
+        storage: &StorageConfig,
+        policy: ProposedConfig,
+    ) -> Self {
+        let harness = StreamHarness::new(items, num_enclosures, storage);
+        let break_even = harness.break_even();
+        Self::from_parts(harness, policy, break_even)
+    }
+
+    /// Like [`new`](Self::new), but classifies and arms triggers against
+    /// an explicit break-even time instead of the one derived from the
+    /// storage model (`ees online --break-even`).
+    pub fn with_break_even(
+        items: &[CatalogItem],
+        num_enclosures: u16,
+        storage: &StorageConfig,
+        policy: ProposedConfig,
+        break_even: Micros,
+    ) -> Self {
+        let harness = StreamHarness::new(items, num_enclosures, storage);
+        Self::from_parts(harness, policy, break_even)
+    }
+
+    fn from_parts(harness: StreamHarness, policy: ProposedConfig, break_even: Micros) -> Self {
+        let controller = OnlineController::new(policy, break_even);
+        ColocatedDaemon {
+            harness,
+            controller,
+            events: 0,
+            response_sum: 0.0,
+            last_ts: Micros::ZERO,
+        }
+    }
+
+    /// The controller (period counters, monitoring history).
+    pub fn controller(&self) -> &OnlineController {
+        &self.controller
+    }
+
+    /// The storage-side harness (placement, power meters).
+    pub fn harness(&self) -> &StreamHarness {
+        &self.harness
+    }
+
+    fn invoke(&mut self, t_end: Micros, reason: RolloverReason) -> PlanEnvelope {
+        self.harness.refresh_views();
+        let envelope = self.controller.rollover(
+            t_end,
+            reason,
+            self.harness.placement(),
+            self.harness.sequential(),
+            self.harness.views(),
+        );
+        self.harness.apply_plan(t_end, &envelope.plan);
+        self.harness.begin_period();
+        envelope
+    }
+
+    /// Processes one logical record; returns the plans this record caused
+    /// (zero or more scheduled boundaries it crossed, plus at most one
+    /// trigger cut).
+    pub fn step(&mut self, rec: LogicalIoRecord) -> Vec<PlanEnvelope> {
+        let mut plans = Vec::new();
+        // Period boundaries at or before this record.
+        while self.controller.needs_rollover(rec.ts) {
+            let t_end = self.controller.boundary();
+            plans.push(self.invoke(t_end, RolloverReason::Boundary));
+        }
+
+        let t = rec.ts;
+        self.last_ts = self.last_ts.max(t);
+        self.events += 1;
+        self.controller.observe(&rec);
+        let served = self.harness.serve(rec);
+        self.response_sum += served.response.as_secs_f64();
+
+        // Stream events; either may cut the period short (§V.D).
+        let mut invoke_now = false;
+        if served.spun_up {
+            invoke_now |= self.controller.observe_spin_up(t, served.enclosure);
+        }
+        invoke_now |= self.controller.observe_io_event(t, served.enclosure);
+        if invoke_now && t > self.controller.period_start() {
+            plans.push(self.invoke(t, RolloverReason::Trigger));
+        }
+        plans
+    }
+
+    /// Ends the stream at `end` (defaults to the last record's timestamp
+    /// when `None`), settles the power meters, and reports the run.
+    pub fn finish(mut self, end: Option<Micros>) -> OnlineSummary {
+        let end = end.unwrap_or(self.last_ts);
+        self.harness.finish(end);
+        let controller = self.harness.controller();
+        OnlineSummary {
+            duration: end,
+            events: self.events,
+            periods: self.controller.periods(),
+            trigger_cuts: self.controller.trigger_cuts(),
+            avg_power_watts: controller.average_watts(end),
+            spin_ups: controller.total_spin_ups(),
+            avg_response: Micros::from_secs_f64(self.response_sum / self.events.max(1) as f64),
+        }
+    }
+}

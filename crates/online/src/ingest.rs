@@ -1,0 +1,127 @@
+//! Bounded-channel event ingestion: an NDJSON reader thread feeding a
+//! consumer through an explicit backpressure policy.
+//!
+//! The producer parses one event per line
+//! ([`ees_iotrace::ndjson::EventReader`]) and pushes into a bounded
+//! queue. When the consumer (the daemon applying plans, or a migration
+//! stalling it) falls behind, the queue fills and the configured
+//! [`OverflowPolicy`] decides: **block** the producer (lossless, the
+//! default — correct when replaying a file) or **drop the newest** event
+//! (bounded memory and latency — what a live tap must do, since blocking
+//! the tapped application would defeat the point of *cooperating* with
+//! it). Drops are counted, never silent.
+
+use ees_iotrace::ndjson::EventReader;
+use ees_iotrace::LogicalIoRecord;
+use std::io::BufRead;
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::thread::JoinHandle;
+
+/// What the producer does when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Wait for the consumer: every event is delivered, the producer
+    /// stalls.
+    #[default]
+    Block,
+    /// Discard the incoming event and count it: the producer never
+    /// stalls, the consumer sees a gap.
+    DropNewest,
+}
+
+/// Producer-side counters, returned when the reader thread finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Events parsed and delivered into the queue.
+    pub accepted: u64,
+    /// Events discarded by [`OverflowPolicy::DropNewest`].
+    pub dropped: u64,
+}
+
+/// Spawns the reader thread: parses NDJSON events from `input` and feeds
+/// a queue of `capacity` records under `policy`. Returns the consumer
+/// end and the thread handle, whose result carries the ingest counters
+/// (or the first I/O / parse error, with its line number).
+pub fn spawn_reader<R>(
+    input: R,
+    capacity: usize,
+    policy: OverflowPolicy,
+) -> (
+    Receiver<LogicalIoRecord>,
+    JoinHandle<std::io::Result<IngestStats>>,
+)
+where
+    R: BufRead + Send + 'static,
+{
+    let (tx, rx) = sync_channel::<LogicalIoRecord>(capacity.max(1));
+    let handle = std::thread::spawn(move || {
+        let mut stats = IngestStats::default();
+        for rec in EventReader::new(input) {
+            let rec = rec?;
+            match policy {
+                OverflowPolicy::Block => {
+                    if tx.send(rec).is_err() {
+                        // Consumer hung up: stop reading.
+                        break;
+                    }
+                    stats.accepted += 1;
+                }
+                OverflowPolicy::DropNewest => match tx.try_send(rec) {
+                    Ok(()) => stats.accepted += 1,
+                    Err(TrySendError::Full(_)) => stats.dropped += 1,
+                    Err(TrySendError::Disconnected(_)) => break,
+                },
+            }
+        }
+        Ok(stats)
+    });
+    (rx, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn line(ts: u64) -> String {
+        format!("{{\"ts\":{ts},\"item\":1,\"offset\":0,\"len\":4096,\"kind\":\"Read\"}}\n")
+    }
+
+    #[test]
+    fn blocking_ingest_delivers_everything_in_order() {
+        let input: String = (0..100).map(|i| line(i * 1000)).collect();
+        let (rx, handle) = spawn_reader(Cursor::new(input), 4, OverflowPolicy::Block);
+        let got: Vec<LogicalIoRecord> = rx.iter().collect();
+        assert_eq!(got.len(), 100);
+        assert!(got.windows(2).all(|w| w[0].ts <= w[1].ts));
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(
+            stats,
+            IngestStats {
+                accepted: 100,
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn drop_newest_bounds_the_queue_and_counts_drops() {
+        // Consumer never reads until the producer finishes: with a
+        // 4-slot queue at most 4 events can be accepted.
+        let input: String = (0..100).map(|i| line(i * 1000)).collect();
+        let (rx, handle) = spawn_reader(Cursor::new(input), 4, OverflowPolicy::DropNewest);
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(stats.accepted, 4);
+        assert_eq!(stats.dropped, 96);
+        assert_eq!(rx.iter().count(), 4);
+    }
+
+    #[test]
+    fn parse_errors_reach_the_join_handle() {
+        let input = "{\"ts\":1,\"item\":1,\"offset\":0,\"len\":4096,\"kind\":\"Read\"}\nnot json\n";
+        let (rx, handle) = spawn_reader(Cursor::new(input.to_string()), 4, OverflowPolicy::Block);
+        assert_eq!(rx.iter().count(), 1, "the valid first line is delivered");
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

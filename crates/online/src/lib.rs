@@ -1,0 +1,38 @@
+//! # ees-online
+//!
+//! The online controller subsystem: runs the paper's management function
+//! against a **live event stream** instead of a replayed, fully buffered
+//! trace.
+//!
+//! Three layers, composable or separable:
+//!
+//! * [`IncrementalClassifier`] — per-item streaming state machines that
+//!   fold one logical record at a time into running Long-Interval /
+//!   I/O-Sequence / read-ratio state, and at period rollover emit exactly
+//!   the P0–P3 reports the batch analysis
+//!   ([`ees_core::analyze_snapshot`]) computes from a buffered period
+//!   (property-tested equivalence);
+//! * [`OnlineController`] — wraps the shared planning core
+//!   ([`ees_core::Planner`]) and §V.D trigger arming
+//!   ([`ees_core::ArmedTriggers`]) around the classifier: rolls periods
+//!   without materializing a trace, fires mid-period re-planning on
+//!   pattern-change triggers, and emits [`PlanEnvelope`]s;
+//! * [`ColocatedDaemon`] — couples the controller to the storage-side
+//!   [`ees_replay::StreamHarness`] (the same plan-execution and serve
+//!   path the batch engine uses), so an online run is plan-for-plan
+//!   identical to `ees_replay::run` on the same input;
+//! * [`ingest`] — the NDJSON event front-end: a bounded-channel reader
+//!   thread with an explicit backpressure policy
+//!   ([`OverflowPolicy`]), surfaced on the command line as `ees online`.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod controller;
+pub mod daemon;
+pub mod ingest;
+
+pub use classify::IncrementalClassifier;
+pub use controller::{OnlineController, PlanEnvelope, RolloverReason};
+pub use daemon::{ColocatedDaemon, OnlineSummary};
+pub use ingest::{spawn_reader, IngestStats, OverflowPolicy};

@@ -16,23 +16,26 @@
 //!   placement map to an enclosure, accounts the response, and streams
 //!   events to the policy so the §V.D triggers can cut a period short.
 //!
+//! The storage-side mechanics (cache routing, plan execution, per-period
+//! enclosure views) live in [`StreamHarness`](crate::StreamHarness),
+//! shared with the `ees-online` colocated daemon; this module adds the
+//! batch side: full-period monitoring buffers, the snapshot hand-off, and
+//! run-level reporting.
+//!
 //! Simplifications versus real hardware, shared by every policy: the
 //! placement map is updated at migration *submission* (the bulk transfer
 //! still occupies both enclosures for its duration), and bulk cache loads
 //! do not emit policy events.
 
 use crate::metrics::RunReport;
+use crate::stream::{CatalogItem, StreamHarness};
 use ees_iotrace::{
-    gaps_with_bounds, DataItemId, EnclosureId, IntervalCdf, IoKind, LatencyHistogram,
-    LogicalIoRecord, Micros, PhysicalIoRecord, Span,
+    gaps_with_bounds, IntervalCdf, LatencyHistogram, LogicalIoRecord, Micros, PhysicalIoRecord,
+    Span,
 };
-use ees_policy::{
-    EnclosureView, MonitorSnapshot, PolicyReaction, PowerPolicy, RuntimeEvent,
-    REDIRECT_EXTENT_BYTES,
-};
-use ees_simstorage::{Access, PlacementMap, StorageConfig, StorageController};
+use ees_policy::{MonitorSnapshot, PolicyReaction, PowerPolicy, RuntimeEvent};
+use ees_simstorage::{PlacementMap, StorageConfig};
 use ees_workloads::Workload;
-use std::collections::{BTreeSet, HashMap};
 
 /// Engine options beyond the storage configuration.
 #[derive(Debug, Clone, Default)]
@@ -62,39 +65,17 @@ pub fn run(
     engine.finish(policy)
 }
 
-/// Sentinel in the dense item → enclosure mirror for unplaced items.
-const NO_HOME: u16 = u16::MAX;
-
 /// All mutable replay state.
 struct Engine<'w> {
     workload: &'w Workload,
-    controller: StorageController,
-    placement: PlacementMap,
-    /// Dense item-id → access pattern (item ids are dense `u32`s within
-    /// a workload), replacing a per-record `BTreeMap` lookup.
-    item_access: Vec<Access>,
-    /// Dense item-id → home enclosure mirror of `placement`, kept in
-    /// sync at migration time; `NO_HOME` marks unplaced ids.
-    item_home: Vec<u16>,
-    /// Items the Storage Monitor reports as sequential streams.
-    sequential: BTreeSet<DataItemId>,
-    break_even: Micros,
+    harness: StreamHarness,
 
     // §III monitoring buffers, one period at a time.
     logical_buf: Vec<LogicalIoRecord>,
     physical_buf: Vec<PhysicalIoRecord>,
-    /// Dense enclosure-id → I/Os served this period.
-    served_in_period: Vec<u64>,
-    spin_up_baseline: Vec<u64>,
-    /// Snapshot views, reused across period boundaries.
-    views_buf: Vec<EnclosureView>,
 
     // Whole-run per-enclosure physical I/O timestamps (Fig. 17–19).
     enc_timestamps: Vec<Vec<Micros>>,
-
-    // Extent redirects installed by block-granular policies:
-    // (item, extent) → (current enclosure, bytes moved there).
-    redirects: HashMap<(DataItemId, u64), (EnclosureId, u64)>,
 
     // Response accounting.
     response_windows: Vec<Span>,
@@ -120,42 +101,21 @@ impl<'w> Engine<'w> {
         options: &ReplayOptions,
         policy: &mut dyn PowerPolicy,
     ) -> Self {
-        let mut cfg = *cfg;
-        cfg.num_enclosures = workload.num_enclosures;
-        let mut controller = StorageController::new(&cfg);
-        for item in &workload.items {
-            controller
-                .enclosure_mut(item.enclosure)
-                .place_bytes(item.size);
-        }
-        let sequential: BTreeSet<DataItemId> = workload
+        let catalog: Vec<CatalogItem> = workload
             .items
             .iter()
-            .filter(|i| i.access == Access::Sequential)
-            .map(|i| i.id)
+            .map(|i| CatalogItem {
+                id: i.id,
+                size: i.size,
+                enclosure: i.enclosure,
+                access: i.access,
+            })
             .collect();
-        let max_item = workload.items.iter().map(|i| i.id.0 as usize).max();
-        let dense_len = max_item.map_or(0, |m| m + 1);
-        let mut item_access = vec![Access::Random; dense_len];
-        let mut item_home = vec![NO_HOME; dense_len];
-        for item in &workload.items {
-            item_access[item.id.0 as usize] = item.access;
-            item_home[item.id.0 as usize] = item.enclosure.0;
-        }
         Engine {
-            controller,
-            placement: workload.initial_placement(),
-            item_access,
-            item_home,
-            sequential,
-            break_even: cfg.enclosure.power.break_even_time(),
+            harness: StreamHarness::new(&catalog, workload.num_enclosures, cfg),
             logical_buf: Vec::new(),
             physical_buf: Vec::new(),
-            served_in_period: vec![0; workload.num_enclosures as usize],
-            spin_up_baseline: vec![0; workload.num_enclosures as usize],
-            views_buf: Vec::with_capacity(workload.num_enclosures as usize),
             enc_timestamps: vec![Vec::new(); workload.num_enclosures as usize],
-            redirects: HashMap::new(),
             response_windows: options.response_windows.clone(),
             window_sums: vec![(0.0, 0); options.response_windows.len()],
             response_sum: 0.0,
@@ -171,47 +131,26 @@ impl<'w> Engine<'w> {
         }
     }
 
-    /// Refills the reusable per-enclosure view buffer for the current
-    /// period.
-    fn refresh_enclosure_views(&mut self) {
-        self.views_buf.clear();
-        for id in self.controller.enclosure_ids() {
-            let e = self.controller.enclosure(id);
-            self.views_buf.push(EnclosureView {
-                id,
-                capacity: e.config().capacity_bytes,
-                used: e.used_bytes(),
-                max_iops: e.config().service.max_random_iops,
-                max_seq_iops: e.config().service.max_seq_iops,
-                served_ios: self.served_in_period[id.0 as usize],
-                spin_ups: e
-                    .stats()
-                    .spin_ups
-                    .saturating_sub(self.spin_up_baseline[id.0 as usize]),
-            });
-        }
-    }
-
     /// Ends the monitoring period at `t_end`: snapshot → policy → execute
     /// the plan (the run-time power-saving method of §V).
     fn invoke_management(&mut self, t_end: Micros, policy: &mut dyn PowerPolicy) {
-        self.refresh_enclosure_views();
+        self.harness.refresh_views();
         // Budget for plan validation is the cache partition: the
         // engine's own contract with set_preload.
         #[cfg(debug_assertions)]
-        let budget = self.controller.cache().config().preload_bytes;
+        let budget = self.harness.preload_budget();
 
         let snapshot = MonitorSnapshot {
             period: Span {
                 start: self.period_start,
                 end: t_end,
             },
-            break_even: self.break_even,
+            break_even: self.harness.break_even(),
             logical: &self.logical_buf,
             physical: &self.physical_buf,
-            placement: &self.placement,
-            enclosures: &self.views_buf,
-            sequential: &self.sequential,
+            placement: self.harness.placement(),
+            enclosures: self.harness.views(),
+            sequential: self.harness.sequential(),
         };
         let plan = policy.on_period_end(&snapshot);
 
@@ -224,125 +163,16 @@ impl<'w> Engine<'w> {
         self.determinations += plan.determinations;
         self.periods += 1;
 
-        // 1. Power-off eligibility.
-        for (id, eligible) in &plan.power_off_eligible {
-            self.controller
-                .enclosure_mut(*id)
-                .set_eligible_off(t_end, *eligible);
-        }
-        // 2. Item migrations, in plan order (§V.A). A migration whose
-        // target lacks free capacity *right now* is dropped — a policy
-        // whose plan ordering is infeasible (PDC recomputes a global
-        // layout without sequencing the moves) simply converges over more
-        // periods, as a real array would defer the transfer.
-        for m in &plan.migrations {
-            let Some(from) = self.placement.enclosure_of(m.item) else {
-                continue;
-            };
-            if from == m.to {
-                continue;
-            }
-            let size = self.placement.size_of(m.item).unwrap_or(0);
-            // Extent bytes already redirected onto the target are
-            // resident there and need no new free space; counting them
-            // against the target would wrongly drop a move that merely
-            // consolidates the item's own redirected extents.
-            let already_on_target: u64 = self
-                .redirects
-                .iter()
-                .filter(|(&(item, _), &(loc, _))| item == m.item && loc == m.to)
-                .map(|(_, &(_, bytes))| bytes)
-                .sum();
-            if size.saturating_sub(already_on_target) > self.controller.enclosure(m.to).free_bytes()
-            {
-                continue;
-            }
-            // Extents previously redirected elsewhere travel from their
-            // actual homes; the remainder comes from the item's home
-            // enclosure. A whole-item move supersedes the redirects.
-            let mut redirected_total: u64 = 0;
-            let mut extent_moves: Vec<(EnclosureId, u64)> = Vec::new();
-            self.redirects.retain(|&(item, _), &mut (loc, bytes)| {
-                if item == m.item {
-                    redirected_total += bytes;
-                    extent_moves.push((loc, bytes));
-                    false
-                } else {
-                    true
-                }
-            });
-            for (loc, bytes) in extent_moves {
-                if loc != m.to && bytes > 0 {
-                    self.controller.migrate(t_end, loc, m.to, bytes);
-                }
-            }
-            let remainder = size.saturating_sub(redirected_total);
-            if remainder > 0 {
-                self.controller.migrate(t_end, from, m.to, remainder);
-            }
-            self.placement.move_item(m.item, m.to);
-            self.item_home[m.item.0 as usize] = m.to.0;
-        }
-        // 3. Extent redirects (block-granular policies).
-        for r in &plan.extent_redirects {
-            let current = self
-                .redirects
-                .get(&(r.item, r.extent))
-                .map(|&(loc, _)| loc)
-                .or_else(|| self.placement.enclosure_of(r.item));
-            let Some(from) = current else { continue };
-            if from == r.to || r.bytes == 0 {
-                continue;
-            }
-            if r.bytes > self.controller.enclosure(r.to).free_bytes() {
-                continue;
-            }
-            self.controller.migrate(t_end, from, r.to, r.bytes);
-            self.redirects.insert((r.item, r.extent), (r.to, r.bytes));
-        }
-        // 4. Write-delay set; departing items' dirty bytes flush now.
-        let flush = self
-            .controller
-            .cache_mut()
-            .set_write_delay(plan.write_delay.clone());
-        self.run_flush(t_end, flush);
-        // 5. Preload set; newly selected items load from their enclosures.
-        let to_load = self
-            .controller
-            .cache_mut()
-            .set_preload(plan.preload.clone());
-        for (item, size) in to_load {
-            if let Some(enc) = self.placement.enclosure_of(item) {
-                self.controller
-                    .enclosure_mut(enc)
-                    .bulk_transfer(t_end, size, IoKind::Read);
-            }
-        }
-        // 6. Next period.
+        self.harness.apply_plan(t_end, &plan);
+
+        // Next period.
         if let Some(next) = plan.next_period {
             self.period_len = next.max(Micros(1));
         }
         self.period_start = t_end;
         self.logical_buf.clear();
         self.physical_buf.clear();
-        self.served_in_period.fill(0);
-        for i in 0..self.spin_up_baseline.len() {
-            self.spin_up_baseline[i] = self
-                .controller
-                .enclosure(EnclosureId(i as u16))
-                .stats()
-                .spin_ups;
-        }
-    }
-
-    fn run_flush(&mut self, t: Micros, flush: Vec<(DataItemId, u64)>) {
-        for (item, bytes) in flush {
-            if let Some(enc) = self.placement.enclosure_of(item) {
-                self.controller
-                    .enclosure_mut(enc)
-                    .bulk_transfer(t, bytes, IoKind::Write);
-            }
-        }
+        self.harness.begin_period();
     }
 
     /// Replays one logical record.
@@ -355,50 +185,9 @@ impl<'w> Engine<'w> {
 
         let t = rec.ts;
         self.logical_buf.push(rec);
-        // Dense home lookup; the redirect map is only consulted while a
-        // block-granular policy actually has redirects installed.
-        let home = self
-            .item_home
-            .get(rec.item.0 as usize)
-            .copied()
-            .filter(|&h| h != NO_HOME)
-            .expect("trace references an unplaced item");
-        let enclosure = if self.redirects.is_empty() {
-            EnclosureId(home)
-        } else {
-            let extent = rec.offset / REDIRECT_EXTENT_BYTES;
-            self.redirects
-                .get(&(rec.item, extent))
-                .map(|&(loc, _)| loc)
-                .unwrap_or(EnclosureId(home))
-        };
-
-        // Route through the cache; fall through to a physical I/O.
-        let mut response: Option<Micros> = None;
-        let mut spun_up = false;
-        match rec.kind {
-            IoKind::Read => {
-                if self
-                    .controller
-                    .cache_mut()
-                    .read_lookup(rec.item, rec.offset)
-                {
-                    response = Some(self.controller.cache().hit_latency());
-                }
-            }
-            IoKind::Write => {
-                if self.controller.cache().is_write_delayed(rec.item) {
-                    let flush = self.controller.cache_mut().buffer_write(rec.item, rec.len);
-                    response = Some(self.controller.cache().hit_latency());
-                    if let Some(set) = flush {
-                        self.run_flush(t, set);
-                    }
-                }
-            }
-        }
-        let response = response.unwrap_or_else(|| {
-            let acc = self.item_access[rec.item.0 as usize];
-            let out = self.controller.submit(t, enclosure, rec.len, rec.kind, acc);
+        let served = self.harness.serve(rec);
+        let enclosure = served.enclosure;
+        if served.physical {
             self.physical_buf.push(PhysicalIoRecord {
                 ts: t,
                 enclosure,
@@ -406,34 +195,22 @@ impl<'w> Engine<'w> {
                 len: rec.len,
                 kind: rec.kind,
             });
-            self.served_in_period[enclosure.0 as usize] += 1;
             self.enc_timestamps[enclosure.0 as usize].push(t);
-            spun_up = out.triggered_spin_up;
-            if out.triggered_spin_up {
-                out.response
-            } else {
-                // Stall coalescing: open-loop replay stacks every I/O that
-                // arrives during a spin-up behind the same 15 s stall. A
-                // real (closed-loop) application would simply issue them
-                // later, so only the I/O that *triggered* the spin-up is
-                // charged the power wait.
-                out.response.saturating_sub(out.power_wait)
-            }
-        });
+        }
 
         // Response accounting.
-        let rsecs = response.as_secs_f64();
+        let rsecs = served.response.as_secs_f64();
         if self.debug_tail && rsecs > 100.0 {
             eprintln!(
                 "TAIL t={} item={} enclosure={} kind={:?} resp={}",
-                t, rec.item, enclosure, rec.kind, response
+                t, rec.item, enclosure, rec.kind, served.response
             );
         }
         self.response_sum += rsecs;
         if rec.kind.is_read() {
             self.reads += 1;
             self.read_response_sum += rsecs;
-            self.read_latency.record(response);
+            self.read_latency.record(served.response);
             // Credit every containing window: windows may overlap, and
             // each window's sum must be complete on its own.
             for (wi, w) in self.response_windows.iter().enumerate() {
@@ -446,7 +223,7 @@ impl<'w> Engine<'w> {
 
         // Stream events; either may cut the period short (§V.D).
         let mut invoke_now = false;
-        if spun_up {
+        if served.spun_up {
             invoke_now |= policy.on_event(&RuntimeEvent::SpinUp { t, enclosure })
                 == PolicyReaction::InvokeNow;
         }
@@ -463,9 +240,7 @@ impl<'w> Engine<'w> {
     /// Closes the run and builds the report.
     fn finish(mut self, policy: &mut dyn PowerPolicy) -> RunReport {
         let end = self.workload.duration;
-        let final_flush = self.controller.cache_mut().flush_all();
-        self.run_flush(end, final_flush);
-        self.controller.finish(end);
+        self.harness.finish(end);
 
         // Fig. 17–19: enclosure-level gaps above the break-even time.
         let run_span = Span {
@@ -476,7 +251,7 @@ impl<'w> Engine<'w> {
             .enc_timestamps
             .iter()
             .flat_map(|ts| gaps_with_bounds(ts, run_span));
-        let interval_cdf = IntervalCdf::from_intervals(all_gaps, self.break_even);
+        let interval_cdf = IntervalCdf::from_intervals(all_gaps, self.harness.break_even());
 
         let total_ios = self.workload.trace.len() as u64;
         let physical_ios: u64 = self.enc_timestamps.iter().map(|v| v.len() as u64).sum();
@@ -487,13 +262,13 @@ impl<'w> Engine<'w> {
         // min and max are exact).
         let pct = |q: f64| self.read_latency.quantile(q).unwrap_or(Micros::ZERO);
         let read_percentiles = (pct(0.5), pct(0.95), pct(0.99), pct(1.0));
-        let enclosures = self
-            .controller
+        let controller = self.harness.controller();
+        let enclosures = controller
             .enclosure_ids()
             .collect::<Vec<_>>()
             .into_iter()
             .map(|id| {
-                let e = self.controller.enclosure(id);
+                let e = controller.enclosure(id);
                 let m = e.meter();
                 crate::metrics::EnclosureSummary {
                     id,
@@ -515,21 +290,21 @@ impl<'w> Engine<'w> {
             duration: end,
             total_ios,
             reads: self.reads,
-            avg_power_watts: self.controller.average_watts(end),
-            enclosure_avg_watts: self.controller.enclosure_average_watts(end),
+            avg_power_watts: controller.average_watts(end),
+            enclosure_avg_watts: controller.enclosure_average_watts(end),
             avg_response: Micros::from_secs_f64(self.response_sum / total_ios.max(1) as f64),
             avg_read_response: Micros::from_secs_f64(
                 self.read_response_sum / self.reads.max(1) as f64,
             ),
             read_response_sum_secs: self.read_response_sum,
-            migrated_bytes: self.controller.migrated_bytes(),
+            migrated_bytes: controller.migrated_bytes(),
             determinations: self.determinations,
             periods: self.periods,
-            spin_ups: self.controller.total_spin_ups(),
+            spin_ups: controller.total_spin_ups(),
             throughput_iops: total_ios as f64 / dur_secs,
             interval_cdf,
             window_read_sums: self.window_sums,
-            cache_counters: self.controller.cache().counters(),
+            cache_counters: controller.cache().counters(),
             physical_ios,
             enclosures,
             read_percentiles,

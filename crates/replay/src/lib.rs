@@ -11,6 +11,7 @@
 pub mod appmetrics;
 pub mod engine;
 pub mod metrics;
+pub mod stream;
 
 pub use appmetrics::{
     tpcc_throughput, tpcc_throughput_from_reports, tpch_query_response,
@@ -18,3 +19,4 @@ pub use appmetrics::{
 };
 pub use engine::{run, ReplayOptions};
 pub use metrics::{nearest_rank, EnclosureSummary, RunReport};
+pub use stream::{CatalogItem, ServedIo, StreamHarness};

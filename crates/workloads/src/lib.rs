@@ -32,4 +32,4 @@ pub use mix::colocate;
 pub use msr::{import as import_msr, MsrImportError, MsrImportOptions};
 pub use nurand::{NuRand, WeightedPick};
 pub use oltp::OltpParams;
-pub use spec::{DataItemSpec, ItemKind, Workload};
+pub use spec::{items_from_json, items_to_json, DataItemSpec, ItemKind, Workload};

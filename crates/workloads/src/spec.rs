@@ -1,5 +1,6 @@
 //! Workload and data-item specifications (the paper's Table I).
 
+use ees_iotrace::ndjson::{json_escape, parse_flat_object, split_array_of_objects};
 use ees_iotrace::{DataItemId, EnclosureId, LogicalTrace, VolumeId};
 use ees_simstorage::{Access, PlacementMap};
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,117 @@ pub struct DataItemSpec {
     pub kind: ItemKind,
     /// Whether the item's I/O is served sequentially or randomly.
     pub access: Access,
+}
+
+impl ItemKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            ItemKind::File => "File",
+            ItemKind::Table => "Table",
+            ItemKind::Index => "Index",
+            ItemKind::Log => "Log",
+            ItemKind::WorkFile => "WorkFile",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ItemKind> {
+        Some(match s {
+            "File" => ItemKind::File,
+            "Table" => ItemKind::Table,
+            "Index" => ItemKind::Index,
+            "Log" => ItemKind::Log,
+            "WorkFile" => ItemKind::WorkFile,
+            _ => return None,
+        })
+    }
+}
+
+/// Serializes an item catalog as a JSON array of flat objects, one item
+/// per line. Field names and values match the `serde` layout of
+/// [`DataItemSpec`], so catalogs written by earlier tool versions parse
+/// back with [`items_from_json`].
+pub fn items_to_json(items: &[DataItemSpec]) -> String {
+    let mut out = String::from("[\n");
+    for (i, item) in items.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\":{},\"name\":\"{}\",\"size\":{},\"volume\":{},\"enclosure\":{},\
+             \"kind\":\"{}\",\"access\":\"{}\"}}{}\n",
+            item.id.0,
+            json_escape(&item.name),
+            item.size,
+            item.volume.0,
+            item.enclosure.0,
+            item.kind.as_str(),
+            match item.access {
+                Access::Random => "Random",
+                Access::Sequential => "Sequential",
+            },
+            if i + 1 < items.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Parses an item catalog from the JSON array format of
+/// [`items_to_json`] (tolerant of field order and whitespace).
+pub fn items_from_json(text: &str) -> Result<Vec<DataItemSpec>, String> {
+    let mut items = Vec::new();
+    for (idx, part) in split_array_of_objects(text)?.into_iter().enumerate() {
+        let fields = parse_flat_object(part).map_err(|e| format!("item {idx}: {e}"))?;
+        let mut id = None;
+        let mut name = None;
+        let mut size = None;
+        let mut volume = None;
+        let mut enclosure = None;
+        let mut kind = None;
+        let mut access = None;
+        for (key, value) in &fields {
+            match key.as_str() {
+                "id" => id = value.as_u64(),
+                "name" => name = value.as_str().map(str::to_string),
+                "size" => size = value.as_u64(),
+                "volume" => volume = value.as_u64(),
+                "enclosure" => enclosure = value.as_u64(),
+                "kind" => {
+                    kind = Some(
+                        value
+                            .as_str()
+                            .and_then(ItemKind::from_str)
+                            .ok_or_else(|| format!("item {idx}: bad kind {value:?}"))?,
+                    )
+                }
+                "access" => {
+                    access = Some(match value.as_str() {
+                        Some("Random") => Access::Random,
+                        Some("Sequential") => Access::Sequential,
+                        _ => return Err(format!("item {idx}: bad access {value:?}")),
+                    })
+                }
+                _ => {} // Unknown fields are ignored for forward compatibility.
+            }
+        }
+        let req = |f: &str| format!("item {idx}: missing field \"{f}\"");
+        items.push(DataItemSpec {
+            id: DataItemId(
+                u32::try_from(id.ok_or_else(|| req("id"))?)
+                    .map_err(|_| format!("item {idx}: id out of range"))?,
+            ),
+            name: name.ok_or_else(|| req("name"))?,
+            size: size.ok_or_else(|| req("size"))?,
+            volume: VolumeId(
+                u16::try_from(volume.ok_or_else(|| req("volume"))?)
+                    .map_err(|_| format!("item {idx}: volume out of range"))?,
+            ),
+            enclosure: EnclosureId(
+                u16::try_from(enclosure.ok_or_else(|| req("enclosure"))?)
+                    .map_err(|_| format!("item {idx}: enclosure out of range"))?,
+            ),
+            kind: kind.ok_or_else(|| req("kind"))?,
+            access: access.ok_or_else(|| req("access"))?,
+        });
+    }
+    Ok(items)
 }
 
 /// A complete generated workload: the item catalog plus the logical I/O
@@ -153,6 +265,29 @@ mod tests {
         assert_eq!(w.total_data_bytes(), 30);
         assert_eq!(w.item(DataItemId(2)).unwrap().name, "item2");
         w.validate();
+    }
+
+    #[test]
+    fn items_json_roundtrip() {
+        let items = vec![
+            item(1, 0, 10),
+            DataItemSpec {
+                id: DataItemId(2),
+                name: "vol07/proj \"A\"".into(),
+                size: 1 << 30,
+                volume: VolumeId(3),
+                enclosure: EnclosureId(1),
+                kind: ItemKind::WorkFile,
+                access: Access::Sequential,
+            },
+        ];
+        let text = items_to_json(&items);
+        assert_eq!(items_from_json(&text).unwrap(), items);
+        assert_eq!(items_from_json("[]").unwrap(), Vec::new());
+        assert!(items_from_json("{}").is_err());
+        assert!(items_from_json("[{\"id\":1}]")
+            .unwrap_err()
+            .contains("missing field"));
     }
 
     #[test]

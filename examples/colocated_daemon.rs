@@ -1,0 +1,89 @@
+//! Colocated online daemon: stream a workload's events over the NDJSON
+//! wire into the bounded-channel ingest and let the online controller
+//! classify, plan, and re-plan live — no buffered trace anywhere.
+//!
+//! ```text
+//! cargo run --release --example colocated_daemon
+//! ```
+//!
+//! The same plans the batch replay engine would derive appear here one
+//! by one as the stream crosses period boundaries (or a §V.D trigger
+//! cuts a period short).
+
+use ees::iotrace::ndjson::write_events;
+use ees::online::{spawn_reader, ColocatedDaemon, OverflowPolicy, RolloverReason};
+use ees::prelude::*;
+use ees::replay::CatalogItem;
+use std::io::Cursor;
+
+fn main() {
+    // 5 % of the paper's 6 h File Server run, serialized to the NDJSON
+    // wire format — the same bytes `ees gen` writes and a live tap would
+    // emit.
+    let workload = ees::workloads::fileserver::generate(42, &FileServerParams::scaled(0.05));
+    let mut wire = Vec::new();
+    write_events(workload.trace.iter(), &mut wire).unwrap();
+    println!(
+        "streaming {} events ({} items, {} enclosures) through the daemon",
+        workload.trace.len(),
+        workload.items.len(),
+        workload.num_enclosures
+    );
+
+    let items: Vec<CatalogItem> = workload
+        .items
+        .iter()
+        .map(|i| CatalogItem {
+            id: i.id,
+            size: i.size,
+            enclosure: i.enclosure,
+            access: i.access,
+        })
+        .collect();
+    let storage = StorageConfig::ams2500(workload.num_enclosures);
+    let mut daemon = ColocatedDaemon::new(
+        &items,
+        workload.num_enclosures,
+        &storage,
+        ProposedConfig::default(),
+    );
+
+    // A 256-slot queue with the lossless policy: the reader thread
+    // blocks when the daemon falls behind (a live tap would use
+    // `OverflowPolicy::DropNewest` instead and count the gap).
+    let (rx, reader) = spawn_reader(Cursor::new(wire), 256, OverflowPolicy::Block);
+    for rec in rx {
+        for env in daemon.step(rec) {
+            println!(
+                "[{:7.1} s .. {:7.1} s] {:<8} migrations {:<2} preload {:<2} write-delay {:<2}",
+                env.period.start.as_secs_f64(),
+                env.period.end.as_secs_f64(),
+                match env.reason {
+                    RolloverReason::Boundary => "boundary",
+                    RolloverReason::Trigger => "trigger",
+                },
+                env.plan.migrations.len(),
+                env.plan.preload.len(),
+                env.plan.write_delay.len(),
+            );
+        }
+    }
+    let ingest = reader.join().unwrap().unwrap();
+    let summary = daemon.finish(Some(workload.duration));
+
+    println!();
+    println!(
+        "ingested:      {} events ({} dropped)",
+        ingest.accepted, ingest.dropped
+    );
+    println!(
+        "periods:       {} ({} trigger cuts)",
+        summary.periods, summary.trigger_cuts
+    );
+    println!("unit power:    {:.1} W", summary.avg_power_watts);
+    println!("spin-ups:      {}", summary.spin_ups);
+    println!(
+        "avg response:  {:.2} ms",
+        summary.avg_response.as_millis_f64()
+    );
+}

@@ -19,7 +19,11 @@
 //!   paper's Table I;
 //! * [`policy`] — the policy interface and the no-power-saving baseline;
 //! * [`baselines`] — the PDC and DDR comparators;
-//! * [`replay`] — the trace-replay engine and run reports.
+//! * [`replay`] — the trace-replay engine and run reports;
+//! * [`online`] — the streaming controller subsystem: incremental P0–P3
+//!   classification, mid-period trigger cuts, NDJSON event ingestion,
+//!   and the [`online::ColocatedDaemon`] (see `examples/colocated_daemon.rs`
+//!   and the `ees online` subcommand).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@
 pub use ees_baselines as baselines;
 pub use ees_core as core;
 pub use ees_iotrace as iotrace;
+pub use ees_online as online;
 pub use ees_policy as policy;
 pub use ees_replay as replay;
 pub use ees_simstorage as simstorage;
@@ -56,6 +61,7 @@ pub mod prelude {
     pub use ees_baselines::{Ddr, Pdc};
     pub use ees_core::{EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
     pub use ees_iotrace::{DataItemId, EnclosureId, IoKind, Micros, Span};
+    pub use ees_online::{ColocatedDaemon, OnlineController, OnlineSummary, OverflowPolicy};
     pub use ees_policy::{ManagementPlan, NoPowerSaving, PowerPolicy};
     pub use ees_replay::{ReplayOptions, RunReport};
     pub use ees_simstorage::{StorageConfig, StorageController};
