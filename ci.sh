@@ -33,4 +33,18 @@ grep -q '"reason":"boundary"' "$SMOKE_DIR/online.json" \
     || { echo "online smoke: no plan emitted"; exit 1; }
 echo "online smoke OK"
 
+echo "== online throughput smoke (100k events -> BENCH_online.json) =="
+# Times the serial monitor driver against the sharded one on a fixed
+# 100k-event stream. With a checked-in baseline the run is a gate:
+# >20% events/sec regression fails, and on >=4-CPU machines the sharded
+# rate must be >= 2x serial. The first run seeds the baseline.
+BENCH_BASE="results/BENCH_online.baseline.json"
+cargo run --release -q -p ees-bench --bin online_smoke -- \
+    results/BENCH_online.json "$BENCH_BASE"
+if [ ! -f "$BENCH_BASE" ]; then
+    cp results/BENCH_online.json "$BENCH_BASE"
+    echo "online bench: baseline seeded at $BENCH_BASE (check it in)"
+fi
+echo "online bench smoke OK"
+
 echo "CI gate passed."

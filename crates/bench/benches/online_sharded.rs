@@ -1,0 +1,124 @@
+//! Benchmarks for the sharded online pipeline: the zero-copy parse path
+//! the shard workers run, the minimal `(ts, item)` routing scan, and the
+//! end-to-end monitor drivers (serial per-event ingest vs. raw-line
+//! sharded routing) over the same in-memory NDJSON stream.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ees_core::ProposedConfig;
+use ees_iotrace::ndjson::{parse_event, parse_event_borrowed, quick_scan_ts_item};
+use ees_iotrace::{DataItemId, EnclosureId, Micros};
+use ees_online::{run_monitor_serial, run_monitor_sharded};
+use ees_replay::CatalogItem;
+use ees_simstorage::{Access, StorageConfig};
+use std::io::Cursor;
+
+const EVENTS: u64 = 20_000;
+const ITEMS: u32 = 32;
+const ENCLOSURES: u16 = 4;
+
+fn catalog() -> Vec<CatalogItem> {
+    (0..ITEMS)
+        .map(|i| CatalogItem {
+            id: DataItemId(i),
+            size: 32 << 20,
+            enclosure: EnclosureId((i % ENCLOSURES as u32) as u16),
+            access: Access::Random,
+        })
+        .collect()
+}
+
+fn trace() -> String {
+    let mut s = String::with_capacity(EVENTS as usize * 64);
+    for i in 0..EVENTS {
+        s.push_str(&format!(
+            "{{\"ts\":{},\"item\":{},\"offset\":{},\"len\":8192,\"kind\":\"{}\"}}\n",
+            i * 5_000,
+            i % ITEMS as u64,
+            (i * 8192) % (1 << 30),
+            if i % 4 == 0 { "Write" } else { "Read" },
+        ));
+    }
+    s
+}
+
+fn policy() -> ProposedConfig {
+    ProposedConfig {
+        initial_period: Micros::from_secs(30),
+        ..ProposedConfig::default()
+    }
+}
+
+fn bench_online_sharded(c: &mut Criterion) {
+    let text = trace();
+    let lines: Vec<&str> = text.lines().collect();
+    let items = catalog();
+    let storage = StorageConfig::ams2500(ENCLOSURES);
+
+    c.bench_function("ndjson_parse_owned_20k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for line in &lines {
+                n += parse_event(black_box(line)).unwrap().len as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    c.bench_function("ndjson_parse_borrowed_20k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for line in &lines {
+                n += parse_event_borrowed(black_box(line)).unwrap().len as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    c.bench_function("ndjson_quick_scan_20k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for line in &lines {
+                let (ts, item) = quick_scan_ts_item(black_box(line)).unwrap();
+                n += ts ^ item as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    c.bench_function("monitor_serial_20k", |b| {
+        b.iter(|| {
+            let out = run_monitor_serial(
+                Cursor::new(text.clone()),
+                &items,
+                ENCLOSURES,
+                &storage,
+                policy(),
+                None,
+                1024,
+            )
+            .unwrap();
+            black_box(out.plans.len())
+        })
+    });
+
+    for shards in [2usize, 4] {
+        c.bench_function(format!("monitor_sharded_20k_{shards}"), |b| {
+            b.iter(|| {
+                let out = run_monitor_sharded(
+                    Cursor::new(text.clone()),
+                    &items,
+                    ENCLOSURES,
+                    &storage,
+                    policy(),
+                    None,
+                    shards,
+                )
+                .unwrap();
+                black_box(out.plans.len())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_online_sharded);
+criterion_main!(benches);

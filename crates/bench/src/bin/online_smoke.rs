@@ -1,0 +1,218 @@
+//! The 100k-event online throughput smoke: times the serial monitor
+//! driver against the sharded one on a fixed synthetic stream and writes
+//! the figures to a flat all-`u64` JSON file (`BENCH_online.json`) that
+//! `ees_iotrace::ndjson::parse_flat_object` can read back.
+//!
+//! ```text
+//! online_smoke <out.json> [baseline.json]
+//! ```
+//!
+//! When `baseline.json` exists the run is a regression gate:
+//!
+//! * serial and sharded events/sec must each stay within 20% of the
+//!   baseline figure;
+//! * on a machine with ≥ 4 CPUs, sharded events/sec must be ≥ 2× serial
+//!   (on smaller machines the sharded win comes from the zero-copy parse
+//!   alone and the ratio is only reported).
+//!
+//! `ci.sh` checks the first run's output in as the baseline.
+
+use ees_core::ProposedConfig;
+use ees_iotrace::ndjson::parse_flat_object;
+use ees_iotrace::parallel::threads;
+use ees_iotrace::{DataItemId, EnclosureId, Micros};
+use ees_online::{run_monitor_serial, run_monitor_sharded, MonitorOutcome};
+use ees_replay::CatalogItem;
+use ees_simstorage::{Access, StorageConfig};
+use std::io::Cursor;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const EVENTS: u64 = 100_000;
+const ITEMS: u32 = 64;
+const ENCLOSURES: u16 = 4;
+/// Allowed events/sec drop relative to the checked-in baseline.
+const MAX_REGRESSION: f64 = 0.20;
+
+fn catalog() -> Vec<CatalogItem> {
+    (0..ITEMS)
+        .map(|i| CatalogItem {
+            id: DataItemId(i),
+            size: 32 << 20,
+            enclosure: EnclosureId((i % ENCLOSURES as u32) as u16),
+            access: Access::Random,
+        })
+        .collect()
+}
+
+/// A fixed file-server-shaped stream: 100k events over 64 items, 5 ms
+/// apart (500 s of trace → ~16 periods at the 30 s monitoring period).
+fn trace() -> String {
+    let mut s = String::with_capacity(EVENTS as usize * 64);
+    for i in 0..EVENTS {
+        s.push_str(&format!(
+            "{{\"ts\":{},\"item\":{},\"offset\":{},\"len\":8192,\"kind\":\"{}\"}}\n",
+            i * 5_000,
+            i % ITEMS as u64,
+            (i * 8192) % (1 << 30),
+            if i % 4 == 0 { "Write" } else { "Read" },
+        ));
+    }
+    s
+}
+
+fn policy() -> ProposedConfig {
+    ProposedConfig {
+        initial_period: Micros::from_secs(30),
+        ..ProposedConfig::default()
+    }
+}
+
+fn events_per_sec(events: u64, elapsed_secs: f64) -> u64 {
+    (events as f64 / elapsed_secs.max(1e-9)) as u64
+}
+
+fn run(shards: Option<usize>, text: &str) -> (MonitorOutcome, u64) {
+    let items = catalog();
+    let storage = StorageConfig::ams2500(ENCLOSURES);
+    let started = Instant::now();
+    let out = match shards {
+        None => run_monitor_serial(
+            Cursor::new(text.to_string()),
+            &items,
+            ENCLOSURES,
+            &storage,
+            policy(),
+            None,
+            1024,
+        ),
+        Some(n) => run_monitor_sharded(
+            Cursor::new(text.to_string()),
+            &items,
+            ENCLOSURES,
+            &storage,
+            policy(),
+            None,
+            n,
+        ),
+    }
+    .expect("smoke trace must parse");
+    let rate = events_per_sec(out.events, started.elapsed().as_secs_f64());
+    (out, rate)
+}
+
+fn read_baseline(path: &str) -> Option<Vec<(String, u64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().collect::<Vec<_>>().join(" ");
+    let fields = parse_flat_object(line.trim()).ok()?;
+    Some(
+        fields
+            .into_iter()
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k, n)))
+            .collect(),
+    )
+}
+
+fn baseline_value(baseline: &[(String, u64)], key: &str) -> Option<u64> {
+    baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_online.json");
+    let baseline_path = args.get(1).map(String::as_str);
+
+    let text = trace();
+    let shards = threads().max(4);
+    // Warm-up pass so the first measured run doesn't pay one-time costs,
+    // then best-of-3 per driver to damp scheduler noise — this gate runs
+    // on developer machines, not a quiet perf rig.
+    let _ = run(None, &text);
+    let best = |shards: Option<usize>| {
+        (0..3)
+            .map(|_| run(shards, &text))
+            .max_by_key(|&(_, rate)| rate)
+            .expect("at least one measured pass")
+    };
+
+    let (serial, serial_rate) = best(None);
+    let (sharded, sharded_rate) = best(Some(shards));
+    assert_eq!(
+        serial.plans.len(),
+        sharded.plans.len(),
+        "serial and sharded drivers must emit the same plan sequence"
+    );
+
+    let json = format!(
+        "{{\"events\": {}, \"shards\": {}, \"plans\": {}, \
+         \"serial_events_per_sec\": {}, \"sharded_events_per_sec\": {}, \
+         \"serial_p99_rollover_micros\": {}, \"sharded_p99_rollover_micros\": {}}}\n",
+        EVENTS,
+        shards,
+        serial.plans.len(),
+        serial_rate,
+        sharded_rate,
+        serial.p99_rollover_micros(),
+        sharded.p99_rollover_micros(),
+    );
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("online_smoke: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "online_smoke: serial {serial_rate} ev/s, sharded({shards}) {sharded_rate} ev/s, \
+         p99 rollover {} us / {} us -> {out_path}",
+        serial.p99_rollover_micros(),
+        sharded.p99_rollover_micros(),
+    );
+
+    let mut failed = false;
+    if let Some(baseline) = baseline_path.and_then(read_baseline) {
+        for (key, measured) in [
+            ("serial_events_per_sec", serial_rate),
+            ("sharded_events_per_sec", sharded_rate),
+        ] {
+            let Some(base) = baseline_value(&baseline, key) else {
+                continue;
+            };
+            let floor = (base as f64 * (1.0 - MAX_REGRESSION)) as u64;
+            if measured < floor {
+                eprintln!(
+                    "online_smoke: REGRESSION {key}: {measured} ev/s < {floor} \
+                     (baseline {base} - {:.0}%)",
+                    MAX_REGRESSION * 100.0
+                );
+                failed = true;
+            }
+        }
+    } else if let Some(path) = baseline_path {
+        println!("online_smoke: no baseline at {path}; this run seeds it");
+    }
+
+    // The 2x scaling bar only makes sense with real cores to scale onto.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cpus >= 4 {
+        if sharded_rate < serial_rate * 2 {
+            eprintln!(
+                "online_smoke: sharded rate {sharded_rate} < 2x serial {serial_rate} \
+                 on a {cpus}-CPU machine"
+            );
+            failed = true;
+        }
+    } else {
+        println!(
+            "online_smoke: {cpus} CPU(s); skipping the 2x multi-shard bar \
+             (ratio {:.2}x reported only)",
+            sharded_rate as f64 / serial_rate.max(1) as f64
+        );
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -9,8 +9,12 @@
 
 pub mod experiments;
 pub mod format;
-pub mod parallel;
 pub mod reference;
+
+/// Re-export of the shared fork–join pool, which moved to `ees-iotrace`
+/// so the online subsystem can size its shard pool from the same
+/// `EES_THREADS` convention. Kept here for source compatibility.
+pub use ees_iotrace::parallel;
 
 pub use experiments::{
     classify_whole_run, make_workload, run_methods, run_methods_matrix, run_one, ExperimentSetup,

@@ -6,14 +6,14 @@
 //! ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS] [--json]
 //! ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]
 //! ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS]
-//!            [--queue N] [--drop-newest] [--json]
+//!            [--queue N] [--drop-newest] [--shards N] [--json]
 //! ```
 
 use crate::jsonout;
 use ees_baselines::{Ddr, Pdc};
 use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
 use ees_iotrace::{analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span};
-use ees_online::{spawn_reader, ColocatedDaemon, OverflowPolicy, RolloverReason};
+use ees_online::{spawn_reader_batched, ColocatedDaemon, OverflowPolicy, RolloverReason};
 use ees_policy::{NoPowerSaving, PowerPolicy};
 use ees_replay::{run, CatalogItem, ReplayOptions};
 use ees_simstorage::StorageConfig;
@@ -64,6 +64,7 @@ struct Flags {
     json: bool,
     queue: usize,
     drop_newest: bool,
+    shards: usize,
 }
 
 impl Flags {
@@ -77,6 +78,7 @@ impl Flags {
             json: false,
             queue: 1024,
             drop_newest: false,
+            shards: 1,
         };
         let mut positional = Vec::new();
         let mut it = args.iter();
@@ -117,6 +119,11 @@ impl Flags {
                         .map_err(|_| CliError::Usage("--queue expects an integer".into()))?
                 }
                 "--drop-newest" => flags.drop_newest = true,
+                "--shards" => {
+                    flags.shards = take("--shards")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--shards expects an integer".into()))?
+                }
                 other => positional.push(other.to_string()),
             }
         }
@@ -405,12 +412,21 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     if let Some(p) = flags.period {
         policy.initial_period = p;
     }
-    let mut daemon = match flags.break_even {
-        Some(be) => {
-            ColocatedDaemon::with_break_even(&catalog, num_enclosures, &storage, policy, be)
-        }
-        None => ColocatedDaemon::new(&catalog, num_enclosures, &storage, policy),
+    // `--shards 0` sizes the classification pool from the `EES_THREADS`
+    // convention; any other value is an explicit worker count.
+    let shards = if flags.shards == 0 {
+        ees_iotrace::parallel::threads()
+    } else {
+        flags.shards
     };
+    let mut daemon = ColocatedDaemon::with_shards(
+        &catalog,
+        num_enclosures,
+        &storage,
+        policy,
+        flags.break_even,
+        shards,
+    );
 
     let input: Box<dyn BufRead + Send> = if trace_arg == "-" {
         Box::new(BufReader::new(std::io::stdin()))
@@ -422,23 +438,33 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     } else {
         OverflowPolicy::Block
     };
-    let (rx, reader) = spawn_reader(input, flags.queue, overflow);
+    // `--queue` is denominated in events; the batched reader's channel
+    // counts batches, so convert (rounding up to at least one batch).
+    const EVENT_BATCH: usize = 64;
+    let capacity = flags.queue.div_ceil(EVENT_BATCH).max(1);
+    let (rx, live, reader) = spawn_reader_batched(input, capacity, EVENT_BATCH, overflow);
 
     let mut plans = Vec::new();
-    for rec in rx {
-        plans.extend(daemon.step(rec));
+    for batch in rx {
+        for rec in batch {
+            plans.extend(daemon.step(rec));
+        }
     }
-    let ingest = reader
+    reader
         .join()
         .map_err(|_| CliError::Parse("ingest thread panicked".into()))?
         .map_err(|e| CliError::Parse(e.to_string()))?;
+    // Report from the live counters the producer was bumping as it ran —
+    // the same numbers a status probe would have read mid-stream.
+    let ingest = live.snapshot();
+    let shard_count = daemon.shards();
     let summary = daemon.finish(None);
 
     if flags.json {
         writeln!(
             out,
             "{}",
-            jsonout::online_json(trace_arg, &summary, &ingest, &plans)
+            jsonout::online_json(trace_arg, &summary, &ingest, shard_count, &plans)
         )?;
         return Ok(());
     }
@@ -616,6 +642,26 @@ mod tests {
         assert!(json.contains("\"mode\": \"online\""), "{json}");
         assert!(json.contains("\"reason\":\"boundary\""), "{json}");
         assert!(json.contains("\"dropped\": 0"), "{json}");
+        assert!(json.contains("\"shards\": 1"), "{json}");
+
+        // The sharded daemon is plan-for-plan identical: the whole JSON
+        // report matches except the declared worker count.
+        let sharded = run_to_string(&[
+            "online",
+            trace.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--period",
+            "120",
+            "--shards",
+            "4",
+            "--json",
+        ])
+        .unwrap();
+        assert!(sharded.contains("\"shards\": 4"), "{sharded}");
+        assert_eq!(
+            json.replace("\"shards\": 1", "\"shards\": N"),
+            sharded.replace("\"shards\": 4", "\"shards\": N"),
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -63,6 +63,7 @@ pub fn online_json(
     source: &str,
     summary: &OnlineSummary,
     ingest: &IngestStats,
+    shards: usize,
     plans: &[PlanEnvelope],
 ) -> String {
     let mut plan_lines = String::new();
@@ -94,7 +95,8 @@ pub fn online_json(
          \"workload\": \"{}\",\n  \"policy\": \"Proposed (online)\",\n  \
          \"duration_secs\": {},\n  \"events\": {},\n  \"avg_power_watts\": {},\n  \
          \"avg_response_ms\": {},\n  \"periods\": {},\n  \"trigger_cuts\": {},\n  \
-         \"spin_ups\": {},\n  \"ingest\": {{\"accepted\": {}, \"dropped\": {}}},\n  \
+         \"spin_ups\": {},\n  \"shards\": {},\n  \
+         \"ingest\": {{\"accepted\": {}, \"dropped\": {}}},\n  \
          \"plans\": [\n{}  ]\n}}",
         json_escape(source),
         num(summary.duration.as_secs_f64()),
@@ -104,6 +106,7 @@ pub fn online_json(
         summary.periods,
         summary.trigger_cuts,
         summary.spin_ups,
+        shards,
         ingest.accepted,
         ingest.dropped,
         plan_lines,

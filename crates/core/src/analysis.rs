@@ -120,6 +120,43 @@ pub fn analyze_snapshot(snapshot: &MonitorSnapshot<'_>) -> Vec<ItemReport> {
         .collect()
 }
 
+/// Merges per-shard report subsequences back into the single placement
+/// order [`analyze_snapshot`] emits.
+///
+/// A sharded classifier partitions items across workers with `owner`
+/// (item → shard index) and each worker reports *its* items in placement
+/// order. Because the partition is disjoint and each shard preserves the
+/// placement order of its own subset, interleaving by placement order is
+/// a stable k-way merge: the result is byte-identical to the report
+/// vector a single classifier would emit — the property the online
+/// subsystem's sharded/single-thread equivalence proptests pin down.
+/// Verdict order independence follows: each item's report is computed
+/// from that item's records alone, so *which* shard folded it cannot
+/// change the row, and the merge fixes *where* the row lands.
+///
+/// # Panics
+/// Panics if a shard is missing a report for an item it owns (a shard
+/// must report every placed item it owns, silent ones as P0).
+pub fn merge_shard_reports(
+    placement: &ees_simstorage::PlacementMap,
+    shards: Vec<Vec<ItemReport>>,
+    owner: impl Fn(DataItemId) -> usize,
+) -> Vec<ItemReport> {
+    let mut cursors: Vec<std::vec::IntoIter<ItemReport>> =
+        shards.into_iter().map(|v| v.into_iter()).collect();
+    placement
+        .iter()
+        .map(|(id, _)| {
+            let shard = owner(id);
+            let report = cursors[shard]
+                .next()
+                .unwrap_or_else(|| panic!("shard {shard} is missing the report for {id}"));
+            assert_eq!(report.id, id, "shard {shard} reported out of order");
+            report
+        })
+        .collect()
+}
+
 /// `I_max` of §IV.C step 1: the peak one-second total IOPS of all P3
 /// items, in random-I/O equivalents — the load the hot enclosures must
 /// absorb against their random cap `O`.

@@ -22,6 +22,7 @@
 pub mod histogram;
 pub mod io;
 pub mod ndjson;
+pub mod parallel;
 pub mod record;
 pub mod slice;
 pub mod stats;

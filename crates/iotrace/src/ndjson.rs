@@ -17,6 +17,7 @@
 
 use crate::record::LogicalIoRecord;
 use crate::types::{DataItemId, IoKind, Micros};
+use std::borrow::Cow;
 use std::io::BufRead;
 
 /// Formats one record as a single NDJSON line (no trailing newline),
@@ -47,8 +48,16 @@ pub fn write_events<'a, W: std::io::Write>(
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+///
+/// Returns the input borrowed when it needs no escaping — the common
+/// case for every identifier this workspace formats — so hot-path
+/// callers pay no allocation. (ASCII control bytes never occur as UTF-8
+/// continuation bytes, so a byte scan is exact.)
+pub fn json_escape(s: &str) -> Cow<'_, str> {
+    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -60,7 +69,7 @@ pub fn json_escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 /// One scalar value inside a flat JSON object.
@@ -179,28 +188,203 @@ pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonScalar)>, String
 }
 
 /// Parses one NDJSON event line into a [`LogicalIoRecord`].
+///
+/// Thin wrapper over [`parse_event_borrowed`], kept for source
+/// compatibility with the original allocating API.
 pub fn parse_event(line: &str) -> Result<LogicalIoRecord, String> {
-    let fields = parse_flat_object(line)?;
+    parse_event_borrowed(line)
+}
+
+/// Describes what follows position `i` for an error message, mirroring
+/// the `Option<(usize, char)>` debug format of the original
+/// char-iterator parser.
+fn found_at(line: &str, i: usize) -> String {
+    match line[i.min(line.len())..].chars().next() {
+        Some(c) => format!("Some(({i}, {c:?}))"),
+        None => "None".into(),
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && b[*i].is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+/// Scans a JSON string literal starting at `b[*i]` (which must be `"`),
+/// leaving `*i` one past the closing quote. Returns the **raw** inner
+/// slice (escapes untouched) and whether any escape was seen — the
+/// zero-copy core: no allocation happens here, ever.
+fn scan_string<'a>(line: &'a str, i: &mut usize) -> Result<(&'a str, bool), String> {
+    let b = line.as_bytes();
+    if *i >= b.len() || b[*i] != b'"' {
+        return Err(format!("expected '\"', found {}", found_at(line, *i)));
+    }
+    *i += 1;
+    let start = *i;
+    let mut has_escape = false;
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                let raw = &line[start..*i];
+                *i += 1;
+                return Ok((raw, has_escape));
+            }
+            b'\\' => {
+                has_escape = true;
+                *i += 2; // skip the escape introducer and the escaped byte
+            }
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Unescapes a raw string slice (cold path — only runs when
+/// [`scan_string`] saw a backslash). Validates exactly the escapes the
+/// original parser accepted.
+fn unescape(raw: &str) -> Result<String, String> {
+    let mut s = String::with_capacity(raw.len());
+    let mut chars = raw.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '\\' {
+            s.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some((_, '"')) => s.push('"'),
+            Some((_, '\\')) => s.push('\\'),
+            Some((_, '/')) => s.push('/'),
+            Some((_, 'n')) => s.push('\n'),
+            Some((_, 'r')) => s.push('\r'),
+            Some((_, 't')) => s.push('\t'),
+            Some((_, 'u')) => {
+                let mut v: u32 = 0;
+                for _ in 0..4 {
+                    let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                    v = v * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                }
+                s.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+            }
+            Some((j, c)) => return Err(format!("unsupported escape Some(({j}, {c:?}))")),
+            None => return Err(format!("unsupported escape at {i}")),
+        }
+    }
+    Ok(s)
+}
+
+/// Resolves a scanned string token to text, borrowing when it had no
+/// escapes.
+fn resolve<'a>(raw: &'a str, has_escape: bool) -> Result<Cow<'a, str>, String> {
+    if has_escape {
+        Ok(Cow::Owned(unescape(raw)?))
+    } else {
+        Ok(Cow::Borrowed(raw))
+    }
+}
+
+/// Parses one NDJSON event line into a [`LogicalIoRecord`] without
+/// allocating: keys and string values are matched as borrowed slices of
+/// `line`, numbers are folded digit-by-digit, and the only allocations
+/// are on error paths or for strings that actually contain escapes.
+///
+/// Accepts exactly the same inputs as the original
+/// [`parse_flat_object`]-based parser — field order and whitespace are
+/// free, unknown fields are skipped (but still validated), duplicate
+/// keys keep the last occurrence — and rejects the same malformed lines
+/// with equivalent messages.
+pub fn parse_event_borrowed(line: &str) -> Result<LogicalIoRecord, String> {
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    if i >= b.len() || b[i] != b'{' {
+        return Err(format!("expected '{{', found {}", found_at(line, i)));
+    }
+    i += 1;
+    skip_ws(b, &mut i);
+
     let mut ts = None;
     let mut item = None;
     let mut offset = None;
     let mut len = None;
     let mut kind = None;
-    for (key, value) in &fields {
-        match key.as_str() {
-            "ts" => ts = value.as_u64(),
-            "item" => item = value.as_u64(),
-            "offset" => offset = value.as_u64(),
-            "len" => len = value.as_u64(),
-            "kind" => {
-                kind = match value.as_str() {
-                    Some("Read") => Some(IoKind::Read),
-                    Some("Write") => Some(IoKind::Write),
-                    _ => return Err(format!("bad kind {value:?}")),
-                }
+
+    if i < b.len() && b[i] == b'}' {
+        i += 1; // empty object: fall through to the missing-field errors
+    } else {
+        loop {
+            skip_ws(b, &mut i);
+            let (raw_key, key_escaped) = scan_string(line, &mut i)?;
+            let key = resolve(raw_key, key_escaped)?;
+            skip_ws(b, &mut i);
+            if i >= b.len() || b[i] != b':' {
+                return Err(format!(
+                    "expected ':' after key {key:?}, found {}",
+                    found_at(line, i)
+                ));
             }
-            _ => {} // Unknown fields are ignored for forward compatibility.
+            i += 1;
+            skip_ws(b, &mut i);
+            if i < b.len() && b[i] == b'"' {
+                let (raw, esc) = scan_string(line, &mut i)?;
+                let val = resolve(raw, esc)?;
+                match key.as_ref() {
+                    "kind" => {
+                        kind = match val.as_ref() {
+                            "Read" => Some(IoKind::Read),
+                            "Write" => Some(IoKind::Write),
+                            other => return Err(format!("bad kind Str({other:?})")),
+                        }
+                    }
+                    // A string where a number belongs: the original
+                    // parser stored `Str` and `as_u64()` yielded `None`.
+                    "ts" => ts = None,
+                    "item" => item = None,
+                    "offset" => offset = None,
+                    "len" => len = None,
+                    _ => {} // Unknown fields are ignored for forward compatibility.
+                }
+            } else if i < b.len() && b[i].is_ascii_digit() {
+                let mut n: u64 = 0;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((b[i] - b'0') as u64))
+                        .ok_or_else(|| format!("number overflow in field {key:?}"))?;
+                    i += 1;
+                }
+                match key.as_ref() {
+                    "ts" => ts = Some(n),
+                    "item" => item = Some(n),
+                    "offset" => offset = Some(n),
+                    "len" => len = Some(n),
+                    "kind" => return Err(format!("bad kind Num({n})")),
+                    _ => {}
+                }
+            } else {
+                return Err(format!(
+                    "unsupported value for key {key:?}: {}",
+                    found_at(line, i)
+                ));
+            }
+            skip_ws(b, &mut i);
+            match b.get(i) {
+                Some(b',') => {
+                    i += 1;
+                    continue;
+                }
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}', found {}", found_at(line, i))),
+            }
         }
+    }
+    skip_ws(b, &mut i);
+    if i < b.len() {
+        let c = line[i..].chars().next().unwrap();
+        return Err(format!("trailing input after object: {c:?}"));
     }
     Ok(LogicalIoRecord {
         ts: Micros(ts.ok_or("missing field \"ts\"")?),
@@ -212,6 +396,68 @@ pub fn parse_event(line: &str) -> Result<LogicalIoRecord, String> {
         len: u32::try_from(len.ok_or("missing field \"len\"")?).map_err(|_| "len out of range")?,
         kind: kind.ok_or("missing field \"kind\"")?,
     })
+}
+
+/// Extracts the `ts` and `item` values of an event line with a minimal
+/// forward scan, without parsing the other fields.
+///
+/// Used by the sharded ingest router, which needs only the rollover
+/// timestamp and the shard key before handing the raw line to a worker
+/// for full parsing. Returns `None` when the line is not a flat object
+/// with plain (escape-free) keys and numeric `ts`/`item` values in any
+/// order — callers must then fall back to [`parse_event_borrowed`],
+/// which either produces the record or the precise error.
+pub fn quick_scan_ts_item(line: &str) -> Option<(u64, u32)> {
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    if i >= b.len() || b[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    let mut ts = None;
+    let mut item = None;
+    loop {
+        skip_ws(b, &mut i);
+        let (key, esc) = scan_string(line, &mut i).ok()?;
+        if esc {
+            return None; // escaped keys: let the full parser decide
+        }
+        skip_ws(b, &mut i);
+        if i >= b.len() || b[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(b, &mut i);
+        let want = key == "ts" || key == "item";
+        if i < b.len() && b[i] == b'"' {
+            if want {
+                return None; // string where a number belongs
+            }
+            scan_string(line, &mut i).ok()?;
+        } else if i < b.len() && b[i].is_ascii_digit() {
+            let mut n: u64 = 0;
+            while i < b.len() && b[i].is_ascii_digit() {
+                n = n.checked_mul(10)?.checked_add((b[i] - b'0') as u64)?;
+                i += 1;
+            }
+            // Last occurrence wins, matching the full parser.
+            if key == "ts" {
+                ts = Some(n);
+            } else if key == "item" {
+                item = Some(n);
+            }
+        } else {
+            return None;
+        }
+        skip_ws(b, &mut i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => break,
+            _ => return None,
+        }
+    }
+    Some((ts?, u32::try_from(item?).ok()?))
 }
 
 /// Splits the elements of a flat JSON array of objects (no nested arrays),
@@ -424,5 +670,118 @@ mod tests {
     fn json_escape_controls() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_escape_borrows_when_clean() {
+        assert!(matches!(
+            json_escape("fileserver.trace.jsonl"),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(json_escape("täble→ éñcoding"), Cow::Borrowed(_)));
+        assert!(matches!(json_escape("a\"b"), Cow::Owned(_)));
+    }
+
+    /// The original parse path, reconstructed over [`parse_flat_object`]:
+    /// the reference the zero-copy parser must agree with, input by input.
+    fn parse_event_via_flat_object(line: &str) -> Result<LogicalIoRecord, String> {
+        let fields = parse_flat_object(line)?;
+        let mut ts = None;
+        let mut item = None;
+        let mut offset = None;
+        let mut len = None;
+        let mut kind = None;
+        for (key, value) in &fields {
+            match key.as_str() {
+                "ts" => ts = value.as_u64(),
+                "item" => item = value.as_u64(),
+                "offset" => offset = value.as_u64(),
+                "len" => len = value.as_u64(),
+                "kind" => {
+                    kind = match value.as_str() {
+                        Some("Read") => Some(IoKind::Read),
+                        Some("Write") => Some(IoKind::Write),
+                        _ => return Err(format!("bad kind {value:?}")),
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(LogicalIoRecord {
+            ts: Micros(ts.ok_or("missing field \"ts\"")?),
+            item: DataItemId(
+                u32::try_from(item.ok_or("missing field \"item\"")?)
+                    .map_err(|_| "item out of range")?,
+            ),
+            offset: offset.ok_or("missing field \"offset\"")?,
+            len: u32::try_from(len.ok_or("missing field \"len\"")?)
+                .map_err(|_| "len out of range")?,
+            kind: kind.ok_or("missing field \"kind\"")?,
+        })
+    }
+
+    /// Every well-formed and malformed shape the test corpus exercises:
+    /// the borrowed parser must accept/reject exactly what the original
+    /// flat-object route does, and agree on every parsed record.
+    #[test]
+    fn borrowed_parser_agrees_with_flat_object_route() {
+        let corpus = [
+            r#"{"ts":1000000,"item":1,"offset":0,"len":4096,"kind":"Read"}"#,
+            r#" { "kind" : "Write", "len":512, "offset": 0, "item":7, "ts":99 } "#,
+            r#"{"ts":1,"item":1,"offset":0,"len":4096,"kind":"Write","extra":"x"}"#,
+            r#"{"ts":1,"item":1,"offset":0,"len":4096,"kind":"Read","note":"a\"b\\c\nd"}"#,
+            r#"{"ts":1,"ts":2,"item":1,"offset":0,"len":4096,"kind":"Read"}"#,
+            r#"{"ts":"1","item":1,"offset":0,"len":4096,"kind":"Read"}"#,
+            "",
+            "{",
+            "{}",
+            "{} x",
+            r#"{"ts":1}"#,
+            r#"{"ts":1,"item":1,"offset":0,"len":4096,"kind":"Scan"}"#,
+            r#"{"ts":1,"item":1,"offset":0,"len":4096,"kind":5}"#,
+            r#"{"ts":-5,"item":1,"offset":0,"len":1,"kind":"Read"}"#,
+            r#"{"ts":1,"item":1,"offset":0,"len":4096,"kind":"Read"}x"#,
+            r#"{"ts":1,"item":99999999999,"offset":0,"len":1,"kind":"Read"}"#,
+            r#"{"ts":99999999999999999999999999,"item":1,"offset":0,"len":1,"kind":"Read"}"#,
+            r#"{"ts":1 "item":1}"#,
+            r#"{"ts" 1}"#,
+            r#"{ts:1}"#,
+            r#"{"ts":1,"item":1,"offset":0,"len":1,"kind":"Read""#,
+            r#"{"ts":1,"item":1,"offset":0,"len":1,"kind":"Rea"#,
+            r#"{"bad\qescape":"v","ts":1,"item":1,"offset":0,"len":1,"kind":"Read"}"#,
+        ];
+        for line in corpus {
+            let new = parse_event_borrowed(line);
+            let old = parse_event_via_flat_object(line);
+            assert_eq!(
+                new.is_ok(),
+                old.is_ok(),
+                "verdicts diverge on {line:?}: new={new:?} old={old:?}"
+            );
+            if let (Ok(a), Ok(b)) = (&new, &old) {
+                assert_eq!(a, b, "records diverge on {line:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_scan_matches_full_parse_or_declines() {
+        let r = rec2(123, 45, 8, 512, IoKind::Write);
+        let line = format_event(&r);
+        assert_eq!(quick_scan_ts_item(&line), Some((123, 45)));
+        // Field order and whitespace tolerated.
+        assert_eq!(
+            quick_scan_ts_item(r#" { "kind":"Read", "item" : 7 , "ts": 9, "offset":0,"len":1 }"#),
+            Some((9, 7))
+        );
+        // Duplicate keys: last wins, same as the full parser.
+        assert_eq!(
+            quick_scan_ts_item(r#"{"ts":1,"ts":2,"item":3,"offset":0,"len":1,"kind":"Read"}"#),
+            Some((2, 3))
+        );
+        // Anything unusual declines rather than guessing.
+        assert_eq!(quick_scan_ts_item("not json"), None);
+        assert_eq!(quick_scan_ts_item(r#"{"ts":"1","item":2}"#), None);
+        assert_eq!(quick_scan_ts_item(r#"{"item":2}"#), None);
     }
 }

@@ -1,12 +1,14 @@
-//! A tiny deterministic fork–join pool for the experiment harness.
+//! A tiny deterministic fork–join pool, shared by the experiment
+//! harness and the sharded online pipeline.
 //!
-//! The harness's unit of work is one *cell* — replaying one workload
-//! under one method for one seed — and cells are completely independent:
-//! each builds its own policy and storage state and only reads the shared
-//! trace. [`parallel_map`] fans a batch of such cells over scoped worker
-//! threads and returns the results **in input order**, so callers that
-//! print tables or write artifacts produce byte-identical output
-//! regardless of the worker count or completion order.
+//! The original consumer is the experiment harness, whose unit of work
+//! is one *cell* — replaying one workload under one method for one
+//! seed — with cells completely independent. [`parallel_map`] fans a
+//! batch of such jobs over scoped worker threads and returns the results
+//! **in input order**, so callers that print tables or write artifacts
+//! produce byte-identical output regardless of the worker count or
+//! completion order. The online subsystem reuses [`threads`] to size its
+//! classification shard pool from the same convention.
 //!
 //! The pool size defaults to the machine's available parallelism and can
 //! be pinned with the `EES_THREADS` environment variable (`EES_THREADS=1`

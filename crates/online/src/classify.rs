@@ -102,6 +102,26 @@ impl IncrementalClassifier {
         sequential: &std::collections::BTreeSet<DataItemId>,
         seq_factor: f64,
     ) -> Vec<ItemReport> {
+        self.rollover_filtered(end, placement, sequential, seq_factor, |_| true)
+    }
+
+    /// [`rollover`](Self::rollover) restricted to the placed items for
+    /// which `owned` returns `true` — one shard's share of the period.
+    ///
+    /// A sharded classifier gives each worker the same placement map but
+    /// a disjoint ownership predicate; each worker emits its items in
+    /// placement order (silent owned items still report, as P0) and the
+    /// coordinator reassembles the full placement-ordered vector with
+    /// [`ees_core::merge_shard_reports`]. Always resets the running state
+    /// and advances the period, exactly like the unfiltered rollover.
+    pub fn rollover_filtered(
+        &mut self,
+        end: Micros,
+        placement: &PlacementMap,
+        sequential: &std::collections::BTreeSet<DataItemId>,
+        seq_factor: f64,
+        owned: impl Fn(DataItemId) -> bool,
+    ) -> Vec<ItemReport> {
         let period = Span {
             start: self.period_start,
             end,
@@ -109,6 +129,7 @@ impl IncrementalClassifier {
         let n = (period.len().0 as usize).div_ceil(1_000_000).max(1);
         let reports = placement
             .iter()
+            .filter(|(id, _)| owned(*id))
             .map(|(id, pl)| {
                 let (stats, iops) = match self.items.remove(&id) {
                     Some(mut state) => {

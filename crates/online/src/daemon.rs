@@ -10,10 +10,94 @@
 //! `equivalence` test suite asserts this plan-for-plan.
 
 use crate::controller::{OnlineController, PlanEnvelope, RolloverReason};
+use crate::shard::ShardedController;
 use ees_core::ProposedConfig;
-use ees_iotrace::{LogicalIoRecord, Micros};
+use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, Micros};
+use ees_policy::EnclosureView;
 use ees_replay::{CatalogItem, StreamHarness};
+use ees_simstorage::PlacementMap;
 use ees_simstorage::StorageConfig;
+use std::collections::BTreeSet;
+
+/// Either controller flavor behind one dispatch point: the daemon's flow
+/// is identical for both, and the sharded flavor is plan-for-plan
+/// identical to the single-threaded one by construction.
+enum DaemonController {
+    Single(OnlineController),
+    Sharded(ShardedController),
+}
+
+impl DaemonController {
+    fn period_start(&self) -> Micros {
+        match self {
+            DaemonController::Single(c) => c.period_start(),
+            DaemonController::Sharded(c) => c.period_start(),
+        }
+    }
+
+    fn boundary(&self) -> Micros {
+        match self {
+            DaemonController::Single(c) => c.boundary(),
+            DaemonController::Sharded(c) => c.boundary(),
+        }
+    }
+
+    fn needs_rollover(&self, ts: Micros) -> bool {
+        match self {
+            DaemonController::Single(c) => c.needs_rollover(ts),
+            DaemonController::Sharded(c) => c.needs_rollover(ts),
+        }
+    }
+
+    fn periods(&self) -> u64 {
+        match self {
+            DaemonController::Single(c) => c.periods(),
+            DaemonController::Sharded(c) => c.periods(),
+        }
+    }
+
+    fn trigger_cuts(&self) -> u64 {
+        match self {
+            DaemonController::Single(c) => c.trigger_cuts(),
+            DaemonController::Sharded(c) => c.trigger_cuts(),
+        }
+    }
+
+    fn observe(&mut self, rec: &LogicalIoRecord) {
+        match self {
+            DaemonController::Single(c) => c.observe(rec),
+            DaemonController::Sharded(c) => c.observe(rec),
+        }
+    }
+
+    fn observe_io_event(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        match self {
+            DaemonController::Single(c) => c.observe_io_event(t, enclosure),
+            DaemonController::Sharded(c) => c.observe_io_event(t, enclosure),
+        }
+    }
+
+    fn observe_spin_up(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        match self {
+            DaemonController::Single(c) => c.observe_spin_up(t, enclosure),
+            DaemonController::Sharded(c) => c.observe_spin_up(t, enclosure),
+        }
+    }
+
+    fn rollover(
+        &mut self,
+        t_end: Micros,
+        reason: RolloverReason,
+        placement: &PlacementMap,
+        sequential: &BTreeSet<DataItemId>,
+        views: &[EnclosureView],
+    ) -> PlanEnvelope {
+        match self {
+            DaemonController::Single(c) => c.rollover(t_end, reason, placement, sequential, views),
+            DaemonController::Sharded(c) => c.rollover(t_end, reason, placement, sequential, views),
+        }
+    }
+}
 
 /// Run-level counters reported when the stream ends.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +122,7 @@ pub struct OnlineSummary {
 /// unit it manages: events in, plans out, applied in place.
 pub struct ColocatedDaemon {
     harness: StreamHarness,
-    controller: OnlineController,
+    controller: DaemonController,
     events: u64,
     response_sum: f64,
     last_ts: Micros,
@@ -72,8 +156,26 @@ impl ColocatedDaemon {
         Self::from_parts(harness, policy, break_even)
     }
 
-    fn from_parts(harness: StreamHarness, policy: ProposedConfig, break_even: Micros) -> Self {
-        let controller = OnlineController::new(policy, break_even);
+    /// Like [`with_break_even`](Self::with_break_even) (pass
+    /// `break_even: None` for the storage model's own value), but
+    /// classification runs on `shards` worker threads behind a
+    /// [`ShardedController`] — same plans, period for period, as the
+    /// single-threaded daemon. `shards <= 1` stays single-threaded.
+    pub fn with_shards(
+        items: &[CatalogItem],
+        num_enclosures: u16,
+        storage: &StorageConfig,
+        policy: ProposedConfig,
+        break_even: Option<Micros>,
+        shards: usize,
+    ) -> Self {
+        let harness = StreamHarness::new(items, num_enclosures, storage);
+        let break_even = break_even.unwrap_or_else(|| harness.break_even());
+        let controller = if shards > 1 {
+            DaemonController::Sharded(ShardedController::new(policy, break_even, shards))
+        } else {
+            DaemonController::Single(OnlineController::new(policy, break_even))
+        };
         ColocatedDaemon {
             harness,
             controller,
@@ -83,9 +185,24 @@ impl ColocatedDaemon {
         }
     }
 
-    /// The controller (period counters, monitoring history).
-    pub fn controller(&self) -> &OnlineController {
-        &self.controller
+    fn from_parts(harness: StreamHarness, policy: ProposedConfig, break_even: Micros) -> Self {
+        let controller = DaemonController::Single(OnlineController::new(policy, break_even));
+        ColocatedDaemon {
+            harness,
+            controller,
+            events: 0,
+            response_sum: 0.0,
+            last_ts: Micros::ZERO,
+        }
+    }
+
+    /// Classification shard workers behind the controller (1 when
+    /// single-threaded).
+    pub fn shards(&self) -> usize {
+        match &self.controller {
+            DaemonController::Single(_) => 1,
+            DaemonController::Sharded(c) => c.shards(),
+        }
     }
 
     /// The storage-side harness (placement, power meters).

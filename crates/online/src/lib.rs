@@ -24,6 +24,16 @@
 //! * [`ingest`] — the NDJSON event front-end: a bounded-channel reader
 //!   thread with an explicit backpressure policy
 //!   ([`OverflowPolicy`]), surfaced on the command line as `ees online`.
+//!
+//! For throughput, the classification fold shards across worker threads:
+//! [`ShardedController`] hash-partitions items over per-shard
+//! [`IncrementalClassifier`]s and merges their verdicts at a rollover
+//! barrier ([`ees_core::merge_shard_reports`]) into the byte-identical
+//! single-threaded snapshot — same plans, period for period
+//! (property-tested in `tests/sharded.rs`). The [`pipeline`] module has
+//! the matching monitor drivers ([`run_monitor_serial`] /
+//! [`run_monitor_sharded`]); `ees online --shards N` and
+//! [`ColocatedDaemon::with_shards`] select the sharded flavor.
 
 #![warn(missing_docs)]
 
@@ -31,8 +41,12 @@ pub mod classify;
 pub mod controller;
 pub mod daemon;
 pub mod ingest;
+pub mod pipeline;
+pub mod shard;
 
 pub use classify::IncrementalClassifier;
 pub use controller::{OnlineController, PlanEnvelope, RolloverReason};
 pub use daemon::{ColocatedDaemon, OnlineSummary};
-pub use ingest::{spawn_reader, IngestStats, OverflowPolicy};
+pub use ingest::{spawn_reader, spawn_reader_batched, IngestCounters, IngestStats, OverflowPolicy};
+pub use pipeline::{run_monitor_serial, run_monitor_sharded, MonitorOutcome};
+pub use shard::{shard_of, ShardedController};

@@ -1,0 +1,364 @@
+//! Monitor-mode pipeline drivers: NDJSON stream in, plan sequence out,
+//! with no per-record storage simulation — the shape of a controller
+//! watching a real storage unit rather than replaying against the
+//! simulator.
+//!
+//! Two drivers over identical plan semantics:
+//!
+//! * [`run_monitor_serial`] — the legacy ingest shape: a reader thread
+//!   parsing one event per channel send
+//!   ([`spawn_reader`](crate::spawn_reader)), folded by the
+//!   single-threaded [`OnlineController`].
+//! * [`run_monitor_sharded`] — the sharded shape: the driver thread only
+//!   reads lines and extracts `(ts, item)` with the minimal
+//!   [`quick_scan_ts_item`] scan, then routes the **raw line** to the
+//!   owning shard of a [`ShardedController`], whose workers parse
+//!   ([`parse_event_borrowed`], zero-copy) and fold in parallel.
+//!
+//! Both return the same plans on the same input (property-tested by the
+//! `sharded` suite); the throughput smoke in `ci.sh` times one against
+//! the other to produce `BENCH_online.json`.
+
+use crate::controller::RolloverReason;
+use crate::ingest::{spawn_reader, OverflowPolicy};
+use crate::shard::ShardedController;
+use crate::{OnlineController, PlanEnvelope};
+use ees_core::ProposedConfig;
+use ees_iotrace::ndjson::{parse_event_borrowed, quick_scan_ts_item};
+use ees_iotrace::parallel::threads;
+use ees_iotrace::{DataItemId, Micros};
+use ees_replay::{CatalogItem, StreamHarness};
+use ees_simstorage::StorageConfig;
+use std::io::BufRead;
+use std::time::Instant;
+
+/// What a monitor run produced, with per-plan latency samples.
+#[derive(Debug, Clone)]
+pub struct MonitorOutcome {
+    /// Logical records ingested.
+    pub events: u64,
+    /// The plan sequence, one envelope per period rollover.
+    pub plans: Vec<PlanEnvelope>,
+    /// Wall-clock ingest-to-plan latency per rollover, in microseconds:
+    /// measured from the moment the boundary-crossing record is seen to
+    /// the plan being in hand (barrier + merge + planning).
+    pub rollover_micros: Vec<u64>,
+}
+
+impl MonitorOutcome {
+    /// Nearest-rank p99 of the per-rollover ingest-to-plan latency, in
+    /// microseconds (0 when no plan was emitted).
+    pub fn p99_rollover_micros(&self) -> u64 {
+        if self.rollover_micros.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.rollover_micros.clone();
+        sorted.sort_unstable();
+        let rank = (sorted.len() as f64 * 0.99).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
+fn invalid_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Runs the monitor over `input` with the legacy single-threaded ingest
+/// path: per-event channel delivery into an [`OnlineController`].
+/// `queue` is the reader channel capacity in records; `break_even`
+/// defaults to the storage model's own break-even time.
+pub fn run_monitor_serial<R>(
+    input: R,
+    items: &[CatalogItem],
+    num_enclosures: u16,
+    storage: &StorageConfig,
+    policy: ProposedConfig,
+    break_even: Option<Micros>,
+    queue: usize,
+) -> std::io::Result<MonitorOutcome>
+where
+    R: BufRead + Send + 'static,
+{
+    let mut harness = StreamHarness::new(items, num_enclosures, storage);
+    let break_even = break_even.unwrap_or_else(|| harness.break_even());
+    let mut controller = OnlineController::new(policy, break_even);
+    let (rx, _counters, handle) = spawn_reader(input, queue.max(1), OverflowPolicy::Block);
+    let mut events = 0u64;
+    let mut plans = Vec::new();
+    let mut rollover_micros = Vec::new();
+    for rec in rx {
+        while controller.needs_rollover(rec.ts) {
+            let t_end = controller.boundary();
+            let started = Instant::now();
+            harness.refresh_views();
+            let env = controller.rollover(
+                t_end,
+                RolloverReason::Boundary,
+                harness.placement(),
+                harness.sequential(),
+                harness.views(),
+            );
+            harness.apply_plan(t_end, &env.plan);
+            harness.begin_period();
+            rollover_micros.push(started.elapsed().as_micros() as u64);
+            plans.push(env);
+        }
+        controller.observe(&rec);
+        events += 1;
+        // §V.D trigger (i): the idle-hot sweep runs on every I/O, resolved
+        // to the enclosure the item currently lives on. Monitor mode has
+        // no power simulation, so spin-up events (trigger ii) don't occur.
+        let enclosure = harness.placement().enclosure_of(rec.item);
+        if let Some(enclosure) = enclosure {
+            if controller.observe_io_event(rec.ts, enclosure) && rec.ts > controller.period_start()
+            {
+                let started = Instant::now();
+                harness.refresh_views();
+                let env = controller.rollover(
+                    rec.ts,
+                    RolloverReason::Trigger,
+                    harness.placement(),
+                    harness.sequential(),
+                    harness.views(),
+                );
+                harness.apply_plan(rec.ts, &env.plan);
+                harness.begin_period();
+                rollover_micros.push(started.elapsed().as_micros() as u64);
+                plans.push(env);
+            }
+        }
+    }
+    handle.join().expect("reader thread panicked")?;
+    Ok(MonitorOutcome {
+        events,
+        plans,
+        rollover_micros,
+    })
+}
+
+/// Runs the monitor over `input` with the sharded pipeline: the calling
+/// thread reads lines and hash-routes the raw bytes; `shards` workers
+/// (`0` → [`threads()`], the `EES_THREADS` convention) parse and fold.
+/// Emits the same plan sequence as [`run_monitor_serial`] on the same
+/// input, including the same `line N:` error on the same malformed line.
+pub fn run_monitor_sharded<R>(
+    input: R,
+    items: &[CatalogItem],
+    num_enclosures: u16,
+    storage: &StorageConfig,
+    policy: ProposedConfig,
+    break_even: Option<Micros>,
+    shards: usize,
+) -> std::io::Result<MonitorOutcome>
+where
+    R: BufRead,
+{
+    let mut input = input;
+    let mut harness = StreamHarness::new(items, num_enclosures, storage);
+    let break_even = break_even.unwrap_or_else(|| harness.break_even());
+    let shards = if shards == 0 { threads() } else { shards };
+    let mut controller = ShardedController::new(policy, break_even, shards);
+    let mut events = 0u64;
+    let mut plans = Vec::new();
+    let mut rollover_micros = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0u64;
+    // A shard discovers a parse error asynchronously; keep the earliest
+    // line number so the surfaced error matches the serial reader's.
+    let fail = |controller: &mut ShardedController, lineno: u64, msg: String| {
+        controller.sync();
+        let mut best = (lineno, msg);
+        if let Some((l, m)) = controller.take_ingest_error() {
+            if l < best.0 {
+                best = (l, m);
+            }
+        }
+        invalid_data(format!("line {}: {}", best.0, best.1))
+    };
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (ts, item) = match quick_scan_ts_item(trimmed) {
+            Some((ts, item)) => (Micros(ts), DataItemId(item)),
+            // The fast scan declined: settle the line on the spot. A
+            // parse failure here aborts exactly like the serial reader.
+            None => match parse_event_borrowed(trimmed) {
+                Ok(rec) => (rec.ts, rec.item),
+                Err(e) => return Err(fail(&mut controller, lineno, e)),
+            },
+        };
+        while controller.needs_rollover(ts) {
+            let t_end = controller.boundary();
+            let started = Instant::now();
+            harness.refresh_views();
+            let env = controller.rollover(
+                t_end,
+                RolloverReason::Boundary,
+                harness.placement(),
+                harness.sequential(),
+                harness.views(),
+            );
+            if let Some((l, m)) = controller.take_ingest_error() {
+                return Err(invalid_data(format!("line {l}: {m}")));
+            }
+            harness.apply_plan(t_end, &env.plan);
+            harness.begin_period();
+            rollover_micros.push(started.elapsed().as_micros() as u64);
+            plans.push(env);
+        }
+        controller.route_raw_line(trimmed, lineno, item);
+        events += 1;
+        // Same §V.D trigger (i) sweep as the serial driver; the rollover
+        // barrier flushes the just-routed line, so the cut covers it.
+        let enclosure = harness.placement().enclosure_of(item);
+        if let Some(enclosure) = enclosure {
+            if controller.observe_io_event(ts, enclosure) && ts > controller.period_start() {
+                let started = Instant::now();
+                harness.refresh_views();
+                let env = controller.rollover(
+                    ts,
+                    RolloverReason::Trigger,
+                    harness.placement(),
+                    harness.sequential(),
+                    harness.views(),
+                );
+                if let Some((l, m)) = controller.take_ingest_error() {
+                    return Err(invalid_data(format!("line {l}: {m}")));
+                }
+                harness.apply_plan(ts, &env.plan);
+                harness.begin_period();
+                rollover_micros.push(started.elapsed().as_micros() as u64);
+                plans.push(env);
+            }
+        }
+    }
+    controller.sync();
+    if let Some((l, m)) = controller.take_ingest_error() {
+        return Err(invalid_data(format!("line {l}: {m}")));
+    }
+    Ok(MonitorOutcome {
+        events,
+        plans,
+        rollover_micros,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ees_iotrace::EnclosureId;
+    use ees_simstorage::Access;
+    use std::io::Cursor;
+
+    fn catalog(n: u32) -> Vec<CatalogItem> {
+        (0..n)
+            .map(|i| CatalogItem {
+                id: DataItemId(i),
+                size: 1 << 20,
+                enclosure: EnclosureId((i % 4) as u16),
+                access: Access::Random,
+            })
+            .collect()
+    }
+
+    fn trace(events: u64, items: u32) -> String {
+        let mut s = String::from("# monitor pipeline fixture\n");
+        for i in 0..events {
+            s.push_str(&format!(
+                "{{\"ts\":{},\"item\":{},\"offset\":0,\"len\":4096,\"kind\":\"{}\"}}\n",
+                i * 500_000,
+                i % items as u64,
+                if i % 3 == 0 { "Write" } else { "Read" },
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn serial_and_sharded_agree_plan_for_plan() {
+        let items = catalog(12);
+        let storage = StorageConfig::ams2500(4);
+        let input = trace(4000, 12);
+        let serial = run_monitor_serial(
+            Cursor::new(input.clone()),
+            &items,
+            4,
+            &storage,
+            ProposedConfig::default(),
+            None,
+            1024,
+        )
+        .unwrap();
+        for shards in [1usize, 2, 3, 8] {
+            let sharded = run_monitor_sharded(
+                Cursor::new(input.clone()),
+                &items,
+                4,
+                &storage,
+                ProposedConfig::default(),
+                None,
+                shards,
+            )
+            .unwrap();
+            assert_eq!(serial.events, sharded.events, "shards = {shards}");
+            assert_eq!(serial.plans.len(), sharded.plans.len(), "shards = {shards}");
+            for (a, b) in serial.plans.iter().zip(&sharded.plans) {
+                assert_eq!(a.period, b.period, "shards = {shards}");
+                assert_eq!(a.plan, b.plan, "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_reports_the_serial_error_line() {
+        let items = catalog(4);
+        let storage = StorageConfig::ams2500(4);
+        let mut input = trace(50, 4);
+        input
+            .push_str("{\"ts\":26000000,\"item\":1,\"offset\":0,\"len\":4096,\"kind\":\"Nope\"}\n");
+        let serial_err = run_monitor_serial(
+            Cursor::new(input.clone()),
+            &items,
+            4,
+            &storage,
+            ProposedConfig::default(),
+            None,
+            64,
+        )
+        .unwrap_err();
+        let sharded_err = run_monitor_sharded(
+            Cursor::new(input),
+            &items,
+            4,
+            &storage,
+            ProposedConfig::default(),
+            None,
+            3,
+        )
+        .unwrap_err();
+        assert_eq!(serial_err.to_string(), sharded_err.to_string());
+    }
+
+    #[test]
+    fn p99_is_nearest_rank() {
+        let outcome = MonitorOutcome {
+            events: 0,
+            plans: Vec::new(),
+            rollover_micros: (1..=100).collect(),
+        };
+        assert_eq!(outcome.p99_rollover_micros(), 99);
+        let empty = MonitorOutcome {
+            events: 0,
+            plans: Vec::new(),
+            rollover_micros: Vec::new(),
+        };
+        assert_eq!(empty.p99_rollover_micros(), 0);
+    }
+}

@@ -1,0 +1,629 @@
+//! Sharded streaming classification: N worker threads, each folding one
+//! hash-partition of the data items through its own
+//! [`IncrementalClassifier`], with a barrier at period rollover that
+//! merges the per-shard verdicts into the single placement-ordered
+//! report vector the planner expects.
+//!
+//! Correctness rests on two facts the `sharded` test suite
+//! property-checks:
+//!
+//! 1. **Per-item independence** — every per-item statistic (Long
+//!    Intervals, I/O Sequences, read ratio, IOPS buckets) is a fold over
+//!    that item's records alone, so partitioning items across workers
+//!    cannot change any item's state as long as each item's records stay
+//!    in arrival order. Hash-routing by [`DataItemId`] over FIFO channels
+//!    preserves exactly that order.
+//! 2. **Placement-order merge** — each shard emits *its* items in
+//!    placement order at rollover
+//!    ([`IncrementalClassifier::rollover_filtered`]), and
+//!    [`ees_core::merge_shard_reports`] interleaves the disjoint
+//!    subsequences back into full placement order. The merged vector is
+//!    byte-identical to what a single classifier would emit, so the
+//!    downstream plan is too.
+//!
+//! Planning, §V.D trigger arming, and period bookkeeping stay on the
+//! coordinator thread — only the per-record fold (and, on the raw-line
+//! path, NDJSON parsing) is fanned out.
+
+use crate::classify::IncrementalClassifier;
+use crate::controller::{PlanEnvelope, RolloverReason};
+use ees_core::{
+    merge_shard_reports, snapshot_guard, ArmedTriggers, ItemReport, Planner, ProposedConfig,
+};
+use ees_iotrace::ndjson::parse_event_borrowed;
+use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, Micros, Span};
+use ees_policy::EnclosureView;
+use ees_simstorage::PlacementMap;
+use std::collections::BTreeSet;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Records buffered per shard before a batch is shipped.
+const RECORD_FLUSH: usize = 256;
+/// Raw-line bytes buffered per shard before a batch is shipped.
+const RAW_FLUSH_BYTES: usize = 16 * 1024;
+/// Batches in flight per shard channel (bounds coordinator run-ahead).
+const SHARD_QUEUE: usize = 8;
+
+/// The shard that owns `item` in an `n`-shard pool: a Fibonacci
+/// multiplicative hash of the item id, so consecutive ids (the common
+/// catalog layout) spread evenly instead of striding one shard.
+pub fn shard_of(item: DataItemId, n: usize) -> usize {
+    (((item.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % n.max(1)
+}
+
+/// A batch of raw NDJSON lines shipped to a shard for parsing + folding.
+struct RawBatch {
+    /// Concatenated line text.
+    text: String,
+    /// `(byte offset, byte len, input line number)` per line in `text`.
+    lines: Vec<(u32, u32, u64)>,
+}
+
+impl RawBatch {
+    fn new() -> Self {
+        RawBatch {
+            text: String::new(),
+            lines: Vec::new(),
+        }
+    }
+}
+
+/// Work sent to a shard worker. Channel order is observation order.
+enum ShardMsg {
+    /// Pre-parsed records to fold (the daemon path, which needs every
+    /// record on the coordinator anyway to serve it).
+    Records(Vec<LogicalIoRecord>),
+    /// Raw lines to parse and fold (the monitor-pipeline path).
+    Raw(RawBatch),
+    /// Close the period at `end`: report owned items and reset.
+    Rollover {
+        end: Micros,
+        placement: Arc<PlacementMap>,
+        sequential: Arc<BTreeSet<DataItemId>>,
+        seq_factor: f64,
+        reply: SyncSender<ShardReply>,
+    },
+    /// Flush point: report any pending parse error without closing the
+    /// period (end of stream, or a coordinator-side error race).
+    Ping { reply: SyncSender<ShardReply> },
+}
+
+/// A worker's answer at a barrier.
+struct ShardReply {
+    shard: usize,
+    /// Owned-item reports in placement order (empty for [`ShardMsg::Ping`]).
+    reports: Vec<ItemReport>,
+    /// First parse error this shard hit since the last barrier:
+    /// `(line number, message)`.
+    error: Option<(u64, String)>,
+}
+
+fn worker(shard: usize, shards: usize, break_even: Micros, rx: Receiver<ShardMsg>) {
+    let mut classifier = IncrementalClassifier::new(Micros::ZERO, break_even);
+    let mut error: Option<(u64, String)> = None;
+    for msg in rx {
+        match msg {
+            ShardMsg::Records(batch) => {
+                if error.is_none() {
+                    for rec in &batch {
+                        classifier.observe(rec);
+                    }
+                }
+            }
+            ShardMsg::Raw(batch) => {
+                if error.is_some() {
+                    continue;
+                }
+                for &(off, len, lineno) in &batch.lines {
+                    let line = &batch.text[off as usize..(off + len) as usize];
+                    match parse_event_borrowed(line) {
+                        Ok(rec) => classifier.observe(&rec),
+                        Err(e) => {
+                            error = Some((lineno, e));
+                            break;
+                        }
+                    }
+                }
+            }
+            ShardMsg::Rollover {
+                end,
+                placement,
+                sequential,
+                seq_factor,
+                reply,
+            } => {
+                let reports =
+                    classifier.rollover_filtered(end, &placement, &sequential, seq_factor, |id| {
+                        shard_of(id, shards) == shard
+                    });
+                let _ = reply.send(ShardReply {
+                    shard,
+                    reports,
+                    error: error.take(),
+                });
+            }
+            ShardMsg::Ping { reply } => {
+                let _ = reply.send(ShardReply {
+                    shard,
+                    reports: Vec::new(),
+                    error: error.take(),
+                });
+            }
+        }
+    }
+}
+
+/// Per-shard coordinator-side buffers, flushed in arrival-order chunks so
+/// channel traffic is batched, not per-record.
+struct Pending {
+    records: Vec<LogicalIoRecord>,
+    raw: RawBatch,
+}
+
+/// The sharded counterpart of [`OnlineController`](crate::OnlineController):
+/// same public surface, same plans (byte-identical reports at every
+/// rollover), but the per-record classification fold — and, when fed raw
+/// lines, the NDJSON parse — runs on a pool of shard worker threads.
+///
+/// Feed it either pre-parsed records ([`observe`](Self::observe)) or raw
+/// NDJSON lines ([`route_raw_line`](Self::route_raw_line)); don't mix the
+/// two within one period, since the per-shard buffers would not preserve
+/// the interleaving. Raw-line parse errors surface at the next barrier —
+/// poll [`take_ingest_error`](Self::take_ingest_error) after
+/// [`rollover`](Self::rollover) or [`sync`](Self::sync).
+pub struct ShardedController {
+    planner: Planner,
+    triggers: ArmedTriggers,
+    break_even: Micros,
+    period_start: Micros,
+    period_len: Micros,
+    periods: u64,
+    trigger_cuts: u64,
+    shards: usize,
+    senders: Vec<SyncSender<ShardMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    pending: Vec<Pending>,
+    /// Earliest raw-line parse error reported by any shard.
+    ingest_error: Option<(u64, String)>,
+}
+
+impl ShardedController {
+    /// Creates a controller with `shards` worker threads (`0` or `1`
+    /// degenerate to a single worker — still off-thread, same plans).
+    /// The first period starts at `t = 0`, like the single-threaded
+    /// controller.
+    pub fn new(cfg: ProposedConfig, break_even: Micros, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let guard = snapshot_guard(cfg.initial_period);
+        let period_len = cfg.initial_period.max(Micros(1));
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<ShardMsg>(SHARD_QUEUE);
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                worker(shard, shards, break_even, rx)
+            }));
+        }
+        ShardedController {
+            planner: Planner::new(cfg),
+            triggers: ArmedTriggers::new(guard),
+            break_even,
+            period_start: Micros::ZERO,
+            period_len,
+            periods: 0,
+            trigger_cuts: 0,
+            shards,
+            senders,
+            handles,
+            pending: (0..shards)
+                .map(|_| Pending {
+                    records: Vec::new(),
+                    raw: RawBatch::new(),
+                })
+                .collect(),
+            ingest_error: None,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Start of the running period.
+    pub fn period_start(&self) -> Micros {
+        self.period_start
+    }
+
+    /// Scheduled end of the running period.
+    pub fn boundary(&self) -> Micros {
+        self.period_start + self.period_len
+    }
+
+    /// Whether a record at `ts` lies at or past the scheduled boundary.
+    pub fn needs_rollover(&self, ts: Micros) -> bool {
+        ts >= self.boundary()
+    }
+
+    /// Periods closed so far.
+    pub fn periods(&self) -> u64 {
+        self.periods
+    }
+
+    /// How many of those were cut short by a trigger.
+    pub fn trigger_cuts(&self) -> u64 {
+        self.trigger_cuts
+    }
+
+    /// The accumulated monitoring history.
+    pub fn history(&self) -> &ees_core::MonitorHistory {
+        self.planner.history()
+    }
+
+    fn send(&self, shard: usize, msg: ShardMsg) {
+        self.senders[shard]
+            .send(msg)
+            .expect("shard worker exited early");
+    }
+
+    fn flush_shard(&mut self, shard: usize) {
+        let p = &mut self.pending[shard];
+        if !p.records.is_empty() {
+            let batch = std::mem::take(&mut p.records);
+            self.send(shard, ShardMsg::Records(batch));
+        }
+        if !self.pending[shard].raw.lines.is_empty() {
+            let batch = std::mem::replace(&mut self.pending[shard].raw, RawBatch::new());
+            self.send(shard, ShardMsg::Raw(batch));
+        }
+    }
+
+    /// Routes one pre-parsed record to its owning shard (batched; a
+    /// partial batch is flushed at the next barrier).
+    pub fn observe(&mut self, rec: &LogicalIoRecord) {
+        let shard = shard_of(rec.item, self.shards);
+        self.pending[shard].records.push(*rec);
+        if self.pending[shard].records.len() >= RECORD_FLUSH {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Routes one raw NDJSON line to the shard owning `item` (which the
+    /// caller extracted with
+    /// [`quick_scan_ts_item`](ees_iotrace::ndjson::quick_scan_ts_item) or
+    /// a full parse); the worker parses and folds it. Parse errors
+    /// surface at the next barrier via
+    /// [`take_ingest_error`](Self::take_ingest_error).
+    pub fn route_raw_line(&mut self, line: &str, lineno: u64, item: DataItemId) {
+        let shard = shard_of(item, self.shards);
+        let raw = &mut self.pending[shard].raw;
+        let off = raw.text.len() as u32;
+        raw.text.push_str(line);
+        raw.lines.push((off, line.len() as u32, lineno));
+        if raw.text.len() >= RAW_FLUSH_BYTES {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Feeds the served record's enclosure to the §V.D triggers (which
+    /// stay on the coordinator); `true` means a trigger fired.
+    pub fn observe_io_event(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        self.triggers.observe_io(t, enclosure)
+    }
+
+    /// Feeds a spin-up to the §V.D triggers; `true` as above.
+    pub fn observe_spin_up(&mut self, t: Micros, enclosure: EnclosureId) -> bool {
+        self.triggers.observe_spin_up(t, enclosure)
+    }
+
+    fn note_error(&mut self, error: Option<(u64, String)>) {
+        if let Some((lineno, msg)) = error {
+            match &self.ingest_error {
+                Some((best, _)) if *best <= lineno => {}
+                _ => self.ingest_error = Some((lineno, msg)),
+            }
+        }
+    }
+
+    /// The earliest raw-line parse error any shard has reported at a
+    /// barrier, as `(line number, message)`. Plans emitted at or after
+    /// the erroring barrier must be discarded by the caller.
+    pub fn take_ingest_error(&mut self) -> Option<(u64, String)> {
+        self.ingest_error.take()
+    }
+
+    /// Flushes every shard and waits for all of them to drain, without
+    /// closing the period — the end-of-stream barrier that surfaces any
+    /// parse error still buffered in a worker.
+    pub fn sync(&mut self) {
+        for shard in 0..self.shards {
+            self.flush_shard(shard);
+        }
+        let (reply_tx, reply_rx) = sync_channel(self.shards);
+        for shard in 0..self.shards {
+            self.send(
+                shard,
+                ShardMsg::Ping {
+                    reply: reply_tx.clone(),
+                },
+            );
+        }
+        drop(reply_tx);
+        for reply in reply_rx {
+            self.note_error(reply.error);
+        }
+    }
+
+    /// Closes the period at `t_end`: barriers the shards, merges their
+    /// reports into placement order, plans, re-arms the triggers, and
+    /// starts the next period — the same contract (and byte-identical
+    /// output) as [`OnlineController::rollover`](crate::OnlineController::rollover).
+    pub fn rollover(
+        &mut self,
+        t_end: Micros,
+        reason: RolloverReason,
+        placement: &PlacementMap,
+        sequential: &BTreeSet<DataItemId>,
+        views: &[EnclosureView],
+    ) -> PlanEnvelope {
+        let period = Span {
+            start: self.period_start,
+            end: t_end,
+        };
+        let seq_factor = views
+            .first()
+            .map(|e| {
+                if e.max_seq_iops > 0.0 {
+                    e.max_iops / e.max_seq_iops
+                } else {
+                    1.0
+                }
+            })
+            .unwrap_or(1.0);
+        for shard in 0..self.shards {
+            self.flush_shard(shard);
+        }
+        let placement_arc = Arc::new(placement.clone());
+        let sequential_arc = Arc::new(sequential.clone());
+        let (reply_tx, reply_rx) = sync_channel(self.shards);
+        for shard in 0..self.shards {
+            self.send(
+                shard,
+                ShardMsg::Rollover {
+                    end: t_end,
+                    placement: Arc::clone(&placement_arc),
+                    sequential: Arc::clone(&sequential_arc),
+                    seq_factor,
+                    reply: reply_tx.clone(),
+                },
+            );
+        }
+        drop(reply_tx);
+        let mut per_shard: Vec<Vec<ItemReport>> = (0..self.shards).map(|_| Vec::new()).collect();
+        for reply in reply_rx {
+            self.note_error(reply.error);
+            per_shard[reply.shard] = reply.reports;
+        }
+        let shards = self.shards;
+        let mut reports = merge_shard_reports(placement, per_shard, |id| shard_of(id, shards));
+        let outcome = self
+            .planner
+            .plan(period, self.break_even, &mut reports, views);
+        self.triggers.rearm(
+            self.break_even,
+            t_end,
+            outcome.hot_with_p3,
+            outcome.cold_count,
+        );
+        if let Some(next) = outcome.plan.next_period {
+            self.period_len = next.max(Micros(1));
+        }
+        self.period_start = t_end;
+        self.periods += 1;
+        if reason == RolloverReason::Trigger {
+            self.trigger_cuts += 1;
+        }
+        PlanEnvelope {
+            period,
+            reason,
+            plan: outcome.plan,
+        }
+    }
+}
+
+impl Drop for ShardedController {
+    fn drop(&mut self) {
+        // Hang up the channels so the workers' receive loops end, then
+        // reap them.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OnlineController;
+    use ees_iotrace::IoKind;
+    use ees_policy::NO_SEQUENTIAL;
+
+    fn cfg() -> ProposedConfig {
+        ProposedConfig::default()
+    }
+
+    fn rec(ts_s: f64, item: u32) -> LogicalIoRecord {
+        LogicalIoRecord {
+            ts: Micros::from_secs_f64(ts_s),
+            item: DataItemId(item),
+            offset: 0,
+            len: 4096,
+            kind: IoKind::Read,
+        }
+    }
+
+    fn placement(items: u32) -> PlacementMap {
+        let mut p = PlacementMap::new();
+        for i in 0..items {
+            p.insert(DataItemId(i), EnclosureId((i % 3) as u16), 1 << 20);
+        }
+        p
+    }
+
+    fn views(placement: &PlacementMap) -> Vec<EnclosureView> {
+        let mut used = std::collections::BTreeMap::new();
+        for (_id, pl) in placement.iter() {
+            *used.entry(pl.enclosure).or_insert(0u64) += pl.size;
+        }
+        (0..3u16)
+            .map(|e| EnclosureView {
+                id: EnclosureId(e),
+                capacity: 1 << 40,
+                used: used.get(&EnclosureId(e)).copied().unwrap_or(0),
+                max_iops: 900.0,
+                max_seq_iops: 2800.0,
+                served_ios: 0,
+                spin_ups: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_owner_is_stable_and_in_range() {
+        for n in [1usize, 2, 3, 8] {
+            for id in 0..1000u32 {
+                let s = shard_of(DataItemId(id), n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(DataItemId(id), n));
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_records_give_single_controller_plans() {
+        let placement = placement(16);
+        let v = views(&placement);
+        let break_even = Micros::from_secs(52);
+        for shards in [1usize, 2, 3, 8] {
+            let mut single = OnlineController::new(cfg(), break_even);
+            let mut sharded = ShardedController::new(cfg(), break_even, shards);
+            let mut plans_single = Vec::new();
+            let mut plans_sharded = Vec::new();
+            for i in 0..2000u32 {
+                let r = rec(i as f64, i % 16);
+                while single.needs_rollover(r.ts) {
+                    let t = single.boundary();
+                    plans_single.push(single.rollover(
+                        t,
+                        RolloverReason::Boundary,
+                        &placement,
+                        &NO_SEQUENTIAL,
+                        &v,
+                    ));
+                }
+                single.observe(&r);
+                while sharded.needs_rollover(r.ts) {
+                    let t = sharded.boundary();
+                    plans_sharded.push(sharded.rollover(
+                        t,
+                        RolloverReason::Boundary,
+                        &placement,
+                        &NO_SEQUENTIAL,
+                        &v,
+                    ));
+                }
+                sharded.observe(&r);
+            }
+            assert!(sharded.take_ingest_error().is_none());
+            assert_eq!(plans_single.len(), plans_sharded.len(), "shards = {shards}");
+            for (a, b) in plans_single.iter().zip(&plans_sharded) {
+                assert_eq!(a.period, b.period, "shards = {shards}");
+                assert_eq!(a.plan, b.plan, "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_lines_match_parsed_records() {
+        let placement = placement(8);
+        let v = views(&placement);
+        let break_even = Micros::from_secs(52);
+        let mut parsed = ShardedController::new(cfg(), break_even, 3);
+        let mut raw = ShardedController::new(cfg(), break_even, 3);
+        for i in 0..1500u64 {
+            let r = LogicalIoRecord {
+                ts: Micros(i * 1_000_000),
+                item: DataItemId((i % 8) as u32),
+                offset: 0,
+                len: 4096,
+                kind: IoKind::Write,
+            };
+            parsed.observe(&r);
+            let line = format!(
+                "{{\"ts\":{},\"item\":{},\"offset\":0,\"len\":4096,\"kind\":\"Write\"}}",
+                r.ts.0, r.item.0
+            );
+            raw.route_raw_line(&line, i + 1, r.item);
+        }
+        let end = Micros::from_secs(1500);
+        let a = parsed.rollover(
+            end,
+            RolloverReason::Boundary,
+            &placement,
+            &NO_SEQUENTIAL,
+            &v,
+        );
+        let b = raw.rollover(
+            end,
+            RolloverReason::Boundary,
+            &placement,
+            &NO_SEQUENTIAL,
+            &v,
+        );
+        assert!(raw.take_ingest_error().is_none());
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn raw_parse_error_surfaces_at_barrier_with_line_number() {
+        let placement = placement(4);
+        let v = views(&placement);
+        let mut ctl = ShardedController::new(cfg(), Micros::from_secs(52), 2);
+        ctl.route_raw_line(
+            "{\"ts\":1,\"item\":0,\"offset\":0,\"len\":4096,\"kind\":\"Read\"}",
+            1,
+            DataItemId(0),
+        );
+        ctl.route_raw_line("{\"ts\":2,\"item\":1,broken", 7, DataItemId(1));
+        ctl.sync();
+        let (lineno, msg) = ctl.take_ingest_error().expect("error must surface");
+        assert_eq!(lineno, 7);
+        assert!(!msg.is_empty());
+        // A later rollover still works (the erroring shard reports its
+        // owned items, parsed-or-not).
+        let env = ctl.rollover(
+            Micros::from_secs(600),
+            RolloverReason::Boundary,
+            &placement,
+            &NO_SEQUENTIAL,
+            &v,
+        );
+        assert_eq!(env.period.start, Micros::ZERO);
+    }
+
+    #[test]
+    fn earliest_error_wins_across_shards() {
+        let mut ctl = ShardedController::new(cfg(), Micros::from_secs(52), 4);
+        // Two bad lines on (very likely) different shards; line 3 must win.
+        ctl.route_raw_line("nope", 9, DataItemId(0));
+        ctl.route_raw_line("nope", 3, DataItemId(1));
+        ctl.route_raw_line("nope", 5, DataItemId(2));
+        ctl.sync();
+        let (lineno, _) = ctl.take_ingest_error().unwrap();
+        assert_eq!(lineno, 3);
+    }
+}

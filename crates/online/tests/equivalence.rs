@@ -263,7 +263,7 @@ fn run_daemon_over_ndjson(
     w: &Workload,
     cfg: &StorageConfig,
 ) -> (Vec<PlanEnvelope>, ees_online::OnlineSummary) {
-    let (rx, handle) =
+    let (rx, _counters, handle) =
         ees_online::spawn_reader(Cursor::new(text.to_string()), 256, OverflowPolicy::Block);
     let mut daemon = ColocatedDaemon::new(
         &catalog(w),

@@ -1,0 +1,365 @@
+//! The sharded controller's contract: sharded == single-threaded,
+//! plan for plan, for any shard count.
+//!
+//! * Property test: for arbitrary record streams (including streams that
+//!   cut periods mid-way via §V.D triggers), a [`ShardedController`]
+//!   with 1, 2, 3, or 8 shards driven through the daemon flow emits
+//!   exactly the plan sequence of the single-threaded
+//!   [`OnlineController`] on the same input.
+//! * Deterministic test: a bursty file-server workload exercises actual
+//!   trigger cuts and the equality still holds.
+//! * Pipeline property test: the raw-line sharded monitor pipeline
+//!   ([`run_monitor_sharded`]) matches the legacy serial driver
+//!   ([`run_monitor_serial`]) over the NDJSON rendering of the stream.
+
+use ees_core::ProposedConfig;
+use ees_iotrace::{ndjson, DataItemId, EnclosureId, IoKind, LogicalIoRecord, Micros};
+use ees_online::{
+    run_monitor_serial, run_monitor_sharded, OnlineController, PlanEnvelope, RolloverReason,
+    ShardedController,
+};
+use ees_policy::EnclosureView;
+use ees_replay::{CatalogItem, StreamHarness};
+use ees_simstorage::{Access, PlacementMap, StorageConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::io::Cursor;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// The common controller surface, so one driver can exercise both
+/// flavors through the exact per-record flow the daemon uses.
+trait ControllerLike {
+    fn needs_rollover(&self, ts: Micros) -> bool;
+    fn boundary(&self) -> Micros;
+    fn period_start(&self) -> Micros;
+    fn observe(&mut self, rec: &LogicalIoRecord);
+    fn observe_io_event(&mut self, t: Micros, e: EnclosureId) -> bool;
+    fn observe_spin_up(&mut self, t: Micros, e: EnclosureId) -> bool;
+    fn rollover(
+        &mut self,
+        t: Micros,
+        reason: RolloverReason,
+        placement: &PlacementMap,
+        sequential: &BTreeSet<DataItemId>,
+        views: &[EnclosureView],
+    ) -> PlanEnvelope;
+}
+
+macro_rules! impl_controller_like {
+    ($ty:ty) => {
+        impl ControllerLike for $ty {
+            fn needs_rollover(&self, ts: Micros) -> bool {
+                <$ty>::needs_rollover(self, ts)
+            }
+            fn boundary(&self) -> Micros {
+                <$ty>::boundary(self)
+            }
+            fn period_start(&self) -> Micros {
+                <$ty>::period_start(self)
+            }
+            fn observe(&mut self, rec: &LogicalIoRecord) {
+                <$ty>::observe(self, rec)
+            }
+            fn observe_io_event(&mut self, t: Micros, e: EnclosureId) -> bool {
+                <$ty>::observe_io_event(self, t, e)
+            }
+            fn observe_spin_up(&mut self, t: Micros, e: EnclosureId) -> bool {
+                <$ty>::observe_spin_up(self, t, e)
+            }
+            fn rollover(
+                &mut self,
+                t: Micros,
+                reason: RolloverReason,
+                placement: &PlacementMap,
+                sequential: &BTreeSet<DataItemId>,
+                views: &[EnclosureView],
+            ) -> PlanEnvelope {
+                <$ty>::rollover(self, t, reason, placement, sequential, views)
+            }
+        }
+    };
+}
+
+impl_controller_like!(OnlineController);
+impl_controller_like!(ShardedController);
+
+/// Replays `recs` through a controller with the daemon's per-record
+/// flow: boundary rollovers before the record, classify before serving,
+/// spin-up then I/O trigger events after, a trigger cut only when `t` is
+/// strictly past the period start.
+fn drive<C: ControllerLike>(
+    mut ctl: C,
+    recs: &[LogicalIoRecord],
+    catalog: &[CatalogItem],
+    enclosures: u16,
+    cfg: &StorageConfig,
+) -> Vec<PlanEnvelope> {
+    let mut harness = StreamHarness::new(catalog, enclosures, cfg);
+    let mut plans: Vec<PlanEnvelope> = Vec::new();
+    fn invoke<C: ControllerLike>(
+        harness: &mut StreamHarness,
+        ctl: &mut C,
+        t: Micros,
+        reason: RolloverReason,
+    ) -> PlanEnvelope {
+        harness.refresh_views();
+        let env = ctl.rollover(
+            t,
+            reason,
+            harness.placement(),
+            harness.sequential(),
+            harness.views(),
+        );
+        harness.apply_plan(t, &env.plan);
+        harness.begin_period();
+        env
+    }
+    for rec in recs {
+        while ctl.needs_rollover(rec.ts) {
+            let t = ctl.boundary();
+            plans.push(invoke(&mut harness, &mut ctl, t, RolloverReason::Boundary));
+        }
+        ctl.observe(rec);
+        let served = harness.serve(*rec);
+        let mut fire = false;
+        if served.spun_up {
+            fire |= ctl.observe_spin_up(rec.ts, served.enclosure);
+        }
+        fire |= ctl.observe_io_event(rec.ts, served.enclosure);
+        if fire && rec.ts > ctl.period_start() {
+            plans.push(invoke(
+                &mut harness,
+                &mut ctl,
+                rec.ts,
+                RolloverReason::Trigger,
+            ));
+        }
+    }
+    plans
+}
+
+fn assert_same_plans(single: &[PlanEnvelope], sharded: &[PlanEnvelope], shards: usize) {
+    assert_eq!(single.len(), sharded.len(), "plan count, shards = {shards}");
+    for (i, (a, b)) in single.iter().zip(sharded).enumerate() {
+        assert_eq!(a.period, b.period, "plan #{i} period, shards = {shards}");
+        assert_eq!(a.reason, b.reason, "plan #{i} reason, shards = {shards}");
+        assert_eq!(a.plan, b.plan, "plan #{i}, shards = {shards}");
+    }
+}
+
+fn synthetic_catalog(items: u32, enclosures: u16) -> Vec<CatalogItem> {
+    (0..items)
+        .map(|i| CatalogItem {
+            id: DataItemId(i),
+            size: 64 << 20,
+            enclosure: EnclosureId((i % enclosures as u32) as u16),
+            access: Access::Random,
+        })
+        .collect()
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<LogicalIoRecord>> {
+    // Up to 250 records over 8 items across a 400 s window with a short
+    // (60 s) initial period: several rollovers, bursts dense enough to
+    // make §V.D trigger cuts possible.
+    let rec = (
+        0u64..400_000_001u64,
+        0u32..8u32,
+        prop::bool::ANY,
+        1u32..65_536u32,
+    );
+    prop::collection::vec(rec, 0..250).prop_map(|raw| {
+        let mut recs: Vec<LogicalIoRecord> = raw
+            .into_iter()
+            .map(|(ts, item, is_read, len)| LogicalIoRecord {
+                ts: Micros(ts),
+                item: DataItemId(item),
+                offset: 0,
+                len,
+                kind: if is_read { IoKind::Read } else { IoKind::Write },
+            })
+            .collect();
+        recs.sort_by_key(|r| r.ts);
+        recs
+    })
+}
+
+fn short_period_policy() -> ProposedConfig {
+    ProposedConfig {
+        initial_period: Micros::from_secs(60),
+        ..ProposedConfig::default()
+    }
+}
+
+fn read_rec(ts: u64, item: u32) -> LogicalIoRecord {
+    LogicalIoRecord {
+        ts: Micros(ts),
+        item: DataItemId(item),
+        offset: 0,
+        len: 4096,
+        kind: IoKind::Read,
+    }
+}
+
+/// A trace shaped to fire a §V.D trigger (i) cut: items 0 and 1 run hot
+/// (continuous, ≥5 rand-equivalent IOPS → P3) through the first 60 s
+/// period so their enclosures re-arm as the hot set, then fall silent
+/// while sweep I/O on quiet items keeps the idle clocks observed. Once
+/// the hot gap passes break-even (52 s on `ams2500`), the sweep cuts the
+/// period mid-way.
+fn trigger_trace(hot_step: u64, sweeps: &[(u64, u32)]) -> Vec<LogicalIoRecord> {
+    let mut recs = Vec::new();
+    let mut t = 0u64;
+    while t < 60_000_000 {
+        recs.push(read_rec(t, 0));
+        recs.push(read_rec(t + hot_step / 2, 1));
+        t += hot_step;
+    }
+    for &(ts, item) in sweeps {
+        recs.push(read_rec(ts, item));
+    }
+    // Guaranteed sweeps past the 112 s idle horizon so the cut cannot
+    // depend on the arbitrary sweep placement alone.
+    recs.push(read_rec(113_000_000, 2));
+    recs.push(read_rec(116_000_000, 2));
+    recs.sort_by_key(|r| r.ts);
+    recs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary streams: every shard count produces the single-threaded
+    /// plan sequence through the full daemon flow (boundary rollovers
+    /// and trigger cuts alike).
+    #[test]
+    fn sharded_controller_plans_equal_single(recs in arb_stream()) {
+        let enclosures = 3u16;
+        let catalog = synthetic_catalog(8, enclosures);
+        let cfg = StorageConfig::ams2500(enclosures);
+        let policy = short_period_policy();
+        let break_even = StreamHarness::new(&catalog, enclosures, &cfg).break_even();
+
+        let single = drive(
+            OnlineController::new(policy, break_even),
+            &recs, &catalog, enclosures, &cfg,
+        );
+        for shards in SHARD_COUNTS {
+            let sharded = drive(
+                ShardedController::new(policy, break_even, shards),
+                &recs, &catalog, enclosures, &cfg,
+            );
+            assert_same_plans(&single, &sharded, shards);
+        }
+    }
+
+    /// The raw-line monitor pipeline matches the legacy serial driver
+    /// over the NDJSON rendering of the same stream.
+    #[test]
+    fn sharded_pipeline_plans_equal_serial(recs in arb_stream()) {
+        let enclosures = 3u16;
+        let catalog = synthetic_catalog(8, enclosures);
+        let cfg = StorageConfig::ams2500(enclosures);
+        let policy = short_period_policy();
+        let mut text = Vec::new();
+        ndjson::write_events(recs.iter(), &mut text).unwrap();
+        let text = String::from_utf8(text).unwrap();
+
+        let serial = run_monitor_serial(
+            Cursor::new(text.clone()), &catalog, enclosures, &cfg, policy, None, 256,
+        ).unwrap();
+        for shards in SHARD_COUNTS {
+            let sharded = run_monitor_sharded(
+                Cursor::new(text.clone()), &catalog, enclosures, &cfg, policy, None, shards,
+            ).unwrap();
+            prop_assert_eq!(serial.events, sharded.events);
+            assert_same_plans(&serial.plans, &sharded.plans, shards);
+        }
+    }
+
+    /// Arbitrary traces that *do* cut periods mid-way: a randomized
+    /// hot-burst-then-silence shape guarantees a §V.D trigger fires, and
+    /// every shard count must reproduce the cut at the same timestamp
+    /// with the same plan.
+    #[test]
+    fn sharded_controller_matches_single_through_trigger_cuts(
+        hot_step in 80_000u64..120_000u64,
+        sweeps in prop::collection::vec((60_500_000u64..119_000_000u64, 0u32..2u32), 0..30),
+    ) {
+        let enclosures = 3u16;
+        let catalog = synthetic_catalog(6, enclosures);
+        let cfg = StorageConfig::ams2500(enclosures);
+        let policy = short_period_policy();
+        let break_even = StreamHarness::new(&catalog, enclosures, &cfg).break_even();
+        // Sweep only items that live on the cold enclosure (2 and 5 on
+        // e2): sweeps on e0/e1 items would keep the hot idle clocks
+        // fresh and mask the cut.
+        let sweeps: Vec<(u64, u32)> =
+            sweeps.into_iter().map(|(ts, i)| (ts, [2u32, 5][i as usize])).collect();
+        let recs = trigger_trace(hot_step, &sweeps);
+
+        let single = drive(
+            OnlineController::new(policy, break_even),
+            &recs, &catalog, enclosures, &cfg,
+        );
+        let cuts = single
+            .iter()
+            .filter(|e| e.reason == RolloverReason::Trigger)
+            .count();
+        prop_assert!(cuts >= 1, "fixture must exercise mid-period trigger cuts");
+        for shards in SHARD_COUNTS {
+            let sharded = drive(
+                ShardedController::new(policy, break_even, shards),
+                &recs, &catalog, enclosures, &cfg,
+            );
+            assert_same_plans(&single, &sharded, shards);
+        }
+    }
+}
+
+/// The deterministic pin for the trigger-cut shape (the proptest above
+/// randomizes it): a 60 s hot burst then silence cuts at ~112.5 s, and
+/// the sharded pipeline reproduces it through the raw-line path too.
+#[test]
+fn sharded_pipeline_matches_serial_through_trigger_cuts() {
+    let enclosures = 3u16;
+    let catalog = synthetic_catalog(6, enclosures);
+    let cfg = StorageConfig::ams2500(enclosures);
+    let policy = short_period_policy();
+    let recs = trigger_trace(100_000, &[]);
+    let mut text = Vec::new();
+    ndjson::write_events(recs.iter(), &mut text).unwrap();
+    let text = String::from_utf8(text).unwrap();
+
+    let serial = run_monitor_serial(
+        Cursor::new(text.clone()),
+        &catalog,
+        enclosures,
+        &cfg,
+        policy,
+        None,
+        256,
+    )
+    .unwrap();
+    let cuts = serial
+        .plans
+        .iter()
+        .filter(|e| e.reason == RolloverReason::Trigger)
+        .count();
+    assert!(cuts >= 1, "fixture must exercise §V.D trigger cuts");
+    for shards in SHARD_COUNTS {
+        let sharded = run_monitor_sharded(
+            Cursor::new(text.clone()),
+            &catalog,
+            enclosures,
+            &cfg,
+            policy,
+            None,
+            shards,
+        )
+        .unwrap();
+        assert_eq!(serial.events, sharded.events);
+        assert_same_plans(&serial.plans, &sharded.plans, shards);
+    }
+}

@@ -51,7 +51,7 @@ fn main() {
     // A 256-slot queue with the lossless policy: the reader thread
     // blocks when the daemon falls behind (a live tap would use
     // `OverflowPolicy::DropNewest` instead and count the gap).
-    let (rx, reader) = spawn_reader(Cursor::new(wire), 256, OverflowPolicy::Block);
+    let (rx, _live, reader) = spawn_reader(Cursor::new(wire), 256, OverflowPolicy::Block);
     for rec in rx {
         for env in daemon.step(rec) {
             println!(
