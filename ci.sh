@@ -47,4 +47,16 @@ if [ ! -f "$BENCH_BASE" ]; then
 fi
 echo "online bench smoke OK"
 
+echo "== chaos gate (8 seeds x {1,4} shards) =="
+# Differential fault-injection sweep (DESIGN.md §11): each seed runs the
+# full hardened pipeline — malformed/truncated/duplicated/reordered
+# input, reader stalls, worker panics, crash/restore through the
+# checkpoint codec — and compares plans against a fault-free serial run.
+# `ees chaos` exits non-zero on any plan divergence or escaped panic.
+for CHAOS_SHARDS in 1 4; do
+    cargo run --release -q -p ees-cli --bin ees -- \
+        chaos --seed 1 --seeds 8 --shards "$CHAOS_SHARDS" --events 3000
+done
+echo "chaos gate OK"
+
 echo "CI gate passed."

@@ -6,14 +6,18 @@
 //! ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS] [--json]
 //! ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]
 //! ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS]
-//!            [--queue N] [--drop-newest] [--shards N] [--json]
+//!            [--queue N] [--drop-newest] [--shards N] [--checkpoint FILE] [--json]
+//! ees chaos [--seed N] [--seeds N] [--shards N] [--events N] [--json]
 //! ```
 
 use crate::jsonout;
 use ees_baselines::{Ddr, Pdc};
 use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
 use ees_iotrace::{analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span};
-use ees_online::{spawn_reader_batched, ColocatedDaemon, OverflowPolicy, RolloverReason};
+use ees_online::{
+    read_checkpoint_file, run_chaos, spawn_reader_batched, write_checkpoint_file, ChaosConfig,
+    ColocatedDaemon, OverflowPolicy, RolloverReason,
+};
 use ees_policy::{NoPowerSaving, PowerPolicy};
 use ees_replay::{run, CatalogItem, ReplayOptions};
 use ees_simstorage::StorageConfig;
@@ -65,6 +69,9 @@ struct Flags {
     queue: usize,
     drop_newest: bool,
     shards: usize,
+    checkpoint: Option<PathBuf>,
+    seeds: u64,
+    events: u64,
 }
 
 impl Flags {
@@ -79,6 +86,9 @@ impl Flags {
             queue: 1024,
             drop_newest: false,
             shards: 1,
+            checkpoint: None,
+            seeds: 1,
+            events: 4000,
         };
         let mut positional = Vec::new();
         let mut it = args.iter();
@@ -124,6 +134,17 @@ impl Flags {
                         .parse()
                         .map_err(|_| CliError::Usage("--shards expects an integer".into()))?
                 }
+                "--checkpoint" => flags.checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
+                "--seeds" => {
+                    flags.seeds = take("--seeds")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--seeds expects an integer".into()))?
+                }
+                "--events" => {
+                    flags.events = take("--events")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--events expects an integer".into()))?
+                }
                 other => positional.push(other.to_string()),
             }
         }
@@ -148,7 +169,7 @@ fn make_workload(name: &str, flags: &Flags) -> Result<Workload, CliError> {
 pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::Usage(
-            "expected a subcommand: gen | stats | classify | replay | mix | online".into(),
+            "expected a subcommand: gen | stats | classify | replay | mix | online | chaos".into(),
         ));
     };
     let (positional, flags) = Flags::parse(rest)?;
@@ -159,6 +180,7 @@ pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), Cl
         "replay" => replay(&positional, &flags, out),
         "mix" => mix(&positional, &flags, out),
         "online" => online(&positional, &flags, out),
+        "chaos" => chaos(&flags, out),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -303,6 +325,7 @@ fn mix(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<()
         let f = Flags {
             seed: flags.seed + i as u64,
             out: flags.out.clone(),
+            checkpoint: flags.checkpoint.clone(),
             ..*flags
         };
         parts.push(make_workload(name, &f)?);
@@ -419,14 +442,29 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     } else {
         flags.shards
     };
-    let mut daemon = ColocatedDaemon::with_shards(
-        &catalog,
-        num_enclosures,
-        &storage,
-        policy,
-        flags.break_even,
-        shards,
-    );
+    // `--checkpoint FILE`: resume from the file when it exists (skipping
+    // the already-folded prefix of the stream), then persist a fresh
+    // checkpoint at every plan rollover and at end of stream.
+    let mut resume_skip = 0u64;
+    let mut daemon = match &flags.checkpoint {
+        Some(path) if path.exists() => {
+            let cp = read_checkpoint_file(path)
+                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            let d =
+                ColocatedDaemon::resume(&catalog, num_enclosures, &storage, policy, shards, &cp)
+                    .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            resume_skip = d.events();
+            d
+        }
+        _ => ColocatedDaemon::with_shards(
+            &catalog,
+            num_enclosures,
+            &storage,
+            policy,
+            flags.break_even,
+            shards,
+        ),
+    };
 
     let input: Box<dyn BufRead + Send> = if trace_arg == "-" {
         Box::new(BufReader::new(std::io::stdin()))
@@ -445,15 +483,39 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     let (rx, live, reader) = spawn_reader_batched(input, capacity, EVENT_BATCH, overflow);
 
     let mut plans = Vec::new();
+    let mut skipped = 0u64;
     for batch in rx {
         for rec in batch {
-            plans.extend(daemon.step(rec));
+            if skipped < resume_skip {
+                skipped += 1;
+                continue;
+            }
+            let stepped = daemon
+                .step(rec)
+                .map_err(|e| CliError::Parse(e.to_string()))?;
+            if !stepped.is_empty() {
+                if let Some(path) = &flags.checkpoint {
+                    let cp = daemon
+                        .checkpoint()
+                        .map_err(|e| CliError::Parse(e.to_string()))?;
+                    write_checkpoint_file(path, &cp)
+                        .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+                }
+            }
+            plans.extend(stepped);
         }
     }
     reader
         .join()
         .map_err(|_| CliError::Parse("ingest thread panicked".into()))?
         .map_err(|e| CliError::Parse(e.to_string()))?;
+    if let Some(path) = &flags.checkpoint {
+        let cp = daemon
+            .checkpoint()
+            .map_err(|e| CliError::Parse(e.to_string()))?;
+        write_checkpoint_file(path, &cp)
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+    }
     // Report from the live counters the producer was bumping as it ran —
     // the same numbers a status probe would have read mid-stream.
     let ingest = live.snapshot();
@@ -489,6 +551,12 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
             },
         )?;
     }
+    if resume_skip > 0 {
+        writeln!(
+            out,
+            "resumed:       skipped {resume_skip} checkpointed events"
+        )?;
+    }
     writeln!(
         out,
         "events:        {} accepted, {} dropped",
@@ -507,6 +575,71 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
         summary.avg_response.as_millis_f64()
     )?;
     Ok(())
+}
+
+/// `ees chaos`: runs the seeded fault-injection suite (DESIGN.md §11) —
+/// `--seeds N` consecutive master seeds starting at `--seed`, each a
+/// differential experiment against the fault-free baseline. Exits
+/// non-zero on any plan divergence or escaped panic.
+fn chaos(flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let mut reports = Vec::new();
+    let mut failures = Vec::new();
+    for offset in 0..flags.seeds.max(1) {
+        let cfg = ChaosConfig {
+            seed: flags.seed + offset,
+            shards: flags.shards.max(1),
+            events: flags.events,
+            ..ChaosConfig::default()
+        };
+        // A panic escaping the harness is exactly what the suite exists
+        // to catch — contain it and fail the run instead of aborting.
+        let outcome = std::panic::catch_unwind(|| run_chaos(&cfg));
+        match outcome {
+            Ok(Ok(report)) => {
+                if let Some(d) = &report.divergence {
+                    failures.push(format!("seed {}: divergence: {d}", report.seed));
+                }
+                reports.push(report);
+            }
+            Ok(Err(e)) => failures.push(format!("seed {}: fatal: {e}", cfg.seed)),
+            Err(_) => failures.push(format!("seed {}: escaped panic", cfg.seed)),
+        }
+    }
+    if flags.json {
+        writeln!(out, "{}", jsonout::chaos_json(&reports, &failures))?;
+    } else {
+        for r in &reports {
+            writeln!(
+                out,
+                "seed {:>4}  shards {}  events {}  faults {:>3} (m {} t {} d {} s {} z {})  \
+                 respawns {}  restores {}  plans {:>3}  {}",
+                r.seed,
+                r.shards,
+                r.events,
+                r.malformed + r.truncated + r.duplicated + r.swapped + r.stalls,
+                r.malformed,
+                r.truncated,
+                r.duplicated,
+                r.swapped,
+                r.stalls,
+                r.respawns,
+                r.crash_restores,
+                r.plans,
+                if r.passed() { "ok" } else { "DIVERGED" },
+            )?;
+        }
+        writeln!(
+            out,
+            "chaos: {} seed(s), {} failure(s)",
+            flags.seeds.max(1),
+            failures.len()
+        )?;
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Parse(failures.join("; ")))
+    }
 }
 
 #[cfg(test)]

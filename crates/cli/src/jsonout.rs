@@ -13,7 +13,7 @@
 use ees_core::{LogicalIoPattern, PatternMix};
 use ees_iotrace::ndjson::json_escape;
 use ees_iotrace::TraceSummary;
-use ees_online::{IngestStats, OnlineSummary, PlanEnvelope, RolloverReason};
+use ees_online::{ChaosReport, IngestStats, OnlineSummary, PlanEnvelope, RolloverReason};
 use ees_replay::RunReport;
 
 /// Formats a float as a JSON number; non-finite values become `null`.
@@ -110,6 +110,56 @@ pub fn online_json(
         ingest.accepted,
         ingest.dropped,
         plan_lines,
+    )
+}
+
+/// `ees chaos --json`: per-seed fault-injection evidence plus any
+/// failures (divergences, fatal errors, escaped panics).
+pub fn chaos_json(reports: &[ChaosReport], failures: &[String]) -> String {
+    let mut run_lines = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        run_lines.push_str(&format!(
+            "    {{\"seed\":{},\"shards\":{},\"events\":{},\"malformed\":{},\
+             \"truncated\":{},\"duplicated\":{},\"swapped\":{},\"stalls\":{},\
+             \"parse_skips\":{},\"dup_drops\":{},\"respawns\":{},\"crash_restores\":{},\
+             \"plans\":{},\"overflow_accepted\":{},\"overflow_dropped\":{},\
+             \"divergence\":{}}}{}\n",
+            r.seed,
+            r.shards,
+            r.events,
+            r.malformed,
+            r.truncated,
+            r.duplicated,
+            r.swapped,
+            r.stalls,
+            r.parse_skips,
+            r.dup_drops,
+            r.respawns,
+            r.crash_restores,
+            r.plans,
+            r.overflow_accepted,
+            r.overflow_dropped,
+            r.divergence
+                .as_deref()
+                .map(|d| format!("\"{}\"", json_escape(d)))
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    let mut failure_lines = String::new();
+    for (i, f) in failures.iter().enumerate() {
+        failure_lines.push_str(&format!(
+            "    \"{}\"{}\n",
+            json_escape(f),
+            if i + 1 < failures.len() { "," } else { "" }
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"ees.chaos.v1\",\n  \"passed\": {},\n  \"runs\": [\n{}  ],\n  \
+         \"failures\": [\n{}  ]\n}}",
+        failures.is_empty(),
+        run_lines,
+        failure_lines,
     )
 }
 

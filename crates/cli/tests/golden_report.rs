@@ -1,0 +1,56 @@
+//! Golden-file pin of the `ees.report.v1` machine-readable surface.
+//!
+//! The JSON these commands emit is a public contract: downstream tooling
+//! parses a batch replay and a live daemon run with the same code. Both
+//! fixtures are checked in and compared byte for byte — a key rename, a
+//! unit change, or a float-formatting drift fails here first and must be
+//! a deliberate fixture update, never an accident.
+
+use ees_cli::run_cli;
+
+fn run_to_string(args: &[String]) -> String {
+    let mut buf = Vec::new();
+    run_cli(args.to_vec(), &mut buf).expect("command failed");
+    String::from_utf8(buf).expect("output is UTF-8")
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn replay_json_matches_golden_fixture() {
+    let got = run_to_string(&args(&[
+        "replay", "tpcc", "proposed", "--scale", "0.01", "--seed", "42", "--json",
+    ]));
+    let want = include_str!("fixtures/report_replay_v1.json");
+    assert_eq!(got, want, "ees.report.v1 replay envelope drifted");
+}
+
+#[test]
+fn online_json_matches_golden_fixture() {
+    let dir = std::env::temp_dir().join(format!("ees-golden-online-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.to_string_lossy().to_string();
+    run_to_string(&args(&[
+        "gen", "tpcc", "--scale", "0.01", "--seed", "42", "--out", &out,
+    ]));
+    let trace = dir.join("tpcc.trace.jsonl");
+    let items = dir.join("tpcc.items.json");
+    let got = run_to_string(&args(&[
+        "online",
+        &trace.to_string_lossy(),
+        &items.to_string_lossy(),
+        "--period",
+        "20",
+        "--shards",
+        "2",
+        "--json",
+    ]));
+    // The source path is echoed into the envelope; normalize it so the
+    // fixture is machine-independent.
+    let got = got.replace(&*trace.to_string_lossy(), "<SOURCE>");
+    let want = include_str!("fixtures/report_online_v1.json");
+    assert_eq!(got, want, "ees.report.v1 online envelope drifted");
+    let _ = std::fs::remove_dir_all(&dir);
+}

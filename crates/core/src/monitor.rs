@@ -33,6 +33,19 @@ pub struct PeriodRecord {
 /// a spurious pattern change when it returns.
 const DEFAULT_RETENTION_PERIODS: usize = 8;
 
+/// Checkpointable snapshot of a [`MonitorHistory`]: the same data with
+/// the map flattened to a sorted vector so the hand-rolled checkpoint
+/// codec can stream it without caring about map internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorHistoryState {
+    /// All period records, oldest first.
+    pub periods: Vec<PeriodRecord>,
+    /// `(item, pattern, last-seen period index)` triples, sorted by item.
+    pub last_pattern: Vec<(DataItemId, LogicalIoPattern, u64)>,
+    /// Retention window in periods.
+    pub retention: usize,
+}
+
 /// The management function's view of monitoring history across periods.
 #[derive(Debug, Clone)]
 pub struct MonitorHistory {
@@ -113,6 +126,33 @@ impl MonitorHistory {
     /// The latest period's pattern mix.
     pub fn latest_mix(&self) -> Option<PatternMix> {
         self.periods.last().map(|p| p.mix)
+    }
+
+    /// Copies the history's dynamic state out for checkpointing.
+    pub fn export_state(&self) -> MonitorHistoryState {
+        MonitorHistoryState {
+            periods: self.periods.clone(),
+            last_pattern: self
+                .last_pattern
+                .iter()
+                .map(|(&id, &(p, seen))| (id, p, seen as u64))
+                .collect(),
+            retention: self.retention,
+        }
+    }
+
+    /// Rebuilds a history from a checkpointed state; the restored history
+    /// records subsequent periods exactly like the original would have.
+    pub fn from_state(s: MonitorHistoryState) -> Self {
+        MonitorHistory {
+            periods: s.periods,
+            last_pattern: s
+                .last_pattern
+                .into_iter()
+                .map(|(id, p, seen)| (id, (p, seen as usize)))
+                .collect(),
+            retention: s.retention.max(1),
+        }
     }
 
     /// Fraction of item-period classifications that repeated the previous

@@ -12,7 +12,7 @@ use crate::analysis::{p3_peak_iops, ItemReport};
 use crate::cache_select::{select_preload, select_write_delay};
 use crate::config::ProposedConfig;
 use crate::hotcold::determine_hot_cold;
-use crate::monitor::MonitorHistory;
+use crate::monitor::{MonitorHistory, MonitorHistoryState};
 use crate::period::next_period;
 use crate::placement::plan_placement_with_floor;
 use ees_iotrace::{DataItemId, EnclosureId, Micros, Span};
@@ -81,6 +81,50 @@ impl Planner {
         &self.history
     }
 
+    /// Copies the planner's dynamic state out for checkpointing. The
+    /// configuration is *not* part of the state: a restored controller is
+    /// constructed with its own (identical) configuration, and keeping it
+    /// out of the checkpoint means a config typo cannot silently override
+    /// the running deployment's settings.
+    pub fn export_state(&self) -> PlannerState {
+        PlannerState {
+            history: self.history.export_state(),
+            last_preload: self.last_preload.clone(),
+            last_write_delay: self.last_write_delay.clone(),
+            imax_smooth: self.imax_smooth,
+        }
+    }
+
+    /// Rebuilds a planner from a configuration plus checkpointed dynamic
+    /// state; subsequent [`plan`](Self::plan) calls produce exactly what
+    /// the original planner would have produced.
+    pub fn from_state(cfg: ProposedConfig, s: PlannerState) -> Self {
+        Planner {
+            cfg,
+            history: MonitorHistory::from_state(s.history),
+            last_preload: s.last_preload,
+            last_write_delay: s.last_write_delay,
+            imax_smooth: s.imax_smooth,
+        }
+    }
+}
+
+/// Checkpointable snapshot of a [`Planner`]'s dynamic state — everything
+/// `plan` reads besides its inputs and the (externally supplied)
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerState {
+    /// Monitoring history (periods + last pattern per item).
+    pub history: MonitorHistoryState,
+    /// Previous preload set for the §V.C retention rule.
+    pub last_preload: Vec<(DataItemId, u64)>,
+    /// Previous write-delay set for the §V.C retention rule.
+    pub last_write_delay: Vec<DataItemId>,
+    /// Decayed running maximum of the measured `I_max`.
+    pub imax_smooth: f64,
+}
+
+impl Planner {
     /// Plans one period from its per-item reports and enclosure views.
     /// `reports` is taken by mutable reference because cache selection
     /// must see the *post-migration* placement: an item evicted from a

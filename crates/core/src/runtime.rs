@@ -162,6 +162,64 @@ impl PatternChangeTriggers {
             .values()
             .any(|&last| t.saturating_sub(last) > self.break_even)
     }
+
+    /// Copies the trigger state out for checkpointing.
+    pub fn export_state(&self) -> TriggersState {
+        TriggersState {
+            break_even: self.break_even,
+            period_start: self.period_start,
+            hot_last_io: self.hot_last_io.iter().map(|(&e, &t)| (e, t)).collect(),
+            cold_spin_ups: self.cold_spin_ups.iter().map(|(&e, &c)| (e, c)).collect(),
+            recent_wakes: self.recent_wakes.iter().copied().collect(),
+            cold_count: self.cold_count,
+        }
+    }
+
+    /// Rebuilds trigger state from a checkpoint; subsequent observations
+    /// fire exactly as they would have on the original.
+    pub fn from_state(s: TriggersState) -> Self {
+        PatternChangeTriggers {
+            break_even: s.break_even,
+            period_start: s.period_start,
+            hot_last_io: s.hot_last_io.into_iter().collect(),
+            cold_spin_ups: s.cold_spin_ups.into_iter().collect(),
+            recent_wakes: s.recent_wakes.into_iter().collect(),
+            cold_count: s.cold_count,
+        }
+    }
+}
+
+/// Checkpointable snapshot of [`PatternChangeTriggers`] with the maps
+/// flattened to sorted vectors and the wake deque to a front-to-back
+/// vector, so the hand-rolled checkpoint codec can stream it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TriggersState {
+    /// Break-even time the triggers were armed with.
+    pub break_even: Micros,
+    /// Start of the current monitoring period (`t_e`).
+    pub period_start: Micros,
+    /// `(enclosure, last observed I/O)` pairs, sorted by enclosure.
+    pub hot_last_io: Vec<(EnclosureId, Micros)>,
+    /// `(enclosure, spin-ups since period start)` pairs, sorted.
+    pub cold_spin_ups: Vec<(EnclosureId, u64)>,
+    /// Storm-detector wake log, oldest first.
+    pub recent_wakes: Vec<(Micros, EnclosureId)>,
+    /// Cold-set size at the last re-arm.
+    pub cold_count: usize,
+}
+
+/// Checkpointable snapshot of [`ArmedTriggers`]: the inner trigger state
+/// plus the arming discipline's bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmedTriggersState {
+    /// The inner [`PatternChangeTriggers`] state.
+    pub triggers: TriggersState,
+    /// Whether a firing may currently request an invocation.
+    pub armed: bool,
+    /// Time of the last management invocation.
+    pub last_plan_at: Micros,
+    /// Minimum gap between invocations.
+    pub guard: Micros,
 }
 
 /// [`PatternChangeTriggers`] plus the arming discipline every §V.D
@@ -253,6 +311,26 @@ impl ArmedTriggers {
     /// Read access to the underlying trigger state.
     pub fn triggers(&self) -> &PatternChangeTriggers {
         &self.triggers
+    }
+
+    /// Copies the full armed-trigger state out for checkpointing.
+    pub fn export_state(&self) -> ArmedTriggersState {
+        ArmedTriggersState {
+            triggers: self.triggers.export_state(),
+            armed: self.armed,
+            last_plan_at: self.last_plan_at,
+            guard: self.guard,
+        }
+    }
+
+    /// Rebuilds an armed trigger set from a checkpoint.
+    pub fn from_state(s: ArmedTriggersState) -> Self {
+        ArmedTriggers {
+            triggers: PatternChangeTriggers::from_state(s.triggers),
+            armed: s.armed,
+            last_plan_at: s.last_plan_at,
+            guard: s.guard,
+        }
     }
 }
 

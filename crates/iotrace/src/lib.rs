@@ -33,7 +33,7 @@ pub use ndjson::EventReader;
 pub use record::{LogicalIoRecord, LogicalTrace, PhysicalIoRecord, PhysicalTrace};
 pub use slice::{summarize, TraceSummary};
 pub use stats::{
-    analyze_item_period, gaps_with_bounds, split_by_item, IntervalBuilder, IntervalCdf, IoSequence,
-    IopsSeries, ItemIntervalStats, Span,
+    analyze_item_period, gaps_with_bounds, split_by_item, IntervalBuilder, IntervalBuilderState,
+    IntervalCdf, IoSequence, IopsSeries, ItemIntervalStats, Span,
 };
 pub use types::{fmt_bytes, DataItemId, EnclosureId, IoKind, Micros, VolumeId, GIB, KIB, MIB, TIB};

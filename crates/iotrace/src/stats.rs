@@ -279,6 +279,78 @@ impl IntervalBuilder {
     }
 }
 
+/// The complete dynamic state of an [`IntervalBuilder`], as plain public
+/// fields — the unit a crash-safe controller checkpoints mid-period.
+///
+/// [`IntervalBuilder::export_state`] and [`IntervalBuilder::from_state`]
+/// round-trip exactly: a builder restored from an exported state folds
+/// subsequent I/Os (and [`finish`](IntervalBuilder::finish)es) identically
+/// to the original, so a controller restarted from a checkpoint classifies
+/// byte-for-byte like one that never stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalBuilderState {
+    /// The data item under analysis.
+    pub item: DataItemId,
+    /// Period start the builder was opened at.
+    pub start: Micros,
+    /// Break-even time splitting Long Intervals from sequence gaps.
+    pub break_even: Micros,
+    /// Long Intervals completed so far, in time order.
+    pub long_intervals: Vec<Span>,
+    /// I/O Sequences completed so far, in time order.
+    pub sequences: Vec<IoSequence>,
+    /// The open sequence, absent until the first I/O.
+    pub cur: Option<IoSequence>,
+    /// Timestamp of the last folded I/O (period start before the first).
+    pub last_ts: Micros,
+    /// Read I/Os folded so far.
+    pub reads: u64,
+    /// Write I/Os folded so far.
+    pub writes: u64,
+    /// Bytes read so far.
+    pub bytes_read: u64,
+    /// Bytes written so far.
+    pub bytes_written: u64,
+}
+
+impl IntervalBuilder {
+    /// Copies the builder's dynamic state out for checkpointing.
+    pub fn export_state(&self) -> IntervalBuilderState {
+        IntervalBuilderState {
+            item: self.item,
+            start: self.start,
+            break_even: self.break_even,
+            long_intervals: self.long_intervals.clone(),
+            sequences: self.sequences.clone(),
+            cur: self.cur,
+            last_ts: self.last_ts,
+            reads: self.reads,
+            writes: self.writes,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+        }
+    }
+
+    /// Rebuilds a builder from a checkpointed state; the restored builder
+    /// continues exactly where [`export_state`](Self::export_state) left
+    /// off.
+    pub fn from_state(s: IntervalBuilderState) -> Self {
+        IntervalBuilder {
+            item: s.item,
+            start: s.start,
+            break_even: s.break_even,
+            long_intervals: s.long_intervals,
+            sequences: s.sequences,
+            cur: s.cur,
+            last_ts: s.last_ts,
+            reads: s.reads,
+            writes: s.writes,
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+        }
+    }
+}
+
 /// Computes the interval structure of one item's I/Os over a monitoring
 /// period (paper §IV.B steps 1–2).
 ///

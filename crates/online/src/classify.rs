@@ -10,9 +10,26 @@
 //! proptest-enforces.
 
 use ees_core::{classify, ItemReport};
-use ees_iotrace::{DataItemId, IntervalBuilder, IopsSeries, LogicalIoRecord, Micros, Span};
+use ees_iotrace::{
+    DataItemId, IntervalBuilder, IntervalBuilderState, IopsSeries, LogicalIoRecord, Micros, Span,
+};
 use ees_simstorage::PlacementMap;
 use std::collections::BTreeMap;
+
+/// Checkpointable snapshot of one item's mid-period classification state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemCheckpoint {
+    /// The item this state belongs to.
+    pub id: DataItemId,
+    /// Streaming interval-statistics fold.
+    pub builder: IntervalBuilderState,
+    /// One-second I/O counts since period start.
+    pub buckets: Vec<u32>,
+    /// Timestamp of the latest record observed.
+    pub last_ts: Micros,
+    /// How many records share that latest timestamp.
+    pub count_at_last_ts: u32,
+}
 
 /// Per-item running state for the current monitoring period.
 struct ItemState {
@@ -67,6 +84,42 @@ impl IncrementalClassifier {
     /// Number of items with I/O observed this period.
     pub fn active_items(&self) -> usize {
         self.items.len()
+    }
+
+    /// Copies every item's mid-period state out for checkpointing, in
+    /// item order. The classifier keeps running — exporting is a read.
+    pub fn export_items(&self) -> Vec<ItemCheckpoint> {
+        self.items
+            .iter()
+            .map(|(&id, s)| ItemCheckpoint {
+                id,
+                builder: s.builder.export_state(),
+                buckets: s.buckets.clone(),
+                last_ts: s.last_ts,
+                count_at_last_ts: s.count_at_last_ts,
+            })
+            .collect()
+    }
+
+    /// Replaces the running per-item state with checkpointed state —
+    /// the restore half of [`export_items`](Self::export_items). The
+    /// caller constructs the classifier with the checkpointed period
+    /// start and break-even first.
+    pub fn import_items(&mut self, items: Vec<ItemCheckpoint>) {
+        self.items = items
+            .into_iter()
+            .map(|c| {
+                (
+                    c.id,
+                    ItemState {
+                        builder: IntervalBuilder::from_state(c.builder),
+                        buckets: c.buckets,
+                        last_ts: c.last_ts,
+                        count_at_last_ts: c.count_at_last_ts,
+                    },
+                )
+            })
+            .collect();
     }
 
     /// Folds one record into the running state. Records must arrive in

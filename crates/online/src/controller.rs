@@ -7,8 +7,10 @@
 //! [`EnergyEfficientPolicy`](ees_core::EnergyEfficientPolicy) inside the
 //! replay engine — same classification, same plans, same re-arm points.
 
-use crate::classify::IncrementalClassifier;
-use ees_core::{snapshot_guard, ArmedTriggers, Planner, ProposedConfig};
+use crate::classify::{IncrementalClassifier, ItemCheckpoint};
+use ees_core::{
+    snapshot_guard, ArmedTriggers, ArmedTriggersState, Planner, PlannerState, ProposedConfig,
+};
 use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, Micros, Span};
 use ees_policy::{EnclosureView, ManagementPlan};
 use ees_simstorage::PlacementMap;
@@ -24,7 +26,7 @@ pub enum RolloverReason {
 }
 
 /// One management invocation's output, stamped with its period.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanEnvelope {
     /// The monitoring period the plan was derived from.
     pub period: Span,
@@ -106,6 +108,43 @@ impl OnlineController {
         self.classifier.observe(rec);
     }
 
+    /// Copies the controller's full dynamic state out for checkpointing:
+    /// planner history, trigger arming, mid-period per-item
+    /// classification, and period bookkeeping. The controller keeps
+    /// running — exporting is a read.
+    pub fn export_state(&self) -> ControllerState {
+        ControllerState {
+            break_even: self.break_even,
+            period_start: self.period_start,
+            period_len: self.period_len,
+            periods: self.periods,
+            trigger_cuts: self.trigger_cuts,
+            planner: self.planner.export_state(),
+            triggers: self.triggers.export_state(),
+            items: self.classifier.export_items(),
+        }
+    }
+
+    /// Rebuilds a controller from a configuration plus checkpointed
+    /// state. Feeding the restored controller the records the original
+    /// had not yet seen yields exactly the plans the original would have
+    /// produced — the crash-safety invariant the `chaos` test suite
+    /// property-checks.
+    pub fn from_state(cfg: ProposedConfig, s: ControllerState) -> Self {
+        let mut classifier = IncrementalClassifier::new(s.period_start, s.break_even);
+        classifier.import_items(s.items);
+        OnlineController {
+            classifier,
+            planner: Planner::from_state(cfg, s.planner),
+            triggers: ArmedTriggers::from_state(s.triggers),
+            break_even: s.break_even,
+            period_start: s.period_start,
+            period_len: s.period_len.max(Micros(1)),
+            periods: s.periods,
+            trigger_cuts: s.trigger_cuts,
+        }
+    }
+
     /// Feeds the served record's enclosure to the §V.D triggers; `true`
     /// means a trigger fired and the caller should invoke
     /// [`rollover`](Self::rollover) at `t` (if `t` is past the period
@@ -173,4 +212,27 @@ impl OnlineController {
             plan: outcome.plan,
         }
     }
+}
+
+/// Checkpointable snapshot of an [`OnlineController`]'s dynamic state.
+/// The policy configuration is supplied at restore time, not stored —
+/// see [`Planner::export_state`](ees_core::Planner::export_state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    /// Break-even time of the managed storage unit.
+    pub break_even: Micros,
+    /// Start of the running period.
+    pub period_start: Micros,
+    /// Scheduled length of the running period.
+    pub period_len: Micros,
+    /// Periods closed so far.
+    pub periods: u64,
+    /// How many of those were trigger cuts.
+    pub trigger_cuts: u64,
+    /// Planner history + §V.C retention sets + smoothed peak.
+    pub planner: PlannerState,
+    /// §V.D trigger arming state.
+    pub triggers: ArmedTriggersState,
+    /// Mid-period per-item classification state, in item order.
+    pub items: Vec<ItemCheckpoint>,
 }

@@ -9,8 +9,10 @@
 //! period for period, as `ees_replay::run` over the same workload. The
 //! `equivalence` test suite asserts this plan-for-plan.
 
+use crate::checkpoint::ControllerCheckpoint;
 use crate::controller::{OnlineController, PlanEnvelope, RolloverReason};
-use crate::shard::ShardedController;
+use crate::error::OnlineError;
+use crate::shard::{ShardOptions, ShardedController};
 use ees_core::ProposedConfig;
 use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, Micros};
 use ees_policy::EnclosureView;
@@ -22,6 +24,9 @@ use std::collections::BTreeSet;
 /// Either controller flavor behind one dispatch point: the daemon's flow
 /// is identical for both, and the sharded flavor is plan-for-plan
 /// identical to the single-threaded one by construction.
+// Exactly one instance lives per daemon, so the variant size gap
+// costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum DaemonController {
     Single(OnlineController),
     Sharded(ShardedController),
@@ -91,10 +96,34 @@ impl DaemonController {
         placement: &PlacementMap,
         sequential: &BTreeSet<DataItemId>,
         views: &[EnclosureView],
-    ) -> PlanEnvelope {
+    ) -> Result<PlanEnvelope, OnlineError> {
         match self {
-            DaemonController::Single(c) => c.rollover(t_end, reason, placement, sequential, views),
+            DaemonController::Single(c) => {
+                Ok(c.rollover(t_end, reason, placement, sequential, views))
+            }
             DaemonController::Sharded(c) => c.rollover(t_end, reason, placement, sequential, views),
+        }
+    }
+
+    fn export_state(
+        &mut self,
+        placement: &PlacementMap,
+        sequential: &BTreeSet<DataItemId>,
+        events: u64,
+        last_ts: Micros,
+    ) -> Result<ControllerCheckpoint, OnlineError> {
+        match self {
+            DaemonController::Single(c) => Ok(ControllerCheckpoint {
+                events,
+                last_ts,
+                placement: placement
+                    .iter()
+                    .map(|(id, pl)| (id, pl.enclosure, pl.size))
+                    .collect(),
+                sequential: sequential.iter().copied().collect(),
+                state: c.export_state(),
+            }),
+            DaemonController::Sharded(c) => c.checkpoint(events, last_ts, placement, sequential),
         }
     }
 }
@@ -196,6 +225,74 @@ impl ColocatedDaemon {
         }
     }
 
+    /// Rebuilds a daemon from a checkpoint taken by
+    /// [`checkpoint`](Self::checkpoint). Every item is re-pinned to its
+    /// checkpointed enclosure, the controller's dynamic state (planner
+    /// history, trigger arming, mid-period classification) is restored,
+    /// and the event counter resumes at `cp.events` — the caller skips
+    /// that many already-folded events before feeding the rest of the
+    /// stream. The storage-side power meters restart at zero: plan
+    /// equivalence is a controller property (property-tested in
+    /// `tests/chaos.rs`), while run-level power/response summaries cover
+    /// only the post-restart tail.
+    pub fn resume(
+        items: &[CatalogItem],
+        num_enclosures: u16,
+        storage: &StorageConfig,
+        policy: ProposedConfig,
+        shards: usize,
+        cp: &ControllerCheckpoint,
+    ) -> Result<Self, OnlineError> {
+        let by_id: std::collections::BTreeMap<DataItemId, (EnclosureId, u64)> = cp
+            .placement
+            .iter()
+            .map(|&(id, enc, size)| (id, (enc, size)))
+            .collect();
+        let mut catalog: Vec<CatalogItem> = items.to_vec();
+        for it in &mut catalog {
+            if let Some(&(enc, size)) = by_id.get(&it.id) {
+                it.enclosure = enc;
+                it.size = size;
+            }
+        }
+        let harness = StreamHarness::new(&catalog, num_enclosures, storage);
+        let controller = if shards > 1 {
+            DaemonController::Sharded(ShardedController::from_checkpoint(
+                policy,
+                shards,
+                ShardOptions::default(),
+                cp,
+            )?)
+        } else {
+            DaemonController::Single(OnlineController::from_state(policy, cp.state.clone()))
+        };
+        Ok(ColocatedDaemon {
+            harness,
+            controller,
+            events: cp.events,
+            response_sum: 0.0,
+            last_ts: cp.last_ts,
+        })
+    }
+
+    /// Snapshots the daemon into a versioned [`ControllerCheckpoint`]:
+    /// controller dynamic state plus the current placement view and
+    /// ingest position. Pair with [`resume`](Self::resume).
+    pub fn checkpoint(&mut self) -> Result<ControllerCheckpoint, OnlineError> {
+        self.controller.export_state(
+            self.harness.placement(),
+            self.harness.sequential(),
+            self.events,
+            self.last_ts,
+        )
+    }
+
+    /// Events processed so far (resumes from the checkpointed count
+    /// after [`resume`](Self::resume)).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
     /// Classification shard workers behind the controller (1 when
     /// single-threaded).
     pub fn shards(&self) -> usize {
@@ -210,7 +307,11 @@ impl ColocatedDaemon {
         &self.harness
     }
 
-    fn invoke(&mut self, t_end: Micros, reason: RolloverReason) -> PlanEnvelope {
+    fn invoke(
+        &mut self,
+        t_end: Micros,
+        reason: RolloverReason,
+    ) -> Result<PlanEnvelope, OnlineError> {
         self.harness.refresh_views();
         let envelope = self.controller.rollover(
             t_end,
@@ -218,21 +319,23 @@ impl ColocatedDaemon {
             self.harness.placement(),
             self.harness.sequential(),
             self.harness.views(),
-        );
+        )?;
         self.harness.apply_plan(t_end, &envelope.plan);
         self.harness.begin_period();
-        envelope
+        Ok(envelope)
     }
 
     /// Processes one logical record; returns the plans this record caused
     /// (zero or more scheduled boundaries it crossed, plus at most one
-    /// trigger cut).
-    pub fn step(&mut self, rec: LogicalIoRecord) -> Vec<PlanEnvelope> {
+    /// trigger cut). `Err` only for fatal supervision failures (a
+    /// quarantined shard, or a worker the supervisor could not rebuild) —
+    /// recoverable incidents are absorbed and the fold continues.
+    pub fn step(&mut self, rec: LogicalIoRecord) -> Result<Vec<PlanEnvelope>, OnlineError> {
         let mut plans = Vec::new();
         // Period boundaries at or before this record.
         while self.controller.needs_rollover(rec.ts) {
             let t_end = self.controller.boundary();
-            plans.push(self.invoke(t_end, RolloverReason::Boundary));
+            plans.push(self.invoke(t_end, RolloverReason::Boundary)?);
         }
 
         let t = rec.ts;
@@ -249,9 +352,9 @@ impl ColocatedDaemon {
         }
         invoke_now |= self.controller.observe_io_event(t, served.enclosure);
         if invoke_now && t > self.controller.period_start() {
-            plans.push(self.invoke(t, RolloverReason::Trigger));
+            plans.push(self.invoke(t, RolloverReason::Trigger)?);
         }
-        plans
+        Ok(plans)
     }
 
     /// Ends the stream at `end` (defaults to the last record's timestamp

@@ -26,11 +26,93 @@
 
 use ees_iotrace::ndjson::EventReader;
 use ees_iotrace::LogicalIoRecord;
-use std::io::BufRead;
+use std::io::{BufRead, Read};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Transient-error retries before a read is declared failed.
+const RETRY_ATTEMPTS: u32 = 8;
+/// First retry backoff; doubles per attempt (50µs … 6.4ms ≈ 12.75ms
+/// total worst case).
+const RETRY_BASE: Duration = Duration::from_micros(50);
+
+/// A [`BufRead`] adapter that absorbs transient read errors
+/// (`WouldBlock` / `TimedOut` — what a live tap over a non-blocking pipe
+/// or a stalling FUSE mount surfaces) with bounded exponential backoff,
+/// instead of letting one stall kill the whole ingest thread. After
+/// [`RETRY_ATTEMPTS`] consecutive failures the last error propagates;
+/// any successful read resets the budget.
+///
+/// `std`'s readers auto-retry only [`ErrorKind::Interrupted`](std::io::ErrorKind::Interrupted),
+/// so without this adapter a single `EAGAIN` aborts the stream.
+#[derive(Debug)]
+pub struct RetryingReader<R> {
+    inner: R,
+    /// Transient errors absorbed so far (for diagnostics).
+    retried: u64,
+}
+
+impl<R: BufRead> RetryingReader<R> {
+    /// Wraps `inner` with transient-error retry.
+    pub fn new(inner: R) -> Self {
+        RetryingReader { inner, retried: 0 }
+    }
+
+    /// Transient read errors absorbed so far.
+    pub fn retries(&self) -> u64 {
+        self.retried
+    }
+
+    fn with_retry<T>(
+        retried: &mut u64,
+        mut op: impl FnMut() -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let mut backoff = RETRY_BASE;
+        let mut last_err = None;
+        for attempt in 0..=RETRY_ATTEMPTS {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) && attempt < RETRY_ATTEMPTS =>
+                {
+                    *retried += 1;
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("loop exits early unless a transient error was seen"))
+    }
+}
+
+impl<R: BufRead> Read for RetryingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let inner = &mut self.inner;
+        Self::with_retry(&mut self.retried, || inner.read(buf))
+    }
+}
+
+impl<R: BufRead> BufRead for RetryingReader<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        // Polonius-shaped workaround: probe with retry (dropping the
+        // borrow each round), then hand out the buffer once it is known
+        // to be ready.
+        Self::with_retry(&mut self.retried, || self.inner.fill_buf().map(|_| ()))?;
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt)
+    }
+}
 
 /// What the producer does when the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,12 +185,14 @@ where
     let counters = Arc::new(IngestCounters::default());
     let live = Arc::clone(&counters);
     let handle = std::thread::spawn(move || {
-        for rec in EventReader::new(input) {
+        for rec in EventReader::new(RetryingReader::new(input)) {
             let rec = rec?;
             match policy {
                 OverflowPolicy::Block => {
                     if tx.send(rec).is_err() {
-                        // Consumer hung up: stop reading.
+                        // Consumer hung up: the in-hand record is lost —
+                        // count it so accepted + dropped == parsed.
+                        live.dropped.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
                     live.accepted.fetch_add(1, Ordering::Relaxed);
@@ -120,7 +204,10 @@ where
                     Err(TrySendError::Full(_)) => {
                         live.dropped.fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(TrySendError::Disconnected(_)) => break,
+                    Err(TrySendError::Disconnected(_)) => {
+                        live.dropped.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
                 },
             }
         }
@@ -155,16 +242,27 @@ where
     let handle = std::thread::spawn(move || {
         let mut buf: Vec<LogicalIoRecord> = Vec::with_capacity(batch);
         let mut disconnected = false;
+        // Every parsed event ends up in exactly one counter: accepted on
+        // delivery, dropped on queue overflow, on consumer hang-up (the
+        // in-flight batch), or on a parse/read error (the partial batch
+        // that never flushed). A fault burst that overflows mid-batch
+        // therefore reports the exact event count, not a batch count.
         let flush = |buf: &mut Vec<LogicalIoRecord>, disconnected: &mut bool| {
-            if buf.is_empty() || *disconnected {
+            if buf.is_empty() {
                 return;
             }
             let n = buf.len() as u64;
+            if *disconnected {
+                buf.clear();
+                live.dropped.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
             let full = std::mem::replace(buf, Vec::with_capacity(batch));
             match policy {
                 OverflowPolicy::Block => {
                     if tx.send(full).is_err() {
                         *disconnected = true;
+                        live.dropped.fetch_add(n, Ordering::Relaxed);
                     } else {
                         live.accepted.fetch_add(n, Ordering::Relaxed);
                     }
@@ -176,12 +274,22 @@ where
                     Err(TrySendError::Full(_)) => {
                         live.dropped.fetch_add(n, Ordering::Relaxed);
                     }
-                    Err(TrySendError::Disconnected(_)) => *disconnected = true,
+                    Err(TrySendError::Disconnected(_)) => {
+                        *disconnected = true;
+                        live.dropped.fetch_add(n, Ordering::Relaxed);
+                    }
                 },
             }
         };
-        for rec in EventReader::new(input) {
-            let rec = rec?;
+        for rec in EventReader::new(RetryingReader::new(input)) {
+            let rec = match rec {
+                Ok(rec) => rec,
+                Err(e) => {
+                    // The partial batch dies with the stream — count it.
+                    live.dropped.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                    return Err(e);
+                }
+            };
             buf.push(rec);
             if buf.len() >= batch {
                 flush(&mut buf, &mut disconnected);
@@ -283,6 +391,126 @@ mod tests {
         assert_eq!(stats.accepted + stats.dropped, 100, "every event counted");
         assert_eq!(rx.iter().map(|b| b.len() as u64).sum::<u64>(), 32);
         assert_eq!(counters.dropped(), 68);
+    }
+
+    #[test]
+    fn batched_consumer_hangup_counts_inflight_events_dropped() {
+        // Capacity 1 and a consumer that never drains: the first batch
+        // fills the queue slot, the second blocks in `send`. Dropping the
+        // receiver fails that blocked send — the in-flight batch must be
+        // counted dropped, not lost. The producer then stops parsing, so
+        // the tail of the stream is never counted: the invariant is
+        // accepted + dropped == *parsed*, not == input length.
+        let input: String = (0..20).map(|i| line(i * 1000)).collect();
+        let (rx, counters, handle) =
+            spawn_reader_batched(Cursor::new(input), 1, 8, OverflowPolicy::Block);
+        // Wait for batch 1 to be accepted so batch 2 is the one that
+        // hits the hang-up; otherwise the outcome races with `drop`.
+        while counters.accepted() < 8 {
+            std::thread::yield_now();
+        }
+        drop(rx);
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(stats.accepted, 8);
+        assert_eq!(stats.dropped, 8, "in-flight batch counted, not lost");
+        assert_eq!(counters.accepted() + counters.dropped(), 16);
+    }
+
+    #[test]
+    fn batched_parse_error_counts_partial_batch_dropped() {
+        // Five good events, then a malformed line, with batch = 8: the
+        // five buffered records never flush. They must be counted
+        // dropped, not silently discarded.
+        let mut input: String = (0..5).map(|i| line(i * 1000)).collect();
+        input.push_str("not json\n");
+        let (rx, counters, handle) =
+            spawn_reader_batched(Cursor::new(input), 4, 8, OverflowPolicy::Block);
+        assert_eq!(rx.iter().count(), 0);
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("line 6"), "{err}");
+        assert_eq!(counters.accepted(), 0);
+        assert_eq!(counters.dropped(), 5);
+    }
+
+    /// A reader that surfaces `WouldBlock` before every buffer refill —
+    /// the shape of a live tap over a non-blocking pipe: bytes already
+    /// buffered never stall, fetching fresh bytes (after a `consume`)
+    /// may.
+    struct StallingReader {
+        inner: Cursor<String>,
+        stall_next: bool,
+    }
+
+    impl std::io::Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let available = self.fill_buf()?;
+            let n = available.len().min(buf.len());
+            buf[..n].copy_from_slice(&available[..n]);
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl BufRead for StallingReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.stall_next {
+                self.stall_next = false;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "injected reader stall",
+                ));
+            }
+            self.inner.fill_buf()
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.stall_next = true;
+            self.inner.consume(amt)
+        }
+    }
+
+    #[test]
+    fn retrying_reader_absorbs_transient_stalls() {
+        let input: String = (0..50).map(|i| line(i * 1000)).collect();
+        let stalling = StallingReader {
+            inner: Cursor::new(input),
+            stall_next: true,
+        };
+        let (rx, _counters, handle) = spawn_reader(stalling, 16, OverflowPolicy::Block);
+        assert_eq!(rx.iter().count(), 50, "stalls must not lose events");
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(stats.accepted, 50);
+    }
+
+    /// A reader that never becomes ready.
+    struct DeadReader;
+
+    impl std::io::Read for DeadReader {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "stuck forever",
+            ))
+        }
+    }
+
+    impl BufRead for DeadReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "stuck forever",
+            ))
+        }
+
+        fn consume(&mut self, _amt: usize) {}
+    }
+
+    #[test]
+    fn retrying_reader_gives_up_after_bounded_attempts() {
+        let mut r = RetryingReader::new(DeadReader);
+        let err = r.fill_buf().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert_eq!(r.retries(), RETRY_ATTEMPTS as u64, "budget is bounded");
     }
 
     #[test]

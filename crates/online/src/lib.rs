@@ -34,19 +34,49 @@
 //! the matching monitor drivers ([`run_monitor_serial`] /
 //! [`run_monitor_sharded`]); `ees online --shards N` and
 //! [`ColocatedDaemon::with_shards`] select the sharded flavor.
+//!
+//! For production hardening the crate adds three failure-domain layers
+//! (DESIGN.md §11):
+//!
+//! * [`error`] — the typed [`OnlineError`] taxonomy (recoverable vs
+//!   fatal) that replaces ad-hoc panics on the hot path;
+//! * [`checkpoint`] — the versioned `ees.checkpoint.v1` codec plus
+//!   atomic file persistence, so a crashed controller restarts
+//!   mid-stream and still emits byte-identical plans;
+//! * [`fault`] / [`chaos`] — a seed-deterministic fault injector
+//!   (malformed lines, duplicates, reorderings, reader stalls, queue
+//!   overflow, worker panics) and the end-to-end chaos harness behind
+//!   `ees chaos`, which asserts zero plan divergence under every
+//!   injected fault schedule.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod classify;
 pub mod controller;
 pub mod daemon;
+pub mod error;
+pub mod fault;
 pub mod ingest;
 pub mod pipeline;
 pub mod shard;
 
-pub use classify::IncrementalClassifier;
-pub use controller::{OnlineController, PlanEnvelope, RolloverReason};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_file,
+    ControllerCheckpoint, CHECKPOINT_VERSION,
+};
+pub use classify::{IncrementalClassifier, ItemCheckpoint};
+pub use controller::{ControllerState, OnlineController, PlanEnvelope, RolloverReason};
 pub use daemon::{ColocatedDaemon, OnlineSummary};
-pub use ingest::{spawn_reader, spawn_reader_batched, IngestCounters, IngestStats, OverflowPolicy};
+pub use error::{OnlineError, Severity};
+pub use fault::{
+    silence_injected_panics, FaultRng, FaultSpec, FaultTally, FaultyReader, PanicSchedule,
+    Sanitizer,
+};
+pub use ingest::{
+    spawn_reader, spawn_reader_batched, IngestCounters, IngestStats, OverflowPolicy, RetryingReader,
+};
 pub use pipeline::{run_monitor_serial, run_monitor_sharded, MonitorOutcome};
-pub use shard::{shard_of, ShardedController};
+pub use shard::{shard_of, ShardOptions, ShardedController, SupervisionPolicy};

@@ -128,7 +128,14 @@ where
             }
         }
     }
-    handle.join().expect("reader thread panicked")?;
+    match handle.join() {
+        Ok(stats) => {
+            stats?;
+        }
+        // A reader-thread panic is a harness bug, but it must not take
+        // the coordinator down with an opaque double panic.
+        Err(_) => return Err(invalid_data("reader thread panicked".to_string())),
+    }
     Ok(MonitorOutcome {
         events,
         plans,
@@ -166,7 +173,9 @@ where
     // A shard discovers a parse error asynchronously; keep the earliest
     // line number so the surfaced error matches the serial reader's.
     let fail = |controller: &mut ShardedController, lineno: u64, msg: String| {
-        controller.sync();
+        // Best effort: a supervision failure during the error path must
+        // not mask the parse error being reported.
+        let _ = controller.sync();
         let mut best = (lineno, msg);
         if let Some((l, m)) = controller.take_ingest_error() {
             if l < best.0 {
@@ -204,7 +213,7 @@ where
                 harness.placement(),
                 harness.sequential(),
                 harness.views(),
-            );
+            )?;
             if let Some((l, m)) = controller.take_ingest_error() {
                 return Err(invalid_data(format!("line {l}: {m}")));
             }
@@ -228,7 +237,7 @@ where
                     harness.placement(),
                     harness.sequential(),
                     harness.views(),
-                );
+                )?;
                 if let Some((l, m)) = controller.take_ingest_error() {
                     return Err(invalid_data(format!("line {l}: {m}")));
                 }
@@ -239,7 +248,7 @@ where
             }
         }
     }
-    controller.sync();
+    controller.sync()?;
     if let Some((l, m)) = controller.take_ingest_error() {
         return Err(invalid_data(format!("line {l}: {m}")));
     }

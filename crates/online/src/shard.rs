@@ -24,9 +24,24 @@
 //! Planning, §V.D trigger arming, and period bookkeeping stay on the
 //! coordinator thread — only the per-record fold (and, on the raw-line
 //! path, NDJSON parsing) is fanned out.
+//!
+//! **Supervision** (DESIGN.md §11): a worker thread that panics no longer
+//! takes the whole pipeline down. The coordinator journals every batch it
+//! ships (one period's worth, cleared at each rollover or checkpoint
+//! barrier) and, on detecting a dead worker, either **respawns** it —
+//! replaying the journal on top of the last barrier's base state, which
+//! rebuilds the shard's classifier exactly — or **quarantines** the shard
+//! and surfaces a fatal [`OnlineError::WorkerPanic`] at the next barrier,
+//! per the configured [`SupervisionPolicy`]. Respawn keeps plans
+//! byte-identical to a panic-free run (property-tested in
+//! `tests/chaos.rs`) because the fold is deterministic in the records and
+//! their order, both of which the journal preserves.
 
-use crate::classify::IncrementalClassifier;
-use crate::controller::{PlanEnvelope, RolloverReason};
+use crate::checkpoint::ControllerCheckpoint;
+use crate::classify::{IncrementalClassifier, ItemCheckpoint};
+use crate::controller::{ControllerState, PlanEnvelope, RolloverReason};
+use crate::error::{OnlineError, Severity};
+use crate::fault::{PanicSchedule, INJECTED_PANIC_MARKER};
 use ees_core::{
     merge_shard_reports, snapshot_guard, ArmedTriggers, ItemReport, Planner, ProposedConfig,
 };
@@ -34,7 +49,7 @@ use ees_iotrace::ndjson::parse_event_borrowed;
 use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, Micros, Span};
 use ees_policy::EnclosureView;
 use ees_simstorage::PlacementMap;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -54,6 +69,9 @@ pub fn shard_of(item: DataItemId, n: usize) -> usize {
 }
 
 /// A batch of raw NDJSON lines shipped to a shard for parsing + folding.
+/// `Clone` because the coordinator journals every batch it ships, so a
+/// respawned worker can replay them.
+#[derive(Clone)]
 struct RawBatch {
     /// Concatenated line text.
     text: String,
@@ -70,6 +88,13 @@ impl RawBatch {
     }
 }
 
+/// One journaled unit of shard input — exactly what was sent, in order.
+#[derive(Clone)]
+enum JournalEntry {
+    Records(Vec<LogicalIoRecord>),
+    Raw(RawBatch),
+}
+
 /// Work sent to a shard worker. Channel order is observation order.
 enum ShardMsg {
     /// Pre-parsed records to fold (the daemon path, which needs every
@@ -77,6 +102,13 @@ enum ShardMsg {
     Records(Vec<LogicalIoRecord>),
     /// Raw lines to parse and fold (the monitor-pipeline path).
     Raw(RawBatch),
+    /// Replace the classifier state outright: period start plus per-item
+    /// checkpoints. Sent to a freshly (re)spawned worker before its
+    /// journal replay, and at checkpoint restore.
+    Load {
+        period_start: Micros,
+        items: Vec<ItemCheckpoint>,
+    },
     /// Close the period at `end`: report owned items and reset.
     Rollover {
         end: Micros,
@@ -85,6 +117,9 @@ enum ShardMsg {
         seq_factor: f64,
         reply: SyncSender<ShardReply>,
     },
+    /// Export the classifier's mid-period state without disturbing it
+    /// (the checkpoint barrier).
+    Snapshot { reply: SyncSender<ShardReply> },
     /// Flush point: report any pending parse error without closing the
     /// period (end of stream, or a coordinator-side error race).
     Ping { reply: SyncSender<ShardReply> },
@@ -93,21 +128,44 @@ enum ShardMsg {
 /// A worker's answer at a barrier.
 struct ShardReply {
     shard: usize,
-    /// Owned-item reports in placement order (empty for [`ShardMsg::Ping`]).
+    /// Owned-item reports in placement order (empty except for
+    /// [`ShardMsg::Rollover`]).
     reports: Vec<ItemReport>,
+    /// Mid-period item states (empty except for [`ShardMsg::Snapshot`]).
+    states: Vec<ItemCheckpoint>,
     /// First parse error this shard hit since the last barrier:
     /// `(line number, message)`.
     error: Option<(u64, String)>,
 }
 
-fn worker(shard: usize, shards: usize, break_even: Micros, rx: Receiver<ShardMsg>) {
+fn worker(
+    shard: usize,
+    shards: usize,
+    break_even: Micros,
+    rx: Receiver<ShardMsg>,
+    panic_schedule: Option<Arc<PanicSchedule>>,
+) {
     let mut classifier = IncrementalClassifier::new(Micros::ZERO, break_even);
     let mut error: Option<(u64, String)> = None;
+    // Records folded since this worker thread was spawned — the index the
+    // injected-panic schedule keys on. A respawned worker restarts at 0
+    // over the replayed journal; schedule points are one-shot, so replay
+    // cannot re-fire the panic that killed the predecessor.
+    let mut fold_idx: u64 = 0;
+    let maybe_panic = |fold_idx: u64| {
+        if let Some(sched) = &panic_schedule {
+            if sched.should_fire(shard, fold_idx) {
+                panic!("{INJECTED_PANIC_MARKER}: shard {shard} at fold {fold_idx}");
+            }
+        }
+    };
     for msg in rx {
         match msg {
             ShardMsg::Records(batch) => {
                 if error.is_none() {
                     for rec in &batch {
+                        maybe_panic(fold_idx);
+                        fold_idx += 1;
                         classifier.observe(rec);
                     }
                 }
@@ -119,13 +177,24 @@ fn worker(shard: usize, shards: usize, break_even: Micros, rx: Receiver<ShardMsg
                 for &(off, len, lineno) in &batch.lines {
                     let line = &batch.text[off as usize..(off + len) as usize];
                     match parse_event_borrowed(line) {
-                        Ok(rec) => classifier.observe(&rec),
+                        Ok(rec) => {
+                            maybe_panic(fold_idx);
+                            fold_idx += 1;
+                            classifier.observe(&rec);
+                        }
                         Err(e) => {
                             error = Some((lineno, e));
                             break;
                         }
                     }
                 }
+            }
+            ShardMsg::Load {
+                period_start,
+                items,
+            } => {
+                classifier = IncrementalClassifier::new(period_start, break_even);
+                classifier.import_items(items);
             }
             ShardMsg::Rollover {
                 end,
@@ -141,13 +210,26 @@ fn worker(shard: usize, shards: usize, break_even: Micros, rx: Receiver<ShardMsg
                 let _ = reply.send(ShardReply {
                     shard,
                     reports,
+                    states: Vec::new(),
                     error: error.take(),
+                });
+            }
+            ShardMsg::Snapshot { reply } => {
+                let _ = reply.send(ShardReply {
+                    shard,
+                    reports: Vec::new(),
+                    states: classifier.export_items(),
+                    // The parse-error slot is left in place: errors are
+                    // consumed at rollover/ping barriers only, so a
+                    // checkpoint never swallows one.
+                    error: None,
                 });
             }
             ShardMsg::Ping { reply } => {
                 let _ = reply.send(ShardReply {
                     shard,
                     reports: Vec::new(),
+                    states: Vec::new(),
                     error: error.take(),
                 });
             }
@@ -161,6 +243,57 @@ struct Pending {
     records: Vec<LogicalIoRecord>,
     raw: RawBatch,
 }
+
+/// What the supervisor does when a shard worker thread dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SupervisionPolicy {
+    /// Respawn the worker and rebuild its classifier exactly: load the
+    /// last barrier's base state, replay the journal. Plans stay
+    /// byte-identical to a panic-free run; the incident is recorded as a
+    /// recoverable [`OnlineError::WorkerPanic`].
+    #[default]
+    Respawn,
+    /// Stop routing to the shard and surface a fatal
+    /// [`OnlineError::WorkerPanic`] at the next barrier. For operators
+    /// who prefer a crash-loop to silently eating CPU on rebuilds.
+    Quarantine,
+}
+
+/// Construction options for [`ShardedController`] beyond the basics.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOptions {
+    /// Dead-worker handling. Defaults to [`SupervisionPolicy::Respawn`].
+    pub supervision: SupervisionPolicy,
+    /// Injected worker-panic schedule (chaos testing only; `None` in
+    /// production).
+    pub panic_schedule: Option<Arc<PanicSchedule>>,
+}
+
+/// Base state + journal for one shard: everything needed to rebuild its
+/// worker from scratch.
+struct ShardLedger {
+    /// Classifier state at the last barrier that reset or refreshed it
+    /// (rollover: empty at the new period start; checkpoint: the
+    /// snapshot). `period_start` is carried by the controller.
+    base: Vec<ItemCheckpoint>,
+    /// Batches shipped since `base`, in shipping order.
+    journal: Vec<JournalEntry>,
+}
+
+impl ShardLedger {
+    fn new() -> Self {
+        ShardLedger {
+            base: Vec::new(),
+            journal: Vec::new(),
+        }
+    }
+}
+
+/// Upper bound on revive rounds within one barrier. Injected panics are
+/// one-shot, so a single retry per scheduled point converges; the bound
+/// only guards against a worker that dies deterministically on the same
+/// replayed input (a real bug, surfaced as fatal instead of a livelock).
+const MAX_REVIVE_ROUNDS: usize = 64;
 
 /// The sharded counterpart of [`OnlineController`](crate::OnlineController):
 /// same public surface, same plans (byte-identical reports at every
@@ -182,9 +315,21 @@ pub struct ShardedController {
     periods: u64,
     trigger_cuts: u64,
     shards: usize,
-    senders: Vec<SyncSender<ShardMsg>>,
-    handles: Vec<JoinHandle<()>>,
+    options: ShardOptions,
+    /// `None` marks a quarantined (or mid-revive) shard's empty slot.
+    senders: Vec<Option<SyncSender<ShardMsg>>>,
+    handles: Vec<Option<JoinHandle<()>>>,
     pending: Vec<Pending>,
+    /// Base state + shipped-batch journal per shard, for worker rebuild.
+    ledgers: Vec<ShardLedger>,
+    /// Quarantined shards, with the panic detail that condemned them.
+    quarantined: Vec<Option<String>>,
+    /// Recoverable supervision incidents since the last drain.
+    events: Vec<OnlineError>,
+    /// Workers respawned over the controller's lifetime.
+    respawns: u64,
+    /// A supervision failure that must surface at the next barrier.
+    fatal: Option<OnlineError>,
     /// Earliest raw-line parse error reported by any shard.
     ingest_error: Option<(u64, String)>,
 }
@@ -195,19 +340,20 @@ impl ShardedController {
     /// The first period starts at `t = 0`, like the single-threaded
     /// controller.
     pub fn new(cfg: ProposedConfig, break_even: Micros, shards: usize) -> Self {
+        Self::with_options(cfg, break_even, shards, ShardOptions::default())
+    }
+
+    /// [`new`](Self::new) with explicit supervision options.
+    pub fn with_options(
+        cfg: ProposedConfig,
+        break_even: Micros,
+        shards: usize,
+        options: ShardOptions,
+    ) -> Self {
         let shards = shards.max(1);
         let guard = snapshot_guard(cfg.initial_period);
         let period_len = cfg.initial_period.max(Micros(1));
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = sync_channel::<ShardMsg>(SHARD_QUEUE);
-            senders.push(tx);
-            handles.push(std::thread::spawn(move || {
-                worker(shard, shards, break_even, rx)
-            }));
-        }
-        ShardedController {
+        let mut ctl = ShardedController {
             planner: Planner::new(cfg),
             triggers: ArmedTriggers::new(guard),
             break_even,
@@ -216,16 +362,75 @@ impl ShardedController {
             periods: 0,
             trigger_cuts: 0,
             shards,
-            senders,
-            handles,
+            options,
+            senders: (0..shards).map(|_| None).collect(),
+            handles: (0..shards).map(|_| None).collect(),
             pending: (0..shards)
                 .map(|_| Pending {
                     records: Vec::new(),
                     raw: RawBatch::new(),
                 })
                 .collect(),
+            ledgers: (0..shards).map(|_| ShardLedger::new()).collect(),
+            quarantined: (0..shards).map(|_| None).collect(),
+            events: Vec::new(),
+            respawns: 0,
+            fatal: None,
             ingest_error: None,
+        };
+        for shard in 0..shards {
+            let (tx, handle) = ctl.spawn_worker(shard);
+            ctl.senders[shard] = Some(tx);
+            ctl.handles[shard] = Some(handle);
         }
+        ctl
+    }
+
+    /// Restores a controller from a checkpoint, redistributing the
+    /// checkpointed per-item states over `shards` workers by
+    /// [`shard_of`] — the shard count need not match the one that took
+    /// the checkpoint (a 1-shard checkpoint restores onto 4 workers and
+    /// vice versa; plans are shard-count-independent either way).
+    pub fn from_checkpoint(
+        cfg: ProposedConfig,
+        shards: usize,
+        options: ShardOptions,
+        cp: &ControllerCheckpoint,
+    ) -> Result<Self, OnlineError> {
+        let mut ctl = Self::with_options(cfg, cp.state.break_even, shards, options);
+        let s = &cp.state;
+        ctl.planner = Planner::from_state(*ctl.planner.config(), s.planner.clone());
+        ctl.triggers = ArmedTriggers::from_state(s.triggers.clone());
+        ctl.period_start = s.period_start;
+        ctl.period_len = s.period_len.max(Micros(1));
+        ctl.periods = s.periods;
+        ctl.trigger_cuts = s.trigger_cuts;
+        for shard in 0..ctl.shards {
+            let items: Vec<ItemCheckpoint> = s
+                .items
+                .iter()
+                .filter(|c| shard_of(c.id, ctl.shards) == shard)
+                .cloned()
+                .collect();
+            ctl.ledgers[shard].base = items.clone();
+            ctl.send_supervised(
+                shard,
+                ShardMsg::Load {
+                    period_start: s.period_start,
+                    items,
+                },
+            )?;
+        }
+        Ok(ctl)
+    }
+
+    fn spawn_worker(&self, shard: usize) -> (SyncSender<ShardMsg>, JoinHandle<()>) {
+        let shards = self.shards;
+        let break_even = self.break_even;
+        let schedule = self.options.panic_schedule.clone();
+        let (tx, rx) = sync_channel::<ShardMsg>(SHARD_QUEUE);
+        let handle = std::thread::spawn(move || worker(shard, shards, break_even, rx, schedule));
+        (tx, handle)
     }
 
     /// Number of shard workers.
@@ -263,21 +468,181 @@ impl ShardedController {
         self.planner.history()
     }
 
-    fn send(&self, shard: usize, msg: ShardMsg) {
-        self.senders[shard]
-            .send(msg)
-            .expect("shard worker exited early");
+    /// Workers respawned so far (supervision incidents absorbed).
+    pub fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    /// Drains the recoverable supervision incidents recorded since the
+    /// last call (worker panics that were absorbed by a respawn).
+    pub fn drain_worker_events(&mut self) -> Vec<OnlineError> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The fatal error a quarantined shard (or a failed revive) will
+    /// raise at the next barrier, if any.
+    fn pending_fatal(&mut self) -> Option<OnlineError> {
+        if let Some(e) = self.fatal.take() {
+            return Some(e);
+        }
+        self.quarantined.iter().enumerate().find_map(|(s, q)| {
+            q.as_ref().map(|d| OnlineError::WorkerPanic {
+                shard: s,
+                detail: d.clone(),
+                severity: Severity::Fatal,
+            })
+        })
+    }
+
+    /// Joins the dead worker in `shard`'s slot and returns its panic
+    /// payload (or a placeholder for a clean-but-early exit).
+    fn reap_shard(&mut self, shard: usize) -> String {
+        self.senders[shard] = None;
+        match self.handles[shard].take() {
+            Some(h) => match h.join() {
+                Err(payload) => payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string()),
+                Ok(()) => "worker exited unexpectedly".to_string(),
+            },
+            None => "worker already reaped".to_string(),
+        }
+    }
+
+    /// Loads the shard's base state and replays its journal into a
+    /// freshly spawned worker. `Err(())` when the worker died mid-replay.
+    fn replay_into(&mut self, shard: usize) -> Result<(), ()> {
+        let tx = self.senders[shard].clone().ok_or(())?;
+        let load = ShardMsg::Load {
+            period_start: self.period_start,
+            items: self.ledgers[shard].base.clone(),
+        };
+        tx.send(load).map_err(|_| ())?;
+        let entries = self.ledgers[shard].journal.clone();
+        for entry in entries {
+            let msg = match entry {
+                JournalEntry::Records(b) => ShardMsg::Records(b),
+                JournalEntry::Raw(b) => ShardMsg::Raw(b),
+            };
+            tx.send(msg).map_err(|_| ())?;
+        }
+        Ok(())
+    }
+
+    /// Handles an observed worker death per the supervision policy.
+    /// `Ok(())` means the shard is live again (respawned + rebuilt);
+    /// `Err` means it is quarantined or revival gave up.
+    fn revive_shard(&mut self, shard: usize) -> Result<(), OnlineError> {
+        let detail = self.reap_shard(shard);
+        if self.options.supervision == SupervisionPolicy::Quarantine {
+            self.quarantined[shard] = Some(detail.clone());
+            return Err(OnlineError::WorkerPanic {
+                shard,
+                detail,
+                severity: Severity::Fatal,
+            });
+        }
+        self.events.push(OnlineError::WorkerPanic {
+            shard,
+            detail,
+            severity: Severity::Recoverable,
+        });
+        for _ in 0..MAX_REVIVE_ROUNDS {
+            self.respawns += 1;
+            let (tx, handle) = self.spawn_worker(shard);
+            self.senders[shard] = Some(tx);
+            self.handles[shard] = Some(handle);
+            if self.replay_into(shard).is_ok() {
+                return Ok(());
+            }
+            // Died again mid-replay (a scheduled point past the
+            // predecessor's fold count). Points are one-shot, so each
+            // round burns at least one; a bounded loop converges unless
+            // the worker dies deterministically on real input.
+            let detail = self.reap_shard(shard);
+            self.events.push(OnlineError::WorkerPanic {
+                shard,
+                detail,
+                severity: Severity::Recoverable,
+            });
+        }
+        let err = OnlineError::WorkerPanic {
+            shard,
+            detail: format!("shard {shard} died {MAX_REVIVE_ROUNDS} times during revival"),
+            severity: Severity::Fatal,
+        };
+        self.quarantined[shard] = Some("revival gave up".to_string());
+        Err(err)
+    }
+
+    /// Sends `msg` to `shard`, reviving a dead worker per the
+    /// supervision policy. Quarantined shards swallow the message (their
+    /// fatal error surfaces at the next barrier instead).
+    fn send_supervised(&mut self, shard: usize, msg: ShardMsg) -> Result<(), OnlineError> {
+        if self.quarantined[shard].is_some() {
+            return Ok(());
+        }
+        let mut msg = msg;
+        for _ in 0..MAX_REVIVE_ROUNDS {
+            let Some(tx) = self.senders[shard].as_ref() else {
+                return Ok(());
+            };
+            match tx.send(msg) {
+                Ok(()) => return Ok(()),
+                Err(std::sync::mpsc::SendError(returned)) => {
+                    msg = returned;
+                    self.revive_shard(shard)?;
+                }
+            }
+        }
+        Err(OnlineError::WorkerPanic {
+            shard,
+            detail: "send retries exhausted".to_string(),
+            severity: Severity::Fatal,
+        })
+    }
+
+    /// Sends an already-journaled data batch on the per-record hot path.
+    /// When the send fails because the worker died, revival's journal
+    /// replay re-delivers this batch (it was journaled before the send),
+    /// so the message must NOT be re-sent afterwards — that would fold
+    /// it twice and corrupt the rebuilt shard. A fatal revival outcome
+    /// is parked and surfaced at the next barrier.
+    fn send_journaled_or_park(&mut self, shard: usize, msg: ShardMsg) {
+        if self.quarantined[shard].is_some() {
+            return;
+        }
+        let Some(tx) = self.senders[shard].as_ref() else {
+            return;
+        };
+        if tx.send(msg).is_err() {
+            if let Err(e) = self.revive_shard(shard) {
+                if self.fatal.is_none() {
+                    self.fatal = Some(e);
+                }
+            }
+        }
     }
 
     fn flush_shard(&mut self, shard: usize) {
         let p = &mut self.pending[shard];
         if !p.records.is_empty() {
             let batch = std::mem::take(&mut p.records);
-            self.send(shard, ShardMsg::Records(batch));
+            // Journal before sending, so a send that fails because the
+            // worker just died still replays this batch.
+            self.ledgers[shard]
+                .journal
+                .push(JournalEntry::Records(batch.clone()));
+            self.send_journaled_or_park(shard, ShardMsg::Records(batch));
         }
         if !self.pending[shard].raw.lines.is_empty() {
             let batch = std::mem::replace(&mut self.pending[shard].raw, RawBatch::new());
-            self.send(shard, ShardMsg::Raw(batch));
+            self.ledgers[shard]
+                .journal
+                .push(JournalEntry::Raw(batch.clone()));
+            self.send_journaled_or_park(shard, ShardMsg::Raw(batch));
         }
     }
 
@@ -335,32 +700,122 @@ impl ShardedController {
         self.ingest_error.take()
     }
 
+    /// Runs a barrier: sends `make_msg`'s message to every live shard and
+    /// collects one reply per shard, retrying shards whose worker died
+    /// before replying (after revival rebuilds them). The reply channel's
+    /// closure is the death detector: a worker that panics drops its
+    /// reply sender without sending, so when the receive loop ends, any
+    /// shard without a reply is dead and gets revived + re-asked next
+    /// round.
+    fn barrier<F>(&mut self, make_msg: F) -> Result<Vec<ShardReply>, OnlineError>
+    where
+        F: Fn(SyncSender<ShardReply>) -> ShardMsg,
+    {
+        let mut replies: Vec<Option<ShardReply>> = (0..self.shards).map(|_| None).collect();
+        for _ in 0..MAX_REVIVE_ROUNDS {
+            let missing: Vec<usize> = (0..self.shards)
+                .filter(|&s| replies[s].is_none() && self.quarantined[s].is_none())
+                .collect();
+            if missing.is_empty() {
+                break;
+            }
+            let (reply_tx, reply_rx) = sync_channel(self.shards);
+            for &shard in &missing {
+                self.send_supervised(shard, make_msg(reply_tx.clone()))?;
+            }
+            drop(reply_tx);
+            for reply in reply_rx {
+                let shard = reply.shard;
+                replies[shard] = Some(reply);
+            }
+        }
+        if let Some(e) = self.pending_fatal() {
+            return Err(e);
+        }
+        if let Some(shard) =
+            (0..self.shards).find(|&s| replies[s].is_none() && self.quarantined[s].is_none())
+        {
+            return Err(OnlineError::WorkerPanic {
+                shard,
+                detail: "barrier retries exhausted".to_string(),
+                severity: Severity::Fatal,
+            });
+        }
+        Ok(replies.into_iter().flatten().collect())
+    }
+
     /// Flushes every shard and waits for all of them to drain, without
     /// closing the period — the end-of-stream barrier that surfaces any
-    /// parse error still buffered in a worker.
-    pub fn sync(&mut self) {
+    /// parse error still buffered in a worker. `Err` when a shard is
+    /// quarantined or revival failed.
+    pub fn sync(&mut self) -> Result<(), OnlineError> {
         for shard in 0..self.shards {
             self.flush_shard(shard);
         }
-        let (reply_tx, reply_rx) = sync_channel(self.shards);
-        for shard in 0..self.shards {
-            self.send(
-                shard,
-                ShardMsg::Ping {
-                    reply: reply_tx.clone(),
-                },
-            );
-        }
-        drop(reply_tx);
-        for reply in reply_rx {
+        let replies = self.barrier(|reply| ShardMsg::Ping { reply })?;
+        for reply in replies {
             self.note_error(reply.error);
         }
+        Ok(())
+    }
+
+    /// Snapshots the controller's full dynamic state mid-period into a
+    /// [`ControllerCheckpoint`] without disturbing the fold: flushes,
+    /// barriers the shards with [`ShardMsg::Snapshot`], and merges the
+    /// per-shard item states in id order. Also refreshes each shard's
+    /// supervision base to the snapshot (journals restart empty), so a
+    /// later worker rebuild replays only post-checkpoint batches.
+    ///
+    /// `events` / `last_ts` / `placement` / `sequential` describe the
+    /// ingest position and storage view, which the controller does not
+    /// track itself.
+    pub fn checkpoint(
+        &mut self,
+        events: u64,
+        last_ts: Micros,
+        placement: &PlacementMap,
+        sequential: &BTreeSet<DataItemId>,
+    ) -> Result<ControllerCheckpoint, OnlineError> {
+        for shard in 0..self.shards {
+            self.flush_shard(shard);
+        }
+        let replies = self.barrier(|reply| ShardMsg::Snapshot { reply })?;
+        let mut items: BTreeMap<DataItemId, ItemCheckpoint> = BTreeMap::new();
+        for reply in replies {
+            self.ledgers[reply.shard].base = reply.states.clone();
+            self.ledgers[reply.shard].journal.clear();
+            for c in reply.states {
+                items.insert(c.id, c);
+            }
+        }
+        let state = ControllerState {
+            break_even: self.break_even,
+            period_start: self.period_start,
+            period_len: self.period_len,
+            periods: self.periods,
+            trigger_cuts: self.trigger_cuts,
+            planner: self.planner.export_state(),
+            triggers: self.triggers.export_state(),
+            items: items.into_values().collect(),
+        };
+        Ok(ControllerCheckpoint {
+            events,
+            last_ts,
+            placement: placement
+                .iter()
+                .map(|(id, pl)| (id, pl.enclosure, pl.size))
+                .collect(),
+            sequential: sequential.iter().copied().collect(),
+            state,
+        })
     }
 
     /// Closes the period at `t_end`: barriers the shards, merges their
     /// reports into placement order, plans, re-arms the triggers, and
     /// starts the next period — the same contract (and byte-identical
     /// output) as [`OnlineController::rollover`](crate::OnlineController::rollover).
+    /// `Err` when a shard is quarantined or revival failed — the merged
+    /// reports would be incomplete, so no plan is produced.
     pub fn rollover(
         &mut self,
         t_end: Micros,
@@ -368,7 +823,7 @@ impl ShardedController {
         placement: &PlacementMap,
         sequential: &BTreeSet<DataItemId>,
         views: &[EnclosureView],
-    ) -> PlanEnvelope {
+    ) -> Result<PlanEnvelope, OnlineError> {
         let period = Span {
             start: self.period_start,
             end: t_end,
@@ -388,22 +843,15 @@ impl ShardedController {
         }
         let placement_arc = Arc::new(placement.clone());
         let sequential_arc = Arc::new(sequential.clone());
-        let (reply_tx, reply_rx) = sync_channel(self.shards);
-        for shard in 0..self.shards {
-            self.send(
-                shard,
-                ShardMsg::Rollover {
-                    end: t_end,
-                    placement: Arc::clone(&placement_arc),
-                    sequential: Arc::clone(&sequential_arc),
-                    seq_factor,
-                    reply: reply_tx.clone(),
-                },
-            );
-        }
-        drop(reply_tx);
+        let replies = self.barrier(|reply| ShardMsg::Rollover {
+            end: t_end,
+            placement: Arc::clone(&placement_arc),
+            sequential: Arc::clone(&sequential_arc),
+            seq_factor,
+            reply,
+        })?;
         let mut per_shard: Vec<Vec<ItemReport>> = (0..self.shards).map(|_| Vec::new()).collect();
-        for reply in reply_rx {
+        for reply in replies {
             self.note_error(reply.error);
             per_shard[reply.shard] = reply.reports;
         }
@@ -426,11 +874,18 @@ impl ShardedController {
         if reason == RolloverReason::Trigger {
             self.trigger_cuts += 1;
         }
-        PlanEnvelope {
+        // The workers' classifiers reset at the cut, so each shard's
+        // rebuild base is now "empty at the new period start" and the
+        // journal starts over.
+        for ledger in &mut self.ledgers {
+            ledger.base = Vec::new();
+            ledger.journal.clear();
+        }
+        Ok(PlanEnvelope {
             period,
             reason,
             plan: outcome.plan,
-        }
+        })
     }
 }
 
@@ -439,7 +894,7 @@ impl Drop for ShardedController {
         // Hang up the channels so the workers' receive loops end, then
         // reap them.
         self.senders.clear();
-        for handle in self.handles.drain(..) {
+        for handle in self.handles.drain(..).flatten() {
             let _ = handle.join();
         }
     }
@@ -528,13 +983,11 @@ mod tests {
                 single.observe(&r);
                 while sharded.needs_rollover(r.ts) {
                     let t = sharded.boundary();
-                    plans_sharded.push(sharded.rollover(
-                        t,
-                        RolloverReason::Boundary,
-                        &placement,
-                        &NO_SEQUENTIAL,
-                        &v,
-                    ));
+                    plans_sharded.push(
+                        sharded
+                            .rollover(t, RolloverReason::Boundary, &placement, &NO_SEQUENTIAL, &v)
+                            .expect("no worker faults injected"),
+                    );
                 }
                 sharded.observe(&r);
             }
@@ -570,20 +1023,24 @@ mod tests {
             raw.route_raw_line(&line, i + 1, r.item);
         }
         let end = Micros::from_secs(1500);
-        let a = parsed.rollover(
-            end,
-            RolloverReason::Boundary,
-            &placement,
-            &NO_SEQUENTIAL,
-            &v,
-        );
-        let b = raw.rollover(
-            end,
-            RolloverReason::Boundary,
-            &placement,
-            &NO_SEQUENTIAL,
-            &v,
-        );
+        let a = parsed
+            .rollover(
+                end,
+                RolloverReason::Boundary,
+                &placement,
+                &NO_SEQUENTIAL,
+                &v,
+            )
+            .unwrap();
+        let b = raw
+            .rollover(
+                end,
+                RolloverReason::Boundary,
+                &placement,
+                &NO_SEQUENTIAL,
+                &v,
+            )
+            .unwrap();
         assert!(raw.take_ingest_error().is_none());
         assert_eq!(a.plan, b.plan);
     }
@@ -599,19 +1056,21 @@ mod tests {
             DataItemId(0),
         );
         ctl.route_raw_line("{\"ts\":2,\"item\":1,broken", 7, DataItemId(1));
-        ctl.sync();
+        ctl.sync().unwrap();
         let (lineno, msg) = ctl.take_ingest_error().expect("error must surface");
         assert_eq!(lineno, 7);
         assert!(!msg.is_empty());
         // A later rollover still works (the erroring shard reports its
         // owned items, parsed-or-not).
-        let env = ctl.rollover(
-            Micros::from_secs(600),
-            RolloverReason::Boundary,
-            &placement,
-            &NO_SEQUENTIAL,
-            &v,
-        );
+        let env = ctl
+            .rollover(
+                Micros::from_secs(600),
+                RolloverReason::Boundary,
+                &placement,
+                &NO_SEQUENTIAL,
+                &v,
+            )
+            .unwrap();
         assert_eq!(env.period.start, Micros::ZERO);
     }
 
@@ -622,8 +1081,115 @@ mod tests {
         ctl.route_raw_line("nope", 9, DataItemId(0));
         ctl.route_raw_line("nope", 3, DataItemId(1));
         ctl.route_raw_line("nope", 5, DataItemId(2));
-        ctl.sync();
+        ctl.sync().unwrap();
         let (lineno, _) = ctl.take_ingest_error().unwrap();
         assert_eq!(lineno, 3);
+    }
+
+    fn run_to_plans(
+        ctl: &mut ShardedController,
+        placement: &PlacementMap,
+        v: &[EnclosureView],
+        records: &[LogicalIoRecord],
+    ) -> Vec<PlanEnvelope> {
+        let mut plans = Vec::new();
+        for r in records {
+            while ctl.needs_rollover(r.ts) {
+                let t = ctl.boundary();
+                plans.push(
+                    ctl.rollover(t, RolloverReason::Boundary, placement, &NO_SEQUENTIAL, v)
+                        .expect("rollover under respawn supervision"),
+                );
+            }
+            ctl.observe(r);
+        }
+        plans
+    }
+
+    #[test]
+    fn respawned_workers_keep_plans_byte_identical() {
+        use crate::fault::PanicSchedule;
+        let placement = placement(16);
+        let v = views(&placement);
+        let break_even = Micros::from_secs(52);
+        let records: Vec<LogicalIoRecord> =
+            (0..3000u32).map(|i| rec(i as f64 * 0.9, i % 16)).collect();
+        let mut clean = ShardedController::new(cfg(), break_even, 3);
+        let clean_plans = run_to_plans(&mut clean, &placement, &v, &records);
+        assert!(!clean_plans.is_empty());
+
+        // Inject panics at seeded fold points on every shard; the
+        // supervisor must rebuild each dead worker and keep the plan
+        // sequence byte-identical.
+        crate::fault::silence_injected_panics();
+        let schedule = PanicSchedule::seeded(0xDEAD_BEEF, 3, 3000, 5);
+        let opts = ShardOptions {
+            supervision: SupervisionPolicy::Respawn,
+            panic_schedule: Some(Arc::clone(&schedule)),
+        };
+        let mut chaotic = ShardedController::with_options(cfg(), break_even, 3, opts);
+        let chaotic_plans = run_to_plans(&mut chaotic, &placement, &v, &records);
+        assert!(chaotic.respawns() > 0, "schedule must have fired");
+        let incidents = chaotic.drain_worker_events();
+        assert!(!incidents.is_empty());
+        assert!(incidents
+            .iter()
+            .all(|e| e.severity() == Severity::Recoverable));
+        assert_eq!(clean_plans, chaotic_plans);
+    }
+
+    #[test]
+    fn quarantine_surfaces_fatal_error_at_barrier() {
+        use crate::fault::PanicSchedule;
+        crate::fault::silence_injected_panics();
+        let placement = placement(8);
+        let v = views(&placement);
+        // One guaranteed panic on every shard, early in the stream.
+        let schedule = PanicSchedule::new((0..2).map(|s| (s, 1u64)));
+        let opts = ShardOptions {
+            supervision: SupervisionPolicy::Quarantine,
+            panic_schedule: Some(schedule),
+        };
+        let mut ctl = ShardedController::with_options(cfg(), Micros::from_secs(52), 2, opts);
+        for i in 0..2000u32 {
+            ctl.observe(&rec(i as f64, i % 8));
+        }
+        let err = ctl
+            .rollover(
+                Micros::from_secs(2000),
+                RolloverReason::Boundary,
+                &placement,
+                &NO_SEQUENTIAL,
+                &v,
+            )
+            .expect_err("quarantined shard must fail the barrier");
+        assert_eq!(err.severity(), Severity::Fatal);
+        assert!(matches!(err, OnlineError::WorkerPanic { .. }));
+    }
+
+    #[test]
+    fn checkpoint_restores_across_shard_counts() {
+        let placement = placement(12);
+        let v = views(&placement);
+        let break_even = Micros::from_secs(52);
+        let records: Vec<LogicalIoRecord> =
+            (0..4000u32).map(|i| rec(i as f64 * 0.7, i % 12)).collect();
+        let cut = 1700usize;
+
+        let mut reference = ShardedController::new(cfg(), break_even, 2);
+        let want = run_to_plans(&mut reference, &placement, &v, &records);
+
+        // Run the first half on 1 shard, checkpoint, restore onto 4.
+        let mut first = ShardedController::new(cfg(), break_even, 1);
+        let mut got = run_to_plans(&mut first, &placement, &v, &records[..cut]);
+        let cp = first
+            .checkpoint(cut as u64, records[cut - 1].ts, &placement, &NO_SEQUENTIAL)
+            .unwrap();
+        drop(first);
+        let mut restored =
+            ShardedController::from_checkpoint(cfg(), 4, ShardOptions::default(), &cp).unwrap();
+        assert_eq!(restored.periods(), cp.state.periods);
+        got.extend(run_to_plans(&mut restored, &placement, &v, &records[cut..]));
+        assert_eq!(want, got);
     }
 }

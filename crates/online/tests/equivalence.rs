@@ -206,7 +206,7 @@ fn run_daemon(w: &Workload, cfg: &StorageConfig) -> (Vec<PlanEnvelope>, ees_onli
     );
     let mut envelopes = Vec::new();
     for rec in w.trace.records() {
-        envelopes.extend(daemon.step(*rec));
+        envelopes.extend(daemon.step(*rec).expect("daemon step failed"));
     }
     let summary = daemon.finish(Some(w.duration));
     (envelopes, summary)
@@ -273,7 +273,7 @@ fn run_daemon_over_ndjson(
     );
     let mut envelopes = Vec::new();
     for rec in rx {
-        envelopes.extend(daemon.step(rec));
+        envelopes.extend(daemon.step(rec).expect("daemon step failed"));
     }
     let stats = handle.join().unwrap().unwrap();
     assert_eq!(stats.dropped, 0);

@@ -47,6 +47,42 @@ trait ControllerLike {
 }
 
 macro_rules! impl_controller_like {
+    // The sharded flavor's rollover is fallible (worker supervision can
+    // surface a fatal error); in these equivalence tests any failure is
+    // a test failure, so unwrap at the trait boundary.
+    ($ty:ty, fallible) => {
+        impl ControllerLike for $ty {
+            fn needs_rollover(&self, ts: Micros) -> bool {
+                <$ty>::needs_rollover(self, ts)
+            }
+            fn boundary(&self) -> Micros {
+                <$ty>::boundary(self)
+            }
+            fn period_start(&self) -> Micros {
+                <$ty>::period_start(self)
+            }
+            fn observe(&mut self, rec: &LogicalIoRecord) {
+                <$ty>::observe(self, rec)
+            }
+            fn observe_io_event(&mut self, t: Micros, e: EnclosureId) -> bool {
+                <$ty>::observe_io_event(self, t, e)
+            }
+            fn observe_spin_up(&mut self, t: Micros, e: EnclosureId) -> bool {
+                <$ty>::observe_spin_up(self, t, e)
+            }
+            fn rollover(
+                &mut self,
+                t: Micros,
+                reason: RolloverReason,
+                placement: &PlacementMap,
+                sequential: &BTreeSet<DataItemId>,
+                views: &[EnclosureView],
+            ) -> PlanEnvelope {
+                <$ty>::rollover(self, t, reason, placement, sequential, views)
+                    .expect("sharded rollover failed")
+            }
+        }
+    };
     ($ty:ty) => {
         impl ControllerLike for $ty {
             fn needs_rollover(&self, ts: Micros) -> bool {
@@ -82,7 +118,7 @@ macro_rules! impl_controller_like {
 }
 
 impl_controller_like!(OnlineController);
-impl_controller_like!(ShardedController);
+impl_controller_like!(ShardedController, fallible);
 
 /// Replays `recs` through a controller with the daemon's per-record
 /// flow: boundary rollovers before the record, classify before serving,

@@ -53,7 +53,7 @@ fn main() {
     // `OverflowPolicy::DropNewest` instead and count the gap).
     let (rx, _live, reader) = spawn_reader(Cursor::new(wire), 256, OverflowPolicy::Block);
     for rec in rx {
-        for env in daemon.step(rec) {
+        for env in daemon.step(rec).expect("daemon step failed") {
             println!(
                 "[{:7.1} s .. {:7.1} s] {:<8} migrations {:<2} preload {:<2} write-delay {:<2}",
                 env.period.start.as_secs_f64(),
