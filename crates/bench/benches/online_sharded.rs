@@ -4,12 +4,13 @@
 //! sharded routing) over the same in-memory NDJSON stream.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ees_core::ProposedConfig;
+use ees_core::{merge_shard_reports, ItemReport, ProposedConfig};
 use ees_iotrace::ndjson::{parse_event, parse_event_borrowed, quick_scan_ts_item};
-use ees_iotrace::{DataItemId, EnclosureId, Micros};
-use ees_online::{run_monitor_serial, run_monitor_sharded};
+use ees_iotrace::{DataItemId, EnclosureId, IoKind, LatencyHistogram, LogicalIoRecord, Micros};
+use ees_online::{run_monitor_serial, run_monitor_sharded, shard_of, IncrementalClassifier};
 use ees_replay::CatalogItem;
-use ees_simstorage::{Access, StorageConfig};
+use ees_simstorage::{Access, PlacementMap, StorageConfig};
+use std::collections::BTreeSet;
 use std::io::Cursor;
 
 const EVENTS: u64 = 20_000;
@@ -120,5 +121,88 @@ fn bench_online_sharded(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_online_sharded);
+/// The coordinator-side merge the overlapped rollover runs off the hot
+/// path: reassemble 4 shards' placement-ordered report slices into the
+/// full placement order. 256 items, one period of classification each.
+fn bench_merge_shard_reports(c: &mut Criterion) {
+    const MERGE_ITEMS: u32 = 256;
+    const MERGE_SHARDS: usize = 4;
+    let mut placement = PlacementMap::new();
+    for i in 0..MERGE_ITEMS {
+        placement.insert(
+            DataItemId(i),
+            EnclosureId((i % ENCLOSURES as u32) as u16),
+            32 << 20,
+        );
+    }
+    let sequential = BTreeSet::new();
+    let build_shards = || -> Vec<Vec<ItemReport>> {
+        (0..MERGE_SHARDS)
+            .map(|s| {
+                let mut cls = IncrementalClassifier::new(Micros::ZERO, Micros::from_secs(52));
+                for i in 0..(MERGE_ITEMS as u64 * 4) {
+                    cls.observe(&LogicalIoRecord {
+                        ts: Micros(i * 25_000),
+                        item: DataItemId((i % MERGE_ITEMS as u64) as u32),
+                        offset: i * 8192,
+                        len: 8192,
+                        kind: if i % 4 == 0 {
+                            IoKind::Write
+                        } else {
+                            IoKind::Read
+                        },
+                    });
+                }
+                cls.rollover_filtered(Micros::from_secs(30), &placement, &sequential, 1.0, |id| {
+                    shard_of(id, MERGE_SHARDS) == s
+                })
+            })
+            .collect()
+    };
+    let shard_reports = build_shards();
+    c.bench_function("merge_shard_reports_256x4", |b| {
+        b.iter(|| {
+            let merged = merge_shard_reports(&placement, shard_reports.clone(), |id| {
+                shard_of(id, MERGE_SHARDS)
+            });
+            black_box(merged.len())
+        })
+    });
+}
+
+/// End-to-end rollover-stall distribution under the overlapped sharded
+/// driver, folded into a [`LatencyHistogram`] — the same shape the
+/// `online_smoke` p99 gate samples, but with the full quantile spread
+/// visible instead of a single point.
+fn bench_rollover_latency_histogram(c: &mut Criterion) {
+    let text = trace();
+    let items = catalog();
+    let storage = StorageConfig::ams2500(ENCLOSURES);
+    c.bench_function("rollover_stall_histogram_sharded_20k_4", |b| {
+        b.iter(|| {
+            let out = run_monitor_sharded(
+                Cursor::new(text.clone()),
+                &items,
+                ENCLOSURES,
+                &storage,
+                policy(),
+                None,
+                4,
+            )
+            .unwrap();
+            let mut hist = LatencyHistogram::new();
+            for &us in &out.rollover_micros {
+                hist.record(Micros(us));
+            }
+            black_box((hist.count(), hist.quantile(0.5), hist.quantile(0.99)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_online_sharded,
+    bench_merge_shard_reports,
+    bench_rollover_latency_histogram
+);
 criterion_main!(benches);

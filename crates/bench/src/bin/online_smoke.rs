@@ -7,13 +7,21 @@
 //! online_smoke <out.json> [baseline.json]
 //! ```
 //!
+//! Each driver is timed three times (after a warm-up pass) and the
+//! **median** run is reported — best-of-N flatters a lucky scheduler
+//! slot; the median is what a rerun actually reproduces.
+//!
 //! When `baseline.json` exists the run is a regression gate:
 //!
 //! * serial and sharded events/sec must each stay within 20% of the
 //!   baseline figure;
-//! * on a machine with ≥ 4 CPUs, sharded events/sec must be ≥ 2× serial
-//!   (on smaller machines the sharded win comes from the zero-copy parse
-//!   alone and the ratio is only reported).
+//! * sharded p99 rollover stall must stay within 2× the baseline;
+//! * scaling efficiency (`sharded / (serial × shards)`, reported as
+//!   `scaling_efficiency_x1000`) must stay ≥ 80% of the baseline;
+//! * on a machine with ≥ 4 CPUs, sharded events/sec must additionally be
+//!   ≥ 2× serial and the sharded p99 rollover stall ≤ 200 µs (on smaller
+//!   machines the sharded win comes from the zero-copy parse alone, so
+//!   both absolute bars are only reported).
 //!
 //! `ci.sh` checks the first run's output in as the baseline.
 
@@ -33,6 +41,12 @@ const ITEMS: u32 = 64;
 const ENCLOSURES: u16 = 4;
 /// Allowed events/sec drop relative to the checked-in baseline.
 const MAX_REGRESSION: f64 = 0.20;
+/// Allowed sharded p99 rollover-stall growth relative to the baseline.
+const MAX_P99_GROWTH: f64 = 2.0;
+/// Allowed scaling-efficiency drop relative to the baseline.
+const MAX_EFFICIENCY_DROP: f64 = 0.20;
+/// Absolute sharded p99 rollover-stall bar on a real multi-core box.
+const P99_BAR_MICROS: u64 = 200;
 
 fn catalog() -> Vec<CatalogItem> {
     (0..ITEMS)
@@ -128,45 +142,53 @@ fn main() -> ExitCode {
     let text = trace();
     let shards = threads().max(4);
     // Warm-up pass so the first measured run doesn't pay one-time costs,
-    // then best-of-3 per driver to damp scheduler noise — this gate runs
-    // on developer machines, not a quiet perf rig.
+    // then median-of-3 per driver: this gate runs on developer machines,
+    // not a quiet perf rig, and the median both damps scheduler noise
+    // and refuses to be flattered by one lucky pass.
     let _ = run(None, &text);
-    let best = |shards: Option<usize>| {
-        (0..3)
-            .map(|_| run(shards, &text))
-            .max_by_key(|&(_, rate)| rate)
-            .expect("at least one measured pass")
+    let median = |shards: Option<usize>| {
+        let mut runs: Vec<(MonitorOutcome, u64)> = (0..3).map(|_| run(shards, &text)).collect();
+        runs.sort_by_key(|&(_, rate)| rate);
+        runs.swap_remove(1)
     };
 
-    let (serial, serial_rate) = best(None);
-    let (sharded, sharded_rate) = best(Some(shards));
+    let (serial, serial_rate) = median(None);
+    let (sharded, sharded_rate) = median(Some(shards));
     assert_eq!(
         serial.plans.len(),
         sharded.plans.len(),
         "serial and sharded drivers must emit the same plan sequence"
     );
 
+    // Fixed-point so the flat JSON stays all-u64: 1000 = perfect linear
+    // scaling across `shards` workers.
+    let efficiency_x1000 =
+        (sharded_rate as f64 * 1000.0 / (serial_rate.max(1) as f64 * shards as f64)) as u64;
+    let serial_p99 = serial.p99_rollover_micros();
+    let sharded_p99 = sharded.p99_rollover_micros();
+
     let json = format!(
         "{{\"events\": {}, \"shards\": {}, \"plans\": {}, \
          \"serial_events_per_sec\": {}, \"sharded_events_per_sec\": {}, \
+         \"scaling_efficiency_x1000\": {}, \
          \"serial_p99_rollover_micros\": {}, \"sharded_p99_rollover_micros\": {}}}\n",
         EVENTS,
         shards,
         serial.plans.len(),
         serial_rate,
         sharded_rate,
-        serial.p99_rollover_micros(),
-        sharded.p99_rollover_micros(),
+        efficiency_x1000,
+        serial_p99,
+        sharded_p99,
     );
     if let Err(e) = std::fs::write(out_path, &json) {
         eprintln!("online_smoke: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     println!(
-        "online_smoke: serial {serial_rate} ev/s, sharded({shards}) {sharded_rate} ev/s, \
-         p99 rollover {} us / {} us -> {out_path}",
-        serial.p99_rollover_micros(),
-        sharded.p99_rollover_micros(),
+        "online_smoke: serial {serial_rate} ev/s, sharded({shards}) {sharded_rate} ev/s \
+         (efficiency {:.2}), p99 rollover {serial_p99} us / {sharded_p99} us -> {out_path}",
+        efficiency_x1000 as f64 / 1000.0,
     );
 
     let mut failed = false;
@@ -188,11 +210,33 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
+        if let Some(base) = baseline_value(&baseline, "sharded_p99_rollover_micros") {
+            let ceiling = (base as f64 * MAX_P99_GROWTH) as u64;
+            if sharded_p99 > ceiling {
+                eprintln!(
+                    "online_smoke: REGRESSION sharded_p99_rollover_micros: \
+                     {sharded_p99} us > {ceiling} (baseline {base} x {MAX_P99_GROWTH})"
+                );
+                failed = true;
+            }
+        }
+        if let Some(base) = baseline_value(&baseline, "scaling_efficiency_x1000") {
+            let floor = (base as f64 * (1.0 - MAX_EFFICIENCY_DROP)) as u64;
+            if efficiency_x1000 < floor {
+                eprintln!(
+                    "online_smoke: REGRESSION scaling_efficiency_x1000: \
+                     {efficiency_x1000} < {floor} (baseline {base} - {:.0}%)",
+                    MAX_EFFICIENCY_DROP * 100.0
+                );
+                failed = true;
+            }
+        }
     } else if let Some(path) = baseline_path {
         println!("online_smoke: no baseline at {path}; this run seeds it");
     }
 
-    // The 2x scaling bar only makes sense with real cores to scale onto.
+    // The absolute scaling and stall bars only make sense with real
+    // cores to scale onto.
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     if cpus >= 4 {
         if sharded_rate < serial_rate * 2 {
@@ -202,10 +246,17 @@ fn main() -> ExitCode {
             );
             failed = true;
         }
+        if sharded_p99 > P99_BAR_MICROS {
+            eprintln!(
+                "online_smoke: sharded p99 rollover stall {sharded_p99} us > \
+                 {P99_BAR_MICROS} us on a {cpus}-CPU machine"
+            );
+            failed = true;
+        }
     } else {
         println!(
-            "online_smoke: {cpus} CPU(s); skipping the 2x multi-shard bar \
-             (ratio {:.2}x reported only)",
+            "online_smoke: {cpus} CPU(s); skipping the 2x scaling and \
+             {P99_BAR_MICROS} us p99 bars (ratio {:.2}x, p99 {sharded_p99} us reported only)",
             sharded_rate as f64 / serial_rate.max(1) as f64
         );
     }

@@ -6,7 +6,8 @@
 //! ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS] [--json]
 //! ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]
 //! ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS]
-//!            [--queue N] [--drop-newest] [--shards N] [--checkpoint FILE] [--json]
+//!            [--queue N] [--batch N] [--drop-newest] [--shards N]
+//!            [--checkpoint FILE] [--json]
 //! ees chaos [--seed N] [--seeds N] [--shards N] [--events N] [--json]
 //! ```
 
@@ -15,8 +16,8 @@ use ees_baselines::{Ddr, Pdc};
 use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
 use ees_iotrace::{analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span};
 use ees_online::{
-    read_checkpoint_file, run_chaos, spawn_reader_batched, write_checkpoint_file, ChaosConfig,
-    ColocatedDaemon, OverflowPolicy, RolloverReason,
+    read_checkpoint_file, run_chaos, spawn_reader_batched_pooled, write_checkpoint_file,
+    ChaosConfig, ColocatedDaemon, OverflowPolicy, RolloverReason, ShardOptions,
 };
 use ees_policy::{NoPowerSaving, PowerPolicy};
 use ees_replay::{run, CatalogItem, ReplayOptions};
@@ -67,6 +68,7 @@ struct Flags {
     period: Option<Micros>,
     json: bool,
     queue: usize,
+    batch: usize,
     drop_newest: bool,
     shards: usize,
     checkpoint: Option<PathBuf>,
@@ -84,6 +86,7 @@ impl Flags {
             period: None,
             json: false,
             queue: 1024,
+            batch: 64,
             drop_newest: false,
             shards: 1,
             checkpoint: None,
@@ -127,6 +130,12 @@ impl Flags {
                     flags.queue = take("--queue")?
                         .parse()
                         .map_err(|_| CliError::Usage("--queue expects an integer".into()))?
+                }
+                "--batch" => {
+                    flags.batch = take("--batch")?
+                        .parse::<usize>()
+                        .map_err(|_| CliError::Usage("--batch expects an integer".into()))?
+                        .max(1)
                 }
                 "--drop-newest" => flags.drop_newest = true,
                 "--shards" => {
@@ -445,24 +454,39 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     // `--checkpoint FILE`: resume from the file when it exists (skipping
     // the already-folded prefix of the stream), then persist a fresh
     // checkpoint at every plan rollover and at end of stream.
+    // `--queue`/`--batch` size both transports: the reader channel gets
+    // `queue` events in `batch`-record deliveries, and each shard's ring
+    // gets the matching depth in batches (at least double-buffered).
+    let shard_options = ShardOptions {
+        queue: flags.queue.div_ceil(flags.batch).max(2),
+        ..ShardOptions::default()
+    };
     let mut resume_skip = 0u64;
     let mut daemon = match &flags.checkpoint {
         Some(path) if path.exists() => {
             let cp = read_checkpoint_file(path)
                 .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
-            let d =
-                ColocatedDaemon::resume(&catalog, num_enclosures, &storage, policy, shards, &cp)
-                    .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            let d = ColocatedDaemon::resume_with_options(
+                &catalog,
+                num_enclosures,
+                &storage,
+                policy,
+                shards,
+                shard_options,
+                &cp,
+            )
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
             resume_skip = d.events();
             d
         }
-        _ => ColocatedDaemon::with_shards(
+        _ => ColocatedDaemon::with_shard_options(
             &catalog,
             num_enclosures,
             &storage,
             policy,
             flags.break_even,
             shards,
+            shard_options,
         ),
     };
 
@@ -478,14 +502,14 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     };
     // `--queue` is denominated in events; the batched reader's channel
     // counts batches, so convert (rounding up to at least one batch).
-    const EVENT_BATCH: usize = 64;
-    let capacity = flags.queue.div_ceil(EVENT_BATCH).max(1);
-    let (rx, live, reader) = spawn_reader_batched(input, capacity, EVENT_BATCH, overflow);
+    let capacity = flags.queue.div_ceil(flags.batch).max(1);
+    let (rx, pool, live, reader) =
+        spawn_reader_batched_pooled(input, capacity, flags.batch, overflow);
 
     let mut plans = Vec::new();
     let mut skipped = 0u64;
-    for batch in rx {
-        for rec in batch {
+    for mut batch in rx {
+        for rec in batch.drain(..) {
             if skipped < resume_skip {
                 skipped += 1;
                 continue;
@@ -504,6 +528,7 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
             }
             plans.extend(stepped);
         }
+        pool.recycle(batch);
     }
     reader
         .join()
@@ -526,7 +551,15 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
         writeln!(
             out,
             "{}",
-            jsonout::online_json(trace_arg, &summary, &ingest, shard_count, &plans)
+            jsonout::online_json(
+                trace_arg,
+                &summary,
+                &ingest,
+                flags.queue,
+                flags.batch,
+                shard_count,
+                &plans,
+            )
         )?;
         return Ok(());
     }
@@ -775,6 +808,8 @@ mod tests {
         assert!(json.contains("\"mode\": \"online\""), "{json}");
         assert!(json.contains("\"reason\":\"boundary\""), "{json}");
         assert!(json.contains("\"dropped\": 0"), "{json}");
+        assert!(json.contains("\"queue\": 1024"), "{json}");
+        assert!(json.contains("\"batch\": 64"), "{json}");
         assert!(json.contains("\"shards\": 1"), "{json}");
 
         // The sharded daemon is plan-for-plan identical: the whole JSON
@@ -794,6 +829,34 @@ mod tests {
         assert_eq!(
             json.replace("\"shards\": 1", "\"shards\": N"),
             sharded.replace("\"shards\": 4", "\"shards\": N"),
+        );
+
+        // The transport knobs are declared in the report but must not
+        // change the plans: same JSON modulo the knob fields themselves.
+        let tuned = run_to_string(&[
+            "online",
+            trace.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--period",
+            "120",
+            "--shards",
+            "4",
+            "--queue",
+            "512",
+            "--batch",
+            "32",
+            "--json",
+        ])
+        .unwrap();
+        assert!(tuned.contains("\"queue\": 512"), "{tuned}");
+        assert!(tuned.contains("\"batch\": 32"), "{tuned}");
+        assert_eq!(
+            sharded
+                .replace("\"queue\": 1024", "\"queue\": N")
+                .replace("\"batch\": 64", "\"batch\": N"),
+            tuned
+                .replace("\"queue\": 512", "\"queue\": N")
+                .replace("\"batch\": 32", "\"batch\": N"),
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -58,11 +58,15 @@ pub fn report_json(report: &RunReport) -> String {
 }
 
 /// `ees online --json`: the daemon summary in the shared envelope, plus
-/// the ingest counters and the emitted plan sequence.
+/// the ingest counters, the backpressure knobs the run used (`--queue`
+/// events / `--batch` records per delivery), and the emitted plan
+/// sequence.
 pub fn online_json(
     source: &str,
     summary: &OnlineSummary,
     ingest: &IngestStats,
+    queue: usize,
+    batch: usize,
     shards: usize,
     plans: &[PlanEnvelope],
 ) -> String {
@@ -96,7 +100,7 @@ pub fn online_json(
          \"duration_secs\": {},\n  \"events\": {},\n  \"avg_power_watts\": {},\n  \
          \"avg_response_ms\": {},\n  \"periods\": {},\n  \"trigger_cuts\": {},\n  \
          \"spin_ups\": {},\n  \"shards\": {},\n  \
-         \"ingest\": {{\"accepted\": {}, \"dropped\": {}}},\n  \
+         \"ingest\": {{\"accepted\": {}, \"dropped\": {}, \"queue\": {}, \"batch\": {}}},\n  \
          \"plans\": [\n{}  ]\n}}",
         json_escape(source),
         num(summary.duration.as_secs_f64()),
@@ -109,6 +113,8 @@ pub fn online_json(
         shards,
         ingest.accepted,
         ingest.dropped,
+        queue,
+        batch,
         plan_lines,
     )
 }

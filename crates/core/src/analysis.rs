@@ -139,22 +139,39 @@ pub fn analyze_snapshot(snapshot: &MonitorSnapshot<'_>) -> Vec<ItemReport> {
 /// must report every placed item it owns, silent ones as P0).
 pub fn merge_shard_reports(
     placement: &ees_simstorage::PlacementMap,
-    shards: Vec<Vec<ItemReport>>,
+    mut shards: Vec<Vec<ItemReport>>,
     owner: impl Fn(DataItemId) -> usize,
 ) -> Vec<ItemReport> {
-    let mut cursors: Vec<std::vec::IntoIter<ItemReport>> =
-        shards.into_iter().map(|v| v.into_iter()).collect();
-    placement
-        .iter()
-        .map(|(id, _)| {
-            let shard = owner(id);
-            let report = cursors[shard]
-                .next()
-                .unwrap_or_else(|| panic!("shard {shard} is missing the report for {id}"));
-            assert_eq!(report.id, id, "shard {shard} reported out of order");
-            report
-        })
-        .collect()
+    let mut out = Vec::new();
+    merge_shard_reports_into(placement, &mut shards, owner, &mut out);
+    out
+}
+
+/// [`merge_shard_reports`] writing into a caller-provided buffer, so the
+/// per-rollover merge on the online hot path can reuse one allocation
+/// across periods. Clears `out`, then drains each shard's reports into
+/// it in placement order; the per-shard vectors are left empty.
+///
+/// # Panics
+/// Same contract as [`merge_shard_reports`]: panics on a missing or
+/// out-of-order report.
+pub fn merge_shard_reports_into(
+    placement: &ees_simstorage::PlacementMap,
+    shards: &mut [Vec<ItemReport>],
+    owner: impl Fn(DataItemId) -> usize,
+    out: &mut Vec<ItemReport>,
+) {
+    out.clear();
+    let mut cursors: Vec<std::vec::Drain<'_, ItemReport>> =
+        shards.iter_mut().map(|v| v.drain(..)).collect();
+    out.extend(placement.iter().map(|(id, _)| {
+        let shard = owner(id);
+        let report = cursors[shard]
+            .next()
+            .unwrap_or_else(|| panic!("shard {shard} is missing the report for {id}"));
+        assert_eq!(report.id, id, "shard {shard} reported out of order");
+        report
+    }));
 }
 
 /// `I_max` of §IV.C step 1: the peak one-second total IOPS of all P3

@@ -43,7 +43,9 @@ pub mod planner;
 pub mod policy;
 pub mod runtime;
 
-pub use analysis::{analyze_snapshot, merge_shard_reports, p3_peak_iops, ItemReport};
+pub use analysis::{
+    analyze_snapshot, merge_shard_reports, merge_shard_reports_into, p3_peak_iops, ItemReport,
+};
 pub use cache_select::{select_preload, select_write_delay};
 pub use config::ProposedConfig;
 pub use explain::explain_plan;

@@ -330,6 +330,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, OnlineError> {
         panic_schedule: (cfg.worker_panics > 0).then(|| {
             PanicSchedule::seeded(cfg.seed, cfg.shards.max(1), cfg.events, cfg.worker_panics)
         }),
+        ..ShardOptions::default()
     };
     let mut crash_at = BTreeSet::new();
     if cfg.crash_points > 0 && cfg.events > 2 {

@@ -174,18 +174,7 @@ impl OnlineController {
             start: self.period_start,
             end: t_end,
         };
-        // Same random-equivalence factor the batch analysis derives from
-        // the first enclosure view.
-        let seq_factor = views
-            .first()
-            .map(|e| {
-                if e.max_seq_iops > 0.0 {
-                    e.max_iops / e.max_seq_iops
-                } else {
-                    1.0
-                }
-            })
-            .unwrap_or(1.0);
+        let seq_factor = seq_factor_of(views);
         let mut reports = self
             .classifier
             .rollover(t_end, placement, sequential, seq_factor);
@@ -212,6 +201,22 @@ impl OnlineController {
             plan: outcome.plan,
         }
     }
+}
+
+/// The random-equivalence factor the batch analysis derives from the
+/// first enclosure view — shared by the serial and sharded rollover
+/// paths so their reports agree bit-for-bit.
+pub(crate) fn seq_factor_of(views: &[EnclosureView]) -> f64 {
+    views
+        .first()
+        .map(|e| {
+            if e.max_seq_iops > 0.0 {
+                e.max_iops / e.max_seq_iops
+            } else {
+                1.0
+            }
+        })
+        .unwrap_or(1.0)
 }
 
 /// Checkpointable snapshot of an [`OnlineController`]'s dynamic state.

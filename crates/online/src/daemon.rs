@@ -198,10 +198,37 @@ impl ColocatedDaemon {
         break_even: Option<Micros>,
         shards: usize,
     ) -> Self {
+        Self::with_shard_options(
+            items,
+            num_enclosures,
+            storage,
+            policy,
+            break_even,
+            shards,
+            ShardOptions::default(),
+        )
+    }
+
+    /// [`with_shards`](Self::with_shards) with explicit [`ShardOptions`]
+    /// — supervision policy and per-shard transport queue depth (the
+    /// `ees online --queue` knob reaches the workers through here).
+    /// Ignored when `shards <= 1` keeps the daemon single-threaded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shard_options(
+        items: &[CatalogItem],
+        num_enclosures: u16,
+        storage: &StorageConfig,
+        policy: ProposedConfig,
+        break_even: Option<Micros>,
+        shards: usize,
+        options: ShardOptions,
+    ) -> Self {
         let harness = StreamHarness::new(items, num_enclosures, storage);
         let break_even = break_even.unwrap_or_else(|| harness.break_even());
         let controller = if shards > 1 {
-            DaemonController::Sharded(ShardedController::new(policy, break_even, shards))
+            DaemonController::Sharded(ShardedController::with_options(
+                policy, break_even, shards, options,
+            ))
         } else {
             DaemonController::Single(OnlineController::new(policy, break_even))
         };
@@ -243,6 +270,29 @@ impl ColocatedDaemon {
         shards: usize,
         cp: &ControllerCheckpoint,
     ) -> Result<Self, OnlineError> {
+        Self::resume_with_options(
+            items,
+            num_enclosures,
+            storage,
+            policy,
+            shards,
+            ShardOptions::default(),
+            cp,
+        )
+    }
+
+    /// [`resume`](Self::resume) with explicit [`ShardOptions`] for the
+    /// rebuilt sharded controller (ignored when `shards <= 1`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_with_options(
+        items: &[CatalogItem],
+        num_enclosures: u16,
+        storage: &StorageConfig,
+        policy: ProposedConfig,
+        shards: usize,
+        options: ShardOptions,
+        cp: &ControllerCheckpoint,
+    ) -> Result<Self, OnlineError> {
         let by_id: std::collections::BTreeMap<DataItemId, (EnclosureId, u64)> = cp
             .placement
             .iter()
@@ -258,10 +308,7 @@ impl ColocatedDaemon {
         let harness = StreamHarness::new(&catalog, num_enclosures, storage);
         let controller = if shards > 1 {
             DaemonController::Sharded(ShardedController::from_checkpoint(
-                policy,
-                shards,
-                ShardOptions::default(),
-                cp,
+                policy, shards, options, cp,
             )?)
         } else {
             DaemonController::Single(OnlineController::from_state(policy, cp.state.clone()))

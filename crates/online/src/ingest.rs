@@ -18,6 +18,10 @@
 //! * [`spawn_reader_batched`] — records delivered in small `Vec` batches,
 //!   amortizing the channel synchronization across the batch. This is
 //!   the throughput path `ees online` uses.
+//! * [`spawn_reader_batched_pooled`] — the batched shape plus a
+//!   [`BatchPool`]: the consumer hands drained batch buffers back and the
+//!   producer refills them instead of allocating a fresh `Vec` per batch,
+//!   so the steady-state hot path is allocation-free.
 //!
 //! Both expose **live** progress through a shared [`IngestCounters`]: the
 //! consumer (or a status thread) can read accepted/dropped totals while
@@ -28,10 +32,17 @@ use ees_iotrace::ndjson::EventReader;
 use ees_iotrace::LogicalIoRecord;
 use std::io::{BufRead, Read};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// How many events the serial reader accumulates locally before flushing
+/// the deltas into the shared [`IngestCounters`] atomics. The counters
+/// are a coarse progress feed, not a synchronization point, so trading
+/// per-event RMW traffic for block-granularity visibility is free —
+/// totals stay exact because every exit path flushes the remainder.
+const COUNTER_FLUSH: u64 = 64;
 
 /// Transient-error retries before a read is declared failed.
 const RETRY_ATTEMPTS: u32 = 8;
@@ -142,6 +153,7 @@ pub struct IngestStats {
 pub struct IngestCounters {
     accepted: AtomicU64,
     dropped: AtomicU64,
+    recycled: AtomicU64,
 }
 
 impl IngestCounters {
@@ -153,6 +165,14 @@ impl IngestCounters {
     /// Events discarded by [`OverflowPolicy::DropNewest`] so far.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Batch buffers refilled from the recycle pool instead of freshly
+    /// allocated (only the pooled reader bumps this). Timing-dependent:
+    /// how many returns arrive before the producer needs a buffer varies
+    /// run to run, so this is diagnostics, not part of [`IngestStats`].
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
     }
 
     /// A point-in-time copy of both counters.
@@ -185,32 +205,58 @@ where
     let counters = Arc::new(IngestCounters::default());
     let live = Arc::clone(&counters);
     let handle = std::thread::spawn(move || {
+        // Per-event atomics dominate this loop at high event rates, so
+        // the deltas accumulate locally and flush every [`COUNTER_FLUSH`]
+        // events — and on every exit path, keeping the final totals
+        // exact (accepted + dropped == parsed).
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        let flush = |accepted: &mut u64, dropped: &mut u64| {
+            if *accepted != 0 {
+                live.accepted.fetch_add(*accepted, Ordering::Relaxed);
+                *accepted = 0;
+            }
+            if *dropped != 0 {
+                live.dropped.fetch_add(*dropped, Ordering::Relaxed);
+                *dropped = 0;
+            }
+        };
         for rec in EventReader::new(RetryingReader::new(input)) {
-            let rec = rec?;
+            let rec = match rec {
+                Ok(rec) => rec,
+                Err(e) => {
+                    flush(&mut accepted, &mut dropped);
+                    return Err(e);
+                }
+            };
             match policy {
                 OverflowPolicy::Block => {
                     if tx.send(rec).is_err() {
                         // Consumer hung up: the in-hand record is lost —
                         // count it so accepted + dropped == parsed.
-                        live.dropped.fetch_add(1, Ordering::Relaxed);
+                        dropped += 1;
                         break;
                     }
-                    live.accepted.fetch_add(1, Ordering::Relaxed);
+                    accepted += 1;
                 }
                 OverflowPolicy::DropNewest => match tx.try_send(rec) {
                     Ok(()) => {
-                        live.accepted.fetch_add(1, Ordering::Relaxed);
+                        accepted += 1;
                     }
                     Err(TrySendError::Full(_)) => {
-                        live.dropped.fetch_add(1, Ordering::Relaxed);
+                        dropped += 1;
                     }
                     Err(TrySendError::Disconnected(_)) => {
-                        live.dropped.fetch_add(1, Ordering::Relaxed);
+                        dropped += 1;
                         break;
                     }
                 },
             }
+            if accepted + dropped >= COUNTER_FLUSH {
+                flush(&mut accepted, &mut dropped);
+            }
         }
+        flush(&mut accepted, &mut dropped);
         Ok(live.snapshot())
     });
     (rx, counters, handle)
@@ -235,13 +281,74 @@ pub fn spawn_reader_batched<R>(
 where
     R: BufRead + Send + 'static,
 {
+    // Dropping the pool handle closes the recycle channel, so the
+    // producer allocates a fresh buffer per batch — the pre-pool
+    // behavior, byte for byte.
+    let (rx, _pool, counters, handle) = spawn_reader_batched_pooled(input, capacity, batch, policy);
+    (rx, counters, handle)
+}
+
+/// Consumer-side handle for returning drained batch buffers to the
+/// producer spawned by [`spawn_reader_batched_pooled`]. Recycling is
+/// strictly an optimization: dropping the handle (or never calling
+/// [`recycle`](Self::recycle)) just means the producer allocates fresh
+/// buffers, exactly like [`spawn_reader_batched`].
+#[derive(Debug, Clone)]
+pub struct BatchPool {
+    returns: Sender<Vec<LogicalIoRecord>>,
+}
+
+impl BatchPool {
+    /// Hands a drained batch buffer back for reuse. The producer clears
+    /// it before refilling, so returning a non-empty buffer is safe (its
+    /// leftover records are discarded, not re-delivered).
+    pub fn recycle(&self, buf: Vec<LogicalIoRecord>) {
+        // A closed return channel means the producer exited; the buffer
+        // just deallocates.
+        let _ = self.returns.send(buf);
+    }
+}
+
+/// What [`spawn_reader_batched_pooled`] hands back: the batch stream,
+/// the recycle pool, the live counters, and the reader-thread handle.
+pub type PooledReader = (
+    Receiver<Vec<LogicalIoRecord>>,
+    BatchPool,
+    Arc<IngestCounters>,
+    JoinHandle<std::io::Result<IngestStats>>,
+);
+
+/// Like [`spawn_reader_batched`], but with a buffer pool: every batch the
+/// consumer drains can be handed back through the returned [`BatchPool`],
+/// and the producer refills recycled buffers instead of allocating one
+/// `Vec` per batch. A `DropNewest` rejection also reuses the rejected
+/// buffer in place. Counting semantics are identical to
+/// [`spawn_reader_batched`] (per-event, exact on every exit path).
+pub fn spawn_reader_batched_pooled<R>(
+    input: R,
+    capacity: usize,
+    batch: usize,
+    policy: OverflowPolicy,
+) -> PooledReader
+where
+    R: BufRead + Send + 'static,
+{
     let batch = batch.max(1);
     let (tx, rx) = sync_channel::<Vec<LogicalIoRecord>>(capacity.max(1));
+    let (return_tx, return_rx) = channel::<Vec<LogicalIoRecord>>();
     let counters = Arc::new(IngestCounters::default());
     let live = Arc::clone(&counters);
     let handle = std::thread::spawn(move || {
         let mut buf: Vec<LogicalIoRecord> = Vec::with_capacity(batch);
         let mut disconnected = false;
+        let next_buf = || match return_rx.try_recv() {
+            Ok(mut recycled) => {
+                live.recycled.fetch_add(1, Ordering::Relaxed);
+                recycled.clear();
+                recycled
+            }
+            Err(_) => Vec::with_capacity(batch),
+        };
         // Every parsed event ends up in exactly one counter: accepted on
         // delivery, dropped on queue overflow, on consumer hang-up (the
         // in-flight batch), or on a parse/read error (the partial batch
@@ -257,7 +364,7 @@ where
                 live.dropped.fetch_add(n, Ordering::Relaxed);
                 return;
             }
-            let full = std::mem::replace(buf, Vec::with_capacity(batch));
+            let full = std::mem::take(buf);
             match policy {
                 OverflowPolicy::Block => {
                     if tx.send(full).is_err() {
@@ -271,14 +378,21 @@ where
                     Ok(()) => {
                         live.accepted.fetch_add(n, Ordering::Relaxed);
                     }
-                    Err(TrySendError::Full(_)) => {
+                    Err(TrySendError::Full(rejected)) => {
+                        // The rejected buffer comes straight back —
+                        // reuse it as the next batch.
                         live.dropped.fetch_add(n, Ordering::Relaxed);
+                        *buf = rejected;
+                        buf.clear();
                     }
                     Err(TrySendError::Disconnected(_)) => {
                         *disconnected = true;
                         live.dropped.fetch_add(n, Ordering::Relaxed);
                     }
                 },
+            }
+            if buf.capacity() == 0 {
+                *buf = next_buf();
             }
         };
         for rec in EventReader::new(RetryingReader::new(input)) {
@@ -301,7 +415,7 @@ where
         flush(&mut buf, &mut disconnected);
         Ok(live.snapshot())
     });
-    (rx, counters, handle)
+    (rx, BatchPool { returns: return_tx }, counters, handle)
 }
 
 #[cfg(test)]
@@ -511,6 +625,74 @@ mod tests {
         let err = r.fill_buf().unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
         assert_eq!(r.retries(), RETRY_ATTEMPTS as u64, "budget is bounded");
+    }
+
+    #[test]
+    fn pooled_reader_recycles_buffers_without_losing_events() {
+        // Lock-step consumption: drain one batch, hand the buffer back,
+        // repeat. After the first round trip the producer should be
+        // refilling recycled buffers, and delivery must stay lossless
+        // and ordered.
+        let input: String = (0..400).map(|i| line(i * 1000)).collect();
+        let (rx, pool, counters, handle) =
+            spawn_reader_batched_pooled(Cursor::new(input), 2, 8, OverflowPolicy::Block);
+        let mut got = Vec::new();
+        for mut batch in rx.iter() {
+            got.append(&mut batch);
+            pool.recycle(batch);
+        }
+        assert_eq!(got.len(), 400);
+        assert!(got.windows(2).all(|w| w[0].ts <= w[1].ts));
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(
+            stats,
+            IngestStats {
+                accepted: 400,
+                dropped: 0
+            }
+        );
+        assert!(
+            counters.recycled() > 0,
+            "lock-step consumer must feed the pool: {}",
+            counters.recycled()
+        );
+    }
+
+    #[test]
+    fn pooled_drop_newest_keeps_exact_event_accounting() {
+        // Regression pin for the buffer pool: rejected batches reuse the
+        // returned buffer, which must not perturb the per-event
+        // accounting — same 32-accepted / 68-dropped split as the
+        // unpooled batched_drop_newest_counts_dropped_events_not_batches.
+        let input: String = (0..100).map(|i| line(i * 1000)).collect();
+        let (rx, pool, counters, handle) =
+            spawn_reader_batched_pooled(Cursor::new(input), 4, 8, OverflowPolicy::DropNewest);
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(stats.accepted, 32);
+        assert_eq!(stats.dropped, 68);
+        for batch in rx.iter() {
+            pool.recycle(batch);
+        }
+        assert_eq!(counters.accepted() + counters.dropped(), 100);
+    }
+
+    #[test]
+    fn serial_counter_coalescing_flushes_exact_totals() {
+        // 70 events: one full 64-event counter block plus a 6-event
+        // remainder that only the exit-path flush publishes. The final
+        // totals must be exact despite block-granularity updates.
+        let input: String = (0..70).map(|i| line(i * 1000)).collect();
+        let (rx, counters, handle) = spawn_reader(Cursor::new(input), 128, OverflowPolicy::Block);
+        assert_eq!(rx.iter().count(), 70);
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(
+            stats,
+            IngestStats {
+                accepted: 70,
+                dropped: 0
+            }
+        );
+        assert_eq!(counters.snapshot(), stats);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod error;
 pub mod fault;
 pub mod ingest;
 pub mod pipeline;
+pub mod ring;
 pub mod shard;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
@@ -76,7 +77,11 @@ pub use fault::{
     Sanitizer,
 };
 pub use ingest::{
-    spawn_reader, spawn_reader_batched, IngestCounters, IngestStats, OverflowPolicy, RetryingReader,
+    spawn_reader, spawn_reader_batched, spawn_reader_batched_pooled, BatchPool, IngestCounters,
+    IngestStats, OverflowPolicy, PooledReader, RetryingReader,
 };
-pub use pipeline::{run_monitor_serial, run_monitor_sharded, MonitorOutcome};
-pub use shard::{shard_of, ShardOptions, ShardedController, SupervisionPolicy};
+pub use pipeline::{
+    run_monitor_serial, run_monitor_sharded, run_monitor_sharded_with, MonitorOutcome, STAGE_MAX,
+};
+pub use ring::{ring_channel, RingReceiver, RingRecvError, RingSendError, RingSender};
+pub use shard::{shard_of, ShardOptions, ShardedController, SupervisionPolicy, SHARD_QUEUE};

@@ -18,10 +18,23 @@
 //! Both return the same plans on the same input (property-tested by the
 //! `sharded` suite); the throughput smoke in `ci.sh` times one against
 //! the other to produce `BENCH_online.json`.
+//!
+//! The sharded driver overlaps rollover with ingest (DESIGN.md §12):
+//! at a period cut it calls
+//! [`rollover_begin`](ShardedController::rollover_begin) and keeps
+//! **reading ahead** — staging parsed-scanned lines up to [`STAGE_MAX`]
+//! — while the workers drain their queues and snapshot in parallel; it
+//! then collects the merge in
+//! [`rollover_finish`](ShardedController::rollover_finish) and settles
+//! the staged lines through the full per-record flow. Staged records are
+//! *not* routed or trigger-swept until the plan lands, because routing
+//! feeds the next cut and the §V.D sweep depends on the plan's placement
+//! and re-armed triggers — staging is what keeps the plan sequence
+//! byte-identical to the serial controller.
 
 use crate::controller::RolloverReason;
 use crate::ingest::{spawn_reader, OverflowPolicy};
-use crate::shard::ShardedController;
+use crate::shard::{ShardOptions, ShardedController};
 use crate::{OnlineController, PlanEnvelope};
 use ees_core::ProposedConfig;
 use ees_iotrace::ndjson::{parse_event_borrowed, quick_scan_ts_item};
@@ -39,9 +52,13 @@ pub struct MonitorOutcome {
     pub events: u64,
     /// The plan sequence, one envelope per period rollover.
     pub plans: Vec<PlanEnvelope>,
-    /// Wall-clock ingest-to-plan latency per rollover, in microseconds:
-    /// measured from the moment the boundary-crossing record is seen to
-    /// the plan being in hand (barrier + merge + planning).
+    /// Wall-clock ingest **stall** per rollover, in microseconds. For
+    /// the serial driver this is the whole cut (classify + plan). For
+    /// the sharded driver it is the time the driver thread was *blocked*
+    /// on the cut — `rollover_begin` (flush + cut broadcast) plus
+    /// `rollover_finish` (reply wait + merge + plan) — explicitly
+    /// excluding the read-ahead staging loop in between, which is
+    /// forward progress, not stall.
     pub rollover_micros: Vec<u64>,
 }
 
@@ -143,6 +160,201 @@ where
     })
 }
 
+/// How many records the sharded driver stages while a cut is in flight
+/// before it stops reading ahead and blocks on the merge — bounds the
+/// driver's memory at one period's read-ahead, independent of how long
+/// the merge takes.
+pub const STAGE_MAX: usize = 4096;
+
+/// A read-ahead record held by the driver while a cut is in flight: the
+/// raw line plus the `(ts, item)` the scan already extracted, so settling
+/// never re-parses.
+struct StagedRecord {
+    line: String,
+    lineno: u64,
+    ts: Micros,
+    item: DataItemId,
+}
+
+/// A shard discovers a parse error asynchronously; keep the earliest
+/// line number so the surfaced error matches the serial reader's.
+fn fail(controller: &mut ShardedController, lineno: u64, msg: String) -> std::io::Error {
+    // Best effort: a supervision failure during the error path must
+    // not mask the parse error being reported.
+    let _ = controller.sync();
+    let mut best = (lineno, msg);
+    if let Some((l, m)) = controller.take_ingest_error() {
+        if l < best.0 {
+            best = (l, m);
+        }
+    }
+    invalid_data(format!("line {}: {}", best.0, best.1))
+}
+
+/// Runs one staged record through the full per-record flow: any further
+/// rollovers it crosses (synchronous — the read-ahead for those already
+/// happened), routing, and the §V.D trigger sweep. Identical to the
+/// serial driver's per-record path, which is what keeps settling staged
+/// read-ahead byte-equivalent to never having staged at all.
+#[allow(clippy::too_many_arguments)]
+fn settle_record(
+    controller: &mut ShardedController,
+    harness: &mut StreamHarness,
+    plans: &mut Vec<PlanEnvelope>,
+    rollover_micros: &mut Vec<u64>,
+    events: &mut u64,
+    trimmed: &str,
+    lineno: u64,
+    ts: Micros,
+    item: DataItemId,
+) -> std::io::Result<()> {
+    while controller.needs_rollover(ts) {
+        let t_end = controller.boundary();
+        let started = Instant::now();
+        harness.refresh_views();
+        let env = controller.rollover(
+            t_end,
+            RolloverReason::Boundary,
+            harness.placement(),
+            harness.sequential(),
+            harness.views(),
+        )?;
+        if let Some((l, m)) = controller.take_ingest_error() {
+            return Err(invalid_data(format!("line {l}: {m}")));
+        }
+        harness.apply_plan(t_end, &env.plan);
+        harness.begin_period();
+        rollover_micros.push(started.elapsed().as_micros() as u64);
+        plans.push(env);
+    }
+    controller.route_raw_line(trimmed, lineno, item);
+    *events += 1;
+    // Same §V.D trigger (i) sweep as the serial driver; the rollover
+    // barrier flushes the just-routed line, so the cut covers it.
+    let enclosure = harness.placement().enclosure_of(item);
+    if let Some(enclosure) = enclosure {
+        if controller.observe_io_event(ts, enclosure) && ts > controller.period_start() {
+            let started = Instant::now();
+            harness.refresh_views();
+            let env = controller.rollover(
+                ts,
+                RolloverReason::Trigger,
+                harness.placement(),
+                harness.sequential(),
+                harness.views(),
+            )?;
+            if let Some((l, m)) = controller.take_ingest_error() {
+                return Err(invalid_data(format!("line {l}: {m}")));
+            }
+            harness.apply_plan(ts, &env.plan);
+            harness.begin_period();
+            rollover_micros.push(started.elapsed().as_micros() as u64);
+            plans.push(env);
+        }
+    }
+    Ok(())
+}
+
+/// Cuts the period at `t_end` overlapped with ingest: `rollover_begin`,
+/// read ahead into `staged` until the workers' snapshots are in (or
+/// [`STAGE_MAX`] / EOF / a driver-side parse error stops staging),
+/// `rollover_finish`, apply the plan, then settle the staged records in
+/// order through [`settle_record`]. Pushes the recorded **stall**
+/// (begin plus finish wall time, staging excluded) onto
+/// `rollover_micros`.
+/// Returns whether EOF was reached while staging.
+#[allow(clippy::too_many_arguments)]
+fn overlapped_cut<R: BufRead>(
+    input: &mut R,
+    controller: &mut ShardedController,
+    harness: &mut StreamHarness,
+    plans: &mut Vec<PlanEnvelope>,
+    rollover_micros: &mut Vec<u64>,
+    events: &mut u64,
+    line: &mut String,
+    lineno: &mut u64,
+    line_pool: &mut Vec<String>,
+    staged: &mut Vec<StagedRecord>,
+    t_end: Micros,
+    reason: RolloverReason,
+) -> std::io::Result<bool> {
+    let started = Instant::now();
+    harness.refresh_views();
+    controller.rollover_begin(
+        t_end,
+        reason,
+        harness.placement(),
+        harness.sequential(),
+        harness.views(),
+    )?;
+    let begin_stall = started.elapsed();
+    // Read ahead while the cut is in flight. A driver-side parse error
+    // stops staging but is reported only after the cut lands and the
+    // staged prefix settles — any worker-side error on an earlier line
+    // must win, exactly as it would have serially.
+    let mut stage_err: Option<(u64, String)> = None;
+    let mut eof = false;
+    while !controller.rollover_ready() && staged.len() < STAGE_MAX {
+        line.clear();
+        if input.read_line(line)? == 0 {
+            eof = true;
+            break;
+        }
+        *lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let scanned = match quick_scan_ts_item(trimmed) {
+            Some((ts, item)) => Some((Micros(ts), DataItemId(item))),
+            None => match parse_event_borrowed(trimmed) {
+                Ok(rec) => Some((rec.ts, rec.item)),
+                Err(e) => {
+                    stage_err = Some((*lineno, e));
+                    None
+                }
+            },
+        };
+        let Some((ts, item)) = scanned else { break };
+        let mut slot = line_pool.pop().unwrap_or_default();
+        slot.clear();
+        slot.push_str(trimmed);
+        staged.push(StagedRecord {
+            line: slot,
+            lineno: *lineno,
+            ts,
+            item,
+        });
+    }
+    let finishing = Instant::now();
+    let env = controller.rollover_finish()?;
+    if let Some((l, m)) = controller.take_ingest_error() {
+        return Err(invalid_data(format!("line {l}: {m}")));
+    }
+    harness.apply_plan(t_end, &env.plan);
+    harness.begin_period();
+    rollover_micros.push((begin_stall + finishing.elapsed()).as_micros() as u64);
+    plans.push(env);
+    for rec in staged.drain(..) {
+        settle_record(
+            controller,
+            harness,
+            plans,
+            rollover_micros,
+            events,
+            &rec.line,
+            rec.lineno,
+            rec.ts,
+            rec.item,
+        )?;
+        line_pool.push(rec.line);
+    }
+    if let Some((l, m)) = stage_err {
+        return Err(fail(controller, l, m));
+    }
+    Ok(eof)
+}
+
 /// Runs the monitor over `input` with the sharded pipeline: the calling
 /// thread reads lines and hash-routes the raw bytes; `shards` workers
 /// (`0` → [`threads()`], the `EES_THREADS` convention) parse and fold.
@@ -160,30 +372,46 @@ pub fn run_monitor_sharded<R>(
 where
     R: BufRead,
 {
+    run_monitor_sharded_with(
+        input,
+        items,
+        num_enclosures,
+        storage,
+        policy,
+        break_even,
+        shards,
+        ShardOptions::default(),
+    )
+}
+
+/// [`run_monitor_sharded`] with explicit [`ShardOptions`] (supervision
+/// policy, per-shard transport queue depth).
+#[allow(clippy::too_many_arguments)]
+pub fn run_monitor_sharded_with<R>(
+    input: R,
+    items: &[CatalogItem],
+    num_enclosures: u16,
+    storage: &StorageConfig,
+    policy: ProposedConfig,
+    break_even: Option<Micros>,
+    shards: usize,
+    options: ShardOptions,
+) -> std::io::Result<MonitorOutcome>
+where
+    R: BufRead,
+{
     let mut input = input;
     let mut harness = StreamHarness::new(items, num_enclosures, storage);
     let break_even = break_even.unwrap_or_else(|| harness.break_even());
     let shards = if shards == 0 { threads() } else { shards };
-    let mut controller = ShardedController::new(policy, break_even, shards);
+    let mut controller = ShardedController::with_options(policy, break_even, shards, options);
     let mut events = 0u64;
     let mut plans = Vec::new();
     let mut rollover_micros = Vec::new();
     let mut line = String::new();
     let mut lineno = 0u64;
-    // A shard discovers a parse error asynchronously; keep the earliest
-    // line number so the surfaced error matches the serial reader's.
-    let fail = |controller: &mut ShardedController, lineno: u64, msg: String| {
-        // Best effort: a supervision failure during the error path must
-        // not mask the parse error being reported.
-        let _ = controller.sync();
-        let mut best = (lineno, msg);
-        if let Some((l, m)) = controller.take_ingest_error() {
-            if l < best.0 {
-                best = (l, m);
-            }
-        }
-        invalid_data(format!("line {}: {}", best.0, best.1))
-    };
+    let mut line_pool: Vec<String> = Vec::new();
+    let mut staged: Vec<StagedRecord> = Vec::new();
     loop {
         line.clear();
         if input.read_line(&mut line)? == 0 {
@@ -203,48 +431,63 @@ where
                 Err(e) => return Err(fail(&mut controller, lineno, e)),
             },
         };
-        while controller.needs_rollover(ts) {
+        if controller.needs_rollover(ts) {
+            // The boundary-crossing record is the first staged record —
+            // it must not be routed until the cut lands, and settling it
+            // replays any further boundaries it crosses.
+            let mut slot = line_pool.pop().unwrap_or_default();
+            slot.clear();
+            slot.push_str(trimmed);
+            staged.push(StagedRecord {
+                line: slot,
+                lineno,
+                ts,
+                item,
+            });
             let t_end = controller.boundary();
-            let started = Instant::now();
-            harness.refresh_views();
-            let env = controller.rollover(
+            let eof = overlapped_cut(
+                &mut input,
+                &mut controller,
+                &mut harness,
+                &mut plans,
+                &mut rollover_micros,
+                &mut events,
+                &mut line,
+                &mut lineno,
+                &mut line_pool,
+                &mut staged,
                 t_end,
                 RolloverReason::Boundary,
-                harness.placement(),
-                harness.sequential(),
-                harness.views(),
             )?;
-            if let Some((l, m)) = controller.take_ingest_error() {
-                return Err(invalid_data(format!("line {l}: {m}")));
+            if eof {
+                break;
             }
-            harness.apply_plan(t_end, &env.plan);
-            harness.begin_period();
-            rollover_micros.push(started.elapsed().as_micros() as u64);
-            plans.push(env);
+            continue;
         }
         controller.route_raw_line(trimmed, lineno, item);
         events += 1;
-        // Same §V.D trigger (i) sweep as the serial driver; the rollover
-        // barrier flushes the just-routed line, so the cut covers it.
+        // Same §V.D trigger (i) sweep as the serial driver; the cut's
+        // shard flush covers the just-routed line.
         let enclosure = harness.placement().enclosure_of(item);
         if let Some(enclosure) = enclosure {
             if controller.observe_io_event(ts, enclosure) && ts > controller.period_start() {
-                let started = Instant::now();
-                harness.refresh_views();
-                let env = controller.rollover(
+                let eof = overlapped_cut(
+                    &mut input,
+                    &mut controller,
+                    &mut harness,
+                    &mut plans,
+                    &mut rollover_micros,
+                    &mut events,
+                    &mut line,
+                    &mut lineno,
+                    &mut line_pool,
+                    &mut staged,
                     ts,
                     RolloverReason::Trigger,
-                    harness.placement(),
-                    harness.sequential(),
-                    harness.views(),
                 )?;
-                if let Some((l, m)) = controller.take_ingest_error() {
-                    return Err(invalid_data(format!("line {l}: {m}")));
+                if eof {
+                    break;
                 }
-                harness.apply_plan(ts, &env.plan);
-                harness.begin_period();
-                rollover_micros.push(started.elapsed().as_micros() as u64);
-                plans.push(env);
             }
         }
     }

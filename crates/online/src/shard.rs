@@ -36,30 +36,55 @@
 //! byte-identical to a panic-free run (property-tested in
 //! `tests/chaos.rs`) because the fold is deterministic in the records and
 //! their order, both of which the journal preserves.
+//!
+//! **Overlapped rollover** (DESIGN.md §12): the period cut is split into
+//! [`rollover_begin`](ShardedController::rollover_begin) — which flushes,
+//! ships an in-band [`ShardMsg::Rollover`] to every shard, and returns
+//! immediately — and [`rollover_finish`](ShardedController::rollover_finish),
+//! which collects the per-shard reports, merges, and plans. Between the
+//! two, every worker drains its queue and computes its period report *in
+//! parallel with the others and with whatever the coordinator does* (the
+//! monitor pipeline uses the window to read ahead). The journal moves to
+//! a `closing` epoch at `begin` so a worker that dies mid-cut is rebuilt
+//! by replaying the closing epoch and re-sending the cut — plans stay
+//! byte-identical either way. The one-call
+//! [`rollover`](ShardedController::rollover) is just `begin` + `finish`,
+//! so every caller exercises the same epoch machinery. New-period input
+//! must NOT be routed while a cut is in flight: a §V.D trigger evaluated
+//! once the plan lands may still demand a cut *between* two of those
+//! buffered records, and a cut message can only be appended after
+//! records already shipped — the caller stages read-ahead on its side
+//! until `finish` returns.
 
 use crate::checkpoint::ControllerCheckpoint;
 use crate::classify::{IncrementalClassifier, ItemCheckpoint};
 use crate::controller::{ControllerState, PlanEnvelope, RolloverReason};
 use crate::error::{OnlineError, Severity};
 use crate::fault::{PanicSchedule, INJECTED_PANIC_MARKER};
+use crate::ring::{ring_channel, RingReceiver, RingSendError, RingSender};
 use ees_core::{
-    merge_shard_reports, snapshot_guard, ArmedTriggers, ItemReport, Planner, ProposedConfig,
+    merge_shard_reports_into, snapshot_guard, ArmedTriggers, ItemReport, Planner, ProposedConfig,
 };
 use ees_iotrace::ndjson::parse_event_borrowed;
 use ees_iotrace::{DataItemId, EnclosureId, LogicalIoRecord, Micros, Span};
 use ees_policy::EnclosureView;
 use ees_simstorage::PlacementMap;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Records buffered per shard before a batch is shipped.
 const RECORD_FLUSH: usize = 256;
 /// Raw-line bytes buffered per shard before a batch is shipped.
 const RAW_FLUSH_BYTES: usize = 16 * 1024;
-/// Batches in flight per shard channel (bounds coordinator run-ahead).
-const SHARD_QUEUE: usize = 8;
+/// Default batches in flight per shard ring (bounds coordinator
+/// run-ahead); override with [`ShardOptions::queue`].
+pub const SHARD_QUEUE: usize = 8;
+/// Barrier reply poll granularity: long enough to stay off the fast
+/// path, short enough that a dead worker is noticed promptly.
+const REPLY_POLL: Duration = Duration::from_millis(10);
 
 /// The shard that owns `item` in an `n`-shard pool: a Fibonacci
 /// multiplicative hash of the item id, so consecutive ids (the common
@@ -142,7 +167,7 @@ fn worker(
     shard: usize,
     shards: usize,
     break_even: Micros,
-    rx: Receiver<ShardMsg>,
+    rx: RingReceiver<ShardMsg>,
     panic_schedule: Option<Arc<PanicSchedule>>,
 ) {
     let mut classifier = IncrementalClassifier::new(Micros::ZERO, break_even);
@@ -260,13 +285,26 @@ pub enum SupervisionPolicy {
 }
 
 /// Construction options for [`ShardedController`] beyond the basics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ShardOptions {
     /// Dead-worker handling. Defaults to [`SupervisionPolicy::Respawn`].
     pub supervision: SupervisionPolicy,
     /// Injected worker-panic schedule (chaos testing only; `None` in
     /// production).
     pub panic_schedule: Option<Arc<PanicSchedule>>,
+    /// Batches in flight per shard ring (rounded up to a power of two);
+    /// bounds coordinator run-ahead. Defaults to [`SHARD_QUEUE`].
+    pub queue: usize,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            supervision: SupervisionPolicy::default(),
+            panic_schedule: None,
+            queue: SHARD_QUEUE,
+        }
+    }
 }
 
 /// Base state + journal for one shard: everything needed to rebuild its
@@ -278,6 +316,10 @@ struct ShardLedger {
     base: Vec<ItemCheckpoint>,
     /// Batches shipped since `base`, in shipping order.
     journal: Vec<JournalEntry>,
+    /// While a cut is in flight: the batches of the period being closed,
+    /// moved out of `journal` at `rollover_begin`. A rebuild replays
+    /// `base` → `closing` → (re-sent cut) → `journal`.
+    closing: Option<Vec<JournalEntry>>,
 }
 
 impl ShardLedger {
@@ -285,8 +327,24 @@ impl ShardLedger {
         ShardLedger {
             base: Vec::new(),
             journal: Vec::new(),
+            closing: None,
         }
     }
+}
+
+/// A rollover that has been cut ([`ShardedController::rollover_begin`])
+/// but not yet merged/planned
+/// ([`ShardedController::rollover_finish`]): everything `finish` needs,
+/// plus the reply channel the in-flight workers answer on.
+struct PendingCut {
+    t_end: Micros,
+    reason: RolloverReason,
+    seq_factor: f64,
+    placement: Arc<PlacementMap>,
+    sequential: Arc<BTreeSet<DataItemId>>,
+    views: Vec<EnclosureView>,
+    reply_rx: Receiver<ShardReply>,
+    replies: Vec<Option<ShardReply>>,
 }
 
 /// Upper bound on revive rounds within one barrier. Injected panics are
@@ -317,7 +375,7 @@ pub struct ShardedController {
     shards: usize,
     options: ShardOptions,
     /// `None` marks a quarantined (or mid-revive) shard's empty slot.
-    senders: Vec<Option<SyncSender<ShardMsg>>>,
+    senders: Vec<Option<RingSender<ShardMsg>>>,
     handles: Vec<Option<JoinHandle<()>>>,
     pending: Vec<Pending>,
     /// Base state + shipped-batch journal per shard, for worker rebuild.
@@ -332,6 +390,10 @@ pub struct ShardedController {
     fatal: Option<OnlineError>,
     /// Earliest raw-line parse error reported by any shard.
     ingest_error: Option<(u64, String)>,
+    /// The in-flight cut between `rollover_begin` and `rollover_finish`.
+    pending_cut: Option<PendingCut>,
+    /// Reused merged-report buffer (one allocation across rollovers).
+    merge_scratch: Vec<ItemReport>,
 }
 
 impl ShardedController {
@@ -377,6 +439,8 @@ impl ShardedController {
             respawns: 0,
             fatal: None,
             ingest_error: None,
+            pending_cut: None,
+            merge_scratch: Vec::new(),
         };
         for shard in 0..shards {
             let (tx, handle) = ctl.spawn_worker(shard);
@@ -424,11 +488,11 @@ impl ShardedController {
         Ok(ctl)
     }
 
-    fn spawn_worker(&self, shard: usize) -> (SyncSender<ShardMsg>, JoinHandle<()>) {
+    fn spawn_worker(&self, shard: usize) -> (RingSender<ShardMsg>, JoinHandle<()>) {
         let shards = self.shards;
         let break_even = self.break_even;
         let schedule = self.options.panic_schedule.clone();
-        let (tx, rx) = sync_channel::<ShardMsg>(SHARD_QUEUE);
+        let (tx, rx) = ring_channel::<ShardMsg>(self.options.queue.max(1));
         let handle = std::thread::spawn(move || worker(shard, shards, break_even, rx, schedule));
         (tx, handle)
     }
@@ -512,16 +576,24 @@ impl ShardedController {
     }
 
     /// Loads the shard's base state and replays its journal into a
-    /// freshly spawned worker. `Err(())` when the worker died mid-replay.
-    fn replay_into(&mut self, shard: usize) -> Result<(), ()> {
-        let tx = self.senders[shard].clone().ok_or(())?;
+    /// freshly spawned worker. While a cut is in flight the closing
+    /// epoch's batches are replayed first; the cut message itself is
+    /// re-sent by the caller *after* this returns (the current journal
+    /// is empty then — nothing may be routed mid-cut — so the replay
+    /// order matches the original shipping order exactly). `Err(())`
+    /// when the worker died mid-replay.
+    fn replay_into(&self, shard: usize) -> Result<(), ()> {
+        let ledger = &self.ledgers[shard];
+        let Some(tx) = self.senders[shard].as_ref() else {
+            return Err(());
+        };
         let load = ShardMsg::Load {
             period_start: self.period_start,
-            items: self.ledgers[shard].base.clone(),
+            items: ledger.base.clone(),
         };
         tx.send(load).map_err(|_| ())?;
-        let entries = self.ledgers[shard].journal.clone();
-        for entry in entries {
+        let closing = ledger.closing.iter().flatten();
+        for entry in closing.chain(ledger.journal.iter()).cloned() {
             let msg = match entry {
                 JournalEntry::Records(b) => ShardMsg::Records(b),
                 JournalEntry::Raw(b) => ShardMsg::Raw(b),
@@ -591,7 +663,7 @@ impl ShardedController {
             };
             match tx.send(msg) {
                 Ok(()) => return Ok(()),
-                Err(std::sync::mpsc::SendError(returned)) => {
+                Err(RingSendError(returned)) => {
                     msg = returned;
                     self.revive_shard(shard)?;
                 }
@@ -649,6 +721,10 @@ impl ShardedController {
     /// Routes one pre-parsed record to its owning shard (batched; a
     /// partial batch is flushed at the next barrier).
     pub fn observe(&mut self, rec: &LogicalIoRecord) {
+        debug_assert!(
+            self.pending_cut.is_none(),
+            "observe while a cut is in flight; stage records until rollover_finish"
+        );
         let shard = shard_of(rec.item, self.shards);
         self.pending[shard].records.push(*rec);
         if self.pending[shard].records.len() >= RECORD_FLUSH {
@@ -663,6 +739,10 @@ impl ShardedController {
     /// surface at the next barrier via
     /// [`take_ingest_error`](Self::take_ingest_error).
     pub fn route_raw_line(&mut self, line: &str, lineno: u64, item: DataItemId) {
+        debug_assert!(
+            self.pending_cut.is_none(),
+            "route_raw_line while a cut is in flight; stage lines until rollover_finish"
+        );
         let shard = shard_of(item, self.shards);
         let raw = &mut self.pending[shard].raw;
         let off = raw.text.len() as u32;
@@ -700,13 +780,53 @@ impl ShardedController {
         self.ingest_error.take()
     }
 
+    /// Whether `shard`'s worker thread has exited (or was reaped).
+    fn worker_dead(&self, shard: usize) -> bool {
+        match self.handles[shard].as_ref() {
+            Some(h) => h.is_finished(),
+            None => true,
+        }
+    }
+
+    /// Drains barrier replies from `rx` into `replies`, returning once
+    /// every live shard has answered or every shard still missing is
+    /// provably dead (its thread finished, or the reply channel closed —
+    /// a worker cannot process a barrier message without holding a live
+    /// reply sender, so closure means the message died with it). Dead
+    /// workers are left for the caller to revive and re-ask.
+    fn collect_replies(&self, rx: &Receiver<ShardReply>, replies: &mut [Option<ShardReply>]) {
+        loop {
+            let mut outstanding = 0usize;
+            let mut all_dead = true;
+            for (s, slot) in replies.iter().enumerate().take(self.shards) {
+                if slot.is_none() && self.quarantined[s].is_none() {
+                    outstanding += 1;
+                    all_dead &= self.worker_dead(s);
+                }
+            }
+            if outstanding == 0 {
+                return;
+            }
+            match rx.recv_timeout(REPLY_POLL) {
+                Ok(reply) => {
+                    let shard = reply.shard;
+                    replies[shard] = Some(reply);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if all_dead {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
     /// Runs a barrier: sends `make_msg`'s message to every live shard and
     /// collects one reply per shard, retrying shards whose worker died
-    /// before replying (after revival rebuilds them). The reply channel's
-    /// closure is the death detector: a worker that panics drops its
-    /// reply sender without sending, so when the receive loop ends, any
-    /// shard without a reply is dead and gets revived + re-asked next
-    /// round.
+    /// before replying (after revival rebuilds them). Death is detected
+    /// by [`collect_replies`](Self::collect_replies); a dead shard gets
+    /// revived + re-asked next round.
     fn barrier<F>(&mut self, make_msg: F) -> Result<Vec<ShardReply>, OnlineError>
     where
         F: Fn(SyncSender<ShardReply>) -> ShardMsg,
@@ -724,10 +844,7 @@ impl ShardedController {
                 self.send_supervised(shard, make_msg(reply_tx.clone()))?;
             }
             drop(reply_tx);
-            for reply in reply_rx {
-                let shard = reply.shard;
-                replies[shard] = Some(reply);
-            }
+            self.collect_replies(&reply_rx, &mut replies);
         }
         if let Some(e) = self.pending_fatal() {
             return Err(e);
@@ -749,6 +866,10 @@ impl ShardedController {
     /// parse error still buffered in a worker. `Err` when a shard is
     /// quarantined or revival failed.
     pub fn sync(&mut self) -> Result<(), OnlineError> {
+        assert!(
+            self.pending_cut.is_none(),
+            "sync while a cut is in flight; call rollover_finish first"
+        );
         for shard in 0..self.shards {
             self.flush_shard(shard);
         }
@@ -776,6 +897,10 @@ impl ShardedController {
         placement: &PlacementMap,
         sequential: &BTreeSet<DataItemId>,
     ) -> Result<ControllerCheckpoint, OnlineError> {
+        assert!(
+            self.pending_cut.is_none(),
+            "checkpoint while a cut is in flight; call rollover_finish first"
+        );
         for shard in 0..self.shards {
             self.flush_shard(shard);
         }
@@ -816,6 +941,10 @@ impl ShardedController {
     /// output) as [`OnlineController::rollover`](crate::OnlineController::rollover).
     /// `Err` when a shard is quarantined or revival failed — the merged
     /// reports would be incomplete, so no plan is produced.
+    ///
+    /// Implemented as [`rollover_begin`](Self::rollover_begin) +
+    /// [`rollover_finish`](Self::rollover_finish), so even the
+    /// synchronous callers exercise the overlapped-cut epoch machinery.
     pub fn rollover(
         &mut self,
         t_end: Micros,
@@ -824,66 +953,214 @@ impl ShardedController {
         sequential: &BTreeSet<DataItemId>,
         views: &[EnclosureView],
     ) -> Result<PlanEnvelope, OnlineError> {
-        let period = Span {
-            start: self.period_start,
-            end: t_end,
-        };
-        let seq_factor = views
-            .first()
-            .map(|e| {
-                if e.max_seq_iops > 0.0 {
-                    e.max_iops / e.max_seq_iops
-                } else {
-                    1.0
-                }
-            })
-            .unwrap_or(1.0);
+        self.rollover_begin(t_end, reason, placement, sequential, views)?;
+        self.rollover_finish()
+    }
+
+    /// Builds the in-band cut message for the in-flight rollover.
+    fn cut_msg(&self, reply: SyncSender<ShardReply>) -> ShardMsg {
+        let cut = self.pending_cut.as_ref().expect("no cut in flight");
+        ShardMsg::Rollover {
+            end: cut.t_end,
+            placement: Arc::clone(&cut.placement),
+            sequential: Arc::clone(&cut.sequential),
+            seq_factor: cut.seq_factor,
+            reply,
+        }
+    }
+
+    /// Unwinds `rollover_begin`'s ledger epoch flip after a failed cut:
+    /// the closing batches move back to the front of the live journal.
+    fn abort_cut_ledgers(&mut self) {
+        for ledger in &mut self.ledgers {
+            if let Some(mut closing) = ledger.closing.take() {
+                closing.append(&mut ledger.journal);
+                ledger.journal = closing;
+            }
+        }
+    }
+
+    /// Starts an overlapped rollover: flushes every shard, moves the
+    /// period's journal to the closing epoch, and ships the in-band cut
+    /// message — then returns without waiting. Each worker reports and
+    /// resets its classifier (a take-and-swap of the period
+    /// accumulators) as soon as the cut reaches the front of its queue,
+    /// all shards in parallel, while the coordinator is free to read
+    /// ahead. Call [`rollover_finish`](Self::rollover_finish) to collect
+    /// the reports and produce the plan; poll
+    /// [`rollover_ready`](Self::rollover_ready) to overlap useful work.
+    ///
+    /// Until `finish` returns, the controller must not be fed —
+    /// [`observe`](Self::observe) / [`route_raw_line`](Self::route_raw_line)
+    /// / [`sync`](Self::sync) / [`checkpoint`](Self::checkpoint) panic by
+    /// contract. The plan decides trigger re-arming, placement, and the
+    /// next boundary, so records past the cut cannot be routed (a
+    /// trigger may still cut between two of them); the caller stages
+    /// them and drains after `finish`.
+    pub fn rollover_begin(
+        &mut self,
+        t_end: Micros,
+        reason: RolloverReason,
+        placement: &PlacementMap,
+        sequential: &BTreeSet<DataItemId>,
+        views: &[EnclosureView],
+    ) -> Result<(), OnlineError> {
+        assert!(
+            self.pending_cut.is_none(),
+            "rollover_begin while a cut is already in flight"
+        );
+        let seq_factor = crate::controller::seq_factor_of(views);
         for shard in 0..self.shards {
             self.flush_shard(shard);
         }
-        let placement_arc = Arc::new(placement.clone());
-        let sequential_arc = Arc::new(sequential.clone());
-        let replies = self.barrier(|reply| ShardMsg::Rollover {
-            end: t_end,
-            placement: Arc::clone(&placement_arc),
-            sequential: Arc::clone(&sequential_arc),
+        for ledger in &mut self.ledgers {
+            ledger.closing = Some(std::mem::take(&mut ledger.journal));
+        }
+        let (reply_tx, reply_rx) = sync_channel(self.shards);
+        self.pending_cut = Some(PendingCut {
+            t_end,
+            reason,
             seq_factor,
-            reply,
-        })?;
+            placement: Arc::new(placement.clone()),
+            sequential: Arc::new(sequential.clone()),
+            views: views.to_vec(),
+            reply_rx,
+            replies: (0..self.shards).map(|_| None).collect(),
+        });
+        for shard in 0..self.shards {
+            let msg = self.cut_msg(reply_tx.clone());
+            if let Err(e) = self.send_supervised(shard, msg) {
+                // A quarantined shard means no complete merge is coming;
+                // put the ledgers back so the error surfaces cleanly.
+                self.pending_cut = None;
+                self.abort_cut_ledgers();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every shard has answered the in-flight cut (or provably
+    /// never will — a dead worker is picked up by
+    /// [`rollover_finish`](Self::rollover_finish)'s revival). `true`
+    /// with no cut in flight. Non-blocking.
+    pub fn rollover_ready(&mut self) -> bool {
+        let Some(mut cut) = self.pending_cut.take() else {
+            return true;
+        };
+        while let Ok(reply) = cut.reply_rx.try_recv() {
+            let shard = reply.shard;
+            cut.replies[shard] = Some(reply);
+        }
+        let ready = (0..self.shards).all(|s| {
+            cut.replies[s].is_some() || self.quarantined[s].is_some() || self.worker_dead(s)
+        });
+        self.pending_cut = Some(cut);
+        ready
+    }
+
+    /// Completes the in-flight rollover: waits for the remaining shard
+    /// reports (reviving + re-asking workers that died mid-cut, exactly
+    /// like a synchronous barrier), merges them into placement order,
+    /// plans, re-arms the triggers, and starts the next period.
+    ///
+    /// # Panics
+    /// Panics when no cut is in flight.
+    pub fn rollover_finish(&mut self) -> Result<PlanEnvelope, OnlineError> {
+        let mut cut = self
+            .pending_cut
+            .take()
+            .expect("rollover_finish without rollover_begin");
+        // Round 0 drains the reply channel `rollover_begin` armed; later
+        // rounds re-ask revived workers on a fresh channel (revival has
+        // replayed base + closing, so the re-sent cut lands in order).
+        self.collect_replies(&cut.reply_rx, &mut cut.replies);
+        for _ in 0..MAX_REVIVE_ROUNDS {
+            let missing: Vec<usize> = (0..self.shards)
+                .filter(|&s| cut.replies[s].is_none() && self.quarantined[s].is_none())
+                .collect();
+            if missing.is_empty() {
+                break;
+            }
+            let (reply_tx, reply_rx) = sync_channel(self.shards);
+            for &shard in &missing {
+                let msg = ShardMsg::Rollover {
+                    end: cut.t_end,
+                    placement: Arc::clone(&cut.placement),
+                    sequential: Arc::clone(&cut.sequential),
+                    seq_factor: cut.seq_factor,
+                    reply: reply_tx.clone(),
+                };
+                if let Err(e) = self.send_supervised(shard, msg) {
+                    self.abort_cut_ledgers();
+                    return Err(e);
+                }
+            }
+            drop(reply_tx);
+            cut.reply_rx = reply_rx;
+            self.collect_replies(&cut.reply_rx, &mut cut.replies);
+        }
+        if let Some(e) = self.pending_fatal() {
+            self.abort_cut_ledgers();
+            return Err(e);
+        }
+        if let Some(shard) =
+            (0..self.shards).find(|&s| cut.replies[s].is_none() && self.quarantined[s].is_none())
+        {
+            self.abort_cut_ledgers();
+            return Err(OnlineError::WorkerPanic {
+                shard,
+                detail: "rollover retries exhausted".to_string(),
+                severity: Severity::Fatal,
+            });
+        }
+        let period = Span {
+            start: self.period_start,
+            end: cut.t_end,
+        };
         let mut per_shard: Vec<Vec<ItemReport>> = (0..self.shards).map(|_| Vec::new()).collect();
-        for reply in replies {
+        for reply in cut.replies.into_iter().flatten() {
             self.note_error(reply.error);
             per_shard[reply.shard] = reply.reports;
         }
         let shards = self.shards;
-        let mut reports = merge_shard_reports(placement, per_shard, |id| shard_of(id, shards));
+        let mut reports = std::mem::take(&mut self.merge_scratch);
+        merge_shard_reports_into(
+            &cut.placement,
+            &mut per_shard,
+            |id| shard_of(id, shards),
+            &mut reports,
+        );
         let outcome = self
             .planner
-            .plan(period, self.break_even, &mut reports, views);
+            .plan(period, self.break_even, &mut reports, &cut.views);
+        reports.clear();
+        self.merge_scratch = reports;
         self.triggers.rearm(
             self.break_even,
-            t_end,
+            cut.t_end,
             outcome.hot_with_p3,
             outcome.cold_count,
         );
         if let Some(next) = outcome.plan.next_period {
             self.period_len = next.max(Micros(1));
         }
-        self.period_start = t_end;
+        self.period_start = cut.t_end;
         self.periods += 1;
-        if reason == RolloverReason::Trigger {
+        if cut.reason == RolloverReason::Trigger {
             self.trigger_cuts += 1;
         }
         // The workers' classifiers reset at the cut, so each shard's
-        // rebuild base is now "empty at the new period start" and the
-        // journal starts over.
+        // rebuild base is now "empty at the new period start" and both
+        // journal epochs start over.
         for ledger in &mut self.ledgers {
             ledger.base = Vec::new();
             ledger.journal.clear();
+            ledger.closing = None;
         }
         Ok(PlanEnvelope {
             period,
-            reason,
+            reason: cut.reason,
             plan: outcome.plan,
         })
     }
@@ -1126,6 +1403,7 @@ mod tests {
         let opts = ShardOptions {
             supervision: SupervisionPolicy::Respawn,
             panic_schedule: Some(Arc::clone(&schedule)),
+            ..ShardOptions::default()
         };
         let mut chaotic = ShardedController::with_options(cfg(), break_even, 3, opts);
         let chaotic_plans = run_to_plans(&mut chaotic, &placement, &v, &records);
@@ -1149,6 +1427,7 @@ mod tests {
         let opts = ShardOptions {
             supervision: SupervisionPolicy::Quarantine,
             panic_schedule: Some(schedule),
+            ..ShardOptions::default()
         };
         let mut ctl = ShardedController::with_options(cfg(), Micros::from_secs(52), 2, opts);
         for i in 0..2000u32 {

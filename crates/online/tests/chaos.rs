@@ -7,6 +7,9 @@
 //!   count mid-stream;
 //! * worker panics + supervisor respawns leave the plan sequence
 //!   byte-identical too;
+//! * a crash that lands *during an in-flight overlapped cut* (between
+//!   `rollover_begin` and `rollover_finish`, while the async merge is
+//!   pending) restores from the last checkpoint to the same plans;
 //! * the checkpoint codec round-trips exactly.
 
 use ees_core::ProposedConfig;
@@ -190,6 +193,101 @@ fn sharded_plans_with_crashes(
     plans
 }
 
+/// Like [`sharded_plans_with_crashes`], but each crash lands *mid-cut*:
+/// at the `crash_at_cut[i]`-th boundary rollover the driver checkpoints
+/// (the last durable state a real daemon would have), calls
+/// `rollover_begin` so the cut is genuinely in flight across the shard
+/// rings, then drops the controller before `rollover_finish` — workers
+/// die with the merge pending — and restores from the checkpoint onto
+/// the next shard count. The restored controller still owes the same
+/// boundary rollover, so the plan sequence must not change.
+fn sharded_plans_with_midcut_crashes(
+    records: &[LogicalIoRecord],
+    shard_seq: &[usize],
+    crash_at_cut: &[u64],
+    options: ShardOptions,
+) -> Vec<PlanEnvelope> {
+    let catalog = catalog();
+    let storage = StorageConfig::ams2500(ENCLOSURES);
+    let mut harness = StreamHarness::new(&catalog, ENCLOSURES, &storage);
+    let break_even = harness.break_even();
+    let mut shard_at = 0usize;
+    let mut ctl =
+        ShardedController::with_options(policy(), break_even, shard_seq[shard_at], options.clone());
+    let mut plans = Vec::new();
+    let mut folded = 0u64;
+    let mut last_ts = Micros::ZERO;
+    let mut boundaries = 0u64;
+    let mut crashed = std::collections::BTreeSet::new();
+    for rec in records {
+        while ctl.needs_rollover(rec.ts) {
+            let t = ctl.boundary();
+            harness.refresh_views();
+            if crash_at_cut.contains(&boundaries) && crashed.insert(boundaries) {
+                let cp = ctl
+                    .checkpoint(folded, last_ts, harness.placement(), harness.sequential())
+                    .expect("pre-cut checkpoint");
+                let decoded = decode_checkpoint(&encode_checkpoint(&cp)).expect("decode");
+                ctl.rollover_begin(
+                    t,
+                    RolloverReason::Boundary,
+                    harness.placement(),
+                    harness.sequential(),
+                    harness.views(),
+                )
+                .expect("rollover_begin");
+                // Crash: drop the controller with the merge in flight,
+                // then restore. `needs_rollover` is still true on the
+                // restored state, so the loop redoes this cut cleanly.
+                shard_at = (shard_at + 1) % shard_seq.len();
+                ctl = ShardedController::from_checkpoint(
+                    policy(),
+                    shard_seq[shard_at],
+                    options.clone(),
+                    &decoded,
+                )
+                .expect("restore mid-cut");
+                continue;
+            }
+            let env = ctl
+                .rollover(
+                    t,
+                    RolloverReason::Boundary,
+                    harness.placement(),
+                    harness.sequential(),
+                    harness.views(),
+                )
+                .expect("boundary rollover");
+            harness.apply_plan(t, &env.plan);
+            harness.begin_period();
+            plans.push(env);
+            boundaries += 1;
+        }
+        ctl.observe(rec);
+        folded += 1;
+        last_ts = rec.ts;
+        if let Some(enclosure) = harness.placement().enclosure_of(rec.item) {
+            if ctl.observe_io_event(rec.ts, enclosure) && rec.ts > ctl.period_start() {
+                harness.refresh_views();
+                let env = ctl
+                    .rollover(
+                        rec.ts,
+                        RolloverReason::Trigger,
+                        harness.placement(),
+                        harness.sequential(),
+                        harness.views(),
+                    )
+                    .expect("trigger rollover");
+                harness.apply_plan(rec.ts, &env.plan);
+                harness.begin_period();
+                plans.push(env);
+            }
+        }
+    }
+    ctl.sync().expect("final sync");
+    plans
+}
+
 fn assert_same(serial: &[PlanEnvelope], hardened: &[PlanEnvelope], label: &str) {
     assert_eq!(serial.len(), hardened.len(), "plan count ({label})");
     for (i, (a, b)) in serial.iter().zip(hardened).enumerate() {
@@ -242,6 +340,42 @@ proptest! {
         let shard_seq = [shards];
         let hardened = sharded_plans_with_crashes(&recs, &shard_seq, &crashes, options);
         assert_same(&serial, &hardened, "worker respawn");
+    }
+
+    /// A crash landing *during an in-flight overlapped merge* — after
+    /// `rollover_begin` shipped the cut to every shard ring, before
+    /// `rollover_finish` collected it — restores from the last
+    /// checkpoint to the exact fault-free serial plans, even when the
+    /// restore changes the shard count and worker panics are layered on
+    /// top of the in-flight cut.
+    #[test]
+    fn crash_during_in_flight_merge_plans_equal_serial(
+        recs in arb_stream(),
+        crash_cuts in prop::collection::vec(0u64..6u64, 1..3),
+        rotate in 0usize..3usize,
+        panic_seed in 0u64..1_000u64,
+    ) {
+        silence_injected_panics();
+        let serial = serial_plans(&recs);
+        let seqs: [&[usize]; 3] = [&[1, 2, 4], &[4, 1, 2], &[2, 4, 1]];
+        // Half the cases layer injected worker panics on top of the
+        // mid-cut crash; the other half crash on healthy workers.
+        let options = ShardOptions {
+            panic_schedule: (panic_seed % 2 == 0).then(|| PanicSchedule::seeded(
+                panic_seed,
+                4,
+                recs.len() as u64 + 1,
+                2,
+            )),
+            ..ShardOptions::default()
+        };
+        let hardened = sharded_plans_with_midcut_crashes(
+            &recs,
+            seqs[rotate],
+            &crash_cuts,
+            options,
+        );
+        assert_same(&serial, &hardened, "crash during in-flight merge");
     }
 
     /// The checkpoint codec round-trips arbitrary mid-stream states

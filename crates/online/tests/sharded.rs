@@ -3,7 +3,7 @@
 //!
 //! * Property test: for arbitrary record streams (including streams that
 //!   cut periods mid-way via §V.D triggers), a [`ShardedController`]
-//!   with 1, 2, 3, or 8 shards driven through the daemon flow emits
+//!   with 1, 2, 3, 4, or 8 shards driven through the daemon flow emits
 //!   exactly the plan sequence of the single-threaded
 //!   [`OnlineController`] on the same input.
 //! * Deterministic test: a bursty file-server workload exercises actual
@@ -11,12 +11,16 @@
 //! * Pipeline property test: the raw-line sharded monitor pipeline
 //!   ([`run_monitor_sharded`]) matches the legacy serial driver
 //!   ([`run_monitor_serial`]) over the NDJSON rendering of the stream.
+//! * Overlapped-rollover tests: driving every cut through the split
+//!   `rollover_begin` → `rollover_ready` → `rollover_finish` epoch
+//!   machinery (including with a worker panicking while the cut is in
+//!   flight) still reproduces the serial plan sequence byte-for-byte.
 
 use ees_core::ProposedConfig;
 use ees_iotrace::{ndjson, DataItemId, EnclosureId, IoKind, LogicalIoRecord, Micros};
 use ees_online::{
-    run_monitor_serial, run_monitor_sharded, OnlineController, PlanEnvelope, RolloverReason,
-    ShardedController,
+    run_monitor_serial, run_monitor_sharded, shard_of, silence_injected_panics, OnlineController,
+    PanicSchedule, PlanEnvelope, RolloverReason, ShardOptions, ShardedController,
 };
 use ees_policy::EnclosureView;
 use ees_replay::{CatalogItem, StreamHarness};
@@ -25,7 +29,7 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::io::Cursor;
 
-const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 4, 8];
 
 /// The common controller surface, so one driver can exercise both
 /// flavors through the exact per-record flow the daemon uses.
@@ -170,6 +174,64 @@ fn drive<C: ControllerLike>(
                 rec.ts,
                 RolloverReason::Trigger,
             ));
+        }
+    }
+    plans
+}
+
+/// Like [`drive`], but every cut goes through the split overlapped API:
+/// `rollover_begin` ships the in-band cut, the coordinator polls
+/// `rollover_ready` (the window where the pipeline reads ahead and
+/// stages records), and `rollover_finish` collects the merge and plans.
+/// The composed `rollover` is exactly `begin` + `finish`, so this driver
+/// pins the *polled* path — including cuts that land while a worker is
+/// dead mid-respawn.
+fn drive_overlapped(
+    mut ctl: ShardedController,
+    recs: &[LogicalIoRecord],
+    catalog: &[CatalogItem],
+    enclosures: u16,
+    cfg: &StorageConfig,
+) -> Vec<PlanEnvelope> {
+    let mut harness = StreamHarness::new(catalog, enclosures, cfg);
+    let mut plans: Vec<PlanEnvelope> = Vec::new();
+    fn cut(
+        harness: &mut StreamHarness,
+        ctl: &mut ShardedController,
+        t: Micros,
+        reason: RolloverReason,
+    ) -> PlanEnvelope {
+        harness.refresh_views();
+        ctl.rollover_begin(
+            t,
+            reason,
+            harness.placement(),
+            harness.sequential(),
+            harness.views(),
+        )
+        .expect("rollover_begin");
+        while !ctl.rollover_ready() {
+            std::thread::yield_now();
+        }
+        let env = ctl.rollover_finish().expect("rollover_finish");
+        harness.apply_plan(t, &env.plan);
+        harness.begin_period();
+        env
+    }
+    for rec in recs {
+        while ctl.needs_rollover(rec.ts) {
+            let t = ctl.boundary();
+            plans.push(cut(&mut harness, &mut ctl, t, RolloverReason::Boundary));
+        }
+        ctl.observe(rec);
+        let served = harness.serve(*rec);
+        let mut fire = false;
+        if served.spun_up {
+            fire |= ctl.observe_spin_up(rec.ts, served.enclosure);
+        }
+        fire |= ctl.observe_io_event(rec.ts, served.enclosure);
+        if fire && rec.ts > ctl.period_start() {
+            plans.push(cut(&mut harness, &mut ctl, rec.ts, RolloverReason::Trigger));
         }
     }
     plans
@@ -352,6 +414,30 @@ proptest! {
             assert_same_plans(&single, &sharded, shards);
         }
     }
+
+    /// Arbitrary streams through the *overlapped* cut protocol
+    /// (`rollover_begin` → poll `rollover_ready` → `rollover_finish`):
+    /// every shard count still reproduces the single-threaded plans.
+    #[test]
+    fn overlapped_rollover_plans_equal_single(recs in arb_stream()) {
+        let enclosures = 3u16;
+        let catalog = synthetic_catalog(8, enclosures);
+        let cfg = StorageConfig::ams2500(enclosures);
+        let policy = short_period_policy();
+        let break_even = StreamHarness::new(&catalog, enclosures, &cfg).break_even();
+
+        let single = drive(
+            OnlineController::new(policy, break_even),
+            &recs, &catalog, enclosures, &cfg,
+        );
+        for shards in SHARD_COUNTS {
+            let sharded = drive_overlapped(
+                ShardedController::new(policy, break_even, shards),
+                &recs, &catalog, enclosures, &cfg,
+            );
+            assert_same_plans(&single, &sharded, shards);
+        }
+    }
 }
 
 /// The deterministic pin for the trigger-cut shape (the proptest above
@@ -397,5 +483,100 @@ fn sharded_pipeline_matches_serial_through_trigger_cuts() {
         .unwrap();
         assert_eq!(serial.events, sharded.events);
         assert_same_plans(&serial.plans, &sharded.plans, shards);
+    }
+}
+
+/// The overlapped cut protocol through *mid-period §V.D trigger cuts*:
+/// the deterministic ~112.5 s trigger fixture driven entirely via
+/// `rollover_begin`/`rollover_ready`/`rollover_finish` matches the
+/// single-threaded controller for every shard count.
+#[test]
+fn overlapped_rollover_matches_single_through_trigger_cuts() {
+    let enclosures = 3u16;
+    let catalog = synthetic_catalog(6, enclosures);
+    let cfg = StorageConfig::ams2500(enclosures);
+    let policy = short_period_policy();
+    let break_even = StreamHarness::new(&catalog, enclosures, &cfg).break_even();
+    let recs = trigger_trace(100_000, &[]);
+
+    let single = drive(
+        OnlineController::new(policy, break_even),
+        &recs,
+        &catalog,
+        enclosures,
+        &cfg,
+    );
+    let cuts = single
+        .iter()
+        .filter(|e| e.reason == RolloverReason::Trigger)
+        .count();
+    assert!(cuts >= 1, "fixture must exercise §V.D trigger cuts");
+    for shards in SHARD_COUNTS {
+        let sharded = drive_overlapped(
+            ShardedController::new(policy, break_even, shards),
+            &recs,
+            &catalog,
+            enclosures,
+            &cfg,
+        );
+        assert_same_plans(&single, &sharded, shards);
+    }
+}
+
+/// A worker panicking while a cut is in flight: each shard's panic point
+/// is its *last* pre-boundary record, which `rollover_begin`'s flush
+/// hands the worker together with the in-band cut — so the panic lands
+/// between `begin` and `finish`, and `finish`'s revival rounds must
+/// respawn the worker, replay its journal, re-ask the cut, and still
+/// produce the serial plans byte-for-byte.
+#[test]
+fn worker_panic_during_in_flight_cut_keeps_plans_identical() {
+    silence_injected_panics();
+    let enclosures = 3u16;
+    let catalog = synthetic_catalog(6, enclosures);
+    let cfg = StorageConfig::ams2500(enclosures);
+    let policy = short_period_policy();
+    let break_even = StreamHarness::new(&catalog, enclosures, &cfg).break_even();
+    let recs = trigger_trace(100_000, &[]);
+
+    let single = drive(
+        OnlineController::new(policy, break_even),
+        &recs,
+        &catalog,
+        enclosures,
+        &cfg,
+    );
+    for shards in [2usize, 4] {
+        // Records each shard folds before the first 60 s boundary; the
+        // panic fires on the last one, i.e. inside the batch the cut's
+        // flush delivers.
+        let mut pre_boundary = vec![0u64; shards];
+        for rec in recs.iter().filter(|r| r.ts < Micros(60_000_000)) {
+            pre_boundary[shard_of(rec.item, shards)] += 1;
+        }
+        let schedule = PanicSchedule::new(
+            pre_boundary
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(s, &n)| (s, n - 1)),
+        );
+        let options = ShardOptions {
+            panic_schedule: Some(schedule.clone()),
+            ..ShardOptions::default()
+        };
+        let sharded = drive_overlapped(
+            ShardedController::with_options(policy, break_even, shards, options),
+            &recs,
+            &catalog,
+            enclosures,
+            &cfg,
+        );
+        assert_eq!(
+            schedule.remaining(),
+            0,
+            "every scheduled mid-cut panic must actually fire (shards = {shards})"
+        );
+        assert_same_plans(&single, &sharded, shards);
     }
 }
