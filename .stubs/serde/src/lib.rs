@@ -1,0 +1,345 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` traits over a small
+//! JSON-oriented data model ([`Content`]) plus impls for the primitive
+//! and collection types this workspace serializes. The `derive` feature
+//! re-exports the stub `serde_derive` macros, which cover named structs,
+//! single-field tuple structs (rendered transparently, matching the
+//! workspace's `#[serde(transparent)]` newtypes), and unit-only enums.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A parsed/serializable JSON value. `serde_json::Value` aliases this.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    /// Non-negative integers (the common case for this workspace).
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered object, matching declaration order of derived
+    /// structs (what real serde_json emits without `preserve_order`).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Renders this content as a JSON object key (real serde_json quotes
+    /// integer map keys the same way).
+    pub fn as_key_string(&self) -> Result<String, String> {
+        match self {
+            Content::Str(s) => Ok(s.clone()),
+            Content::U64(n) => Ok(n.to_string()),
+            Content::I64(n) => Ok(n.to_string()),
+            Content::Bool(b) => Ok(b.to_string()),
+            other => Err(format!("unsupported map key: {other:?}")),
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, String>;
+}
+
+/// Looks up a derived struct field by name. Missing keys deserialize as
+/// `Null` so `Option` fields default to `None` (matching real serde's
+/// treatment only for `Option`; other types report the miss).
+pub fn map_field<T: Deserialize>(content: &Content, name: &str) -> Result<T, String> {
+    match content {
+        Content::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_content(v)
+                .map_err(|e| format!("field `{name}`: {e}")),
+            None => T::from_content(&Content::Null)
+                .map_err(|_| format!("missing field `{name}`")),
+        },
+        other => Err(format!("expected object for struct, got {other:?}")),
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        Ok(content.clone())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::U64(n) => <$t>::try_from(*n).map_err(|e| e.to_string()),
+                    Content::I64(n) => <$t>::try_from(*n).map_err(|e| e.to_string()),
+                    Content::Str(s) => s.parse().map_err(|e: std::num::ParseIntError| e.to_string()),
+                    other => Err(format!("expected unsigned integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                if *self < 0 { Content::I64(*self as i64) } else { Content::U64(*self as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::U64(n) => <$t>::try_from(*n).map_err(|e| e.to_string()),
+                    Content::I64(n) => <$t>::try_from(*n).map_err(|e| e.to_string()),
+                    Content::Str(s) => s.parse().map_err(|e: std::num::ParseIntError| e.to_string()),
+                    other => Err(format!("expected integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::F64(n) => Ok(*n as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            {
+                                let _ = $n; // arity marker
+                                $t::from_content(it.next().ok_or("tuple too short")?)?
+                            },
+                        )+))
+                    }
+                    other => Err(format!("expected array for tuple, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .to_content()
+                        .as_key_string()
+                        .expect("unsupported map key type");
+                    (key, v.to_content())
+                })
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_content(&Content::Str(k.clone()))?;
+                    Ok((key, V::from_content(v)?))
+                })
+                .collect(),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output (real serde_json preserves hash
+        // order; deterministic output is strictly safer for diffs).
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .to_content()
+                    .as_key_string()
+                    .expect("unsupported map key type");
+                (key, v.to_content())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_content(&Content::Str(k.clone()))?;
+                    Ok((key, V::from_content(v)?))
+                })
+                .collect(),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        let secs: u64 = map_field(c, "secs")?;
+        let nanos: u32 = map_field(c, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}

@@ -1,0 +1,310 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no syn/quote) derive of the stub `serde::Serialize` /
+//! `serde::Deserialize` traits. Supported shapes — exactly what this
+//! workspace derives:
+//!
+//! - named-field structs → JSON object in declaration order
+//! - single-field tuple structs → transparent inner value (the
+//!   workspace's `#[serde(transparent)]` newtypes)
+//! - unit-only enums → variant-name string
+//!
+//! Anything else produces a `compile_error!` naming the missing shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with exactly one field.
+    Newtype,
+    /// Enum whose variants are all unit variants.
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, which).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Extracts (type name, shape) from the derive input token stream.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`), doc comments, and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Optional `pub(crate)` / `pub(super)` restriction group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("unexpected token `{s}` before struct/enum"));
+            }
+            Some(other) => return Err(format!("unexpected token `{other}`")),
+            None => return Err("empty derive input".to_string()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err(format!("stub serde_derive does not support generics on `{name}`"))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok((name, Shape::Struct(named_fields(g.stream())?)))
+            } else {
+                Ok((name, Shape::Enum(unit_variants(g.stream())?)))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err(format!("unexpected parenthesized body on enum `{name}`"));
+            }
+            let arity = tuple_arity(g.stream());
+            if arity == 1 {
+                Ok((name, Shape::Newtype))
+            } else {
+                Err(format!(
+                    "stub serde_derive supports tuple structs with exactly 1 field, `{name}` has {arity}"
+                ))
+            }
+        }
+        other => Err(format!("expected type body for `{name}`, got {other:?}")),
+    }
+}
+
+/// Field names of a named struct body, in declaration order.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => return Err(format!("expected field name, got `{other}`")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        // Skip the type up to the next top-level comma. Angle-bracket
+        // depth must be tracked: `BTreeMap<K, V>` has an inner comma.
+        // Groups are atomic tokens, so parens/brackets need no tracking.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of top-level comma-separated fields in a tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for tt in body {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_token {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+/// Variant names of a unit-only enum body.
+fn unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes on the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            Some(other) => return Err(format!("expected variant name, got `{other}`")),
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err("stub serde_derive supports unit-only enums".to_string())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                loop {
+                    match tokens.next() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn generate(name: &str, shape: &Shape, which: Which) -> String {
+    match (shape, which) {
+        (Shape::Struct(fields), Which::Serialize) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        (Shape::Struct(fields), Which::Deserialize) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::map_field(__content, {f:?})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        (Shape::Newtype, Which::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        (Shape::Newtype, Which::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        (Shape::Enum(variants), Which::Serialize) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Content::Str(::std::string::String::from({v:?}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+        (Shape::Enum(variants), Which::Deserialize) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {},\n\
+                                 __other => ::std::result::Result::Err(::std::format!(\"unknown variant `{{__other}}` for {name}\")),\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::std::format!(\"expected string for enum {name}, got {{__other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n                             ")
+            )
+        }
+    }
+}

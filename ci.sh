@@ -34,15 +34,16 @@ grep -q '"reason":"boundary"' "$SMOKE_DIR/online.json" \
 echo "online smoke OK"
 
 echo "== online throughput smoke (100k events -> BENCH_online.json) =="
-# Times the serial monitor driver against the sharded one on a fixed
-# 100k-event stream (median of 3 runs per driver, after a warm-up).
-# With a checked-in baseline the run is a gate: >20% events/sec
-# regression on either driver fails, sharded p99 rollover stall may not
-# grow past 2x the baseline, scaling efficiency
+# Times the serial monitor driver against the sharded one (parallel
+# ingest front end: one reader per shard) on a fixed 100k-event stream
+# (median of 3 runs per driver, after a warm-up). With a checked-in
+# baseline the run is a gate: >20% events/sec regression on either
+# driver fails, sharded p99 rollover stall may not grow past 2x the
+# baseline, scaling efficiency
 # (scaling_efficiency_x1000 = sharded / (serial x shards)) may not drop
-# below 80% of the baseline, and on >=4-CPU machines the sharded rate
-# must additionally be >= 2x serial with p99 rollover stall <= 200 us.
-# The first run seeds the baseline.
+# below 80% of the baseline, and on >=4-CPU machines two absolute bars
+# apply: scaling efficiency >= 70% (x1000 >= 700) and sharded p99
+# rollover stall <= 200 us. The first run seeds the baseline.
 BENCH_BASE="results/BENCH_online.baseline.json"
 cargo run --release -q -p ees-bench --bin online_smoke -- \
     results/BENCH_online.json "$BENCH_BASE"

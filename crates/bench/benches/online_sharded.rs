@@ -7,7 +7,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ees_core::{merge_shard_reports, ItemReport, ProposedConfig};
 use ees_iotrace::ndjson::{parse_event, parse_event_borrowed, quick_scan_ts_item};
 use ees_iotrace::{DataItemId, EnclosureId, IoKind, LatencyHistogram, LogicalIoRecord, Micros};
-use ees_online::{run_monitor_serial, run_monitor_sharded, shard_of, IncrementalClassifier};
+use ees_online::{
+    run_monitor_serial, run_monitor_sharded, run_monitor_sharded_with, shard_of,
+    IncrementalClassifier, ShardOptions,
+};
 use ees_replay::CatalogItem;
 use ees_simstorage::{Access, PlacementMap, StorageConfig};
 use std::collections::BTreeSet;
@@ -102,22 +105,33 @@ fn bench_online_sharded(c: &mut Criterion) {
         })
     });
 
+    // Legacy single-reader front end (readers == 1) vs. the parallel
+    // front end at one reader per shard (readers == 0, the default):
+    // the difference is the single-reader ingest bottleneck this crate's
+    // BENCH_online gate tracks.
     for shards in [2usize, 4] {
-        c.bench_function(format!("monitor_sharded_20k_{shards}"), |b| {
-            b.iter(|| {
-                let out = run_monitor_sharded(
-                    Cursor::new(text.clone()),
-                    &items,
-                    ENCLOSURES,
-                    &storage,
-                    policy(),
-                    None,
-                    shards,
-                )
-                .unwrap();
-                black_box(out.plans.len())
-            })
-        });
+        for (tag, readers) in [("readers1", 1usize), ("parallel", 0)] {
+            let name = format!("monitor_sharded_20k_{shards}_{tag}");
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    let out = run_monitor_sharded_with(
+                        Cursor::new(text.clone()),
+                        &items,
+                        ENCLOSURES,
+                        &storage,
+                        policy(),
+                        None,
+                        shards,
+                        ShardOptions {
+                            readers,
+                            ..ShardOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    black_box(out.plans.len())
+                })
+            });
+        }
     }
 }
 

@@ -18,10 +18,12 @@
 //! * sharded p99 rollover stall must stay within 2× the baseline;
 //! * scaling efficiency (`sharded / (serial × shards)`, reported as
 //!   `scaling_efficiency_x1000`) must stay ≥ 80% of the baseline;
-//! * on a machine with ≥ 4 CPUs, sharded events/sec must additionally be
-//!   ≥ 2× serial and the sharded p99 rollover stall ≤ 200 µs (on smaller
-//!   machines the sharded win comes from the zero-copy parse alone, so
-//!   both absolute bars are only reported).
+//! * on a machine with ≥ 4 CPUs, scaling efficiency must additionally be
+//!   ≥ 70% (`scaling_efficiency_x1000 ≥ 700` — the parallel ingest front
+//!   end keeps the shards fed, so near-linear scaling is the contract,
+//!   not a stretch goal) and the sharded p99 rollover stall ≤ 200 µs (on
+//!   smaller machines the sharded win comes from the zero-copy parse
+//!   alone, so both absolute bars are only reported).
 //!
 //! `ci.sh` checks the first run's output in as the baseline.
 
@@ -47,6 +49,10 @@ const MAX_P99_GROWTH: f64 = 2.0;
 const MAX_EFFICIENCY_DROP: f64 = 0.20;
 /// Absolute sharded p99 rollover-stall bar on a real multi-core box.
 const P99_BAR_MICROS: u64 = 200;
+/// Absolute scaling-efficiency bar on a real multi-core box: with the
+/// parallel front end feeding the shards, ≥ 70% of linear is the
+/// contract (the single-reader front end measured ~29% at 4 shards).
+const EFFICIENCY_BAR_X1000: u64 = 700;
 
 fn catalog() -> Vec<CatalogItem> {
     (0..ITEMS)
@@ -168,11 +174,13 @@ fn main() -> ExitCode {
     let sharded_p99 = sharded.p99_rollover_micros();
 
     let json = format!(
-        "{{\"events\": {}, \"shards\": {}, \"plans\": {}, \
+        "{{\"events\": {}, \"shards\": {}, \"readers\": {}, \"plans\": {}, \
          \"serial_events_per_sec\": {}, \"sharded_events_per_sec\": {}, \
          \"scaling_efficiency_x1000\": {}, \
          \"serial_p99_rollover_micros\": {}, \"sharded_p99_rollover_micros\": {}}}\n",
         EVENTS,
+        shards,
+        // The sharded run uses the default front end: one reader/shard.
         shards,
         serial.plans.len(),
         serial_rate,
@@ -239,10 +247,10 @@ fn main() -> ExitCode {
     // cores to scale onto.
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     if cpus >= 4 {
-        if sharded_rate < serial_rate * 2 {
+        if efficiency_x1000 < EFFICIENCY_BAR_X1000 {
             eprintln!(
-                "online_smoke: sharded rate {sharded_rate} < 2x serial {serial_rate} \
-                 on a {cpus}-CPU machine"
+                "online_smoke: scaling efficiency {efficiency_x1000} < \
+                 {EFFICIENCY_BAR_X1000} (x1000) at {shards} shards on a {cpus}-CPU machine"
             );
             failed = true;
         }
@@ -255,9 +263,9 @@ fn main() -> ExitCode {
         }
     } else {
         println!(
-            "online_smoke: {cpus} CPU(s); skipping the 2x scaling and \
-             {P99_BAR_MICROS} us p99 bars (ratio {:.2}x, p99 {sharded_p99} us reported only)",
-            sharded_rate as f64 / serial_rate.max(1) as f64
+            "online_smoke: {cpus} CPU(s); skipping the {EFFICIENCY_BAR_X1000} (x1000) \
+             efficiency and {P99_BAR_MICROS} us p99 bars (efficiency {efficiency_x1000}, \
+             p99 {sharded_p99} us reported only)"
         );
     }
 

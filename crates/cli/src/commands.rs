@@ -6,7 +6,7 @@
 //! ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS] [--json]
 //! ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]
 //! ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS]
-//!            [--queue N] [--batch N] [--drop-newest] [--shards N]
+//!            [--queue N] [--batch N] [--drop-newest] [--shards N] [--readers N]
 //!            [--checkpoint FILE] [--json]
 //! ees chaos [--seed N] [--seeds N] [--shards N] [--events N] [--json]
 //! ```
@@ -16,8 +16,9 @@ use ees_baselines::{Ddr, Pdc};
 use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
 use ees_iotrace::{analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span};
 use ees_online::{
-    read_checkpoint_file, run_chaos, spawn_reader_batched_pooled, write_checkpoint_file,
-    ChaosConfig, ColocatedDaemon, OverflowPolicy, RolloverReason, ShardOptions,
+    read_checkpoint_file, run_chaos, spawn_reader_batched_pooled, spawn_reader_parallel,
+    write_checkpoint_file, ChaosConfig, ColocatedDaemon, OverflowPolicy, RolloverReason,
+    ShardOptions,
 };
 use ees_policy::{NoPowerSaving, PowerPolicy};
 use ees_replay::{run, CatalogItem, ReplayOptions};
@@ -71,6 +72,7 @@ struct Flags {
     batch: usize,
     drop_newest: bool,
     shards: usize,
+    readers: usize,
     checkpoint: Option<PathBuf>,
     seeds: u64,
     events: u64,
@@ -89,6 +91,7 @@ impl Flags {
             batch: 64,
             drop_newest: false,
             shards: 1,
+            readers: 0,
             checkpoint: None,
             seeds: 1,
             events: 4000,
@@ -142,6 +145,11 @@ impl Flags {
                     flags.shards = take("--shards")?
                         .parse()
                         .map_err(|_| CliError::Usage("--shards expects an integer".into()))?
+                }
+                "--readers" => {
+                    flags.readers = take("--readers")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--readers expects an integer".into()))?
                 }
                 "--checkpoint" => flags.checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
                 "--seeds" => {
@@ -457,10 +465,14 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     // `--queue`/`--batch` size both transports: the reader channel gets
     // `queue` events in `batch`-record deliveries, and each shard's ring
     // gets the matching depth in batches (at least double-buffered).
+    // `--readers 0` (the default) sizes the parse pool at one reader per
+    // shard; `--readers 1` keeps the legacy single-reader front end.
     let shard_options = ShardOptions {
         queue: flags.queue.div_ceil(flags.batch).max(2),
+        readers: flags.readers,
         ..ShardOptions::default()
     };
+    let readers = shard_options.resolved_readers(shards);
     let mut resume_skip = 0u64;
     let mut daemon = match &flags.checkpoint {
         Some(path) if path.exists() => {
@@ -503,8 +515,14 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     // `--queue` is denominated in events; the batched reader's channel
     // counts batches, so convert (rounding up to at least one batch).
     let capacity = flags.queue.div_ceil(flags.batch).max(1);
-    let (rx, pool, live, reader) =
-        spawn_reader_batched_pooled(input, capacity, flags.batch, overflow);
+    // More than one resolved reader selects the parallel front end:
+    // same queue, batching, and backpressure policy, but the NDJSON
+    // parse fans out over `readers` threads instead of one.
+    let (rx, pool, live, reader) = if readers > 1 {
+        spawn_reader_parallel(input, capacity, flags.batch, overflow, readers, 0)
+    } else {
+        spawn_reader_batched_pooled(input, capacity, flags.batch, overflow)
+    };
 
     let mut plans = Vec::new();
     let mut skipped = 0u64;
@@ -558,6 +576,7 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
                 flags.queue,
                 flags.batch,
                 shard_count,
+                readers,
                 &plans,
             )
         )?;
@@ -811,9 +830,11 @@ mod tests {
         assert!(json.contains("\"queue\": 1024"), "{json}");
         assert!(json.contains("\"batch\": 64"), "{json}");
         assert!(json.contains("\"shards\": 1"), "{json}");
+        assert!(json.contains("\"readers\": 1"), "{json}");
 
-        // The sharded daemon is plan-for-plan identical: the whole JSON
-        // report matches except the declared worker count.
+        // The sharded daemon — whose parallel front end resolves to one
+        // reader per shard — is plan-for-plan identical: the whole JSON
+        // report matches except the declared worker counts.
         let sharded = run_to_string(&[
             "online",
             trace.to_str().unwrap(),
@@ -826,9 +847,34 @@ mod tests {
         ])
         .unwrap();
         assert!(sharded.contains("\"shards\": 4"), "{sharded}");
+        assert!(sharded.contains("\"readers\": 4"), "{sharded}");
         assert_eq!(
-            json.replace("\"shards\": 1", "\"shards\": N"),
-            sharded.replace("\"shards\": 4", "\"shards\": N"),
+            json.replace("\"shards\": 1", "\"shards\": N")
+                .replace("\"readers\": 1", "\"readers\": N"),
+            sharded
+                .replace("\"shards\": 4", "\"shards\": N")
+                .replace("\"readers\": 4", "\"readers\": N"),
+        );
+
+        // Forcing the legacy single-reader front end must not change the
+        // plans either — only the declared reader count.
+        let legacy = run_to_string(&[
+            "online",
+            trace.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--period",
+            "120",
+            "--shards",
+            "4",
+            "--readers",
+            "1",
+            "--json",
+        ])
+        .unwrap();
+        assert!(legacy.contains("\"readers\": 1"), "{legacy}");
+        assert_eq!(
+            sharded.replace("\"readers\": 4", "\"readers\": N"),
+            legacy.replace("\"readers\": 1", "\"readers\": N"),
         );
 
         // The transport knobs are declared in the report but must not

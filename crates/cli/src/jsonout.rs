@@ -61,6 +61,7 @@ pub fn report_json(report: &RunReport) -> String {
 /// the ingest counters, the backpressure knobs the run used (`--queue`
 /// events / `--batch` records per delivery), and the emitted plan
 /// sequence.
+#[allow(clippy::too_many_arguments)]
 pub fn online_json(
     source: &str,
     summary: &OnlineSummary,
@@ -68,6 +69,7 @@ pub fn online_json(
     queue: usize,
     batch: usize,
     shards: usize,
+    readers: usize,
     plans: &[PlanEnvelope],
 ) -> String {
     let mut plan_lines = String::new();
@@ -99,7 +101,7 @@ pub fn online_json(
          \"workload\": \"{}\",\n  \"policy\": \"Proposed (online)\",\n  \
          \"duration_secs\": {},\n  \"events\": {},\n  \"avg_power_watts\": {},\n  \
          \"avg_response_ms\": {},\n  \"periods\": {},\n  \"trigger_cuts\": {},\n  \
-         \"spin_ups\": {},\n  \"shards\": {},\n  \
+         \"spin_ups\": {},\n  \"shards\": {},\n  \"readers\": {},\n  \
          \"ingest\": {{\"accepted\": {}, \"dropped\": {}, \"queue\": {}, \"batch\": {}}},\n  \
          \"plans\": [\n{}  ]\n}}",
         json_escape(source),
@@ -111,6 +113,7 @@ pub fn online_json(
         summary.trigger_cuts,
         summary.spin_ups,
         shards,
+        readers,
         ingest.accepted,
         ingest.dropped,
         queue,

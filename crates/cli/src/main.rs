@@ -12,7 +12,7 @@ fn main() {
              ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS] [--json]\n  \
              ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]\n  \
              ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS] \
-             [--queue N] [--drop-newest] [--shards N] [--checkpoint FILE] [--json]\n  \
+             [--queue N] [--drop-newest] [--shards N] [--readers N] [--checkpoint FILE] [--json]\n  \
              ees chaos [--seed N] [--seeds N] [--shards N] [--events N] [--json]"
         );
         std::process::exit(2);

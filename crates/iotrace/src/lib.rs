@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod histogram;
 pub mod io;
 pub mod ndjson;

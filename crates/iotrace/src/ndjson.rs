@@ -72,6 +72,86 @@ pub fn json_escape(s: &str) -> Cow<'_, str> {
     Cow::Owned(out)
 }
 
+// --- SWAR byte scanning ------------------------------------------------
+//
+// memchr-style scanning without the dependency: eight bytes per step
+// through a u64, with the exact zero-byte trick (no false positives from
+// inter-byte borrows), so the line splitter and the string scanner touch
+// memory at word speed instead of byte speed. `std::arch` SIMD would go
+// wider, but the workspace builds on stable with no target-feature
+// gates, and SWAR already moves these scanners off the profile.
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// A `0x80` marker in every byte lane of `v` that is zero — exact, with
+/// no carry between lanes: `(v & 0x7f..) + 0x7f..` sets a lane's high
+/// bit iff its low seven bits are non-zero, and `| v` catches `0x80`.
+#[inline]
+fn zero_byte_marks(v: u64) -> u64 {
+    !(((v & !SWAR_HI).wrapping_add(!SWAR_HI)) | v) & SWAR_HI
+}
+
+#[inline]
+fn load_word(bytes: &[u8]) -> u64 {
+    u64::from_ne_bytes(bytes.try_into().expect("8-byte slice"))
+}
+
+/// Index of the first occurrence of `needle` in `hay` (memchr).
+#[inline]
+pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    let pat = SWAR_LO.wrapping_mul(needle as u64);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        if zero_byte_marks(load_word(&hay[i..i + 8]) ^ pat) != 0 {
+            // A lane hit: resolve the exact position byte-wise (keeps
+            // the code endianness-independent).
+            return hay[i..i + 8]
+                .iter()
+                .position(|&b| b == needle)
+                .map(|p| i + p);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+/// Index of the first occurrence of `a` or `b` in `hay` (memchr2).
+#[inline]
+pub fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+    let pa = SWAR_LO.wrapping_mul(a as u64);
+    let pb = SWAR_LO.wrapping_mul(b as u64);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let w = load_word(&hay[i..i + 8]);
+        if zero_byte_marks(w ^ pa) | zero_byte_marks(w ^ pb) != 0 {
+            return hay[i..i + 8]
+                .iter()
+                .position(|&c| c == a || c == b)
+                .map(|p| i + p);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&c| c == a || c == b)
+        .map(|p| i + p)
+}
+
+/// Number of occurrences of `needle` in `hay` — the chunk splitter's
+/// line accounting, so byte-range readers can assign absolute line
+/// numbers without re-scanning upstream chunks.
+#[inline]
+pub fn count_byte(hay: &[u8], needle: u8) -> usize {
+    let pat = SWAR_LO.wrapping_mul(needle as u64);
+    let mut count = 0usize;
+    let mut chunks = hay.chunks_exact(8);
+    for c in &mut chunks {
+        count += zero_byte_marks(load_word(c) ^ pat).count_ones() as usize;
+    }
+    count + chunks.remainder().iter().filter(|&&b| b == needle).count()
+}
+
 /// One scalar value inside a flat JSON object.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonScalar {
@@ -224,17 +304,17 @@ fn scan_string<'a>(line: &'a str, i: &mut usize) -> Result<(&'a str, bool), Stri
     let start = *i;
     let mut has_escape = false;
     while *i < b.len() {
-        match b[*i] {
-            b'"' => {
-                let raw = &line[start..*i];
-                *i += 1;
+        match find_byte2(&b[*i..], b'"', b'\\') {
+            Some(p) if b[*i + p] == b'"' => {
+                let raw = &line[start..*i + p];
+                *i += p + 1;
                 return Ok((raw, has_escape));
             }
-            b'\\' => {
+            Some(p) => {
                 has_escape = true;
-                *i += 2; // skip the escape introducer and the escaped byte
+                *i += p + 2; // skip the escape introducer and the escaped byte
             }
-            _ => *i += 1,
+            None => break,
         }
     }
     Err("unterminated string".into())
@@ -288,11 +368,12 @@ fn resolve<'a>(raw: &'a str, has_escape: bool) -> Result<Cow<'a, str>, String> {
 /// `line`, numbers are folded digit-by-digit, and the only allocations
 /// are on error paths or for strings that actually contain escapes.
 ///
-/// Accepts exactly the same inputs as the original
-/// [`parse_flat_object`]-based parser — field order and whitespace are
-/// free, unknown fields are skipped (but still validated), duplicate
-/// keys keep the last occurrence — and rejects the same malformed lines
-/// with equivalent messages.
+/// Field order and whitespace are free, unknown fields are skipped (but
+/// still validated). Duplicate keys keep the **first** occurrence —
+/// later duplicates are validated syntactically and then skipped like
+/// unknown fields — the same rule [`quick_scan_ts_item`] applies, so
+/// the fast scan and the full parse can never route one line to two
+/// different shards (property-tested in `tests/ndjson_prop.rs`).
 pub fn parse_event_borrowed(line: &str) -> Result<LogicalIoRecord, String> {
     let b = line.as_bytes();
     let mut i = 0usize;
@@ -308,6 +389,13 @@ pub fn parse_event_borrowed(line: &str) -> Result<LogicalIoRecord, String> {
     let mut offset = None;
     let mut len = None;
     let mut kind = None;
+    // First-occurrence claims: a key that has appeared (with any value
+    // type) owns its slot; later duplicates are skipped.
+    let mut ts_seen = false;
+    let mut item_seen = false;
+    let mut offset_seen = false;
+    let mut len_seen = false;
+    let mut kind_seen = false;
 
     if i < b.len() && b[i] == b'}' {
         i += 1; // empty object: fall through to the missing-field errors
@@ -329,20 +417,23 @@ pub fn parse_event_borrowed(line: &str) -> Result<LogicalIoRecord, String> {
                 let (raw, esc) = scan_string(line, &mut i)?;
                 let val = resolve(raw, esc)?;
                 match key.as_ref() {
-                    "kind" => {
+                    "kind" if !kind_seen => {
+                        kind_seen = true;
                         kind = match val.as_ref() {
                             "Read" => Some(IoKind::Read),
                             "Write" => Some(IoKind::Write),
                             other => return Err(format!("bad kind Str({other:?})")),
                         }
                     }
-                    // A string where a number belongs: the original
-                    // parser stored `Str` and `as_u64()` yielded `None`.
-                    "ts" => ts = None,
-                    "item" => item = None,
-                    "offset" => offset = None,
-                    "len" => len = None,
-                    _ => {} // Unknown fields are ignored for forward compatibility.
+                    // A string where a number belongs: the first
+                    // occurrence claims the key without a numeric value,
+                    // so the missing-field error below fires.
+                    "ts" => ts_seen = true,
+                    "item" => item_seen = true,
+                    "offset" => offset_seen = true,
+                    "len" => len_seen = true,
+                    // Unknown fields and later duplicates are ignored.
+                    _ => {}
                 }
             } else if i < b.len() && b[i].is_ascii_digit() {
                 let mut n: u64 = 0;
@@ -354,11 +445,23 @@ pub fn parse_event_borrowed(line: &str) -> Result<LogicalIoRecord, String> {
                     i += 1;
                 }
                 match key.as_ref() {
-                    "ts" => ts = Some(n),
-                    "item" => item = Some(n),
-                    "offset" => offset = Some(n),
-                    "len" => len = Some(n),
-                    "kind" => return Err(format!("bad kind Num({n})")),
+                    "ts" if !ts_seen => {
+                        ts_seen = true;
+                        ts = Some(n);
+                    }
+                    "item" if !item_seen => {
+                        item_seen = true;
+                        item = Some(n);
+                    }
+                    "offset" if !offset_seen => {
+                        offset_seen = true;
+                        offset = Some(n);
+                    }
+                    "len" if !len_seen => {
+                        len_seen = true;
+                        len = Some(n);
+                    }
+                    "kind" if !kind_seen => return Err(format!("bad kind Num({n})")),
                     _ => {}
                 }
             } else {
@@ -405,8 +508,14 @@ pub fn parse_event_borrowed(line: &str) -> Result<LogicalIoRecord, String> {
 /// timestamp and the shard key before handing the raw line to a worker
 /// for full parsing. Returns `None` when the line is not a flat object
 /// with plain (escape-free) keys and numeric `ts`/`item` values in any
-/// order — callers must then fall back to [`parse_event_borrowed`],
-/// which either produces the record or the precise error.
+/// order, or when anything trails the closing brace — callers must then
+/// fall back to [`parse_event_borrowed`], which either produces the
+/// record or the precise error.
+///
+/// Duplicate keys keep the **first** occurrence, the same rule the full
+/// parser applies — the invariant the shard router depends on is that
+/// whenever this scan returns `Some((ts, item))` *and* the full parse
+/// succeeds, the parsed record carries exactly that `ts` and `item`.
 pub fn quick_scan_ts_item(line: &str) -> Option<(u64, u32)> {
     let b = line.as_bytes();
     let mut i = 0usize;
@@ -429,10 +538,12 @@ pub fn quick_scan_ts_item(line: &str) -> Option<(u64, u32)> {
         }
         i += 1;
         skip_ws(b, &mut i);
-        let want = key == "ts" || key == "item";
+        // First occurrence wins, matching the full parser; a later
+        // duplicate is skipped like an unknown field, whatever its type.
+        let want = (key == "ts" && ts.is_none()) || (key == "item" && item.is_none());
         if i < b.len() && b[i] == b'"' {
             if want {
-                return None; // string where a number belongs
+                return None; // string claims the key: the full parser errors
             }
             scan_string(line, &mut i).ok()?;
         } else if i < b.len() && b[i].is_ascii_digit() {
@@ -441,11 +552,12 @@ pub fn quick_scan_ts_item(line: &str) -> Option<(u64, u32)> {
                 n = n.checked_mul(10)?.checked_add((b[i] - b'0') as u64)?;
                 i += 1;
             }
-            // Last occurrence wins, matching the full parser.
-            if key == "ts" {
-                ts = Some(n);
-            } else if key == "item" {
-                item = Some(n);
+            if want {
+                if key == "ts" {
+                    ts = Some(n);
+                } else {
+                    item = Some(n);
+                }
             }
         } else {
             return None;
@@ -453,9 +565,18 @@ pub fn quick_scan_ts_item(line: &str) -> Option<(u64, u32)> {
         skip_ws(b, &mut i);
         match b.get(i) {
             Some(b',') => i += 1,
-            Some(b'}') => break,
+            Some(b'}') => {
+                i += 1;
+                break;
+            }
             _ => return None,
         }
+    }
+    // Anything after the closing brace (other than whitespace) makes the
+    // full parser reject the line — decline so the precise error wins.
+    skip_ws(b, &mut i);
+    if i < b.len() {
+        return None;
     }
     Some((ts?, u32::try_from(item?).ok()?))
 }
@@ -691,7 +812,13 @@ mod tests {
         let mut offset = None;
         let mut len = None;
         let mut kind = None;
+        let mut seen: Vec<&str> = Vec::new();
         for (key, value) in &fields {
+            // First occurrence claims the key; later duplicates are
+            // skipped — the rule both production parsers implement.
+            if seen.contains(&key.as_str()) {
+                continue;
+            }
             match key.as_str() {
                 "ts" => ts = value.as_u64(),
                 "item" => item = value.as_u64(),
@@ -706,6 +833,7 @@ mod tests {
                 }
                 _ => {}
             }
+            seen.push(key.as_str());
         }
         Ok(LogicalIoRecord {
             ts: Micros(ts.ok_or("missing field \"ts\"")?),
@@ -732,6 +860,11 @@ mod tests {
             r#"{"ts":1,"item":1,"offset":0,"len":4096,"kind":"Read","note":"a\"b\\c\nd"}"#,
             r#"{"ts":1,"ts":2,"item":1,"offset":0,"len":4096,"kind":"Read"}"#,
             r#"{"ts":"1","item":1,"offset":0,"len":4096,"kind":"Read"}"#,
+            r#"{"ts":"x","ts":5,"item":1,"offset":0,"len":4096,"kind":"Read"}"#,
+            r#"{"ts":5,"ts":"x","item":1,"offset":0,"len":4096,"kind":"Read"}"#,
+            r#"{"kind":"Read","kind":"Scan","ts":1,"item":1,"offset":0,"len":4096}"#,
+            r#"{"kind":"Read","kind":5,"ts":1,"item":1,"offset":0,"len":4096}"#,
+            r#"{"item":2,"item":3,"ts":1,"offset":0,"len":4096,"kind":"Write"}"#,
             "",
             "{",
             "{}",
@@ -774,14 +907,50 @@ mod tests {
             quick_scan_ts_item(r#" { "kind":"Read", "item" : 7 , "ts": 9, "offset":0,"len":1 }"#),
             Some((9, 7))
         );
-        // Duplicate keys: last wins, same as the full parser.
+        // Duplicate keys: first wins, same as the full parser.
         assert_eq!(
             quick_scan_ts_item(r#"{"ts":1,"ts":2,"item":3,"offset":0,"len":1,"kind":"Read"}"#),
-            Some((2, 3))
+            Some((1, 3))
+        );
+        // A later duplicate with a string value is skipped, not a decline
+        // — the full parser skips it too and parses ts=1.
+        assert_eq!(
+            quick_scan_ts_item(r#"{"ts":1,"ts":"x","item":3,"offset":0,"len":1,"kind":"Read"}"#),
+            Some((1, 3))
         );
         // Anything unusual declines rather than guessing.
         assert_eq!(quick_scan_ts_item("not json"), None);
         assert_eq!(quick_scan_ts_item(r#"{"ts":"1","item":2}"#), None);
         assert_eq!(quick_scan_ts_item(r#"{"item":2}"#), None);
+        // Trailing garbage after the object: the full parser rejects the
+        // line, so the scan must not route it.
+        assert_eq!(quick_scan_ts_item(r#"{"ts":1,"item":2} x"#), None);
+        assert_eq!(quick_scan_ts_item(r#"{"ts":1,"item":2}  "#), Some((1, 2)));
+    }
+
+    #[test]
+    fn swar_scanners_match_naive() {
+        let hay = b"{\"ts\":1,\"item\":2,\"offset\":0,\"len\":4096,\"kind\":\"Read\"}\n";
+        for needle in [b'\n', b'"', b'\\', b'x', b'{'] {
+            assert_eq!(
+                find_byte(hay, needle),
+                hay.iter().position(|&b| b == needle),
+                "needle {needle:?}"
+            );
+        }
+        assert_eq!(find_byte2(hay, b'"', b'\\'), Some(1));
+        assert_eq!(find_byte2(b"plain text", b'"', b'\\'), None);
+        assert_eq!(count_byte(b"a\nbb\n\nc", b'\n'), 3);
+        assert_eq!(count_byte(b"", b'\n'), 0);
+        // Lane-boundary cases: hits at every offset within a word.
+        for i in 0..24usize {
+            let mut v = vec![b'.'; 24];
+            v[i] = b'\n';
+            assert_eq!(find_byte(&v, b'\n'), Some(i));
+            assert_eq!(count_byte(&v, b'\n'), 1);
+        }
+        // The 0x0b-adjacent-to-0x0a borrow case that breaks the inexact
+        // zero-byte trick: the exact marks must not overcount.
+        assert_eq!(count_byte(&[0x0a, 0x0b, 0x0a, 0x0b, 0, 0, 0, 0], 0x0a), 2);
     }
 }

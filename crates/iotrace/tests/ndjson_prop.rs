@@ -1,0 +1,130 @@
+//! Property tests of the NDJSON codec's routing invariant and the SWAR
+//! scanners.
+//!
+//! The sharded ingest router may route a line by `quick_scan_ts_item`
+//! while a worker later parses it with `parse_event_borrowed`. The
+//! byte-identity of sharded plans therefore rests on one invariant:
+//! whenever the scan returns `Some((ts, item))` **and** the full parse
+//! succeeds, the parsed record carries exactly that `ts` and `item` —
+//! on *any* input, including duplicate keys, escaped keys/values,
+//! string-typed numbers, unknown fields, and arbitrary whitespace.
+
+use ees_iotrace::ndjson::{
+    count_byte, find_byte, find_byte2, parse_event_borrowed, quick_scan_ts_item,
+};
+use proptest::prelude::*;
+
+/// One rendered `"key":value` fragment. Keys cover the five known fields
+/// (often), unknown fields, and an escaped spelling of `ts` (which
+/// unescapes to the known key — the scan must decline, not mis-route).
+fn arb_field() -> impl Strategy<Value = (String, String)> {
+    let key = prop_oneof![
+        4 => Just("ts".to_string()),
+        4 => Just("item".to_string()),
+        2 => Just("offset".to_string()),
+        2 => Just("len".to_string()),
+        3 => Just("kind".to_string()),
+        1 => Just("extra".to_string()),
+        1 => Just("t\\u0073".to_string()),
+    ];
+    let val = prop_oneof![
+        6 => (0u64..1u64 << 40).prop_map(|n| n.to_string()),
+        2 => Just("\"Read\"".to_string()),
+        2 => Just("\"Write\"".to_string()),
+        1 => Just("\"Scan\"".to_string()),
+        1 => Just("\"12\"".to_string()),
+        1 => Just("\"x\\\"y\\\\z\"".to_string()),
+    ];
+    (key, val)
+}
+
+/// Renders fields as a flat object with seeded whitespace padding.
+fn render(fields: &[(String, String)], pad: u8) -> String {
+    let sp = |on: bool| if on { " " } else { "" };
+    let mut s = String::new();
+    s.push_str(sp(pad & 1 != 0));
+    s.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(sp(pad & 2 != 0));
+        s.push('"');
+        s.push_str(k);
+        s.push('"');
+        s.push_str(sp(pad & 4 != 0));
+        s.push(':');
+        s.push_str(sp(pad & 2 != 0));
+        s.push_str(v);
+    }
+    s.push_str(sp(pad & 4 != 0));
+    s.push('}');
+    s.push_str(sp(pad & 1 != 0));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The routing invariant: scan and parse can disagree only by the
+    /// scan *declining* (returning `None`) or the parse *failing* — never
+    /// by both succeeding with different `(ts, item)`.
+    #[test]
+    fn scan_and_parse_agree_on_routing(
+        fields in prop::collection::vec(arb_field(), 0..10),
+        pad in 0u8..8,
+    ) {
+        let line = render(&fields, pad);
+        let scan = quick_scan_ts_item(&line);
+        let parse = parse_event_borrowed(&line);
+        if let (Some((ts, item)), Ok(rec)) = (scan, &parse) {
+            prop_assert_eq!(ts, rec.ts.0, "scan/parse ts diverge on {}", line);
+            prop_assert_eq!(item, rec.item.0, "scan/parse item diverge on {}", line);
+        }
+    }
+
+    /// On well-formed complete lines the scan must not decline, and both
+    /// sides must take the first occurrence of each duplicated key.
+    #[test]
+    fn first_key_wins_on_complete_lines(
+        ts in 0u64..1u64 << 40,
+        item in 0u32..1u32 << 20,
+        dup_ts in 0u64..1u64 << 40,
+        dup_item in 0u32..1u32 << 20,
+        pad in 0u8..8,
+    ) {
+        let fields = vec![
+            ("ts".to_string(), ts.to_string()),
+            ("item".to_string(), item.to_string()),
+            ("offset".to_string(), "0".to_string()),
+            ("len".to_string(), "4096".to_string()),
+            ("kind".to_string(), "\"Read\"".to_string()),
+            ("ts".to_string(), dup_ts.to_string()),
+            ("item".to_string(), dup_item.to_string()),
+        ];
+        let line = render(&fields, pad);
+        let rec = parse_event_borrowed(&line).expect("complete line parses");
+        prop_assert_eq!(rec.ts.0, ts);
+        prop_assert_eq!(rec.item.0, item);
+        prop_assert_eq!(quick_scan_ts_item(&line), Some((ts, item)));
+    }
+
+    /// The SWAR scanners agree with their naive equivalents on arbitrary
+    /// byte strings, including lane-boundary and borrow-adjacent values.
+    #[test]
+    fn swar_find_matches_naive(
+        hay in prop::collection::vec(any::<u8>(), 0..200),
+        needle: u8,
+        other: u8,
+    ) {
+        prop_assert_eq!(find_byte(&hay, needle), hay.iter().position(|&b| b == needle));
+        prop_assert_eq!(
+            find_byte2(&hay, needle, other),
+            hay.iter().position(|&b| b == needle || b == other)
+        );
+        prop_assert_eq!(
+            count_byte(&hay, needle),
+            hay.iter().filter(|&&b| b == needle).count()
+        );
+    }
+}

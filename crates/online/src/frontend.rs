@@ -1,0 +1,501 @@
+//! The parallel NDJSON ingest front end: newline-aligned chunk
+//! splitting, a pool of parser threads, and an in-order re-sequencer.
+//!
+//! The single-reader front ends (the serial monitor driver, and the
+//! sharded driver's raw-line path) parse every event on one thread, so
+//! adding classification shards starves their rings behind one parser
+//! (the `BENCH_online.json` seed run measured 1.17× serial at 4 shards).
+//! This module splits the work the only way that keeps plans
+//! byte-identical to the serial controller:
+//!
+//! * a **splitter** thread cuts the byte stream into newline-aligned
+//!   [`RawChunk`]s ([`ChunkReader`]) — a line crossing a chunk boundary
+//!   is stitched into exactly one chunk, so every line is parsed exactly
+//!   once;
+//! * `readers` **parser** threads pull chunks from a shared queue and
+//!   run the full per-line front end (UTF-8 check, trim, blank/`#`
+//!   skip, [`parse_event_borrowed`]) producing a [`ParsedChunk`] each —
+//!   records in file order, plus at most one error where parsing must
+//!   stop;
+//! * the consumer re-sequences completed chunks by their dense `seq`
+//!   through [`ParallelScanner`], so it walks records in **exact file
+//!   order** even though chunks finish out of order.
+//!
+//! Sequencing is the consumer's whole job: the coordinator that folds
+//! records decides period cuts on the re-sequenced stream, which is what
+//! makes the plan sequence — and the reported error line — byte-identical
+//! to the single-reader front end by construction. Errors are carried
+//! *in-band* at their position in the stream: a parse error in chunk 7
+//! surfaces only after every record of chunks 0..=7 that precedes it has
+//! been delivered, exactly as a serial reader would have.
+//!
+//! During a rollover the coordinator must not fold records, but the
+//! parsers should not go idle either: [`ParallelScanner::stage_one`]
+//! parks on the parser channel **with a timeout** (never a spin) and
+//! stages completed chunks into the reorder buffer, bounded by a record
+//! cap, so the cut overlaps with parsing instead of stalling it.
+
+use crate::ingest::RetryingReader;
+use ees_iotrace::chunk::{ChunkReader, RawChunk, DEFAULT_CHUNK_BYTES};
+use ees_iotrace::ndjson::parse_event_borrowed;
+use ees_iotrace::LogicalIoRecord;
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::{Scope, ScopedJoinHandle};
+use std::time::Duration;
+
+/// Raw chunks queued per parser thread (splitter → parsers).
+const WORK_DEPTH_PER_READER: usize = 2;
+/// Parsed chunks queued per parser thread (parsers → consumer). The
+/// reorder buffer is bounded by the sum of both queue depths plus one
+/// in-hand chunk per thread, so the front end's memory is
+/// `O(readers × chunk)` regardless of input size.
+const OUT_DEPTH_PER_READER: usize = 4;
+
+/// How long [`ParallelScanner::stage_one`] parks waiting for a parsed
+/// chunk while a cut is in flight. Short enough that `rollover_ready`
+/// is re-polled well under the p99 stall bar, long enough that the
+/// coordinator actually sleeps instead of spinning.
+pub const CUT_PARK: Duration = Duration::from_micros(50);
+
+/// Where the front end had to stop, carried in-band at its stream
+/// position so ordering (and the reported line number) matches a serial
+/// reader exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// A line failed [`parse_event_borrowed`]; surfaces as the serial
+    /// reader's `line N: msg` invalid-data error.
+    Parse {
+        /// Absolute 1-based line number of the offending line.
+        lineno: u64,
+        /// The parser's error message.
+        msg: String,
+    },
+    /// A line was not valid UTF-8; surfaces with the same message
+    /// `BufRead::read_line` produces on the serial path.
+    Utf8,
+    /// The underlying reader failed (after the splitter's transparent
+    /// `Interrupted` retry); kind and message are preserved.
+    Io {
+        /// The original [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// The original error's display form.
+        msg: String,
+    },
+}
+
+impl ChunkError {
+    /// Renders the error exactly as the single-reader front end would
+    /// have surfaced it.
+    pub fn to_io_error(&self) -> std::io::Error {
+        match self {
+            ChunkError::Parse { lineno, msg } => std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {lineno}: {msg}"),
+            ),
+            ChunkError::Utf8 => std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stream did not contain valid UTF-8",
+            ),
+            ChunkError::Io { kind, msg } => std::io::Error::new(*kind, msg.clone()),
+        }
+    }
+}
+
+/// One chunk through the full line front end: events in file order,
+/// then (at most) the first error, after which the chunk's remaining
+/// lines are dropped — the consumer aborts there, exactly like a serial
+/// reader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedChunk {
+    /// The source chunk's dense sequence number (the re-sequencing key).
+    pub seq: u64,
+    /// Parsed records, in file order, up to the first error.
+    pub records: Vec<LogicalIoRecord>,
+    /// The first line the front end could not get past, if any.
+    pub error: Option<ChunkError>,
+}
+
+/// Runs the per-line front end over one raw chunk: UTF-8 check, trim,
+/// blank/comment skip, full parse. Stops at the first failure — the
+/// records after an error are never observable downstream, matching the
+/// serial reader's abort-at-first-error shape.
+pub fn parse_chunk(chunk: &RawChunk) -> ParsedChunk {
+    let mut records = Vec::new();
+    let mut error = None;
+    for (lineno, raw) in chunk.lines() {
+        let Ok(text) = std::str::from_utf8(raw) else {
+            error = Some(ChunkError::Utf8);
+            break;
+        };
+        let trimmed = text.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_event_borrowed(trimmed) {
+            Ok(rec) => records.push(rec),
+            Err(msg) => {
+                error = Some(ChunkError::Parse { lineno, msg });
+                break;
+            }
+        }
+    }
+    ParsedChunk {
+        seq: chunk.seq,
+        records,
+        error,
+    }
+}
+
+enum FrontendMsg {
+    Chunk(ParsedChunk),
+    /// The splitter reached end of input (or an I/O error, already sent
+    /// as an in-band error chunk) after emitting `chunks` chunks; the
+    /// stream is complete once the consumer has re-sequenced that many.
+    End {
+        chunks: u64,
+    },
+}
+
+/// The consumer half of the parallel front end: owns the reorder buffer
+/// and hands back [`ParsedChunk`]s strictly in `seq` order, however the
+/// parser pool interleaved them. Spawned inside a [`std::thread::scope`]
+/// so the input reader only needs to be `Send`, not `'static`.
+pub struct ParallelScanner<'scope> {
+    rx: Receiver<FrontendMsg>,
+    pending: BTreeMap<u64, ParsedChunk>,
+    pending_records: usize,
+    next_seq: u64,
+    total: Option<u64>,
+    _threads: Vec<ScopedJoinHandle<'scope, ()>>,
+}
+
+impl<'scope> ParallelScanner<'scope> {
+    /// Spawns the splitter and `readers` parser threads (both clamped to
+    /// at least one) over `input`, cutting chunks of roughly
+    /// `chunk_bytes` (`0` → [`DEFAULT_CHUNK_BYTES`]).
+    pub fn spawn<'env, R>(
+        scope: &'scope Scope<'scope, 'env>,
+        input: R,
+        readers: usize,
+        chunk_bytes: usize,
+    ) -> Self
+    where
+        R: Read + Send + 'env,
+    {
+        let readers = readers.max(1);
+        let chunk_bytes = if chunk_bytes == 0 {
+            DEFAULT_CHUNK_BYTES
+        } else {
+            chunk_bytes
+        };
+        let (work_tx, work_rx) = sync_channel::<RawChunk>(readers * WORK_DEPTH_PER_READER);
+        // One extra slot so the splitter's `End` marker never deadlocks
+        // behind a full parser pool.
+        let (out_tx, out_rx) = sync_channel::<FrontendMsg>(readers * OUT_DEPTH_PER_READER + 1);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let mut threads = Vec::with_capacity(readers + 1);
+        for _ in 0..readers {
+            let work = Arc::clone(&work_rx);
+            let out = out_tx.clone();
+            threads.push(scope.spawn(move || parser_loop(&work, &out)));
+        }
+        threads.push(scope.spawn(move || splitter_loop(input, chunk_bytes, &work_tx, &out_tx)));
+        ParallelScanner {
+            rx: out_rx,
+            pending: BTreeMap::new(),
+            pending_records: 0,
+            next_seq: 0,
+            total: None,
+            _threads: threads,
+        }
+    }
+
+    fn absorb(&mut self, msg: FrontendMsg) {
+        match msg {
+            FrontendMsg::Chunk(c) => {
+                self.pending_records += c.records.len();
+                self.pending.insert(c.seq, c);
+            }
+            FrontendMsg::End { chunks } => self.total = Some(chunks),
+        }
+    }
+
+    fn pop_ready(&mut self) -> Option<ParsedChunk> {
+        let chunk = self.pending.remove(&self.next_seq)?;
+        self.next_seq += 1;
+        self.pending_records -= chunk.records.len();
+        Some(chunk)
+    }
+
+    /// Blocks for the next chunk **in stream order**; `Ok(None)` is a
+    /// clean end of input. `Err` only when a front-end thread died —
+    /// in-stream failures arrive in-band as [`ParsedChunk::error`].
+    pub fn next_ordered(&mut self) -> std::io::Result<Option<ParsedChunk>> {
+        loop {
+            if let Some(chunk) = self.pop_ready() {
+                return Ok(Some(chunk));
+            }
+            if self.total == Some(self.next_seq) {
+                return Ok(None);
+            }
+            match self.rx.recv() {
+                Ok(msg) => self.absorb(msg),
+                Err(_) => {
+                    return Err(std::io::Error::other(
+                        "parallel ingest front end lost a thread",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Read-ahead while a cut is in flight: park on the parser channel
+    /// for at most `timeout` and stage one completed chunk into the
+    /// reorder buffer. Once `cap_records` records are staged (or the
+    /// stream has fully drained) it sleeps `timeout` instead, so the
+    /// caller's `rollover_ready` poll loop never degenerates into a
+    /// spin. Returns whether a chunk was staged.
+    pub fn stage_one(&mut self, timeout: Duration, cap_records: usize) -> bool {
+        if self.pending_records >= cap_records || self.total.is_some() {
+            std::thread::sleep(timeout);
+            return false;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => {
+                self.absorb(msg);
+                true
+            }
+            Err(RecvTimeoutError::Timeout) => false,
+            Err(RecvTimeoutError::Disconnected) => {
+                std::thread::sleep(timeout);
+                false
+            }
+        }
+    }
+
+    /// Records currently staged in the reorder buffer.
+    pub fn staged_records(&self) -> usize {
+        self.pending_records
+    }
+}
+
+fn parser_loop(work: &Mutex<Receiver<RawChunk>>, out: &SyncSender<FrontendMsg>) {
+    loop {
+        // Holding the lock across `recv` is fine: with an empty queue
+        // every parser ends up waiting either on the lock or in the one
+        // `recv`, and whoever holds it releases as soon as a chunk (or
+        // the splitter's hang-up) arrives.
+        let chunk = {
+            let guard = work.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            match guard.recv() {
+                Ok(chunk) => chunk,
+                Err(_) => break,
+            }
+        };
+        if out.send(FrontendMsg::Chunk(parse_chunk(&chunk))).is_err() {
+            break;
+        }
+    }
+}
+
+fn splitter_loop<R: Read>(
+    input: R,
+    chunk_bytes: usize,
+    work: &SyncSender<RawChunk>,
+    out: &SyncSender<FrontendMsg>,
+) {
+    let mut reader = ChunkReader::new(input, chunk_bytes);
+    let mut chunks = 0u64;
+    loop {
+        match reader.next_chunk() {
+            Ok(Some(chunk)) => {
+                chunks = chunk.seq + 1;
+                if work.send(chunk).is_err() {
+                    // Consumer hung up; no one is left to sequence.
+                    return;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // An I/O error ends the stream at its exact position: an
+                // empty chunk carrying the error keeps it ordered after
+                // every chunk that was fully read.
+                let error = ChunkError::Io {
+                    kind: e.kind(),
+                    msg: e.to_string(),
+                };
+                let _ = out.send(FrontendMsg::Chunk(ParsedChunk {
+                    seq: chunks,
+                    records: Vec::new(),
+                    error: Some(error),
+                }));
+                chunks += 1;
+                break;
+            }
+        }
+    }
+    let _ = out.send(FrontendMsg::End { chunks });
+}
+
+/// [`ParallelScanner::spawn`] with the transient-error absorption the
+/// daemon ingest path uses ([`RetryingReader`]): `WouldBlock`/`TimedOut`
+/// reads retry with bounded backoff before the stream is declared dead.
+pub fn spawn_retrying<'scope, 'env, R>(
+    scope: &'scope Scope<'scope, 'env>,
+    input: R,
+    readers: usize,
+    chunk_bytes: usize,
+) -> ParallelScanner<'scope>
+where
+    R: std::io::BufRead + Send + 'env,
+{
+    ParallelScanner::spawn(scope, RetryingReader::new(input), readers, chunk_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ees_iotrace::Micros;
+    use std::io::Cursor;
+
+    fn line(ts: u64) -> String {
+        format!("{{\"ts\":{ts},\"item\":1,\"offset\":0,\"len\":4096,\"kind\":\"Read\"}}\n")
+    }
+
+    fn scan_all(input: &str, readers: usize, chunk: usize) -> (Vec<Micros>, Option<ChunkError>) {
+        std::thread::scope(|scope| {
+            let mut scanner =
+                ParallelScanner::spawn(scope, Cursor::new(input.to_string()), readers, chunk);
+            let mut ts = Vec::new();
+            let mut err = None;
+            while let Some(chunk) = scanner.next_ordered().unwrap() {
+                ts.extend(chunk.records.iter().map(|r| r.ts));
+                if let Some(e) = chunk.error {
+                    err = Some(e);
+                    break;
+                }
+            }
+            (ts, err)
+        })
+    }
+
+    #[test]
+    fn resequences_records_into_file_order() {
+        let input: String = (0..500).map(line).collect();
+        for readers in [1, 2, 4] {
+            // 96-byte chunks force heavy interleaving across parsers.
+            let (ts, err) = scan_all(&input, readers, 96);
+            assert!(err.is_none());
+            assert_eq!(ts, (0..500).map(Micros).collect::<Vec<_>>(), "r={readers}");
+        }
+    }
+
+    #[test]
+    fn last_line_without_newline_is_parsed_exactly_once() {
+        let mut input: String = (0..10).map(line).collect();
+        input.push_str(&line(10));
+        input.pop(); // drop the trailing newline
+        let (ts, err) = scan_all(&input, 3, 32);
+        assert!(err.is_none());
+        assert_eq!(ts.len(), 11, "unterminated final line must be kept");
+        assert_eq!(ts.last(), Some(&Micros(10)));
+    }
+
+    #[test]
+    fn crlf_blank_and_comment_lines_match_the_serial_reader() {
+        let input = format!(
+            "# header\r\n{}\r\n\r\n  \n{}# tail comment",
+            line(1).trim_end(),
+            line(2),
+        );
+        let (ts, err) = scan_all(&input, 2, 8);
+        assert!(err.is_none());
+        assert_eq!(ts, vec![Micros(1), Micros(2)]);
+    }
+
+    #[test]
+    fn error_carries_the_absolute_line_number() {
+        let mut input: String = (0..7).map(line).collect();
+        input.push_str("not json\n");
+        input.push_str(&line(8));
+        for readers in [1, 4] {
+            let (ts, err) = scan_all(&input, readers, 16);
+            assert_eq!(ts.len(), 7, "records before the error are delivered");
+            let err = err.expect("malformed line must surface");
+            let io = err.to_io_error();
+            assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+            assert!(io.to_string().starts_with("line 8: "), "{io}");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_matches_read_line_error_text() {
+        let mut bytes = line(1).into_bytes();
+        bytes.extend_from_slice(b"\xff\xfe\n");
+        let err = std::thread::scope(|scope| {
+            let mut scanner = ParallelScanner::spawn(scope, Cursor::new(bytes), 2, 8);
+            let mut err = None;
+            while let Some(chunk) = scanner.next_ordered().unwrap() {
+                if let Some(e) = chunk.error {
+                    err = Some(e);
+                    break;
+                }
+            }
+            err
+        })
+        .expect("invalid UTF-8 must surface");
+        assert_eq!(
+            err.to_io_error().to_string(),
+            "stream did not contain valid UTF-8"
+        );
+    }
+
+    #[test]
+    fn readers_outnumbering_chunks_still_terminate() {
+        // Early reader EOF: 8 parsers, but the whole input is one chunk
+        // (and then an empty input with zero chunks) — the idle parsers
+        // must wind down and the scanner must report a clean end.
+        let (ts, err) = scan_all(&line(1), 8, 1 << 20);
+        assert!(err.is_none());
+        assert_eq!(ts, vec![Micros(1)]);
+        let (ts, err) = scan_all("", 8, 1 << 20);
+        assert!(err.is_none());
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn stage_one_parks_and_buffers_without_reordering() {
+        let input: String = (0..200).map(line).collect();
+        std::thread::scope(|scope| {
+            let mut scanner = ParallelScanner::spawn(scope, Cursor::new(input.clone()), 2, 64);
+            // Stage for a while before consuming anything.
+            for _ in 0..50 {
+                scanner.stage_one(Duration::from_micros(200), 64);
+            }
+            assert!(scanner.staged_records() <= 64 + 16, "cap respected");
+            let mut ts = Vec::new();
+            while let Some(chunk) = scanner.next_ordered().unwrap() {
+                assert!(chunk.error.is_none());
+                ts.extend(chunk.records.iter().map(|r| r.ts));
+            }
+            assert_eq!(ts, (0..200).map(Micros).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn abandoning_the_scanner_mid_stream_unwinds_the_pool() {
+        // Dropping the scanner early (an error-return path) must let the
+        // scope join: parsers see the closed output channel, the
+        // splitter sees the closed work queue.
+        let input: String = (0..5_000).map(line).collect();
+        std::thread::scope(|scope| {
+            let mut scanner = ParallelScanner::spawn(scope, Cursor::new(input), 4, 128);
+            let first = scanner.next_ordered().unwrap().unwrap();
+            assert!(!first.records.is_empty());
+            // scanner dropped here with most of the stream unread
+        });
+    }
+}

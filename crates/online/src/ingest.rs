@@ -28,6 +28,7 @@
 //! the producer is still running, not just from the join-handle stats
 //! after the stream ends.
 
+use crate::frontend::ParallelScanner;
 use ees_iotrace::ndjson::EventReader;
 use ees_iotrace::LogicalIoRecord;
 use std::io::{BufRead, Read};
@@ -418,6 +419,130 @@ where
     (rx, BatchPool { returns: return_tx }, counters, handle)
 }
 
+/// The parallel-front-end flavor of [`spawn_reader_batched_pooled`]:
+/// same queue, pool, policy, and per-event accounting, but parsing runs
+/// on `readers` threads ([`ParallelScanner`]) instead of one, and the
+/// spawned thread shrinks to re-sequencing chunks and batching records.
+/// Delivery order, error text (`line N: …`), and the
+/// accepted/dropped invariant are identical to the single-reader shape —
+/// every record the sequencer pulls from the scanner ends up in exactly
+/// one counter. `chunk_bytes == 0` selects the default chunk target.
+pub fn spawn_reader_parallel<R>(
+    input: R,
+    capacity: usize,
+    batch: usize,
+    policy: OverflowPolicy,
+    readers: usize,
+    chunk_bytes: usize,
+) -> PooledReader
+where
+    R: BufRead + Send + 'static,
+{
+    let batch = batch.max(1);
+    let (tx, rx) = sync_channel::<Vec<LogicalIoRecord>>(capacity.max(1));
+    let (return_tx, return_rx) = channel::<Vec<LogicalIoRecord>>();
+    let counters = Arc::new(IngestCounters::default());
+    let live = Arc::clone(&counters);
+    let handle = std::thread::spawn(move || {
+        // The parser pool lives inside this thread's scope: the input
+        // only needs to be `Send`, and the pool winds down when the
+        // sequencer returns (clean end, error, or consumer hang-up).
+        std::thread::scope(|scope| {
+            let mut scanner =
+                ParallelScanner::spawn(scope, RetryingReader::new(input), readers, chunk_bytes);
+            let mut buf: Vec<LogicalIoRecord> = Vec::with_capacity(batch);
+            let mut disconnected = false;
+            let next_buf = || match return_rx.try_recv() {
+                Ok(mut recycled) => {
+                    live.recycled.fetch_add(1, Ordering::Relaxed);
+                    recycled.clear();
+                    recycled
+                }
+                Err(_) => Vec::with_capacity(batch),
+            };
+            // Identical to the single-reader pooled flush: accepted on
+            // delivery; dropped on overflow, hang-up, or a stream error
+            // that strands the partial batch.
+            let flush = |buf: &mut Vec<LogicalIoRecord>, disconnected: &mut bool| {
+                if buf.is_empty() {
+                    return;
+                }
+                let n = buf.len() as u64;
+                if *disconnected {
+                    buf.clear();
+                    live.dropped.fetch_add(n, Ordering::Relaxed);
+                    return;
+                }
+                let full = std::mem::take(buf);
+                match policy {
+                    OverflowPolicy::Block => {
+                        if tx.send(full).is_err() {
+                            *disconnected = true;
+                            live.dropped.fetch_add(n, Ordering::Relaxed);
+                        } else {
+                            live.accepted.fetch_add(n, Ordering::Relaxed);
+                        }
+                    }
+                    OverflowPolicy::DropNewest => match tx.try_send(full) {
+                        Ok(()) => {
+                            live.accepted.fetch_add(n, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Full(rejected)) => {
+                            live.dropped.fetch_add(n, Ordering::Relaxed);
+                            *buf = rejected;
+                            buf.clear();
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            *disconnected = true;
+                            live.dropped.fetch_add(n, Ordering::Relaxed);
+                        }
+                    },
+                }
+                if buf.capacity() == 0 {
+                    *buf = next_buf();
+                }
+            };
+            loop {
+                let chunk = match scanner.next_ordered() {
+                    Ok(Some(chunk)) => chunk,
+                    Ok(None) => break,
+                    Err(e) => {
+                        live.dropped.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                };
+                let mut records = chunk.records.into_iter();
+                for rec in records.by_ref() {
+                    buf.push(rec);
+                    if buf.len() >= batch {
+                        flush(&mut buf, &mut disconnected);
+                        if disconnected {
+                            break;
+                        }
+                    }
+                }
+                if disconnected {
+                    // Consumer hang-up mid-chunk: the records the
+                    // sequencer already pulled but will never deliver
+                    // count dropped, like the in-flight batch.
+                    live.dropped
+                        .fetch_add(records.len() as u64, Ordering::Relaxed);
+                    break;
+                }
+                if let Some(err) = chunk.error {
+                    // The partial batch dies with the stream — count it,
+                    // exactly like the single-reader error path.
+                    live.dropped.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                    return Err(err.to_io_error());
+                }
+            }
+            flush(&mut buf, &mut disconnected);
+            Ok(live.snapshot())
+        })
+    });
+    (rx, BatchPool { returns: return_tx }, counters, handle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,5 +830,110 @@ mod tests {
         assert_eq!(rx.iter().count(), 0);
         let err = handle.join().unwrap().unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parallel_reader_matches_serial_on_unterminated_crlf_input() {
+        // CRLF endings, comments, blank lines, and no trailing newline —
+        // the chunk-boundary edge cases. Both readers must deliver the
+        // same records and the same exact counters: the unterminated
+        // final line parsed exactly once, never dropped or doubled.
+        let mut input = String::from("# header\r\n");
+        for i in 0..97 {
+            input.push_str(line(i * 1000).trim_end());
+            input.push_str(if i % 3 == 0 { "\r\n" } else { "\n" });
+            if i % 10 == 0 {
+                input.push_str("\r\n");
+            }
+        }
+        input.push_str(line(97_000).trim_end()); // no trailing newline
+        let (serial_rx, _, serial_counters, serial_handle) =
+            spawn_reader_batched_pooled(Cursor::new(input.clone()), 64, 8, OverflowPolicy::Block);
+        let serial: Vec<LogicalIoRecord> = serial_rx.iter().flatten().collect();
+        serial_handle.join().unwrap().unwrap();
+        for (readers, chunk) in [(1, 0), (2, 48), (4, 17)] {
+            let (rx, pool, counters, handle) = spawn_reader_parallel(
+                Cursor::new(input.clone()),
+                64,
+                8,
+                OverflowPolicy::Block,
+                readers,
+                chunk,
+            );
+            let mut got = Vec::new();
+            for mut batch in rx.iter() {
+                got.append(&mut batch);
+                pool.recycle(batch);
+            }
+            let stats = handle.join().unwrap().unwrap();
+            assert_eq!(got, serial, "readers={readers} chunk={chunk}");
+            assert_eq!(stats.accepted, 98, "unterminated last line counted once");
+            assert_eq!(stats.dropped, 0);
+            assert_eq!(counters.snapshot(), serial_counters.snapshot());
+        }
+    }
+
+    #[test]
+    fn parallel_reader_reports_the_serial_error_line() {
+        // The error line number must be absolute and identical to the
+        // serial reader's, no matter how chunks split around it.
+        let mut input: String = (0..37).map(|i| line(i * 1000)).collect();
+        input.push_str("not json\n");
+        input.push_str(&line(38_000));
+        for (readers, chunk) in [(2, 16), (4, 64), (4, 1)] {
+            let (rx, _pool, counters, handle) = spawn_reader_parallel(
+                Cursor::new(input.clone()),
+                64,
+                8,
+                OverflowPolicy::Block,
+                readers,
+                chunk,
+            );
+            let delivered = rx.iter().map(|b| b.len() as u64).sum::<u64>();
+            let err = handle.join().unwrap().unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(
+                err.to_string().starts_with("line 38: "),
+                "readers={readers} chunk={chunk}: {err}"
+            );
+            // The 37 good records split between delivered batches and
+            // the stranded partial batch — every one counted.
+            assert_eq!(delivered, counters.accepted());
+            assert_eq!(counters.accepted() + counters.dropped(), 37);
+        }
+    }
+
+    #[test]
+    fn parallel_drop_newest_keeps_exact_event_accounting() {
+        // Same shape as pooled_drop_newest_keeps_exact_event_accounting:
+        // the sequencer is the only thread touching the queue, so the
+        // accepted/dropped split stays deterministic with parsing fanned
+        // out across 4 readers.
+        let input: String = (0..100).map(|i| line(i * 1000)).collect();
+        let (rx, pool, counters, handle) =
+            spawn_reader_parallel(Cursor::new(input), 4, 8, OverflowPolicy::DropNewest, 4, 32);
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(stats.accepted, 32);
+        assert_eq!(stats.dropped, 68);
+        for batch in rx.iter() {
+            pool.recycle(batch);
+        }
+        assert_eq!(counters.accepted() + counters.dropped(), 100);
+    }
+
+    #[test]
+    fn parallel_reader_recycles_buffers() {
+        let input: String = (0..400).map(|i| line(i * 1000)).collect();
+        let (rx, pool, counters, handle) =
+            spawn_reader_parallel(Cursor::new(input), 2, 8, OverflowPolicy::Block, 2, 256);
+        let mut got = Vec::new();
+        for mut batch in rx.iter() {
+            got.append(&mut batch);
+            pool.recycle(batch);
+        }
+        assert_eq!(got.len(), 400);
+        assert!(got.windows(2).all(|w| w[0].ts <= w[1].ts));
+        handle.join().unwrap().unwrap();
+        assert!(counters.recycled() > 0, "pool must see round trips");
     }
 }

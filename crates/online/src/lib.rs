@@ -35,6 +35,15 @@
 //! [`run_monitor_sharded`]); `ees online --shards N` and
 //! [`ColocatedDaemon::with_shards`] select the sharded flavor.
 //!
+//! Parsing itself is parallel too (DESIGN.md §13): the [`frontend`]
+//! module splits the byte stream into newline-aligned chunks, fans them
+//! over N parser threads, and re-sequences the parsed chunks so the
+//! coordinator walks records in exact file order — plans stay
+//! byte-identical to the serial driver by construction. One reader per
+//! shard is the default (`ShardOptions::readers`, `ees online
+//! --readers N`; `--readers 1` selects the legacy single-reader
+//! driver).
+//!
 //! For production hardening the crate adds three failure-domain layers
 //! (DESIGN.md §11):
 //!
@@ -58,6 +67,7 @@ pub mod controller;
 pub mod daemon;
 pub mod error;
 pub mod fault;
+pub mod frontend;
 pub mod ingest;
 pub mod pipeline;
 pub mod ring;
@@ -76,9 +86,10 @@ pub use fault::{
     silence_injected_panics, FaultRng, FaultSpec, FaultTally, FaultyReader, PanicSchedule,
     Sanitizer,
 };
+pub use frontend::{parse_chunk, ChunkError, ParallelScanner, ParsedChunk, CUT_PARK};
 pub use ingest::{
-    spawn_reader, spawn_reader_batched, spawn_reader_batched_pooled, BatchPool, IngestCounters,
-    IngestStats, OverflowPolicy, PooledReader, RetryingReader,
+    spawn_reader, spawn_reader_batched, spawn_reader_batched_pooled, spawn_reader_parallel,
+    BatchPool, IngestCounters, IngestStats, OverflowPolicy, PooledReader, RetryingReader,
 };
 pub use pipeline::{
     run_monitor_serial, run_monitor_sharded, run_monitor_sharded_with, MonitorOutcome, STAGE_MAX,

@@ -9,30 +9,41 @@
 //!   parsing one event per channel send
 //!   ([`spawn_reader`](crate::spawn_reader)), folded by the
 //!   single-threaded [`OnlineController`].
-//! * [`run_monitor_sharded`] — the sharded shape: the driver thread only
-//!   reads lines and extracts `(ts, item)` with the minimal
-//!   [`quick_scan_ts_item`] scan, then routes the **raw line** to the
-//!   owning shard of a [`ShardedController`], whose workers parse
-//!   ([`parse_event_borrowed`], zero-copy) and fold in parallel.
+//! * [`run_monitor_sharded`] — the sharded shape, in two flavors keyed
+//!   on [`ShardOptions::readers`]:
+//!   - **parallel front end** (the default, `readers == 0` → one per
+//!     shard): a splitter cuts the input into newline-aligned chunks and
+//!     a pool of parser threads runs the full NDJSON parse off the
+//!     coordinator ([`ParallelScanner`], DESIGN.md §13); the coordinator
+//!     shrinks to re-sequencing chunks and walking records in file order
+//!     — rollover sequencing, [`observe`](ShardedController::observe)
+//!     routing into the shard rings, and the §V.D trigger sweep.
+//!   - **legacy single reader** (`readers == 1`): the coordinator reads
+//!     lines itself, extracts `(ts, item)` with the minimal
+//!     [`quick_scan_ts_item`] scan, and routes the **raw line** to the
+//!     owning shard, whose workers parse ([`parse_event_borrowed`],
+//!     zero-copy) and fold.
 //!
-//! Both return the same plans on the same input (property-tested by the
-//! `sharded` suite); the throughput smoke in `ci.sh` times one against
-//! the other to produce `BENCH_online.json`.
+//! All flavors return the same plans on the same input (property-tested
+//! by the `sharded` suite); the throughput smoke in `ci.sh` times one
+//! against the other to produce `BENCH_online.json`.
 //!
-//! The sharded driver overlaps rollover with ingest (DESIGN.md §12):
-//! at a period cut it calls
-//! [`rollover_begin`](ShardedController::rollover_begin) and keeps
-//! **reading ahead** — staging parsed-scanned lines up to [`STAGE_MAX`]
-//! — while the workers drain their queues and snapshot in parallel; it
-//! then collects the merge in
-//! [`rollover_finish`](ShardedController::rollover_finish) and settles
-//! the staged lines through the full per-record flow. Staged records are
-//! *not* routed or trigger-swept until the plan lands, because routing
-//! feeds the next cut and the §V.D sweep depends on the plan's placement
-//! and re-armed triggers — staging is what keeps the plan sequence
-//! byte-identical to the serial controller.
+//! Both sharded flavors overlap rollover with ingest (DESIGN.md §12):
+//! at a period cut they call
+//! [`rollover_begin`](ShardedController::rollover_begin) and keep
+//! making ingest progress — the legacy driver stages scanned lines up to
+//! [`STAGE_MAX`]; the parallel driver parks on the parser channel with a
+//! timeout ([`ParallelScanner::stage_one`]) and stages completed chunks
+//! in its reorder buffer — while the workers drain their queues and
+//! snapshot in parallel; they then collect the merge in
+//! [`rollover_finish`](ShardedController::rollover_finish). Staged
+//! records are *not* routed or trigger-swept until the plan lands,
+//! because routing feeds the next cut and the §V.D sweep depends on the
+//! plan's placement and re-armed triggers — staging is what keeps the
+//! plan sequence byte-identical to the serial controller.
 
 use crate::controller::RolloverReason;
+use crate::frontend::{ParallelScanner, CUT_PARK};
 use crate::ingest::{spawn_reader, OverflowPolicy};
 use crate::shard::{ShardOptions, ShardedController};
 use crate::{OnlineController, PlanEnvelope};
@@ -355,11 +366,12 @@ fn overlapped_cut<R: BufRead>(
     Ok(eof)
 }
 
-/// Runs the monitor over `input` with the sharded pipeline: the calling
-/// thread reads lines and hash-routes the raw bytes; `shards` workers
-/// (`0` → [`threads()`], the `EES_THREADS` convention) parse and fold.
-/// Emits the same plan sequence as [`run_monitor_serial`] on the same
-/// input, including the same `line N:` error on the same malformed line.
+/// Runs the monitor over `input` with the sharded pipeline: `shards`
+/// workers (`0` → [`threads()`], the `EES_THREADS` convention) fold in
+/// parallel, fed by the parallel ingest front end (one parser thread per
+/// shard by default — see [`ShardOptions::readers`]). Emits the same
+/// plan sequence as [`run_monitor_serial`] on the same input, including
+/// the same `line N:` error on the same malformed line.
 pub fn run_monitor_sharded<R>(
     input: R,
     items: &[CatalogItem],
@@ -370,7 +382,7 @@ pub fn run_monitor_sharded<R>(
     shards: usize,
 ) -> std::io::Result<MonitorOutcome>
 where
-    R: BufRead,
+    R: BufRead + Send,
 {
     run_monitor_sharded_with(
         input,
@@ -385,9 +397,185 @@ where
 }
 
 /// [`run_monitor_sharded`] with explicit [`ShardOptions`] (supervision
-/// policy, per-shard transport queue depth).
+/// policy, per-shard transport queue depth, ingest front-end shape).
 #[allow(clippy::too_many_arguments)]
 pub fn run_monitor_sharded_with<R>(
+    input: R,
+    items: &[CatalogItem],
+    num_enclosures: u16,
+    storage: &StorageConfig,
+    policy: ProposedConfig,
+    break_even: Option<Micros>,
+    shards: usize,
+    options: ShardOptions,
+) -> std::io::Result<MonitorOutcome>
+where
+    R: BufRead + Send,
+{
+    let shards = if shards == 0 { threads() } else { shards };
+    if options.resolved_readers(shards) > 1 {
+        run_monitor_sharded_parallel(
+            input,
+            items,
+            num_enclosures,
+            storage,
+            policy,
+            break_even,
+            shards,
+            options,
+        )
+    } else {
+        run_monitor_sharded_legacy(
+            input,
+            items,
+            num_enclosures,
+            storage,
+            policy,
+            break_even,
+            shards,
+            options,
+        )
+    }
+}
+
+/// Cuts the period at `t_end` under the parallel front end: the workers
+/// drain and snapshot while the coordinator **parks** on the parser
+/// channel ([`ParallelScanner::stage_one`], [`CUT_PARK`] at a time, never
+/// a spin), staging completed chunks — bounded by [`STAGE_MAX`] records —
+/// into the reorder buffer. The recorded stall is begin plus finish wall
+/// time; the park loop is read-ahead, not stall, matching the legacy
+/// driver's accounting.
+fn parallel_cut(
+    scanner: &mut ParallelScanner<'_>,
+    controller: &mut ShardedController,
+    harness: &mut StreamHarness,
+    plans: &mut Vec<PlanEnvelope>,
+    rollover_micros: &mut Vec<u64>,
+    t_end: Micros,
+    reason: RolloverReason,
+) -> std::io::Result<()> {
+    let started = Instant::now();
+    harness.refresh_views();
+    controller.rollover_begin(
+        t_end,
+        reason,
+        harness.placement(),
+        harness.sequential(),
+        harness.views(),
+    )?;
+    let begin_stall = started.elapsed();
+    while !controller.rollover_ready() {
+        scanner.stage_one(CUT_PARK, STAGE_MAX);
+    }
+    let finishing = Instant::now();
+    let env = controller.rollover_finish()?;
+    if let Some((l, m)) = controller.take_ingest_error() {
+        return Err(invalid_data(format!("line {l}: {m}")));
+    }
+    harness.apply_plan(t_end, &env.plan);
+    harness.begin_period();
+    rollover_micros.push((begin_stall + finishing.elapsed()).as_micros() as u64);
+    plans.push(env);
+    Ok(())
+}
+
+/// The parallel-front-end monitor driver (DESIGN.md §13): parsing fans
+/// out over [`ShardOptions::resolved_readers`] threads, and this —
+/// coordinator — thread walks the re-sequenced records in exact file
+/// order through the same per-record flow as the serial driver (boundary
+/// rollovers, [`observe`](ShardedController::observe) routing into the
+/// shard rings, §V.D trigger sweep). Record order is what the plan
+/// sequence depends on, so plans are byte-identical to
+/// [`run_monitor_serial`] by construction; errors surface in stream
+/// order with the serial error text.
+#[allow(clippy::too_many_arguments)]
+fn run_monitor_sharded_parallel<R>(
+    input: R,
+    items: &[CatalogItem],
+    num_enclosures: u16,
+    storage: &StorageConfig,
+    policy: ProposedConfig,
+    break_even: Option<Micros>,
+    shards: usize,
+    options: ShardOptions,
+) -> std::io::Result<MonitorOutcome>
+where
+    R: BufRead + Send,
+{
+    let mut harness = StreamHarness::new(items, num_enclosures, storage);
+    let break_even = break_even.unwrap_or_else(|| harness.break_even());
+    let readers = options.resolved_readers(shards);
+    let chunk_bytes = options.chunk_bytes;
+    let mut controller = ShardedController::with_options(policy, break_even, shards, options);
+    std::thread::scope(|scope| {
+        let mut scanner = ParallelScanner::spawn(scope, input, readers, chunk_bytes);
+        let mut events = 0u64;
+        let mut plans = Vec::new();
+        let mut rollover_micros = Vec::new();
+        while let Some(chunk) = scanner.next_ordered()? {
+            for rec in &chunk.records {
+                while controller.needs_rollover(rec.ts) {
+                    let t_end = controller.boundary();
+                    parallel_cut(
+                        &mut scanner,
+                        &mut controller,
+                        &mut harness,
+                        &mut plans,
+                        &mut rollover_micros,
+                        t_end,
+                        RolloverReason::Boundary,
+                    )?;
+                }
+                controller.observe(rec);
+                events += 1;
+                // Same §V.D trigger (i) sweep as the serial driver; the
+                // cut's shard flush covers the just-routed record.
+                let enclosure = harness.placement().enclosure_of(rec.item);
+                if let Some(enclosure) = enclosure {
+                    if controller.observe_io_event(rec.ts, enclosure)
+                        && rec.ts > controller.period_start()
+                    {
+                        parallel_cut(
+                            &mut scanner,
+                            &mut controller,
+                            &mut harness,
+                            &mut plans,
+                            &mut rollover_micros,
+                            rec.ts,
+                            RolloverReason::Trigger,
+                        )?;
+                    }
+                }
+            }
+            if let Some(err) = chunk.error {
+                // In-band stream error, positioned after the chunk's good
+                // records — the serial reader would abort exactly here.
+                return Err(match err {
+                    crate::frontend::ChunkError::Parse { lineno, msg } => {
+                        fail(&mut controller, lineno, msg)
+                    }
+                    other => other.to_io_error(),
+                });
+            }
+        }
+        controller.sync()?;
+        if let Some((l, m)) = controller.take_ingest_error() {
+            return Err(invalid_data(format!("line {l}: {m}")));
+        }
+        Ok(MonitorOutcome {
+            events,
+            plans,
+            rollover_micros,
+        })
+    })
+}
+
+/// The legacy single-reader sharded driver ([`ShardOptions::readers`]
+/// `== 1`): the coordinator reads and `(ts, item)`-scans every line
+/// itself and routes raw bytes to the shard workers, which parse and
+/// fold.
+#[allow(clippy::too_many_arguments)]
+fn run_monitor_sharded_legacy<R>(
     input: R,
     items: &[CatalogItem],
     num_enclosures: u16,

@@ -295,6 +295,29 @@ pub struct ShardOptions {
     /// Batches in flight per shard ring (rounded up to a power of two);
     /// bounds coordinator run-ahead. Defaults to [`SHARD_QUEUE`].
     pub queue: usize,
+    /// Parser threads for the ingest front end of the sharded monitor
+    /// driver: `0` (default) resolves to one reader per shard; `1`
+    /// selects the legacy single-reader driver (line-at-a-time
+    /// `quick_scan` + raw-line routing on the coordinator).
+    pub readers: usize,
+    /// Chunk target in bytes for the parallel front end's newline-aligned
+    /// splitter; `0` (default) selects
+    /// [`DEFAULT_CHUNK_BYTES`](ees_iotrace::chunk::DEFAULT_CHUNK_BYTES).
+    /// Tiny values force chunk-boundary stitching — a test lever, not a
+    /// tuning knob.
+    pub chunk_bytes: usize,
+}
+
+impl ShardOptions {
+    /// The parser-thread count the monitor driver actually runs with:
+    /// `readers == 0` means one per shard.
+    pub fn resolved_readers(&self, shards: usize) -> usize {
+        if self.readers == 0 {
+            shards.max(1)
+        } else {
+            self.readers
+        }
+    }
 }
 
 impl Default for ShardOptions {
@@ -303,6 +326,8 @@ impl Default for ShardOptions {
             supervision: SupervisionPolicy::default(),
             panic_schedule: None,
             queue: SHARD_QUEUE,
+            readers: 0,
+            chunk_bytes: 0,
         }
     }
 }

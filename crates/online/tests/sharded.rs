@@ -15,12 +15,20 @@
 //!   `rollover_begin` → `rollover_ready` → `rollover_finish` epoch
 //!   machinery (including with a worker panicking while the cut is in
 //!   flight) still reproduces the serial plan sequence byte-for-byte.
+//! * Parallel-front-end tests: the chunked multi-reader ingest
+//!   ([`run_monitor_sharded_with`] with `readers > 1`) across the
+//!   readers × shards matrix at tiny chunk targets — arbitrary streams,
+//!   mid-period trigger cuts, inputs smaller than the parser pool,
+//!   error-line parity, and crash/restore from `ees.checkpoint.v1`
+//!   mid-ingest — all byte-identical to the serial driver.
 
 use ees_core::ProposedConfig;
 use ees_iotrace::{ndjson, DataItemId, EnclosureId, IoKind, LogicalIoRecord, Micros};
 use ees_online::{
-    run_monitor_serial, run_monitor_sharded, shard_of, silence_injected_panics, OnlineController,
-    PanicSchedule, PlanEnvelope, RolloverReason, ShardOptions, ShardedController,
+    read_checkpoint_file, run_monitor_serial, run_monitor_sharded, run_monitor_sharded_with,
+    shard_of, silence_injected_panics, spawn_reader_parallel, write_checkpoint_file,
+    ColocatedDaemon, OnlineController, OverflowPolicy, PanicSchedule, PlanEnvelope, RolloverReason,
+    ShardOptions, ShardedController,
 };
 use ees_policy::EnclosureView;
 use ees_replay::{CatalogItem, StreamHarness};
@@ -376,6 +384,47 @@ proptest! {
         }
     }
 
+    /// The parallel ingest front end across the full readers × shards
+    /// matrix, at arbitrary (tiny) chunk targets that force lines to be
+    /// stitched across chunk boundaries: every combination reproduces
+    /// the serial driver's plans byte for byte, with and without a
+    /// trailing newline on the final line.
+    #[test]
+    fn parallel_frontend_plans_equal_serial(
+        recs in arb_stream(),
+        chunk in 8usize..512,
+        trailing_newline in prop::bool::ANY,
+    ) {
+        let enclosures = 3u16;
+        let catalog = synthetic_catalog(8, enclosures);
+        let cfg = StorageConfig::ams2500(enclosures);
+        let policy = short_period_policy();
+        let mut text = Vec::new();
+        ndjson::write_events(recs.iter(), &mut text).unwrap();
+        let mut text = String::from_utf8(text).unwrap();
+        if !trailing_newline && text.ends_with('\n') {
+            text.pop();
+        }
+
+        let serial = run_monitor_serial(
+            Cursor::new(text.clone()), &catalog, enclosures, &cfg, policy, None, 256,
+        ).unwrap();
+        for readers in [1usize, 2, 4] {
+            for shards in [1usize, 4, 8] {
+                let options = ShardOptions { readers, chunk_bytes: chunk, ..ShardOptions::default() };
+                let sharded = run_monitor_sharded_with(
+                    Cursor::new(text.clone()), &catalog, enclosures, &cfg, policy, None,
+                    shards, options,
+                ).unwrap();
+                prop_assert_eq!(
+                    serial.events, sharded.events,
+                    "readers = {}, shards = {}", readers, shards
+                );
+                assert_same_plans(&serial.plans, &sharded.plans, shards);
+            }
+        }
+    }
+
     /// Arbitrary traces that *do* cut periods mid-way: a randomized
     /// hot-burst-then-silence shape guarantees a §V.D trigger fires, and
     /// every shard count must reproduce the cut at the same timestamp
@@ -578,5 +627,301 @@ fn worker_panic_during_in_flight_cut_keeps_plans_identical() {
             "every scheduled mid-cut panic must actually fire (shards = {shards})"
         );
         assert_same_plans(&single, &sharded, shards);
+    }
+}
+
+/// The parallel front end through mid-period §V.D trigger cuts, with a
+/// chunk target tiny enough that the cut lands while many chunks are
+/// still in flight across the parser pool: plans (including the
+/// ~112.5 s trigger cut) match the serial driver for the whole
+/// readers × shards matrix.
+#[test]
+fn parallel_frontend_matches_serial_through_trigger_cuts() {
+    let enclosures = 3u16;
+    let catalog = synthetic_catalog(6, enclosures);
+    let cfg = StorageConfig::ams2500(enclosures);
+    let policy = short_period_policy();
+    let recs = trigger_trace(100_000, &[]);
+    let mut text = Vec::new();
+    ndjson::write_events(recs.iter(), &mut text).unwrap();
+    let text = String::from_utf8(text).unwrap();
+
+    let serial = run_monitor_serial(
+        Cursor::new(text.clone()),
+        &catalog,
+        enclosures,
+        &cfg,
+        policy,
+        None,
+        256,
+    )
+    .unwrap();
+    let cuts = serial
+        .plans
+        .iter()
+        .filter(|e| e.reason == RolloverReason::Trigger)
+        .count();
+    assert!(cuts >= 1, "fixture must exercise §V.D trigger cuts");
+    for readers in [2usize, 4] {
+        for shards in [1usize, 4, 8] {
+            let options = ShardOptions {
+                readers,
+                chunk_bytes: 96,
+                ..ShardOptions::default()
+            };
+            let sharded = run_monitor_sharded_with(
+                Cursor::new(text.clone()),
+                &catalog,
+                enclosures,
+                &cfg,
+                policy,
+                None,
+                shards,
+                options,
+            )
+            .unwrap();
+            assert_eq!(serial.events, sharded.events, "readers = {readers}");
+            assert_same_plans(&serial.plans, &sharded.plans, shards);
+        }
+    }
+}
+
+/// Early-reader-EOF edges: inputs with fewer chunks than parser threads
+/// (empty, comment-only, a single record, an unterminated final line,
+/// CRLF endings). The idle readers must wind down cleanly and the event
+/// count and plans must match the serial driver exactly.
+#[test]
+fn parallel_frontend_handles_inputs_smaller_than_the_pool() {
+    let enclosures = 3u16;
+    let catalog = synthetic_catalog(6, enclosures);
+    let cfg = StorageConfig::ams2500(enclosures);
+    let policy = short_period_policy();
+    let one = "{\"ts\":5,\"item\":1,\"offset\":0,\"len\":4096,\"kind\":\"Read\"}";
+    let fixtures: Vec<String> = vec![
+        String::new(),
+        "# only a comment\n".into(),
+        "\n\n  \n".into(),
+        format!("{one}\n"),
+        one.to_string(),                         // no trailing newline
+        format!("# head\r\n{one}\r\n\r\n{one}"), // CRLF + unterminated
+    ];
+    for (i, text) in fixtures.iter().enumerate() {
+        let serial = run_monitor_serial(
+            Cursor::new(text.clone()),
+            &catalog,
+            enclosures,
+            &cfg,
+            policy,
+            None,
+            256,
+        )
+        .unwrap();
+        for readers in [2usize, 8] {
+            let options = ShardOptions {
+                readers,
+                chunk_bytes: 1 << 20,
+                ..ShardOptions::default()
+            };
+            let sharded = run_monitor_sharded_with(
+                Cursor::new(text.clone()),
+                &catalog,
+                enclosures,
+                &cfg,
+                policy,
+                None,
+                4,
+                options,
+            )
+            .unwrap();
+            assert_eq!(
+                serial.events, sharded.events,
+                "fixture #{i}, readers = {readers}"
+            );
+            assert_same_plans(&serial.plans, &sharded.plans, 4);
+        }
+    }
+}
+
+/// A malformed line under the parallel front end surfaces the serial
+/// reader's exact error — same line number, same message — regardless of
+/// reader count or where the chunk cuts land, and the good prefix is
+/// still folded.
+#[test]
+fn parallel_frontend_reports_the_serial_error_line() {
+    let enclosures = 3u16;
+    let catalog = synthetic_catalog(6, enclosures);
+    let cfg = StorageConfig::ams2500(enclosures);
+    let policy = short_period_policy();
+    let recs = trigger_trace(100_000, &[]);
+    let mut text = Vec::new();
+    ndjson::write_events(recs.iter(), &mut text).unwrap();
+    let mut text = String::from_utf8(text).unwrap();
+    text.push_str("{\"ts\":999000000,\"item\":1,\"offset\":0,\"len\":4096,\"kind\":\"Nope\"}\n");
+
+    let serial_err = run_monitor_serial(
+        Cursor::new(text.clone()),
+        &catalog,
+        enclosures,
+        &cfg,
+        policy,
+        None,
+        256,
+    )
+    .unwrap_err();
+    for (readers, chunk) in [(2usize, 64usize), (4, 1), (4, 4096)] {
+        let options = ShardOptions {
+            readers,
+            chunk_bytes: chunk,
+            ..ShardOptions::default()
+        };
+        let sharded_err = run_monitor_sharded_with(
+            Cursor::new(text.clone()),
+            &catalog,
+            enclosures,
+            &cfg,
+            policy,
+            None,
+            4,
+            options,
+        )
+        .unwrap_err();
+        assert_eq!(
+            serial_err.to_string(),
+            sharded_err.to_string(),
+            "readers = {readers}, chunk = {chunk}"
+        );
+    }
+}
+
+/// Drives a daemon over `text` through the parallel reader, crashing
+/// (dropping everything) after `crash_after` events and writing an
+/// `ees.checkpoint.v1` file mid-ingest; `crash_after == None` runs to
+/// EOF. Returns the plans emitted before the crash/end.
+#[allow(clippy::too_many_arguments)]
+fn run_daemon_parallel(
+    text: &str,
+    shards: usize,
+    readers: usize,
+    resume_from: Option<&std::path::Path>,
+    crash_after: Option<u64>,
+    checkpoint_out: Option<&std::path::Path>,
+    catalog: &[CatalogItem],
+    enclosures: u16,
+    cfg: &StorageConfig,
+    policy: ProposedConfig,
+) -> Vec<PlanEnvelope> {
+    let options = ShardOptions {
+        readers,
+        chunk_bytes: 64,
+        ..ShardOptions::default()
+    };
+    let mut resume_skip = 0u64;
+    let mut daemon = match resume_from {
+        Some(path) => {
+            let cp = read_checkpoint_file(path).expect("read checkpoint");
+            let d = ColocatedDaemon::resume_with_options(
+                catalog, enclosures, cfg, policy, shards, options, &cp,
+            )
+            .expect("resume");
+            resume_skip = d.events();
+            d
+        }
+        None => ColocatedDaemon::with_shard_options(
+            catalog, enclosures, cfg, policy, None, shards, options,
+        ),
+    };
+    let (rx, pool, _live, reader) = spawn_reader_parallel(
+        Cursor::new(text.to_string()),
+        16,
+        8,
+        OverflowPolicy::Block,
+        readers,
+        64,
+    );
+    let mut plans = Vec::new();
+    let mut skipped = 0u64;
+    let mut seen = 0u64;
+    'stream: for mut batch in rx {
+        for rec in batch.drain(..) {
+            if skipped < resume_skip {
+                skipped += 1;
+                continue;
+            }
+            if let Some(limit) = crash_after {
+                if seen >= limit {
+                    break 'stream; // simulated crash mid-ingest
+                }
+            }
+            seen += 1;
+            plans.extend(daemon.step(rec).expect("step"));
+        }
+        pool.recycle(batch);
+    }
+    if let Some(path) = checkpoint_out {
+        let cp = daemon.checkpoint().expect("checkpoint");
+        write_checkpoint_file(path, &cp).expect("write checkpoint");
+    }
+    if crash_after.is_none() {
+        reader.join().unwrap().expect("reader");
+    }
+    plans
+}
+
+/// Crash/restore mid-ingest under the parallel front end: a daemon dies
+/// partway through the stream (mid-period, with chunks still in flight
+/// across the parser pool), a fresh process resumes from its
+/// `ees.checkpoint.v1` file over a *new* parallel reader, and the
+/// combined plan sequence is byte-identical to an uninterrupted run —
+/// for the full readers × shards matrix.
+#[test]
+fn parallel_frontend_crash_restore_keeps_plans_identical() {
+    let enclosures = 3u16;
+    let catalog = synthetic_catalog(6, enclosures);
+    let cfg = StorageConfig::ams2500(enclosures);
+    let policy = short_period_policy();
+    let recs = trigger_trace(100_000, &[]);
+    let mut text = Vec::new();
+    ndjson::write_events(recs.iter(), &mut text).unwrap();
+    let text = String::from_utf8(text).unwrap();
+    let total = recs.len() as u64;
+
+    for (readers, shards) in [(2usize, 1usize), (2, 4), (4, 8)] {
+        let baseline = run_daemon_parallel(
+            &text, shards, readers, None, None, None, &catalog, enclosures, &cfg, policy,
+        );
+        let cp_path = std::env::temp_dir().join(format!(
+            "ees-sharded-crash-{}-{readers}x{shards}.ckpt",
+            std::process::id()
+        ));
+        // Crash mid-period: 40% of the stream is folded, the checkpoint
+        // is written, and everything else (staged chunks included) dies.
+        let before = run_daemon_parallel(
+            &text,
+            shards,
+            readers,
+            None,
+            Some(total * 2 / 5),
+            Some(&cp_path),
+            &catalog,
+            enclosures,
+            &cfg,
+            policy,
+        );
+        let after = run_daemon_parallel(
+            &text,
+            shards,
+            readers,
+            Some(&cp_path),
+            None,
+            None,
+            &catalog,
+            enclosures,
+            &cfg,
+            policy,
+        );
+        std::fs::remove_file(&cp_path).ok();
+        let mut combined = before;
+        combined.extend(after);
+        assert_same_plans(&baseline, &combined, shards);
     }
 }
