@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0ab22d96ba0c74a8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-0ab22d96ba0c74a8.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-13e76056868a2039.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-13e76056868a2039: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

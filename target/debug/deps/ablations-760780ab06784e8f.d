@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-760780ab06784e8f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-760780ab06784e8f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

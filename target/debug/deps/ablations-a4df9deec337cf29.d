@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a4df9deec337cf29.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-a4df9deec337cf29.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache-4ea011cf35b8f3ee.d: crates/bench/benches/cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache-4ea011cf35b8f3ee.rmeta: crates/bench/benches/cache.rs Cargo.toml
+
+crates/bench/benches/cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

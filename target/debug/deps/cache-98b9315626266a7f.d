@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-98b9315626266a7f.d: crates/bench/benches/cache.rs
+
+/root/repo/target/debug/deps/libcache-98b9315626266a7f.rmeta: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

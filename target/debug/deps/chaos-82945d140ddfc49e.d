@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-82945d140ddfc49e.d: crates/online/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-82945d140ddfc49e.rmeta: crates/online/tests/chaos.rs Cargo.toml
+
+crates/online/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-9d7b295a70f87ad2.d: crates/online/tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-9d7b295a70f87ad2.rmeta: crates/online/tests/chaos.rs
+
+crates/online/tests/chaos.rs:

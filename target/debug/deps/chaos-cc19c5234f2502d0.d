@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-cc19c5234f2502d0.d: crates/online/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-cc19c5234f2502d0: crates/online/tests/chaos.rs
+
+crates/online/tests/chaos.rs:

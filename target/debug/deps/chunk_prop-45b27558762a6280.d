@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chunk_prop-45b27558762a6280.d: crates/iotrace/tests/chunk_prop.rs
+
+/root/repo/target/debug/deps/chunk_prop-45b27558762a6280: crates/iotrace/tests/chunk_prop.rs
+
+crates/iotrace/tests/chunk_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chunk_prop-4fb95d82ebbd12e5.d: crates/iotrace/tests/chunk_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchunk_prop-4fb95d82ebbd12e5.rmeta: crates/iotrace/tests/chunk_prop.rs Cargo.toml
+
+crates/iotrace/tests/chunk_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

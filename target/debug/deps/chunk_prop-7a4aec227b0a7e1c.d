@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chunk_prop-7a4aec227b0a7e1c.d: crates/iotrace/tests/chunk_prop.rs
+
+/root/repo/target/debug/deps/libchunk_prop-7a4aec227b0a7e1c.rmeta: crates/iotrace/tests/chunk_prop.rs
+
+crates/iotrace/tests/chunk_prop.rs:

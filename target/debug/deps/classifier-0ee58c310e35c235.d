@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classifier-0ee58c310e35c235.d: crates/bench/benches/classifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassifier-0ee58c310e35c235.rmeta: crates/bench/benches/classifier.rs Cargo.toml
+
+crates/bench/benches/classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classifier-cf365582a8974605.d: crates/bench/benches/classifier.rs
+
+/root/repo/target/debug/deps/libclassifier-cf365582a8974605.rmeta: crates/bench/benches/classifier.rs
+
+crates/bench/benches/classifier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-5dc7c04bfcca1645.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5dc7c04bfcca1645.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

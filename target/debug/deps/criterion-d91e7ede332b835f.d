@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-d91e7ede332b835f.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d91e7ede332b835f.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d91e7ede332b835f.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

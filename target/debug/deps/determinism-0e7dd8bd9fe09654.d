@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0e7dd8bd9fe09654.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0e7dd8bd9fe09654: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

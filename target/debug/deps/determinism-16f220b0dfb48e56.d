@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-16f220b0dfb48e56.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-16f220b0dfb48e56.rmeta: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

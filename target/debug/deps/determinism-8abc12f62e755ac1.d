@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-8abc12f62e755ac1.d: crates/bench/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-8abc12f62e755ac1.rmeta: crates/bench/tests/determinism.rs Cargo.toml
+
+crates/bench/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ees-2a9ad76d7b3e3220.d: src/lib.rs
+
+/root/repo/target/debug/deps/ees-2a9ad76d7b3e3220: src/lib.rs
+
+src/lib.rs:

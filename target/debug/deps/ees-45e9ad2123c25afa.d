@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ees-45e9ad2123c25afa.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ees-45e9ad2123c25afa: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ees-5bd644edd8f4ef8e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libees-5bd644edd8f4ef8e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ees-7e04e78e6943e72a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libees-7e04e78e6943e72a.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ees-8cbbfb14cf0d9df6.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libees-8cbbfb14cf0d9df6.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

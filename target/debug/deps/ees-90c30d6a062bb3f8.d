@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ees-90c30d6a062bb3f8.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ees-90c30d6a062bb3f8: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

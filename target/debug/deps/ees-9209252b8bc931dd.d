@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ees-9209252b8bc931dd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees-9209252b8bc931dd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

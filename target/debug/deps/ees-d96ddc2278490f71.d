@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ees-d96ddc2278490f71.d: src/lib.rs
+
+/root/repo/target/debug/deps/libees-d96ddc2278490f71.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ees-da7d0fdb12a28f3e.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees-da7d0fdb12a28f3e.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

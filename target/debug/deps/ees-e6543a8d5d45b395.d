@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ees-e6543a8d5d45b395.d: src/lib.rs
+
+/root/repo/target/debug/deps/libees-e6543a8d5d45b395.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libees-e6543a8d5d45b395.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ees_baselines-048220495537a242.d: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+/root/repo/target/debug/deps/ees_baselines-048220495537a242: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ddr.rs:
+crates/baselines/src/pdc.rs:
+crates/baselines/src/timeout.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ees_baselines-245535e7c61245b1.d: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+/root/repo/target/debug/deps/libees_baselines-245535e7c61245b1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ddr.rs:
+crates/baselines/src/pdc.rs:
+crates/baselines/src/timeout.rs:

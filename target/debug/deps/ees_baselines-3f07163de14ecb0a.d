@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ees_baselines-3f07163de14ecb0a.d: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+/root/repo/target/debug/deps/libees_baselines-3f07163de14ecb0a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ddr.rs:
+crates/baselines/src/pdc.rs:
+crates/baselines/src/timeout.rs:

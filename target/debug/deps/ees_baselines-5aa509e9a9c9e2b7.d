@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ees_baselines-5aa509e9a9c9e2b7.d: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+/root/repo/target/debug/deps/libees_baselines-5aa509e9a9c9e2b7.rlib: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+/root/repo/target/debug/deps/libees_baselines-5aa509e9a9c9e2b7.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ddr.rs:
+crates/baselines/src/pdc.rs:
+crates/baselines/src/timeout.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ees_baselines-7b3a830121c3f628.d: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_baselines-7b3a830121c3f628.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ddr.rs:
+crates/baselines/src/pdc.rs:
+crates/baselines/src/timeout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

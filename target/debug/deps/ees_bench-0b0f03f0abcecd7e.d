@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ees_bench-0b0f03f0abcecd7e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/libees_bench-0b0f03f0abcecd7e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/reference.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ees_bench-199ac13f9ba0a66b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/ees_bench-199ac13f9ba0a66b: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/reference.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ees_bench-94d52ba5d44fdf27.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/libees_bench-94d52ba5d44fdf27.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/reference.rs:

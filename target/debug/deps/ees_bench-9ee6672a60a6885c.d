@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ees_bench-9ee6672a60a6885c.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/libees_bench-9ee6672a60a6885c.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/libees_bench-9ee6672a60a6885c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/reference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ees_cli-24401d876c7793ea.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+/root/repo/target/debug/deps/libees_cli-24401d876c7793ea.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+/root/repo/target/debug/deps/libees_cli-24401d876c7793ea.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/jsonout.rs:

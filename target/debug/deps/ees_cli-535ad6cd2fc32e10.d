@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ees_cli-535ad6cd2fc32e10.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+/root/repo/target/debug/deps/libees_cli-535ad6cd2fc32e10.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/jsonout.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ees_cli-5bc81bdb40a0ea51.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+/root/repo/target/debug/deps/ees_cli-5bc81bdb40a0ea51: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/jsonout.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ees_cli-5fb91bbf8bfc95ab.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+/root/repo/target/debug/deps/libees_cli-5fb91bbf8bfc95ab.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/jsonout.rs:

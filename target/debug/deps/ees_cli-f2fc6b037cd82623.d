@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ees_cli-f2fc6b037cd82623.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_cli-f2fc6b037cd82623.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/jsonout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ees_core-3ead499624d11cfb.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache_select.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/hotcold.rs crates/core/src/monitor.rs crates/core/src/pattern.rs crates/core/src/period.rs crates/core/src/placement.rs crates/core/src/planner.rs crates/core/src/policy.rs crates/core/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_core-3ead499624d11cfb.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache_select.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/hotcold.rs crates/core/src/monitor.rs crates/core/src/pattern.rs crates/core/src/period.rs crates/core/src/placement.rs crates/core/src/planner.rs crates/core/src/policy.rs crates/core/src/runtime.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cache_select.rs:
+crates/core/src/config.rs:
+crates/core/src/explain.rs:
+crates/core/src/hotcold.rs:
+crates/core/src/monitor.rs:
+crates/core/src/pattern.rs:
+crates/core/src/period.rs:
+crates/core/src/placement.rs:
+crates/core/src/planner.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

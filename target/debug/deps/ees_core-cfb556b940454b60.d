@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ees_core-cfb556b940454b60.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache_select.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/hotcold.rs crates/core/src/monitor.rs crates/core/src/pattern.rs crates/core/src/period.rs crates/core/src/placement.rs crates/core/src/planner.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/libees_core-cfb556b940454b60.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache_select.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/hotcold.rs crates/core/src/monitor.rs crates/core/src/pattern.rs crates/core/src/period.rs crates/core/src/placement.rs crates/core/src/planner.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cache_select.rs:
+crates/core/src/config.rs:
+crates/core/src/explain.rs:
+crates/core/src/hotcold.rs:
+crates/core/src/monitor.rs:
+crates/core/src/pattern.rs:
+crates/core/src/period.rs:
+crates/core/src/placement.rs:
+crates/core/src/planner.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

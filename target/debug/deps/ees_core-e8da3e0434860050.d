@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ees_core-e8da3e0434860050.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache_select.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/hotcold.rs crates/core/src/monitor.rs crates/core/src/pattern.rs crates/core/src/period.rs crates/core/src/placement.rs crates/core/src/planner.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/libees_core-e8da3e0434860050.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache_select.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/hotcold.rs crates/core/src/monitor.rs crates/core/src/pattern.rs crates/core/src/period.rs crates/core/src/placement.rs crates/core/src/planner.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/libees_core-e8da3e0434860050.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache_select.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/hotcold.rs crates/core/src/monitor.rs crates/core/src/pattern.rs crates/core/src/period.rs crates/core/src/placement.rs crates/core/src/planner.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cache_select.rs:
+crates/core/src/config.rs:
+crates/core/src/explain.rs:
+crates/core/src/hotcold.rs:
+crates/core/src/monitor.rs:
+crates/core/src/pattern.rs:
+crates/core/src/period.rs:
+crates/core/src/placement.rs:
+crates/core/src/planner.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ees_iotrace-245aaf4b8a4e6a3a.d: crates/iotrace/src/lib.rs crates/iotrace/src/chunk.rs crates/iotrace/src/histogram.rs crates/iotrace/src/io.rs crates/iotrace/src/ndjson.rs crates/iotrace/src/parallel.rs crates/iotrace/src/record.rs crates/iotrace/src/slice.rs crates/iotrace/src/stats.rs crates/iotrace/src/types.rs
+
+/root/repo/target/debug/deps/ees_iotrace-245aaf4b8a4e6a3a: crates/iotrace/src/lib.rs crates/iotrace/src/chunk.rs crates/iotrace/src/histogram.rs crates/iotrace/src/io.rs crates/iotrace/src/ndjson.rs crates/iotrace/src/parallel.rs crates/iotrace/src/record.rs crates/iotrace/src/slice.rs crates/iotrace/src/stats.rs crates/iotrace/src/types.rs
+
+crates/iotrace/src/lib.rs:
+crates/iotrace/src/chunk.rs:
+crates/iotrace/src/histogram.rs:
+crates/iotrace/src/io.rs:
+crates/iotrace/src/ndjson.rs:
+crates/iotrace/src/parallel.rs:
+crates/iotrace/src/record.rs:
+crates/iotrace/src/slice.rs:
+crates/iotrace/src/stats.rs:
+crates/iotrace/src/types.rs:

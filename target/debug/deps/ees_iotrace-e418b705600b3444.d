@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ees_iotrace-e418b705600b3444.d: crates/iotrace/src/lib.rs crates/iotrace/src/chunk.rs crates/iotrace/src/histogram.rs crates/iotrace/src/io.rs crates/iotrace/src/ndjson.rs crates/iotrace/src/parallel.rs crates/iotrace/src/record.rs crates/iotrace/src/slice.rs crates/iotrace/src/stats.rs crates/iotrace/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_iotrace-e418b705600b3444.rmeta: crates/iotrace/src/lib.rs crates/iotrace/src/chunk.rs crates/iotrace/src/histogram.rs crates/iotrace/src/io.rs crates/iotrace/src/ndjson.rs crates/iotrace/src/parallel.rs crates/iotrace/src/record.rs crates/iotrace/src/slice.rs crates/iotrace/src/stats.rs crates/iotrace/src/types.rs Cargo.toml
+
+crates/iotrace/src/lib.rs:
+crates/iotrace/src/chunk.rs:
+crates/iotrace/src/histogram.rs:
+crates/iotrace/src/io.rs:
+crates/iotrace/src/ndjson.rs:
+crates/iotrace/src/parallel.rs:
+crates/iotrace/src/record.rs:
+crates/iotrace/src/slice.rs:
+crates/iotrace/src/stats.rs:
+crates/iotrace/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

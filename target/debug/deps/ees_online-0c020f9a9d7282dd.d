@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ees_online-0c020f9a9d7282dd.d: crates/online/src/lib.rs crates/online/src/chaos.rs crates/online/src/checkpoint.rs crates/online/src/classify.rs crates/online/src/controller.rs crates/online/src/daemon.rs crates/online/src/error.rs crates/online/src/fault.rs crates/online/src/frontend.rs crates/online/src/ingest.rs crates/online/src/pipeline.rs crates/online/src/ring.rs crates/online/src/shard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_online-0c020f9a9d7282dd.rmeta: crates/online/src/lib.rs crates/online/src/chaos.rs crates/online/src/checkpoint.rs crates/online/src/classify.rs crates/online/src/controller.rs crates/online/src/daemon.rs crates/online/src/error.rs crates/online/src/fault.rs crates/online/src/frontend.rs crates/online/src/ingest.rs crates/online/src/pipeline.rs crates/online/src/ring.rs crates/online/src/shard.rs Cargo.toml
+
+crates/online/src/lib.rs:
+crates/online/src/chaos.rs:
+crates/online/src/checkpoint.rs:
+crates/online/src/classify.rs:
+crates/online/src/controller.rs:
+crates/online/src/daemon.rs:
+crates/online/src/error.rs:
+crates/online/src/fault.rs:
+crates/online/src/frontend.rs:
+crates/online/src/ingest.rs:
+crates/online/src/pipeline.rs:
+crates/online/src/ring.rs:
+crates/online/src/shard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

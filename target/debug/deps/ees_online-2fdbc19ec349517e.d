@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ees_online-2fdbc19ec349517e.d: crates/online/src/lib.rs crates/online/src/chaos.rs crates/online/src/checkpoint.rs crates/online/src/frontend.rs crates/online/src/classify.rs crates/online/src/controller.rs crates/online/src/daemon.rs crates/online/src/error.rs crates/online/src/fault.rs crates/online/src/ingest.rs crates/online/src/pipeline.rs crates/online/src/ring.rs crates/online/src/shard.rs
+
+/root/repo/target/debug/deps/libees_online-2fdbc19ec349517e.rmeta: crates/online/src/lib.rs crates/online/src/chaos.rs crates/online/src/checkpoint.rs crates/online/src/frontend.rs crates/online/src/classify.rs crates/online/src/controller.rs crates/online/src/daemon.rs crates/online/src/error.rs crates/online/src/fault.rs crates/online/src/ingest.rs crates/online/src/pipeline.rs crates/online/src/ring.rs crates/online/src/shard.rs
+
+crates/online/src/lib.rs:
+crates/online/src/chaos.rs:
+crates/online/src/checkpoint.rs:
+crates/online/src/frontend.rs:
+crates/online/src/classify.rs:
+crates/online/src/controller.rs:
+crates/online/src/daemon.rs:
+crates/online/src/error.rs:
+crates/online/src/fault.rs:
+crates/online/src/ingest.rs:
+crates/online/src/pipeline.rs:
+crates/online/src/ring.rs:
+crates/online/src/shard.rs:

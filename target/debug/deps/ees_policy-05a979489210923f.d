@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ees_policy-05a979489210923f.d: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+/root/repo/target/debug/deps/libees_policy-05a979489210923f.rmeta: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/plan.rs:
+crates/policy/src/snapshot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ees_policy-f36181021c872d57.d: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_policy-f36181021c872d57.rmeta: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs Cargo.toml
+
+crates/policy/src/lib.rs:
+crates/policy/src/plan.rs:
+crates/policy/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

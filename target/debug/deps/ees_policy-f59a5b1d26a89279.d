@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ees_policy-f59a5b1d26a89279.d: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+/root/repo/target/debug/deps/ees_policy-f59a5b1d26a89279: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/plan.rs:
+crates/policy/src/snapshot.rs:

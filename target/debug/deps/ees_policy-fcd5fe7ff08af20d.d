@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ees_policy-fcd5fe7ff08af20d.d: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+/root/repo/target/debug/deps/libees_policy-fcd5fe7ff08af20d.rlib: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+/root/repo/target/debug/deps/libees_policy-fcd5fe7ff08af20d.rmeta: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/plan.rs:
+crates/policy/src/snapshot.rs:

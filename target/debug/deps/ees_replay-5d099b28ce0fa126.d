@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ees_replay-5d099b28ce0fa126.d: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_replay-5d099b28ce0fa126.rmeta: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs Cargo.toml
+
+crates/replay/src/lib.rs:
+crates/replay/src/appmetrics.rs:
+crates/replay/src/engine.rs:
+crates/replay/src/metrics.rs:
+crates/replay/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ees_replay-c1b528de519af5b2.d: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs
+
+/root/repo/target/debug/deps/libees_replay-c1b528de519af5b2.rlib: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs
+
+/root/repo/target/debug/deps/libees_replay-c1b528de519af5b2.rmeta: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/appmetrics.rs:
+crates/replay/src/engine.rs:
+crates/replay/src/metrics.rs:
+crates/replay/src/stream.rs:

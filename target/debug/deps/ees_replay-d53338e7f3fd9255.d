@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ees_replay-d53338e7f3fd9255.d: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_replay-d53338e7f3fd9255.rmeta: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs Cargo.toml
+
+crates/replay/src/lib.rs:
+crates/replay/src/appmetrics.rs:
+crates/replay/src/engine.rs:
+crates/replay/src/metrics.rs:
+crates/replay/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ees_replay-f74f1706bbbefdc4.d: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs
+
+/root/repo/target/debug/deps/libees_replay-f74f1706bbbefdc4.rmeta: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/appmetrics.rs:
+crates/replay/src/engine.rs:
+crates/replay/src/metrics.rs:
+crates/replay/src/stream.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ees_simstorage-2b09217545760138.d: crates/simstorage/src/lib.rs crates/simstorage/src/cache.rs crates/simstorage/src/config.rs crates/simstorage/src/controller.rs crates/simstorage/src/enclosure.rs crates/simstorage/src/hdd.rs crates/simstorage/src/power.rs crates/simstorage/src/raid.rs crates/simstorage/src/vmap.rs
+
+/root/repo/target/debug/deps/libees_simstorage-2b09217545760138.rmeta: crates/simstorage/src/lib.rs crates/simstorage/src/cache.rs crates/simstorage/src/config.rs crates/simstorage/src/controller.rs crates/simstorage/src/enclosure.rs crates/simstorage/src/hdd.rs crates/simstorage/src/power.rs crates/simstorage/src/raid.rs crates/simstorage/src/vmap.rs
+
+crates/simstorage/src/lib.rs:
+crates/simstorage/src/cache.rs:
+crates/simstorage/src/config.rs:
+crates/simstorage/src/controller.rs:
+crates/simstorage/src/enclosure.rs:
+crates/simstorage/src/hdd.rs:
+crates/simstorage/src/power.rs:
+crates/simstorage/src/raid.rs:
+crates/simstorage/src/vmap.rs:

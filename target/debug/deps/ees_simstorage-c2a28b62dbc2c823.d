@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ees_simstorage-c2a28b62dbc2c823.d: crates/simstorage/src/lib.rs crates/simstorage/src/cache.rs crates/simstorage/src/config.rs crates/simstorage/src/controller.rs crates/simstorage/src/enclosure.rs crates/simstorage/src/hdd.rs crates/simstorage/src/power.rs crates/simstorage/src/raid.rs crates/simstorage/src/vmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_simstorage-c2a28b62dbc2c823.rmeta: crates/simstorage/src/lib.rs crates/simstorage/src/cache.rs crates/simstorage/src/config.rs crates/simstorage/src/controller.rs crates/simstorage/src/enclosure.rs crates/simstorage/src/hdd.rs crates/simstorage/src/power.rs crates/simstorage/src/raid.rs crates/simstorage/src/vmap.rs Cargo.toml
+
+crates/simstorage/src/lib.rs:
+crates/simstorage/src/cache.rs:
+crates/simstorage/src/config.rs:
+crates/simstorage/src/controller.rs:
+crates/simstorage/src/enclosure.rs:
+crates/simstorage/src/hdd.rs:
+crates/simstorage/src/power.rs:
+crates/simstorage/src/raid.rs:
+crates/simstorage/src/vmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ees_workloads-2c8a79e84df95613.d: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libees_workloads-2c8a79e84df95613.rlib: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libees_workloads-2c8a79e84df95613.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dss.rs:
+crates/workloads/src/fileserver.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/msr.rs:
+crates/workloads/src/nurand.rs:
+crates/workloads/src/oltp.rs:
+crates/workloads/src/spec.rs:

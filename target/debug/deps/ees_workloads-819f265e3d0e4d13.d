@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ees_workloads-819f265e3d0e4d13.d: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libees_workloads-819f265e3d0e4d13.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dss.rs:
+crates/workloads/src/fileserver.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/msr.rs:
+crates/workloads/src/nurand.rs:
+crates/workloads/src/oltp.rs:
+crates/workloads/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

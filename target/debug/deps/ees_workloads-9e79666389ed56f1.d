@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ees_workloads-9e79666389ed56f1.d: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/ees_workloads-9e79666389ed56f1: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dss.rs:
+crates/workloads/src/fileserver.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/msr.rs:
+crates/workloads/src/nurand.rs:
+crates/workloads/src/oltp.rs:
+crates/workloads/src/spec.rs:

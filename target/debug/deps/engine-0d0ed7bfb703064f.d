@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-0d0ed7bfb703064f.d: crates/replay/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-0d0ed7bfb703064f.rmeta: crates/replay/tests/engine.rs Cargo.toml
+
+crates/replay/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-363bb6f7b58aa151.d: crates/replay/tests/engine.rs
+
+/root/repo/target/debug/deps/libengine-363bb6f7b58aa151.rmeta: crates/replay/tests/engine.rs
+
+crates/replay/tests/engine.rs:

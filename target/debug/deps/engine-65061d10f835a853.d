@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-65061d10f835a853.d: crates/replay/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-65061d10f835a853: crates/replay/tests/engine.rs
+
+crates/replay/tests/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-0bf29a346eb93ea9.d: crates/online/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-0bf29a346eb93ea9: crates/online/tests/equivalence.rs
+
+crates/online/tests/equivalence.rs:

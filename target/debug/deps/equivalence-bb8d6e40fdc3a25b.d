@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-bb8d6e40fdc3a25b.d: crates/online/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-bb8d6e40fdc3a25b.rmeta: crates/online/tests/equivalence.rs Cargo.toml
+
+crates/online/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-c401afa23ee7a831.d: crates/online/tests/equivalence.rs
+
+/root/repo/target/debug/deps/libequivalence-c401afa23ee7a831.rmeta: crates/online/tests/equivalence.rs
+
+crates/online/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-723b30d4877295f2.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-723b30d4877295f2: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-c29cfead2768efc2.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-c29cfead2768efc2.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

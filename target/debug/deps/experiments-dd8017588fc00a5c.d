@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-dd8017588fc00a5c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-dd8017588fc00a5c.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

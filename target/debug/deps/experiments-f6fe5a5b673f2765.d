@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-f6fe5a5b673f2765.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-f6fe5a5b673f2765: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

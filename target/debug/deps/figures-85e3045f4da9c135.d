@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-85e3045f4da9c135.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-85e3045f4da9c135.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generators-b244636f726084bb.d: crates/bench/benches/generators.rs
+
+/root/repo/target/debug/deps/libgenerators-b244636f726084bb.rmeta: crates/bench/benches/generators.rs
+
+crates/bench/benches/generators.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_report-4df4624c2d960ccd.d: crates/cli/tests/golden_report.rs crates/cli/tests/fixtures/report_replay_v1.json crates/cli/tests/fixtures/report_online_v1.json
+
+/root/repo/target/debug/deps/golden_report-4df4624c2d960ccd: crates/cli/tests/golden_report.rs crates/cli/tests/fixtures/report_replay_v1.json crates/cli/tests/fixtures/report_online_v1.json
+
+crates/cli/tests/golden_report.rs:
+crates/cli/tests/fixtures/report_replay_v1.json:
+crates/cli/tests/fixtures/report_online_v1.json:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/golden_report-e26fb7428887f62e.d: crates/cli/tests/golden_report.rs crates/cli/tests/fixtures/report_replay_v1.json crates/cli/tests/fixtures/report_online_v1.json Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_report-e26fb7428887f62e.rmeta: crates/cli/tests/golden_report.rs crates/cli/tests/fixtures/report_replay_v1.json crates/cli/tests/fixtures/report_online_v1.json Cargo.toml
+
+crates/cli/tests/golden_report.rs:
+crates/cli/tests/fixtures/report_replay_v1.json:
+crates/cli/tests/fixtures/report_online_v1.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

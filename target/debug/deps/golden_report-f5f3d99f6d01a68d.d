@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_report-f5f3d99f6d01a68d.d: crates/cli/tests/golden_report.rs crates/cli/tests/fixtures/report_replay_v1.json crates/cli/tests/fixtures/report_online_v1.json
+
+/root/repo/target/debug/deps/libgolden_report-f5f3d99f6d01a68d.rmeta: crates/cli/tests/golden_report.rs crates/cli/tests/fixtures/report_replay_v1.json crates/cli/tests/fixtures/report_online_v1.json
+
+crates/cli/tests/golden_report.rs:
+crates/cli/tests/fixtures/report_replay_v1.json:
+crates/cli/tests/fixtures/report_online_v1.json:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/intervals-6454692f04d6bca0.d: crates/bench/benches/intervals.rs
+
+/root/repo/target/debug/deps/libintervals-6454692f04d6bca0.rmeta: crates/bench/benches/intervals.rs
+
+crates/bench/benches/intervals.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/intervals-72b4a82e6cf93d17.d: crates/bench/benches/intervals.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintervals-72b4a82e6cf93d17.rmeta: crates/bench/benches/intervals.rs Cargo.toml
+
+crates/bench/benches/intervals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

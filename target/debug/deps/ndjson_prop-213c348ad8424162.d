@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ndjson_prop-213c348ad8424162.d: crates/iotrace/tests/ndjson_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libndjson_prop-213c348ad8424162.rmeta: crates/iotrace/tests/ndjson_prop.rs Cargo.toml
+
+crates/iotrace/tests/ndjson_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

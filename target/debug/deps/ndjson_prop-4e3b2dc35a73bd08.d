@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ndjson_prop-4e3b2dc35a73bd08.d: crates/iotrace/tests/ndjson_prop.rs
+
+/root/repo/target/debug/deps/ndjson_prop-4e3b2dc35a73bd08: crates/iotrace/tests/ndjson_prop.rs
+
+crates/iotrace/tests/ndjson_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ndjson_prop-ac327f4536a781fc.d: crates/iotrace/tests/ndjson_prop.rs
+
+/root/repo/target/debug/deps/libndjson_prop-ac327f4536a781fc.rmeta: crates/iotrace/tests/ndjson_prop.rs
+
+crates/iotrace/tests/ndjson_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online-4f85ce13dd18d563.d: crates/bench/benches/online.rs
+
+/root/repo/target/debug/deps/libonline-4f85ce13dd18d563.rmeta: crates/bench/benches/online.rs
+
+crates/bench/benches/online.rs:

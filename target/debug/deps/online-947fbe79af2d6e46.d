@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online-947fbe79af2d6e46.d: crates/bench/benches/online.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline-947fbe79af2d6e46.rmeta: crates/bench/benches/online.rs Cargo.toml
+
+crates/bench/benches/online.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

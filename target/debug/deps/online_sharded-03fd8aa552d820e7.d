@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online_sharded-03fd8aa552d820e7.d: crates/bench/benches/online_sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline_sharded-03fd8aa552d820e7.rmeta: crates/bench/benches/online_sharded.rs Cargo.toml
+
+crates/bench/benches/online_sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_sharded-b7cf1e9305c58e70.d: crates/bench/benches/online_sharded.rs
+
+/root/repo/target/debug/deps/libonline_sharded-b7cf1e9305c58e70.rmeta: crates/bench/benches/online_sharded.rs
+
+crates/bench/benches/online_sharded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_smoke-0792e8c5c5b59f27.d: crates/bench/src/bin/online_smoke.rs
+
+/root/repo/target/debug/deps/libonline_smoke-0792e8c5c5b59f27.rmeta: crates/bench/src/bin/online_smoke.rs
+
+crates/bench/src/bin/online_smoke.rs:

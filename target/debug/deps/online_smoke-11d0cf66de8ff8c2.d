@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online_smoke-11d0cf66de8ff8c2.d: crates/bench/src/bin/online_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline_smoke-11d0cf66de8ff8c2.rmeta: crates/bench/src/bin/online_smoke.rs Cargo.toml
+
+crates/bench/src/bin/online_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_smoke-a69ccab3e0ded918.d: crates/bench/src/bin/online_smoke.rs
+
+/root/repo/target/debug/deps/online_smoke-a69ccab3e0ded918: crates/bench/src/bin/online_smoke.rs
+
+crates/bench/src/bin/online_smoke.rs:

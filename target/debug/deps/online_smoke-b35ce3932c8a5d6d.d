@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online_smoke-b35ce3932c8a5d6d.d: crates/bench/src/bin/online_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline_smoke-b35ce3932c8a5d6d.rmeta: crates/bench/src/bin/online_smoke.rs Cargo.toml
+
+crates/bench/src/bin/online_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_smoke-cd362cc16f761deb.d: crates/bench/src/bin/online_smoke.rs
+
+/root/repo/target/debug/deps/libonline_smoke-cd362cc16f761deb.rmeta: crates/bench/src/bin/online_smoke.rs
+
+crates/bench/src/bin/online_smoke.rs:

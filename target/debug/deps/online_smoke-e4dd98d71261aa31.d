@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_smoke-e4dd98d71261aa31.d: crates/bench/src/bin/online_smoke.rs
+
+/root/repo/target/debug/deps/online_smoke-e4dd98d71261aa31: crates/bench/src/bin/online_smoke.rs
+
+crates/bench/src/bin/online_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-7eb735f86b98a287.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/libpaper_shapes-7eb735f86b98a287.rmeta: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-90415810d029636b.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-90415810d029636b: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement-2dc1399ccc61d372.d: crates/bench/benches/placement.rs
+
+/root/repo/target/debug/deps/libplacement-2dc1399ccc61d372.rmeta: crates/bench/benches/placement.rs
+
+crates/bench/benches/placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement-30d9269469a4670c.d: crates/bench/benches/placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement-30d9269469a4670c.rmeta: crates/bench/benches/placement.rs Cargo.toml
+
+crates/bench/benches/placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_execution-a1dcf66da2043485.d: crates/replay/tests/plan_execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_execution-a1dcf66da2043485.rmeta: crates/replay/tests/plan_execution.rs Cargo.toml
+
+crates/replay/tests/plan_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_execution-a8325d8cb049ebe4.d: crates/replay/tests/plan_execution.rs
+
+/root/repo/target/debug/deps/libplan_execution-a8325d8cb049ebe4.rmeta: crates/replay/tests/plan_execution.rs
+
+crates/replay/tests/plan_execution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_execution-dda5e4f0216d800d.d: crates/replay/tests/plan_execution.rs
+
+/root/repo/target/debug/deps/plan_execution-dda5e4f0216d800d: crates/replay/tests/plan_execution.rs
+
+crates/replay/tests/plan_execution.rs:

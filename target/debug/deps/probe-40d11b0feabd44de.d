@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-40d11b0feabd44de.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-40d11b0feabd44de: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-88005cdfa2e2f48b.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/libprobe-88005cdfa2e2f48b.rmeta: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

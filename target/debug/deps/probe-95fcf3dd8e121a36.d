@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-95fcf3dd8e121a36.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/libprobe-95fcf3dd8e121a36.rmeta: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

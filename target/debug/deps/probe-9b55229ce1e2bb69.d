@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-9b55229ce1e2bb69.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-9b55229ce1e2bb69: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

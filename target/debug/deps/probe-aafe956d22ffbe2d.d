@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe-aafe956d22ffbe2d.d: crates/bench/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-aafe956d22ffbe2d.rmeta: crates/bench/src/bin/probe.rs Cargo.toml
+
+crates/bench/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe-f185974156dd576c.d: crates/bench/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-f185974156dd576c.rmeta: crates/bench/src/bin/probe.rs Cargo.toml
+
+crates/bench/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-0469c0d9c3891061.d: crates/replay/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-0469c0d9c3891061.rmeta: crates/replay/tests/prop.rs Cargo.toml
+
+crates/replay/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-18a652a88243f765.d: crates/replay/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-18a652a88243f765.rmeta: crates/replay/tests/prop.rs
+
+crates/replay/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-22adf5688aca2631.d: crates/iotrace/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-22adf5688aca2631: crates/iotrace/tests/prop.rs
+
+crates/iotrace/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-384f4e7a1a007713.d: crates/replay/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-384f4e7a1a007713: crates/replay/tests/prop.rs
+
+crates/replay/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-3c6deae918c81e30.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-3c6deae918c81e30.rmeta: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

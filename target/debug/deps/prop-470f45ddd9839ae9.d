@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-470f45ddd9839ae9.d: crates/iotrace/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-470f45ddd9839ae9.rmeta: crates/iotrace/tests/prop.rs
+
+crates/iotrace/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-61b31360e26e6a92.d: crates/core/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-61b31360e26e6a92.rmeta: crates/core/tests/prop.rs Cargo.toml
+
+crates/core/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

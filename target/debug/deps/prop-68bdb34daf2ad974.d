@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-68bdb34daf2ad974.d: crates/simstorage/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-68bdb34daf2ad974: crates/simstorage/tests/prop.rs
+
+crates/simstorage/tests/prop.rs:

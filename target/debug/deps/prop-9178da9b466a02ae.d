@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-9178da9b466a02ae.d: crates/workloads/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-9178da9b466a02ae.rmeta: crates/workloads/tests/prop.rs
+
+crates/workloads/tests/prop.rs:

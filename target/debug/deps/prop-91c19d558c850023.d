@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-91c19d558c850023.d: crates/simstorage/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-91c19d558c850023.rmeta: crates/simstorage/tests/prop.rs
+
+crates/simstorage/tests/prop.rs:

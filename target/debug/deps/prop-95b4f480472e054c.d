@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-95b4f480472e054c.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-95b4f480472e054c: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-cab72ecde34710b7.d: crates/workloads/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-cab72ecde34710b7.rmeta: crates/workloads/tests/prop.rs Cargo.toml
+
+crates/workloads/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

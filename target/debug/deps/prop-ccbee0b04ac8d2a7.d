@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-ccbee0b04ac8d2a7.d: crates/simstorage/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-ccbee0b04ac8d2a7.rmeta: crates/simstorage/tests/prop.rs Cargo.toml
+
+crates/simstorage/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-ec141ebcb491214c.d: crates/workloads/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-ec141ebcb491214c: crates/workloads/tests/prop.rs
+
+crates/workloads/tests/prop.rs:

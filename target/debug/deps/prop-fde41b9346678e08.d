@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-fde41b9346678e08.d: crates/iotrace/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-fde41b9346678e08.rmeta: crates/iotrace/tests/prop.rs Cargo.toml
+
+crates/iotrace/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-b403761788878b75.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b403761788878b75.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b403761788878b75.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

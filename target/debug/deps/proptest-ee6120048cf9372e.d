@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ee6120048cf9372e.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ee6120048cf9372e.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

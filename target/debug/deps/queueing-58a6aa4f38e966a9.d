@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queueing-58a6aa4f38e966a9.d: crates/simstorage/tests/queueing.rs
+
+/root/repo/target/debug/deps/libqueueing-58a6aa4f38e966a9.rmeta: crates/simstorage/tests/queueing.rs
+
+crates/simstorage/tests/queueing.rs:

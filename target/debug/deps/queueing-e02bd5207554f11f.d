@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queueing-e02bd5207554f11f.d: crates/simstorage/tests/queueing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueueing-e02bd5207554f11f.rmeta: crates/simstorage/tests/queueing.rs Cargo.toml
+
+crates/simstorage/tests/queueing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

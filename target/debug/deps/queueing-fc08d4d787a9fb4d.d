@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queueing-fc08d4d787a9fb4d.d: crates/simstorage/tests/queueing.rs
+
+/root/repo/target/debug/deps/queueing-fc08d4d787a9fb4d: crates/simstorage/tests/queueing.rs
+
+crates/simstorage/tests/queueing.rs:

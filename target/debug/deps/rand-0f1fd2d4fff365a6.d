@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-0f1fd2d4fff365a6.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0f1fd2d4fff365a6.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0f1fd2d4fff365a6.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

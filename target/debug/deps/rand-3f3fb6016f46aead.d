@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-3f3fb6016f46aead.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3f3fb6016f46aead.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_engine-d713f692781ed1bc.d: crates/bench/benches/replay_engine.rs
+
+/root/repo/target/debug/deps/libreplay_engine-d713f692781ed1bc.rmeta: crates/bench/benches/replay_engine.rs
+
+crates/bench/benches/replay_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_engine-d8372ded928c7e2d.d: crates/bench/benches/replay_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_engine-d8372ded928c7e2d.rmeta: crates/bench/benches/replay_engine.rs Cargo.toml
+
+crates/bench/benches/replay_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reporting-20717d884e62c9a0.d: crates/replay/tests/reporting.rs
+
+/root/repo/target/debug/deps/reporting-20717d884e62c9a0: crates/replay/tests/reporting.rs
+
+crates/replay/tests/reporting.rs:

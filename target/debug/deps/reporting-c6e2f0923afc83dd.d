@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reporting-c6e2f0923afc83dd.d: crates/replay/tests/reporting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreporting-c6e2f0923afc83dd.rmeta: crates/replay/tests/reporting.rs Cargo.toml
+
+crates/replay/tests/reporting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reporting-ef67f384c3975cd1.d: crates/replay/tests/reporting.rs
+
+/root/repo/target/debug/deps/libreporting-ef67f384c3975cd1.rmeta: crates/replay/tests/reporting.rs
+
+crates/replay/tests/reporting.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-76a2c63ad20f3e22.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-76a2c63ad20f3e22.rlib: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-76a2c63ad20f3e22.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

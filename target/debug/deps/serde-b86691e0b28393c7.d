@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b86691e0b28393c7.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b86691e0b28393c7.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ca788a72dfaad842.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ca788a72dfaad842.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

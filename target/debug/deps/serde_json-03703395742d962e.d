@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-03703395742d962e.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-03703395742d962e.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-03703395742d962e.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-13e5f7893656d099.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-13e5f7893656d099.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

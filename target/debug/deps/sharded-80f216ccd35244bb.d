@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded-80f216ccd35244bb.d: crates/online/tests/sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded-80f216ccd35244bb.rmeta: crates/online/tests/sharded.rs Cargo.toml
+
+crates/online/tests/sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded-c61c64708f61c4c8.d: crates/online/tests/sharded.rs
+
+/root/repo/target/debug/deps/libsharded-c61c64708f61c4c8.rmeta: crates/online/tests/sharded.rs
+
+crates/online/tests/sharded.rs:

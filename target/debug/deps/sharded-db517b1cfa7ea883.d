@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded-db517b1cfa7ea883.d: crates/online/tests/sharded.rs
+
+/root/repo/target/debug/deps/sharded-db517b1cfa7ea883: crates/online/tests/sharded.rs
+
+crates/online/tests/sharded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-5dc2c6f088ea5004.d: crates/replay/tests/stress.rs
+
+/root/repo/target/debug/deps/libstress-5dc2c6f088ea5004.rmeta: crates/replay/tests/stress.rs
+
+crates/replay/tests/stress.rs:

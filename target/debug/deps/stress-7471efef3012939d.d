@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-7471efef3012939d.d: crates/replay/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-7471efef3012939d.rmeta: crates/replay/tests/stress.rs Cargo.toml
+
+crates/replay/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-dcdc6ed505395546.d: crates/replay/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-dcdc6ed505395546: crates/replay/tests/stress.rs
+
+crates/replay/tests/stress.rs:

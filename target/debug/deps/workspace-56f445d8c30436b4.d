@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace-56f445d8c30436b4.d: tests/workspace.rs
+
+/root/repo/target/debug/deps/workspace-56f445d8c30436b4: tests/workspace.rs
+
+tests/workspace.rs:

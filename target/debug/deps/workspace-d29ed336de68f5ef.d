@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace-d29ed336de68f5ef.d: tests/workspace.rs
+
+/root/repo/target/debug/deps/libworkspace-d29ed336de68f5ef.rmeta: tests/workspace.rs
+
+tests/workspace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workspace-d8ca190c21dc8348.d: tests/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace-d8ca190c21dc8348.rmeta: tests/workspace.rs Cargo.toml
+
+tests/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/colocated_daemon-2ccbdb524fa4c4ca.d: examples/colocated_daemon.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolocated_daemon-2ccbdb524fa4c4ca.rmeta: examples/colocated_daemon.rs Cargo.toml
+
+examples/colocated_daemon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

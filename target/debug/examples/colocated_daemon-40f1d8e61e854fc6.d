@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocated_daemon-40f1d8e61e854fc6.d: examples/colocated_daemon.rs
+
+/root/repo/target/debug/examples/libcolocated_daemon-40f1d8e61e854fc6.rmeta: examples/colocated_daemon.rs
+
+examples/colocated_daemon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocated_daemon-b99550862348e958.d: examples/colocated_daemon.rs
+
+/root/repo/target/debug/examples/colocated_daemon-b99550862348e958: examples/colocated_daemon.rs
+
+examples/colocated_daemon.rs:

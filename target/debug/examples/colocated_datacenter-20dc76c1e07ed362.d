@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocated_datacenter-20dc76c1e07ed362.d: examples/colocated_datacenter.rs
+
+/root/repo/target/debug/examples/colocated_datacenter-20dc76c1e07ed362: examples/colocated_datacenter.rs
+
+examples/colocated_datacenter.rs:

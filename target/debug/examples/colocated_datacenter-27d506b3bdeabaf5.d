@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocated_datacenter-27d506b3bdeabaf5.d: examples/colocated_datacenter.rs
+
+/root/repo/target/debug/examples/libcolocated_datacenter-27d506b3bdeabaf5.rmeta: examples/colocated_datacenter.rs
+
+examples/colocated_datacenter.rs:

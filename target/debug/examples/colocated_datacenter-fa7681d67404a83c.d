@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/colocated_datacenter-fa7681d67404a83c.d: examples/colocated_datacenter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolocated_datacenter-fa7681d67404a83c.rmeta: examples/colocated_datacenter.rs Cargo.toml
+
+examples/colocated_datacenter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

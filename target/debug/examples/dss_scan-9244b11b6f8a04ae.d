@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dss_scan-9244b11b6f8a04ae.d: examples/dss_scan.rs
+
+/root/repo/target/debug/examples/dss_scan-9244b11b6f8a04ae: examples/dss_scan.rs
+
+examples/dss_scan.rs:

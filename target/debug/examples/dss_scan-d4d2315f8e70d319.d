@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dss_scan-d4d2315f8e70d319.d: examples/dss_scan.rs
+
+/root/repo/target/debug/examples/libdss_scan-d4d2315f8e70d319.rmeta: examples/dss_scan.rs
+
+examples/dss_scan.rs:

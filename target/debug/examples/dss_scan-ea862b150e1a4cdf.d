@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dss_scan-ea862b150e1a4cdf.d: examples/dss_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdss_scan-ea862b150e1a4cdf.rmeta: examples/dss_scan.rs Cargo.toml
+
+examples/dss_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fileserver_power-0a489e8113abe282.d: examples/fileserver_power.rs
+
+/root/repo/target/debug/examples/libfileserver_power-0a489e8113abe282.rmeta: examples/fileserver_power.rs
+
+examples/fileserver_power.rs:

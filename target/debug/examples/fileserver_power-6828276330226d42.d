@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fileserver_power-6828276330226d42.d: examples/fileserver_power.rs
+
+/root/repo/target/debug/examples/fileserver_power-6828276330226d42: examples/fileserver_power.rs
+
+examples/fileserver_power.rs:

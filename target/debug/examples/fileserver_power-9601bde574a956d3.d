@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fileserver_power-9601bde574a956d3.d: examples/fileserver_power.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfileserver_power-9601bde574a956d3.rmeta: examples/fileserver_power.rs Cargo.toml
+
+examples/fileserver_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/msr_import-30497f4c7067d45f.d: examples/msr_import.rs
+
+/root/repo/target/debug/examples/msr_import-30497f4c7067d45f: examples/msr_import.rs
+
+examples/msr_import.rs:

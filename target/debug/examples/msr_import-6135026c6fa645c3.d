@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/msr_import-6135026c6fa645c3.d: examples/msr_import.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmsr_import-6135026c6fa645c3.rmeta: examples/msr_import.rs Cargo.toml
+
+examples/msr_import.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/msr_import-72447a141f0c5a8e.d: examples/msr_import.rs
+
+/root/repo/target/debug/examples/libmsr_import-72447a141f0c5a8e.rmeta: examples/msr_import.rs
+
+examples/msr_import.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oltp_cooperative-7cb8f9f9f18ed2e1.d: examples/oltp_cooperative.rs
+
+/root/repo/target/debug/examples/liboltp_cooperative-7cb8f9f9f18ed2e1.rmeta: examples/oltp_cooperative.rs
+
+examples/oltp_cooperative.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oltp_cooperative-d62da61908a2f41f.d: examples/oltp_cooperative.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboltp_cooperative-d62da61908a2f41f.rmeta: examples/oltp_cooperative.rs Cargo.toml
+
+examples/oltp_cooperative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

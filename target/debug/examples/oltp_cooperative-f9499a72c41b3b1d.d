@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oltp_cooperative-f9499a72c41b3b1d.d: examples/oltp_cooperative.rs
+
+/root/repo/target/debug/examples/oltp_cooperative-f9499a72c41b3b1d: examples/oltp_cooperative.rs
+
+examples/oltp_cooperative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pattern_explorer-d11ec565b2084c59.d: examples/pattern_explorer.rs
+
+/root/repo/target/debug/examples/libpattern_explorer-d11ec565b2084c59.rmeta: examples/pattern_explorer.rs
+
+examples/pattern_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pattern_explorer-da7df6e48be96a36.d: examples/pattern_explorer.rs
+
+/root/repo/target/debug/examples/pattern_explorer-da7df6e48be96a36: examples/pattern_explorer.rs
+
+examples/pattern_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pattern_explorer-f4f9065dbc0bcbf8.d: examples/pattern_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpattern_explorer-f4f9065dbc0bcbf8.rmeta: examples/pattern_explorer.rs Cargo.toml
+
+examples/pattern_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a566bbb76df6a24b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-a566bbb76df6a24b.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d3a9e0500870eb3c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d3a9e0500870eb3c: examples/quickstart.rs
+
+examples/quickstart.rs:

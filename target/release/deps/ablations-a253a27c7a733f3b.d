@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-a253a27c7a733f3b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-a253a27c7a733f3b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ees-3fad014c65eeba94.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/ees-3fad014c65eeba94: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

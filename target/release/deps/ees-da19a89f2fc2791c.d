@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ees-da19a89f2fc2791c.d: src/lib.rs
+
+/root/repo/target/release/deps/libees-da19a89f2fc2791c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libees-da19a89f2fc2791c.rmeta: src/lib.rs
+
+src/lib.rs:

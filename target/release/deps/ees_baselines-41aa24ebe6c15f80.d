@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ees_baselines-41aa24ebe6c15f80.d: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+/root/repo/target/release/deps/libees_baselines-41aa24ebe6c15f80.rlib: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+/root/repo/target/release/deps/libees_baselines-41aa24ebe6c15f80.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ddr.rs crates/baselines/src/pdc.rs crates/baselines/src/timeout.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ddr.rs:
+crates/baselines/src/pdc.rs:
+crates/baselines/src/timeout.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ees_bench-7c50e5e6917cbfee.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+/root/repo/target/release/deps/libees_bench-7c50e5e6917cbfee.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+/root/repo/target/release/deps/libees_bench-7c50e5e6917cbfee.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/reference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ees_cli-25536522c673a04c.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+/root/repo/target/release/deps/libees_cli-25536522c673a04c.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+/root/repo/target/release/deps/libees_cli-25536522c673a04c.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/jsonout.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/jsonout.rs:

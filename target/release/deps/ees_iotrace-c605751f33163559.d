@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ees_iotrace-c605751f33163559.d: crates/iotrace/src/lib.rs crates/iotrace/src/chunk.rs crates/iotrace/src/histogram.rs crates/iotrace/src/io.rs crates/iotrace/src/ndjson.rs crates/iotrace/src/parallel.rs crates/iotrace/src/record.rs crates/iotrace/src/slice.rs crates/iotrace/src/stats.rs crates/iotrace/src/types.rs
+
+/root/repo/target/release/deps/libees_iotrace-c605751f33163559.rlib: crates/iotrace/src/lib.rs crates/iotrace/src/chunk.rs crates/iotrace/src/histogram.rs crates/iotrace/src/io.rs crates/iotrace/src/ndjson.rs crates/iotrace/src/parallel.rs crates/iotrace/src/record.rs crates/iotrace/src/slice.rs crates/iotrace/src/stats.rs crates/iotrace/src/types.rs
+
+/root/repo/target/release/deps/libees_iotrace-c605751f33163559.rmeta: crates/iotrace/src/lib.rs crates/iotrace/src/chunk.rs crates/iotrace/src/histogram.rs crates/iotrace/src/io.rs crates/iotrace/src/ndjson.rs crates/iotrace/src/parallel.rs crates/iotrace/src/record.rs crates/iotrace/src/slice.rs crates/iotrace/src/stats.rs crates/iotrace/src/types.rs
+
+crates/iotrace/src/lib.rs:
+crates/iotrace/src/chunk.rs:
+crates/iotrace/src/histogram.rs:
+crates/iotrace/src/io.rs:
+crates/iotrace/src/ndjson.rs:
+crates/iotrace/src/parallel.rs:
+crates/iotrace/src/record.rs:
+crates/iotrace/src/slice.rs:
+crates/iotrace/src/stats.rs:
+crates/iotrace/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ees_policy-1820c12534818856.d: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+/root/repo/target/release/deps/libees_policy-1820c12534818856.rlib: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+/root/repo/target/release/deps/libees_policy-1820c12534818856.rmeta: crates/policy/src/lib.rs crates/policy/src/plan.rs crates/policy/src/snapshot.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/plan.rs:
+crates/policy/src/snapshot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ees_replay-188f912b92aea851.d: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs
+
+/root/repo/target/release/deps/libees_replay-188f912b92aea851.rlib: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs
+
+/root/repo/target/release/deps/libees_replay-188f912b92aea851.rmeta: crates/replay/src/lib.rs crates/replay/src/appmetrics.rs crates/replay/src/engine.rs crates/replay/src/metrics.rs crates/replay/src/stream.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/appmetrics.rs:
+crates/replay/src/engine.rs:
+crates/replay/src/metrics.rs:
+crates/replay/src/stream.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ees_simstorage-98d39c96bd9a6a7d.d: crates/simstorage/src/lib.rs crates/simstorage/src/cache.rs crates/simstorage/src/config.rs crates/simstorage/src/controller.rs crates/simstorage/src/enclosure.rs crates/simstorage/src/hdd.rs crates/simstorage/src/power.rs crates/simstorage/src/raid.rs crates/simstorage/src/vmap.rs
+
+/root/repo/target/release/deps/libees_simstorage-98d39c96bd9a6a7d.rlib: crates/simstorage/src/lib.rs crates/simstorage/src/cache.rs crates/simstorage/src/config.rs crates/simstorage/src/controller.rs crates/simstorage/src/enclosure.rs crates/simstorage/src/hdd.rs crates/simstorage/src/power.rs crates/simstorage/src/raid.rs crates/simstorage/src/vmap.rs
+
+/root/repo/target/release/deps/libees_simstorage-98d39c96bd9a6a7d.rmeta: crates/simstorage/src/lib.rs crates/simstorage/src/cache.rs crates/simstorage/src/config.rs crates/simstorage/src/controller.rs crates/simstorage/src/enclosure.rs crates/simstorage/src/hdd.rs crates/simstorage/src/power.rs crates/simstorage/src/raid.rs crates/simstorage/src/vmap.rs
+
+crates/simstorage/src/lib.rs:
+crates/simstorage/src/cache.rs:
+crates/simstorage/src/config.rs:
+crates/simstorage/src/controller.rs:
+crates/simstorage/src/enclosure.rs:
+crates/simstorage/src/hdd.rs:
+crates/simstorage/src/power.rs:
+crates/simstorage/src/raid.rs:
+crates/simstorage/src/vmap.rs:

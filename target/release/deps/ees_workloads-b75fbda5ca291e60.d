@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ees_workloads-b75fbda5ca291e60.d: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libees_workloads-b75fbda5ca291e60.rlib: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libees_workloads-b75fbda5ca291e60.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dss.rs crates/workloads/src/fileserver.rs crates/workloads/src/gen.rs crates/workloads/src/mix.rs crates/workloads/src/msr.rs crates/workloads/src/nurand.rs crates/workloads/src/oltp.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dss.rs:
+crates/workloads/src/fileserver.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/msr.rs:
+crates/workloads/src/nurand.rs:
+crates/workloads/src/oltp.rs:
+crates/workloads/src/spec.rs:

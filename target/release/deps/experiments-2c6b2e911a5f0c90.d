@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-2c6b2e911a5f0c90.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-2c6b2e911a5f0c90: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/online_smoke-c99f4499e6228b15.d: crates/bench/src/bin/online_smoke.rs
+
+/root/repo/target/release/deps/online_smoke-c99f4499e6228b15: crates/bench/src/bin/online_smoke.rs
+
+crates/bench/src/bin/online_smoke.rs:

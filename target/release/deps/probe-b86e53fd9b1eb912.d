@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-b86e53fd9b1eb912.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-b86e53fd9b1eb912: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

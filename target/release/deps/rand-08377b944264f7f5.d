@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-08377b944264f7f5.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-08377b944264f7f5.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-08377b944264f7f5.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-57b69b0c14f379d9.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-57b69b0c14f379d9.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-57b69b0c14f379d9.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:
