@@ -53,6 +53,24 @@ if [ ! -f "$BENCH_BASE" ]; then
 fi
 echo "online bench smoke OK"
 
+echo "== net ingest smoke (1M events, 4 senders -> BENCH_net.json) =="
+# Streams the same 1M-event set over a Unix socket from 4 concurrent
+# senders — once as NDJSON, once as ees.event.v1 binary — through the
+# k-way watermark merge (median of 3 runs per format, after a warm-up).
+# Two absolute bars always apply: the merge must be lossless and binary
+# ingest must run >= 1.5x the NDJSON events/sec. With a checked-in
+# baseline the run is also a gate: >25% events/sec regression on either
+# format fails, and peak RSS (VmHWM) may not grow past 1.5x the
+# baseline. The first run seeds the baseline.
+NET_BASE="results/BENCH_net.baseline.json"
+cargo run --release -q -p ees-bench --bin net_smoke -- \
+    results/BENCH_net.json "$NET_BASE"
+if [ ! -f "$NET_BASE" ]; then
+    cp results/BENCH_net.json "$NET_BASE"
+    echo "net bench: baseline seeded at $NET_BASE (check it in)"
+fi
+echo "net bench smoke OK"
+
 echo "== chaos gate (8 seeds x {1,4} shards) =="
 # Differential fault-injection sweep (DESIGN.md §11): each seed runs the
 # full hardened pipeline — malformed/truncated/duplicated/reordered

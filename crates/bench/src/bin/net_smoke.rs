@@ -1,0 +1,252 @@
+//! The 1M-event socket ingest smoke: four concurrent senders stream the
+//! same event set over a Unix socket — once as NDJSON, once as
+//! `ees.event.v1` binary — into the net merge, and the figures land in a
+//! flat all-`u64` JSON file (`BENCH_net.json`) that
+//! `ees_iotrace::ndjson::parse_flat_object` can read back.
+//!
+//! ```text
+//! net_smoke <out.json> [baseline.json]
+//! ```
+//!
+//! Each format is timed three times (after a warm-up pass) and the
+//! **median** run is reported. The sink counts records instead of
+//! folding them into a daemon, so the measured path is exactly the
+//! control plane: socket transport, per-connection framing decode, and
+//! the k-way watermark merge.
+//!
+//! Two absolute bars always apply:
+//!
+//! * both formats must deliver every event (the merge is lossless);
+//! * binary ingest must run ≥ 1.5× the NDJSON events/sec — the point of
+//!   carrying a second wire format is that it is materially cheaper.
+//!
+//! When `baseline.json` exists the run is additionally a regression
+//! gate: events/sec per format must stay within 25% of the baseline,
+//! and peak RSS (`VmHWM`) must not grow past 1.5× the baseline.
+//! `ci.sh` checks the first run's output in as the baseline.
+
+use ees_iotrace::ndjson::parse_flat_object;
+use ees_iotrace::wire::BinaryEventWriter;
+use ees_iotrace::{DataItemId, IoKind, ItemInterner, LogicalIoRecord, Micros};
+use ees_online::{spawn_net_ingest, NetListener, NetOptions};
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const EVENTS: u64 = 1_000_000;
+const ITEMS: u32 = 256;
+const CONNS: usize = 4;
+const BATCH: usize = 1024;
+/// Binary must beat NDJSON by at least this factor (x1000 fixed-point).
+const SPEEDUP_BAR_X1000: u64 = 1500;
+/// Allowed events/sec drop relative to the checked-in baseline.
+const MAX_REGRESSION: f64 = 0.25;
+/// Allowed peak-RSS growth relative to the checked-in baseline.
+const MAX_RSS_GROWTH: f64 = 1.5;
+
+fn event(i: u64) -> LogicalIoRecord {
+    LogicalIoRecord {
+        ts: Micros(i * 1_000),
+        item: DataItemId((i % ITEMS as u64) as u32),
+        offset: (i * 8192) % (1 << 30),
+        len: 8192,
+        kind: if i.is_multiple_of(4) {
+            IoKind::Write
+        } else {
+            IoKind::Read
+        },
+    }
+}
+
+/// Pre-rendered per-sender payloads, so senders just shovel bytes and
+/// the measured run never waits on formatting.
+fn payloads(binary: bool) -> Vec<Vec<u8>> {
+    (0..CONNS)
+        .map(|c| {
+            let mine = (c as u64..EVENTS).step_by(CONNS);
+            if binary {
+                let mut w = BinaryEventWriter::new(Vec::new());
+                for i in mine {
+                    w.event(&event(i)).unwrap();
+                }
+                w.finish().unwrap()
+            } else {
+                let mut buf = Vec::new();
+                for i in mine {
+                    ees_iotrace::ndjson::write_events([&event(i)], &mut buf).unwrap();
+                }
+                buf
+            }
+        })
+        .collect()
+}
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ees-net-smoke-{}-{tag}.sock", std::process::id()))
+}
+
+/// One measured run: accept four senders, merge, count. Returns
+/// events/sec.
+fn run(tag: &str, payloads: &[Vec<u8>]) -> u64 {
+    let sock = sock_path(tag);
+    let listener = NetListener::bind(sock.to_str().unwrap()).expect("bind smoke socket");
+    let interner = Arc::new(Mutex::new(ItemInterner::with_floor(ITEMS)));
+    let started = Instant::now();
+    let (rx, pool, _live, _net, handle) = spawn_net_ingest(
+        listener,
+        NetOptions {
+            conns: CONNS,
+            capacity: 64,
+            batch: BATCH,
+            allow_new_names: true,
+        },
+        interner,
+    );
+    let senders: Vec<_> = payloads
+        .iter()
+        .map(|p| {
+            let p = p.clone();
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let mut s = UnixStream::connect(&sock).expect("connect smoke socket");
+                s.write_all(&p).expect("stream smoke payload");
+            })
+        })
+        .collect();
+    let mut seen = 0u64;
+    let mut last_ts = Micros(0);
+    for batch in rx {
+        seen += batch.len() as u64;
+        if let Some(rec) = batch.last() {
+            assert!(rec.ts >= last_ts, "merge must emit in timestamp order");
+            last_ts = rec.ts;
+        }
+        pool.recycle(batch);
+    }
+    for t in senders {
+        t.join().unwrap();
+    }
+    let stats = handle.join().unwrap().expect("smoke stream must ingest");
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(stats.accepted, EVENTS, "the merge is lossless");
+    assert_eq!(seen, EVENTS);
+    std::fs::remove_file(&sock).ok();
+    (EVENTS as f64 / elapsed.max(1e-9)) as u64
+}
+
+/// Median-of-3 after one warm-up pass.
+fn median_rate(tag: &str, payloads: &[Vec<u8>]) -> u64 {
+    let _ = run(tag, payloads);
+    let mut rates: Vec<u64> = (0..3).map(|_| run(tag, payloads)).collect();
+    rates.sort_unstable();
+    rates[1]
+}
+
+/// Peak resident set (`VmHWM`) of this process, in kB.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn read_baseline(path: &str) -> Option<Vec<(String, u64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().collect::<Vec<_>>().join(" ");
+    let fields = parse_flat_object(line.trim()).ok()?;
+    Some(
+        fields
+            .into_iter()
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k, n)))
+            .collect(),
+    )
+}
+
+fn baseline_value(baseline: &[(String, u64)], key: &str) -> Option<u64> {
+    baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args.first().map(String::as_str).unwrap_or("BENCH_net.json");
+    let baseline_path = args.get(1).map(String::as_str);
+
+    let ndjson = payloads(false);
+    let binary = payloads(true);
+    let ndjson_rate = median_rate("ndjson", &ndjson);
+    let binary_rate = median_rate("binary", &binary);
+    let speedup_x1000 = binary_rate.saturating_mul(1000) / ndjson_rate.max(1);
+    let rss_kb = peak_rss_kb();
+
+    let json = format!(
+        "{{\"events\": {EVENTS}, \"conns\": {CONNS}, \
+         \"ndjson_events_per_sec\": {ndjson_rate}, \
+         \"binary_events_per_sec\": {binary_rate}, \
+         \"binary_speedup_x1000\": {speedup_x1000}, \
+         \"peak_rss_kb\": {rss_kb}}}\n",
+    );
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("net_smoke: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "net_smoke: ndjson {ndjson_rate} ev/s, binary {binary_rate} ev/s \
+         (x{:.2}), peak rss {rss_kb} kB -> {out_path}",
+        speedup_x1000 as f64 / 1000.0,
+    );
+
+    let mut failed = false;
+    if speedup_x1000 < SPEEDUP_BAR_X1000 {
+        eprintln!(
+            "net_smoke: binary speedup {:.2}x < {:.1}x bar",
+            speedup_x1000 as f64 / 1000.0,
+            SPEEDUP_BAR_X1000 as f64 / 1000.0,
+        );
+        failed = true;
+    }
+    if let Some(baseline) = baseline_path.and_then(read_baseline) {
+        for (key, measured) in [
+            ("ndjson_events_per_sec", ndjson_rate),
+            ("binary_events_per_sec", binary_rate),
+        ] {
+            let Some(base) = baseline_value(&baseline, key) else {
+                continue;
+            };
+            let floor = (base as f64 * (1.0 - MAX_REGRESSION)) as u64;
+            if measured < floor {
+                eprintln!(
+                    "net_smoke: REGRESSION {key}: {measured} ev/s < {floor} \
+                     (baseline {base} - {:.0}%)",
+                    MAX_REGRESSION * 100.0
+                );
+                failed = true;
+            }
+        }
+        if let Some(base) = baseline_value(&baseline, "peak_rss_kb") {
+            let ceiling = (base as f64 * MAX_RSS_GROWTH) as u64;
+            if base > 0 && rss_kb > ceiling {
+                eprintln!(
+                    "net_smoke: REGRESSION peak_rss_kb: {rss_kb} kB > {ceiling} \
+                     (baseline {base} x {MAX_RSS_GROWTH})"
+                );
+                failed = true;
+            }
+        }
+    } else if let Some(path) = baseline_path {
+        println!("net_smoke: no baseline at {path}; this run seeds it");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

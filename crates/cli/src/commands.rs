@@ -8,17 +8,32 @@
 //! ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS]
 //!            [--queue N] [--batch N] [--drop-newest] [--shards N] [--readers N]
 //!            [--checkpoint FILE] [--json]
+//! ees online --listen <addr> <items.json> [--conns N] [...same knobs]
+//! ees transcode <in> <out>
 //! ees chaos [--seed N] [--seeds N] [--shards N] [--events N] [--json]
 //! ```
+//!
+//! `--listen` swaps the file front end for the socket control plane
+//! (DESIGN.md §14): `addr` with a colon is a TCP `host:port`, otherwise
+//! a Unix socket path; exactly `--conns` connections are accepted and
+//! merged deterministically. `transcode` converts a captured stream
+//! between NDJSON and the `ees.event.v1` binary framing (direction
+//! sniffed from the input's first bytes).
 
 use crate::jsonout;
 use ees_baselines::{Ddr, Pdc};
 use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
-use ees_iotrace::{analyze_item_period, fmt_bytes, split_by_item, summarize, Micros, Span};
+use ees_iotrace::wire::{
+    sniff_format, transcode_binary_to_ndjson, transcode_ndjson_to_binary, StreamFormat,
+};
+use ees_iotrace::{
+    analyze_item_period, fmt_bytes, split_by_item, summarize, ItemInterner, Micros, Span,
+};
 use ees_online::{
-    read_checkpoint_file, run_chaos, spawn_reader_batched_pooled, spawn_reader_parallel,
-    write_checkpoint_file, ChaosConfig, ColocatedDaemon, OverflowPolicy, RolloverReason,
-    ShardOptions,
+    read_checkpoint_file, run_chaos, silence_injected_panics, spawn_net_ingest,
+    spawn_reader_batched_pooled, spawn_reader_parallel, write_checkpoint_file, ChaosConfig,
+    ColocatedDaemon, NetListener, NetOptions, OverflowPolicy, PanicSchedule, RolloverReason,
+    ShardOptions, SupervisionPolicy,
 };
 use ees_policy::{NoPowerSaving, PowerPolicy};
 use ees_replay::{run, CatalogItem, ReplayOptions};
@@ -76,6 +91,9 @@ struct Flags {
     checkpoint: Option<PathBuf>,
     seeds: u64,
     events: u64,
+    listen: Option<String>,
+    conns: usize,
+    fail_shard: Option<(usize, u64)>,
 }
 
 impl Flags {
@@ -95,6 +113,9 @@ impl Flags {
             checkpoint: None,
             seeds: 1,
             events: 4000,
+            listen: None,
+            conns: 1,
+            fail_shard: None,
         };
         let mut positional = Vec::new();
         let mut it = args.iter();
@@ -152,6 +173,25 @@ impl Flags {
                         .map_err(|_| CliError::Usage("--readers expects an integer".into()))?
                 }
                 "--checkpoint" => flags.checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
+                "--listen" => flags.listen = Some(take("--listen")?),
+                "--conns" => {
+                    flags.conns = take("--conns")?
+                        .parse::<usize>()
+                        .map_err(|_| CliError::Usage("--conns expects an integer".into()))?
+                        .max(1)
+                }
+                // Test-only fault hook: quarantine shard SHARD at its
+                // EVENT-th folded record, to exercise the end-of-stream
+                // health check without a real crash.
+                "--fail-shard" => {
+                    let v = take("--fail-shard")?;
+                    let parsed = v.split_once(':').and_then(|(s, e)| {
+                        Some((s.parse::<usize>().ok()?, e.parse::<u64>().ok()?))
+                    });
+                    flags.fail_shard = Some(parsed.ok_or_else(|| {
+                        CliError::Usage("--fail-shard expects SHARD:EVENT".into())
+                    })?);
+                }
                 "--seeds" => {
                     flags.seeds = take("--seeds")?
                         .parse()
@@ -186,7 +226,8 @@ fn make_workload(name: &str, flags: &Flags) -> Result<Workload, CliError> {
 pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::Usage(
-            "expected a subcommand: gen | stats | classify | replay | mix | online | chaos".into(),
+            "expected a subcommand: gen | stats | classify | replay | mix | online | transcode | chaos"
+                .into(),
         ));
     };
     let (positional, flags) = Flags::parse(rest)?;
@@ -197,6 +238,7 @@ pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), Cl
         "replay" => replay(&positional, &flags, out),
         "mix" => mix(&positional, &flags, out),
         "online" => online(&positional, &flags, out),
+        "transcode" => transcode(&positional, out),
         "chaos" => chaos(&flags, out),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
@@ -343,6 +385,7 @@ fn mix(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<()
             seed: flags.seed + i as u64,
             out: flags.out.clone(),
             checkpoint: flags.checkpoint.clone(),
+            listen: flags.listen.clone(),
             ..*flags
         };
         parts.push(make_workload(name, &f)?);
@@ -422,16 +465,35 @@ fn replay(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     Ok(())
 }
 
-/// `ees online`: feeds an NDJSON event stream (file or `-` for stdin)
-/// through the bounded-channel ingest into the colocated online daemon,
-/// printing the plan sequence and the run summary.
+/// `ees online`: feeds an event stream through the bounded-channel
+/// ingest into the colocated online daemon, printing the plan sequence
+/// and the run summary. The stream comes from a file (or `-` for stdin),
+/// or — with `--listen` — from `--conns` socket connections merged by
+/// the net control plane (each NDJSON or `ees.event.v1` binary,
+/// negotiated per connection).
 fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
-    let trace_arg = pos
-        .first()
-        .ok_or_else(|| CliError::Usage("online needs an event stream (file or '-')".into()))?;
-    let items_path = pos
-        .get(1)
-        .ok_or_else(|| CliError::Usage("online needs an items file".into()))?;
+    // With `--listen` the only positional is the items file; the
+    // "trace" identity in the report becomes the listen address.
+    let (trace_arg, items_path) = match &flags.listen {
+        Some(addr) => (
+            format!("listen:{addr}"),
+            pos.first()
+                .ok_or_else(|| CliError::Usage("online --listen needs an items file".into()))?
+                .clone(),
+        ),
+        None => (
+            pos.first()
+                .ok_or_else(|| {
+                    CliError::Usage("online needs an event stream (file or '-')".into())
+                })?
+                .clone(),
+            pos.get(1)
+                .ok_or_else(|| CliError::Usage("online needs an items file".into()))?
+                .clone(),
+        ),
+    };
+    let trace_arg = &trace_arg;
+    let items_path = &items_path;
     let items: Vec<DataItemSpec> = items_from_json(&std::fs::read_to_string(items_path)?)
         .map_err(|e| CliError::Parse(format!("{items_path}: {e}")))?;
     if items.is_empty() {
@@ -467,17 +529,32 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     // gets the matching depth in batches (at least double-buffered).
     // `--readers 0` (the default) sizes the parse pool at one reader per
     // shard; `--readers 1` keeps the legacy single-reader front end.
-    let shard_options = ShardOptions {
+    let mut shard_options = ShardOptions {
         queue: flags.queue.div_ceil(flags.batch).max(2),
         readers: flags.readers,
         ..ShardOptions::default()
     };
+    if let Some((shard, event)) = flags.fail_shard {
+        silence_injected_panics();
+        shard_options.supervision = SupervisionPolicy::Quarantine;
+        shard_options.panic_schedule = Some(PanicSchedule::new([(shard, event)]));
+    }
     let readers = shard_options.resolved_readers(shards);
+    // Named streams resolve through an interner whose dense ids start
+    // past the catalog; catalog names pre-bind to their explicit ids so
+    // senders can speak either form. On resume the checkpointed name
+    // table restores first — identical table, identical ids, identical
+    // plan bytes.
+    let floor = items.iter().map(|i| i.id.0 + 1).max().unwrap_or(0);
+    let mut interner = ItemInterner::with_floor(floor);
     let mut resume_skip = 0u64;
     let mut daemon = match &flags.checkpoint {
         Some(path) if path.exists() => {
             let cp = read_checkpoint_file(path)
                 .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            if !cp.names.is_empty() {
+                interner = ItemInterner::import(floor, cp.names.clone());
+            }
             let d = ColocatedDaemon::resume_with_options(
                 &catalog,
                 num_enclosures,
@@ -502,11 +579,11 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
         ),
     };
 
-    let input: Box<dyn BufRead + Send> = if trace_arg == "-" {
-        Box::new(BufReader::new(std::io::stdin()))
-    } else {
-        Box::new(BufReader::new(File::open(trace_arg)?))
-    };
+    for item in &items {
+        interner.bind(&item.name, item.id);
+    }
+    let interner = std::sync::Arc::new(std::sync::Mutex::new(interner));
+
     let overflow = if flags.drop_newest {
         OverflowPolicy::DropNewest
     } else {
@@ -518,10 +595,38 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     // More than one resolved reader selects the parallel front end:
     // same queue, batching, and backpressure policy, but the NDJSON
     // parse fans out over `readers` threads instead of one.
-    let (rx, pool, live, reader) = if readers > 1 {
-        spawn_reader_parallel(input, capacity, flags.batch, overflow, readers, 0)
-    } else {
-        spawn_reader_batched_pooled(input, capacity, flags.batch, overflow)
+    let (rx, pool, live, conn_counters, reader) = match &flags.listen {
+        Some(addr) => {
+            let listener = NetListener::bind(addr)?;
+            // Closed world (`allow_new_names: false`): the daemon can
+            // only serve items its placement knows, so a name outside
+            // the catalog and checkpoint table fails the stream at the
+            // connection instead of panicking the harness.
+            let (rx, pool, live, net, reader) = spawn_net_ingest(
+                listener,
+                NetOptions {
+                    conns: flags.conns,
+                    capacity,
+                    batch: flags.batch,
+                    allow_new_names: false,
+                },
+                std::sync::Arc::clone(&interner),
+            );
+            (rx, pool, live, Some(net), reader)
+        }
+        None => {
+            let input: Box<dyn BufRead + Send> = if trace_arg == "-" {
+                Box::new(BufReader::new(std::io::stdin()))
+            } else {
+                Box::new(BufReader::new(File::open(trace_arg)?))
+            };
+            let (rx, pool, live, reader) = if readers > 1 {
+                spawn_reader_parallel(input, capacity, flags.batch, overflow, readers, 0)
+            } else {
+                spawn_reader_batched_pooled(input, capacity, flags.batch, overflow)
+            };
+            (rx, pool, live, None, reader)
+        }
     };
 
     let mut plans = Vec::new();
@@ -537,9 +642,10 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
                 .map_err(|e| CliError::Parse(e.to_string()))?;
             if !stepped.is_empty() {
                 if let Some(path) = &flags.checkpoint {
-                    let cp = daemon
+                    let mut cp = daemon
                         .checkpoint()
                         .map_err(|e| CliError::Parse(e.to_string()))?;
+                    cp.names = interner.lock().unwrap().export();
                     write_checkpoint_file(path, &cp)
                         .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
                 }
@@ -552,16 +658,25 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
         .join()
         .map_err(|_| CliError::Parse("ingest thread panicked".into()))?
         .map_err(|e| CliError::Parse(e.to_string()))?;
+    // End-of-stream health check: a shard quarantined in the final
+    // period never reaches another rollover barrier, so without this
+    // the run would report success on a partial fold.
+    daemon.sync().map_err(|e| CliError::Parse(e.to_string()))?;
     if let Some(path) = &flags.checkpoint {
-        let cp = daemon
+        let mut cp = daemon
             .checkpoint()
             .map_err(|e| CliError::Parse(e.to_string()))?;
+        cp.names = interner.lock().unwrap().export();
         write_checkpoint_file(path, &cp)
             .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
     }
     // Report from the live counters the producer was bumping as it ran —
     // the same numbers a status probe would have read mid-stream.
     let ingest = live.snapshot();
+    let connections = conn_counters
+        .as_ref()
+        .map(|n| n.snapshot())
+        .unwrap_or_default();
     let shard_count = daemon.shards();
     let summary = daemon.finish(None);
 
@@ -577,6 +692,7 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
                 flags.batch,
                 shard_count,
                 readers,
+                &connections,
                 &plans,
             )
         )?;
@@ -614,6 +730,14 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
         "events:        {} accepted, {} dropped",
         ingest.accepted, ingest.dropped
     )?;
+    for (i, c) in connections.iter().enumerate() {
+        writeln!(
+            out,
+            "conn {i}:        {} events ({})",
+            c.events,
+            c.format.map(|f| f.to_string()).unwrap_or("pending".into())
+        )?;
+    }
     writeln!(
         out,
         "periods:       {} ({} trigger cuts)",
@@ -626,6 +750,42 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
         "avg response:  {:.2} ms",
         summary.avg_response.as_millis_f64()
     )?;
+    Ok(())
+}
+
+/// `ees transcode`: converts a captured event stream between NDJSON and
+/// the `ees.event.v1` binary framing, sniffing the direction from the
+/// input's first bytes. Event order is preserved exactly, so a
+/// transcoded stream replays to byte-identical plans.
+fn transcode(pos: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let in_path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("transcode needs an input file".into()))?;
+    let out_path = pos
+        .get(1)
+        .ok_or_else(|| CliError::Usage("transcode needs an output file".into()))?;
+    let mut reader = BufReader::new(File::open(in_path)?);
+    let format = sniff_format(reader.fill_buf()?);
+    let mut writer = BufWriter::new(File::create(out_path)?);
+    let (n, direction) = match format {
+        StreamFormat::Ndjson => (
+            transcode_ndjson_to_binary(reader, &mut writer)
+                .map_err(|e| CliError::Parse(format!("{in_path}: {e}")))?,
+            "ndjson → binary",
+        ),
+        StreamFormat::Binary => {
+            // A standalone transcode has no catalog: names intern into
+            // fresh dense ids from 0, in stream order.
+            let mut interner = ItemInterner::new();
+            (
+                transcode_binary_to_ndjson(reader, &mut writer, |name| interner.intern(name))
+                    .map_err(|e| CliError::Parse(format!("{in_path}: {e}")))?,
+                "binary → ndjson",
+            )
+        }
+    };
+    writer.flush()?;
+    writeln!(out, "transcoded {n} events ({direction}) to {out_path}")?;
     Ok(())
 }
 
@@ -904,6 +1064,233 @@ mod tests {
                 .replace("\"queue\": 512", "\"queue\": N")
                 .replace("\"batch\": 32", "\"batch\": N"),
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Rewrites a generated trace in full merge-key order — `(ts, item,
+    /// offset, len, kind)` — which is the order the net merge emits, so
+    /// a single-file replay of it is the reference for `--listen` runs.
+    fn key_sorted_trace(src: &Path, dst: &Path) {
+        let mut records: Vec<_> = read_trace(src).unwrap().iter().copied().collect();
+        records.sort_by_key(|r| {
+            (
+                r.ts,
+                r.item,
+                r.offset,
+                r.len,
+                matches!(r.kind, ees_iotrace::IoKind::Write),
+            )
+        });
+        let mut w = BufWriter::new(File::create(dst).unwrap());
+        for rec in &records {
+            writeln!(w, "{}", ees_iotrace::ndjson::format_event(rec)).unwrap();
+        }
+        w.flush().unwrap();
+    }
+
+    fn connect_with_retry(path: &Path) -> std::os::unix::net::UnixStream {
+        for _ in 0..200 {
+            if let Ok(s) = std::os::unix::net::UnixStream::connect(path) {
+                return s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        panic!("listener never came up at {}", path.display());
+    }
+
+    fn plans_section(report: &str) -> &str {
+        let at = report.find("\"plans\"").expect("report has a plans array");
+        &report[at..]
+    }
+
+    #[test]
+    fn listen_merges_connections_to_byte_identical_plans() {
+        let dir = std::env::temp_dir().join(format!("ees-listen-test-{}", std::process::id()));
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "gen",
+            "fileserver",
+            "--scale",
+            "0.02",
+            "--seed",
+            "7",
+            "--out",
+            out,
+        ])
+        .unwrap();
+        let items = dir.join("fileserver.items.json");
+        let sorted = dir.join("sorted.trace.jsonl");
+        key_sorted_trace(&dir.join("fileserver.trace.jsonl"), &sorted);
+
+        // Reference: single-file replay of the key-sorted event set.
+        let reference = run_to_string(&[
+            "online",
+            sorted.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--period",
+            "120",
+            "--json",
+        ])
+        .unwrap();
+
+        // Live: the same events round-robined over four socket senders.
+        // Each sender's stream is a subsequence of the sorted file, so
+        // per-connection order is sorted and the merge must reproduce
+        // the full key order exactly.
+        let sock = dir.join("ees.sock");
+        let server = {
+            let args = vec![
+                "online".to_string(),
+                "--listen".to_string(),
+                sock.to_str().unwrap().to_string(),
+                items.to_str().unwrap().to_string(),
+                "--conns".to_string(),
+                "4".to_string(),
+                "--period".to_string(),
+                "120".to_string(),
+                "--json".to_string(),
+            ];
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                run_cli(args, &mut buf).map(|()| String::from_utf8(buf).unwrap())
+            })
+        };
+        let lines: Vec<String> =
+            std::io::BufRead::lines(BufReader::new(File::open(&sorted).unwrap()))
+                .map(|l| l.unwrap())
+                .collect();
+        let total = lines.len() as u64;
+        let mut senders = Vec::new();
+        for c in 0..4usize {
+            let mine: Vec<String> = lines.iter().skip(c).step_by(4).cloned().collect();
+            let sock = sock.clone();
+            senders.push(std::thread::spawn(move || {
+                let mut s = connect_with_retry(&sock);
+                for line in &mine {
+                    writeln!(s, "{line}").unwrap();
+                }
+            }));
+        }
+        for t in senders {
+            t.join().unwrap();
+        }
+        let live = server.join().unwrap().unwrap();
+
+        assert_eq!(plans_section(&reference), plans_section(&live));
+        assert!(live.contains(&format!("\"accepted\": {total}")), "{live}");
+        assert!(
+            live.contains("\"connections\": [{\"format\":\"ndjson\",\"events\":"),
+            "{live}"
+        );
+        assert!(
+            !reference.contains("\"connections\""),
+            "file replays keep the pre-socket report shape"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transcoded_binary_connection_replays_identically() {
+        let dir = std::env::temp_dir().join(format!("ees-binconn-test-{}", std::process::id()));
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "gen", "tpcc", "--scale", "0.02", "--seed", "11", "--out", out,
+        ])
+        .unwrap();
+        let items = dir.join("tpcc.items.json");
+        let sorted = dir.join("sorted.trace.jsonl");
+        key_sorted_trace(&dir.join("tpcc.trace.jsonl"), &sorted);
+
+        // transcode sniffs NDJSON → binary, and back → the exact bytes.
+        let bin = dir.join("sorted.trace.eev");
+        let msg =
+            run_to_string(&["transcode", sorted.to_str().unwrap(), bin.to_str().unwrap()]).unwrap();
+        assert!(msg.contains("ndjson → binary"), "{msg}");
+        let back = dir.join("back.trace.jsonl");
+        let msg =
+            run_to_string(&["transcode", bin.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+        assert!(msg.contains("binary → ndjson"), "{msg}");
+        assert_eq!(
+            std::fs::read(&sorted).unwrap(),
+            std::fs::read(&back).unwrap(),
+            "transcode roundtrip is byte-identical"
+        );
+
+        let reference = run_to_string(&[
+            "online",
+            sorted.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--period",
+            "120",
+            "--json",
+        ])
+        .unwrap();
+
+        // One binary connection streaming the transcoded file must land
+        // on the same plans as the NDJSON file replay.
+        let sock = dir.join("ees.sock");
+        let server = {
+            let args = vec![
+                "online".to_string(),
+                "--listen".to_string(),
+                sock.to_str().unwrap().to_string(),
+                items.to_str().unwrap().to_string(),
+                "--period".to_string(),
+                "120".to_string(),
+                "--json".to_string(),
+            ];
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                run_cli(args, &mut buf).map(|()| String::from_utf8(buf).unwrap())
+            })
+        };
+        let payload = std::fs::read(&bin).unwrap();
+        let mut s = connect_with_retry(&sock);
+        s.write_all(&payload).unwrap();
+        drop(s);
+        let live = server.join().unwrap().unwrap();
+        assert_eq!(plans_section(&reference), plans_section(&live));
+        assert!(
+            live.contains("\"connections\": [{\"format\":\"binary\",\"events\":"),
+            "{live}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantined_shard_fails_the_run_even_without_a_final_barrier() {
+        let dir = std::env::temp_dir().join(format!("ees-failshard-test-{}", std::process::id()));
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "gen",
+            "fileserver",
+            "--scale",
+            "0.02",
+            "--seed",
+            "7",
+            "--out",
+            out,
+        ])
+        .unwrap();
+        let trace = dir.join("fileserver.trace.jsonl");
+        let items = dir.join("fileserver.items.json");
+        // A period far past the trace span: the stream ends mid-period,
+        // so only the end-of-stream health check can see the quarantine.
+        let err = run_to_string(&[
+            "online",
+            trace.to_str().unwrap(),
+            items.to_str().unwrap(),
+            "--period",
+            "1000000",
+            "--shards",
+            "2",
+            "--fail-shard",
+            "0:50",
+        ])
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("quarantined"), "{msg}");
+        assert!(matches!(err, CliError::Parse(_)), "fatal, not usage");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

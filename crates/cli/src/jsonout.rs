@@ -13,7 +13,9 @@
 use ees_core::{LogicalIoPattern, PatternMix};
 use ees_iotrace::ndjson::json_escape;
 use ees_iotrace::TraceSummary;
-use ees_online::{ChaosReport, IngestStats, OnlineSummary, PlanEnvelope, RolloverReason};
+use ees_online::{
+    ChaosReport, ConnSnapshot, IngestStats, OnlineSummary, PlanEnvelope, RolloverReason,
+};
 use ees_replay::RunReport;
 
 /// Formats a float as a JSON number; non-finite values become `null`.
@@ -70,8 +72,28 @@ pub fn online_json(
     batch: usize,
     shards: usize,
     readers: usize,
+    connections: &[ConnSnapshot],
     plans: &[PlanEnvelope],
 ) -> String {
+    // Per-connection accounting appears only for `--listen` runs; file
+    // and stdin reports keep their pre-socket shape byte for byte.
+    let conn_field = if connections.is_empty() {
+        String::new()
+    } else {
+        let entries: Vec<String> = connections
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"format\":{},\"events\":{}}}",
+                    c.format
+                        .map(|f| format!("\"{f}\""))
+                        .unwrap_or_else(|| "null".into()),
+                    c.events
+                )
+            })
+            .collect();
+        format!(", \"connections\": [{}]", entries.join(", "))
+    };
     let mut plan_lines = String::new();
     for (i, env) in plans.iter().enumerate() {
         plan_lines.push_str(&format!(
@@ -102,7 +124,7 @@ pub fn online_json(
          \"duration_secs\": {},\n  \"events\": {},\n  \"avg_power_watts\": {},\n  \
          \"avg_response_ms\": {},\n  \"periods\": {},\n  \"trigger_cuts\": {},\n  \
          \"spin_ups\": {},\n  \"shards\": {},\n  \"readers\": {},\n  \
-         \"ingest\": {{\"accepted\": {}, \"dropped\": {}, \"queue\": {}, \"batch\": {}}},\n  \
+         \"ingest\": {{\"accepted\": {}, \"dropped\": {}, \"queue\": {}, \"batch\": {}{}}},\n  \
          \"plans\": [\n{}  ]\n}}",
         json_escape(source),
         num(summary.duration.as_secs_f64()),
@@ -118,6 +140,7 @@ pub fn online_json(
         ingest.dropped,
         queue,
         batch,
+        conn_field,
         plan_lines,
     )
 }

@@ -13,6 +13,8 @@ fn main() {
              ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]\n  \
              ees online <trace.jsonl|-> <items.json> [--break-even SECS] [--period SECS] \
              [--queue N] [--drop-newest] [--shards N] [--readers N] [--checkpoint FILE] [--json]\n  \
+             ees online --listen <path|host:port> <items.json> [--conns N] [...same knobs]\n  \
+             ees transcode <in> <out>\n  \
              ees chaos [--seed N] [--seeds N] [--shards N] [--events N] [--json]"
         );
         std::process::exit(2);

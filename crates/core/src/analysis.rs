@@ -7,8 +7,8 @@
 
 use crate::pattern::{classify, LogicalIoPattern};
 use ees_iotrace::{
-    analyze_item_period, split_by_item, DataItemId, EnclosureId, IopsSeries, ItemIntervalStats,
-    Micros,
+    analyze_item_period, split_by_item_dense, DataItemId, EnclosureId, IopsSeries,
+    ItemIntervalStats, Micros,
 };
 use ees_policy::MonitorSnapshot;
 
@@ -86,7 +86,10 @@ impl ItemReport {
 /// Builds a report for every registered item from the period's logical
 /// trace.
 pub fn analyze_snapshot(snapshot: &MonitorSnapshot<'_>) -> Vec<ItemReport> {
-    let by_item = split_by_item(snapshot.logical);
+    // Group per item through the flat id-indexed map: with dense
+    // (interned) ids this is a vector index per record, and groups are
+    // identical to the ordered-map split it replaces.
+    let by_item = split_by_item_dense(snapshot.logical);
     let empty: Vec<ees_iotrace::LogicalIoRecord> = Vec::new();
     let seq_factor = snapshot
         .enclosures
@@ -103,7 +106,7 @@ pub fn analyze_snapshot(snapshot: &MonitorSnapshot<'_>) -> Vec<ItemReport> {
         .placement
         .iter()
         .map(|(id, placement)| {
-            let ios = by_item.get(&id).unwrap_or(&empty);
+            let ios = by_item.get(id).unwrap_or(&empty);
             let stats = analyze_item_period(id, ios, snapshot.period, snapshot.break_even);
             let iops = IopsSeries::from_timestamps(ios.iter().map(|r| r.ts), snapshot.period);
             ItemReport {

@@ -12,7 +12,9 @@
 //!   interval-length curve ([`stats`]), both batch
 //!   ([`analyze_item_period`]) and streaming ([`IntervalBuilder`]),
 //! * JSON-Lines trace serialization ([`io`]) and the dependency-free
-//!   NDJSON event codec of the online controller ([`ndjson`]).
+//!   NDJSON event codec of the online controller ([`ndjson`]),
+//! * the `ees.event.v1` compact binary wire format ([`wire`]) and the
+//!   dense item-id interning it feeds ([`intern`]).
 //!
 //! Everything downstream (the simulator, the workload generators, the
 //! proposed policy, and the baselines) builds on these types.
@@ -21,6 +23,7 @@
 
 pub mod chunk;
 pub mod histogram;
+pub mod intern;
 pub mod io;
 pub mod ndjson;
 pub mod parallel;
@@ -28,13 +31,20 @@ pub mod record;
 pub mod slice;
 pub mod stats;
 pub mod types;
+pub mod wire;
 
 pub use histogram::LatencyHistogram;
+pub use intern::{DenseItemMap, ItemInterner, DENSE_ID_LIMIT};
 pub use ndjson::EventReader;
 pub use record::{LogicalIoRecord, LogicalTrace, PhysicalIoRecord, PhysicalTrace};
 pub use slice::{summarize, TraceSummary};
 pub use stats::{
-    analyze_item_period, gaps_with_bounds, split_by_item, IntervalBuilder, IntervalBuilderState,
-    IntervalCdf, IoSequence, IopsSeries, ItemIntervalStats, Span,
+    analyze_item_period, gaps_with_bounds, split_by_item, split_by_item_dense, IntervalBuilder,
+    IntervalBuilderState, IntervalCdf, IoSequence, IopsSeries, ItemIntervalStats, Span,
 };
 pub use types::{fmt_bytes, DataItemId, EnclosureId, IoKind, Micros, VolumeId, GIB, KIB, MIB, TIB};
+pub use wire::{
+    decode_events, encode_events, sniff_format, transcode_binary_to_ndjson,
+    transcode_ndjson_to_binary, BinaryEventReader, BinaryEventWriter, LocalNames, StreamFormat,
+    WireRecord, EVENT_MAGIC,
+};

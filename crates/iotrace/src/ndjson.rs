@@ -501,6 +501,171 @@ pub fn parse_event_borrowed(line: &str) -> Result<LogicalIoRecord, String> {
     })
 }
 
+/// The `item` field of a net-edge event line: either an explicit
+/// numeric catalog id or an application item name to be interned at the
+/// ingest edge ([`crate::intern::ItemInterner`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemField {
+    /// `"item": 7` — a pre-registered numeric id.
+    Id(u32),
+    /// `"item": "db/users.ibd"` — a name the ingest edge resolves.
+    Name(String),
+}
+
+/// A parsed net-edge event whose item may still be a name — everything
+/// else matches [`LogicalIoRecord`] field for field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedEvent {
+    /// Event timestamp.
+    pub ts: Micros,
+    /// Numeric id or not-yet-interned name.
+    pub item: ItemField,
+    /// Byte offset within the item.
+    pub offset: u64,
+    /// I/O length in bytes.
+    pub len: u32,
+    /// Read or write.
+    pub kind: IoKind,
+}
+
+/// [`parse_event_borrowed`] for the socket ingest edge: identical
+/// grammar, except the `item` field may also be a JSON **string** naming
+/// the item. Numeric-item lines take the exact borrowed fast path;
+/// named lines re-parse accepting the string form.
+pub fn parse_event_named(line: &str) -> Result<NamedEvent, String> {
+    match parse_event_borrowed(line) {
+        Ok(rec) => Ok(NamedEvent {
+            ts: rec.ts,
+            item: ItemField::Id(rec.item.0),
+            offset: rec.offset,
+            len: rec.len,
+            kind: rec.kind,
+        }),
+        Err(first) => parse_event_named_slow(line).map_err(|_| first),
+    }
+}
+
+/// The named-item slow path: full parse with `"item"` allowed to be a
+/// string. Only consulted when the borrowed parser rejected the line, so
+/// its own error is discarded in favor of the fast path's (which named
+/// callers see for genuinely malformed lines).
+fn parse_event_named_slow(line: &str) -> Result<NamedEvent, ()> {
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    if i >= b.len() || b[i] != b'{' {
+        return Err(());
+    }
+    i += 1;
+    skip_ws(b, &mut i);
+
+    let mut ts = None;
+    let mut item: Option<ItemField> = None;
+    let mut offset = None;
+    let mut len = None;
+    let mut kind = None;
+    let mut ts_seen = false;
+    let mut item_seen = false;
+    let mut offset_seen = false;
+    let mut len_seen = false;
+    let mut kind_seen = false;
+
+    if i < b.len() && b[i] == b'}' {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(b, &mut i);
+            let (raw_key, key_escaped) = scan_string(line, &mut i).map_err(|_| ())?;
+            let key = resolve(raw_key, key_escaped).map_err(|_| ())?;
+            skip_ws(b, &mut i);
+            if i >= b.len() || b[i] != b':' {
+                return Err(());
+            }
+            i += 1;
+            skip_ws(b, &mut i);
+            if i < b.len() && b[i] == b'"' {
+                let (raw, esc) = scan_string(line, &mut i).map_err(|_| ())?;
+                let val = resolve(raw, esc).map_err(|_| ())?;
+                match key.as_ref() {
+                    "kind" if !kind_seen => {
+                        kind_seen = true;
+                        kind = match val.as_ref() {
+                            "Read" => Some(IoKind::Read),
+                            "Write" => Some(IoKind::Write),
+                            _ => return Err(()),
+                        }
+                    }
+                    // The one divergence from the borrowed parser: a
+                    // string item is a name, not a claimed-then-missing
+                    // numeric field.
+                    "item" if !item_seen => {
+                        item_seen = true;
+                        item = Some(ItemField::Name(val.into_owned()));
+                    }
+                    "ts" => ts_seen = true,
+                    "offset" => offset_seen = true,
+                    "len" => len_seen = true,
+                    _ => {}
+                }
+            } else if i < b.len() && b[i].is_ascii_digit() {
+                let mut n: u64 = 0;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((b[i] - b'0') as u64))
+                        .ok_or(())?;
+                    i += 1;
+                }
+                match key.as_ref() {
+                    "ts" if !ts_seen => {
+                        ts_seen = true;
+                        ts = Some(n);
+                    }
+                    "item" if !item_seen => {
+                        item_seen = true;
+                        item = Some(ItemField::Id(u32::try_from(n).map_err(|_| ())?));
+                    }
+                    "offset" if !offset_seen => {
+                        offset_seen = true;
+                        offset = Some(n);
+                    }
+                    "len" if !len_seen => {
+                        len_seen = true;
+                        len = Some(n);
+                    }
+                    "kind" if !kind_seen => return Err(()),
+                    _ => {}
+                }
+            } else {
+                return Err(());
+            }
+            skip_ws(b, &mut i);
+            match b.get(i) {
+                Some(b',') => {
+                    i += 1;
+                    continue;
+                }
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(()),
+            }
+        }
+    }
+    skip_ws(b, &mut i);
+    if i < b.len() {
+        return Err(());
+    }
+    Ok(NamedEvent {
+        ts: Micros(ts.ok_or(())?),
+        item: item.ok_or(())?,
+        offset: offset.ok_or(())?,
+        len: u32::try_from(len.ok_or(())?).map_err(|_| ())?,
+        kind: kind.ok_or(())?,
+    })
+}
+
 /// Extracts the `ts` and `item` values of an event line with a minimal
 /// forward scan, without parsing the other fields.
 ///
@@ -677,6 +842,39 @@ impl<R: BufRead> Iterator for EventReader<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn named_parser_accepts_both_item_forms() {
+        let byid =
+            parse_event_named(r#"{"ts":5,"item":7,"offset":0,"len":512,"kind":"Read"}"#).unwrap();
+        assert_eq!(byid.item, ItemField::Id(7));
+        assert_eq!(byid.ts, Micros(5));
+        let named = parse_event_named(
+            r#"{"ts":5,"item":"db/users tbl","offset":4096,"len":512,"kind":"Write"}"#,
+        )
+        .unwrap();
+        assert_eq!(named.item, ItemField::Name("db/users tbl".into()));
+        assert_eq!(named.kind, IoKind::Write);
+        assert_eq!(named.offset, 4096);
+        // Escapes resolve in names exactly as in other strings.
+        let esc = parse_event_named(r#"{"ts":1,"item":"a\tb","offset":0,"len":1,"kind":"Read"}"#)
+            .unwrap();
+        assert_eq!(esc.item, ItemField::Name("a\tb".into()));
+    }
+
+    #[test]
+    fn named_parser_keeps_the_borrowed_error_surface() {
+        // Malformed lines report the borrowed parser's message so the
+        // net edge's `line N:` errors match the file front end's.
+        let err = parse_event_named(r#"{"ts":5,"offset":0,"len":512,"kind":"Read"}"#).unwrap_err();
+        assert_eq!(err, "missing field \"item\"");
+        let err = parse_event_named("not json").unwrap_err();
+        assert!(err.starts_with("expected '{'"), "{err}");
+        // A string where only numbers belong still fails.
+        assert!(
+            parse_event_named(r#"{"ts":"5","item":1,"offset":0,"len":1,"kind":"Read"}"#).is_err()
+        );
+    }
 
     fn rec(ts: u64, item: u32, kind: IoKind) -> LogicalIoRecord {
         LogicalIoRecord {

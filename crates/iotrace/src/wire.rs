@@ -1,0 +1,604 @@
+//! `ees.event.v1`: the compact binary event wire format.
+//!
+//! NDJSON is the debuggable interchange format, but at a million events
+//! per connection its parse cost dominates ingest. This module is the
+//! hand-rolled binary alternative (no external codec crates, like the
+//! report/checkpoint codecs): a 4-byte magic, then varint-framed
+//! records. DESIGN.md §14 is the normative layout spec; the shapes in
+//! brief:
+//!
+//! * stream  := magic `"EEV1"` , record* , EOF
+//! * record  := tag u8 , payload
+//!   * `0x01`/`0x02` — event (read/write): zigzag-varint ts delta from
+//!     the previous event (first event: from 0), varint item id, varint
+//!     offset, varint len;
+//!   * `0x03` — define: varint wire id, varint name byte-length, that
+//!     many bytes of UTF-8 name. Binds the **stream-local** wire id to
+//!     an item name; the receiver resolves the name through its
+//!     interner, so two senders using different local ids for the same
+//!     name land on the same dense id.
+//!
+//! Timestamps are delta-coded because event streams are (nearly) sorted:
+//! a 1-second gap costs 3 bytes instead of 5+, and out-of-order inputs
+//! (chaos streams) still round-trip exactly through the signed zigzag.
+//! A typical 4 KiB read event costs 8–10 bytes against ~60 for its
+//! NDJSON line.
+//!
+//! Decode errors carry the 1-based record number (`record N: …`),
+//! mirroring the NDJSON front end's `line N: …` convention so the
+//! monitor drivers surface either format's failures the same way.
+
+use crate::ndjson::{format_event, EventReader};
+use crate::record::LogicalIoRecord;
+use crate::types::{DataItemId, IoKind, Micros};
+use std::io::{self, BufRead, Read, Write};
+
+/// The 4-byte stream magic a binary `ees.event.v1` stream starts with.
+/// NDJSON streams can never collide with it: their first byte is `{`,
+/// `#`, or whitespace.
+pub const EVENT_MAGIC: [u8; 4] = *b"EEV1";
+
+const TAG_READ: u8 = 0x01;
+const TAG_WRITE: u8 = 0x02;
+const TAG_DEFINE: u8 = 0x03;
+
+/// Longest sane name accepted in a define record; a larger length is a
+/// framing error, not a real name.
+pub const MAX_NAME_LEN: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Varints: LEB128 u64, zigzag for signed deltas.
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// One decoded wire record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRecord {
+    /// A logical I/O event. The item id is stream-local when a define
+    /// bound it, global otherwise — [`BinaryEventReader`] leaves the
+    /// resolution to the caller via [`WireRecord::Define`].
+    Event(LogicalIoRecord),
+    /// A name binding: wire id `id` means `name` for the rest of the
+    /// stream.
+    Define {
+        /// The stream-local wire id being bound.
+        id: u32,
+        /// The item name it denotes.
+        name: String,
+    },
+}
+
+/// Streaming encoder for `ees.event.v1`.
+///
+/// Buffers into an internal `Vec` and flushes opportunistically so each
+/// event costs a few byte pushes, not a syscall. Call
+/// [`flush`](Self::flush) (or drop after `finish`) when the stream is
+/// done.
+pub struct BinaryEventWriter<W: Write> {
+    out: W,
+    buf: Vec<u8>,
+    prev_ts: u64,
+}
+
+const WRITER_FLUSH: usize = 32 * 1024;
+
+impl<W: Write> BinaryEventWriter<W> {
+    /// Starts a stream on `out`, writing the magic immediately (into the
+    /// internal buffer; the first flush puts it on the wire).
+    pub fn new(out: W) -> Self {
+        let mut buf = Vec::with_capacity(WRITER_FLUSH + 64);
+        buf.extend_from_slice(&EVENT_MAGIC);
+        BinaryEventWriter {
+            out,
+            buf,
+            prev_ts: 0,
+        }
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        if self.buf.len() >= WRITER_FLUSH {
+            self.out.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Appends one event record.
+    pub fn event(&mut self, rec: &LogicalIoRecord) -> io::Result<()> {
+        self.buf.push(match rec.kind {
+            IoKind::Read => TAG_READ,
+            IoKind::Write => TAG_WRITE,
+        });
+        // Wrapping delta over the full u64 domain: backward jumps
+        // encode as negative zigzags, and even pathological timestamps
+        // near the ends of the range roundtrip exactly.
+        put_varint(
+            &mut self.buf,
+            zigzag(rec.ts.0.wrapping_sub(self.prev_ts) as i64),
+        );
+        self.prev_ts = rec.ts.0;
+        put_varint(&mut self.buf, rec.item.0 as u64);
+        put_varint(&mut self.buf, rec.offset);
+        put_varint(&mut self.buf, rec.len as u64);
+        self.spill()
+    }
+
+    /// Appends a define record binding `id` to `name`.
+    pub fn define(&mut self, id: u32, name: &str) -> io::Result<()> {
+        assert!(name.len() <= MAX_NAME_LEN, "name too long for the wire");
+        self.buf.push(TAG_DEFINE);
+        put_varint(&mut self.buf, id as u64);
+        put_varint(&mut self.buf, name.len() as u64);
+        self.buf.extend_from_slice(name.as_bytes());
+        self.spill()
+    }
+
+    /// Flushes everything buffered to the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.out.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.out.flush()
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming decoder for `ees.event.v1`.
+///
+/// Reads through its own refill buffer so per-record costs are byte
+/// loads, not `read` calls. The decoder is strict: a truncated record,
+/// an unknown tag, or an over-long varint is an
+/// [`InvalidData`](io::ErrorKind::InvalidData) error naming the record
+/// number. End of input *between* records is the clean end of stream.
+pub struct BinaryEventReader<R: Read> {
+    input: R,
+    buf: Vec<u8>,
+    pos: usize,
+    end: usize,
+    eof: bool,
+    magic_checked: bool,
+    prev_ts: u64,
+    records: u64,
+}
+
+const READER_BUF: usize = 64 * 1024;
+
+impl<R: Read> BinaryEventReader<R> {
+    /// Starts decoding `input`, which must begin with [`EVENT_MAGIC`];
+    /// the magic is checked on the first [`next`](Self::next) call.
+    pub fn new(input: R) -> Self {
+        Self::with_magic_consumed(input, false)
+    }
+
+    /// Starts decoding a stream whose magic the caller already consumed
+    /// while sniffing the format (the socket accept path).
+    pub fn after_magic(input: R) -> Self {
+        Self::with_magic_consumed(input, true)
+    }
+
+    fn with_magic_consumed(input: R, consumed: bool) -> Self {
+        BinaryEventReader {
+            input,
+            buf: vec![0; READER_BUF],
+            pos: 0,
+            end: 0,
+            eof: false,
+            magic_checked: consumed,
+            prev_ts: 0,
+            records: 0,
+        }
+    }
+
+    /// Records decoded so far (defines included).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn bad(&self, msg: impl std::fmt::Display) -> io::Error {
+        let n = self.records.wrapping_add(1);
+        io::Error::new(io::ErrorKind::InvalidData, format!("record {n}: {msg}"))
+    }
+
+    /// Ensures at least one buffered byte, returning `false` at EOF.
+    fn fill(&mut self) -> io::Result<bool> {
+        while self.pos == self.end {
+            if self.eof {
+                return Ok(false);
+            }
+            self.pos = 0;
+            self.end = 0;
+            match self.input.read(&mut self.buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.end = n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    fn byte(&mut self) -> io::Result<Option<u8>> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(Some(b))
+    }
+
+    fn need_byte(&mut self, what: &str) -> io::Result<u8> {
+        match self.byte()? {
+            Some(b) => Ok(b),
+            None => Err(self.bad(format!("truncated {what}"))),
+        }
+    }
+
+    fn varint(&mut self, what: &str) -> io::Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.need_byte(what)?;
+            if shift == 63 && b > 1 {
+                return Err(self.bad(format!("{what} varint overflows u64")));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(self.bad(format!("{what} varint overflows u64")));
+            }
+        }
+    }
+
+    fn check_magic(&mut self) -> io::Result<()> {
+        let mut magic = [0u8; 4];
+        for slot in &mut magic {
+            *slot = match self.byte()? {
+                Some(b) => b,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "missing ees.event.v1 magic",
+                    ))
+                }
+            };
+        }
+        if magic != EVENT_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad magic {magic:02x?} (expected \"EEV1\")"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Decodes the next record; `Ok(None)` is the clean end of stream.
+    pub fn next_record(&mut self) -> io::Result<Option<WireRecord>> {
+        if !self.magic_checked {
+            self.check_magic()?;
+            self.magic_checked = true;
+        }
+        let Some(tag) = self.byte()? else {
+            return Ok(None);
+        };
+        let rec = match tag {
+            TAG_READ | TAG_WRITE => {
+                let delta = unzigzag(self.varint("event timestamp")?);
+                let ts = self.prev_ts.wrapping_add(delta as u64);
+                self.prev_ts = ts;
+                let item = self.varint("event item")?;
+                if item > u64::from(u32::MAX) {
+                    return Err(self.bad(format!("item id {item} exceeds u32")));
+                }
+                let offset = self.varint("event offset")?;
+                let len = self.varint("event length")?;
+                if len > u64::from(u32::MAX) {
+                    return Err(self.bad(format!("event length {len} exceeds u32")));
+                }
+                WireRecord::Event(LogicalIoRecord {
+                    ts: Micros(ts),
+                    item: DataItemId(item as u32),
+                    offset,
+                    len: len as u32,
+                    kind: if tag == TAG_READ {
+                        IoKind::Read
+                    } else {
+                        IoKind::Write
+                    },
+                })
+            }
+            TAG_DEFINE => {
+                let id = self.varint("define id")?;
+                if id > u64::from(u32::MAX) {
+                    return Err(self.bad(format!("define id {id} exceeds u32")));
+                }
+                let n = self.varint("define name length")? as usize;
+                if n > MAX_NAME_LEN {
+                    return Err(self.bad(format!("define name length {n} exceeds {MAX_NAME_LEN}")));
+                }
+                let mut bytes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bytes.push(self.need_byte("define name")?);
+                }
+                let name = String::from_utf8(bytes)
+                    .map_err(|_| self.bad("define name is not valid UTF-8"))?;
+                WireRecord::Define {
+                    id: id as u32,
+                    name,
+                }
+            }
+            other => return Err(self.bad(format!("unknown record tag 0x{other:02x}"))),
+        };
+        self.records += 1;
+        Ok(Some(rec))
+    }
+}
+
+/// Encodes a record sequence into a complete `ees.event.v1` byte stream
+/// (magic included) — the one-shot counterpart of
+/// [`BinaryEventWriter`].
+pub fn encode_events<'a>(records: impl IntoIterator<Item = &'a LogicalIoRecord>) -> Vec<u8> {
+    let mut w = BinaryEventWriter::new(Vec::new());
+    for rec in records {
+        w.event(rec).expect("Vec sink cannot fail");
+    }
+    w.finish().expect("Vec sink cannot fail")
+}
+
+/// Decodes a complete byte stream into its records, resolving defines
+/// away: every event's stream-local id is mapped through the defines
+/// seen so far via `resolve(name)`.
+pub fn decode_events(
+    bytes: &[u8],
+    mut resolve: impl FnMut(&str) -> DataItemId,
+) -> io::Result<Vec<LogicalIoRecord>> {
+    let mut r = BinaryEventReader::new(bytes);
+    let mut local = LocalNames::default();
+    let mut out = Vec::new();
+    while let Some(rec) = r.next_record()? {
+        match rec {
+            WireRecord::Event(mut e) => {
+                e.item = local.resolve(e.item);
+                out.push(e);
+            }
+            WireRecord::Define { id, name } => local.bind(id, resolve(&name)),
+        }
+    }
+    Ok(out)
+}
+
+/// Per-stream map from wire-local ids to global [`DataItemId`]s, fed by
+/// define records. Ids never defined pass through unchanged — numeric
+/// catalogs need no defines at all.
+#[derive(Debug, Default)]
+pub struct LocalNames {
+    bindings: std::collections::HashMap<u32, DataItemId>,
+}
+
+impl LocalNames {
+    /// Binds wire id `id` to the global `global` id.
+    pub fn bind(&mut self, id: u32, global: DataItemId) {
+        self.bindings.insert(id, global);
+    }
+
+    /// Maps a wire item id to its global id (identity when unbound).
+    pub fn resolve(&self, id: DataItemId) -> DataItemId {
+        self.bindings.get(&id.0).copied().unwrap_or(id)
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no wire id is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+/// Which framing a byte stream speaks, sniffed from its first bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFormat {
+    /// Newline-delimited JSON events.
+    Ndjson,
+    /// The `ees.event.v1` binary framing.
+    Binary,
+}
+
+impl std::fmt::Display for StreamFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StreamFormat::Ndjson => "ndjson",
+            StreamFormat::Binary => "binary",
+        })
+    }
+}
+
+/// Classifies a stream prefix: [`EVENT_MAGIC`] means binary, anything
+/// else NDJSON (whose lines start with `{`, `#`, or whitespace — never
+/// `E`). Shorter-than-4-byte streams are NDJSON by definition: a binary
+/// stream is at least its magic.
+pub fn sniff_format(prefix: &[u8]) -> StreamFormat {
+    if prefix.len() >= 4 && prefix[..4] == EVENT_MAGIC {
+        StreamFormat::Binary
+    } else {
+        StreamFormat::Ndjson
+    }
+}
+
+/// Transcodes an NDJSON event stream to `ees.event.v1`, preserving event
+/// order exactly. Blank and `#`-comment lines are dropped (they carry no
+/// events); a malformed line aborts with the NDJSON reader's
+/// `line N: …` error.
+pub fn transcode_ndjson_to_binary<R: BufRead, W: Write>(input: R, output: W) -> io::Result<u64> {
+    let mut w = BinaryEventWriter::new(output);
+    let mut n = 0u64;
+    for rec in EventReader::new(input) {
+        w.event(&rec?)?;
+        n += 1;
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+/// Transcodes a binary `ees.event.v1` stream back to canonical NDJSON
+/// lines — the exact bytes [`format_event`] emits, so
+/// NDJSON → binary → NDJSON round-trips byte-identically for canonical
+/// input. Defines are resolved with `resolve` and do not emit lines.
+pub fn transcode_binary_to_ndjson<R: Read, W: Write>(
+    input: R,
+    mut output: W,
+    mut resolve: impl FnMut(&str) -> DataItemId,
+) -> io::Result<u64> {
+    let mut r = BinaryEventReader::new(input);
+    let mut local = LocalNames::default();
+    let mut n = 0u64;
+    while let Some(rec) = r.next_record()? {
+        match rec {
+            WireRecord::Event(mut e) => {
+                e.item = local.resolve(e.item);
+                output.write_all(format_event(&e).as_bytes())?;
+                output.write_all(b"\n")?;
+                n += 1;
+            }
+            WireRecord::Define { id, name } => local.bind(id, resolve(&name)),
+        }
+    }
+    output.flush()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, item: u32, offset: u64, len: u32, kind: IoKind) -> LogicalIoRecord {
+        LogicalIoRecord {
+            ts: Micros(ts),
+            item: DataItemId(item),
+            offset,
+            len,
+            kind,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let recs = vec![
+            rec(0, 0, 0, 0, IoKind::Read),
+            rec(1_000_000, 7, 4096, 8192, IoKind::Write),
+            rec(999_999, 7, 1 << 40, u32::MAX, IoKind::Read), // ts goes backward
+            rec(u32::MAX as u64 * 3, u32::MAX, u64::MAX, 1, IoKind::Write),
+        ];
+        let bytes = encode_events(&recs);
+        assert_eq!(&bytes[..4], &EVENT_MAGIC);
+        let back = decode_events(&bytes, |_| unreachable!("no defines")).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn defines_rebind_stream_local_ids() {
+        let mut w = BinaryEventWriter::new(Vec::new());
+        w.define(0, "volume/a").unwrap();
+        w.define(1, "volume/b").unwrap();
+        w.event(&rec(5, 0, 0, 4096, IoKind::Read)).unwrap();
+        w.event(&rec(6, 1, 0, 4096, IoKind::Write)).unwrap();
+        w.event(&rec(7, 99, 0, 4096, IoKind::Read)).unwrap(); // undefined: passes through
+        let bytes = w.finish().unwrap();
+        let mut interner = crate::intern::ItemInterner::with_floor(1000);
+        let back = decode_events(&bytes, |name| interner.intern(name)).unwrap();
+        assert_eq!(
+            back.iter().map(|r| r.item.0).collect::<Vec<_>>(),
+            vec![1000, 1001, 99]
+        );
+        assert_eq!(interner.name(DataItemId(1000)), Some("volume/a"));
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_name_the_record() {
+        let bytes = encode_events(&[rec(1, 2, 3, 4, IoKind::Read)]);
+        for cut in 5..bytes.len() {
+            let err = decode_events(&bytes[..cut], |_| DataItemId(0)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut={cut}");
+            assert!(err.to_string().starts_with("record 1: "), "cut={cut} {err}");
+        }
+        let mut bad = bytes.clone();
+        bad.push(0x7f);
+        let err = decode_events(&bad, |_| DataItemId(0)).unwrap_err();
+        assert!(err.to_string().contains("record 2"), "{err}");
+        assert!(err.to_string().contains("unknown record tag"), "{err}");
+    }
+
+    #[test]
+    fn missing_or_bad_magic_is_rejected() {
+        let err = decode_events(b"EEV", |_| DataItemId(0)).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        let err = decode_events(b"EEV2\x01\x00", |_| DataItemId(0)).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        // Empty stream: no magic at all.
+        assert!(decode_events(b"", |_| DataItemId(0)).is_err());
+    }
+
+    #[test]
+    fn sniffing_separates_the_framings() {
+        assert_eq!(sniff_format(b"EEV1\x01"), StreamFormat::Binary);
+        assert_eq!(sniff_format(b"{\"ts\":1"), StreamFormat::Ndjson);
+        assert_eq!(sniff_format(b"# c"), StreamFormat::Ndjson);
+        assert_eq!(sniff_format(b"EE"), StreamFormat::Ndjson);
+    }
+
+    #[test]
+    fn ndjson_binary_ndjson_is_byte_identical() {
+        let recs = vec![
+            rec(1, 3, 0, 4096, IoKind::Read),
+            rec(2_500_000, 4, 8192, 512, IoKind::Write),
+            rec(2_500_000, 3, 0, 4096, IoKind::Read),
+        ];
+        let mut canonical = String::new();
+        for r in &recs {
+            canonical.push_str(&format_event(r));
+            canonical.push('\n');
+        }
+        let mut bin = Vec::new();
+        let n = transcode_ndjson_to_binary(canonical.as_bytes(), &mut bin).unwrap();
+        assert_eq!(n, 3);
+        assert!(bin.len() < canonical.len() / 2, "binary must be compact");
+        let mut back = Vec::new();
+        transcode_binary_to_ndjson(&bin[..], &mut back, |_| DataItemId(0)).unwrap();
+        assert_eq!(String::from_utf8(back).unwrap(), canonical);
+    }
+
+    #[test]
+    fn transcoder_surfaces_ndjson_parse_errors_with_line_numbers() {
+        let input = "{\"ts\":1,\"item\":2,\"offset\":0,\"len\":1,\"kind\":\"Read\"}\nnope\n";
+        let err = transcode_ndjson_to_binary(input.as_bytes(), Vec::new()).unwrap_err();
+        assert!(err.to_string().starts_with("line 2: "), "{err}");
+    }
+}

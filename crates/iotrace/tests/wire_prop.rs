@@ -1,0 +1,105 @@
+//! Property tests of the `ees.event.v1` binary codec.
+//!
+//! Two invariants carry the whole net control plane:
+//!
+//! * **Roundtrip** — any record sequence (extreme timestamps, backward
+//!   timestamps, maximal offsets/lengths) survives encode → decode
+//!   exactly; the zigzag timestamp deltas and LEB128 varints lose
+//!   nothing.
+//! * **Transcode parity** — NDJSON → binary → NDJSON reproduces the
+//!   canonical NDJSON bytes exactly, so a transcoded capture replays to
+//!   byte-identical plans by construction.
+
+use ees_iotrace::ndjson::format_event;
+use ees_iotrace::wire::{
+    decode_events, encode_events, sniff_format, transcode_binary_to_ndjson,
+    transcode_ndjson_to_binary, StreamFormat, EVENT_MAGIC,
+};
+use ees_iotrace::{DataItemId, IoKind, LogicalIoRecord, Micros};
+use proptest::prelude::*;
+
+/// Arbitrary records with adversarial numeric shapes: tiny and maximal
+/// timestamps (forcing multi-byte zigzag deltas in both directions),
+/// boundary offsets/lengths straddling every varint width.
+fn arb_records() -> impl Strategy<Value = Vec<LogicalIoRecord>> {
+    let ts = prop_oneof![
+        4 => 0u64..1u64 << 20,
+        2 => (u64::MAX - 1024)..=u64::MAX,
+        2 => any::<u64>(),
+    ];
+    let varint_edge = prop_oneof![
+        3 => 0u64..300,
+        2 => Just((1u64 << 7) - 1),
+        2 => Just(1u64 << 7),
+        2 => Just((1u64 << 14) - 1),
+        2 => Just(1u64 << 35),
+        1 => Just(u64::MAX),
+    ];
+    let rec = (
+        ts,
+        0u32..=u32::MAX,
+        varint_edge,
+        0u32..=u32::MAX,
+        prop::bool::ANY,
+    );
+    prop::collection::vec(rec, 0..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(ts, item, offset, len, is_read)| LogicalIoRecord {
+                ts: Micros(ts),
+                item: DataItemId(item),
+                offset,
+                len,
+                kind: if is_read { IoKind::Read } else { IoKind::Write },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Encode → decode is the identity on any record sequence —
+    /// including *unsorted* timestamps, which the signed delta encoding
+    /// must absorb rather than reject.
+    #[test]
+    fn binary_roundtrip_is_exact(records in arb_records()) {
+        let bytes = encode_events(&records);
+        prop_assert_eq!(sniff_format(&bytes), StreamFormat::Binary);
+        prop_assert_eq!(&bytes[..4], &EVENT_MAGIC[..]);
+        let back = decode_events(&bytes, |_| unreachable!("no defines emitted"))
+            .expect("own encoding must decode");
+        prop_assert_eq!(back, records);
+    }
+
+    /// NDJSON → binary → NDJSON returns the canonical bytes exactly.
+    #[test]
+    fn transcode_parity_is_byte_identical(records in arb_records()) {
+        let mut ndjson = String::new();
+        for rec in &records {
+            ndjson.push_str(&format_event(rec));
+            ndjson.push('\n');
+        }
+        let mut bin = Vec::new();
+        let n = transcode_ndjson_to_binary(ndjson.as_bytes(), &mut bin).unwrap();
+        prop_assert_eq!(n, records.len() as u64);
+        let mut back = Vec::new();
+        let m = transcode_binary_to_ndjson(&bin[..], &mut back, |_| {
+            unreachable!("numeric-only stream defines no names")
+        })
+        .unwrap();
+        prop_assert_eq!(m, records.len() as u64);
+        prop_assert_eq!(String::from_utf8(back).unwrap(), ndjson);
+    }
+
+    /// Truncating a valid stream anywhere strictly inside a record never
+    /// panics and never fabricates a record: the decoder either reports
+    /// the records it fully received or fails with a clean error.
+    #[test]
+    fn truncation_never_fabricates_records(records in arb_records(), cut in 0usize..4096) {
+        let bytes = encode_events(&records);
+        let cut = cut % bytes.len().max(1);
+        // A clean decode error is equally acceptable; only a fabricated
+        // record (or a panic) would fail.
+        if let Ok(prefix) = decode_events(&bytes[..cut], |_| DataItemId(0)) {
+            prop_assert!(prefix.len() <= records.len());
+        }
+    }
+}

@@ -47,6 +47,12 @@ pub struct ControllerCheckpoint {
     pub placement: Vec<(DataItemId, EnclosureId, u64)>,
     /// Items marked sequentially accessed, in item order.
     pub sequential: Vec<DataItemId>,
+    /// The ingest-edge interner's name table in id order (index `i` is
+    /// the name of id `floor + i`, where the floor is the first id past
+    /// the numeric catalog). Empty when the run never interned a name.
+    /// Carried so a restore re-binds every name to the same dense id —
+    /// the property that keeps named-stream restores byte-identical.
+    pub names: Vec<String>,
     /// The controller's dynamic state.
     pub state: ControllerState,
 }
@@ -119,6 +125,18 @@ impl Enc {
             LogicalIoPattern::P2 => "P2",
             LogicalIoPattern::P3 => "P3",
         });
+    }
+
+    /// Item names may contain whitespace, so they travel as a single
+    /// `n`-prefixed token of hex-encoded UTF-8 bytes (`n` alone is the
+    /// empty name).
+    fn name(&mut self, s: &str) {
+        let mut t = String::with_capacity(1 + 2 * s.len());
+        t.push('n');
+        for b in s.bytes() {
+            let _ = write!(t, "{b:02x}");
+        }
+        self.tok(&t);
     }
 }
 
@@ -199,6 +217,20 @@ impl<'a> Dec<'a> {
             "P3" => Ok(LogicalIoPattern::P3),
             t => Err(bad(format!("bad pattern `{t}`"))),
         }
+    }
+
+    fn name(&mut self) -> DecResult<String> {
+        let t = self.tok()?;
+        let err = || bad(format!("bad name token `{t}`"));
+        let hex = t.strip_prefix('n').ok_or_else(err)?;
+        if hex.len() % 2 != 0 {
+            return Err(err());
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            bytes.push(u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| err())?);
+        }
+        String::from_utf8(bytes).map_err(|_| err())
     }
 }
 
@@ -481,6 +513,16 @@ pub fn encode_checkpoint(cp: &ControllerCheckpoint) -> String {
     for it in &s.items {
         enc_item(&mut e, it);
     }
+    // Optional section: absent when no names were ever interned, which
+    // also keeps checkpoints from numeric-id-only runs byte-identical
+    // to what they were before the section existed.
+    if !cp.names.is_empty() {
+        e.tok("interner");
+        e.u64(cp.names.len() as u64);
+        for name in &cp.names {
+            e.name(name);
+        }
+    }
     e.tok("end");
     e.out.push('\n');
     e.out
@@ -528,7 +570,19 @@ pub fn decode_checkpoint(text: &str) -> Result<ControllerCheckpoint, OnlineError
     for _ in 0..n {
         items.push(dec_item(&mut d)?);
     }
-    d.expect("end")?;
+    let names = match d.tok()? {
+        "end" => Vec::new(),
+        "interner" => {
+            let n = d.usize()?;
+            let mut names = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                names.push(d.name()?);
+            }
+            d.expect("end")?;
+            names
+        }
+        t => return Err(bad(format!("expected `interner` or `end`, found `{t}`"))),
+    };
     if let Some(extra) = d.toks.next() {
         return Err(bad(format!("trailing data after `end`: `{extra}`")));
     }
@@ -537,6 +591,7 @@ pub fn decode_checkpoint(text: &str) -> Result<ControllerCheckpoint, OnlineError
         last_ts,
         placement,
         sequential,
+        names,
         state: ControllerState {
             break_even,
             period_start,
@@ -579,6 +634,7 @@ mod tests {
                 (DataItemId(7), EnclosureId(3), 1 << 30),
             ],
             sequential: vec![DataItemId(7)],
+            names: vec!["db/users.ibd".into(), "logs/app log".into(), String::new()],
             state: ControllerState {
                 break_even: Micros::from_secs(52),
                 period_start: Micros::from_secs(60),
@@ -688,6 +744,46 @@ mod tests {
                 decode_checkpoint(&text[..cut]).is_err(),
                 "truncation at {cut} went undetected"
             );
+        }
+    }
+
+    #[test]
+    fn interner_section_is_optional() {
+        // A checkpoint from a numeric-id-only run omits the section;
+        // decode yields an empty name table.
+        let mut cp = sample();
+        cp.names.clear();
+        let text = encode_checkpoint(&cp);
+        assert!(!text.contains("interner"));
+        assert_eq!(decode_checkpoint(&text).unwrap(), cp);
+    }
+
+    #[test]
+    fn names_survive_whitespace_and_unicode() {
+        let mut cp = sample();
+        cp.names = vec![
+            "a b\tc\nd".into(),
+            "naïve/ürlaub-файл".into(),
+            String::new(),
+            "n".into(),
+        ];
+        let back = decode_checkpoint(&encode_checkpoint(&cp)).unwrap();
+        assert_eq!(back.names, cp.names);
+    }
+
+    #[test]
+    fn bad_name_token_is_rejected() {
+        let mut cp = sample();
+        cp.names.clear();
+        let text = encode_checkpoint(&cp);
+        let body = text.trim_end().strip_suffix("end").unwrap();
+        for bad in [
+            "interner 1 6162 end",
+            "interner 1 nzz end",
+            "interner 1 nf end",
+        ] {
+            let t = format!("{body}{bad}");
+            assert!(decode_checkpoint(&t).is_err(), "accepted `{bad}`");
         }
     }
 

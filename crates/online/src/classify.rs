@@ -11,10 +11,10 @@
 
 use ees_core::{classify, ItemReport};
 use ees_iotrace::{
-    DataItemId, IntervalBuilder, IntervalBuilderState, IopsSeries, LogicalIoRecord, Micros, Span,
+    DataItemId, DenseItemMap, IntervalBuilder, IntervalBuilderState, IopsSeries, LogicalIoRecord,
+    Micros, Span,
 };
 use ees_simstorage::PlacementMap;
-use std::collections::BTreeMap;
 
 /// Checkpointable snapshot of one item's mid-period classification state.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +63,10 @@ impl ItemState {
 pub struct IncrementalClassifier {
     period_start: Micros,
     break_even: Micros,
-    items: BTreeMap<DataItemId, ItemState>,
+    /// Flat id-indexed per-item state: interned ids are dense, so the
+    /// hot fold is a vector index, not a tree walk. Iteration stays in
+    /// ascending id order, which keeps checkpoint export byte-stable.
+    items: DenseItemMap<ItemState>,
 }
 
 impl IncrementalClassifier {
@@ -72,7 +75,7 @@ impl IncrementalClassifier {
         IncrementalClassifier {
             period_start,
             break_even,
-            items: BTreeMap::new(),
+            items: DenseItemMap::new(),
         }
     }
 
@@ -91,7 +94,7 @@ impl IncrementalClassifier {
     pub fn export_items(&self) -> Vec<ItemCheckpoint> {
         self.items
             .iter()
-            .map(|(&id, s)| ItemCheckpoint {
+            .map(|(id, s)| ItemCheckpoint {
                 id,
                 builder: s.builder.export_state(),
                 buckets: s.buckets.clone(),
@@ -106,30 +109,28 @@ impl IncrementalClassifier {
     /// caller constructs the classifier with the checkpointed period
     /// start and break-even first.
     pub fn import_items(&mut self, items: Vec<ItemCheckpoint>) {
-        self.items = items
-            .into_iter()
-            .map(|c| {
-                (
-                    c.id,
-                    ItemState {
-                        builder: IntervalBuilder::from_state(c.builder),
-                        buckets: c.buckets,
-                        last_ts: c.last_ts,
-                        count_at_last_ts: c.count_at_last_ts,
-                    },
-                )
-            })
-            .collect();
+        self.items.clear();
+        for c in items {
+            self.items.insert(
+                c.id,
+                ItemState {
+                    builder: IntervalBuilder::from_state(c.builder),
+                    buckets: c.buckets,
+                    last_ts: c.last_ts,
+                    count_at_last_ts: c.count_at_last_ts,
+                },
+            );
+        }
     }
 
     /// Folds one record into the running state. Records must arrive in
     /// timestamp order, at or after the period start.
     pub fn observe(&mut self, rec: &LogicalIoRecord) {
         debug_assert!(rec.ts >= self.period_start);
-        let state = self
-            .items
-            .entry(rec.item)
-            .or_insert_with(|| ItemState::new(rec.item, self.period_start, self.break_even));
+        let (period_start, break_even) = (self.period_start, self.break_even);
+        let state = self.items.get_or_insert_with(rec.item, || {
+            ItemState::new(rec.item, period_start, break_even)
+        });
         state.builder.observe(rec.ts, rec.kind, rec.len);
         let idx = ((rec.ts - self.period_start).0 / 1_000_000) as usize;
         if idx >= state.buckets.len() {
@@ -184,7 +185,7 @@ impl IncrementalClassifier {
             .iter()
             .filter(|(id, _)| owned(*id))
             .map(|(id, pl)| {
-                let (stats, iops) = match self.items.remove(&id) {
+                let (stats, iops) = match self.items.remove(id) {
                     Some(mut state) => {
                         // The batch IOPS series has exactly n buckets and
                         // drops records at `ts == end`; mirror both.

@@ -121,6 +121,7 @@ impl DaemonController {
                     .map(|(id, pl)| (id, pl.enclosure, pl.size))
                     .collect(),
                 sequential: sequential.iter().copied().collect(),
+                names: Vec::new(),
                 state: c.export_state(),
             }),
             DaemonController::Sharded(c) => c.checkpoint(events, last_ts, placement, sequential),
@@ -352,6 +353,19 @@ impl ColocatedDaemon {
     /// The storage-side harness (placement, power meters).
     pub fn harness(&self) -> &StreamHarness {
         &self.harness
+    }
+
+    /// Flushes the classification shards and surfaces any fatal
+    /// supervision failure (a quarantined shard). Rollover barriers run
+    /// this health check implicitly; call it after the *last* record too
+    /// — a stream that ends mid-period never reaches another barrier, so
+    /// without this check a quarantine in the final period would report
+    /// success. No-op for the single-threaded controller.
+    pub fn sync(&mut self) -> Result<(), OnlineError> {
+        match &mut self.controller {
+            DaemonController::Single(_) => Ok(()),
+            DaemonController::Sharded(c) => c.sync(),
+        }
     }
 
     fn invoke(

@@ -183,6 +183,16 @@ impl IngestCounters {
             dropped: self.dropped(),
         }
     }
+
+    /// Producer-side bump, shared with the net-ingest merger.
+    pub(crate) fn add_accepted(&self, n: u64) {
+        self.accepted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Recycle-pool hit bump, shared with the net-ingest merger.
+    pub(crate) fn add_recycled(&self, n: u64) {
+        self.recycled.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// Spawns the reader thread: parses NDJSON events from `input` and feeds
@@ -300,6 +310,11 @@ pub struct BatchPool {
 }
 
 impl BatchPool {
+    /// Wraps a return channel (the net-ingest merger builds its own).
+    pub(crate) fn new(returns: Sender<Vec<LogicalIoRecord>>) -> Self {
+        BatchPool { returns }
+    }
+
     /// Hands a drained batch buffer back for reuse. The producer clears
     /// it before refilling, so returning a non-empty buffer is safe (its
     /// leftover records are discarded, not re-delivered).

@@ -69,6 +69,7 @@ pub mod error;
 pub mod fault;
 pub mod frontend;
 pub mod ingest;
+pub mod net;
 pub mod pipeline;
 pub mod ring;
 pub mod shard;
@@ -91,6 +92,7 @@ pub use ingest::{
     spawn_reader, spawn_reader_batched, spawn_reader_batched_pooled, spawn_reader_parallel,
     BatchPool, IngestCounters, IngestStats, OverflowPolicy, PooledReader, RetryingReader,
 };
+pub use net::{spawn_net_ingest, ConnSnapshot, NetCounters, NetListener, NetOptions, NetReader};
 pub use pipeline::{
     run_monitor_serial, run_monitor_sharded, run_monitor_sharded_with, MonitorOutcome, STAGE_MAX,
 };

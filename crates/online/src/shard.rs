@@ -956,6 +956,7 @@ impl ShardedController {
                 .map(|(id, pl)| (id, pl.enclosure, pl.size))
                 .collect(),
             sequential: sequential.iter().copied().collect(),
+            names: Vec::new(),
             state,
         })
     }

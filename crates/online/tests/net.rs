@@ -1,0 +1,375 @@
+//! Integration contract of the net control plane (DESIGN.md §14):
+//! however the events arrive — how many connections, which framing on
+//! each, numeric ids or names — the merged stream and everything folded
+//! from it is a function of event content alone.
+//!
+//! * Property test: arbitrary event sets, split round-robin across 1–4
+//!   connections in arbitrary per-connection framings, merge into
+//!   exactly the key-sorted union, with names interned in merged order.
+//! * Plan equivalence: a four-sender socket run folded at shard counts
+//!   {1, 4, 8}, in both framings, lands plan-for-plan on the reference
+//!   fold of the sorted event set.
+//! * Interner stability: a checkpointed name table decodes and imports
+//!   to the identical id mapping — the restore side of byte-identical
+//!   named-stream resumes.
+
+use ees_iotrace::ndjson::json_escape;
+use ees_iotrace::wire::BinaryEventWriter;
+use ees_iotrace::{DataItemId, IoKind, ItemInterner, LogicalIoRecord, Micros};
+use ees_online::{
+    decode_checkpoint, encode_checkpoint, spawn_net_ingest, ColocatedDaemon, NetListener,
+    NetOptions, PlanEnvelope,
+};
+use ees_replay::CatalogItem;
+use ees_simstorage::StorageConfig;
+use ees_workloads::{fileserver, FileServerParams, Workload};
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Interned names allocate from here; numeric test ids stay well below.
+const FLOOR: u32 = 1000;
+/// Wire-local define ids for binary senders; far above any numeric item
+/// id a test event uses, so identity passthrough never collides.
+const LOCAL_BASE: u32 = 1 << 20;
+
+const NAMES: [&str; 4] = ["vol/a", "vol/b", "naïve name", "logs\tq"];
+
+/// A test event before transport: numeric item or named item.
+#[derive(Debug, Clone)]
+struct TestEvent {
+    ts: u64,
+    item: Result<u32, usize>, // Ok(numeric id) | Err(index into NAMES)
+    offset: u64,
+    len: u32,
+    read: bool,
+}
+
+fn kind_of(read: bool) -> IoKind {
+    if read {
+        IoKind::Read
+    } else {
+        IoKind::Write
+    }
+}
+
+/// The merge key net.rs sorts by: ids before names, names by string.
+fn sort_key(e: &TestEvent) -> (u64, u8, u32, &str, u64, u32, bool) {
+    match e.item {
+        Ok(id) => (e.ts, 0, id, "", e.offset, e.len, !e.read),
+        Err(n) => (e.ts, 1, 0, NAMES[n], e.offset, e.len, !e.read),
+    }
+}
+
+/// What the merge must emit: the key-sorted union with names interned
+/// in sorted order from `FLOOR`.
+fn expected_records(sorted: &[TestEvent]) -> Vec<LogicalIoRecord> {
+    let mut interner = ItemInterner::with_floor(FLOOR);
+    sorted
+        .iter()
+        .map(|e| LogicalIoRecord {
+            ts: Micros(e.ts),
+            item: match e.item {
+                Ok(id) => DataItemId(id),
+                Err(n) => interner.intern(NAMES[n]),
+            },
+            offset: e.offset,
+            len: e.len,
+            kind: kind_of(e.read),
+        })
+        .collect()
+}
+
+fn ndjson_line(e: &TestEvent) -> String {
+    let item = match e.item {
+        Ok(id) => id.to_string(),
+        Err(n) => format!("\"{}\"", json_escape(NAMES[n])),
+    };
+    format!(
+        "{{\"ts\":{},\"item\":{item},\"offset\":{},\"len\":{},\"kind\":\"{}\"}}\n",
+        e.ts,
+        e.offset,
+        e.len,
+        if e.read { "Read" } else { "Write" }
+    )
+}
+
+fn send_ndjson(mut s: UnixStream, events: Vec<TestEvent>) {
+    for e in &events {
+        s.write_all(ndjson_line(e).as_bytes()).unwrap();
+    }
+}
+
+fn send_binary(s: UnixStream, events: Vec<TestEvent>) {
+    let mut w = BinaryEventWriter::new(s);
+    let mut defined = [false; NAMES.len()];
+    for e in &events {
+        let item = match e.item {
+            Ok(id) => DataItemId(id),
+            Err(n) => {
+                if !defined[n] {
+                    w.define(LOCAL_BASE + n as u32, NAMES[n]).unwrap();
+                    defined[n] = true;
+                }
+                DataItemId(LOCAL_BASE + n as u32)
+            }
+        };
+        w.event(&LogicalIoRecord {
+            ts: Micros(e.ts),
+            item,
+            offset: e.offset,
+            len: e.len,
+            kind: kind_of(e.read),
+        })
+        .unwrap();
+    }
+    w.finish().unwrap();
+}
+
+fn fresh_sock(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "ees-net-it-{}-{tag}-{}.sock",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Drives one full net run: key-sorts `events`, stripes them round-robin
+/// over `formats.len()` connections (each sender's stream stays sorted),
+/// and returns the merged records next to the expected key-sorted union.
+fn run_merge(
+    tag: &str,
+    mut events: Vec<TestEvent>,
+    formats: &[bool], // per-conn: true = binary, false = ndjson
+) -> (Vec<LogicalIoRecord>, Vec<LogicalIoRecord>) {
+    events.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    let expected = expected_records(&events);
+
+    let sock = fresh_sock(tag);
+    let listener = NetListener::bind(sock.to_str().unwrap()).unwrap();
+    let interner = Arc::new(Mutex::new(ItemInterner::with_floor(FLOOR)));
+    let (rx, pool, _live, _net, handle) = spawn_net_ingest(
+        listener,
+        NetOptions {
+            conns: formats.len(),
+            capacity: 4,
+            batch: 16,
+            allow_new_names: true,
+        },
+        interner,
+    );
+    let mut senders = Vec::new();
+    for (c, &binary) in formats.iter().enumerate() {
+        let mine: Vec<TestEvent> = events
+            .iter()
+            .skip(c)
+            .step_by(formats.len())
+            .cloned()
+            .collect();
+        let sock = sock.clone();
+        senders.push(std::thread::spawn(move || {
+            let s = UnixStream::connect(&sock).unwrap();
+            if binary {
+                send_binary(s, mine);
+            } else {
+                send_ndjson(s, mine);
+            }
+        }));
+    }
+    let mut merged = Vec::new();
+    for batch in rx {
+        merged.extend_from_slice(&batch);
+        pool.recycle(batch);
+    }
+    for t in senders {
+        t.join().unwrap();
+    }
+    let stats = handle.join().unwrap().unwrap();
+    assert_eq!(stats.accepted, expected.len() as u64);
+    std::fs::remove_file(&sock).ok();
+    (merged, expected)
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<TestEvent>> {
+    let item = prop_oneof![
+        3 => (0u32..50).prop_map(Ok),
+        2 => (0usize..NAMES.len()).prop_map(Err),
+    ];
+    let rec = (
+        0u64..1000,
+        item,
+        0u64..1 << 30,
+        1u32..1 << 16,
+        any::<bool>(),
+    );
+    prop::collection::vec(rec, 0..120).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(ts, item, offset, len, read)| TestEvent {
+                ts,
+                item,
+                offset,
+                len,
+                read,
+            })
+            .collect()
+    })
+}
+
+/// Item names with adversarial shapes for the checkpoint codec: empty,
+/// whitespace of every kind, unicode, and a literal `n` (the name-token
+/// prefix character).
+fn arb_name() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("vol"),
+        Just("tbl.customer"),
+        Just("naïve-ürlaub"),
+        Just("файл"),
+        Just(" "),
+        Just("\t"),
+        Just("\n"),
+        Just("n"),
+        Just("/"),
+        Just(""),
+    ];
+    prop::collection::vec(fragment, 0..5).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any event set, any connection count, any per-connection framing:
+    /// the merge emits exactly the key-sorted union, names resolved to
+    /// the dense ids their merged positions dictate.
+    #[test]
+    fn merge_is_the_key_sorted_union(
+        events in arb_events(),
+        formats in prop::collection::vec(any::<bool>(), 1..=4),
+    ) {
+        let (merged, expected) = run_merge("prop", events, &formats);
+        prop_assert_eq!(merged, expected);
+    }
+
+    /// A checkpointed name table survives encode → decode → import with
+    /// the identical mapping, and continues allocating from where the
+    /// original left off.
+    #[test]
+    fn interner_table_is_stable_across_checkpoint_restore(
+        names in prop::collection::vec(arb_name(), 0..40),
+    ) {
+        let mut original = ItemInterner::with_floor(FLOOR);
+        for n in &names {
+            original.intern(n);
+        }
+        // Ride the real checkpoint codec: a live daemon's checkpoint
+        // with the name table attached, through text and back.
+        let w = fileserver::generate(3, &FileServerParams::scaled(0.01));
+        let mut daemon = ColocatedDaemon::new(
+            &catalog(&w),
+            w.num_enclosures,
+            &StorageConfig::ams2500(w.num_enclosures),
+            Default::default(),
+        );
+        for rec in w.trace.records().iter().take(50) {
+            daemon.step(*rec).unwrap();
+        }
+        let mut cp = daemon.checkpoint().unwrap();
+        cp.names = original.export();
+        let text = encode_checkpoint(&cp);
+        let back = decode_checkpoint(&text).expect("own checkpoint decodes");
+        prop_assert_eq!(&back.names, &cp.names);
+        let mut restored = ItemInterner::import(FLOOR, back.names);
+        for n in &names {
+            prop_assert_eq!(restored.lookup(n), original.lookup(n), "{}", n);
+        }
+        prop_assert_eq!(
+            restored.intern("a name no stream used"),
+            original.intern("a name no stream used"),
+            "allocation continues identically after restore"
+        );
+    }
+}
+
+fn catalog(w: &Workload) -> Vec<CatalogItem> {
+    w.items
+        .iter()
+        .map(|i| CatalogItem {
+            id: i.id,
+            size: i.size,
+            enclosure: i.enclosure,
+            access: i.access,
+        })
+        .collect()
+}
+
+fn fold_plans(
+    w: &Workload,
+    shards: usize,
+    records: impl IntoIterator<Item = LogicalIoRecord>,
+) -> (Vec<PlanEnvelope>, ees_online::OnlineSummary) {
+    let cfg = StorageConfig::ams2500(w.num_enclosures);
+    let policy = ees_core::ProposedConfig {
+        initial_period: Micros::from_secs(120),
+        ..Default::default()
+    };
+    let mut daemon =
+        ColocatedDaemon::with_shards(&catalog(w), w.num_enclosures, &cfg, policy, None, shards);
+    let mut envelopes = Vec::new();
+    for rec in records {
+        envelopes.extend(daemon.step(rec).unwrap());
+    }
+    daemon.sync().unwrap();
+    (envelopes, daemon.finish(None))
+}
+
+/// The acceptance bar for the control plane: a four-sender socket run —
+/// NDJSON or binary — folded at 1, 4, or 8 classification shards is
+/// plan-for-plan identical to the single-threaded fold of the sorted
+/// event set.
+#[test]
+fn socket_runs_fold_to_identical_plans_across_shards_and_formats() {
+    let w = fileserver::generate(11, &FileServerParams::scaled(0.03));
+    let mut sorted: Vec<LogicalIoRecord> = w.trace.records().to_vec();
+    sorted.sort_by_key(|r| {
+        (
+            r.ts,
+            r.item,
+            r.offset,
+            r.len,
+            matches!(r.kind, IoKind::Write),
+        )
+    });
+    let events: Vec<TestEvent> = sorted
+        .iter()
+        .map(|r| TestEvent {
+            ts: r.ts.0,
+            item: Ok(r.item.0),
+            offset: r.offset,
+            len: r.len,
+            read: matches!(r.kind, IoKind::Read),
+        })
+        .collect();
+
+    let (reference_plans, reference_summary) = fold_plans(&w, 1, sorted.iter().copied());
+    assert!(
+        reference_plans.len() >= 2,
+        "workload must actually exercise the planner"
+    );
+
+    for &binary in &[false, true] {
+        for &shards in &[1usize, 4, 8] {
+            let formats = [binary; 4];
+            let (merged, expected) = run_merge("plans", events.clone(), &formats);
+            assert_eq!(merged, expected, "merge must reproduce the sorted union");
+            let (plans, summary) = fold_plans(&w, shards, merged);
+            assert_eq!(
+                plans, reference_plans,
+                "plans diverged at shards={shards} binary={binary}"
+            );
+            assert_eq!(summary, reference_summary);
+        }
+    }
+}
