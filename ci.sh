@@ -35,15 +35,17 @@ echo "online smoke OK"
 
 echo "== online throughput smoke (100k events -> BENCH_online.json) =="
 # Times the serial monitor driver against the sharded one (parallel
-# ingest front end: one reader per shard) on a fixed 100k-event stream
-# (median of 3 runs per driver, after a warm-up). With a checked-in
-# baseline the run is a gate: >20% events/sec regression on either
-# driver fails, sharded p99 rollover stall may not grow past 2x the
-# baseline, scaling efficiency
+# ingest front end: one reader per shard) on a fixed 100k-event stream,
+# plus the same stream as a framed ees.event.v1 slice through the
+# zero-copy binary front end (median of 3 runs per driver, after a
+# warm-up). With a checked-in baseline the run is a gate: >20%
+# events/sec regression on any of the three drivers fails, sharded p99
+# rollover stall may not grow past 2x the baseline, scaling efficiency
 # (scaling_efficiency_x1000 = sharded / (serial x shards)) may not drop
-# below 80% of the baseline, and on >=4-CPU machines two absolute bars
-# apply: scaling efficiency >= 70% (x1000 >= 700) and sharded p99
-# rollover stall <= 200 us. The first run seeds the baseline.
+# below 80% of the baseline, and on >=4-CPU machines three absolute
+# bars apply: scaling efficiency >= 70% (x1000 >= 700), sharded p99
+# rollover stall <= 200 us, and framed-binary file ingest >= 1.5x the
+# sharded NDJSON events/sec. The first run seeds the baseline.
 BENCH_BASE="results/BENCH_online.baseline.json"
 cargo run --release -q -p ees-bench --bin online_smoke -- \
     results/BENCH_online.json "$BENCH_BASE"

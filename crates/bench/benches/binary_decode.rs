@@ -1,0 +1,83 @@
+//! Benchmarks for the binary-file ingest path (DESIGN.md §15): the
+//! NDJSON per-line parse the text front end pays versus the framed
+//! `ees.event.v1` block decode the binary front end pays on the same
+//! event stream, plus the block splitter's boundary scan — the cost of
+//! finding work for the decoder pool without touching payload bytes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ees_iotrace::ndjson::parse_event_borrowed;
+use ees_iotrace::wire::{decode_block, transcode_ndjson_to_binary_blocks, BlockSplitter};
+
+const EVENTS: u64 = 20_000;
+const ITEMS: u32 = 32;
+
+fn trace() -> String {
+    let mut s = String::with_capacity(EVENTS as usize * 64);
+    for i in 0..EVENTS {
+        s.push_str(&format!(
+            "{{\"ts\":{},\"item\":{},\"offset\":{},\"len\":8192,\"kind\":\"{}\"}}\n",
+            i * 5_000,
+            i % ITEMS as u64,
+            (i * 8192) % (1 << 30),
+            if i % 4 == 0 { "Write" } else { "Read" },
+        ));
+    }
+    s
+}
+
+fn bench_binary_decode(c: &mut Criterion) {
+    let text = trace();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut framed = Vec::new();
+    let (events, blocks) = transcode_ndjson_to_binary_blocks(text.as_bytes(), &mut framed, 0)
+        .expect("bench trace must transcode");
+    assert_eq!(events, EVENTS);
+    assert!(blocks >= 1);
+
+    let mut group = c.benchmark_group("binary_decode");
+    group.throughput(Throughput::Elements(EVENTS));
+
+    // The text front end's inner loop: one borrowed parse per line.
+    group.bench_function("parse_event_borrowed_20k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for line in &lines {
+                let rec = parse_event_borrowed(black_box(line)).expect("bench line parses");
+                n += rec.len as u64;
+            }
+            n
+        })
+    });
+
+    // The binary front end's inner loop: decode each framed block.
+    group.bench_function("decode_blocks_20k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for payload in BlockSplitter::new(black_box(&framed)).expect("framed") {
+                let block = decode_block(payload.expect("complete block"));
+                assert!(block.error.is_none());
+                for rec in &block.events {
+                    n += rec.len as u64;
+                }
+            }
+            n
+        })
+    });
+
+    // Just the boundary scan: what the splitter thread pays to hand
+    // blocks to the decoder pool.
+    group.bench_function("split_blocks_20k", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for payload in BlockSplitter::new(black_box(&framed)).expect("framed") {
+                bytes += payload.expect("complete block").len();
+            }
+            bytes
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_binary_decode);
+criterion_main!(benches);

@@ -1,6 +1,8 @@
 //! The 100k-event online throughput smoke: times the serial monitor
-//! driver against the sharded one on a fixed synthetic stream and writes
-//! the figures to a flat all-`u64` JSON file (`BENCH_online.json`) that
+//! driver against the sharded one — on the NDJSON text and on its
+//! framed `ees.event.v1` binary rendering through the zero-copy slice
+//! path a memory-mapped file takes — and writes the figures to a flat
+//! all-`u64` JSON file (`BENCH_online.json`) that
 //! `ees_iotrace::ndjson::parse_flat_object` can read back.
 //!
 //! ```text
@@ -18,20 +20,27 @@
 //! * sharded p99 rollover stall must stay within 2× the baseline;
 //! * scaling efficiency (`sharded / (serial × shards)`, reported as
 //!   `scaling_efficiency_x1000`) must stay ≥ 80% of the baseline;
+//! * framed-binary events/sec must stay within 20% of the baseline;
 //! * on a machine with ≥ 4 CPUs, scaling efficiency must additionally be
 //!   ≥ 70% (`scaling_efficiency_x1000 ≥ 700` — the parallel ingest front
 //!   end keeps the shards fed, so near-linear scaling is the contract,
-//!   not a stretch goal) and the sharded p99 rollover stall ≤ 200 µs (on
-//!   smaller machines the sharded win comes from the zero-copy parse
-//!   alone, so both absolute bars are only reported).
+//!   not a stretch goal), the sharded p99 rollover stall ≤ 200 µs, and
+//!   framed-binary file ingest must run ≥ 1.5× the sharded NDJSON
+//!   events/sec — block decode skips the JSON parse entirely, so the
+//!   speedup is the point of the format (on smaller machines all three
+//!   absolute bars are only reported).
 //!
 //! `ci.sh` checks the first run's output in as the baseline.
 
 use ees_core::ProposedConfig;
 use ees_iotrace::ndjson::parse_flat_object;
 use ees_iotrace::parallel::threads;
+use ees_iotrace::wire::transcode_ndjson_to_binary_blocks;
 use ees_iotrace::{DataItemId, EnclosureId, Micros};
-use ees_online::{run_monitor_serial, run_monitor_sharded, MonitorOutcome};
+use ees_online::{
+    run_monitor_serial, run_monitor_sharded, run_monitor_sharded_slice, MonitorOutcome,
+    ShardOptions,
+};
 use ees_replay::CatalogItem;
 use ees_simstorage::{Access, StorageConfig};
 use std::io::Cursor;
@@ -53,6 +62,10 @@ const P99_BAR_MICROS: u64 = 200;
 /// parallel front end feeding the shards, ≥ 70% of linear is the
 /// contract (the single-reader front end measured ~29% at 4 shards).
 const EFFICIENCY_BAR_X1000: u64 = 700;
+/// Absolute framed-binary speedup bar on a real multi-core box: block
+/// decode over an mmap-shaped slice must beat the sharded NDJSON parse
+/// by at least this factor.
+const BINARY_SPEEDUP_BAR: f64 = 1.5;
 
 fn catalog() -> Vec<CatalogItem> {
     (0..ITEMS)
@@ -121,6 +134,28 @@ fn run(shards: Option<usize>, text: &str) -> (MonitorOutcome, u64) {
     (out, rate)
 }
 
+/// The framed-binary file dimension: the same stream as a blocked
+/// `ees.event.v1` byte slice through the zero-copy splitter — exactly
+/// what `ees online trace.eev` does after mmap'ing the file.
+fn run_binary(shards: usize, bytes: &[u8]) -> (MonitorOutcome, u64) {
+    let items = catalog();
+    let storage = StorageConfig::ams2500(ENCLOSURES);
+    let started = Instant::now();
+    let out = run_monitor_sharded_slice(
+        bytes,
+        &items,
+        ENCLOSURES,
+        &storage,
+        policy(),
+        None,
+        shards,
+        ShardOptions::default(),
+    )
+    .expect("smoke binary must decode");
+    let rate = events_per_sec(out.events, started.elapsed().as_secs_f64());
+    (out, rate)
+}
+
 fn read_baseline(path: &str) -> Option<Vec<(String, u64)>> {
     let text = std::fs::read_to_string(path).ok()?;
     let line = text.lines().collect::<Vec<_>>().join(" ");
@@ -166,6 +201,24 @@ fn main() -> ExitCode {
         "serial and sharded drivers must emit the same plan sequence"
     );
 
+    // The same stream as a framed ees.event.v1 slice — the path an
+    // mmap'd binary trace file takes.
+    let mut framed = Vec::new();
+    let (binary_events, binary_blocks) =
+        transcode_ndjson_to_binary_blocks(text.as_bytes(), &mut framed, 0)
+            .expect("smoke trace must transcode");
+    assert_eq!(binary_events, EVENTS);
+    let _ = run_binary(shards, &framed);
+    let mut binary_runs: Vec<(MonitorOutcome, u64)> =
+        (0..3).map(|_| run_binary(shards, &framed)).collect();
+    binary_runs.sort_by_key(|&(_, rate)| rate);
+    let (binary, binary_rate) = binary_runs.swap_remove(1);
+    assert_eq!(
+        serial.plans.len(),
+        binary.plans.len(),
+        "NDJSON and framed-binary ingest must emit the same plan sequence"
+    );
+
     // Fixed-point so the flat JSON stays all-u64: 1000 = perfect linear
     // scaling across `shards` workers.
     let efficiency_x1000 =
@@ -173,10 +226,13 @@ fn main() -> ExitCode {
     let serial_p99 = serial.p99_rollover_micros();
     let sharded_p99 = sharded.p99_rollover_micros();
 
+    // Fixed-point binary-over-NDJSON speedup at the same shard count.
+    let binary_speedup_x1000 = (binary_rate as f64 * 1000.0 / sharded_rate.max(1) as f64) as u64;
     let json = format!(
         "{{\"events\": {}, \"shards\": {}, \"readers\": {}, \"plans\": {}, \
          \"serial_events_per_sec\": {}, \"sharded_events_per_sec\": {}, \
-         \"scaling_efficiency_x1000\": {}, \
+         \"binary_events_per_sec\": {}, \"binary_blocks\": {}, \
+         \"binary_speedup_x1000\": {}, \"scaling_efficiency_x1000\": {}, \
          \"serial_p99_rollover_micros\": {}, \"sharded_p99_rollover_micros\": {}}}\n",
         EVENTS,
         shards,
@@ -185,6 +241,9 @@ fn main() -> ExitCode {
         serial.plans.len(),
         serial_rate,
         sharded_rate,
+        binary_rate,
+        binary_blocks,
+        binary_speedup_x1000,
         efficiency_x1000,
         serial_p99,
         sharded_p99,
@@ -195,8 +254,10 @@ fn main() -> ExitCode {
     }
     println!(
         "online_smoke: serial {serial_rate} ev/s, sharded({shards}) {sharded_rate} ev/s \
-         (efficiency {:.2}), p99 rollover {serial_p99} us / {sharded_p99} us -> {out_path}",
+         (efficiency {:.2}), binary {binary_rate} ev/s ({:.2}x, {binary_blocks} blocks), \
+         p99 rollover {serial_p99} us / {sharded_p99} us -> {out_path}",
         efficiency_x1000 as f64 / 1000.0,
+        binary_speedup_x1000 as f64 / 1000.0,
     );
 
     let mut failed = false;
@@ -204,6 +265,7 @@ fn main() -> ExitCode {
         for (key, measured) in [
             ("serial_events_per_sec", serial_rate),
             ("sharded_events_per_sec", sharded_rate),
+            ("binary_events_per_sec", binary_rate),
         ] {
             let Some(base) = baseline_value(&baseline, key) else {
                 continue;
@@ -261,11 +323,22 @@ fn main() -> ExitCode {
             );
             failed = true;
         }
+        if (binary_speedup_x1000 as f64) < BINARY_SPEEDUP_BAR * 1000.0 {
+            eprintln!(
+                "online_smoke: framed-binary ingest {binary_rate} ev/s is only {:.2}x the \
+                 sharded NDJSON {sharded_rate} ev/s (< {BINARY_SPEEDUP_BAR}x) on a \
+                 {cpus}-CPU machine",
+                binary_speedup_x1000 as f64 / 1000.0,
+            );
+            failed = true;
+        }
     } else {
         println!(
             "online_smoke: {cpus} CPU(s); skipping the {EFFICIENCY_BAR_X1000} (x1000) \
-             efficiency and {P99_BAR_MICROS} us p99 bars (efficiency {efficiency_x1000}, \
-             p99 {sharded_p99} us reported only)"
+             efficiency, {P99_BAR_MICROS} us p99, and {BINARY_SPEEDUP_BAR}x binary bars \
+             (efficiency {efficiency_x1000}, p99 {sharded_p99} us, binary speedup \
+             {:.2}x reported only)",
+            binary_speedup_x1000 as f64 / 1000.0,
         );
     }
 

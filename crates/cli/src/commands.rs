@@ -24,16 +24,17 @@ use crate::jsonout;
 use ees_baselines::{Ddr, Pdc};
 use ees_core::{classify, EnergyEfficientPolicy, LogicalIoPattern, PatternMix, ProposedConfig};
 use ees_iotrace::wire::{
-    sniff_format, transcode_binary_to_ndjson, transcode_ndjson_to_binary, StreamFormat,
+    is_framed, sniff_format, sniff_format_checked, transcode_binary_to_ndjson,
+    transcode_ndjson_to_binary_blocks, StreamFormat,
 };
 use ees_iotrace::{
-    analyze_item_period, fmt_bytes, split_by_item, summarize, ItemInterner, Micros, Span,
+    analyze_item_period, fmt_bytes, map_file, split_by_item, summarize, ItemInterner, Micros, Span,
 };
 use ees_online::{
     read_checkpoint_file, run_chaos, silence_injected_panics, spawn_net_ingest,
-    spawn_reader_batched_pooled, spawn_reader_parallel, write_checkpoint_file, ChaosConfig,
-    ColocatedDaemon, NetListener, NetOptions, OverflowPolicy, PanicSchedule, RolloverReason,
-    ShardOptions, SupervisionPolicy,
+    spawn_reader_batched_pooled, spawn_reader_parallel, spawn_reader_parallel_mapped,
+    write_checkpoint_file, ChaosConfig, ColocatedDaemon, NetListener, NetOptions, OverflowPolicy,
+    PanicSchedule, RolloverReason, ShardOptions, SupervisionPolicy,
 };
 use ees_policy::{NoPowerSaving, PowerPolicy};
 use ees_replay::{run, CatalogItem, ReplayOptions};
@@ -94,6 +95,7 @@ struct Flags {
     listen: Option<String>,
     conns: usize,
     fail_shard: Option<(usize, u64)>,
+    block_bytes: usize,
 }
 
 impl Flags {
@@ -116,6 +118,7 @@ impl Flags {
             listen: None,
             conns: 1,
             fail_shard: None,
+            block_bytes: 0,
         };
         let mut positional = Vec::new();
         let mut it = args.iter();
@@ -202,6 +205,13 @@ impl Flags {
                         .parse()
                         .map_err(|_| CliError::Usage("--events expects an integer".into()))?
                 }
+                // `ees transcode` block framing target; 0 (the default)
+                // selects the codec's default block size.
+                "--block-bytes" => {
+                    flags.block_bytes = take("--block-bytes")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--block-bytes expects an integer".into()))?
+                }
                 other => positional.push(other.to_string()),
             }
         }
@@ -238,7 +248,7 @@ pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), Cl
         "replay" => replay(&positional, &flags, out),
         "mix" => mix(&positional, &flags, out),
         "online" => online(&positional, &flags, out),
-        "transcode" => transcode(&positional, out),
+        "transcode" => transcode(&positional, &flags, out),
         "chaos" => chaos(&flags, out),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
@@ -593,8 +603,13 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     // counts batches, so convert (rounding up to at least one batch).
     let capacity = flags.queue.div_ceil(flags.batch).max(1);
     // More than one resolved reader selects the parallel front end:
-    // same queue, batching, and backpressure policy, but the NDJSON
-    // parse fans out over `readers` threads instead of one.
+    // same queue, batching, and backpressure policy, but the parse fans
+    // out over `readers` threads instead of one. Regular files are
+    // memory-mapped and their format checked up front; binary streams
+    // always take the parallel front end (the batched serial reader is
+    // line-oriented), even at one reader.
+    let mut input_format: Option<StreamFormat> = None;
+    let mut input_framed = false;
     let (rx, pool, live, conn_counters, reader) = match &flags.listen {
         Some(addr) => {
             let listener = NetListener::bind(addr)?;
@@ -615,15 +630,40 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
             (rx, pool, live, Some(net), reader)
         }
         None => {
-            let input: Box<dyn BufRead + Send> = if trace_arg == "-" {
-                Box::new(BufReader::new(std::io::stdin()))
+            let mapped = if trace_arg == "-" {
+                None
             } else {
-                Box::new(BufReader::new(File::open(trace_arg)?))
+                // The fd can close once mapped; the mapping stays live.
+                map_file(&File::open(trace_arg)?)?
             };
-            let (rx, pool, live, reader) = if readers > 1 {
-                spawn_reader_parallel(input, capacity, flags.batch, overflow, readers, 0)
-            } else {
-                spawn_reader_batched_pooled(input, capacity, flags.batch, overflow)
+            let (rx, pool, live, reader) = match mapped {
+                Some(map) => {
+                    // A whole file in hand gets the strict sniff: an
+                    // empty or sub-magic-sized trace is a per-path error
+                    // here, not a misdetected NDJSON parse failure.
+                    let format = sniff_format_checked(&map)
+                        .map_err(|e| CliError::Parse(format!("{trace_arg}: {e}")))?;
+                    input_format = Some(format);
+                    input_framed = format == StreamFormat::Binary && is_framed(&map);
+                    spawn_reader_parallel_mapped(map, capacity, flags.batch, overflow, readers, 0)
+                }
+                None => {
+                    // Pipes, stdin, or a platform without mmap: stream.
+                    let mut input: Box<dyn BufRead + Send> = if trace_arg == "-" {
+                        Box::new(BufReader::new(std::io::stdin()))
+                    } else {
+                        Box::new(BufReader::new(File::open(trace_arg)?))
+                    };
+                    let prefix = input.fill_buf()?;
+                    let format = sniff_format(prefix);
+                    input_format = Some(format);
+                    input_framed = format == StreamFormat::Binary && is_framed(prefix);
+                    if readers > 1 || format == StreamFormat::Binary {
+                        spawn_reader_parallel(input, capacity, flags.batch, overflow, readers, 0)
+                    } else {
+                        spawn_reader_batched_pooled(input, capacity, flags.batch, overflow)
+                    }
+                }
             };
             (rx, pool, live, None, reader)
         }
@@ -673,6 +713,8 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
     // Report from the live counters the producer was bumping as it ran —
     // the same numbers a status probe would have read mid-stream.
     let ingest = live.snapshot();
+    let format_name = input_format.map(|f| f.to_string());
+    let block_count = input_framed.then(|| live.chunks());
     let connections = conn_counters
         .as_ref()
         .map(|n| n.snapshot())
@@ -692,6 +734,8 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
                 flags.batch,
                 shard_count,
                 readers,
+                format_name.as_deref(),
+                block_count,
                 &connections,
                 &plans,
             )
@@ -756,8 +800,11 @@ fn online(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result
 /// `ees transcode`: converts a captured event stream between NDJSON and
 /// the `ees.event.v1` binary framing, sniffing the direction from the
 /// input's first bytes. Event order is preserved exactly, so a
-/// transcoded stream replays to byte-identical plans.
-fn transcode(pos: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+/// transcoded stream replays to byte-identical plans. Binary output is
+/// block framed by default (`--block-bytes` sets the target payload
+/// size; `0` selects the codec default) so file replays can fan blocks
+/// out across parser threads.
+fn transcode(pos: &[String], flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let in_path = pos
         .first()
         .ok_or_else(|| CliError::Usage("transcode needs an input file".into()))?;
@@ -768,11 +815,12 @@ fn transcode(pos: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
     let format = sniff_format(reader.fill_buf()?);
     let mut writer = BufWriter::new(File::create(out_path)?);
     let (n, direction) = match format {
-        StreamFormat::Ndjson => (
-            transcode_ndjson_to_binary(reader, &mut writer)
-                .map_err(|e| CliError::Parse(format!("{in_path}: {e}")))?,
-            "ndjson → binary",
-        ),
+        StreamFormat::Ndjson => {
+            let (n, blocks) =
+                transcode_ndjson_to_binary_blocks(reader, &mut writer, flags.block_bytes)
+                    .map_err(|e| CliError::Parse(format!("{in_path}: {e}")))?;
+            (n, format!("ndjson → binary, {blocks} block(s)"))
+        }
         StreamFormat::Binary => {
             // A standalone transcode has no catalog: names intern into
             // fresh dense ids from 0, in stream order.
@@ -780,7 +828,7 @@ fn transcode(pos: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
             (
                 transcode_binary_to_ndjson(reader, &mut writer, |name| interner.intern(name))
                     .map_err(|e| CliError::Parse(format!("{in_path}: {e}")))?,
-                "binary → ndjson",
+                "binary → ndjson".to_string(),
             )
         }
     };

@@ -61,7 +61,8 @@ pub fn report_json(report: &RunReport) -> String {
 
 /// `ees online --json`: the daemon summary in the shared envelope, plus
 /// the ingest counters, the backpressure knobs the run used (`--queue`
-/// events / `--batch` records per delivery), and the emitted plan
+/// events / `--batch` records per delivery), the detected input format
+/// (with a block count for framed binary files), and the emitted plan
 /// sequence.
 #[allow(clippy::too_many_arguments)]
 pub fn online_json(
@@ -72,9 +73,20 @@ pub fn online_json(
     batch: usize,
     shards: usize,
     readers: usize,
+    format: Option<&str>,
+    blocks: Option<u64>,
     connections: &[ConnSnapshot],
     plans: &[PlanEnvelope],
 ) -> String {
+    // The input format is sniffed per run for file/stdin sources;
+    // `--listen` reports it per connection instead.
+    let format_field = format
+        .map(|f| format!(", \"format\": \"{}\"", json_escape(f)))
+        .unwrap_or_default();
+    // Block accounting appears only for framed binary files.
+    let block_field = blocks
+        .map(|b| format!(", \"blocks\": {b}"))
+        .unwrap_or_default();
     // Per-connection accounting appears only for `--listen` runs; file
     // and stdin reports keep their pre-socket shape byte for byte.
     let conn_field = if connections.is_empty() {
@@ -124,7 +136,7 @@ pub fn online_json(
          \"duration_secs\": {},\n  \"events\": {},\n  \"avg_power_watts\": {},\n  \
          \"avg_response_ms\": {},\n  \"periods\": {},\n  \"trigger_cuts\": {},\n  \
          \"spin_ups\": {},\n  \"shards\": {},\n  \"readers\": {},\n  \
-         \"ingest\": {{\"accepted\": {}, \"dropped\": {}, \"queue\": {}, \"batch\": {}{}}},\n  \
+         \"ingest\": {{\"accepted\": {}, \"dropped\": {}, \"queue\": {}, \"batch\": {}{}{}{}}},\n  \
          \"plans\": [\n{}  ]\n}}",
         json_escape(source),
         num(summary.duration.as_secs_f64()),
@@ -140,6 +152,8 @@ pub fn online_json(
         ingest.dropped,
         queue,
         batch,
+        format_field,
+        block_field,
         conn_field,
         plan_lines,
     )

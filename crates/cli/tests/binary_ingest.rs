@@ -1,0 +1,113 @@
+//! End-to-end CLI coverage for binary-file ingest: the strict format
+//! sniff on file inputs (empty / sub-magic traces fail with the path,
+//! not a baffling `line 1:` parse error) and the framed `ees.event.v1`
+//! path through `ees online` — same plans as the NDJSON original, plus
+//! format and block accounting in the `--json` ingest report.
+
+use ees_cli::run_cli;
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let mut buf = Vec::new();
+    match run_cli(args.iter().map(|s| s.to_string()).collect(), &mut buf) {
+        Ok(()) => Ok(String::from_utf8(buf).expect("output is UTF-8")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn gen_workload(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ees-cli-binary-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    run(&[
+        "gen",
+        "tpcc",
+        "--scale",
+        "0.01",
+        "--seed",
+        "42",
+        "--out",
+        &dir.to_string_lossy(),
+    ])
+    .expect("gen failed");
+    dir
+}
+
+#[test]
+fn empty_and_short_trace_files_fail_with_the_path() {
+    let dir = gen_workload("short");
+    let items = dir.join("tpcc.items.json");
+
+    let empty = dir.join("empty.trace");
+    std::fs::write(&empty, b"").unwrap();
+    let err = run(&["online", &empty.to_string_lossy(), &items.to_string_lossy()])
+        .expect_err("an empty trace file must be rejected");
+    assert!(
+        err.contains(&*empty.to_string_lossy()),
+        "path missing: {err}"
+    );
+    assert!(err.contains("empty input"), "wrong diagnosis: {err}");
+
+    let stub = dir.join("stub.trace");
+    std::fs::write(&stub, b"EE").unwrap();
+    let err = run(&["online", &stub.to_string_lossy(), &items.to_string_lossy()])
+        .expect_err("a sub-magic trace file must be rejected");
+    assert!(
+        err.contains(&*stub.to_string_lossy()),
+        "path missing: {err}"
+    );
+    assert!(err.contains("2 byte(s)"), "wrong diagnosis: {err}");
+    assert!(
+        err.contains("truncated ees.event.v1 magic"),
+        "missing hint: {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn framed_binary_file_yields_the_ndjson_plans_and_reports_blocks() {
+    let dir = gen_workload("framed");
+    let trace = dir.join("tpcc.trace.jsonl");
+    let items = dir.join("tpcc.items.json");
+    let binary = dir.join("tpcc.trace.eev");
+    run(&[
+        "transcode",
+        &trace.to_string_lossy(),
+        &binary.to_string_lossy(),
+    ])
+    .expect("transcode failed");
+
+    let online = |trace: &std::path::Path| {
+        run(&[
+            "online",
+            &trace.to_string_lossy(),
+            &items.to_string_lossy(),
+            "--period",
+            "20",
+            "--shards",
+            "2",
+            "--json",
+        ])
+        .expect("online failed")
+        .replace(&*trace.to_string_lossy(), "<SOURCE>")
+    };
+    let text = online(&trace);
+    let bin = online(&binary);
+
+    assert!(text.contains("\"format\": \"ndjson\""), "{text}");
+    assert!(bin.contains("\"format\": \"binary\""), "{bin}");
+    assert!(bin.contains("\"blocks\": "), "{bin}");
+
+    // Everything outside the ingest accounting — events, power,
+    // response, and the full plan sequence — must be byte-identical
+    // across the two encodings of the same trace.
+    let strip = |report: &str| -> String {
+        report
+            .lines()
+            .filter(|l| !l.contains("\"ingest\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&text), strip(&bin), "plans drifted across formats");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -186,6 +186,118 @@ impl<R: Read> Iterator for ChunkReader<R> {
     }
 }
 
+/// A [`RawChunk`] borrowing its bytes from the input slice instead of
+/// owning them — what [`SliceChunker`] emits, so an mmap'd trace flows
+/// to the parser threads without a single copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef<'a> {
+    /// Dense chunk sequence number, starting at 0.
+    pub seq: u64,
+    /// Absolute 1-based line number of the first line in `bytes`.
+    pub first_lineno: u64,
+    /// The chunk's bytes, borrowed from the source slice.
+    pub bytes: &'a [u8],
+}
+
+impl<'a> ChunkRef<'a> {
+    /// Iterates the chunk's lines as `(absolute_lineno, line)` pairs —
+    /// same contract as [`RawChunk::lines`].
+    pub fn lines(&self) -> ChunkLines<'a> {
+        ChunkLines {
+            bytes: self.bytes,
+            pos: 0,
+            lineno: self.first_lineno,
+        }
+    }
+}
+
+/// The zero-copy counterpart of [`ChunkReader`]: cuts an in-memory byte
+/// slice (an mmap'd trace file) into borrowed, newline-aligned
+/// [`ChunkRef`]s.
+///
+/// The cut points are **chunk-for-chunk identical** to a [`ChunkReader`]
+/// over the same bytes (property-tested in `tests/chunk_prop.rs`): the
+/// chunker simulates the reader's fill loop — grow by `target`, cut at
+/// the last newline once the target is reached, over-long lines keep
+/// growing, the unterminated tail flushes at the end — so the two input
+/// paths produce the same chunk sequence, not merely the same line
+/// sequence.
+#[derive(Debug)]
+pub struct SliceChunker<'a> {
+    bytes: &'a [u8],
+    /// Start of the current accumulation window (the reader's carry).
+    start: usize,
+    /// How far the simulated fill has "read".
+    fill: usize,
+    target: usize,
+    next_seq: u64,
+    next_lineno: u64,
+    done: bool,
+}
+
+impl<'a> SliceChunker<'a> {
+    /// Chunks `bytes` at roughly `target` bytes per chunk (at least one
+    /// byte; chunks can exceed the target by up to one line).
+    pub fn new(bytes: &'a [u8], target: usize) -> Self {
+        SliceChunker {
+            bytes,
+            start: 0,
+            fill: 0,
+            target: target.max(1),
+            next_seq: 0,
+            next_lineno: 1,
+            done: false,
+        }
+    }
+
+    /// Pulls the next newline-aligned chunk, or `None` at end of input.
+    pub fn next_chunk(&mut self) -> Option<ChunkRef<'a>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let window = &self.bytes[self.start..self.fill];
+            if window.len() >= self.target {
+                if let Some(pos) = window.iter().rposition(|&b| b == b'\n') {
+                    let chunk = self.emit(&self.bytes[self.start..self.start + pos + 1]);
+                    self.start += pos + 1;
+                    return Some(chunk);
+                }
+            }
+            if self.fill == self.bytes.len() {
+                self.done = true;
+                if self.start == self.fill {
+                    return None;
+                }
+                // Final flush: the last line may lack its newline.
+                let chunk = self.emit(&self.bytes[self.start..self.fill]);
+                self.start = self.fill;
+                return Some(chunk);
+            }
+            self.fill = (self.fill + self.target).min(self.bytes.len());
+        }
+    }
+
+    fn emit(&mut self, bytes: &'a [u8]) -> ChunkRef<'a> {
+        let chunk = ChunkRef {
+            seq: self.next_seq,
+            first_lineno: self.next_lineno,
+            bytes,
+        };
+        self.next_seq += 1;
+        self.next_lineno += count_byte(bytes, b'\n') as u64;
+        chunk
+    }
+}
+
+impl<'a> Iterator for SliceChunker<'a> {
+    type Item = ChunkRef<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_chunk()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +399,31 @@ mod tests {
             .map(|(i, l)| (i as u64 + 1, l.as_bytes().to_vec()))
             .collect();
         assert_eq!(all, want);
+    }
+
+    #[test]
+    fn slice_chunker_matches_chunk_reader_cut_for_cut() {
+        let inputs = [
+            "alpha\nbeta\n\ngamma delta\n# comment\nepsilon\n",
+            "a\nb\nc-no-newline",
+            "",
+            "one-long-line-no-newline-at-all",
+            "a\r\nb\r\n",
+            "\n\n\n",
+        ];
+        for input in inputs {
+            for target in 1..=input.len() + 2 {
+                let streamed: Vec<RawChunk> = chunks(input, target);
+                let sliced: Vec<RawChunk> = SliceChunker::new(input.as_bytes(), target)
+                    .map(|c| RawChunk {
+                        seq: c.seq,
+                        first_lineno: c.first_lineno,
+                        bytes: c.bytes.to_vec(),
+                    })
+                    .collect();
+                assert_eq!(sliced, streamed, "input={input:?} target={target}");
+            }
+        }
     }
 
     #[test]

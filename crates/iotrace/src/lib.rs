@@ -14,7 +14,10 @@
 //! * JSON-Lines trace serialization ([`io`]) and the dependency-free
 //!   NDJSON event codec of the online controller ([`ndjson`]),
 //! * the `ees.event.v1` compact binary wire format ([`wire`]) and the
-//!   dense item-id interning it feeds ([`intern`]).
+//!   dense item-id interning it feeds ([`intern`]),
+//! * zero-copy file input for the parallel front ends: memory-mapped
+//!   traces ([`mmap`]) sliced by the newline chunker ([`chunk`]) or the
+//!   framed-block splitter ([`wire::BlockSplitter`]).
 //!
 //! Everything downstream (the simulator, the workload generators, the
 //! proposed policy, and the baselines) builds on these types.
@@ -25,6 +28,7 @@ pub mod chunk;
 pub mod histogram;
 pub mod intern;
 pub mod io;
+pub mod mmap;
 pub mod ndjson;
 pub mod parallel;
 pub mod record;
@@ -35,6 +39,7 @@ pub mod wire;
 
 pub use histogram::LatencyHistogram;
 pub use intern::{DenseItemMap, ItemInterner, DENSE_ID_LIMIT};
+pub use mmap::{map_file, Mmap};
 pub use ndjson::EventReader;
 pub use record::{LogicalIoRecord, LogicalTrace, PhysicalIoRecord, PhysicalTrace};
 pub use slice::{summarize, TraceSummary};
@@ -44,7 +49,8 @@ pub use stats::{
 };
 pub use types::{fmt_bytes, DataItemId, EnclosureId, IoKind, Micros, VolumeId, GIB, KIB, MIB, TIB};
 pub use wire::{
-    decode_events, encode_events, sniff_format, transcode_binary_to_ndjson,
-    transcode_ndjson_to_binary, BinaryEventReader, BinaryEventWriter, LocalNames, StreamFormat,
-    WireRecord, EVENT_MAGIC,
+    decode_block, decode_events, encode_events, encode_events_framed, is_framed, sniff_format,
+    sniff_format_checked, transcode_binary_to_ndjson, transcode_ndjson_to_binary,
+    transcode_ndjson_to_binary_blocks, BinaryEventReader, BinaryEventWriter, BlockSplitter,
+    DecodedBlock, LocalNames, NamedEvent, StreamFormat, WireRecord, EVENT_MAGIC,
 };

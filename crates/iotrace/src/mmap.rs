@@ -1,0 +1,260 @@
+//! Memory-mapped trace input: the zero-copy byte source under the
+//! parallel file front end.
+//!
+//! Streamed reads copy every trace byte at least twice (kernel →
+//! reader buffer → chunk `Vec`) before a parser ever sees it. Mapping
+//! the file instead hands the front end one long `&[u8]` the splitter
+//! can slice without copying: NDJSON chunks come from
+//! [`SliceChunker`](crate::chunk::SliceChunker), framed binary blocks
+//! from [`BlockSplitter`](crate::wire::BlockSplitter), and parser
+//! threads decode straight out of the page cache.
+//!
+//! The workspace links no libc (the container builds fully offline), so
+//! [`map_file`] issues the `mmap`/`munmap` syscalls directly via inline
+//! assembly on Linux x86-64 and aarch64. Everywhere else — and for
+//! anything that is not a plain regular file (pipes, sockets, stdin) or
+//! where the kernel declines the mapping — it returns `Ok(None)` and
+//! the caller falls back to the streamed [`ChunkReader`] path, which
+//! every consumer keeps anyway.
+//!
+//! The mapping is private and read-only. Like every file replayer here,
+//! it assumes the trace is not truncated underneath a running ingest:
+//! shrinking a mapped file makes the pages past the new end fault
+//! (`SIGBUS`) on any OS, streamed or mapped.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only, private memory mapping of a whole file. Derefs to
+/// `[u8]`; unmapped on drop. `Send + Sync` because the mapping is
+/// immutable for its lifetime.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is MAP_PRIVATE + PROT_READ — no mutation is
+// possible through it, so sharing across threads is as safe as sharing
+// a `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe a live PROT_READ mapping until drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: exactly the region mmap returned; no slice into it
+            // can outlive `self` (Deref borrows `self`).
+            unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+/// Maps `file` read-only in its entirety. `Ok(None)` means "stream it
+/// instead": not a regular file, an unsupported platform, or a kernel
+/// that refused the mapping — never a hard failure, because every
+/// caller has a streamed fallback. Only metadata inspection can error.
+pub fn map_file(file: &File) -> io::Result<Option<Mmap>> {
+    let meta = file.metadata()?;
+    if !meta.is_file() {
+        return Ok(None);
+    }
+    let len = meta.len();
+    if len == 0 {
+        // A zero-length mapping is EINVAL; an empty slice needs no map.
+        return Ok(Some(Mmap {
+            ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+            len: 0,
+        }));
+    }
+    if len > usize::MAX as u64 {
+        return Ok(None);
+    }
+    match sys::mmap_readonly(file, len as usize) {
+        Some(ptr) => Ok(Some(Mmap {
+            ptr,
+            len: len as usize,
+        })),
+        None => Ok(None),
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::arch::asm;
+    use std::fs::File;
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Maps `len` bytes of `file` read-only; `None` when the kernel
+    /// declines (the caller streams instead).
+    pub fn mmap_readonly(file: &File, len: usize) -> Option<*const u8> {
+        let fd = file.as_raw_fd();
+        let ret = unsafe { mmap_raw(len, fd) };
+        // Errors come back as -errno in the return register; real
+        // user-space mappings are never in the top page.
+        if ret as isize >= -4095 && (ret as isize) < 0 {
+            None
+        } else {
+            Some(ret as *const u8)
+        }
+    }
+
+    /// Unmaps a region previously returned by [`mmap_readonly`].
+    ///
+    /// # Safety
+    /// `ptr`/`len` must be exactly one live mapping, with no outstanding
+    /// borrows of its bytes.
+    pub unsafe fn munmap(ptr: *const u8, len: usize) {
+        munmap_raw(ptr, len);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn mmap_raw(len: usize, fd: i32) -> usize {
+        const SYS_MMAP: usize = 9;
+        let ret: usize;
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn munmap_raw(ptr: *const u8, len: usize) {
+        const SYS_MUNMAP: usize = 11;
+        let _ret: usize;
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP => _ret,
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn mmap_raw(len: usize, fd: i32) -> usize {
+        const SYS_MMAP: usize = 222;
+        let ret: usize;
+        asm!(
+            "svc #0",
+            inlateout("x0") 0usize => ret,
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            in("x8") SYS_MMAP,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn munmap_raw(ptr: *const u8, len: usize) {
+        const SYS_MUNMAP: usize = 215;
+        let _ret: usize;
+        asm!(
+            "svc #0",
+            inlateout("x0") ptr as usize => _ret,
+            in("x1") len,
+            in("x8") SYS_MUNMAP,
+            options(nostack),
+        );
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use std::fs::File;
+
+    pub fn mmap_readonly(_file: &File, _len: usize) -> Option<*const u8> {
+        None
+    }
+
+    pub unsafe fn munmap(_ptr: *const u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ees-mmap-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn mapped_bytes_equal_streamed_bytes() {
+        let path = temp_path("bytes");
+        let payload: Vec<u8> = (0..100_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = map_file(&file)
+            .unwrap()
+            .expect("regular files map on linux");
+        assert_eq!(&map[..], &payload[..]);
+        // The mapping is independently shareable across threads.
+        let sum: u64 = std::thread::scope(|scope| {
+            let halves = map.split_at(map.len() / 2);
+            let a = scope.spawn(|| halves.0.iter().map(|&b| b as u64).sum::<u64>());
+            let b = scope.spawn(|| halves.1.iter().map(|&b| b as u64).sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        });
+        assert_eq!(sum, payload.iter().map(|&b| b as u64).sum::<u64>());
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_an_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = map_file(&file).unwrap().expect("empty files still map");
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -18,6 +18,23 @@
 //!     interner, so two senders using different local ids for the same
 //!     name land on the same dense id.
 //!
+//! Streams may optionally be **block framed** (DESIGN.md §15) for
+//! seekable, splittable files:
+//!
+//! * framed stream := magic `"EEV1"` , block* , EOF
+//! * block := `0x04` , payload length u32 LE , payload
+//! * payload := record* — ordinary records, but **self-contained**: the
+//!   timestamp delta chain restarts at 0 (the first event's delta *is*
+//!   its absolute timestamp) and every define an event in the block
+//!   relies on is re-emitted inside the block. A splitter can therefore
+//!   hand whole blocks to independent decoder threads with no shared
+//!   state ([`BlockSplitter`] + [`decode_block`]).
+//!
+//! The streaming [`BinaryEventReader`] decodes framed and unframed
+//! streams alike — a block header just resets the delta chain and is
+//! not counted as a record, so serial and block-parallel decodes agree
+//! on `record N:` numbering.
+//!
 //! Timestamps are delta-coded because event streams are (nearly) sorted:
 //! a 1-second gap costs 3 bytes instead of 5+, and out-of-order inputs
 //! (chaos streams) still round-trip exactly through the signed zigzag.
@@ -42,9 +59,29 @@ const TAG_READ: u8 = 0x01;
 const TAG_WRITE: u8 = 0x02;
 const TAG_DEFINE: u8 = 0x03;
 
+/// Tag byte opening a framed block: `0x04`, then a u32 LE payload
+/// length, then that many bytes of self-contained records.
+pub const TAG_BLOCK: u8 = 0x04;
+
 /// Longest sane name accepted in a define record; a larger length is a
 /// framing error, not a real name.
 pub const MAX_NAME_LEN: usize = 4096;
+
+/// Default framed-block payload target — the same granularity as the
+/// NDJSON chunk splitter, so one block is one unit of parallel decode.
+pub const DEFAULT_BLOCK_BYTES: usize = 256 * 1024;
+
+/// Largest block payload a reader accepts; a bigger length prefix is a
+/// framing error, not a real block. Writers clamp their target well
+/// below this so a trailing over-size record never overflows it.
+pub const MAX_BLOCK_BYTES: usize = 64 * 1024 * 1024;
+
+/// Whether a binary stream prefix is block framed: the magic followed
+/// immediately by a block header. A bare magic (an empty stream) counts
+/// as unframed — both decode paths agree it holds zero events.
+pub fn is_framed(prefix: &[u8]) -> bool {
+    prefix.len() >= 5 && prefix[..4] == EVENT_MAGIC && prefix[4] == TAG_BLOCK
+}
 
 // ---------------------------------------------------------------------------
 // Varints: LEB128 u64, zigzag for signed deltas.
@@ -86,23 +123,44 @@ pub enum WireRecord {
     },
 }
 
-/// Streaming encoder for `ees.event.v1`.
+/// Streaming encoder for `ees.event.v1`, unframed by default or block
+/// framed via [`with_block_bytes`](Self::with_block_bytes).
 ///
 /// Buffers into an internal `Vec` and flushes opportunistically so each
 /// event costs a few byte pushes, not a syscall. Call
 /// [`flush`](Self::flush) (or drop after `finish`) when the stream is
 /// done.
+///
+/// In framed mode the writer keeps each block self-contained: the
+/// timestamp delta chain restarts per block, and a define binding is
+/// lazily re-emitted inside any block whose events reference it — so a
+/// block decodes correctly with no context from its predecessors.
 pub struct BinaryEventWriter<W: Write> {
     out: W,
     buf: Vec<u8>,
     prev_ts: u64,
+    framing: Option<Framing>,
+}
+
+/// Writer-side block-framing state.
+struct Framing {
+    /// Close the current block once its payload reaches this size.
+    block_bytes: usize,
+    /// The open block's payload, held back until its length is known.
+    block: Vec<u8>,
+    /// Stream-level bindings from the caller's `define` calls.
+    bindings: std::collections::HashMap<u32, String>,
+    /// Bindings already re-emitted into the open block.
+    emitted: std::collections::HashMap<u32, String>,
+    /// Blocks closed so far.
+    blocks: u64,
 }
 
 const WRITER_FLUSH: usize = 32 * 1024;
 
 impl<W: Write> BinaryEventWriter<W> {
-    /// Starts a stream on `out`, writing the magic immediately (into the
-    /// internal buffer; the first flush puts it on the wire).
+    /// Starts an unframed stream on `out`, writing the magic immediately
+    /// (into the internal buffer; the first flush puts it on the wire).
     pub fn new(out: W) -> Self {
         let mut buf = Vec::with_capacity(WRITER_FLUSH + 64);
         buf.extend_from_slice(&EVENT_MAGIC);
@@ -110,7 +168,35 @@ impl<W: Write> BinaryEventWriter<W> {
             out,
             buf,
             prev_ts: 0,
+            framing: None,
         }
+    }
+
+    /// Starts a **block framed** stream on `out`, closing each block
+    /// once its payload reaches `block_bytes` (`0` →
+    /// [`DEFAULT_BLOCK_BYTES`]; clamped so no block can overflow
+    /// [`MAX_BLOCK_BYTES`] even with a trailing maximal record).
+    pub fn with_block_bytes(out: W, block_bytes: usize) -> Self {
+        let block_bytes = if block_bytes == 0 {
+            DEFAULT_BLOCK_BYTES
+        } else {
+            block_bytes.min(MAX_BLOCK_BYTES / 2)
+        };
+        let mut w = Self::new(out);
+        w.framing = Some(Framing {
+            block_bytes,
+            block: Vec::with_capacity(block_bytes.min(WRITER_FLUSH) + 64),
+            bindings: std::collections::HashMap::new(),
+            emitted: std::collections::HashMap::new(),
+            blocks: 0,
+        });
+        w
+    }
+
+    /// Blocks closed so far (always 0 for an unframed writer); complete
+    /// only after [`flush`](Self::flush) closes the trailing block.
+    pub fn blocks(&self) -> u64 {
+        self.framing.as_ref().map_or(0, |f| f.blocks)
     }
 
     fn spill(&mut self) -> io::Result<()> {
@@ -121,29 +207,76 @@ impl<W: Write> BinaryEventWriter<W> {
         Ok(())
     }
 
+    /// Closes the open block (framed mode): length-prefixes the payload
+    /// into the output buffer and resets the per-block state.
+    fn close_block(&mut self) -> io::Result<()> {
+        let Some(f) = self.framing.as_mut() else {
+            return Ok(());
+        };
+        if f.block.is_empty() {
+            return Ok(());
+        }
+        self.buf.push(TAG_BLOCK);
+        self.buf
+            .extend_from_slice(&(f.block.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&f.block);
+        f.block.clear();
+        f.emitted.clear();
+        f.blocks += 1;
+        self.prev_ts = 0;
+        self.spill()
+    }
+
     /// Appends one event record.
     pub fn event(&mut self, rec: &LogicalIoRecord) -> io::Result<()> {
-        self.buf.push(match rec.kind {
+        if let Some(f) = self.framing.as_mut() {
+            // Self-contained blocks: if this event's wire id is bound,
+            // the binding must exist *inside* the block — re-emit it on
+            // first use (or on rebind) so block-parallel decode sees it.
+            if let Some(name) = f.bindings.get(&rec.item.0) {
+                if f.emitted.get(&rec.item.0) != Some(name) {
+                    f.block.push(TAG_DEFINE);
+                    put_varint(&mut f.block, rec.item.0 as u64);
+                    put_varint(&mut f.block, name.len() as u64);
+                    f.block.extend_from_slice(name.as_bytes());
+                    f.emitted.insert(rec.item.0, name.clone());
+                }
+            }
+        }
+        let sink = match self.framing.as_mut() {
+            Some(f) => &mut f.block,
+            None => &mut self.buf,
+        };
+        sink.push(match rec.kind {
             IoKind::Read => TAG_READ,
             IoKind::Write => TAG_WRITE,
         });
         // Wrapping delta over the full u64 domain: backward jumps
         // encode as negative zigzags, and even pathological timestamps
         // near the ends of the range roundtrip exactly.
-        put_varint(
-            &mut self.buf,
-            zigzag(rec.ts.0.wrapping_sub(self.prev_ts) as i64),
-        );
+        put_varint(sink, zigzag(rec.ts.0.wrapping_sub(self.prev_ts) as i64));
         self.prev_ts = rec.ts.0;
-        put_varint(&mut self.buf, rec.item.0 as u64);
-        put_varint(&mut self.buf, rec.offset);
-        put_varint(&mut self.buf, rec.len as u64);
+        put_varint(sink, rec.item.0 as u64);
+        put_varint(sink, rec.offset);
+        put_varint(sink, rec.len as u64);
+        if let Some(f) = self.framing.as_ref() {
+            if f.block.len() >= f.block_bytes {
+                return self.close_block();
+            }
+            return Ok(());
+        }
         self.spill()
     }
 
-    /// Appends a define record binding `id` to `name`.
+    /// Appends a define record binding `id` to `name`. A framed writer
+    /// records the binding and re-emits it lazily inside each block that
+    /// uses it; an unframed writer emits it at this stream position.
     pub fn define(&mut self, id: u32, name: &str) -> io::Result<()> {
         assert!(name.len() <= MAX_NAME_LEN, "name too long for the wire");
+        if let Some(f) = self.framing.as_mut() {
+            f.bindings.insert(id, name.to_string());
+            return Ok(());
+        }
         self.buf.push(TAG_DEFINE);
         put_varint(&mut self.buf, id as u64);
         put_varint(&mut self.buf, name.len() as u64);
@@ -151,8 +284,10 @@ impl<W: Write> BinaryEventWriter<W> {
         self.spill()
     }
 
-    /// Flushes everything buffered to the underlying writer.
+    /// Flushes everything buffered to the underlying writer, closing the
+    /// open block first in framed mode.
     pub fn flush(&mut self) -> io::Result<()> {
+        self.close_block()?;
         if !self.buf.is_empty() {
             self.out.write_all(&self.buf)?;
             self.buf.clear();
@@ -183,6 +318,13 @@ pub struct BinaryEventReader<R: Read> {
     magic_checked: bool,
     prev_ts: u64,
     records: u64,
+    /// Bytes consumed from `input` so far — the block-extent ruler.
+    taken: u64,
+    /// `taken` value at which the current framed block's payload ends
+    /// (`None` between blocks and in unframed streams).
+    block_end: Option<u64>,
+    /// Framed block headers consumed so far.
+    blocks: u64,
 }
 
 const READER_BUF: usize = 64 * 1024;
@@ -210,12 +352,21 @@ impl<R: Read> BinaryEventReader<R> {
             magic_checked: consumed,
             prev_ts: 0,
             records: 0,
+            taken: 0,
+            blocks: 0,
+            block_end: None,
         }
     }
 
-    /// Records decoded so far (defines included).
+    /// Records decoded so far (defines included; block headers are
+    /// framing, not records).
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Framed block headers consumed so far (0 on unframed streams).
+    pub fn blocks(&self) -> u64 {
+        self.blocks
     }
 
     fn bad(&self, msg: impl std::fmt::Display) -> io::Error {
@@ -247,6 +398,7 @@ impl<R: Read> BinaryEventReader<R> {
         }
         let b = self.buf[self.pos];
         self.pos += 1;
+        self.taken += 1;
         Ok(Some(b))
     }
 
@@ -299,13 +451,50 @@ impl<R: Read> BinaryEventReader<R> {
     }
 
     /// Decodes the next record; `Ok(None)` is the clean end of stream.
+    /// Framed block headers are handled transparently: they restart the
+    /// timestamp delta chain and are not counted as records, so framed
+    /// and unframed encodings of the same events decode identically.
     pub fn next_record(&mut self) -> io::Result<Option<WireRecord>> {
         if !self.magic_checked {
             self.check_magic()?;
             self.magic_checked = true;
         }
-        let Some(tag) = self.byte()? else {
-            return Ok(None);
+        let tag = loop {
+            if self.block_end == Some(self.taken) {
+                // Clean end of the current block's payload.
+                self.block_end = None;
+            }
+            let Some(tag) = self.byte()? else {
+                if let Some(end) = self.block_end {
+                    return Err(self.bad(format!(
+                        "block truncated {} byte(s) before its framed end",
+                        end - self.taken
+                    )));
+                }
+                return Ok(None);
+            };
+            // Between blocks (or at stream level) 0x04 opens a block;
+            // *inside* a payload it is an unknown tag like any other, so
+            // a record can never smuggle a nested block past the check.
+            if tag == TAG_BLOCK && self.block_end.is_none() {
+                let mut len_bytes = [0u8; 4];
+                for slot in &mut len_bytes {
+                    *slot = self.need_byte("block header")?;
+                }
+                let len = u64::from(u32::from_le_bytes(len_bytes));
+                if len > MAX_BLOCK_BYTES as u64 {
+                    return Err(self.bad(format!("block length {len} exceeds {MAX_BLOCK_BYTES}")));
+                }
+                // Self-contained blocks restart the delta chain: the
+                // first event's delta is its absolute timestamp.
+                self.prev_ts = 0;
+                self.blocks += 1;
+                if len > 0 {
+                    self.block_end = Some(self.taken + len);
+                }
+                continue;
+            }
+            break tag;
         };
         let rec = match tag {
             TAG_READ | TAG_WRITE => {
@@ -355,6 +544,11 @@ impl<R: Read> BinaryEventReader<R> {
             }
             other => return Err(self.bad(format!("unknown record tag 0x{other:02x}"))),
         };
+        if let Some(end) = self.block_end {
+            if self.taken > end {
+                return Err(self.bad("record crosses its block boundary"));
+            }
+        }
         self.records += 1;
         Ok(Some(rec))
     }
@@ -365,6 +559,20 @@ impl<R: Read> BinaryEventReader<R> {
 /// [`BinaryEventWriter`].
 pub fn encode_events<'a>(records: impl IntoIterator<Item = &'a LogicalIoRecord>) -> Vec<u8> {
     let mut w = BinaryEventWriter::new(Vec::new());
+    for rec in records {
+        w.event(rec).expect("Vec sink cannot fail");
+    }
+    w.finish().expect("Vec sink cannot fail")
+}
+
+/// [`encode_events`] with block framing: the one-shot counterpart of
+/// [`BinaryEventWriter::with_block_bytes`] (`block_bytes == 0` → the
+/// default target).
+pub fn encode_events_framed<'a>(
+    records: impl IntoIterator<Item = &'a LogicalIoRecord>,
+    block_bytes: usize,
+) -> Vec<u8> {
+    let mut w = BinaryEventWriter::with_block_bytes(Vec::new(), block_bytes);
     for rec in records {
         w.event(rec).expect("Vec sink cannot fail");
     }
@@ -453,6 +661,202 @@ pub fn sniff_format(prefix: &[u8]) -> StreamFormat {
     }
 }
 
+/// [`sniff_format`] for whole files: degenerate inputs get a clear
+/// diagnosis instead of a misdetection. An empty file and a 1–3-byte
+/// file are errors — too short to hold any event in either format, and
+/// silently calling them NDJSON would surface a baffling `line 1:`
+/// parse failure (or worse, a truncated binary magic would "parse" as
+/// JSON). Exactly four bytes sniff normally: `"EEV1"` is a valid empty
+/// binary stream. The caller prefixes the path.
+pub fn sniff_format_checked(prefix: &[u8]) -> Result<StreamFormat, String> {
+    if prefix.is_empty() {
+        return Err("empty input (neither an NDJSON trace nor an ees.event.v1 stream)".to_string());
+    }
+    if prefix.len() < 4 {
+        let hint = if EVENT_MAGIC.starts_with(prefix) {
+            " — a truncated ees.event.v1 magic?"
+        } else {
+            ""
+        };
+        return Err(format!(
+            "input is only {} byte(s) long, too short to hold any event{hint}",
+            prefix.len()
+        ));
+    }
+    Ok(sniff_format(prefix))
+}
+
+/// Zero-copy iterator over the block payloads of a complete, in-memory
+/// **framed** `ees.event.v1` stream — the splitter half of the parallel
+/// binary front end. Each item borrows the payload bytes straight out
+/// of `bytes` (an mmap'd file, typically); [`decode_block`] turns one
+/// payload into records with no state shared between blocks.
+///
+/// Framing errors (a truncated header or payload, an oversized length,
+/// a record tag where a block header belongs) surface as
+/// `InvalidData` naming the 1-based block number, and fuse the
+/// iterator.
+#[derive(Debug)]
+pub struct BlockSplitter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    blocks: u64,
+    failed: bool,
+}
+
+impl<'a> BlockSplitter<'a> {
+    /// Starts splitting `bytes`, which must begin with [`EVENT_MAGIC`].
+    pub fn new(bytes: &'a [u8]) -> io::Result<Self> {
+        if bytes.len() < 4 || bytes[..4] != EVENT_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "missing ees.event.v1 magic",
+            ));
+        }
+        Ok(BlockSplitter {
+            bytes,
+            pos: 4,
+            blocks: 0,
+            failed: false,
+        })
+    }
+
+    /// Block payloads yielded so far.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    fn fail(&mut self, msg: String) -> io::Error {
+        self.failed = true;
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("block {}: {msg}", self.blocks + 1),
+        )
+    }
+}
+
+impl<'a> Iterator for BlockSplitter<'a> {
+    type Item = io::Result<&'a [u8]>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos == self.bytes.len() {
+            return None;
+        }
+        let tag = self.bytes[self.pos];
+        if tag != TAG_BLOCK {
+            return Some(Err(self.fail(format!(
+                "expected a block header, found record tag 0x{tag:02x} (unframed stream?)"
+            ))));
+        }
+        if self.bytes.len() - self.pos < 5 {
+            return Some(Err(self.fail("truncated block header".to_string())));
+        }
+        let len_bytes: [u8; 4] = self.bytes[self.pos + 1..self.pos + 5].try_into().unwrap();
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_BLOCK_BYTES {
+            return Some(Err(
+                self.fail(format!("block length {len} exceeds {MAX_BLOCK_BYTES}"))
+            ));
+        }
+        let start = self.pos + 5;
+        let have = self.bytes.len() - start;
+        if have < len {
+            return Some(Err(self.fail(format!(
+                "block truncated ({have} of {len} payload bytes present)"
+            ))));
+        }
+        self.pos = start + len;
+        self.blocks += 1;
+        Some(Ok(&self.bytes[start..start + len]))
+    }
+}
+
+/// One framed block's payload decoded in isolation — the parser half of
+/// the parallel binary front end. Never fails: a malformed payload
+/// yields the records that fully decoded plus an in-band `error`, so
+/// the sequencer can surface the failure at its exact stream position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedBlock {
+    /// Events in block order. An event bound by a block-local define
+    /// keeps its **wire** id here; the matching [`NamedEvent`] tells the
+    /// sequencer which name to resolve (in stream order, so the interner
+    /// stays a function of the event stream alone).
+    pub events: Vec<LogicalIoRecord>,
+    /// Events whose item must be resolved by name, in block order.
+    pub named: Vec<NamedEvent>,
+    /// Wire records consumed (events + defines) — the sequencer's
+    /// offset base for absolute `record N:` error accounting.
+    pub wire_records: u64,
+    /// Decode failure: block-relative 1-based wire-record number and
+    /// message, positioned after every fully decoded event.
+    pub error: Option<(u64, String)>,
+}
+
+/// An event whose wire item id was bound by a block-local define.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedEvent {
+    /// Index into [`DecodedBlock::events`].
+    pub index: usize,
+    /// Block-relative 1-based wire-record number of the event.
+    pub record: u64,
+    /// The bound item name to resolve.
+    pub name: String,
+}
+
+/// Decodes one self-contained block payload (no magic, no header).
+/// Strictly block-local: defines bind only within the payload, the
+/// delta chain starts at 0, and a nested `0x04` tag is a decode error —
+/// exactly the guarantees [`BinaryEventWriter::with_block_bytes`]
+/// provides, so serial and block-parallel decodes of a framed stream
+/// agree record for record.
+pub fn decode_block(payload: &[u8]) -> DecodedBlock {
+    let mut r = BinaryEventReader::with_magic_consumed(payload, true);
+    // Pin the block extent so a stray 0x04 inside the payload reads as
+    // an unknown tag, never as a nested block header.
+    r.block_end = Some(payload.len() as u64);
+    let mut names: std::collections::HashMap<u32, String> = std::collections::HashMap::new();
+    let mut events = Vec::new();
+    let mut named = Vec::new();
+    let mut error = None;
+    loop {
+        match r.next_record() {
+            Ok(Some(WireRecord::Event(e))) => {
+                if let Some(name) = names.get(&e.item.0) {
+                    named.push(NamedEvent {
+                        index: events.len(),
+                        record: r.records(),
+                        name: name.clone(),
+                    });
+                }
+                events.push(e);
+            }
+            Ok(Some(WireRecord::Define { id, name })) => {
+                names.insert(id, name);
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // `bad()` always formats `record N: msg`; strip the
+                // prefix so the sequencer can renumber with its global
+                // offset.
+                let recno = r.records() + 1;
+                let s = e.to_string();
+                let msg = s
+                    .strip_prefix(&format!("record {recno}: "))
+                    .unwrap_or(&s)
+                    .to_string();
+                error = Some((recno, msg));
+                break;
+            }
+        }
+    }
+    DecodedBlock {
+        events,
+        named,
+        wire_records: r.records(),
+        error,
+    }
+}
+
 /// Transcodes an NDJSON event stream to `ees.event.v1`, preserving event
 /// order exactly. Blank and `#`-comment lines are dropped (they carry no
 /// events); a malformed line aborts with the NDJSON reader's
@@ -466,6 +870,27 @@ pub fn transcode_ndjson_to_binary<R: BufRead, W: Write>(input: R, output: W) -> 
     }
     w.flush()?;
     Ok(n)
+}
+
+/// [`transcode_ndjson_to_binary`] with block framing (`block_bytes == 0`
+/// → [`DEFAULT_BLOCK_BYTES`]); returns `(events, blocks)`. This is what
+/// `ees transcode` emits by default: the framed file decodes serially
+/// exactly like an unframed one, and additionally splits for parallel
+/// decode.
+pub fn transcode_ndjson_to_binary_blocks<R: BufRead, W: Write>(
+    input: R,
+    output: W,
+    block_bytes: usize,
+) -> io::Result<(u64, u64)> {
+    let mut w = BinaryEventWriter::with_block_bytes(output, block_bytes);
+    let mut n = 0u64;
+    for rec in EventReader::new(input) {
+        w.event(&rec?)?;
+        n += 1;
+    }
+    w.flush()?;
+    let blocks = w.blocks();
+    Ok((n, blocks))
 }
 
 /// Transcodes a binary `ees.event.v1` stream back to canonical NDJSON
@@ -600,5 +1025,188 @@ mod tests {
         let input = "{\"ts\":1,\"item\":2,\"offset\":0,\"len\":1,\"kind\":\"Read\"}\nnope\n";
         let err = transcode_ndjson_to_binary(input.as_bytes(), Vec::new()).unwrap_err();
         assert!(err.to_string().starts_with("line 2: "), "{err}");
+    }
+
+    #[test]
+    fn checked_sniff_diagnoses_degenerate_prefixes() {
+        assert!(sniff_format_checked(b"").unwrap_err().contains("empty"));
+        for short in [&b"E"[..], b"EE", b"EEV"] {
+            let err = sniff_format_checked(short).unwrap_err();
+            assert!(err.contains("too short"), "{err}");
+            assert!(err.contains("truncated ees.event.v1 magic"), "{err}");
+        }
+        let err = sniff_format_checked(b"{\"t").unwrap_err();
+        assert!(err.contains("too short"), "{err}");
+        assert!(!err.contains("magic"), "{err}");
+        // Exactly four bytes sniff normally: a bare magic is a valid
+        // (empty) binary stream, anything else is NDJSON's problem.
+        assert_eq!(sniff_format_checked(b"EEV1"), Ok(StreamFormat::Binary));
+        assert_eq!(sniff_format_checked(b"{\"ts"), Ok(StreamFormat::Ndjson));
+    }
+
+    #[test]
+    fn framed_stream_decodes_serially_like_unframed() {
+        let recs: Vec<LogicalIoRecord> = (0..300)
+            .map(|i| {
+                rec(
+                    i * 977 % 10_000, // not sorted: deltas go both ways
+                    (i % 17) as u32,
+                    i * 4096,
+                    4096,
+                    if i % 3 == 0 {
+                        IoKind::Write
+                    } else {
+                        IoKind::Read
+                    },
+                )
+            })
+            .collect();
+        for block_bytes in [1, 7, 64, 4096] {
+            let framed = encode_events_framed(&recs, block_bytes);
+            assert!(is_framed(&framed), "block_bytes={block_bytes}");
+            assert_eq!(sniff_format(&framed), StreamFormat::Binary);
+            let back = decode_events(&framed, |_| unreachable!("no defines")).unwrap();
+            assert_eq!(back, recs, "block_bytes={block_bytes}");
+        }
+        // Unframed output is not framed, and an empty framed stream is
+        // just the magic (zero blocks, zero events).
+        assert!(!is_framed(&encode_events(&recs)));
+        let empty = encode_events_framed(&[], 64);
+        assert_eq!(empty, EVENT_MAGIC);
+        assert!(decode_events(&empty, |_| DataItemId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn framed_blocks_reemit_defines_and_restart_deltas() {
+        // Tiny blocks force every event into its own block; each block
+        // must re-emit the binding its event uses and restart the delta
+        // chain, so decoding any single block needs no context.
+        let mut w = BinaryEventWriter::with_block_bytes(Vec::new(), 1);
+        w.define(0, "volume/a").unwrap();
+        w.event(&rec(1_000, 0, 0, 4096, IoKind::Read)).unwrap();
+        w.event(&rec(2_000, 0, 0, 4096, IoKind::Write)).unwrap();
+        w.define(0, "volume/b").unwrap(); // rebind mid-stream
+        w.event(&rec(3_000, 0, 0, 4096, IoKind::Read)).unwrap();
+        let bytes = w.finish().unwrap();
+
+        // Serial decode resolves through the re-emitted defines.
+        let mut interner = crate::intern::ItemInterner::with_floor(100);
+        let back = decode_events(&bytes, |name| interner.intern(name)).unwrap();
+        assert_eq!(
+            back.iter().map(|r| (r.ts.0, r.item.0)).collect::<Vec<_>>(),
+            vec![(1_000, 100), (2_000, 100), (3_000, 101)]
+        );
+
+        // Block-parallel decode sees the same shape, block by block.
+        let splitter = BlockSplitter::new(&bytes).unwrap();
+        let payloads: Vec<&[u8]> = splitter.collect::<io::Result<_>>().unwrap();
+        assert_eq!(payloads.len(), 3);
+        let mut all_ts = Vec::new();
+        let mut all_names = Vec::new();
+        for payload in payloads {
+            let block = decode_block(payload);
+            assert!(block.error.is_none());
+            assert_eq!(block.named.len(), block.events.len(), "every event bound");
+            all_ts.extend(block.events.iter().map(|e| e.ts.0));
+            all_names.extend(block.named.iter().map(|n| n.name.clone()));
+        }
+        assert_eq!(all_ts, vec![1_000, 2_000, 3_000]);
+        assert_eq!(all_names, vec!["volume/a", "volume/a", "volume/b"]);
+    }
+
+    #[test]
+    fn block_splitter_matches_serial_record_numbering_on_errors() {
+        // Corrupt the final block's payload: the serial reader and the
+        // block-parallel path must both stop after the same good records.
+        let recs: Vec<LogicalIoRecord> =
+            (0..40).map(|i| rec(i, 1, 0, 4096, IoKind::Read)).collect();
+        let bytes = encode_events_framed(&recs, 64);
+        let n_blocks = BlockSplitter::new(&bytes).unwrap().count() as u64;
+        assert!(n_blocks > 2, "need several blocks, got {n_blocks}");
+        let cut = bytes.len() - 3;
+        let serial_err = decode_events(&bytes[..cut], |_| DataItemId(0)).unwrap_err();
+        let mut parallel_records = 0u64;
+        let mut parallel_err = None;
+        for payload in BlockSplitter::new(&bytes[..cut]).unwrap() {
+            match payload {
+                Ok(p) => {
+                    let block = decode_block(p);
+                    if let Some((recno, msg)) = block.error {
+                        parallel_err = Some(format!("record {}: {msg}", parallel_records + recno));
+                        break;
+                    }
+                    parallel_records += block.wire_records;
+                }
+                Err(e) => {
+                    parallel_err = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        // The truncation lands inside the last block's payload, so the
+        // splitter reports a framing error; the serial reader reports a
+        // truncated block. Either way, no record is fabricated.
+        assert!(serial_err.to_string().contains("truncated"), "{serial_err}");
+        let parallel_err = parallel_err.expect("truncation must surface");
+        assert!(parallel_err.contains("truncated"), "{parallel_err}");
+    }
+
+    #[test]
+    fn framed_reader_rejects_oversize_and_crossing_blocks() {
+        // Oversize length prefix.
+        let mut bytes = EVENT_MAGIC.to_vec();
+        bytes.push(TAG_BLOCK);
+        bytes.extend_from_slice(&(MAX_BLOCK_BYTES as u32 + 1).to_le_bytes());
+        let err = decode_events(&bytes, |_| DataItemId(0)).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        // A block whose framed length cuts a record in half: the record
+        // decodes past the boundary and must be rejected.
+        let one = encode_events(&[rec(1_000_000, 7, 42, 4096, IoKind::Read)]);
+        let payload = &one[4..];
+        let mut bytes = EVENT_MAGIC.to_vec();
+        bytes.push(TAG_BLOCK);
+        bytes.extend_from_slice(&((payload.len() - 2) as u32).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let err = decode_events(&bytes, |_| DataItemId(0)).unwrap_err();
+        assert!(
+            err.to_string().contains("crosses its block boundary"),
+            "{err}"
+        );
+
+        // The same payload under decode_block: a nested 0x04 is an
+        // unknown tag, not a block header.
+        let mut nested = vec![TAG_BLOCK, 1, 0, 0, 0];
+        nested.extend_from_slice(payload);
+        let block = decode_block(&nested);
+        assert!(block.events.is_empty());
+        let (recno, msg) = block.error.expect("nested block tag must fail");
+        assert_eq!(recno, 1);
+        assert!(msg.contains("unknown record tag 0x04"), "{msg}");
+    }
+
+    #[test]
+    fn framed_transcode_roundtrips_and_counts_blocks() {
+        let recs: Vec<LogicalIoRecord> = (0..100)
+            .map(|i| rec(i * 1_000, (i % 5) as u32, 0, 4096, IoKind::Read))
+            .collect();
+        let mut canonical = String::new();
+        for r in &recs {
+            canonical.push_str(&format_event(r));
+            canonical.push('\n');
+        }
+        let mut framed = Vec::new();
+        let (events, blocks) =
+            transcode_ndjson_to_binary_blocks(canonical.as_bytes(), &mut framed, 128).unwrap();
+        assert_eq!(events, 100);
+        assert!(blocks > 1, "128-byte blocks must split 100 events");
+        assert!(is_framed(&framed));
+        let mut back = Vec::new();
+        let m = transcode_binary_to_ndjson(&framed[..], &mut back, |_| {
+            unreachable!("numeric stream has no defines")
+        })
+        .unwrap();
+        assert_eq!(m, 100);
+        assert_eq!(String::from_utf8(back).unwrap(), canonical);
     }
 }

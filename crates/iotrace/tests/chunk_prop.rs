@@ -2,7 +2,7 @@
 //! any chunk target, is covered exactly once with consistent line
 //! accounting — the foundation of the parallel ingest front end.
 
-use ees_iotrace::chunk::{ChunkReader, RawChunk};
+use ees_iotrace::chunk::{ChunkReader, RawChunk, SliceChunker};
 use ees_iotrace::ndjson::count_byte;
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -85,5 +85,29 @@ proptest! {
             want.pop();
         }
         prop_assert_eq!(all, want);
+    }
+
+    /// The zero-copy slice chunker cuts an mmap'd buffer chunk-for-chunk
+    /// identically to the streamed reader — same sequence numbers, line
+    /// numbers, and bytes — so switching a file from streamed reads to
+    /// mmap cannot move a single chunk boundary.
+    #[test]
+    fn slice_chunker_matches_streamed_reader_exactly(
+        lines in prop::collection::vec(arb_line(), 0..30),
+        target in 1usize..200,
+        trailing_newline in prop::bool::ANY,
+    ) {
+        let mut input = lines.join("\n");
+        if trailing_newline && !input.is_empty() {
+            input.push('\n');
+        }
+        let streamed = split(&input, target);
+        let sliced: Vec<_> = SliceChunker::new(input.as_bytes(), target).collect();
+        prop_assert_eq!(streamed.len(), sliced.len());
+        for (s, z) in streamed.iter().zip(&sliced) {
+            prop_assert_eq!(s.seq, z.seq);
+            prop_assert_eq!(s.first_lineno, z.first_lineno);
+            prop_assert_eq!(&s.bytes[..], z.bytes);
+        }
     }
 }

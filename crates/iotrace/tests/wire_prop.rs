@@ -12,8 +12,9 @@
 
 use ees_iotrace::ndjson::format_event;
 use ees_iotrace::wire::{
-    decode_events, encode_events, sniff_format, transcode_binary_to_ndjson,
-    transcode_ndjson_to_binary, StreamFormat, EVENT_MAGIC,
+    decode_block, decode_events, encode_events, encode_events_framed, is_framed, sniff_format,
+    transcode_binary_to_ndjson, transcode_ndjson_to_binary, transcode_ndjson_to_binary_blocks,
+    BlockSplitter, StreamFormat, EVENT_MAGIC,
 };
 use ees_iotrace::{DataItemId, IoKind, LogicalIoRecord, Micros};
 use proptest::prelude::*;
@@ -100,6 +101,90 @@ proptest! {
         // record (or a panic) would fail.
         if let Ok(prefix) = decode_events(&bytes[..cut], |_| DataItemId(0)) {
             prop_assert!(prefix.len() <= records.len());
+        }
+    }
+
+    /// The framed and unframed transcodes of the same NDJSON input carry
+    /// the same events: block headers, per-block delta restarts, and
+    /// block-local defines change the bytes, never the records — and the
+    /// blocks a splitter sees decode to exactly the serial sequence.
+    #[test]
+    fn framed_transcode_carries_the_same_events(
+        records in arb_records(),
+        block_bytes in 1usize..512,
+    ) {
+        let mut ndjson = String::new();
+        for rec in &records {
+            ndjson.push_str(&format_event(rec));
+            ndjson.push('\n');
+        }
+        let mut flat = Vec::new();
+        transcode_ndjson_to_binary(ndjson.as_bytes(), &mut flat).unwrap();
+        let mut framed = Vec::new();
+        let (events, blocks) =
+            transcode_ndjson_to_binary_blocks(ndjson.as_bytes(), &mut framed, block_bytes)
+                .unwrap();
+        prop_assert_eq!(events, records.len() as u64);
+        prop_assert_eq!(is_framed(&framed), !records.is_empty());
+
+        // The serial reader absorbs framing transparently…
+        let via_serial = decode_events(&framed, |_| unreachable!("numeric-only")).unwrap();
+        prop_assert_eq!(&via_serial, &records);
+        prop_assert_eq!(
+            decode_events(&flat, |_| unreachable!("numeric-only")).unwrap(),
+            records
+        );
+
+        // …and the parallel path — split into blocks, decode each
+        // independently, concatenate — reproduces the same sequence.
+        if !records.is_empty() {
+            let splitter = BlockSplitter::new(&framed).unwrap();
+            let mut via_blocks = Vec::new();
+            let mut seen_blocks = 0u64;
+            for payload in splitter {
+                let block = decode_block(payload.unwrap());
+                prop_assert!(block.error.is_none());
+                prop_assert!(block.named.is_empty());
+                via_blocks.extend(block.events);
+                seen_blocks += 1;
+            }
+            prop_assert_eq!(seen_blocks, blocks);
+            prop_assert_eq!(via_blocks, records);
+        }
+    }
+
+    /// Truncating a framed stream anywhere — mid-header, mid-payload, on
+    /// a block boundary — never fabricates a record: whatever decodes is
+    /// an exact prefix of the original sequence, on both the serial and
+    /// the block-split path.
+    #[test]
+    fn framed_truncation_never_fabricates_records(
+        records in arb_records(),
+        block_bytes in 1usize..256,
+        cut in 0usize..8192,
+    ) {
+        let bytes = encode_events_framed(&records, block_bytes);
+        let cut = cut % bytes.len().max(1);
+        if let Ok(prefix) = decode_events(&bytes[..cut], |_| DataItemId(0)) {
+            prop_assert_eq!(&prefix[..], &records[..prefix.len()]);
+        }
+        if cut >= 4 {
+            if let Ok(splitter) = BlockSplitter::new(&bytes[..cut]) {
+                let mut decoded = Vec::new();
+                for payload in splitter {
+                    // A complete block decodes fully; truncation shows
+                    // up as a splitter error, never a partial payload.
+                    match payload {
+                        Ok(p) => {
+                            let block = decode_block(p);
+                            prop_assert!(block.error.is_none());
+                            decoded.extend(block.events);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                prop_assert_eq!(&decoded[..], &records[..decoded.len()]);
+            }
         }
     }
 }

@@ -33,7 +33,7 @@ use ees_iotrace::ndjson::EventReader;
 use ees_iotrace::LogicalIoRecord;
 use std::io::{BufRead, Read};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -155,6 +155,7 @@ pub struct IngestCounters {
     accepted: AtomicU64,
     dropped: AtomicU64,
     recycled: AtomicU64,
+    chunks: AtomicU64,
 }
 
 impl IngestCounters {
@@ -174,6 +175,13 @@ impl IngestCounters {
     /// run to run, so this is diagnostics, not part of [`IngestStats`].
     pub fn recycled(&self) -> u64 {
         self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Chunks the parallel front end's sequencer has re-ordered so far —
+    /// newline chunks for NDJSON, framed blocks for blocked binary,
+    /// serial batches for unframed binary. Zero on single-reader paths.
+    pub fn chunks(&self) -> u64 {
+        self.chunks.load(Ordering::Relaxed)
     }
 
     /// A point-in-time copy of both counters.
@@ -465,97 +473,145 @@ where
         std::thread::scope(|scope| {
             let mut scanner =
                 ParallelScanner::spawn(scope, RetryingReader::new(input), readers, chunk_bytes);
-            let mut buf: Vec<LogicalIoRecord> = Vec::with_capacity(batch);
-            let mut disconnected = false;
-            let next_buf = || match return_rx.try_recv() {
-                Ok(mut recycled) => {
-                    live.recycled.fetch_add(1, Ordering::Relaxed);
-                    recycled.clear();
-                    recycled
-                }
-                Err(_) => Vec::with_capacity(batch),
-            };
-            // Identical to the single-reader pooled flush: accepted on
-            // delivery; dropped on overflow, hang-up, or a stream error
-            // that strands the partial batch.
-            let flush = |buf: &mut Vec<LogicalIoRecord>, disconnected: &mut bool| {
-                if buf.is_empty() {
-                    return;
-                }
-                let n = buf.len() as u64;
-                if *disconnected {
-                    buf.clear();
-                    live.dropped.fetch_add(n, Ordering::Relaxed);
-                    return;
-                }
-                let full = std::mem::take(buf);
-                match policy {
-                    OverflowPolicy::Block => {
-                        if tx.send(full).is_err() {
-                            *disconnected = true;
-                            live.dropped.fetch_add(n, Ordering::Relaxed);
-                        } else {
-                            live.accepted.fetch_add(n, Ordering::Relaxed);
-                        }
-                    }
-                    OverflowPolicy::DropNewest => match tx.try_send(full) {
-                        Ok(()) => {
-                            live.accepted.fetch_add(n, Ordering::Relaxed);
-                        }
-                        Err(TrySendError::Full(rejected)) => {
-                            live.dropped.fetch_add(n, Ordering::Relaxed);
-                            *buf = rejected;
-                            buf.clear();
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            *disconnected = true;
-                            live.dropped.fetch_add(n, Ordering::Relaxed);
-                        }
-                    },
-                }
-                if buf.capacity() == 0 {
-                    *buf = next_buf();
-                }
-            };
-            loop {
-                let chunk = match scanner.next_ordered() {
-                    Ok(Some(chunk)) => chunk,
-                    Ok(None) => break,
-                    Err(e) => {
-                        live.dropped.fetch_add(buf.len() as u64, Ordering::Relaxed);
-                        return Err(e);
-                    }
-                };
-                let mut records = chunk.records.into_iter();
-                for rec in records.by_ref() {
-                    buf.push(rec);
-                    if buf.len() >= batch {
-                        flush(&mut buf, &mut disconnected);
-                        if disconnected {
-                            break;
-                        }
-                    }
-                }
-                if disconnected {
-                    // Consumer hang-up mid-chunk: the records the
-                    // sequencer already pulled but will never deliver
-                    // count dropped, like the in-flight batch.
-                    live.dropped
-                        .fetch_add(records.len() as u64, Ordering::Relaxed);
-                    break;
-                }
-                if let Some(err) = chunk.error {
-                    // The partial batch dies with the stream — count it,
-                    // exactly like the single-reader error path.
-                    live.dropped.fetch_add(buf.len() as u64, Ordering::Relaxed);
-                    return Err(err.to_io_error());
-                }
-            }
-            flush(&mut buf, &mut disconnected);
-            Ok(live.snapshot())
+            sequence_batches(&mut scanner, &tx, &return_rx, &live, batch, policy)
         })
     });
     (rx, BatchPool { returns: return_tx }, counters, handle)
+}
+
+/// [`spawn_reader_parallel`] over an in-memory trace — anything that
+/// derefs to `[u8]`, typically an [`Mmap`](ees_iotrace::mmap::Mmap) —
+/// so the splitter hands parser threads borrowed chunks (or framed
+/// binary blocks) straight out of the mapping, zero-copy. Semantics,
+/// ordering, and accounting are identical to the streamed variant.
+pub fn spawn_reader_parallel_mapped<B>(
+    bytes: B,
+    capacity: usize,
+    batch: usize,
+    policy: OverflowPolicy,
+    readers: usize,
+    chunk_bytes: usize,
+) -> PooledReader
+where
+    B: std::ops::Deref<Target = [u8]> + Send + 'static,
+{
+    let batch = batch.max(1);
+    let (tx, rx) = sync_channel::<Vec<LogicalIoRecord>>(capacity.max(1));
+    let (return_tx, return_rx) = channel::<Vec<LogicalIoRecord>>();
+    let counters = Arc::new(IngestCounters::default());
+    let live = Arc::clone(&counters);
+    let handle = std::thread::spawn(move || {
+        // The mapping moves into this thread whole; the scope below
+        // lets the parser pool borrow slices of it.
+        std::thread::scope(|scope| {
+            let mut scanner = ParallelScanner::spawn_slice(scope, &bytes, readers, chunk_bytes);
+            sequence_batches(&mut scanner, &tx, &return_rx, &live, batch, policy)
+        })
+    });
+    (rx, BatchPool { returns: return_tx }, counters, handle)
+}
+
+/// The sequencer half shared by the parallel reader spawns: walks the
+/// re-sequenced chunk stream, batches records, and keeps the exact
+/// `accepted + dropped == parsed` accounting of the single-reader
+/// pooled path.
+fn sequence_batches(
+    scanner: &mut ParallelScanner<'_>,
+    tx: &SyncSender<Vec<LogicalIoRecord>>,
+    return_rx: &Receiver<Vec<LogicalIoRecord>>,
+    live: &IngestCounters,
+    batch: usize,
+    policy: OverflowPolicy,
+) -> std::io::Result<IngestStats> {
+    let mut buf: Vec<LogicalIoRecord> = Vec::with_capacity(batch);
+    let mut disconnected = false;
+    let next_buf = || match return_rx.try_recv() {
+        Ok(mut recycled) => {
+            live.recycled.fetch_add(1, Ordering::Relaxed);
+            recycled.clear();
+            recycled
+        }
+        Err(_) => Vec::with_capacity(batch),
+    };
+    // Identical to the single-reader pooled flush: accepted on
+    // delivery; dropped on overflow, hang-up, or a stream error
+    // that strands the partial batch.
+    let flush = |buf: &mut Vec<LogicalIoRecord>, disconnected: &mut bool| {
+        if buf.is_empty() {
+            return;
+        }
+        let n = buf.len() as u64;
+        if *disconnected {
+            buf.clear();
+            live.dropped.fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        let full = std::mem::take(buf);
+        match policy {
+            OverflowPolicy::Block => {
+                if tx.send(full).is_err() {
+                    *disconnected = true;
+                    live.dropped.fetch_add(n, Ordering::Relaxed);
+                } else {
+                    live.accepted.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            OverflowPolicy::DropNewest => match tx.try_send(full) {
+                Ok(()) => {
+                    live.accepted.fetch_add(n, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(rejected)) => {
+                    live.dropped.fetch_add(n, Ordering::Relaxed);
+                    *buf = rejected;
+                    buf.clear();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    *disconnected = true;
+                    live.dropped.fetch_add(n, Ordering::Relaxed);
+                }
+            },
+        }
+        if buf.capacity() == 0 {
+            *buf = next_buf();
+        }
+    };
+    loop {
+        let chunk = match scanner.next_ordered() {
+            Ok(Some(chunk)) => chunk,
+            Ok(None) => break,
+            Err(e) => {
+                live.dropped.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        live.chunks.fetch_add(1, Ordering::Relaxed);
+        let mut records = chunk.records.into_iter();
+        for rec in records.by_ref() {
+            buf.push(rec);
+            if buf.len() >= batch {
+                flush(&mut buf, &mut disconnected);
+                if disconnected {
+                    break;
+                }
+            }
+        }
+        if disconnected {
+            // Consumer hang-up mid-chunk: the records the
+            // sequencer already pulled but will never deliver
+            // count dropped, like the in-flight batch.
+            live.dropped
+                .fetch_add(records.len() as u64, Ordering::Relaxed);
+            break;
+        }
+        if let Some(err) = chunk.error {
+            // The partial batch dies with the stream — count it,
+            // exactly like the single-reader error path.
+            live.dropped.fetch_add(buf.len() as u64, Ordering::Relaxed);
+            return Err(err.to_io_error());
+        }
+    }
+    flush(&mut buf, &mut disconnected);
+    Ok(live.snapshot())
 }
 
 #[cfg(test)]

@@ -87,14 +87,19 @@ pub use fault::{
     silence_injected_panics, FaultRng, FaultSpec, FaultTally, FaultyReader, PanicSchedule,
     Sanitizer,
 };
-pub use frontend::{parse_chunk, ChunkError, ParallelScanner, ParsedChunk, CUT_PARK};
+pub use frontend::{
+    parse_block, parse_chunk, parse_lines, ChunkError, NameResolver, ParallelScanner, ParsedChunk,
+    ScanSource, CUT_PARK,
+};
 pub use ingest::{
     spawn_reader, spawn_reader_batched, spawn_reader_batched_pooled, spawn_reader_parallel,
-    BatchPool, IngestCounters, IngestStats, OverflowPolicy, PooledReader, RetryingReader,
+    spawn_reader_parallel_mapped, BatchPool, IngestCounters, IngestStats, OverflowPolicy,
+    PooledReader, RetryingReader,
 };
 pub use net::{spawn_net_ingest, ConnSnapshot, NetCounters, NetListener, NetOptions, NetReader};
 pub use pipeline::{
-    run_monitor_serial, run_monitor_sharded, run_monitor_sharded_with, MonitorOutcome, STAGE_MAX,
+    run_monitor_serial, run_monitor_sharded, run_monitor_sharded_slice, run_monitor_sharded_with,
+    MonitorOutcome, STAGE_MAX,
 };
 pub use ring::{ring_channel, RingReceiver, RingRecvError, RingSendError, RingSender};
 pub use shard::{shard_of, ShardOptions, ShardedController, SupervisionPolicy, SHARD_QUEUE};

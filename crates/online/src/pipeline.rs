@@ -43,7 +43,7 @@
 //! plan sequence byte-identical to the serial controller.
 
 use crate::controller::RolloverReason;
-use crate::frontend::{ParallelScanner, CUT_PARK};
+use crate::frontend::{ParallelScanner, ScanSource, CUT_PARK};
 use crate::ingest::{spawn_reader, OverflowPolicy};
 use crate::shard::{ShardOptions, ShardedController};
 use crate::{OnlineController, PlanEnvelope};
@@ -413,7 +413,15 @@ where
     R: BufRead + Send,
 {
     let shards = if shards == 0 { threads() } else { shards };
-    if options.resolved_readers(shards) > 1 {
+    // Peek one buffered byte to route binary streams: `ees.event.v1`
+    // starts with the magic's `E`, which no NDJSON trace line can (they
+    // open with `{`, `#`, or whitespace). Binary must take the parallel
+    // driver even at one reader — the legacy driver is line-oriented —
+    // and a text stream that happens to start with `E` is still parsed
+    // correctly there (the splitter re-sniffs with the full magic).
+    let mut input = input;
+    let binary = input.fill_buf()?.first() == Some(&ees_iotrace::wire::EVENT_MAGIC[0]);
+    if binary || options.resolved_readers(shards) > 1 {
         run_monitor_sharded_parallel(
             input,
             items,
@@ -502,13 +510,69 @@ fn run_monitor_sharded_parallel<R>(
 where
     R: BufRead + Send,
 {
+    run_monitor_parallel_source(
+        ScanSource::Reader(input),
+        items,
+        num_enclosures,
+        storage,
+        policy,
+        break_even,
+        shards,
+        options,
+    )
+}
+
+/// The zero-copy flavor of the sharded monitor: drives the parallel
+/// front end over an in-memory trace (typically an mmap'd file —
+/// [`map_file`](ees_iotrace::mmap::map_file)), so NDJSON chunks and
+/// framed binary blocks reach the parser threads without copying.
+/// Format sniffing, plan output, and error text are identical to the
+/// streamed drivers byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub fn run_monitor_sharded_slice(
+    bytes: &[u8],
+    items: &[CatalogItem],
+    num_enclosures: u16,
+    storage: &StorageConfig,
+    policy: ProposedConfig,
+    break_even: Option<Micros>,
+    shards: usize,
+    options: ShardOptions,
+) -> std::io::Result<MonitorOutcome> {
+    let shards = if shards == 0 { threads() } else { shards };
+    run_monitor_parallel_source(
+        ScanSource::<std::io::Empty>::Slice(bytes),
+        items,
+        num_enclosures,
+        storage,
+        policy,
+        break_even,
+        shards,
+        options,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_monitor_parallel_source<R>(
+    source: ScanSource<'_, R>,
+    items: &[CatalogItem],
+    num_enclosures: u16,
+    storage: &StorageConfig,
+    policy: ProposedConfig,
+    break_even: Option<Micros>,
+    shards: usize,
+    options: ShardOptions,
+) -> std::io::Result<MonitorOutcome>
+where
+    R: std::io::Read + Send,
+{
     let mut harness = StreamHarness::new(items, num_enclosures, storage);
     let break_even = break_even.unwrap_or_else(|| harness.break_even());
     let readers = options.resolved_readers(shards);
     let chunk_bytes = options.chunk_bytes;
     let mut controller = ShardedController::with_options(policy, break_even, shards, options);
     std::thread::scope(|scope| {
-        let mut scanner = ParallelScanner::spawn(scope, input, readers, chunk_bytes);
+        let mut scanner = ParallelScanner::spawn_source(scope, source, readers, chunk_bytes);
         let mut events = 0u64;
         let mut plans = Vec::new();
         let mut rollover_micros = Vec::new();

@@ -23,12 +23,13 @@
 //!   mid-ingest — all byte-identical to the serial driver.
 
 use ees_core::ProposedConfig;
+use ees_iotrace::wire::{encode_events, encode_events_framed};
 use ees_iotrace::{ndjson, DataItemId, EnclosureId, IoKind, LogicalIoRecord, Micros};
 use ees_online::{
-    read_checkpoint_file, run_monitor_serial, run_monitor_sharded, run_monitor_sharded_with,
-    shard_of, silence_injected_panics, spawn_reader_parallel, write_checkpoint_file,
-    ColocatedDaemon, OnlineController, OverflowPolicy, PanicSchedule, PlanEnvelope, RolloverReason,
-    ShardOptions, ShardedController,
+    read_checkpoint_file, run_monitor_serial, run_monitor_sharded, run_monitor_sharded_slice,
+    run_monitor_sharded_with, shard_of, silence_injected_panics, spawn_reader_parallel,
+    write_checkpoint_file, ColocatedDaemon, OnlineController, OverflowPolicy, PanicSchedule,
+    PlanEnvelope, RolloverReason, ShardOptions, ShardedController,
 };
 use ees_policy::EnclosureView;
 use ees_replay::{CatalogItem, StreamHarness};
@@ -425,6 +426,64 @@ proptest! {
         }
     }
 
+    /// A framed `ees.event.v1` rendering of the stream — streamed or
+    /// memory-mapped, at adversarially small block targets — produces
+    /// plans byte-identical to the NDJSON text across the full
+    /// readers × shards matrix {1,4} × {1,4,8}, and so does the
+    /// unframed binary rendering through the serial-decode fallback.
+    #[test]
+    fn binary_frontend_plans_equal_ndjson(
+        recs in arb_stream(),
+        block_bytes in 32usize..512,
+    ) {
+        let enclosures = 3u16;
+        let catalog = synthetic_catalog(8, enclosures);
+        let cfg = StorageConfig::ams2500(enclosures);
+        let policy = short_period_policy();
+        let mut text = Vec::new();
+        ndjson::write_events(recs.iter(), &mut text).unwrap();
+        let framed = encode_events_framed(&recs, block_bytes);
+        let flat = encode_events(&recs);
+
+        let serial = run_monitor_serial(
+            Cursor::new(text.clone()), &catalog, enclosures, &cfg, policy, None, 256,
+        ).unwrap();
+        for readers in [1usize, 4] {
+            for shards in [1usize, 4, 8] {
+                let options = ShardOptions { readers, ..ShardOptions::default() };
+                // Streamed framed binary (pipe-shaped input)…
+                let streamed = run_monitor_sharded_with(
+                    Cursor::new(framed.clone()), &catalog, enclosures, &cfg, policy, None,
+                    shards, options.clone(),
+                ).unwrap();
+                prop_assert_eq!(
+                    serial.events, streamed.events,
+                    "streamed framed, readers = {}, shards = {}", readers, shards
+                );
+                assert_same_plans(&serial.plans, &streamed.plans, shards);
+                // …the same bytes as an mmap-style slice…
+                let sliced = run_monitor_sharded_slice(
+                    &framed, &catalog, enclosures, &cfg, policy, None, shards, options.clone(),
+                ).unwrap();
+                prop_assert_eq!(
+                    serial.events, sliced.events,
+                    "sliced framed, readers = {}, shards = {}", readers, shards
+                );
+                assert_same_plans(&serial.plans, &sliced.plans, shards);
+                // …and the unframed stream through the serial-decode path.
+                let unframed = run_monitor_sharded_with(
+                    Cursor::new(flat.clone()), &catalog, enclosures, &cfg, policy, None,
+                    shards, options,
+                ).unwrap();
+                prop_assert_eq!(
+                    serial.events, unframed.events,
+                    "unframed, readers = {}, shards = {}", readers, shards
+                );
+                assert_same_plans(&serial.plans, &unframed.plans, shards);
+            }
+        }
+    }
+
     /// Arbitrary traces that *do* cut periods mid-way: a randomized
     /// hot-burst-then-silence shape guarantees a §V.D trigger fires, and
     /// every shard count must reproduce the cut at the same timestamp
@@ -682,6 +741,67 @@ fn parallel_frontend_matches_serial_through_trigger_cuts() {
             .unwrap();
             assert_eq!(serial.events, sharded.events, "readers = {readers}");
             assert_same_plans(&serial.plans, &sharded.plans, shards);
+        }
+    }
+}
+
+/// The framed binary front end through mid-period §V.D trigger cuts:
+/// with blocks small enough that the ~112.5 s cut lands while many
+/// blocks are still in flight across the decoder pool, plans match the
+/// serial NDJSON driver for the whole readers × shards matrix, streamed
+/// and sliced alike.
+#[test]
+fn binary_frontend_matches_serial_through_trigger_cuts() {
+    let enclosures = 3u16;
+    let catalog = synthetic_catalog(6, enclosures);
+    let cfg = StorageConfig::ams2500(enclosures);
+    let policy = short_period_policy();
+    let recs = trigger_trace(100_000, &[]);
+    let mut text = Vec::new();
+    ndjson::write_events(recs.iter(), &mut text).unwrap();
+    let framed = encode_events_framed(&recs, 96);
+
+    let serial = run_monitor_serial(
+        Cursor::new(text),
+        &catalog,
+        enclosures,
+        &cfg,
+        policy,
+        None,
+        256,
+    )
+    .unwrap();
+    let cuts = serial
+        .plans
+        .iter()
+        .filter(|e| e.reason == RolloverReason::Trigger)
+        .count();
+    assert!(cuts >= 1, "fixture must exercise §V.D trigger cuts");
+    for readers in [1usize, 4] {
+        for shards in [1usize, 4, 8] {
+            let options = ShardOptions {
+                readers,
+                ..ShardOptions::default()
+            };
+            let streamed = run_monitor_sharded_with(
+                Cursor::new(framed.clone()),
+                &catalog,
+                enclosures,
+                &cfg,
+                policy,
+                None,
+                shards,
+                options.clone(),
+            )
+            .unwrap();
+            assert_eq!(serial.events, streamed.events, "readers = {readers}");
+            assert_same_plans(&serial.plans, &streamed.plans, shards);
+            let sliced = run_monitor_sharded_slice(
+                &framed, &catalog, enclosures, &cfg, policy, None, shards, options,
+            )
+            .unwrap();
+            assert_eq!(serial.events, sliced.events, "readers = {readers}");
+            assert_same_plans(&serial.plans, &sliced.plans, shards);
         }
     }
 }
