@@ -85,4 +85,27 @@ for CHAOS_SHARDS in 1 4; do
 done
 echo "chaos gate OK"
 
+echo "== endurance gate (50 periods x cloudblock -> BENCH_endure.json) =="
+# Long-horizon soak in smoke form (DESIGN.md §16): a seeded 50-period
+# cloud-block run through the sharded controller with worker panics and
+# periodic checkpoint/restore cycles injected, plus a fault-free serial
+# leg that must reproduce every per-period row byte for byte. Absolute
+# bars: back-half savings drift within ±0.01/period, back-half savings
+# >= 15%, and a 60 s wall-clock budget. With a checked-in baseline the
+# seeded vitals (events, savings, drift, p99, trigger cuts) must match
+# it exactly — the run is bit-reproducible, so any difference is a
+# behaviour change, not noise. The first run seeds the baseline.
+ENDURE_BASE="results/BENCH_endure.baseline.json"
+cargo run --release -q -p ees-bench --bin endure_smoke -- \
+    results/BENCH_endure.json "$ENDURE_BASE"
+if [ ! -f "$ENDURE_BASE" ]; then
+    cp results/BENCH_endure.json "$ENDURE_BASE"
+    echo "endurance bench: baseline seeded at $ENDURE_BASE (check it in)"
+fi
+# The CLI surface of the same contract: `ees endure` must hold the
+# drift bar itself (exits non-zero past it) at a different seed.
+cargo run --release -q -p ees-cli --bin ees -- \
+    endure --seed 11 --periods 50 --shards 4 --drift-bar 0.01 >/dev/null
+echo "endurance gate OK"
+
 echo "CI gate passed."

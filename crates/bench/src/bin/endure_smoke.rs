@@ -1,0 +1,239 @@
+//! The long-horizon endurance smoke: streams a seeded 50-period
+//! cloud-block workload through the sharded controller — worker panics
+//! and periodic checkpoint → restore cycles injected — and writes the
+//! run's vitals to a flat all-`u64` JSON file (`BENCH_endure.json`)
+//! that `ees_iotrace::ndjson::parse_flat_object` can read back.
+//!
+//! ```text
+//! endure_smoke <out.json> [baseline.json]
+//! ```
+//!
+//! Three absolute bars always apply:
+//!
+//! * **drift**: the least-squares slope of per-period energy savings
+//!   over the back half of the run must stay within ±0.01/period — a
+//!   controller that slowly bleeds savings fails here long before a
+//!   single-period test would notice;
+//! * **savings**: back-half savings must hold ≥ 15% (the controller
+//!   still earns its keep after hundreds of accelerated periods);
+//! * **wall clock**: the whole 50-period run (including a serial
+//!   cross-check leg) must finish inside the budget — the endurance
+//!   gate is a smoke, not a soak.
+//!
+//! The run is seeded and the controller is deterministic, so a second
+//! leg at 1 shard with no fault injection must reproduce every
+//! per-period row byte for byte. With a checked-in baseline the run is
+//! additionally an exact-match gate: events, savings, drift, p99, and
+//! trigger-cut figures must all equal the baseline bit for bit — any
+//! difference means the seeded pipeline changed and the baseline needs
+//! a deliberate re-seed.
+
+use ees_core::ProposedConfig;
+use ees_iotrace::ndjson::parse_flat_object;
+use ees_iotrace::Micros;
+use ees_online::{run_endurance, EnduranceConfig, EnduranceReport};
+use ees_replay::CatalogItem;
+use ees_simstorage::StorageConfig;
+use ees_workloads::cloudblock::{self, CloudBlockParams};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SEED: u64 = 7;
+const PERIODS: usize = 50;
+const SHARDS: usize = 4;
+const VOLUMES: u32 = 96;
+const RESTORE_EVERY: usize = 10;
+const WORKER_PANICS: usize = 4;
+/// |back-half savings slope| must stay under this, per period.
+const DRIFT_BAR: f64 = 0.01;
+/// Back-half savings floor: the controller must still be saving energy
+/// at the end of the horizon, not just at the start.
+const SAVINGS_FLOOR: f64 = 0.15;
+/// Wall-clock budget for both legs together.
+const WALL_BUDGET_SECS: u64 = 60;
+
+fn run(shards: usize, restore_every: usize, worker_panics: usize) -> EnduranceReport {
+    let policy = ProposedConfig::default();
+    let params = CloudBlockParams {
+        // Enough trace to cover the horizon even after α stretches every
+        // period to the max: initial + max_period × (periods + 2).
+        duration: policy.initial_period + Micros(policy.max_period.0 * (PERIODS as u64 + 2)),
+        num_volumes: VOLUMES,
+        ..CloudBlockParams::default()
+    };
+    let stream = cloudblock::stream(SEED, &params);
+    let catalog: Vec<CatalogItem> = stream
+        .items()
+        .iter()
+        .map(|s| CatalogItem {
+            id: s.id,
+            size: s.size,
+            enclosure: s.enclosure,
+            access: s.access,
+        })
+        .collect();
+    let cfg = EnduranceConfig {
+        seed: SEED,
+        periods: PERIODS,
+        shards,
+        policy,
+        restore_every,
+        worker_panics,
+        ..EnduranceConfig::default()
+    };
+    let storage = StorageConfig::ams2500(params.num_enclosures);
+    run_endurance(&cfg, &catalog, params.num_enclosures, &storage, stream)
+        .expect("endurance smoke run")
+}
+
+fn read_baseline(path: &str) -> Option<Vec<(String, u64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().collect::<Vec<_>>().join(" ");
+    let fields = parse_flat_object(line.trim()).ok()?;
+    Some(
+        fields
+            .into_iter()
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k, n)))
+            .collect(),
+    )
+}
+
+fn baseline_value(baseline: &[(String, u64)], key: &str) -> Option<u64> {
+    baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_endure.json");
+    let baseline_path = args.get(1).map(String::as_str);
+
+    let started = Instant::now();
+    let chaotic = run(SHARDS, RESTORE_EVERY, WORKER_PANICS);
+    let serial = run(1, 0, 0);
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    let drift = chaotic.drift_per_period.unwrap_or(0.0);
+    // Fixed point so the flat JSON stays all-u64; savings are in
+    // [0, 1] and the drift bar is 0.01, so x1000 / x1e6 keep the
+    // gate-relevant digits.
+    let savings_x1000 = (chaotic.overall_savings.max(0.0) * 1000.0) as u64;
+    let back_half_x1000 = (chaotic.back_half_savings.max(0.0) * 1000.0) as u64;
+    let drift_abs_x1e6 = (drift.abs() * 1e6) as u64;
+    let p99_max_micros = chaotic.max_p99().map_or(0, |p| p.0);
+
+    let json = format!(
+        "{{\"seed\": {}, \"periods\": {}, \"shards\": {}, \"events\": {}, \
+         \"savings_x1000\": {}, \"back_half_x1000\": {}, \"drift_abs_x1e6\": {}, \
+         \"p99_max_micros\": {}, \"trigger_cuts\": {}, \"crash_restores\": {}, \
+         \"respawns\": {}, \"history_footprint_bytes\": {}, \"wall_ms\": {}}}\n",
+        SEED,
+        chaotic.rows.len(),
+        SHARDS,
+        chaotic.events,
+        savings_x1000,
+        back_half_x1000,
+        drift_abs_x1e6,
+        p99_max_micros,
+        chaotic.trigger_cuts,
+        chaotic.crash_restores,
+        chaotic.respawns,
+        chaotic.history_footprint_bytes,
+        wall_ms,
+    );
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("endure_smoke: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "endure_smoke: {} periods, {} events, savings {:.1}% overall / {:.1}% back half, \
+         drift {:+.5}/period, p99 max {:.1} ms, {} restores, {} respawns, {} ms -> {out_path}",
+        chaotic.rows.len(),
+        chaotic.events,
+        chaotic.overall_savings * 100.0,
+        chaotic.back_half_savings * 100.0,
+        drift,
+        p99_max_micros as f64 / 1000.0,
+        chaotic.crash_restores,
+        chaotic.respawns,
+        wall_ms,
+    );
+
+    let mut failed = false;
+
+    // Determinism cross-check: the fault-free serial leg must reproduce
+    // the chaotic sharded leg row for row.
+    if serial.rows != chaotic.rows {
+        eprintln!(
+            "endure_smoke: serial leg diverged from the sharded+faulted leg \
+             — the endurance core is not deterministic"
+        );
+        failed = true;
+    }
+    if chaotic.rows.len() != PERIODS {
+        eprintln!(
+            "endure_smoke: trace dried up after {} of {PERIODS} periods",
+            chaotic.rows.len()
+        );
+        failed = true;
+    }
+    if chaotic.crash_restores == 0 {
+        eprintln!("endure_smoke: no checkpoint/restore cycle fired; the gate exercised nothing");
+        failed = true;
+    }
+    if drift.abs() > DRIFT_BAR {
+        eprintln!(
+            "endure_smoke: savings drift {drift:+.5}/period exceeds the ±{DRIFT_BAR} bar \
+             — the controller is bleeding (or hallucinating) energy savings over the horizon"
+        );
+        failed = true;
+    }
+    if chaotic.back_half_savings < SAVINGS_FLOOR {
+        eprintln!(
+            "endure_smoke: back-half savings {:.1}% under the {:.0}% floor",
+            chaotic.back_half_savings * 100.0,
+            SAVINGS_FLOOR * 100.0
+        );
+        failed = true;
+    }
+    if wall_ms > WALL_BUDGET_SECS * 1000 {
+        eprintln!("endure_smoke: {wall_ms} ms over the {WALL_BUDGET_SECS} s wall-clock budget");
+        failed = true;
+    }
+
+    if let Some(baseline) = baseline_path.and_then(read_baseline) {
+        // Seeded and deterministic end to end: the vitals must match the
+        // baseline exactly, not within a tolerance.
+        for (key, measured) in [
+            ("events", chaotic.events),
+            ("savings_x1000", savings_x1000),
+            ("back_half_x1000", back_half_x1000),
+            ("drift_abs_x1e6", drift_abs_x1e6),
+            ("p99_max_micros", p99_max_micros),
+            ("trigger_cuts", chaotic.trigger_cuts),
+            ("crash_restores", chaotic.crash_restores as u64),
+            ("history_footprint_bytes", chaotic.history_footprint_bytes),
+        ] {
+            let Some(base) = baseline_value(&baseline, key) else {
+                continue;
+            };
+            if measured != base {
+                eprintln!(
+                    "endure_smoke: DRIFT {key}: {measured} != baseline {base} \
+                     (seeded run must be bit-reproducible; re-seed deliberately if intended)"
+                );
+                failed = true;
+            }
+        }
+    } else if let Some(path) = baseline_path {
+        println!("endure_smoke: no baseline at {path}; this run seeds it");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

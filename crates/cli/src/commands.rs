@@ -1,7 +1,7 @@
 //! Subcommand implementations for the `ees` tool.
 //!
 //! ```text
-//! ees gen <fileserver|tpcc|tpch> [--scale X] [--seed N] [--out DIR]
+//! ees gen <fileserver|tpcc|tpch|cloudblock> [--scale X] [--seed N] [--out DIR] [--volumes N]
 //! ees stats <trace.jsonl> [--json]
 //! ees classify <trace.jsonl> <items.json> [--break-even SECS] [--period SECS] [--json]
 //! ees replay <fileserver|tpcc|tpch> <none|proposed|pdc|ddr> [--scale X] [--seed N] [--json]
@@ -11,6 +11,8 @@
 //! ees online --listen <addr> <items.json> [--conns N] [...same knobs]
 //! ees transcode <in> <out>
 //! ees chaos [--seed N] [--seeds N] [--shards N] [--events N] [--json]
+//! ees endure [--seed N] [--periods N] [--shards N] [--volumes N]
+//!            [--restore-every N] [--panics N] [--drift-bar X] [--json]
 //! ```
 //!
 //! `--listen` swaps the file front end for the socket control plane
@@ -31,17 +33,17 @@ use ees_iotrace::{
     analyze_item_period, fmt_bytes, map_file, split_by_item, summarize, ItemInterner, Micros, Span,
 };
 use ees_online::{
-    read_checkpoint_file, run_chaos, silence_injected_panics, spawn_net_ingest,
+    read_checkpoint_file, run_chaos, run_endurance, silence_injected_panics, spawn_net_ingest,
     spawn_reader_batched_pooled, spawn_reader_parallel, spawn_reader_parallel_mapped,
-    write_checkpoint_file, ChaosConfig, ColocatedDaemon, NetListener, NetOptions, OverflowPolicy,
-    PanicSchedule, RolloverReason, ShardOptions, SupervisionPolicy,
+    write_checkpoint_file, ChaosConfig, ColocatedDaemon, EnduranceConfig, NetListener, NetOptions,
+    OverflowPolicy, PanicSchedule, RolloverReason, ShardOptions, SupervisionPolicy,
 };
 use ees_policy::{NoPowerSaving, PowerPolicy};
 use ees_replay::{run, CatalogItem, ReplayOptions};
 use ees_simstorage::StorageConfig;
-use ees_workloads::{dss, fileserver, oltp, DataItemSpec, Workload};
+use ees_workloads::{cloudblock, dss, fileserver, oltp, DataItemSpec, Workload};
 use ees_workloads::{items_from_json, items_to_json};
-use ees_workloads::{DssParams, FileServerParams, OltpParams};
+use ees_workloads::{CloudBlockParams, DssParams, FileServerParams, OltpParams};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write as _};
@@ -96,6 +98,11 @@ struct Flags {
     conns: usize,
     fail_shard: Option<(usize, u64)>,
     block_bytes: usize,
+    periods: usize,
+    volumes: u32,
+    restore_every: usize,
+    panics: usize,
+    drift_bar: Option<f64>,
 }
 
 impl Flags {
@@ -119,6 +126,11 @@ impl Flags {
             conns: 1,
             fail_shard: None,
             block_bytes: 0,
+            periods: 50,
+            volumes: 96,
+            restore_every: 10,
+            panics: 4,
+            drift_bar: None,
         };
         let mut positional = Vec::new();
         let mut it = args.iter();
@@ -212,6 +224,33 @@ impl Flags {
                         .parse()
                         .map_err(|_| CliError::Usage("--block-bytes expects an integer".into()))?
                 }
+                "--periods" => {
+                    flags.periods = take("--periods")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--periods expects an integer".into()))?
+                }
+                "--volumes" => {
+                    flags.volumes = take("--volumes")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--volumes expects an integer".into()))?
+                }
+                "--restore-every" => {
+                    flags.restore_every = take("--restore-every")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--restore-every expects an integer".into()))?
+                }
+                "--panics" => {
+                    flags.panics = take("--panics")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--panics expects an integer".into()))?
+                }
+                "--drift-bar" => {
+                    flags.drift_bar = Some(
+                        take("--drift-bar")?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--drift-bar expects a number".into()))?,
+                    )
+                }
                 other => positional.push(other.to_string()),
             }
         }
@@ -224,9 +263,14 @@ fn make_workload(name: &str, flags: &Flags) -> Result<Workload, CliError> {
         "fileserver" => fileserver::generate(flags.seed, &FileServerParams::scaled(flags.scale)),
         "tpcc" => oltp::generate(flags.seed, &OltpParams::scaled(flags.scale)),
         "tpch" => dss::generate(flags.seed, &DssParams::scaled(flags.scale)),
+        "cloudblock" => {
+            let mut p = CloudBlockParams::scaled(flags.scale);
+            p.num_volumes = flags.volumes.max(1);
+            cloudblock::generate(flags.seed, &p)
+        }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown workload '{other}' (expected fileserver|tpcc|tpch)"
+                "unknown workload '{other}' (expected fileserver|tpcc|tpch|cloudblock)"
             )))
         }
     })
@@ -236,7 +280,7 @@ fn make_workload(name: &str, flags: &Flags) -> Result<Workload, CliError> {
 pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::Usage(
-            "expected a subcommand: gen | stats | classify | replay | mix | online | transcode | chaos"
+            "expected a subcommand: gen | stats | classify | replay | mix | online | transcode | chaos | endure"
                 .into(),
         ));
     };
@@ -250,6 +294,7 @@ pub fn run_cli(args: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), Cl
         "online" => online(&positional, &flags, out),
         "transcode" => transcode(&positional, &flags, out),
         "chaos" => chaos(&flags, out),
+        "endure" => endure(&flags, out),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -900,6 +945,110 @@ fn chaos(flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     } else {
         Err(CliError::Parse(failures.join("; ")))
     }
+}
+
+/// `ees endure`: the long-horizon endurance run (DESIGN.md §16) — an
+/// accelerated-clock Cloud Block workload streamed through the sharded
+/// controller for `--periods` monitoring periods, with checkpoint →
+/// restore cycles every `--restore-every` periods and `--panics` seeded
+/// worker panics, against a no-management baseline for per-period energy
+/// savings. `--drift-bar X` turns the drift statistic into a gate: exit
+/// non-zero when the back-half savings slope leaves `±X`.
+fn endure(flags: &Flags, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let mut policy = ProposedConfig::default();
+    if let Some(p) = flags.period {
+        policy.initial_period = p;
+    }
+    let periods = flags.periods.max(1);
+    let params = CloudBlockParams {
+        // Enough simulated time to close every requested period even if
+        // each one adapts all the way to the cap, plus slack so the last
+        // boundary is actually crossed by a record.
+        duration: policy.initial_period + Micros(policy.max_period.0 * (periods as u64 + 2)),
+        num_volumes: flags.volumes.max(1),
+        ..CloudBlockParams::default()
+    };
+    let cfg = EnduranceConfig {
+        seed: flags.seed,
+        periods,
+        shards: flags.shards.max(1),
+        policy,
+        restore_every: flags.restore_every,
+        worker_panics: flags.panics,
+        ..EnduranceConfig::default()
+    };
+    let stream = cloudblock::stream(flags.seed, &params);
+    let catalog: Vec<CatalogItem> = stream
+        .items()
+        .iter()
+        .map(|s| CatalogItem {
+            id: s.id,
+            size: s.size,
+            enclosure: s.enclosure,
+            access: s.access,
+        })
+        .collect();
+    let storage = StorageConfig::ams2500(params.num_enclosures);
+    let report = run_endurance(&cfg, &catalog, params.num_enclosures, &storage, stream)
+        .map_err(|e| CliError::Parse(format!("endure: {e}")))?;
+    if flags.json {
+        writeln!(out, "{}", jsonout::endure_json(&report))?;
+    } else {
+        writeln!(
+            out,
+            "endure: seed {}  shards {}  periods {}  events {}",
+            report.seed,
+            report.shards,
+            report.rows.len(),
+            report.events
+        )?;
+        writeln!(
+            out,
+            "  savings {:.1} % overall, {:.1} % back half; drift {} per period",
+            report.overall_savings * 100.0,
+            report.back_half_savings * 100.0,
+            report
+                .drift_per_period
+                .map(|d| format!("{d:+.5}"))
+                .unwrap_or_else(|| "n/a".into()),
+        )?;
+        writeln!(
+            out,
+            "  p99 max {}  trigger cuts {}  restores {}  respawns {}",
+            report
+                .max_p99()
+                .map(|p| format!("{:.1} ms", p.as_millis_f64()))
+                .unwrap_or_else(|| "n/a".into()),
+            report.trigger_cuts,
+            report.crash_restores,
+            report.respawns,
+        )?;
+        writeln!(
+            out,
+            "  history: {} periods recorded, {} pruned, footprint {}",
+            report.history_total_periods,
+            report.history_dropped_periods,
+            fmt_bytes(report.history_footprint_bytes),
+        )?;
+    }
+    if (report.rows.len() as u64) < periods as u64 {
+        return Err(CliError::Parse(format!(
+            "endure: workload dried up after {} of {periods} periods",
+            report.rows.len()
+        )));
+    }
+    if let Some(bar) = flags.drift_bar {
+        if !report.drift_within(bar) {
+            return Err(CliError::Parse(format!(
+                "endure: drift {} per period exceeds the ±{bar} bar",
+                report
+                    .drift_per_period
+                    .map(|d| format!("{d:+.6}"))
+                    .unwrap_or_else(|| "n/a".into()),
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@ use ees_core::{LogicalIoPattern, PatternMix};
 use ees_iotrace::ndjson::json_escape;
 use ees_iotrace::TraceSummary;
 use ees_online::{
-    ChaosReport, ConnSnapshot, IngestStats, OnlineSummary, PlanEnvelope, RolloverReason,
+    ChaosReport, ConnSnapshot, EnduranceReport, IngestStats, OnlineSummary, PlanEnvelope,
+    RolloverReason,
 };
 use ees_replay::RunReport;
 
@@ -206,6 +207,64 @@ pub fn chaos_json(reports: &[ChaosReport], failures: &[String]) -> String {
         failures.is_empty(),
         run_lines,
         failure_lines,
+    )
+}
+
+/// `ees endure --json`: the long-horizon endurance report
+/// (**`ees.endure.v1`**). The deterministic core — every `rows` field,
+/// the savings totals, and the drift statistic — is byte-identical for
+/// a given seed across shard counts and injected crash/restore cycles;
+/// `shards`, `respawns`, and `crash_restores` are machinery evidence
+/// and may legitimately differ between configurations.
+pub fn endure_json(r: &EnduranceReport) -> String {
+    let mut row_lines = String::new();
+    for (i, row) in r.rows.iter().enumerate() {
+        row_lines.push_str(&format!(
+            "    {{\"index\":{},\"start_secs\":{},\"end_secs\":{},\"period_secs\":{},\
+             \"reason\":\"{}\",\"events\":{},\"managed_joules\":{},\"baseline_joules\":{},\
+             \"savings\":{},\"p99_ms\":{},\"history_bytes\":{},\"history_periods\":{}}}{}\n",
+            row.index,
+            num(row.start.as_secs_f64()),
+            num(row.end.as_secs_f64()),
+            num(row.period_len().as_secs_f64()),
+            if row.trigger { "trigger" } else { "boundary" },
+            row.events,
+            num(row.managed_joules),
+            num(row.baseline_joules),
+            num(row.savings),
+            row.p99
+                .map(|p| num(p.as_millis_f64()))
+                .unwrap_or_else(|| "null".into()),
+            row.history_bytes,
+            row.history_periods,
+            if i + 1 < r.rows.len() { "," } else { "" }
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"ees.endure.v1\",\n  \"seed\": {},\n  \"shards\": {},\n  \
+         \"periods\": {},\n  \"events\": {},\n  \"overall_savings\": {},\n  \
+         \"back_half_savings\": {},\n  \"drift_per_period\": {},\n  \"max_p99_ms\": {},\n  \
+         \"trigger_cuts\": {},\n  \"crash_restores\": {},\n  \"respawns\": {},\n  \
+         \"history\": {{\"footprint_bytes\": {}, \"total_periods\": {}, \
+         \"dropped_periods\": {}, \"stability\": {}}},\n  \"rows\": [\n{}  ]\n}}",
+        r.seed,
+        r.shards,
+        r.rows.len(),
+        r.events,
+        num(r.overall_savings),
+        num(r.back_half_savings),
+        r.drift_per_period.map(num).unwrap_or_else(|| "null".into()),
+        r.max_p99()
+            .map(|p| num(p.as_millis_f64()))
+            .unwrap_or_else(|| "null".into()),
+        r.trigger_cuts,
+        r.crash_restores,
+        r.respawns,
+        r.history_footprint_bytes,
+        r.history_total_periods,
+        r.history_dropped_periods,
+        r.stability.map(num).unwrap_or_else(|| "null".into()),
+        row_lines,
     )
 }
 

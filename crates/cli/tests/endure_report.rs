@@ -1,0 +1,99 @@
+//! Golden-file pin of the `ees.endure.v1` machine-readable surface,
+//! plus the report's determinism contract: the deterministic core of
+//! the envelope is byte-identical across shard counts and across
+//! injected mid-run checkpoint/restore cycles — only the machinery
+//! evidence (`shards`, `respawns`, `crash_restores`) may differ.
+
+use ees_cli::run_cli;
+
+fn run_to_string(args: &[&str]) -> String {
+    let mut buf = Vec::new();
+    run_cli(args.iter().map(|s| s.to_string()).collect(), &mut buf).expect("command failed");
+    String::from_utf8(buf).expect("output is UTF-8")
+}
+
+#[test]
+fn endure_json_matches_golden_fixture() {
+    let got = run_to_string(&[
+        "endure",
+        "--seed",
+        "42",
+        "--periods",
+        "5",
+        "--volumes",
+        "12",
+        "--shards",
+        "2",
+        "--restore-every",
+        "2",
+        "--json",
+    ]);
+    let want = include_str!("fixtures/report_endure_v1.json");
+    assert_eq!(got, want, "ees.endure.v1 envelope drifted");
+}
+
+/// Blanks the machinery-evidence fields that legitimately differ
+/// between configurations of the same seeded run.
+fn core_of(report: &str) -> String {
+    report
+        .lines()
+        .map(|l| {
+            let t = l.trim_start();
+            if t.starts_with("\"shards\":")
+                || t.starts_with("\"respawns\":")
+                || t.starts_with("\"crash_restores\":")
+            {
+                "  <machinery>"
+            } else {
+                l
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn endure_core_is_identical_across_shards_and_restores() {
+    let base = [
+        "endure",
+        "--seed",
+        "11",
+        "--periods",
+        "4",
+        "--volumes",
+        "12",
+        "--json",
+    ];
+    let serial = run_to_string(
+        &[
+            &base[..],
+            &["--shards", "1", "--restore-every", "0", "--panics", "0"],
+        ]
+        .concat(),
+    );
+    let sharded = run_to_string(
+        &[
+            &base[..],
+            &["--shards", "4", "--restore-every", "0", "--panics", "0"],
+        ]
+        .concat(),
+    );
+    let crashing = run_to_string(
+        &[
+            &base[..],
+            &["--shards", "4", "--restore-every", "2", "--panics", "2"],
+        ]
+        .concat(),
+    );
+    assert_eq!(
+        core_of(&serial),
+        core_of(&sharded),
+        "shard count bent the deterministic core"
+    );
+    assert_eq!(
+        core_of(&serial),
+        core_of(&crashing),
+        "checkpoint/restore bent the deterministic core"
+    );
+    assert!(crashing.contains("\"crash_restores\": 1"));
+}

@@ -50,7 +50,7 @@ pub use cache_select::{select_preload, select_write_delay};
 pub use config::ProposedConfig;
 pub use explain::explain_plan;
 pub use hotcold::{determine_hot_cold, n_hot, split_hot_cold, HotColdSplit};
-pub use monitor::{MonitorHistory, MonitorHistoryState, PeriodRecord};
+pub use monitor::{MonitorHistory, MonitorHistoryState, PeriodRecord, DEFAULT_PERIOD_CAP};
 pub use pattern::{classify, LogicalIoPattern, PatternMix};
 pub use period::next_period;
 pub use placement::{plan_placement, plan_placement_with_floor, PlacementPlan};

@@ -115,4 +115,74 @@ mod tests {
         let b = next_period(&reports, 1.5, MIN, MAX).unwrap();
         assert!(b > a);
     }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Long-interval lengths (seconds) per item; zero-length and
+        /// empty sets are legal degenerate inputs.
+        fn arb_interval_sets() -> impl Strategy<Value = Vec<Vec<u64>>> {
+            prop::collection::vec(prop::collection::vec(0u64..200_000, 0..8), 0..6)
+        }
+
+        fn build(sets: &[Vec<u64>]) -> Vec<ItemReport> {
+            sets.iter()
+                .enumerate()
+                .map(|(i, s)| report_with_intervals(i as u32, s))
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn result_is_always_clamped(
+                sets in arb_interval_sets(),
+                alpha in 1.0f64..4.0,
+                lo in 1u64..600,
+                width in 0u64..7200,
+            ) {
+                let min = Micros::from_secs(lo);
+                let max = min + Micros::from_secs(width);
+                if let Some(p) = next_period(&build(&sets), alpha, min, max) {
+                    prop_assert!(p >= min && p <= max, "{p} outside [{min}, {max}]");
+                }
+            }
+
+            #[test]
+            fn none_exactly_when_no_interval_was_observed(
+                sets in arb_interval_sets(),
+                alpha in 1.0f64..4.0,
+            ) {
+                // Empty report lists, items with no long intervals, and
+                // any mix thereof: `None` iff not a single interval
+                // exists — zero-length intervals still count.
+                let any = sets.iter().any(|s| !s.is_empty());
+                prop_assert_eq!(
+                    next_period(&build(&sets), alpha, MIN, MAX).is_some(),
+                    any
+                );
+            }
+
+            #[test]
+            fn monotone_in_the_interval_average(
+                sets in arb_interval_sets(),
+                alpha in 1.0f64..4.0,
+                bump in 0u64..5_000,
+            ) {
+                // Lengthening every interval by the same amount raises
+                // the average exactly; the adapted period must never
+                // move the other way (clamps only flatten it).
+                let bumped: Vec<Vec<u64>> = sets
+                    .iter()
+                    .map(|s| s.iter().map(|&x| x + bump).collect())
+                    .collect();
+                let a = next_period(&build(&sets), alpha, MIN, MAX);
+                let b = next_period(&build(&bumped), alpha, MIN, MAX);
+                prop_assert_eq!(a.is_some(), b.is_some());
+                if let (Some(a), Some(b)) = (a, b) {
+                    prop_assert!(b >= a, "avg grew but period shrank: {a} -> {b}");
+                }
+            }
+        }
+    }
 }

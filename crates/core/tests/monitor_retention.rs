@@ -1,0 +1,166 @@
+//! Long-horizon retention regression for the monitoring repository
+//! (DESIGN.md §16): ~1M accelerated period rollovers through
+//! [`MonitorHistory`], checked against a plain ring-buffer reference
+//! model. Pins that (a) the period ring actually prunes — memory stays
+//! bounded no matter how many rollovers accumulate, (b) the retained
+//! window is exactly the newest `period_cap` records, byte for byte,
+//! and (c) the §VI.C stability statistic over the *whole* run stays
+//! exact across pruning via the carried aggregates.
+
+use ees_core::{
+    ItemReport, LogicalIoPattern, MonitorHistory, PatternMix, PeriodRecord, DEFAULT_PERIOD_CAP,
+};
+use ees_iotrace::{DataItemId, EnclosureId, IopsSeries, ItemIntervalStats, Micros, Span};
+use std::collections::VecDeque;
+
+fn report(item: u32, pattern: LogicalIoPattern) -> ItemReport {
+    let period = Span {
+        start: Micros::ZERO,
+        end: Micros::from_secs(10),
+    };
+    ItemReport {
+        id: DataItemId(item),
+        enclosure: EnclosureId(0),
+        size: 1,
+        pattern,
+        stats: ItemIntervalStats {
+            item: DataItemId(item),
+            period,
+            long_intervals: Vec::new(),
+            sequences: Vec::new(),
+            reads: 0,
+            writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        },
+        iops: IopsSeries::from_timestamps(Vec::new(), period),
+        sequential: false,
+        seq_factor: 900.0 / 2800.0,
+    }
+}
+
+/// Deterministic pattern schedule: item 1 cycles with a prime-ish
+/// stride so changes happen on an irregular cadence, item 2 is stable.
+fn pattern_at(i: u64) -> LogicalIoPattern {
+    match (i / 3) % 4 {
+        0 => LogicalIoPattern::P0,
+        1 => LogicalIoPattern::P1,
+        2 => LogicalIoPattern::P2,
+        _ => LogicalIoPattern::P3,
+    }
+}
+
+/// The reference: an explicit bounded ring of expected records plus
+/// running whole-run aggregates, built straight from the schedule.
+struct RingModel {
+    ring: VecDeque<PeriodRecord>,
+    cap: usize,
+    dropped: u64,
+    total: u64,
+    changed: u64,
+    prev: Option<LogicalIoPattern>,
+}
+
+impl RingModel {
+    fn new(cap: usize) -> Self {
+        RingModel {
+            ring: VecDeque::new(),
+            cap,
+            dropped: 0,
+            total: 0,
+            changed: 0,
+            prev: None,
+        }
+    }
+
+    fn push(&mut self, period: Span, pattern: LogicalIoPattern) {
+        let mut mix = PatternMix::default();
+        mix.bump(pattern);
+        mix.bump(LogicalIoPattern::P3); // the stable item
+        let first = self.prev.is_none();
+        let changed = usize::from(!first && self.prev != Some(pattern));
+        if !first {
+            // Whole-run stability aggregates skip the baseline period.
+            self.total += mix.total() as u64;
+            self.changed += changed as u64;
+        }
+        self.prev = Some(pattern);
+        self.ring.push_back(PeriodRecord {
+            period,
+            mix,
+            changed,
+        });
+        if self.ring.len() > self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    fn stability(&self) -> Option<f64> {
+        (self.total > 0).then(|| 1.0 - self.changed as f64 / self.total as f64)
+    }
+}
+
+#[test]
+fn a_million_rollovers_stay_bounded_and_match_the_ring_model() {
+    const ROLLOVERS: u64 = 1_000_000;
+    let mut history = MonitorHistory::new();
+    let mut model = RingModel::new(DEFAULT_PERIOD_CAP);
+    let mut peak = 0u64;
+    for i in 0..ROLLOVERS {
+        let period = Span {
+            start: Micros(i * 10_000_000),
+            end: Micros((i + 1) * 10_000_000),
+        };
+        let pat = pattern_at(i);
+        history.record(period, &[report(1, pat), report(2, LogicalIoPattern::P3)]);
+        model.push(period, pat);
+        if i % 4096 == 0 {
+            peak = peak.max(history.footprint_bytes());
+        }
+    }
+    peak = peak.max(history.footprint_bytes());
+
+    // (a) Pruning fired and memory stayed bounded: the ring holds the
+    // cap, not the million, and the logical footprint never left the
+    // cap-sized envelope (56-byte records plus two tracked items).
+    assert_eq!(history.total_periods(), ROLLOVERS);
+    assert_eq!(
+        history.dropped_periods(),
+        ROLLOVERS - DEFAULT_PERIOD_CAP as u64
+    );
+    assert_eq!(history.periods().len(), DEFAULT_PERIOD_CAP);
+    let bound = (DEFAULT_PERIOD_CAP as u64 + 2) * std::mem::size_of::<PeriodRecord>() as u64 + 1024;
+    assert!(
+        peak <= bound,
+        "footprint peaked at {peak} bytes, bound {bound}"
+    );
+
+    // (b) The retained window is exactly the model ring's contents.
+    assert_eq!(history.dropped_periods(), model.dropped);
+    assert_eq!(history.periods(), model.ring.make_contiguous());
+
+    // (c) Whole-run stability is exact despite pruning ~94% of the
+    // records: bit-identical to the reference aggregates.
+    assert_eq!(history.stability(), model.stability());
+}
+
+#[test]
+fn tiny_cap_agrees_with_the_model_too() {
+    // A pathologically small ring (cap 3) over 10k rollovers: maximal
+    // pruning pressure on the amortized compaction.
+    let mut history = MonitorHistory::with_limits(8, 3);
+    let mut model = RingModel::new(3);
+    for i in 0..10_000u64 {
+        let period = Span {
+            start: Micros(i * 10_000_000),
+            end: Micros((i + 1) * 10_000_000),
+        };
+        let pat = pattern_at(i);
+        history.record(period, &[report(1, pat), report(2, LogicalIoPattern::P3)]);
+        model.push(period, pat);
+    }
+    assert_eq!(history.periods(), model.ring.make_contiguous());
+    assert_eq!(history.dropped_periods(), model.dropped);
+    assert_eq!(history.stability(), model.stability());
+}

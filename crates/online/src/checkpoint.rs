@@ -145,6 +145,8 @@ impl Enc {
 
 struct Dec<'a> {
     toks: std::str::SplitWhitespace<'a>,
+    /// One token of lookahead for optional sections ([`Self::peek`]).
+    pending: Option<&'a str>,
 }
 
 type DecResult<T> = Result<T, OnlineError>;
@@ -157,11 +159,24 @@ impl<'a> Dec<'a> {
     fn new(text: &'a str) -> Self {
         Dec {
             toks: text.split_whitespace(),
+            pending: None,
         }
     }
 
     fn tok(&mut self) -> DecResult<&'a str> {
+        if let Some(t) = self.pending.take() {
+            return Ok(t);
+        }
         self.toks.next().ok_or_else(|| bad("truncated checkpoint"))
+    }
+
+    /// Looks at the next token without consuming it; the following
+    /// [`tok`](Self::tok) returns the same token.
+    fn peek(&mut self) -> Option<&'a str> {
+        if self.pending.is_none() {
+            self.pending = self.toks.next();
+        }
+        self.pending
     }
 
     fn expect(&mut self, kw: &str) -> DecResult<()> {
@@ -255,6 +270,17 @@ fn enc_history(e: &mut Enc, h: &MonitorHistoryState) {
         e.u64(seen);
     }
     e.u64(h.retention as u64);
+    // Optional ring-state extension: absent whenever the history still
+    // matches the pre-ring defaults (nothing pruned, default capacity),
+    // which keeps checkpoints from such runs byte-identical to the
+    // format before the extension existed.
+    if h.dropped != 0 || h.period_cap != ees_core::DEFAULT_PERIOD_CAP {
+        e.tok("ring");
+        e.u64(h.period_cap as u64);
+        e.u64(h.dropped);
+        e.u64(h.dropped_total);
+        e.u64(h.dropped_changed);
+    }
 }
 
 fn dec_history(d: &mut Dec) -> DecResult<MonitorHistoryState> {
@@ -285,10 +311,20 @@ fn dec_history(d: &mut Dec) -> DecResult<MonitorHistoryState> {
         last_pattern.push((id, p, seen));
     }
     let retention = d.usize()?;
+    let (period_cap, dropped, dropped_total, dropped_changed) = if d.peek() == Some("ring") {
+        d.expect("ring")?;
+        (d.usize()?, d.u64()?, d.u64()?, d.u64()?)
+    } else {
+        (ees_core::DEFAULT_PERIOD_CAP, 0, 0, 0)
+    };
     Ok(MonitorHistoryState {
         periods,
         last_pattern,
         retention,
+        period_cap,
+        dropped,
+        dropped_total,
+        dropped_changed,
     })
 }
 
@@ -583,7 +619,7 @@ pub fn decode_checkpoint(text: &str) -> Result<ControllerCheckpoint, OnlineError
         }
         t => return Err(bad(format!("expected `interner` or `end`, found `{t}`"))),
     };
-    if let Some(extra) = d.toks.next() {
+    if let Some(extra) = d.peek() {
         return Err(bad(format!("trailing data after `end`: `{extra}`")));
     }
     Ok(ControllerCheckpoint {
@@ -661,6 +697,10 @@ mod tests {
                             (DataItemId(7), LogicalIoPattern::P3, 0),
                         ],
                         retention: 8,
+                        period_cap: ees_core::DEFAULT_PERIOD_CAP,
+                        dropped: 0,
+                        dropped_total: 0,
+                        dropped_changed: 0,
                     },
                     last_preload: vec![(DataItemId(1), 4096)],
                     last_write_delay: vec![DataItemId(2)],
@@ -745,6 +785,25 @@ mod tests {
                 "truncation at {cut} went undetected"
             );
         }
+    }
+
+    #[test]
+    fn ring_section_is_optional_and_roundtrips() {
+        // Default-cap, nothing-pruned histories omit the section, so
+        // checkpoints from such runs are byte-identical to the format
+        // before the ring extension existed.
+        let cp = sample();
+        let text = encode_checkpoint(&cp);
+        assert!(!text.contains("ring"));
+        // A pruned history carries its ring state through exactly.
+        let mut pruned = cp.clone();
+        pruned.state.planner.history.period_cap = 128;
+        pruned.state.planner.history.dropped = 42;
+        pruned.state.planner.history.dropped_total = 1000;
+        pruned.state.planner.history.dropped_changed = 7;
+        let text = encode_checkpoint(&pruned);
+        assert!(text.contains("ring"));
+        assert_eq!(decode_checkpoint(&text).unwrap(), pruned);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod checkpoint;
 pub mod classify;
 pub mod controller;
 pub mod daemon;
+pub mod endure;
 pub mod error;
 pub mod fault;
 pub mod frontend;
@@ -82,6 +83,7 @@ pub use checkpoint::{
 pub use classify::{IncrementalClassifier, ItemCheckpoint};
 pub use controller::{ControllerState, OnlineController, PlanEnvelope, RolloverReason};
 pub use daemon::{ColocatedDaemon, OnlineSummary};
+pub use endure::{run_endurance, EnduranceConfig, EnduranceReport, PeriodMetric};
 pub use error::{OnlineError, Severity};
 pub use fault::{
     silence_injected_panics, FaultRng, FaultSpec, FaultTally, FaultyReader, PanicSchedule,

@@ -1,0 +1,71 @@
+//! Property: an endurance run's deterministic core — every per-period
+//! metric row, the savings totals, and the drift statistic — is a pure
+//! function of `(seed, policy, workload)`. Shard count, injected worker
+//! panics, and mid-run checkpoint → restore cycles must not bend a
+//! single row (PR 3/4 byte-identity carried all the way into the
+//! endurance report).
+
+use ees_online::{run_endurance, EnduranceConfig, EnduranceReport};
+use ees_replay::CatalogItem;
+use ees_simstorage::StorageConfig;
+use ees_workloads::cloudblock::{self, CloudBlockParams};
+use ees_workloads::CloudBlockStream;
+use proptest::prelude::*;
+
+const ENCLOSURES: u16 = 4;
+
+fn open(seed: u64) -> (Vec<CatalogItem>, CloudBlockStream) {
+    let params = CloudBlockParams {
+        duration: ees_iotrace::Micros::from_secs(6 * 3600),
+        num_enclosures: ENCLOSURES,
+        num_volumes: 12,
+        num_tenants: 4,
+        ..Default::default()
+    };
+    let stream = cloudblock::stream(seed, &params);
+    let catalog = stream
+        .items()
+        .iter()
+        .map(|s| CatalogItem {
+            id: s.id,
+            size: s.size,
+            enclosure: s.enclosure,
+            access: s.access,
+        })
+        .collect();
+    (catalog, stream)
+}
+
+fn run(seed: u64, shards: usize, restore_every: usize, worker_panics: usize) -> EnduranceReport {
+    let (catalog, stream) = open(seed);
+    let cfg = EnduranceConfig {
+        seed,
+        periods: 4,
+        shards,
+        restore_every,
+        worker_panics,
+        panic_horizon: 2_000,
+        ..EnduranceConfig::default()
+    };
+    let storage = StorageConfig::ams2500(ENCLOSURES);
+    run_endurance(&cfg, &catalog, ENCLOSURES, &storage, stream).expect("endurance run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn rows_are_seed_determined_not_machinery_determined(seed in 0u64..5_000) {
+        let serial = run(seed, 1, 0, 0);
+        let sharded = run(seed, 4, 0, 0);
+        let chaotic = run(seed, 4, 2, 2);
+        prop_assert_eq!(&serial.rows, &sharded.rows, "shard count bent a row");
+        prop_assert_eq!(&serial.rows, &chaotic.rows, "crash/restore bent a row");
+        prop_assert_eq!(serial.drift_per_period, chaotic.drift_per_period);
+        prop_assert_eq!(serial.overall_savings, chaotic.overall_savings);
+        prop_assert_eq!(serial.stability, chaotic.stability);
+        prop_assert_eq!(serial.events, chaotic.events);
+        // The chaotic leg must actually have exercised the machinery.
+        prop_assert!(chaotic.crash_restores >= 1);
+    }
+}

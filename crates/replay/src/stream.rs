@@ -362,6 +362,14 @@ impl StreamHarness {
         }
     }
 
+    /// Advances every enclosure's energy meter to `t` without ending the
+    /// run (no cache flush). Endurance runs call this at each period
+    /// boundary so per-period energy deltas are exact; `t` must not
+    /// precede the last served record.
+    pub fn settle_meters(&mut self, t: Micros) {
+        self.controller.finish(t);
+    }
+
     /// Ends the run at `end`: flushes the whole cache and settles every
     /// power meter.
     pub fn finish(&mut self, end: Micros) {

@@ -10,6 +10,10 @@
 //! * [`dss`] — TPC-H-like DSS (6 h, Q1–Q22 sequential scans striped over
 //!   8 DB enclosures plus a work/log device).
 //!
+//! Beyond Table I, [`cloudblock`] models the Alibaba cloud-block-storage
+//! statistics (write-dominant volumes, on/off burstiness, diurnal +
+//! weekly envelopes, heavy tenant skew) for long-horizon endurance runs.
+//!
 //! Every generator is a pure function of `(seed, params)`; the traces the
 //! paper replayed from production systems and live benchmark runs are
 //! substituted by these statistical twins (see DESIGN.md §2 for why the
@@ -17,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cloudblock;
 pub mod dss;
 pub mod fileserver;
 pub mod gen;
@@ -26,6 +31,7 @@ pub mod nurand;
 pub mod oltp;
 pub mod spec;
 
+pub use cloudblock::{CloudBlockParams, CloudBlockStream};
 pub use dss::{DssParams, QueryWindow};
 pub use fileserver::FileServerParams;
 pub use mix::colocate;
