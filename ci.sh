@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== cargo test (forced-SWAR scan kernels) =="
+# The scan dispatch picks the widest ISA the host supports, so the
+# portable SWAR fallback never runs on modern x86 unless forced. Pin it:
+# the iotrace suite (scan/ndjson/chunk property tests included) must
+# pass byte-for-byte with the fallback kernels selected.
+EES_SCAN_ISA=swar cargo test -p ees-iotrace -q
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -38,8 +45,11 @@ echo "== online throughput smoke (100k events -> BENCH_online.json) =="
 # ingest front end: one reader per shard) on a fixed 100k-event stream,
 # plus the same stream as a framed ees.event.v1 slice through the
 # zero-copy binary front end (median of 3 runs per driver, after a
-# warm-up). With a checked-in baseline the run is a gate: >20%
-# events/sec regression on any of the three drivers fails, sharded p99
+# warm-up). It also times the borrowed-line NDJSON parser alone
+# (ndjson_parse_events_per_sec) — the figure the dispatched scan
+# kernels move directly. With a checked-in baseline the run is a gate:
+# >20% events/sec regression on any of the three drivers or on the raw
+# parse rate fails, sharded p99
 # rollover stall may not grow past 2x the baseline, scaling efficiency
 # (scaling_efficiency_x1000 = sharded / (serial x shards)) may not drop
 # below 80% of the baseline, and on >=4-CPU machines three absolute

@@ -1,0 +1,86 @@
+//! Benchmarks for the runtime-dispatched scan kernels (DESIGN.md §17):
+//! every ISA the host supports — plus the portable SWAR fallback — runs
+//! the same find/count/classify workloads, so a `cargo bench scan` run
+//! shows directly what the wide kernels buy over the word-at-a-time
+//! baseline on this machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ees_iotrace::scan::{ScanIsa, Scanner};
+
+/// Haystack size for the byte-wise kernels. 16 KiB ≈ a few hundred
+/// NDJSON lines: big enough to amortize dispatch, small enough to stay
+/// in L1.
+const HAY: usize = 16 * 1024;
+
+fn ndjson_hay() -> Vec<u8> {
+    let mut s = String::with_capacity(HAY + 80);
+    let mut i = 0u64;
+    while s.len() < HAY {
+        s.push_str(&format!(
+            "{{\"ts\":{},\"item\":{},\"offset\":{},\"len\":8192,\"kind\":\"Read\"}}\n",
+            i * 5_000,
+            i % 32,
+            (i * 8192) % (1 << 30),
+        ));
+        i += 1;
+    }
+    s.truncate(HAY);
+    s.into_bytes()
+}
+
+fn supported() -> Vec<&'static Scanner> {
+    ScanIsa::ALL
+        .iter()
+        .filter_map(|&isa| Scanner::for_isa(isa))
+        .collect()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let hay = ndjson_hay();
+    // A long digit run with a non-digit terminator, like an over-long
+    // `ts` value: the digit classifier's worst realistic case.
+    let mut digits = vec![b'7'; 4096];
+    digits.push(b'}');
+    // A clean ASCII string (no quotes, backslashes, or controls): the
+    // common `json_escape` input, where the scan must reach the end.
+    let clean = vec![b'a'; 4096];
+
+    let mut group = c.benchmark_group("scan");
+
+    for scanner in supported() {
+        let isa = scanner.isa().name();
+
+        group.throughput(Throughput::Bytes(hay.len() as u64));
+        group.bench_function(format!("count_newlines_16k/{isa}"), |b| {
+            b.iter(|| scanner.count_byte(black_box(&hay), b'\n'))
+        });
+        group.bench_function(format!("find_colon_comma_16k/{isa}"), |b| {
+            b.iter(|| {
+                // Walk the haystack field by field, the way the
+                // zero-copy parser does.
+                let mut at = 0usize;
+                let mut hits = 0usize;
+                while let Some(i) = scanner.find_byte2(black_box(&hay[at..]), b':', b',') {
+                    at += i + 1;
+                    hits += 1;
+                }
+                hits
+            })
+        });
+
+        group.throughput(Throughput::Bytes(digits.len() as u64));
+        group.bench_function(format!("digit_run_4k/{isa}"), |b| {
+            b.iter(|| scanner.digit_run(black_box(&digits)))
+        });
+
+        group.throughput(Throughput::Bytes(clean.len() as u64));
+        group.bench_function(format!("needs_escape_clean_4k/{isa}"), |b| {
+            b.iter(|| scanner.needs_escape(black_box(&clean)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

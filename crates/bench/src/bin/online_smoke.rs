@@ -15,8 +15,10 @@
 //!
 //! When `baseline.json` exists the run is a regression gate:
 //!
-//! * serial and sharded events/sec must each stay within 20% of the
-//!   baseline figure;
+//! * serial and sharded events/sec — and the raw NDJSON parse rate
+//!   (`ndjson_parse_events_per_sec`, the borrowed-line parser alone on
+//!   one core, the figure the SIMD scan kernels move directly) — must
+//!   each stay within 20% of the baseline figure;
 //! * sharded p99 rollover stall must stay within 2× the baseline;
 //! * scaling efficiency (`sharded / (serial × shards)`, reported as
 //!   `scaling_efficiency_x1000`) must stay ≥ 80% of the baseline;
@@ -33,7 +35,7 @@
 //! `ci.sh` checks the first run's output in as the baseline.
 
 use ees_core::ProposedConfig;
-use ees_iotrace::ndjson::parse_flat_object;
+use ees_iotrace::ndjson::{parse_event_borrowed, parse_flat_object};
 use ees_iotrace::parallel::threads;
 use ees_iotrace::wire::transcode_ndjson_to_binary_blocks;
 use ees_iotrace::{DataItemId, EnclosureId, Micros};
@@ -50,7 +52,8 @@ use std::time::Instant;
 const EVENTS: u64 = 100_000;
 const ITEMS: u32 = 64;
 const ENCLOSURES: u16 = 4;
-/// Allowed events/sec drop relative to the checked-in baseline.
+/// Allowed events/sec drop relative to the checked-in baseline (also
+/// applied to the raw NDJSON parse rate).
 const MAX_REGRESSION: f64 = 0.20;
 /// Allowed sharded p99 rollover-stall growth relative to the baseline.
 const MAX_P99_GROWTH: f64 = 2.0;
@@ -156,6 +159,25 @@ fn run_binary(shards: usize, bytes: &[u8]) -> (MonitorOutcome, u64) {
     (out, rate)
 }
 
+/// The parser microbenchmark: every line of the smoke trace through
+/// [`parse_event_borrowed`] on one core — no queues, no monitor, no
+/// plan machinery. This is the figure the `ees_iotrace::scan` kernels
+/// act on directly, so it gates their regressions without the noise of
+/// the full pipeline around them.
+fn ndjson_parse_rate(text: &str) -> u64 {
+    let started = Instant::now();
+    let mut parsed = 0u64;
+    let mut bytes = 0u64;
+    for line in text.lines() {
+        let rec = parse_event_borrowed(line).expect("smoke line parses");
+        parsed += 1;
+        bytes += rec.len as u64;
+    }
+    assert_eq!(parsed, EVENTS);
+    assert!(bytes > 0);
+    events_per_sec(parsed, started.elapsed().as_secs_f64())
+}
+
 fn read_baseline(path: &str) -> Option<Vec<(String, u64)>> {
     let text = std::fs::read_to_string(path).ok()?;
     let line = text.lines().collect::<Vec<_>>().join(" ");
@@ -228,9 +250,20 @@ fn main() -> ExitCode {
 
     // Fixed-point binary-over-NDJSON speedup at the same shard count.
     let binary_speedup_x1000 = (binary_rate as f64 * 1000.0 / sharded_rate.max(1) as f64) as u64;
+
+    // The raw parser rate, median-of-3 after a warm-up like the rest.
+    let _ = ndjson_parse_rate(&text);
+    let mut parse_rates: Vec<u64> = (0..3).map(|_| ndjson_parse_rate(&text)).collect();
+    parse_rates.sort_unstable();
+    let parse_rate = parse_rates[1];
+
+    // `scan_isa` is the one non-u64 field: the baseline reader keeps
+    // only u64s, so it documents the kernel set without ever gating.
     let json = format!(
         "{{\"events\": {}, \"shards\": {}, \"readers\": {}, \"plans\": {}, \
+         \"scan_isa\": \"{}\", \
          \"serial_events_per_sec\": {}, \"sharded_events_per_sec\": {}, \
+         \"ndjson_parse_events_per_sec\": {}, \
          \"binary_events_per_sec\": {}, \"binary_blocks\": {}, \
          \"binary_speedup_x1000\": {}, \"scaling_efficiency_x1000\": {}, \
          \"serial_p99_rollover_micros\": {}, \"sharded_p99_rollover_micros\": {}}}\n",
@@ -239,8 +272,10 @@ fn main() -> ExitCode {
         // The sharded run uses the default front end: one reader/shard.
         shards,
         serial.plans.len(),
+        ees_iotrace::scan::active_isa_name(),
         serial_rate,
         sharded_rate,
+        parse_rate,
         binary_rate,
         binary_blocks,
         binary_speedup_x1000,
@@ -253,9 +288,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "online_smoke: serial {serial_rate} ev/s, sharded({shards}) {sharded_rate} ev/s \
-         (efficiency {:.2}), binary {binary_rate} ev/s ({:.2}x, {binary_blocks} blocks), \
-         p99 rollover {serial_p99} us / {sharded_p99} us -> {out_path}",
+        "online_smoke[{}]: serial {serial_rate} ev/s, sharded({shards}) {sharded_rate} ev/s \
+         (efficiency {:.2}), parse {parse_rate} ev/s, binary {binary_rate} ev/s \
+         ({:.2}x, {binary_blocks} blocks), p99 rollover {serial_p99} us / {sharded_p99} us \
+         -> {out_path}",
+        ees_iotrace::scan::active_isa_name(),
         efficiency_x1000 as f64 / 1000.0,
         binary_speedup_x1000 as f64 / 1000.0,
     );
@@ -265,6 +302,7 @@ fn main() -> ExitCode {
         for (key, measured) in [
             ("serial_events_per_sec", serial_rate),
             ("sharded_events_per_sec", sharded_rate),
+            ("ndjson_parse_events_per_sec", parse_rate),
             ("binary_events_per_sec", binary_rate),
         ] {
             let Some(base) = baseline_value(&baseline, key) else {

@@ -62,9 +62,10 @@ pub fn report_json(report: &RunReport) -> String {
 
 /// `ees online --json`: the daemon summary in the shared envelope, plus
 /// the ingest counters, the backpressure knobs the run used (`--queue`
-/// events / `--batch` records per delivery), the detected input format
-/// (with a block count for framed binary files), and the emitted plan
-/// sequence.
+/// events / `--batch` records per delivery), the scan-kernel instruction
+/// set the parsers ran on (`scan_isa` — auto-detected or forced via
+/// `EES_SCAN_ISA`), the detected input format (with a block count for
+/// framed binary files), and the emitted plan sequence.
 #[allow(clippy::too_many_arguments)]
 pub fn online_json(
     source: &str,
@@ -137,7 +138,8 @@ pub fn online_json(
          \"duration_secs\": {},\n  \"events\": {},\n  \"avg_power_watts\": {},\n  \
          \"avg_response_ms\": {},\n  \"periods\": {},\n  \"trigger_cuts\": {},\n  \
          \"spin_ups\": {},\n  \"shards\": {},\n  \"readers\": {},\n  \
-         \"ingest\": {{\"accepted\": {}, \"dropped\": {}, \"queue\": {}, \"batch\": {}{}{}{}}},\n  \
+         \"ingest\": {{\"accepted\": {}, \"dropped\": {}, \"queue\": {}, \"batch\": {}, \
+         \"scan_isa\": \"{}\"{}{}{}}},\n  \
          \"plans\": [\n{}  ]\n}}",
         json_escape(source),
         num(summary.duration.as_secs_f64()),
@@ -153,6 +155,7 @@ pub fn online_json(
         ingest.dropped,
         queue,
         batch,
+        json_escape(ees_iotrace::scan::active_isa_name()),
         format_field,
         block_field,
         conn_field,

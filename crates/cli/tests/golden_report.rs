@@ -47,9 +47,11 @@ fn online_json_matches_golden_fixture() {
         "2",
         "--json",
     ]));
-    // The source path is echoed into the envelope; normalize it so the
-    // fixture is machine-independent.
+    // The source path and resolved scan ISA are echoed into the
+    // envelope; normalize both so the fixture is machine-independent.
     let got = got.replace(&*trace.to_string_lossy(), "<SOURCE>");
+    let isa = format!("\"scan_isa\": \"{}\"", ees_iotrace::scan::active_isa_name());
+    let got = got.replace(&isa, "\"scan_isa\": \"<ISA>\"");
     let want = include_str!("fixtures/report_online_v1.json");
     assert_eq!(got, want, "ees.report.v1 online envelope drifted");
     let _ = std::fs::remove_dir_all(&dir);

@@ -21,14 +21,15 @@
 //!   the `\r` during parsing, never during splitting.
 //!
 //! Chunks carry a dense sequence number and the absolute (1-based) line
-//! number of their first line — counted with the SWAR scanner
-//! [`count_byte`] — so downstream consumers can re-sequence chunks
+//! number of their first line — counted with the dispatched wide
+//! scanner ([`crate::scan::Scanner::count_byte`], resolved once per
+//! chunker) — so downstream consumers can re-sequence chunks
 //! parsed out of order and report errors with exact line numbers without
 //! any shared state between parser threads.
 //!
 //! [`EventReader`]: crate::ndjson::EventReader
 
-use crate::ndjson::{count_byte, find_byte};
+use crate::scan::{scanner, Scanner};
 use std::io::Read;
 
 /// Default chunk target: large enough to amortize syscall and routing
@@ -58,16 +59,29 @@ impl RawChunk {
             bytes: &self.bytes,
             pos: 0,
             lineno: self.first_lineno,
+            scan: scanner(),
         }
     }
 }
 
 /// Iterator over the lines of a [`RawChunk`].
-#[derive(Debug)]
 pub struct ChunkLines<'a> {
     bytes: &'a [u8],
     pos: usize,
     lineno: u64,
+    /// Resolved once at construction: the line loop is the hottest scan
+    /// consumer, so it calls straight through the kernel table.
+    scan: &'static Scanner,
+}
+
+impl std::fmt::Debug for ChunkLines<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkLines")
+            .field("pos", &self.pos)
+            .field("lineno", &self.lineno)
+            .field("isa", &self.scan.isa())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Iterator for ChunkLines<'a> {
@@ -80,7 +94,7 @@ impl<'a> Iterator for ChunkLines<'a> {
         let lineno = self.lineno;
         self.lineno += 1;
         let rest = &self.bytes[self.pos..];
-        match find_byte(rest, b'\n') {
+        match self.scan.find_byte(rest, b'\n') {
             Some(p) => {
                 self.pos += p + 1;
                 Some((lineno, &rest[..p]))
@@ -104,6 +118,8 @@ pub struct ChunkReader<R> {
     next_seq: u64,
     next_lineno: u64,
     done: bool,
+    /// Kernel table resolved once at construction (dispatch-once).
+    scan: &'static Scanner,
 }
 
 impl<R: Read> ChunkReader<R> {
@@ -117,6 +133,7 @@ impl<R: Read> ChunkReader<R> {
             next_seq: 0,
             next_lineno: 1,
             done: false,
+            scan: scanner(),
         }
     }
 
@@ -135,7 +152,7 @@ impl<R: Read> ChunkReader<R> {
             // Cut once the target is reached *and* a newline exists to
             // cut at; an over-long line keeps the chunk growing instead.
             if buf.len() >= self.target {
-                if let Some(pos) = buf.iter().rposition(|&b| b == b'\n') {
+                if let Some(pos) = self.scan.rfind_byte(&buf, b'\n') {
                     self.carry = buf.split_off(pos + 1);
                     return Ok(Some(self.emit(buf)));
                 }
@@ -173,7 +190,7 @@ impl<R: Read> ChunkReader<R> {
             bytes,
         };
         self.next_seq += 1;
-        self.next_lineno += count_byte(&chunk.bytes, b'\n') as u64;
+        self.next_lineno += self.scan.count_byte(&chunk.bytes, b'\n') as u64;
         chunk
     }
 }
@@ -207,6 +224,7 @@ impl<'a> ChunkRef<'a> {
             bytes: self.bytes,
             pos: 0,
             lineno: self.first_lineno,
+            scan: scanner(),
         }
     }
 }
@@ -233,6 +251,8 @@ pub struct SliceChunker<'a> {
     next_seq: u64,
     next_lineno: u64,
     done: bool,
+    /// Kernel table resolved once at construction (dispatch-once).
+    scan: &'static Scanner,
 }
 
 impl<'a> SliceChunker<'a> {
@@ -247,6 +267,7 @@ impl<'a> SliceChunker<'a> {
             next_seq: 0,
             next_lineno: 1,
             done: false,
+            scan: scanner(),
         }
     }
 
@@ -258,7 +279,7 @@ impl<'a> SliceChunker<'a> {
         loop {
             let window = &self.bytes[self.start..self.fill];
             if window.len() >= self.target {
-                if let Some(pos) = window.iter().rposition(|&b| b == b'\n') {
+                if let Some(pos) = self.scan.rfind_byte(window, b'\n') {
                     let chunk = self.emit(&self.bytes[self.start..self.start + pos + 1]);
                     self.start += pos + 1;
                     return Some(chunk);
@@ -285,7 +306,7 @@ impl<'a> SliceChunker<'a> {
             bytes,
         };
         self.next_seq += 1;
-        self.next_lineno += count_byte(bytes, b'\n') as u64;
+        self.next_lineno += self.scan.count_byte(bytes, b'\n') as u64;
         chunk
     }
 }
@@ -301,6 +322,7 @@ impl<'a> Iterator for SliceChunker<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scan::count_byte;
     use std::io::Cursor;
 
     fn chunks(input: &str, target: usize) -> Vec<RawChunk> {

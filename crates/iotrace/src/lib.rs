@@ -17,7 +17,10 @@
 //!   dense item-id interning it feeds ([`intern`]),
 //! * zero-copy file input for the parallel front ends: memory-mapped
 //!   traces ([`mmap`]) sliced by the newline chunker ([`chunk`]) or the
-//!   framed-block splitter ([`wire::BlockSplitter`]).
+//!   framed-block splitter ([`wire::BlockSplitter`]),
+//! * runtime-dispatched wide byte-scanning kernels (AVX2/SSE2/NEON with
+//!   a portable SWAR fallback) behind one [`scan::Scanner`] table
+//!   ([`scan`]) — the primitives every hot parser loop above runs on.
 //!
 //! Everything downstream (the simulator, the workload generators, the
 //! proposed policy, and the baselines) builds on these types.
@@ -32,6 +35,7 @@ pub mod mmap;
 pub mod ndjson;
 pub mod parallel;
 pub mod record;
+pub mod scan;
 pub mod slice;
 pub mod stats;
 pub mod types;
@@ -42,6 +46,7 @@ pub use intern::{DenseItemMap, ItemInterner, DENSE_ID_LIMIT};
 pub use mmap::{map_file, Mmap};
 pub use ndjson::EventReader;
 pub use record::{LogicalIoRecord, LogicalTrace, PhysicalIoRecord, PhysicalTrace};
+pub use scan::{ScanIsa, Scanner};
 pub use slice::{summarize, TraceSummary};
 pub use stats::{
     analyze_item_period, gaps_with_bounds, split_by_item, split_by_item_dense, IntervalBuilder,

@@ -54,103 +54,46 @@ pub fn write_events<'a, W: std::io::Write>(
 /// callers pay no allocation. (ASCII control bytes never occur as UTF-8
 /// continuation bytes, so a byte scan is exact.)
 pub fn json_escape(s: &str) -> Cow<'_, str> {
-    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
-        return Cow::Borrowed(s);
-    }
+    // One wide scan decides the borrow: the first index that needs
+    // escaping is always a character boundary (only ASCII bytes ever
+    // need it), so the clean prefix can be copied wholesale.
+    let first_bad = match crate::scan::scanner().needs_escape(s.as_bytes()) {
+        None => return Cow::Borrowed(s),
+        Some(i) => i,
+    };
     let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
+    out.push_str(&s[..first_bad]);
+    for c in s[first_bad..].chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                // `\u00XX` with the hex digits emitted in place — no
+                // per-character `format!` allocation.
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                let b = c as u32 as usize;
+                out.push_str("\\u00");
+                out.push(HEX[(b >> 4) & 0xf] as char);
+                out.push(HEX[b & 0xf] as char);
+            }
             c => out.push(c),
         }
     }
     Cow::Owned(out)
 }
 
-// --- SWAR byte scanning ------------------------------------------------
+// --- byte scanning -----------------------------------------------------
 //
-// memchr-style scanning without the dependency: eight bytes per step
-// through a u64, with the exact zero-byte trick (no false positives from
-// inter-byte borrows), so the line splitter and the string scanner touch
-// memory at word speed instead of byte speed. `std::arch` SIMD would go
-// wider, but the workspace builds on stable with no target-feature
-// gates, and SWAR already moves these scanners off the profile.
+// memchr-style scanning without the dependency. The kernels live in
+// [`crate::scan`] — runtime-dispatched AVX2/SSE2/NEON with a portable
+// SWAR fallback, resolved once into a function-pointer table. These
+// re-exports keep the historical `ndjson::{find_byte, ...}` paths (and
+// their callers) working on the dispatched implementations.
 
-const SWAR_LO: u64 = 0x0101_0101_0101_0101;
-const SWAR_HI: u64 = 0x8080_8080_8080_8080;
-
-/// A `0x80` marker in every byte lane of `v` that is zero — exact, with
-/// no carry between lanes: `(v & 0x7f..) + 0x7f..` sets a lane's high
-/// bit iff its low seven bits are non-zero, and `| v` catches `0x80`.
-#[inline]
-fn zero_byte_marks(v: u64) -> u64 {
-    !(((v & !SWAR_HI).wrapping_add(!SWAR_HI)) | v) & SWAR_HI
-}
-
-#[inline]
-fn load_word(bytes: &[u8]) -> u64 {
-    u64::from_ne_bytes(bytes.try_into().expect("8-byte slice"))
-}
-
-/// Index of the first occurrence of `needle` in `hay` (memchr).
-#[inline]
-pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
-    let pat = SWAR_LO.wrapping_mul(needle as u64);
-    let mut i = 0usize;
-    while i + 8 <= hay.len() {
-        if zero_byte_marks(load_word(&hay[i..i + 8]) ^ pat) != 0 {
-            // A lane hit: resolve the exact position byte-wise (keeps
-            // the code endianness-independent).
-            return hay[i..i + 8]
-                .iter()
-                .position(|&b| b == needle)
-                .map(|p| i + p);
-        }
-        i += 8;
-    }
-    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
-}
-
-/// Index of the first occurrence of `a` or `b` in `hay` (memchr2).
-#[inline]
-pub fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
-    let pa = SWAR_LO.wrapping_mul(a as u64);
-    let pb = SWAR_LO.wrapping_mul(b as u64);
-    let mut i = 0usize;
-    while i + 8 <= hay.len() {
-        let w = load_word(&hay[i..i + 8]);
-        if zero_byte_marks(w ^ pa) | zero_byte_marks(w ^ pb) != 0 {
-            return hay[i..i + 8]
-                .iter()
-                .position(|&c| c == a || c == b)
-                .map(|p| i + p);
-        }
-        i += 8;
-    }
-    hay[i..]
-        .iter()
-        .position(|&c| c == a || c == b)
-        .map(|p| i + p)
-}
-
-/// Number of occurrences of `needle` in `hay` — the chunk splitter's
-/// line accounting, so byte-range readers can assign absolute line
-/// numbers without re-scanning upstream chunks.
-#[inline]
-pub fn count_byte(hay: &[u8], needle: u8) -> usize {
-    let pat = SWAR_LO.wrapping_mul(needle as u64);
-    let mut count = 0usize;
-    let mut chunks = hay.chunks_exact(8);
-    for c in &mut chunks {
-        count += zero_byte_marks(load_word(c) ^ pat).count_ones() as usize;
-    }
-    count + chunks.remainder().iter().filter(|&&b| b == needle).count()
-}
+pub use crate::scan::{count_byte, find_byte, find_byte2};
 
 /// One scalar value inside a flat JSON object.
 #[derive(Debug, Clone, PartialEq)]
@@ -303,8 +246,9 @@ fn scan_string<'a>(line: &'a str, i: &mut usize) -> Result<(&'a str, bool), Stri
     *i += 1;
     let start = *i;
     let mut has_escape = false;
+    let scan = crate::scan::scanner();
     while *i < b.len() {
-        match find_byte2(&b[*i..], b'"', b'\\') {
+        match scan.find_quote_or_backslash(&b[*i..]) {
             Some(p) if b[*i + p] == b'"' => {
                 let raw = &line[start..*i + p];
                 *i += p + 1;
@@ -318,6 +262,28 @@ fn scan_string<'a>(line: &'a str, i: &mut usize) -> Result<(&'a str, bool), Stri
         }
     }
     Err("unterminated string".into())
+}
+
+/// Parses the ASCII-digit run starting at `b[*i]` into a `u64`,
+/// advancing `*i` past it. The run length comes from one wide
+/// [`crate::scan::Scanner::digit_run`] classify (8–32 bytes per step);
+/// the fold stays scalar and overflow-checked so every caller keeps its
+/// exact error. On `Err` (u64 overflow) the run is still consumed —
+/// indistinguishable from the old per-byte loop, since every caller
+/// aborts the line on overflow.
+#[inline]
+fn parse_digit_run(b: &[u8], i: &mut usize) -> Result<u64, ()> {
+    let run = crate::scan::scanner().digit_run(&b[*i..]);
+    let digits = &b[*i..*i + run];
+    *i += run;
+    let mut n = 0u64;
+    for &d in digits {
+        n = n
+            .checked_mul(10)
+            .and_then(|n| n.checked_add((d - b'0') as u64))
+            .ok_or(())?;
+    }
+    Ok(n)
 }
 
 /// Unescapes a raw string slice (cold path — only runs when
@@ -436,14 +402,8 @@ pub fn parse_event_borrowed(line: &str) -> Result<LogicalIoRecord, String> {
                     _ => {}
                 }
             } else if i < b.len() && b[i].is_ascii_digit() {
-                let mut n: u64 = 0;
-                while i < b.len() && b[i].is_ascii_digit() {
-                    n = n
-                        .checked_mul(10)
-                        .and_then(|n| n.checked_add((b[i] - b'0') as u64))
-                        .ok_or_else(|| format!("number overflow in field {key:?}"))?;
-                    i += 1;
-                }
+                let n = parse_digit_run(b, &mut i)
+                    .map_err(|()| format!("number overflow in field {key:?}"))?;
                 match key.as_ref() {
                     "ts" if !ts_seen => {
                         ts_seen = true;
@@ -608,14 +568,7 @@ fn parse_event_named_slow(line: &str) -> Result<NamedEvent, ()> {
                     _ => {}
                 }
             } else if i < b.len() && b[i].is_ascii_digit() {
-                let mut n: u64 = 0;
-                while i < b.len() && b[i].is_ascii_digit() {
-                    n = n
-                        .checked_mul(10)
-                        .and_then(|n| n.checked_add((b[i] - b'0') as u64))
-                        .ok_or(())?;
-                    i += 1;
-                }
+                let n = parse_digit_run(b, &mut i)?;
                 match key.as_ref() {
                     "ts" if !ts_seen => {
                         ts_seen = true;
@@ -712,11 +665,7 @@ pub fn quick_scan_ts_item(line: &str) -> Option<(u64, u32)> {
             }
             scan_string(line, &mut i).ok()?;
         } else if i < b.len() && b[i].is_ascii_digit() {
-            let mut n: u64 = 0;
-            while i < b.len() && b[i].is_ascii_digit() {
-                n = n.checked_mul(10)?.checked_add((b[i] - b'0') as u64)?;
-                i += 1;
-            }
+            let n = parse_digit_run(b, &mut i).ok()?;
             if want {
                 if key == "ts" {
                     ts = Some(n);
@@ -989,6 +938,31 @@ mod tests {
     fn json_escape_controls() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_escape_every_control_byte() {
+        // Every byte < 0x20 escapes, alone and mid-string, exactly as
+        // `format!("\\u{:04x}")` would spell the generic ones.
+        for b in 0u8..0x20 {
+            let c = b as char;
+            let expected = match c {
+                '\n' => "\\n".to_string(),
+                '\r' => "\\r".to_string(),
+                '\t' => "\\t".to_string(),
+                c => format!("\\u{:04x}", c as u32),
+            };
+            assert_eq!(json_escape(&c.to_string()), expected, "byte {b:#04x}");
+            let embedded = format!("pre{c}post");
+            assert_eq!(
+                json_escape(&embedded),
+                format!("pre{expected}post"),
+                "byte {b:#04x} embedded"
+            );
+        }
+        // The clean prefix ahead of the first escape survives verbatim,
+        // including multi-byte characters.
+        assert_eq!(json_escape("tést\u{1f}"), "tést\\u001f");
     }
 
     #[test]

@@ -1,0 +1,1068 @@
+//! Runtime-dispatched wide byte-scanning kernels for the ingest hot
+//! path (DESIGN.md §17).
+//!
+//! The NDJSON front end spends its time finding bytes: newline splits
+//! in the chunker, quote/backslash scans in the zero-copy string
+//! scanner, digit runs in the number parser, and the needs-escape check
+//! in [`crate::ndjson::json_escape`]. This module implements each of
+//! those primitives once per instruction set — AVX2 and SSE2 on x86-64,
+//! NEON on aarch64, and the portable SWAR (SIMD-within-a-register)
+//! fallback everywhere — and resolves the best available set **once**
+//! into a table of plain function pointers, the [`Scanner`]. Hot loops
+//! grab `&'static Scanner` a single time and then call through it with
+//! no per-call feature detection.
+//!
+//! Every kernel is pure position arithmetic over bytes: the answer
+//! (`Option<usize>` / count) is ISA-independent by construction, so a
+//! plan computed on an AVX2 box is byte-identical to one computed by the
+//! SWAR fallback. `tests/scan_prop.rs` pins every kernel of every
+//! buildable ISA to a naive scalar reference across arbitrary inputs,
+//! alignments, and boundary positions.
+//!
+//! ## Forcing a kernel set
+//!
+//! `EES_SCAN_ISA={avx2,sse2,neon,swar}` overrides auto-detection (the
+//! value is read once, at first use). Asking for an ISA the machine
+//! does not support — or a name it does not recognise — logs a warning
+//! to stderr and falls back to auto-detection rather than crashing the
+//! daemon. `ci.sh` runs a forced-SWAR test leg so the fallback cannot
+//! rot on modern hardware.
+//!
+//! ## Safety
+//!
+//! All `unsafe` in the workspace's scanning code lives in this module
+//! (the x86-64/aarch64 intrinsic kernels). The invariants are local and
+//! uniform:
+//!
+//! * every wide load is guarded by a bounds check proving the full
+//!   vector lies inside the input slice (`i + LANES <= hay.len()`), and
+//!   only unaligned load intrinsics are used;
+//! * SSE2 kernels rely on SSE2 being part of the x86-64 baseline ABI,
+//!   NEON kernels on NEON being mandatory on aarch64;
+//! * AVX2 kernels are `#[target_feature(enable = "avx2")]` functions
+//!   reachable only through safe wrappers that the dispatcher installs
+//!   after `is_x86_feature_detected!("avx2")` returned true.
+
+use std::sync::OnceLock;
+
+// --- portable SWAR kernels (also the tail handler for the wide ISAs) --
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// A `0x80` marker in every byte lane of `v` that is zero — exact, with
+/// no carry between lanes: `(v & 0x7f..) + 0x7f..` sets a lane's high
+/// bit iff its low seven bits are non-zero, and `| v` catches `0x80`.
+#[inline]
+fn zero_byte_marks(v: u64) -> u64 {
+    !(((v & !SWAR_HI).wrapping_add(!SWAR_HI)) | v) & SWAR_HI
+}
+
+#[inline]
+fn load_word(bytes: &[u8]) -> u64 {
+    u64::from_ne_bytes(bytes.try_into().expect("8-byte slice"))
+}
+
+mod swar {
+    use super::{load_word, zero_byte_marks, SWAR_HI, SWAR_LO};
+
+    #[inline]
+    pub(super) fn is_escape(b: u8) -> bool {
+        b == b'"' || b == b'\\' || b < 0x20
+    }
+
+    pub(super) fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+        let pat = SWAR_LO.wrapping_mul(needle as u64);
+        let mut i = 0usize;
+        while i + 8 <= hay.len() {
+            if zero_byte_marks(load_word(&hay[i..i + 8]) ^ pat) != 0 {
+                // A lane hit: resolve the exact position byte-wise
+                // (keeps the code endianness-independent).
+                return hay[i..i + 8]
+                    .iter()
+                    .position(|&b| b == needle)
+                    .map(|p| i + p);
+            }
+            i += 8;
+        }
+        hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+    }
+
+    pub(super) fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+        let pa = SWAR_LO.wrapping_mul(a as u64);
+        let pb = SWAR_LO.wrapping_mul(b as u64);
+        let mut i = 0usize;
+        while i + 8 <= hay.len() {
+            let w = load_word(&hay[i..i + 8]);
+            if zero_byte_marks(w ^ pa) | zero_byte_marks(w ^ pb) != 0 {
+                return hay[i..i + 8]
+                    .iter()
+                    .position(|&c| c == a || c == b)
+                    .map(|p| i + p);
+            }
+            i += 8;
+        }
+        hay[i..]
+            .iter()
+            .position(|&c| c == a || c == b)
+            .map(|p| i + p)
+    }
+
+    pub(super) fn count_byte(hay: &[u8], needle: u8) -> usize {
+        let pat = SWAR_LO.wrapping_mul(needle as u64);
+        let mut count = 0usize;
+        let mut chunks = hay.chunks_exact(8);
+        for c in &mut chunks {
+            count += zero_byte_marks(load_word(c) ^ pat).count_ones() as usize;
+        }
+        count + chunks.remainder().iter().filter(|&&b| b == needle).count()
+    }
+
+    pub(super) fn rfind_byte(hay: &[u8], needle: u8) -> Option<usize> {
+        let pat = SWAR_LO.wrapping_mul(needle as u64);
+        let mut end = hay.len();
+        while end >= 8 {
+            let w = load_word(&hay[end - 8..end]);
+            if zero_byte_marks(w ^ pat) != 0 {
+                return hay[end - 8..end]
+                    .iter()
+                    .rposition(|&b| b == needle)
+                    .map(|p| end - 8 + p);
+            }
+            end -= 8;
+        }
+        hay[..end].iter().rposition(|&b| b == needle)
+    }
+
+    pub(super) fn find_quote_or_backslash(hay: &[u8]) -> Option<usize> {
+        find_byte2(hay, b'"', b'\\')
+    }
+
+    pub(super) fn digit_run(hay: &[u8]) -> usize {
+        let zeros = SWAR_LO.wrapping_mul(b'0' as u64);
+        let mut i = 0usize;
+        while i + 8 <= hay.len() {
+            // After `^ b'0'` a digit lane holds 0..=9. A lane is a
+            // non-digit iff its value is >= 10 or its high bit is set:
+            // adding 0x76 (= 0x80 - 10) to the low seven bits overflows
+            // into bit 7 exactly when they are >= 10, and `| x` catches
+            // lanes that already had bit 7 (bytes >= 0x80, or < 0x30
+            // after the xor flipped 0x80 in — either way non-digits).
+            let x = load_word(&hay[i..i + 8]) ^ zeros;
+            let nondigit =
+                (((x & !SWAR_HI).wrapping_add(SWAR_LO.wrapping_mul(0x76))) | x) & SWAR_HI;
+            if nondigit != 0 {
+                return i + hay[i..i + 8]
+                    .iter()
+                    .position(|b| !b.is_ascii_digit())
+                    .expect("a marked lane is a non-digit");
+            }
+            i += 8;
+        }
+        while i < hay.len() && hay[i].is_ascii_digit() {
+            i += 1;
+        }
+        i
+    }
+
+    pub(super) fn needs_escape(hay: &[u8]) -> Option<usize> {
+        let pq = SWAR_LO.wrapping_mul(b'"' as u64);
+        let pb = SWAR_LO.wrapping_mul(b'\\' as u64);
+        let mut i = 0usize;
+        while i + 8 <= hay.len() {
+            let w = load_word(&hay[i..i + 8]);
+            // Control marks: for a lane v with bit 7 clear, v + 0x60
+            // overflows into bit 7 iff v >= 0x20; inverting selects
+            // v < 0x20, and `| w` rules out lanes >= 0x80 (UTF-8
+            // continuation bytes are never control characters).
+            let ctrl = !(((w & !SWAR_HI).wrapping_add(SWAR_LO.wrapping_mul(0x60))) | w) & SWAR_HI;
+            let hit = ctrl | zero_byte_marks(w ^ pq) | zero_byte_marks(w ^ pb);
+            if hit != 0 {
+                return hay[i..i + 8]
+                    .iter()
+                    .position(|&b| is_escape(b))
+                    .map(|p| i + p);
+            }
+            i += 8;
+        }
+        hay[i..].iter().position(|&b| is_escape(b)).map(|p| i + p)
+    }
+}
+
+// --- SSE2 kernels (x86-64 baseline: always callable) ------------------
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use super::swar;
+    use core::arch::x86_64::*;
+
+    const LANES: usize = 16;
+
+    /// # Safety
+    /// `ptr..ptr + 16` must lie inside one allocation; `loadu` imposes
+    /// no alignment requirement.
+    #[inline]
+    unsafe fn load(ptr: *const u8) -> __m128i {
+        unsafe { _mm_loadu_si128(ptr as *const __m128i) }
+    }
+
+    pub(super) fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+        let mut i = 0usize;
+        // SAFETY: SSE2 is part of the x86-64 baseline ABI, and the loop
+        // guard proves every 16-byte load stays inside `hay`.
+        unsafe {
+            let pat = _mm_set1_epi8(needle as i8);
+            while i + LANES <= hay.len() {
+                let eq = _mm_cmpeq_epi8(load(hay.as_ptr().add(i)), pat);
+                let m = _mm_movemask_epi8(eq) as u32;
+                if m != 0 {
+                    return Some(i + m.trailing_zeros() as usize);
+                }
+                i += LANES;
+            }
+        }
+        swar::find_byte(&hay[i..], needle).map(|p| i + p)
+    }
+
+    pub(super) fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+        let mut i = 0usize;
+        // SAFETY: as in `find_byte`.
+        unsafe {
+            let pa = _mm_set1_epi8(a as i8);
+            let pb = _mm_set1_epi8(b as i8);
+            while i + LANES <= hay.len() {
+                let v = load(hay.as_ptr().add(i));
+                let eq = _mm_or_si128(_mm_cmpeq_epi8(v, pa), _mm_cmpeq_epi8(v, pb));
+                let m = _mm_movemask_epi8(eq) as u32;
+                if m != 0 {
+                    return Some(i + m.trailing_zeros() as usize);
+                }
+                i += LANES;
+            }
+        }
+        swar::find_byte2(&hay[i..], a, b).map(|p| i + p)
+    }
+
+    pub(super) fn count_byte(hay: &[u8], needle: u8) -> usize {
+        let mut i = 0usize;
+        let mut count = 0usize;
+        // SAFETY: as in `find_byte`.
+        unsafe {
+            let pat = _mm_set1_epi8(needle as i8);
+            while i + LANES <= hay.len() {
+                let eq = _mm_cmpeq_epi8(load(hay.as_ptr().add(i)), pat);
+                count += (_mm_movemask_epi8(eq) as u32).count_ones() as usize;
+                i += LANES;
+            }
+        }
+        count + swar::count_byte(&hay[i..], needle)
+    }
+
+    pub(super) fn rfind_byte(hay: &[u8], needle: u8) -> Option<usize> {
+        let mut end = hay.len();
+        // SAFETY: as in `find_byte` — `end >= 16` keeps the backward
+        // loads in-bounds.
+        unsafe {
+            let pat = _mm_set1_epi8(needle as i8);
+            while end >= LANES {
+                let eq = _mm_cmpeq_epi8(load(hay.as_ptr().add(end - LANES)), pat);
+                let m = _mm_movemask_epi8(eq) as u32;
+                if m != 0 {
+                    return Some(end - LANES + (31 - m.leading_zeros()) as usize);
+                }
+                end -= LANES;
+            }
+        }
+        swar::rfind_byte(&hay[..end], needle)
+    }
+
+    pub(super) fn find_quote_or_backslash(hay: &[u8]) -> Option<usize> {
+        find_byte2(hay, b'"', b'\\')
+    }
+
+    pub(super) fn digit_run(hay: &[u8]) -> usize {
+        let mut i = 0usize;
+        // SAFETY: as in `find_byte`. The signed compares are exact for
+        // digit classification: 0x30..=0x39 are positive as i8, and any
+        // byte >= 0x80 is negative, failing `v > 0x2f`.
+        unsafe {
+            let below = _mm_set1_epi8(0x2f); // '0' - 1
+            let above = _mm_set1_epi8(0x3a); // '9' + 1
+            while i + LANES <= hay.len() {
+                let v = load(hay.as_ptr().add(i));
+                let digit = _mm_and_si128(_mm_cmpgt_epi8(v, below), _mm_cmpgt_epi8(above, v));
+                let m = _mm_movemask_epi8(digit) as u32;
+                if m != 0xFFFF {
+                    return i + (!m).trailing_zeros() as usize;
+                }
+                i += LANES;
+            }
+        }
+        i + swar::digit_run(&hay[i..])
+    }
+
+    pub(super) fn needs_escape(hay: &[u8]) -> Option<usize> {
+        let mut i = 0usize;
+        // SAFETY: as in `find_byte`. `subs_epu8(v, 0x1f) == 0` is the
+        // unsigned test `v <= 0x1f`, i.e. an ASCII control byte.
+        unsafe {
+            let quote = _mm_set1_epi8(b'"' as i8);
+            let bslash = _mm_set1_epi8(b'\\' as i8);
+            let ctrl_max = _mm_set1_epi8(0x1f);
+            let zero = _mm_setzero_si128();
+            while i + LANES <= hay.len() {
+                let v = load(hay.as_ptr().add(i));
+                let ctrl = _mm_cmpeq_epi8(_mm_subs_epu8(v, ctrl_max), zero);
+                let bad = _mm_or_si128(
+                    _mm_or_si128(_mm_cmpeq_epi8(v, quote), _mm_cmpeq_epi8(v, bslash)),
+                    ctrl,
+                );
+                let m = _mm_movemask_epi8(bad) as u32;
+                if m != 0 {
+                    return Some(i + m.trailing_zeros() as usize);
+                }
+                i += LANES;
+            }
+        }
+        swar::needs_escape(&hay[i..]).map(|p| i + p)
+    }
+}
+
+// --- AVX2 kernels (gated: installed only after runtime detection) -----
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{sse2, swar};
+    use core::arch::x86_64::*;
+
+    const LANES: usize = 32;
+
+    // Each public function below is a safe wrapper around a
+    // `#[target_feature(enable = "avx2")]` implementation.
+    //
+    // SAFETY (uniform for every wrapper): these functions are only ever
+    // reachable through the `AVX2` scanner table, which `for_isa` /
+    // `detect` hand out strictly after `is_x86_feature_detected!("avx2")`
+    // returned true — so the target feature is guaranteed present when
+    // the inner function runs. In-bounds loads are guaranteed by each
+    // loop guard, exactly as in the SSE2 kernels.
+
+    /// # Safety
+    /// `ptr..ptr + 32` must lie inside one allocation; requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load(ptr: *const u8) -> __m256i {
+        unsafe { _mm256_loadu_si256(ptr as *const __m256i) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn find_byte_impl(hay: &[u8], needle: u8) -> Option<usize> {
+        let mut i = 0usize;
+        unsafe {
+            let pat = _mm256_set1_epi8(needle as i8);
+            while i + LANES <= hay.len() {
+                let eq = _mm256_cmpeq_epi8(load(hay.as_ptr().add(i)), pat);
+                let m = _mm256_movemask_epi8(eq) as u32;
+                if m != 0 {
+                    return Some(i + m.trailing_zeros() as usize);
+                }
+                i += LANES;
+            }
+        }
+        sse2::find_byte(&hay[i..], needle).map(|p| i + p)
+    }
+
+    pub(super) fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+        // SAFETY: see the module-level wrapper invariant.
+        unsafe { find_byte_impl(hay, needle) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn find_byte2_impl(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+        let mut i = 0usize;
+        unsafe {
+            let pa = _mm256_set1_epi8(a as i8);
+            let pb = _mm256_set1_epi8(b as i8);
+            while i + LANES <= hay.len() {
+                let v = load(hay.as_ptr().add(i));
+                let eq = _mm256_or_si256(_mm256_cmpeq_epi8(v, pa), _mm256_cmpeq_epi8(v, pb));
+                let m = _mm256_movemask_epi8(eq) as u32;
+                if m != 0 {
+                    return Some(i + m.trailing_zeros() as usize);
+                }
+                i += LANES;
+            }
+        }
+        sse2::find_byte2(&hay[i..], a, b).map(|p| i + p)
+    }
+
+    pub(super) fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+        // SAFETY: see the module-level wrapper invariant.
+        unsafe { find_byte2_impl(hay, a, b) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn count_byte_impl(hay: &[u8], needle: u8) -> usize {
+        let mut i = 0usize;
+        let mut count = 0usize;
+        unsafe {
+            let pat = _mm256_set1_epi8(needle as i8);
+            while i + LANES <= hay.len() {
+                let eq = _mm256_cmpeq_epi8(load(hay.as_ptr().add(i)), pat);
+                count += (_mm256_movemask_epi8(eq) as u32).count_ones() as usize;
+                i += LANES;
+            }
+        }
+        count + sse2::count_byte(&hay[i..], needle)
+    }
+
+    pub(super) fn count_byte(hay: &[u8], needle: u8) -> usize {
+        // SAFETY: see the module-level wrapper invariant.
+        unsafe { count_byte_impl(hay, needle) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn rfind_byte_impl(hay: &[u8], needle: u8) -> Option<usize> {
+        let mut end = hay.len();
+        unsafe {
+            let pat = _mm256_set1_epi8(needle as i8);
+            while end >= LANES {
+                let eq = _mm256_cmpeq_epi8(load(hay.as_ptr().add(end - LANES)), pat);
+                let m = _mm256_movemask_epi8(eq) as u32;
+                if m != 0 {
+                    return Some(end - LANES + (31 - m.leading_zeros()) as usize);
+                }
+                end -= LANES;
+            }
+        }
+        sse2::rfind_byte(&hay[..end], needle)
+    }
+
+    pub(super) fn rfind_byte(hay: &[u8], needle: u8) -> Option<usize> {
+        // SAFETY: see the module-level wrapper invariant.
+        unsafe { rfind_byte_impl(hay, needle) }
+    }
+
+    pub(super) fn find_quote_or_backslash(hay: &[u8]) -> Option<usize> {
+        find_byte2(hay, b'"', b'\\')
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn digit_run_impl(hay: &[u8]) -> usize {
+        let mut i = 0usize;
+        unsafe {
+            // Signed compares, exact as in the SSE2 kernel.
+            let below = _mm256_set1_epi8(0x2f);
+            let above = _mm256_set1_epi8(0x3a);
+            while i + LANES <= hay.len() {
+                let v = load(hay.as_ptr().add(i));
+                let digit =
+                    _mm256_and_si256(_mm256_cmpgt_epi8(v, below), _mm256_cmpgt_epi8(above, v));
+                let m = _mm256_movemask_epi8(digit) as u32;
+                if m != u32::MAX {
+                    return i + (!m).trailing_zeros() as usize;
+                }
+                i += LANES;
+            }
+        }
+        i + sse2::digit_run(&hay[i..])
+    }
+
+    pub(super) fn digit_run(hay: &[u8]) -> usize {
+        // SAFETY: see the module-level wrapper invariant.
+        unsafe { digit_run_impl(hay) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn needs_escape_impl(hay: &[u8]) -> Option<usize> {
+        let mut i = 0usize;
+        unsafe {
+            let quote = _mm256_set1_epi8(b'"' as i8);
+            let bslash = _mm256_set1_epi8(b'\\' as i8);
+            let ctrl_max = _mm256_set1_epi8(0x1f);
+            let zero = _mm256_setzero_si256();
+            while i + LANES <= hay.len() {
+                let v = load(hay.as_ptr().add(i));
+                let ctrl = _mm256_cmpeq_epi8(_mm256_subs_epu8(v, ctrl_max), zero);
+                let bad = _mm256_or_si256(
+                    _mm256_or_si256(_mm256_cmpeq_epi8(v, quote), _mm256_cmpeq_epi8(v, bslash)),
+                    ctrl,
+                );
+                let m = _mm256_movemask_epi8(bad) as u32;
+                if m != 0 {
+                    return Some(i + m.trailing_zeros() as usize);
+                }
+                i += LANES;
+            }
+        }
+        swar::needs_escape(&hay[i..]).map(|p| i + p)
+    }
+
+    pub(super) fn needs_escape(hay: &[u8]) -> Option<usize> {
+        // SAFETY: see the module-level wrapper invariant.
+        unsafe { needs_escape_impl(hay) }
+    }
+}
+
+// --- NEON kernels (aarch64: NEON is mandatory, always callable) -------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::swar;
+    use core::arch::aarch64::*;
+
+    const LANES: usize = 16;
+
+    /// Narrows a 16-lane byte mask (`0x00`/`0xFF` per lane) to a `u64`
+    /// holding one nibble per lane, preserving lane order — the aarch64
+    /// stand-in for `movemask`. Bit index / 4 recovers the lane index.
+    ///
+    /// # Safety
+    /// Requires NEON (mandatory on aarch64).
+    #[inline]
+    unsafe fn mask_nibbles(eq: uint8x16_t) -> u64 {
+        unsafe {
+            let narrowed = vshrn_n_u16::<4>(vreinterpretq_u16_u8(eq));
+            vget_lane_u64::<0>(vreinterpret_u64_u8(narrowed))
+        }
+    }
+
+    pub(super) fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+        let mut i = 0usize;
+        // SAFETY: NEON is part of the aarch64 baseline, and the loop
+        // guard proves every 16-byte load stays inside `hay`.
+        unsafe {
+            let pat = vdupq_n_u8(needle);
+            while i + LANES <= hay.len() {
+                let m = mask_nibbles(vceqq_u8(vld1q_u8(hay.as_ptr().add(i)), pat));
+                if m != 0 {
+                    return Some(i + (m.trailing_zeros() / 4) as usize);
+                }
+                i += LANES;
+            }
+        }
+        swar::find_byte(&hay[i..], needle).map(|p| i + p)
+    }
+
+    pub(super) fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+        let mut i = 0usize;
+        // SAFETY: as in `find_byte`.
+        unsafe {
+            let pa = vdupq_n_u8(a);
+            let pb = vdupq_n_u8(b);
+            while i + LANES <= hay.len() {
+                let v = vld1q_u8(hay.as_ptr().add(i));
+                let m = mask_nibbles(vorrq_u8(vceqq_u8(v, pa), vceqq_u8(v, pb)));
+                if m != 0 {
+                    return Some(i + (m.trailing_zeros() / 4) as usize);
+                }
+                i += LANES;
+            }
+        }
+        swar::find_byte2(&hay[i..], a, b).map(|p| i + p)
+    }
+
+    pub(super) fn count_byte(hay: &[u8], needle: u8) -> usize {
+        let mut i = 0usize;
+        let mut count = 0usize;
+        // SAFETY: as in `find_byte`.
+        unsafe {
+            let pat = vdupq_n_u8(needle);
+            while i + LANES <= hay.len() {
+                let m = mask_nibbles(vceqq_u8(vld1q_u8(hay.as_ptr().add(i)), pat));
+                count += (m.count_ones() / 4) as usize;
+                i += LANES;
+            }
+        }
+        count + swar::count_byte(&hay[i..], needle)
+    }
+
+    pub(super) fn rfind_byte(hay: &[u8], needle: u8) -> Option<usize> {
+        let mut end = hay.len();
+        // SAFETY: as in `find_byte` — `end >= 16` keeps the backward
+        // loads in-bounds.
+        unsafe {
+            let pat = vdupq_n_u8(needle);
+            while end >= LANES {
+                let m = mask_nibbles(vceqq_u8(vld1q_u8(hay.as_ptr().add(end - LANES)), pat));
+                if m != 0 {
+                    return Some(end - LANES + ((63 - m.leading_zeros()) / 4) as usize);
+                }
+                end -= LANES;
+            }
+        }
+        swar::rfind_byte(&hay[..end], needle)
+    }
+
+    pub(super) fn find_quote_or_backslash(hay: &[u8]) -> Option<usize> {
+        find_byte2(hay, b'"', b'\\')
+    }
+
+    pub(super) fn digit_run(hay: &[u8]) -> usize {
+        let mut i = 0usize;
+        // SAFETY: as in `find_byte`. Unsigned compares: a digit is
+        // exactly `0x2f < v && v < 0x3a`; bytes >= 0x80 fail the upper
+        // bound.
+        unsafe {
+            let below = vdupq_n_u8(0x2f);
+            let above = vdupq_n_u8(0x3a);
+            while i + LANES <= hay.len() {
+                let v = vld1q_u8(hay.as_ptr().add(i));
+                let digit = vandq_u8(vcgtq_u8(v, below), vcltq_u8(v, above));
+                let m = mask_nibbles(digit);
+                if m != u64::MAX {
+                    return i + ((!m).trailing_zeros() / 4) as usize;
+                }
+                i += LANES;
+            }
+        }
+        i + swar::digit_run(&hay[i..])
+    }
+
+    pub(super) fn needs_escape(hay: &[u8]) -> Option<usize> {
+        let mut i = 0usize;
+        // SAFETY: as in `find_byte`.
+        unsafe {
+            let quote = vdupq_n_u8(b'"');
+            let bslash = vdupq_n_u8(b'\\');
+            let ctrl_lim = vdupq_n_u8(0x20);
+            while i + LANES <= hay.len() {
+                let v = vld1q_u8(hay.as_ptr().add(i));
+                let bad = vorrq_u8(
+                    vorrq_u8(vceqq_u8(v, quote), vceqq_u8(v, bslash)),
+                    vcltq_u8(v, ctrl_lim),
+                );
+                let m = mask_nibbles(bad);
+                if m != 0 {
+                    return Some(i + (m.trailing_zeros() / 4) as usize);
+                }
+                i += LANES;
+            }
+        }
+        swar::needs_escape(&hay[i..]).map(|p| i + p)
+    }
+}
+
+// --- dispatch ---------------------------------------------------------
+
+/// The instruction sets a [`Scanner`] can be built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanIsa {
+    /// 32-lane AVX2 kernels (x86-64, runtime-detected).
+    Avx2,
+    /// 16-lane SSE2 kernels (x86-64 baseline — always available there).
+    Sse2,
+    /// 16-lane NEON kernels (aarch64 baseline — always available there).
+    Neon,
+    /// 8-byte SWAR kernels over `u64` — the portable fallback, available
+    /// on every architecture.
+    Swar,
+}
+
+impl ScanIsa {
+    /// Every ISA this build knows about, widest first. Pair with
+    /// [`Scanner::for_isa`] to enumerate the ones this machine supports.
+    pub const ALL: [ScanIsa; 4] = [ScanIsa::Avx2, ScanIsa::Sse2, ScanIsa::Neon, ScanIsa::Swar];
+
+    /// The lowercase name used by `EES_SCAN_ISA` and echoed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanIsa::Avx2 => "avx2",
+            ScanIsa::Sse2 => "sse2",
+            ScanIsa::Neon => "neon",
+            ScanIsa::Swar => "swar",
+        }
+    }
+
+    /// Parses an `EES_SCAN_ISA` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<ScanIsa> {
+        match s.to_ascii_lowercase().as_str() {
+            "avx2" => Some(ScanIsa::Avx2),
+            "sse2" => Some(ScanIsa::Sse2),
+            "neon" => Some(ScanIsa::Neon),
+            "swar" => Some(ScanIsa::Swar),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScanIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A resolved table of byte-scanning kernels, all from one instruction
+/// set. Obtain the process-wide best table with [`scanner`] (or
+/// [`Scanner::active`]), or a specific ISA's table with
+/// [`Scanner::for_isa`]; hot loops should hold the `&'static Scanner`
+/// and call through it — dispatch happens once, not per call.
+pub struct Scanner {
+    isa: ScanIsa,
+    // (fn-pointer fields; `Debug` below prints just the ISA)
+    find_byte: fn(&[u8], u8) -> Option<usize>,
+    find_byte2: fn(&[u8], u8, u8) -> Option<usize>,
+    count_byte: fn(&[u8], u8) -> usize,
+    rfind_byte: fn(&[u8], u8) -> Option<usize>,
+    find_quote_or_backslash: fn(&[u8]) -> Option<usize>,
+    digit_run: fn(&[u8]) -> usize,
+    needs_escape: fn(&[u8]) -> Option<usize>,
+}
+
+static SWAR_SCANNER: Scanner = Scanner {
+    isa: ScanIsa::Swar,
+    find_byte: swar::find_byte,
+    find_byte2: swar::find_byte2,
+    count_byte: swar::count_byte,
+    rfind_byte: swar::rfind_byte,
+    find_quote_or_backslash: swar::find_quote_or_backslash,
+    digit_run: swar::digit_run,
+    needs_escape: swar::needs_escape,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SSE2_SCANNER: Scanner = Scanner {
+    isa: ScanIsa::Sse2,
+    find_byte: sse2::find_byte,
+    find_byte2: sse2::find_byte2,
+    count_byte: sse2::count_byte,
+    rfind_byte: sse2::rfind_byte,
+    find_quote_or_backslash: sse2::find_quote_or_backslash,
+    digit_run: sse2::digit_run,
+    needs_escape: sse2::needs_escape,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_SCANNER: Scanner = Scanner {
+    isa: ScanIsa::Avx2,
+    find_byte: avx2::find_byte,
+    find_byte2: avx2::find_byte2,
+    count_byte: avx2::count_byte,
+    rfind_byte: avx2::rfind_byte,
+    find_quote_or_backslash: avx2::find_quote_or_backslash,
+    digit_run: avx2::digit_run,
+    needs_escape: avx2::needs_escape,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON_SCANNER: Scanner = Scanner {
+    isa: ScanIsa::Neon,
+    find_byte: neon::find_byte,
+    find_byte2: neon::find_byte2,
+    count_byte: neon::count_byte,
+    rfind_byte: neon::rfind_byte,
+    find_quote_or_backslash: neon::find_quote_or_backslash,
+    digit_run: neon::digit_run,
+    needs_escape: neon::needs_escape,
+};
+
+impl std::fmt::Debug for Scanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scanner").field("isa", &self.isa).finish()
+    }
+}
+
+impl Scanner {
+    /// The instruction set this table was built from.
+    #[inline]
+    pub fn isa(&self) -> ScanIsa {
+        self.isa
+    }
+
+    /// Index of the first occurrence of `needle` in `hay` (memchr).
+    #[inline]
+    pub fn find_byte(&self, hay: &[u8], needle: u8) -> Option<usize> {
+        (self.find_byte)(hay, needle)
+    }
+
+    /// Index of the first occurrence of `a` or `b` in `hay` (memchr2).
+    #[inline]
+    pub fn find_byte2(&self, hay: &[u8], a: u8, b: u8) -> Option<usize> {
+        (self.find_byte2)(hay, a, b)
+    }
+
+    /// Number of occurrences of `needle` in `hay` — the chunk splitter's
+    /// line accounting.
+    #[inline]
+    pub fn count_byte(&self, hay: &[u8], needle: u8) -> usize {
+        (self.count_byte)(hay, needle)
+    }
+
+    /// Index of the **last** occurrence of `needle` in `hay` — the
+    /// chunker's backward search for the newline to cut a chunk at.
+    #[inline]
+    pub fn rfind_byte(&self, hay: &[u8], needle: u8) -> Option<usize> {
+        (self.rfind_byte)(hay, needle)
+    }
+
+    /// Index of the first `"` or `\` in `hay` — the JSON string
+    /// scanner's inner loop.
+    #[inline]
+    pub fn find_quote_or_backslash(&self, hay: &[u8]) -> Option<usize> {
+        (self.find_quote_or_backslash)(hay)
+    }
+
+    /// Length of the longest prefix of `hay` made of ASCII digits — the
+    /// number parser classifies the whole run wide, then folds it with
+    /// scalar overflow-checked arithmetic.
+    #[inline]
+    pub fn digit_run(&self, hay: &[u8]) -> usize {
+        (self.digit_run)(hay)
+    }
+
+    /// Index of the first byte a JSON string literal cannot hold
+    /// verbatim (`"`, `\`, or a control byte `< 0x20`), or `None` when
+    /// the whole slice can be emitted as-is — `json_escape`'s
+    /// borrow-fast-path test. Bytes `>= 0x80` never need escaping, so
+    /// the answer is always a UTF-8 character boundary.
+    #[inline]
+    pub fn needs_escape(&self, hay: &[u8]) -> Option<usize> {
+        (self.needs_escape)(hay)
+    }
+
+    /// The kernel table for `isa`, or `None` when this machine (or this
+    /// build target) cannot run it. [`ScanIsa::Swar`] always succeeds.
+    pub fn for_isa(isa: ScanIsa) -> Option<&'static Scanner> {
+        match isa {
+            ScanIsa::Swar => Some(&SWAR_SCANNER),
+            #[cfg(target_arch = "x86_64")]
+            ScanIsa::Sse2 => Some(&SSE2_SCANNER),
+            #[cfg(target_arch = "x86_64")]
+            ScanIsa::Avx2 => {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    Some(&AVX2_SCANNER)
+                } else {
+                    None
+                }
+            }
+            #[cfg(target_arch = "aarch64")]
+            ScanIsa::Neon => Some(&NEON_SCANNER),
+            #[allow(unreachable_patterns)]
+            _ => None,
+        }
+    }
+
+    /// The process-wide scanner: the widest ISA this machine supports,
+    /// or whatever `EES_SCAN_ISA` forces. Resolved once, on first call.
+    pub fn active() -> &'static Scanner {
+        static ACTIVE: OnceLock<&'static Scanner> = OnceLock::new();
+        ACTIVE.get_or_init(|| {
+            if let Ok(forced) = std::env::var("EES_SCAN_ISA") {
+                match ScanIsa::parse(&forced).and_then(Scanner::for_isa) {
+                    Some(s) => return s,
+                    None => {
+                        // A daemon must not die over a tuning knob:
+                        // warn and auto-detect instead.
+                        eprintln!(
+                            "EES_SCAN_ISA={forced:?} is not available on this machine; \
+                             falling back to auto-detection"
+                        );
+                    }
+                }
+            }
+            detect()
+        })
+    }
+}
+
+/// Auto-detected widest scanner, ignoring `EES_SCAN_ISA`.
+fn detect() -> &'static Scanner {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return &AVX2_SCANNER;
+        }
+        &SSE2_SCANNER
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        &NEON_SCANNER
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        &SWAR_SCANNER
+    }
+}
+
+/// The process-wide scanner (see [`Scanner::active`]).
+#[inline]
+pub fn scanner() -> &'static Scanner {
+    Scanner::active()
+}
+
+/// The name of the instruction set the process-wide scanner resolved to
+/// — echoed in `ees online --json` and the bench reports so baselines
+/// record which kernels produced them.
+pub fn active_isa_name() -> &'static str {
+    Scanner::active().isa().name()
+}
+
+// Convenience free functions over the process-wide scanner, re-exported
+// by [`crate::ndjson`] for the pre-dispatch callers (and tests) that
+// imported them from there.
+
+/// Index of the first occurrence of `needle` in `hay` (memchr), using
+/// the process-wide [`Scanner`].
+#[inline]
+pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    scanner().find_byte(hay, needle)
+}
+
+/// Index of the first occurrence of `a` or `b` in `hay` (memchr2),
+/// using the process-wide [`Scanner`].
+#[inline]
+pub fn find_byte2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+    scanner().find_byte2(hay, a, b)
+}
+
+/// Number of occurrences of `needle` in `hay`, using the process-wide
+/// [`Scanner`].
+#[inline]
+pub fn count_byte(hay: &[u8], needle: u8) -> usize {
+    scanner().count_byte(hay, needle)
+}
+
+/// Index of the last occurrence of `needle` in `hay`, using the
+/// process-wide [`Scanner`].
+#[inline]
+pub fn rfind_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    scanner().rfind_byte(hay, needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_find(hay: &[u8], needle: u8) -> Option<usize> {
+        hay.iter().position(|&b| b == needle)
+    }
+
+    fn naive_digit_run(hay: &[u8]) -> usize {
+        hay.iter().take_while(|b| b.is_ascii_digit()).count()
+    }
+
+    fn naive_needs_escape(hay: &[u8]) -> Option<usize> {
+        hay.iter()
+            .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+    }
+
+    fn supported() -> Vec<&'static Scanner> {
+        ScanIsa::ALL
+            .iter()
+            .filter_map(|&isa| Scanner::for_isa(isa))
+            .collect()
+    }
+
+    #[test]
+    fn swar_is_always_supported() {
+        assert!(Scanner::for_isa(ScanIsa::Swar).is_some());
+        #[cfg(target_arch = "x86_64")]
+        assert!(Scanner::for_isa(ScanIsa::Sse2).is_some());
+    }
+
+    #[test]
+    fn isa_names_round_trip() {
+        for isa in ScanIsa::ALL {
+            assert_eq!(ScanIsa::parse(isa.name()), Some(isa));
+            assert_eq!(ScanIsa::parse(&isa.name().to_uppercase()), Some(isa));
+        }
+        assert_eq!(ScanIsa::parse("sse9"), None);
+    }
+
+    #[test]
+    fn active_scanner_is_supported() {
+        let active = scanner();
+        assert!(Scanner::for_isa(active.isa()).is_some());
+        assert_eq!(active_isa_name(), active.isa().name());
+    }
+
+    #[test]
+    fn kernels_agree_with_naive_on_fixed_corpus() {
+        let corpus: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"\n".to_vec(),
+            b"{\"ts\":123456789,\"item\":7}\n".to_vec(),
+            b"0123456789012345678901234567890123456789x".to_vec(),
+            b"abcdefg\\hij\"klmnopqrstuvwxyz ABCDEFGHIJKLMNOP".to_vec(),
+            "täble→ éñcoding over the vector width please"
+                .as_bytes()
+                .to_vec(),
+            vec![0x1f; 100],
+            vec![b'7'; 100],
+            (0u8..=255).collect(),
+        ];
+        for s in supported() {
+            for hay in &corpus {
+                for needle in [b'\n', b'"', b'\\', b'x', 0x00, 0xFF] {
+                    assert_eq!(
+                        s.find_byte(hay, needle),
+                        naive_find(hay, needle),
+                        "find {:?} {needle}",
+                        s.isa()
+                    );
+                    assert_eq!(
+                        s.rfind_byte(hay, needle),
+                        hay.iter().rposition(|&b| b == needle),
+                        "rfind {:?} {needle}",
+                        s.isa()
+                    );
+                    assert_eq!(
+                        s.count_byte(hay, needle),
+                        hay.iter().filter(|&&b| b == needle).count(),
+                        "count {:?} {needle}",
+                        s.isa()
+                    );
+                }
+                assert_eq!(
+                    s.find_byte2(hay, b'"', b'\\'),
+                    hay.iter().position(|&b| b == b'"' || b == b'\\'),
+                    "find2 {:?}",
+                    s.isa()
+                );
+                assert_eq!(
+                    s.find_quote_or_backslash(hay),
+                    hay.iter().position(|&b| b == b'"' || b == b'\\'),
+                    "quote {:?}",
+                    s.isa()
+                );
+                assert_eq!(
+                    s.digit_run(hay),
+                    naive_digit_run(hay),
+                    "digits {:?}",
+                    s.isa()
+                );
+                assert_eq!(
+                    s.needs_escape(hay),
+                    naive_needs_escape(hay),
+                    "escape {:?}",
+                    s.isa()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn needle_at_every_boundary_position() {
+        // A hit in every lane position of every kernel width (8/16/32),
+        // plus the scalar tail, at every head alignment 0..8.
+        for s in supported() {
+            for head in 0..8usize {
+                for pos in 0..72usize {
+                    let mut v = vec![b'x'; head + 80];
+                    v[head + pos] = b'\n';
+                    let hay = &v[head..];
+                    assert_eq!(s.find_byte(hay, b'\n'), Some(pos), "{:?}", s.isa());
+                    assert_eq!(s.rfind_byte(hay, b'\n'), Some(pos), "{:?}", s.isa());
+                    assert_eq!(s.count_byte(hay, b'\n'), 1, "{:?}", s.isa());
+                    let mut digits = vec![b'9'; head + 80];
+                    digits[head + pos] = b' ';
+                    assert_eq!(s.digit_run(&digits[head..]), pos, "{:?}", s.isa());
+                    let mut clean = vec![b'x'; head + 80];
+                    clean[head + pos] = 0x1f;
+                    assert_eq!(s.needs_escape(&clean[head..]), Some(pos), "{:?}", s.isa());
+                }
+            }
+        }
+    }
+}

@@ -44,6 +44,13 @@
 //! Decode errors carry the 1-based record number (`record N: …`),
 //! mirroring the NDJSON front end's `line N: …` convention so the
 //! monitor drivers surface either format's failures the same way.
+//!
+//! Unlike the NDJSON path, nothing here uses the wide scan kernels in
+//! [`crate::scan`]: block boundaries are length-prefixed (a 5-byte
+//! header hop, not a byte search) and varints are 1–3 bytes for
+//! realistic deltas, too short for vector classify to beat the scalar
+//! loop. The binary format wins by *removing* the byte scans the text
+//! format needs, not by accelerating them.
 
 use crate::ndjson::{format_event, EventReader};
 use crate::record::LogicalIoRecord;

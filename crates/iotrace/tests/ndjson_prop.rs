@@ -1,5 +1,7 @@
-//! Property tests of the NDJSON codec's routing invariant and the SWAR
-//! scanners.
+//! Property tests of the NDJSON codec's routing invariant and the
+//! dispatched byte scanners (`ees_iotrace::scan`; run the suite under
+//! `EES_SCAN_ISA=swar` — as `ci.sh` does — to pin the portable
+//! fallback, and see `scan_prop.rs` for the per-ISA kernel sweep).
 //!
 //! The sharded ingest router may route a line by `quick_scan_ts_item`
 //! while a worker later parses it with `parse_event_borrowed`. The
@@ -10,9 +12,27 @@
 //! string-typed numbers, unknown fields, and arbitrary whitespace.
 
 use ees_iotrace::ndjson::{
-    count_byte, find_byte, find_byte2, parse_event_borrowed, quick_scan_ts_item,
+    count_byte, find_byte, find_byte2, json_escape, parse_event_borrowed, quick_scan_ts_item,
 };
 use proptest::prelude::*;
+
+/// Character-at-a-time reference for [`json_escape`] — the pre-SIMD
+/// behaviour the wide needs-escape scan must reproduce exactly.
+fn naive_json_escape(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// One rendered `"key":value` fragment. Keys cover the five known fields
 /// (often), unknown fields, and an escaped spelling of `ts` (which
@@ -126,5 +146,67 @@ proptest! {
             count_byte(&hay, needle),
             hay.iter().filter(|&&b| b == needle).count()
         );
+    }
+
+    /// The wide-scan `json_escape` is byte-identical to the old
+    /// character loop on arbitrary strings (controls, quotes,
+    /// backslashes, multi-byte characters, long clean prefixes), and
+    /// still borrows exactly when nothing needs escaping.
+    #[test]
+    fn json_escape_matches_reference(
+        parts in prop::collection::vec(
+            prop_oneof![
+                4 => prop::collection::vec(
+                    prop::sample::select("abcxyz019 .:{}/".chars().collect::<Vec<char>>()),
+                    0..40,
+                ).prop_map(|v| v.into_iter().collect::<String>()),
+                2 => Just("täble→ éñcoding".to_string()),
+                1 => Just("\"".to_string()),
+                1 => Just("\\".to_string()),
+                1 => (0u32..0x20).prop_map(|c| char::from_u32(c).unwrap().to_string()),
+            ],
+            0..8,
+        ),
+    ) {
+        let s: String = parts.concat();
+        let escaped = json_escape(&s);
+        prop_assert_eq!(escaped.as_ref(), naive_json_escape(&s).as_str());
+        let clean = s.chars().all(|c| c != '"' && c != '\\' && c as u32 >= 0x20);
+        prop_assert_eq!(matches!(escaped, std::borrow::Cow::Borrowed(_)), clean);
+    }
+
+    /// The digit-run classify + scalar fold parses every numeric
+    /// spelling exactly like `str::parse::<u64>`, including the
+    /// overflow boundary around `u64::MAX` and over-long runs.
+    #[test]
+    fn digit_run_parse_matches_str_parse(
+        lead_zeros in 0usize..3,
+        value in prop_oneof![
+            4 => any::<u64>().prop_map(|n| n.to_string()),
+            2 => Just(u64::MAX.to_string()),
+            2 => Just("18446744073709551616".to_string()), // MAX + 1
+            1 => Just("999999999999999999999999999".to_string()),
+            1 => (0u64..1000).prop_map(|n| n.to_string()),
+        ],
+    ) {
+        let spelled = format!("{}{}", "0".repeat(lead_zeros), value);
+        let line = format!(
+            "{{\"ts\":{spelled},\"item\":3,\"offset\":0,\"len\":1,\"kind\":\"Read\"}}"
+        );
+        match spelled.parse::<u64>() {
+            Ok(n) => {
+                let rec = parse_event_borrowed(&line).expect("in-range number parses");
+                prop_assert_eq!(rec.ts.0, n);
+                prop_assert_eq!(quick_scan_ts_item(&line), Some((n, 3)));
+            }
+            Err(_) => {
+                let err = parse_event_borrowed(&line).expect_err("overflow must error");
+                prop_assert!(
+                    err.contains("number overflow in field \"ts\""),
+                    "unexpected error: {}", err
+                );
+                prop_assert_eq!(quick_scan_ts_item(&line), None);
+            }
+        }
     }
 }

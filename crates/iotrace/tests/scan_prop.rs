@@ -1,0 +1,183 @@
+//! Property tests pinning every buildable ISA's scan kernels byte-equal
+//! to naive scalar references — the foundation of the plan-identity
+//! claim in DESIGN.md §17: if every kernel of every ISA returns exactly
+//! the scalar answer, the parser (and therefore every plan) cannot
+//! depend on which instruction set produced it.
+//!
+//! Each kernel table is obtained directly via [`Scanner::for_isa`], so
+//! one process sweeps every ISA the machine supports (no `EES_SCAN_ISA`
+//! re-exec needed; `ci.sh` additionally runs the whole suite under
+//! `EES_SCAN_ISA=swar` to exercise the forced-dispatch path end to end).
+
+use ees_iotrace::scan::{ScanIsa, Scanner};
+use proptest::prelude::*;
+
+fn supported() -> Vec<&'static Scanner> {
+    ScanIsa::ALL
+        .iter()
+        .filter_map(|&isa| Scanner::for_isa(isa))
+        .collect()
+}
+
+// --- naive scalar references -----------------------------------------
+
+fn naive_find(hay: &[u8], needle: u8) -> Option<usize> {
+    hay.iter().position(|&b| b == needle)
+}
+
+fn naive_find2(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+    hay.iter().position(|&c| c == a || c == b)
+}
+
+fn naive_count(hay: &[u8], needle: u8) -> usize {
+    hay.iter().filter(|&&b| b == needle).count()
+}
+
+fn naive_rfind(hay: &[u8], needle: u8) -> Option<usize> {
+    hay.iter().rposition(|&b| b == needle)
+}
+
+fn naive_digit_run(hay: &[u8]) -> usize {
+    hay.iter().take_while(|b| b.is_ascii_digit()).count()
+}
+
+fn naive_needs_escape(hay: &[u8]) -> Option<usize> {
+    hay.iter()
+        .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+}
+
+fn assert_all_kernels(hay: &[u8], needle: u8, other: u8) {
+    for s in supported() {
+        let isa = s.isa();
+        prop_assert_eq!(s.find_byte(hay, needle), naive_find(hay, needle), "{}", isa);
+        prop_assert_eq!(
+            s.find_byte2(hay, needle, other),
+            naive_find2(hay, needle, other),
+            "{}",
+            isa
+        );
+        prop_assert_eq!(
+            s.count_byte(hay, needle),
+            naive_count(hay, needle),
+            "{}",
+            isa
+        );
+        prop_assert_eq!(
+            s.rfind_byte(hay, needle),
+            naive_rfind(hay, needle),
+            "{}",
+            isa
+        );
+        prop_assert_eq!(
+            s.find_quote_or_backslash(hay),
+            naive_find2(hay, b'"', b'\\'),
+            "{}",
+            isa
+        );
+        prop_assert_eq!(s.digit_run(hay), naive_digit_run(hay), "{}", isa);
+        prop_assert_eq!(s.needs_escape(hay), naive_needs_escape(hay), "{}", isa);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte strings — including non-ASCII and bytes adjacent
+    /// to every classifier threshold — through every supported ISA.
+    #[test]
+    fn kernels_match_naive_on_arbitrary_bytes(
+        hay in prop::collection::vec(any::<u8>(), 0..300),
+        needle: u8,
+        other: u8,
+    ) {
+        assert_all_kernels(&hay, needle, other);
+    }
+
+    /// Digit-heavy and JSON-shaped input: long runs that keep the wide
+    /// loops saturated, so the full-mask early-exit paths are the ones
+    /// under test (an all-digits vector must *not* report a non-digit).
+    #[test]
+    fn kernels_match_naive_on_digit_and_json_runs(
+        run_len in 0usize..80,
+        tail in prop::collection::vec(any::<u8>(), 0..40),
+        digit in prop::sample::select(b"0123456789".to_vec()),
+    ) {
+        let mut hay = vec![digit; run_len];
+        hay.extend_from_slice(&tail);
+        assert_all_kernels(&hay, b'"', b'\\');
+        let line = format!("{{\"ts\":{}1,\"item\":7}}", String::from_utf8_lossy(&vec![digit; run_len]));
+        assert_all_kernels(line.as_bytes(), b'\n', b'"');
+    }
+
+    /// Alignment sweep: the same haystack viewed at every head offset
+    /// 0..64 must give offset-shifted answers — wide loads must not
+    /// depend on where the slice starts in its allocation.
+    #[test]
+    fn kernels_are_alignment_independent(
+        body in prop::collection::vec(any::<u8>(), 0..160),
+        needle: u8,
+        other: u8,
+    ) {
+        let mut buf = vec![0xAAu8; 64 + body.len()];
+        buf[64..].copy_from_slice(&body);
+        for head in 0..64usize {
+            assert_all_kernels(&buf[64 - head..], needle, other);
+        }
+    }
+
+    /// A single needle placed at word/vector boundary positions (every
+    /// multiple and off-by-one of 8, 16, and 32, both from the front and
+    /// from the back of the buffer) must be found exactly.
+    #[test]
+    fn needle_at_vector_boundaries(
+        fill in prop::sample::select(b"x9 \x7f\xc3".to_vec()),
+        len in 1usize..130,
+        from_back in any::<bool>(),
+        boundary in prop::sample::select(vec![7usize, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65]),
+    ) {
+        let mut hay = vec![fill; len];
+        let pos = if from_back {
+            len.checked_sub(boundary + 1)
+        } else if boundary < len {
+            Some(boundary)
+        } else {
+            None // the draw does not fit this buffer; nothing to place
+        };
+        if let Some(pos) = pos {
+            hay[pos] = b'\n';
+            for s in supported() {
+                prop_assert_eq!(s.find_byte(&hay, b'\n'), Some(pos), "{}", s.isa());
+                prop_assert_eq!(s.rfind_byte(&hay, b'\n'), Some(pos), "{}", s.isa());
+                prop_assert_eq!(s.count_byte(&hay, b'\n'), 1, "{}", s.isa());
+            }
+            assert_all_kernels(&hay, b'\n', fill);
+        }
+    }
+}
+
+/// Exhaustive single-byte check: every kernel classifies each of the 256
+/// byte values exactly like the scalar reference, on every supported
+/// ISA, at a length that exercises both the wide loop and the tail.
+#[test]
+fn all_byte_values_classify_identically() {
+    for b in 0u8..=255 {
+        let hay = vec![b; 40];
+        for s in supported() {
+            assert_eq!(
+                s.digit_run(&hay),
+                naive_digit_run(&hay),
+                "{} {b:#04x}",
+                s.isa()
+            );
+            assert_eq!(
+                s.needs_escape(&hay),
+                naive_needs_escape(&hay),
+                "{} {b:#04x}",
+                s.isa()
+            );
+            assert_eq!(s.find_byte(&hay, b), Some(0), "{} {b:#04x}", s.isa());
+            assert_eq!(s.rfind_byte(&hay, b), Some(39), "{} {b:#04x}", s.isa());
+            assert_eq!(s.count_byte(&hay, b), 40, "{} {b:#04x}", s.isa());
+        }
+    }
+}

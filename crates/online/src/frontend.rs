@@ -355,6 +355,12 @@ impl<'scope> ParallelScanner<'scope> {
         } else {
             chunk_bytes
         };
+        // Resolve the scan-kernel dispatch (feature detection plus the
+        // `EES_SCAN_ISA` override) once, here on the spawning thread:
+        // the splitter's newline cuts and every parser's field scans
+        // then run on a settled function-pointer table, and any
+        // misconfiguration warning prints before the pool starts.
+        let _ = ees_iotrace::scan::scanner();
         let (work_tx, work_rx) = sync_channel::<WorkItem<'env>>(readers * WORK_DEPTH_PER_READER);
         // One extra slot so the splitter's `End` marker never deadlocks
         // behind a full parser pool.

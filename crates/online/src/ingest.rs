@@ -223,6 +223,10 @@ where
     let (tx, rx) = sync_channel::<LogicalIoRecord>(capacity.max(1));
     let counters = Arc::new(IngestCounters::default());
     let live = Arc::clone(&counters);
+    // Settle the scan-kernel dispatch before the reader thread starts:
+    // the serial parser's field scans run on the same function-pointer
+    // table as the parallel front end (see `ees_iotrace::scan`).
+    let _ = ees_iotrace::scan::scanner();
     let handle = std::thread::spawn(move || {
         // Per-event atomics dominate this loop at high event rates, so
         // the deltas accumulate locally and flush every [`COUNTER_FLUSH`]
